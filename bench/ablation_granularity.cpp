@@ -1,0 +1,70 @@
+// Ablation A2 (DESIGN.md): component granularity.
+//
+// Paper §III.A argues that "designing a smaller number of components to
+// assemble workflows with finer step decomposition allows for more general
+// processing", and §V.C validates that the finer decomposition costs
+// little.  This ablation runs the same LAMMPS velocity analysis fused into
+// 1 stage (the AIO baseline), split into the paper's 3 stages, and split
+// into 4 stages (an extra Fork pass-through inserted), reporting end-to-end
+// time per decomposition.
+//
+// Expected shape: time grows only mildly with stage count — each extra
+// stage adds an MxN exchange that buffering mostly hides.
+#include "bench_util.hpp"
+
+namespace {
+
+double run_stages(int stages) {
+    using namespace sb;
+    sim::register_simulations();
+    flexpath::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("lammps", 2, {"rows=160", "cols=160", "steps=8", "substeps=20"});
+    switch (stages) {
+        case 1:
+            wf.add("aio", 2, {"dump.custom.fp", "atoms", "1", "16",
+                              "/tmp/sb_bench_a2.txt", "vx", "vy", "vz"});
+            break;
+        case 3:
+            wf.add("select", 2,
+                   {"dump.custom.fp", "atoms", "1", "s.fp", "v", "vx", "vy", "vz"});
+            wf.add("magnitude", 2, {"s.fp", "v", "m.fp", "mag"});
+            wf.add("histogram", 1, {"m.fp", "mag", "16", "/tmp/sb_bench_a2.txt"});
+            break;
+        case 4:
+            wf.add("select", 2,
+                   {"dump.custom.fp", "atoms", "1", "s.fp", "v", "vx", "vy", "vz"});
+            wf.add("fork", 2, {"s.fp", "v", "s2.fp", "v2"});  // pass-through stage
+            wf.add("magnitude", 2, {"s2.fp", "v2", "m.fp", "mag"});
+            wf.add("histogram", 1, {"m.fp", "mag", "16", "/tmp/sb_bench_a2.txt"});
+            break;
+        default:
+            throw std::logic_error("unsupported stage count");
+    }
+    wf.run();
+    return wf.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+    using namespace sb::bench;
+    print_header("Ablation — analysis decomposition granularity",
+                 "paper §III.A / §V.C (componentization cost)");
+
+    std::printf("%-34s %-16s\n", "decomposition", "end-to-end (s)");
+    double t1 = 0.0, t3 = 0.0;
+    for (const int stages : {1, 3, 4}) {
+        double t = run_stages(stages);  // best of three (scheduler noise)
+        for (int i = 0; i < 2; ++i) t = std::min(t, run_stages(stages));
+        if (stages == 1) t1 = t;
+        if (stages == 3) t3 = t;
+        const char* label = stages == 1   ? "1 stage  (fused all-in-one)"
+                            : stages == 3 ? "3 stages (paper's pipeline)"
+                                          : "4 stages (extra pass-through)";
+        std::printf("%-34s %-16.3f\n", label, t);
+    }
+    std::printf("\n3-stage SmartBlock vs fused: %+.1f%% (paper Table II: <= +1.9%%)\n",
+                100.0 * (t3 - t1) / t1);
+    return 0;
+}

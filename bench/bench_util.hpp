@@ -1,0 +1,142 @@
+// Shared machinery for the evaluation-reproduction benches.
+//
+// Scaling note (documented in DESIGN.md): the paper ran on Titan (up to
+// 1,600 processes) and an 80-node cluster; this reproduction runs on a
+// single container where each "process" is a thread.  Process counts are
+// scaled down ~16x and data volumes ~100x from the paper's Table I / II,
+// keeping the *ratios between runs* so the scaling shapes are comparable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/histogram.hpp"
+#include "core/workflow.hpp"
+#include "flexpath/stream.hpp"
+#include "sim/source_component.hpp"
+#include "sim/toroid_sim.hpp"
+#include "util/stats.hpp"
+
+namespace sb::bench {
+
+/// One run of the GTCP workflow (Table I / Fig. 9 of the paper): the
+/// simulation, Select(perpendicular_pressure), two Dim-Reduces, and the
+/// Histogram endpoint, launched together.
+struct GtcpRunConfig {
+    int run_number = 1;
+    std::uint64_t slices = 8;
+    std::uint64_t gridpoints = 1024;
+    std::uint64_t steps = 3;
+    int gtcp_procs = 4;
+    int select_procs = 1;
+    int dimred1_procs = 1;
+    int dimred2_procs = 1;
+    int histo_procs = 1;
+
+    std::uint64_t sim_bytes_per_step() const {
+        return slices * gridpoints * 7 * 8;
+    }
+    std::uint64_t sim_bytes_total() const { return sim_bytes_per_step() * steps; }
+    int total_procs() const {
+        return gtcp_procs + select_procs + dimred1_procs + dimred2_procs + histo_procs;
+    }
+};
+
+struct GtcpRunResult {
+    GtcpRunConfig config;
+    double end_to_end_seconds = 0.0;
+    /// Per-component stats, in pipeline order.
+    std::shared_ptr<core::StepStats> select, dimred1, dimred2, histo;
+
+    /// The paper's Table I throughput: total simulation output divided by
+    /// the total process count and the end-to-end time.
+    double end_to_end_kb_per_proc_per_sec() const {
+        return static_cast<double>(config.sim_bytes_total()) / 1024.0 /
+               config.total_procs() / end_to_end_seconds;
+    }
+
+    /// Fig. 9's per-component, per-process throughput (KB/s): the
+    /// component's per-step input volume over its process count and step
+    /// completion time, averaged over the steady-state steps (the first
+    /// step is warm-up: lazily created writers, first-touch buffers).
+    double component_kb_per_proc_per_sec(const core::StepStats& s, int nprocs) const {
+        const auto rows = s.per_step();
+        double sum = 0.0;
+        int n = 0;
+        for (std::size_t i = rows.size() > 1 ? 1 : 0; i < rows.size(); ++i) {
+            if (rows[i].mean_seconds <= 0.0) continue;
+            sum += static_cast<double>(rows[i].bytes_in) / 1024.0 / nprocs /
+                   rows[i].mean_seconds;
+            ++n;
+        }
+        return n ? sum / n : 0.0;
+    }
+};
+
+/// The five weak-scaling runs: process ladder scaled ~1/16 and data ~1/100
+/// from the paper's Table I setup.
+inline std::vector<GtcpRunConfig> gtcp_weak_scaling_ladder() {
+    // Paper: output {918, 1435, 2066, 2811, 12905} MB over runs 1..5 with
+    // procs gtcp {64,84,156,234,1024}, select {10,16,18,25,116},
+    // dim-reduce {6,10,14,19,88} (x2), histogram {2,2,4,5,24}.
+    std::vector<GtcpRunConfig> runs;
+    const double mb[] = {9.18, 14.35, 20.66, 28.11, 129.05};  // /100
+    const int gtcp[] = {4, 5, 10, 15, 64};
+    const int sel[] = {1, 1, 1, 2, 7};
+    const int dr[] = {1, 1, 1, 1, 6};
+    const int hist[] = {1, 1, 1, 1, 2};
+    for (int i = 0; i < 5; ++i) {
+        GtcpRunConfig c;
+        c.run_number = i + 1;
+        c.steps = 6;
+        c.slices = 8;
+        // Total bytes = slices * gridpoints * 7 * 8 * steps.
+        c.gridpoints = static_cast<std::uint64_t>(
+            mb[i] * 1024.0 * 1024.0 /
+            (static_cast<double>(c.slices) * 7.0 * 8.0 *
+             static_cast<double>(c.steps)));
+        c.gtcp_procs = gtcp[i];
+        c.select_procs = sel[i];
+        c.dimred1_procs = dr[i];
+        c.dimred2_procs = dr[i];
+        c.histo_procs = hist[i];
+        runs.push_back(c);
+    }
+    return runs;
+}
+
+/// Assembles and runs one GTCP workflow; the histogram file goes to /tmp.
+inline GtcpRunResult run_gtcp_workflow(const GtcpRunConfig& c) {
+    sim::register_simulations();
+    flexpath::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gtcp", c.gtcp_procs,
+           {"slices=" + std::to_string(c.slices),
+            "gridpoints=" + std::to_string(c.gridpoints),
+            "steps=" + std::to_string(c.steps)});
+    GtcpRunResult r;
+    r.config = c;
+    r.select = wf.add("select", c.select_procs,
+                      {"gtcp.fp", "field3d", "2", "psel.fp", "pp",
+                       "perpendicular_pressure"});
+    r.dimred1 = wf.add("dim-reduce", c.dimred1_procs,
+                       {"psel.fp", "pp", "2", "1", "pflat1.fp", "pp1"});
+    r.dimred2 = wf.add("dim-reduce", c.dimred2_procs,
+                       {"pflat1.fp", "pp1", "0", "1", "pflat2.fp", "pp2"});
+    r.histo = wf.add("histogram", c.histo_procs,
+                     {"pflat2.fp", "pp2", "16",
+                      "/tmp/sb_bench_gtcp_run" + std::to_string(c.run_number) + ".txt"});
+    wf.run();
+    r.end_to_end_seconds = wf.elapsed_seconds();
+    return r;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n(reproduces %s; single-node thread-per-process scaling — see "
+                "DESIGN.md)\n", title, paper_ref);
+    std::printf("================================================================\n");
+}
+
+}  // namespace sb::bench

@@ -1,0 +1,141 @@
+// Micro-benchmarks of the transport layer (google-benchmark): the MxN
+// redistribution cost across writer/reader cardinalities, step-metadata
+// encode/decode through FFS, and the raw hyperslab copy.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "flexpath/reader.hpp"
+#include "flexpath/writer.hpp"
+#include "util/ndarray.hpp"
+
+namespace fp = sb::flexpath;
+namespace u = sb::util;
+
+namespace {
+
+// One step of an (n x m) doubles array pushed through a stream with W
+// writer blocks and read back in R reader boxes, all on the bench thread
+// (the redistribution copy cost is what's measured, not thread scheduling).
+void bm_mxn_step(benchmark::State& state) {
+    const int writers = static_cast<int>(state.range(0));
+    const int readers = static_cast<int>(state.range(1));
+    const std::uint64_t n = 512, m = 256;
+    const u::NdShape shape{n, m};
+    std::vector<std::vector<double>> blocks;
+    for (int w = 0; w < writers; ++w) {
+        blocks.emplace_back(
+            u::partition_along(shape, 0, w, writers).volume(), 1.0);
+    }
+
+    for (auto _ : state) {
+        fp::Fabric fabric;
+        fp::WriterPort port(fabric, "s", 0, 1, fp::StreamOptions{1});
+        port.declare(fp::VarDecl{"a", fp::DataKind::Float64, shape, {}});
+        for (int w = 0; w < writers; ++w) {
+            port.put<double>("a", u::partition_along(shape, 0, w, writers),
+                             blocks[static_cast<std::size_t>(w)]);
+        }
+        port.end_step();
+
+        fp::ReaderPort reader(fabric, "s", 0, 1);
+        reader.begin_step();
+        for (int r = 0; r < readers; ++r) {
+            auto data =
+                reader.read<double>("a", u::partition_along(shape, 1, r, readers));
+            benchmark::DoNotOptimize(data.data());
+        }
+        reader.end_step();
+        port.close();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(shape.volume() * 8));
+}
+
+void bm_step_meta_encode(benchmark::State& state) {
+    const int nvars = static_cast<int>(state.range(0));
+    fp::StepMeta meta;
+    meta.step = 7;
+    for (int v = 0; v < nvars; ++v) {
+        const std::string name = "var" + std::to_string(v);
+        meta.vars[name] =
+            fp::VarDecl{name, fp::DataKind::Float64, u::NdShape{128, 64, 8},
+                        {"x", "y", "z"}};
+        meta.string_attrs[name + ".header.2"] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+    }
+    for (auto _ : state) {
+        auto wire = fp::encode_step_meta(meta);
+        benchmark::DoNotOptimize(wire.data());
+    }
+}
+
+void bm_step_meta_decode(benchmark::State& state) {
+    fp::StepMeta meta;
+    meta.step = 7;
+    for (int v = 0; v < 8; ++v) {
+        const std::string name = "var" + std::to_string(v);
+        meta.vars[name] = fp::VarDecl{name, fp::DataKind::Float64,
+                                      u::NdShape{128, 64, 8}, {"x", "y", "z"}};
+    }
+    const auto wire = fp::encode_step_meta(meta);
+    for (auto _ : state) {
+        auto back = fp::decode_step_meta(wire);
+        benchmark::DoNotOptimize(&back);
+    }
+}
+
+void bm_copy_box(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    const u::NdShape shape{n, n};
+    const u::Box whole = u::Box::whole(shape);
+    const u::Box half({0, 0}, {n, n / 2});  // strided rows
+    std::vector<std::byte> src(shape.volume() * 8, std::byte{1});
+    std::vector<std::byte> dst(half.volume() * 8);
+    for (auto _ : state) {
+        u::copy_box(src, whole, dst, half, half, 8);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(half.volume() * 8));
+}
+
+// A full producer/consumer stream with real threads: measures the
+// end-to-end per-step cost including synchronization.
+void bm_stream_pipeline(benchmark::State& state) {
+    const std::uint64_t elems = static_cast<std::uint64_t>(state.range(0));
+    const u::NdShape shape{elems};
+    const std::uint64_t steps = 16;
+    for (auto _ : state) {
+        fp::Fabric fabric;
+        std::jthread writer([&] {
+            fp::WriterPort port(fabric, "p", 0, 1, fp::StreamOptions{2});
+            std::vector<double> data(elems, 1.0);
+            for (std::uint64_t t = 0; t < steps; ++t) {
+                port.declare(fp::VarDecl{"a", fp::DataKind::Float64, shape, {}});
+                port.put<double>("a", u::Box::whole(shape), data);
+                port.end_step();
+            }
+            port.close();
+        });
+        fp::ReaderPort reader(fabric, "p", 0, 1);
+        while (reader.begin_step()) {
+            auto data = reader.read<double>("a", u::Box::whole(shape));
+            benchmark::DoNotOptimize(data.data());
+            reader.end_step();
+        }
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(steps * elems * 8));
+}
+
+}  // namespace
+
+BENCHMARK(bm_mxn_step)
+    ->ArgsProduct({{1, 2, 8}, {1, 2, 8}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_step_meta_encode)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(bm_step_meta_decode);
+BENCHMARK(bm_copy_box)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_stream_pipeline)->Arg(1024)->Arg(262144)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

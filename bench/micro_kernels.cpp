@@ -1,0 +1,109 @@
+// Micro-benchmarks of the analysis kernels (google-benchmark): Dim-Reduce's
+// layout transformation in its contiguous and strided regimes, the
+// Histogram binning kernel, the Magnitude arithmetic, and FFS record
+// encode/decode of bulk arrays.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/dim_reduce.hpp"
+#include "core/histogram.hpp"
+#include "ffs/encode.hpp"
+
+namespace core = sb::core;
+namespace u = sb::util;
+
+namespace {
+
+// GTCP first reduce: remove the innermost dim — contiguous, a pure memcpy.
+void bm_dim_reduce_contiguous(benchmark::State& state) {
+    const std::uint64_t g = static_cast<std::uint64_t>(state.range(0));
+    const u::NdShape shape{8, g, 7};
+    std::vector<double> in(shape.volume(), 1.0), out(in.size());
+    for (auto _ : state) {
+        core::dim_reduce_copy(std::as_bytes(std::span(in)), shape, 2, 1,
+                              std::as_writable_bytes(std::span(out)), 8);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(in.size() * 8));
+}
+
+// GTCP second reduce: remove dim 0 into dim 1 — an interleaving transpose.
+void bm_dim_reduce_strided(benchmark::State& state) {
+    const std::uint64_t g = static_cast<std::uint64_t>(state.range(0));
+    const u::NdShape shape{8, g * 7};
+    std::vector<double> in(shape.volume(), 1.0), out(in.size());
+    for (auto _ : state) {
+        core::dim_reduce_copy(std::as_bytes(std::span(in)), shape, 0, 1,
+                              std::as_writable_bytes(std::span(out)), 8);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(in.size() * 8));
+}
+
+void bm_histogram_counts(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t bins = static_cast<std::size_t>(state.range(1));
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = std::sin(0.001 * double(i));
+    for (auto _ : state) {
+        auto counts = core::histogram_counts(v, -1.0, 1.0, bins);
+        benchmark::DoNotOptimize(counts.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_magnitude_kernel(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> vecs(n * 3, 1.5), mags(n);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double* v = &vecs[i * 3];
+            mags[i] = std::sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+        }
+        benchmark::DoNotOptimize(mags.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_ffs_encode_array(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    std::vector<double> data(n, 2.5);
+    for (auto _ : state) {
+        sb::ffs::Record rec(sb::ffs::TypeDescriptor{"bulk", {}});
+        rec.add_array<double>("data", data, {n});
+        auto wire = sb::ffs::encode(rec);
+        benchmark::DoNotOptimize(wire.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * 8));
+}
+
+void bm_ffs_decode_array(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    std::vector<double> data(n, 2.5);
+    sb::ffs::Record rec(sb::ffs::TypeDescriptor{"bulk", {}});
+    rec.add_array<double>("data", data, {n});
+    const auto wire = sb::ffs::encode(rec);
+    for (auto _ : state) {
+        auto back = sb::ffs::decode(wire);
+        benchmark::DoNotOptimize(&back);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * 8));
+}
+
+}  // namespace
+
+BENCHMARK(bm_dim_reduce_contiguous)->Arg(1024)->Arg(65536)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_dim_reduce_strided)->Arg(1024)->Arg(65536)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_histogram_counts)->Args({65536, 16})->Args({65536, 1024})->Args({1048576, 16});
+BENCHMARK(bm_magnitude_kernel)->Arg(65536)->Arg(1048576);
+BENCHMARK(bm_ffs_encode_array)->Arg(1024)->Arg(1048576)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_ffs_decode_array)->Arg(1024)->Arg(1048576)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces Table I of the paper: "GTCP-SmartBlock: weak scaling
+// experiment setup, and end-to-end results".
+//
+// Five runs of the GTCP workflow at growing scale (process counts and data
+// volumes scaled together), reporting each run's end-to-end time and the
+// per-process end-to-end throughput (total simulation output / total
+// processes / end-to-end time).  The paper's observation to reproduce:
+// throughput stays roughly flat across the ladder (good weak scaling), with
+// a drop at the largest scale where coordination overhead is most visible
+// (the paper measures a worst-case ~57% decrease).
+#include "bench_util.hpp"
+
+int main() {
+    using namespace sb::bench;
+    print_header("Table I — GTCP-SmartBlock weak scaling, end-to-end",
+                 "Table I of the paper (values scaled: procs ~1/16, data ~1/100)");
+
+    std::printf("%-4s %-18s %-11s %-12s %-13s %-11s %-13s %-17s %-16s\n", "Run",
+                "GTCP Output (MB)", "GTCP Procs", "Select Procs", "Dim-Red Procs",
+                "Histo Procs", "End2End (s)", "PerProc (KB/s)", "Aggregate (MB/s)");
+
+    double first_agg = 0.0, last_agg = 0.0;
+    double first_pp = 0.0, last_pp = 0.0;
+    for (const GtcpRunConfig& c : gtcp_weak_scaling_ladder()) {
+        const GtcpRunResult r = run_gtcp_workflow(c);
+        const double pp = r.end_to_end_kb_per_proc_per_sec();
+        const double agg = static_cast<double>(c.sim_bytes_total()) /
+                           (1024.0 * 1024.0) / r.end_to_end_seconds;
+        if (c.run_number == 1) { first_agg = agg; first_pp = pp; }
+        last_agg = agg;
+        last_pp = pp;
+        std::printf("%-4d %-18.1f %-11d %-12d %-13d %-11d %-13.2f %-17.0f %-16.1f\n",
+                    c.run_number,
+                    static_cast<double>(c.sim_bytes_total()) / (1024.0 * 1024.0),
+                    c.gtcp_procs, c.select_procs, c.dimred1_procs, c.histo_procs,
+                    r.end_to_end_seconds, pp, agg);
+    }
+
+    std::printf(
+        "\nper-process throughput change, run 1 -> run 5: %.0f%% "
+        "(paper: about -57%% at the largest scale).\n"
+        "Single-core caveat: rank threads share one core, so per-process "
+        "throughput necessarily falls ~1/procs here;\nthe faithful analog of "
+        "the paper's flat weak-scaling curve is the AGGREGATE column "
+        "(cost per byte does not\ndeteriorate as the ladder grows): "
+        "run 1 -> run 5 change %.0f%%.\n",
+        100.0 * (last_pp - first_pp) / first_pp,
+        100.0 * (last_agg - first_agg) / first_agg);
+    return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Table II of the paper: "LAMMPS: SmartBlock vs. All-In-One
+// comparison" — start-to-end completion times of (a) LAMMPS + the custom
+// fused AIO analysis, (b) LAMMPS + the full SmartBlock pipeline
+// (Select -> Magnitude -> Histogram), and (c) the simulation alone with its
+// output routines disabled, at five weak-scaled sizes.
+//
+// Shape to reproduce: the componentized SmartBlock workflow costs only a
+// few percent over the fused custom code (the paper's maximum is +1.9%),
+// because FlexPath's buffering overlaps the extra exchange points with the
+// simulation's computation.
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row {
+    double sim_mb;          // total simulation output over the run
+    int lammps_procs;
+    int analysis_procs;     // Select in SmartBlock; AIO gets the same
+    std::uint64_t rows, cols, steps, substeps;
+};
+
+double run_lammps(const Row& r, const std::string& mode) {
+    using namespace sb;
+    sim::register_simulations();
+    flexpath::Fabric fabric;
+    core::Workflow wf(fabric);
+    const std::vector<std::string> sim_args = {
+        "rows=" + std::to_string(r.rows), "cols=" + std::to_string(r.cols),
+        "steps=" + std::to_string(r.steps), "substeps=" + std::to_string(r.substeps),
+        "output=" + std::string(mode == "simonly" ? "false" : "true")};
+    wf.add("lammps", r.lammps_procs, sim_args);
+    if (mode == "smartblock") {
+        wf.add("select", r.analysis_procs,
+               {"dump.custom.fp", "atoms", "1", "s.fp", "v", "vx", "vy", "vz"});
+        wf.add("magnitude", std::max(1, r.analysis_procs / 2),
+               {"s.fp", "v", "m.fp", "mag"});
+        wf.add("histogram", 1, {"m.fp", "mag", "16", "/tmp/sb_bench_t2_sb.txt"});
+    } else if (mode == "aio") {
+        wf.add("aio", r.analysis_procs,
+               {"dump.custom.fp", "atoms", "1", "16", "/tmp/sb_bench_t2_aio.txt",
+                "vx", "vy", "vz"});
+    }
+    wf.run();
+    return wf.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+    using namespace sb::bench;
+    print_header("Table II — LAMMPS: SmartBlock vs. All-In-One",
+                 "Table II of the paper (sizes scaled ~1/100)");
+
+    // Paper: per-run output 20..5120 MB with ~constant per-process data.
+    // Scaled: {0.2, 0.8, 3.2, 12.8, 51.2} MB over the run, procs doubling.
+    const std::vector<Row> rows = {
+        {0.2, 1, 1, 32, 41, 4, 60},     // 32x41x5x8x4   ~ 0.2 MB
+        {0.8, 2, 1, 64, 82, 4, 60},     //               ~ 0.8 MB
+        {3.2, 4, 2, 128, 164, 4, 60},   //               ~ 3.2 MB
+        {12.8, 8, 4, 256, 328, 4, 60},  //               ~12.8 MB
+        {51.2, 16, 8, 512, 655, 4, 60},  //              ~51.2 MB
+    };
+
+    std::printf("%-12s %-14s %-20s %-16s %-10s\n", "SIM output", "AIO time (s)",
+                "SmartBlock time (s)", "LMP only (s)", "overhead");
+    // Best of three repetitions per cell: at the paper's scale one run is
+    // minutes and self-averaging; at this scale scheduler noise would
+    // otherwise dominate the sub-second cells.
+    const auto best_of = [](auto&& fn) {
+        double best = fn();
+        for (int i = 0; i < 2; ++i) best = std::min(best, fn());
+        return best;
+    };
+    double worst = 0.0;
+    for (const Row& r : rows) {
+        const double aio = best_of([&] { return run_lammps(r, "aio"); });
+        const double sb = best_of([&] { return run_lammps(r, "smartblock"); });
+        const double lmp = best_of([&] { return run_lammps(r, "simonly"); });
+        const double overhead = 100.0 * (sb - aio) / aio;
+        // Summarize over cells long enough to measure: the paper's cells
+        // run for minutes; our sub-10ms cells are pure scheduler noise.
+        if (aio >= 0.1) worst = std::max(worst, overhead);
+        char label[32];
+        std::snprintf(label, sizeof label, "%.1f MB", r.sim_mb);
+        std::printf("%-12s %-14.2f %-20.2f %-16.2f %+.1f%%\n", label, aio, sb, lmp,
+                    overhead);
+    }
+    std::printf("\nworst-case SmartBlock overhead vs all-in-one (cells >= 0.1 s): "
+                "%+.1f%% (paper: at most +1.9%%)\n", worst);
+    return 0;
+}

@@ -1,0 +1,7 @@
+# The paper's GROMACS workflow (Fig. 7): atom coordinates -> Magnitude
+# (distance from origin) -> Histogram of the spread of the atoms.
+# Run with: build/examples/smartblock_run examples/workflows/gromacs_spread.sh
+aprun -n 2 histogram radii.fp radii 12 gromacs_spread.txt &
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 gromacs atoms=4096 steps=6 substeps=8 &
+wait

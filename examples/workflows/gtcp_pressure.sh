@@ -1,0 +1,9 @@
+# The paper's GTCP workflow (Fig. 6): 3-D plasma field -> Select the
+# perpendicular pressure -> two Dim-Reduces -> Histogram over the toroid.
+# Run with: build/examples/smartblock_run examples/workflows/gtcp_pressure.sh
+aprun -n 4 gtcp slices=8 gridpoints=4096 steps=4 &
+aprun -n 2 select gtcp.fp field3d 2 psel.fp pp perpendicular_pressure &
+aprun -n 2 dim-reduce psel.fp pp 2 1 pflat1.fp pp1 &
+aprun -n 2 dim-reduce pflat1.fp pp1 0 1 pflat2.fp pp2 &
+aprun -n 1 histogram pflat2.fp pp2 16 gtcp_pressures.txt &
+wait

@@ -1,0 +1,8 @@
+# The paper's Fig. 8 launch script, scaled to one node: LAMMPS crack
+# simulation -> Select(vx,vy,vz) -> Magnitude -> Histogram of speeds.
+# Run with: build/examples/smartblock_run examples/workflows/lammps_crack.sh
+aprun -n 2 histogram velos.fp velocities 16 lammps_speeds.txt &
+aprun -n 2 magnitude lmpselect.fp lmpsel velos.fp velocities &
+aprun -n 2 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+aprun -n 4 lammps rows=48 cols=48 steps=4 substeps=10 &
+wait

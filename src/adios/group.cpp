@@ -1,0 +1,113 @@
+#include "adios/group.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "adios/xml.hpp"
+
+namespace sb::adios {
+
+DataKind parse_type_name(const std::string& t) {
+    if (t == "double" || t == "real*8") return DataKind::Float64;
+    if (t == "float" || t == "real" || t == "real*4") return DataKind::Float32;
+    if (t == "integer" || t == "int" || t == "integer*4") return DataKind::Int32;
+    if (t == "long" || t == "integer*8") return DataKind::Int64;
+    if (t == "unsigned long" || t == "unsigned_long") return DataKind::UInt64;
+    if (t == "byte") return DataKind::Byte;
+    if (t == "string") return DataKind::String;
+    throw std::runtime_error("adios: unknown type name '" + t + "'");
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(',', start);
+        if (end == std::string::npos) end = s.size();
+        std::string tok = s.substr(start, end - start);
+        // trim
+        while (!tok.empty() && std::isspace(static_cast<unsigned char>(tok.front()))) {
+            tok.erase(tok.begin());
+        }
+        while (!tok.empty() && std::isspace(static_cast<unsigned char>(tok.back()))) {
+            tok.pop_back();
+        }
+        if (!tok.empty()) out.push_back(std::move(tok));
+        if (end == s.size()) break;
+        start = end + 1;
+    }
+    return out;
+}
+
+const VarSpec* GroupDef::find(const std::string& var_name) const noexcept {
+    for (const auto& v : vars) {
+        if (v.name == var_name) return &v;
+    }
+    return nullptr;
+}
+
+namespace {
+
+GroupDef group_from_node(const XmlNode& g) {
+    GroupDef def;
+    def.name = g.attr("name");
+    for (const XmlNode* v : g.children_named("var")) {
+        VarSpec spec;
+        spec.name = v->attr("name");
+        spec.kind = parse_type_name(v->attr_or("type", "double"));
+        spec.dimensions = split_csv(v->attr_or("dimensions", ""));
+        def.vars.push_back(std::move(spec));
+    }
+    for (const XmlNode* a : g.children_named("attribute")) {
+        def.attributes[a->attr("name")] = split_csv(a->attr("value"));
+    }
+    return def;
+}
+
+GroupDef parse_config(const std::string& xml_text,
+                      const std::optional<std::string>& group) {
+    const XmlNode root = parse_xml(xml_text);
+    if (root.name != "adios-config") {
+        throw std::runtime_error("adios: root element must be <adios-config>, got <" +
+                                 root.name + ">");
+    }
+    const XmlNode* chosen = nullptr;
+    for (const XmlNode* g : root.children_named("adios-group")) {
+        if (!group || g->attr("name") == *group) {
+            chosen = g;
+            break;
+        }
+    }
+    if (!chosen) {
+        throw std::runtime_error("adios: config has no matching <adios-group>");
+    }
+    GroupDef def = group_from_node(*chosen);
+    for (const XmlNode* t : root.children_named("transport")) {
+        if (t->attr_or("group", def.name) == def.name) {
+            def.transport = t->attr_or("method", "FLEXPATH");
+        }
+    }
+    return def;
+}
+
+}  // namespace
+
+GroupDef GroupDef::from_xml(const std::string& xml_text) {
+    return parse_config(xml_text, std::nullopt);
+}
+
+GroupDef GroupDef::from_xml(const std::string& xml_text, const std::string& group) {
+    return parse_config(xml_text, group);
+}
+
+GroupDef GroupDef::from_xml_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("adios: cannot open config file '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return from_xml(ss.str());
+}
+
+}  // namespace sb::adios

@@ -1,0 +1,75 @@
+// ADIOS group definitions: the schema a simulation declares for its output.
+//
+// A group lists variables with their element type and *named* dimensions
+// ("natoms,nquant"); the dimension names are themselves scalar variables
+// whose values the writer supplies each step.  Those names double as the
+// paper's "consistent labeling of dimensions" (design guideline 2): they
+// travel downstream as the dim_labels of every array variable.  Static
+// string attributes (e.g. the Select header naming the quantities of a
+// dimension) can be declared here too and are attached to every step.
+//
+// Groups are built programmatically or parsed from the ADIOS-style XML file
+// the paper describes (~25 lines per simulation):
+//
+//   <adios-config>
+//     <adios-group name="particles">
+//       <var name="natoms" type="unsigned long"/>
+//       <var name="nquant" type="unsigned long"/>
+//       <var name="atoms"  type="double" dimensions="natoms,nquant"/>
+//       <attribute name="atoms.header.1" value="ID,Type,vx,vy,vz"/>
+//     </adios-group>
+//     <transport group="particles" method="FLEXPATH"/>
+//   </adios-config>
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ffs/type.hpp"
+
+namespace sb::adios {
+
+using DataKind = ffs::Kind;
+
+/// Parses an ADIOS XML type name ("double", "float", "integer", "long",
+/// "unsigned long", "byte", "string").
+DataKind parse_type_name(const std::string& t);
+
+struct VarSpec {
+    std::string name;
+    DataKind kind = DataKind::Float64;
+    /// Dimension names for arrays; empty for scalars.  Each entry is either
+    /// the name of a scalar variable (resolved per step via set_dimension)
+    /// or a decimal literal for a fixed extent.
+    std::vector<std::string> dimensions;
+
+    bool is_scalar() const noexcept { return dimensions.empty(); }
+};
+
+struct GroupDef {
+    std::string name;
+    std::vector<VarSpec> vars;
+    /// Static attributes attached to every step; comma-separated values in
+    /// the XML become string lists.
+    std::map<std::string, std::vector<std::string>> attributes;
+    /// Transport method (informational; this build always uses FlexPath).
+    std::string transport = "FLEXPATH";
+
+    const VarSpec* find(const std::string& var_name) const noexcept;
+
+    /// Parses the first <adios-group> of an <adios-config> document.
+    static GroupDef from_xml(const std::string& xml_text);
+    static GroupDef from_xml_file(const std::string& path);
+
+    /// Parses a specific group by name from a config with several groups
+    /// (the "write groups" of paper §VI used by the Fork component).
+    static GroupDef from_xml(const std::string& xml_text, const std::string& group);
+};
+
+/// Splits "a,b,c" into {"a","b","c"}, trimming whitespace.
+std::vector<std::string> split_csv(const std::string& s);
+
+}  // namespace sb::adios

@@ -1,0 +1,52 @@
+#include "adios/reader.hpp"
+
+namespace sb::adios {
+
+Reader::Reader(flexpath::Fabric& fabric, const std::string& stream_name, int rank,
+               int nranks)
+    : port_(fabric, stream_name, rank, nranks) {}
+
+bool Reader::begin_step() { return port_.begin_step(); }
+
+std::vector<std::string> Reader::variable_names() const {
+    std::vector<std::string> out;
+    out.reserve(port_.meta().vars.size());
+    for (const auto& [name, decl] : port_.meta().vars) out.push_back(name);
+    return out;
+}
+
+bool Reader::has_var(const std::string& name) const {
+    return port_.meta().vars.count(name) != 0;
+}
+
+VarInfo Reader::inq_var(const std::string& name) const {
+    const flexpath::VarDecl& d = port_.var(name);
+    return VarInfo{d.name, d.kind, d.global_shape, d.dim_labels};
+}
+
+std::optional<std::vector<std::string>>
+Reader::attribute_strings(const std::string& name) const {
+    const auto& attrs = port_.meta().string_attrs;
+    const auto it = attrs.find(name);
+    if (it == attrs.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<double> Reader::attribute_double(const std::string& name) const {
+    const auto& attrs = port_.meta().double_attrs;
+    const auto it = attrs.find(name);
+    if (it == attrs.end()) return std::nullopt;
+    return it->second;
+}
+
+const std::map<std::string, std::vector<std::string>>& Reader::string_attributes() const {
+    return port_.meta().string_attrs;
+}
+
+const std::map<std::string, double>& Reader::double_attributes() const {
+    return port_.meta().double_attrs;
+}
+
+void Reader::end_step() { port_.end_step(); }
+
+}  // namespace sb::adios

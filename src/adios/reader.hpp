@@ -1,0 +1,81 @@
+// ADIOS-style reader: how components discover and fetch stream data.
+//
+// A reader needs no a-priori schema: each step's metadata is decoded from
+// the stream's self-describing FFS packet, so the component can inquire the
+// variables present, their global shapes, element kinds, dimension labels,
+// and attributes — then schedule bounding-box reads for exactly the portion
+// its rank will process (paper §IV: "ADIOS allows each process involved in
+// the read operation to specify a bounding box").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adios/group.hpp"
+#include "flexpath/reader.hpp"
+
+namespace sb::adios {
+
+/// Everything a component can learn about a variable from the stream alone.
+struct VarInfo {
+    std::string name;
+    DataKind kind = DataKind::Float64;
+    util::NdShape shape;
+    std::vector<std::string> dim_labels;
+};
+
+class Reader {
+public:
+    Reader(flexpath::Fabric& fabric, const std::string& stream_name, int rank,
+           int nranks);
+
+    /// Blocks until the next step arrives; false at end of stream.
+    bool begin_step();
+
+    /// Index of the current step.
+    std::uint64_t step() const { return port_.current_step(); }
+
+    /// Names of all array and scalar variables in the current step.
+    std::vector<std::string> variable_names() const;
+
+    /// Metadata for one variable; throws if absent.
+    VarInfo inq_var(const std::string& name) const;
+
+    /// True if the step carries the named variable.
+    bool has_var(const std::string& name) const;
+
+    /// Scalar variable value (e.g. a named dimension published by the writer).
+    template <typename T>
+    T read_scalar(const std::string& name) const {
+        auto v = port_.read<T>(name, util::Box{});
+        return v.at(0);
+    }
+
+    /// Bounding-box read; returns box.volume() elements row-major.
+    template <typename T>
+    std::vector<T> read(const std::string& name, const util::Box& box) const {
+        return port_.read<T>(name, box);
+    }
+
+    void read_bytes(const std::string& name, const util::Box& box,
+                    std::span<std::byte> dest) const {
+        port_.read_bytes(name, box, dest);
+    }
+
+    /// String-list attribute, or nullopt when the step doesn't carry it.
+    std::optional<std::vector<std::string>> attribute_strings(const std::string& name) const;
+    std::optional<double> attribute_double(const std::string& name) const;
+
+    /// All attributes of the current step (for propagation by components).
+    const std::map<std::string, std::vector<std::string>>& string_attributes() const;
+    const std::map<std::string, double>& double_attributes() const;
+
+    void end_step();
+
+private:
+    flexpath::ReaderPort port_;
+};
+
+}  // namespace sb::adios

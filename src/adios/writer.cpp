@@ -1,0 +1,103 @@
+#include "adios/writer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace sb::adios {
+
+Writer::Writer(flexpath::Fabric& fabric, const std::string& stream_name,
+               GroupDef group, int rank, int nranks,
+               const flexpath::StreamOptions& opts)
+    : group_(std::move(group)), port_(fabric, stream_name, rank, nranks, opts),
+      rank_(rank) {}
+
+void Writer::begin_step() {
+    if (in_step_) throw std::logic_error("adios::Writer: begin_step twice");
+    in_step_ = true;
+    dims_.clear();
+    // Static group attributes ride on every step (rank 0 is enough, but all
+    // ranks agreeing is also fine — the stream verifies consistency).
+    if (rank_ == 0) {
+        for (const auto& [name, values] : group_.attributes) {
+            port_.put_attr(name, values);
+        }
+    }
+}
+
+void Writer::set_dimension(const std::string& name, std::uint64_t value) {
+    if (!in_step_) throw std::logic_error("adios::Writer: set_dimension outside a step");
+    const VarSpec* spec = group_.find(name);
+    if (!spec || !spec->is_scalar()) {
+        throw std::logic_error("adios::Writer: dimension '" + name +
+                               "' is not a scalar variable of group '" + group_.name + "'");
+    }
+    const auto [it, inserted] = dims_.emplace(name, value);
+    if (!inserted && it->second != value) {
+        throw std::logic_error("adios::Writer: conflicting values for dimension '" +
+                               name + "'");
+    }
+    if (rank_ == 0 && inserted) {
+        flexpath::VarDecl decl;
+        decl.name = name;
+        decl.kind = DataKind::UInt64;
+        decl.global_shape = util::NdShape{};
+        port_.declare(decl);
+        port_.put<std::uint64_t>(name, util::Box{},
+                                 std::span<const std::uint64_t>(&value, 1));
+    }
+}
+
+util::NdShape Writer::resolve_shape(const VarSpec& spec) const {
+    std::vector<std::uint64_t> dims;
+    dims.reserve(spec.dimensions.size());
+    for (const std::string& d : spec.dimensions) {
+        if (!d.empty() && std::isdigit(static_cast<unsigned char>(d[0]))) {
+            dims.push_back(std::stoull(d));
+            continue;
+        }
+        const auto it = dims_.find(d);
+        if (it == dims_.end()) {
+            throw std::logic_error("adios::Writer: dimension '" + d +
+                                   "' not set this step (call set_dimension)");
+        }
+        dims.push_back(it->second);
+    }
+    return util::NdShape(std::move(dims));
+}
+
+void Writer::write_raw(const std::string& var, const util::Box& box,
+                       std::shared_ptr<const std::vector<std::byte>> data) {
+    if (!in_step_) throw std::logic_error("adios::Writer: write outside a step");
+    const VarSpec* spec = group_.find(var);
+    if (!spec) {
+        throw std::logic_error("adios::Writer: variable '" + var +
+                               "' not declared in group '" + group_.name + "'");
+    }
+    flexpath::VarDecl decl;
+    decl.name = var;
+    decl.kind = spec->kind;
+    decl.global_shape = resolve_shape(*spec);
+    decl.dim_labels = spec->dimensions;
+    port_.declare(decl);
+    port_.put(var, box, std::move(data));
+}
+
+void Writer::write_attribute(const std::string& name, std::vector<std::string> values) {
+    if (!in_step_) throw std::logic_error("adios::Writer: attribute outside a step");
+    port_.put_attr(name, std::move(values));
+}
+
+void Writer::write_attribute(const std::string& name, double value) {
+    if (!in_step_) throw std::logic_error("adios::Writer: attribute outside a step");
+    port_.put_attr(name, value);
+}
+
+void Writer::end_step() {
+    if (!in_step_) throw std::logic_error("adios::Writer: end_step without begin_step");
+    in_step_ = false;
+    port_.end_step();
+}
+
+void Writer::close() { port_.close(); }
+
+}  // namespace sb::adios

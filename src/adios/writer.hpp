@@ -1,0 +1,72 @@
+// ADIOS-style writer: the interface simulations use to drive a workflow.
+//
+// Per step the writer resolves each array variable's named dimensions
+// against the scalar dimension values supplied via set_dimension(), declares
+// the variable on the FlexPath stream with the dimension names as labels,
+// and forwards the group's static attributes.  The ~70-line modification the
+// paper describes for LAMMPS/GTCP/GROMACS is exactly a loop over
+// begin_step / set_dimension / write / end_step.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "adios/group.hpp"
+#include "flexpath/writer.hpp"
+
+namespace sb::adios {
+
+class Writer {
+public:
+    Writer(flexpath::Fabric& fabric, const std::string& stream_name, GroupDef group,
+           int rank, int nranks, const flexpath::StreamOptions& opts = {});
+
+    /// Starts a step.  Dimension values are cleared and must be set again
+    /// (they may change between steps, e.g. a growing particle count).
+    void begin_step();
+
+    /// Supplies the value of a named dimension for this step.  Also
+    /// publishes it as a scalar variable from rank 0, so readers can
+    /// inquire it like any ADIOS scalar.
+    void set_dimension(const std::string& name, std::uint64_t value);
+
+    /// Writes this rank's hyperslab of an array variable declared in the
+    /// group.  `box` is in global coordinates; `data` holds box.volume()
+    /// elements row-major.
+    template <typename T>
+    void write(const std::string& var, std::span<const T> data, const util::Box& box) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        auto buf = std::make_shared<std::vector<std::byte>>(data.size_bytes());
+        std::memcpy(buf->data(), data.data(), data.size_bytes());
+        write_raw(var, box, std::move(buf));
+    }
+
+    /// Zero-copy variant.
+    void write_raw(const std::string& var, const util::Box& box,
+                   std::shared_ptr<const std::vector<std::byte>> data);
+
+    /// Per-step string-list attribute (overrides a static group attribute
+    /// of the same name).
+    void write_attribute(const std::string& name, std::vector<std::string> values);
+    void write_attribute(const std::string& name, double value);
+
+    void end_step();
+    void close();
+
+    const GroupDef& group() const noexcept { return group_; }
+    std::uint64_t steps_written() const noexcept { return port_.steps_written(); }
+
+private:
+    util::NdShape resolve_shape(const VarSpec& spec) const;
+
+    GroupDef group_;
+    flexpath::WriterPort port_;
+    int rank_;
+    std::map<std::string, std::uint64_t> dims_;
+    bool in_step_ = false;
+};
+
+}  // namespace sb::adios

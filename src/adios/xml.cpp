@@ -1,0 +1,186 @@
+#include "adios/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sb::adios {
+
+const XmlNode* XmlNode::child(const std::string& element) const {
+    for (const auto& c : children) {
+        if (c.name == element) return &c;
+    }
+    return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(const std::string& element) const {
+    std::vector<const XmlNode*> out;
+    for (const auto& c : children) {
+        if (c.name == element) out.push_back(&c);
+    }
+    return out;
+}
+
+const std::string& XmlNode::attr(const std::string& key) const {
+    const auto it = attrs.find(key);
+    if (it == attrs.end()) {
+        throw std::runtime_error("xml: element <" + name + "> missing attribute '" +
+                                 key + "'");
+    }
+    return it->second;
+}
+
+std::string XmlNode::attr_or(const std::string& key, const std::string& dflt) const {
+    const auto it = attrs.find(key);
+    return it == attrs.end() ? dflt : it->second;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    XmlNode parse_document() {
+        skip_misc();
+        XmlNode root = parse_element();
+        skip_misc();
+        if (pos_ != s_.size()) fail("trailing content after root element");
+        return root;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw std::runtime_error("xml: line " + std::to_string(line_) + ": " + msg);
+    }
+
+    bool eof() const { return pos_ >= s_.size(); }
+    char peek() const { return eof() ? '\0' : s_[pos_]; }
+
+    char advance() {
+        if (eof()) fail("unexpected end of input");
+        const char c = s_[pos_++];
+        if (c == '\n') ++line_;
+        return c;
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "', got '" + peek() + "'");
+        advance();
+    }
+
+    void skip_ws() {
+        while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+    }
+
+    bool consume_literal(const std::string& lit) {
+        if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+        for (std::size_t i = 0; i < lit.size(); ++i) advance();
+        return true;
+    }
+
+    // Skips whitespace, comments, and <?...?> declarations.
+    void skip_misc() {
+        for (;;) {
+            skip_ws();
+            if (consume_literal("<!--")) {
+                while (!consume_literal("-->")) advance();
+            } else if (consume_literal("<?")) {
+                while (!consume_literal("?>")) advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    std::string parse_name() {
+        std::string out;
+        while (!eof()) {
+            const char c = peek();
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+                c == ':' || c == '.') {
+                out.push_back(advance());
+            } else {
+                break;
+            }
+        }
+        if (out.empty()) fail("expected a name");
+        return out;
+    }
+
+    std::string parse_quoted() {
+        const char q = peek();
+        if (q != '"' && q != '\'') fail("expected a quoted attribute value");
+        advance();
+        std::string out;
+        while (peek() != q) out.push_back(advance());
+        advance();
+        return out;
+    }
+
+    XmlNode parse_element() {
+        expect('<');
+        XmlNode node;
+        node.name = parse_name();
+        for (;;) {
+            skip_ws();
+            if (peek() == '/') {
+                advance();
+                expect('>');
+                return node;  // self-closing
+            }
+            if (peek() == '>') {
+                advance();
+                break;
+            }
+            const std::string key = parse_name();
+            skip_ws();
+            expect('=');
+            skip_ws();
+            if (!node.attrs.emplace(key, parse_quoted()).second) {
+                fail("duplicate attribute '" + key + "'");
+            }
+        }
+        // Content: children and text, until the matching close tag.
+        for (;;) {
+            // Accumulate text up to the next markup.
+            while (!eof() && peek() != '<') node.text.push_back(advance());
+            if (eof()) fail("unterminated element <" + node.name + ">");
+            if (consume_literal("<!--")) {
+                while (!consume_literal("-->")) advance();
+                continue;
+            }
+            if (s_.compare(pos_, 2, "</") == 0) {
+                advance();  // <
+                advance();  // /
+                const std::string close = parse_name();
+                if (close != node.name) {
+                    fail("mismatched close tag </" + close + "> for <" + node.name + ">");
+                }
+                skip_ws();
+                expect('>');
+                return node;
+            }
+            node.children.push_back(parse_element());
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+};
+
+}  // namespace
+
+XmlNode parse_xml(const std::string& text) { return Parser(text).parse_document(); }
+
+XmlNode parse_xml_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("xml: cannot open file '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_xml(ss.str());
+}
+
+}  // namespace sb::adios

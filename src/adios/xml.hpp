@@ -1,0 +1,45 @@
+// Minimal XML parser for ADIOS-style configuration files.
+//
+// ADIOS reads an XML file at run time describing each output group: the
+// variables, their types, and the named dimensions that size the arrays
+// (paper §IV: "ADIOS expects multi-dimensional arrays to be packed linearly,
+// with the variables describing the dimensions specified in an XML
+// configuration file").  This parser supports the subset those files need:
+// nested elements, attributes (single- or double-quoted), self-closing tags,
+// comments, and XML declarations.  Text content is preserved but unused.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sb::adios {
+
+struct XmlNode {
+    std::string name;
+    std::map<std::string, std::string> attrs;
+    std::vector<XmlNode> children;
+    std::string text;
+
+    /// First child with the given element name, or nullptr.
+    const XmlNode* child(const std::string& element) const;
+
+    /// All children with the given element name.
+    std::vector<const XmlNode*> children_named(const std::string& element) const;
+
+    /// Attribute value; throws std::runtime_error when missing.
+    const std::string& attr(const std::string& key) const;
+
+    /// Attribute value or a default.
+    std::string attr_or(const std::string& key, const std::string& dflt) const;
+};
+
+/// Parses a document and returns its root element.
+/// Throws std::runtime_error with a line number on malformed input.
+XmlNode parse_xml(const std::string& text);
+
+/// Reads and parses a file.
+XmlNode parse_xml_file(const std::string& path);
+
+}  // namespace sb::adios

@@ -1,0 +1,77 @@
+#include "core/all_pairs.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+void AllPairs::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(4, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::string out_stream = args.str(2, "output-stream-name");
+    const std::string out_array = args.str(3, "output-array-name");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+    std::optional<adios::Writer> writer;
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        if (info.shape.ndim() != 1) {
+            throw std::runtime_error("all-pairs: '" + in_array + "' must be 1-D, got " +
+                                     info.shape.to_string());
+        }
+        if (info.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("all-pairs: '" + in_array +
+                                     "' must be double-precision");
+        }
+        const std::uint64_t n = info.shape[0];
+
+        // Every rank needs the whole vector; it is tiny next to the output.
+        const std::vector<double> x =
+            reader.read<double>(in_array, util::Box::whole(info.shape));
+
+        const util::NdShape out_shape{n, n};
+        const util::Box out_box = util::partition_along(out_shape, 0, rank, size);
+        std::vector<double> rows(out_box.volume());
+        for (std::uint64_t i = 0; i < out_box.count[0]; ++i) {
+            const double xi = x[out_box.offset[0] + i];
+            for (std::uint64_t j = 0; j < n; ++j) {
+                rows[i * n + j] = std::abs(xi - x[j]);
+            }
+        }
+
+        if (!writer) {
+            const std::string label =
+                info.dim_labels.empty() ? std::string{} : info.dim_labels[0];
+            writer.emplace(ctx.fabric, out_stream,
+                           output_group("all-pairs", out_array, {label, label}), rank,
+                           size, ctx.stream_options);
+        }
+        writer->begin_step();
+        const auto& dim_names = writer->group().find(out_array)->dimensions;
+        writer->set_dimension(dim_names[0], n);
+        writer->set_dimension(dim_names[1], n);
+        propagate_attributes(reader, *writer,
+                             AttrRules{in_array, out_array, {0, 0}, {}});
+        writer->write<double>(out_array, rows, out_box);
+        writer->end_step();
+
+        record_step(ctx, reader.step(), timer.seconds(), x.size() * sizeof(double),
+                    rows.size() * sizeof(double));
+        reader.end_step();
+    }
+    if (!writer) {
+        writer.emplace(ctx.fabric, out_stream, output_group("all-pairs", out_array, {}),
+                       rank, size, ctx.stream_options);
+    }
+    writer->close();
+}
+
+}  // namespace sb::core

@@ -1,0 +1,34 @@
+// The All-Pairs component (paper §VI, future work).
+//
+//   all-pairs input-stream-name input-array-name
+//             output-stream-name output-array-name
+//
+// The SmartBlock components of the paper's evaluation all shrink (or
+// preserve) the data; §VI notes that *data-increasing* analytics such as
+// all-pairs calculations are common and fit the same approach.  This
+// component demonstrates that: from a one-dimensional input of n values it
+// produces the n x n matrix of pairwise absolute differences
+// out[i][j] = |x_i - x_j|.  Each rank computes a slab of rows, reading the
+// full input vector (which is small relative to the output).
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+class AllPairs : public Component {
+public:
+    std::string name() const override { return "all-pairs"; }
+    std::string usage() const override {
+        return "all-pairs input-stream-name input-array-name "
+               "output-stream-name output-array-name";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(4, usage());
+        return Ports{{args.str(0, "input-stream-name")},
+                     {args.str(2, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

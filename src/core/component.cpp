@@ -1,0 +1,177 @@
+#include "core/component.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+namespace sb::core {
+
+double steady_now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void StepStats::record(std::uint64_t step, int rank, double seconds,
+                       std::uint64_t bytes_in, std::uint64_t bytes_out) {
+    const std::lock_guard lock(mu_);
+    samples_.push_back(
+        Sample{step, rank, seconds, bytes_in, bytes_out, steady_now_seconds()});
+}
+
+std::vector<StepStats::Sample> StepStats::samples() const {
+    const std::lock_guard lock(mu_);
+    return samples_;
+}
+
+std::vector<StepStats::StepRow> StepStats::per_step() const {
+    const std::lock_guard lock(mu_);
+    std::map<std::uint64_t, StepRow> rows;
+    for (const Sample& s : samples_) {
+        StepRow& r = rows[s.step];
+        r.step = s.step;
+        r.nranks += 1;
+        r.mean_seconds += s.seconds;  // sum for now; divided below
+        r.max_seconds = std::max(r.max_seconds, s.seconds);
+        r.bytes_in += s.bytes_in;
+        r.bytes_out += s.bytes_out;
+    }
+    std::vector<StepRow> out;
+    out.reserve(rows.size());
+    for (auto& [step, r] : rows) {
+        r.mean_seconds /= static_cast<double>(r.nranks);
+        out.push_back(r);
+    }
+    return out;
+}
+
+double StepStats::mean_step_seconds() const {
+    const std::lock_guard lock(mu_);
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const Sample& s : samples_) sum += s.seconds;
+    return sum / static_cast<double>(samples_.size());
+}
+
+std::uint64_t StepStats::total_bytes_in() const {
+    const std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    for (const Sample& s : samples_) n += s.bytes_in;
+    return n;
+}
+
+std::uint64_t StepStats::total_bytes_out() const {
+    const std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    for (const Sample& s : samples_) n += s.bytes_out;
+    return n;
+}
+
+std::uint64_t StepStats::steps() const {
+    const std::lock_guard lock(mu_);
+    std::uint64_t hi = 0;
+    for (const Sample& s : samples_) hi = std::max(hi, s.step + 1);
+    return hi;
+}
+
+std::string header_attr_key(const std::string& array, std::size_t dim) {
+    return array + ".header." + std::to_string(dim);
+}
+
+namespace {
+
+/// If `key` is a header attribute of `array`, returns its dimension index.
+std::optional<std::size_t> parse_header_dim(const std::string& key,
+                                            const std::string& array) {
+    const std::string prefix = array + ".header.";
+    if (key.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+    const std::string suffix = key.substr(prefix.size());
+    if (suffix.empty() ||
+        !std::all_of(suffix.begin(), suffix.end(),
+                     [](char c) { return std::isdigit(static_cast<unsigned char>(c)); })) {
+        return std::nullopt;
+    }
+    return std::stoull(suffix);
+}
+
+}  // namespace
+
+void propagate_attributes(const adios::Reader& in, adios::Writer& out,
+                          const AttrRules& rules) {
+    const std::string in_prefix = rules.in_array + ".";
+    for (const auto& [key, values] : in.string_attributes()) {
+        if (const auto d = parse_header_dim(key, rules.in_array)) {
+            if (rules.drop_in_dims.count(*d)) continue;
+            if (rules.dim_map.empty()) {
+                out.write_attribute(header_attr_key(rules.out_array, *d), values);
+            } else {
+                for (std::size_t j = 0; j < rules.dim_map.size(); ++j) {
+                    if (rules.dim_map[j] == *d) {
+                        out.write_attribute(header_attr_key(rules.out_array, j), values);
+                    }
+                }
+            }
+        } else if (key.compare(0, in_prefix.size(), in_prefix) == 0) {
+            out.write_attribute(rules.out_array + "." + key.substr(in_prefix.size()),
+                                values);
+        } else {
+            out.write_attribute(key, values);
+        }
+    }
+    for (const auto& [key, value] : in.double_attributes()) {
+        if (key.compare(0, in_prefix.size(), in_prefix) == 0) {
+            out.write_attribute(rules.out_array + "." + key.substr(in_prefix.size()),
+                                value);
+        } else {
+            out.write_attribute(key, value);
+        }
+    }
+}
+
+void record_step(const RunContext& ctx, std::uint64_t step, double seconds,
+                 std::uint64_t bytes_in, std::uint64_t bytes_out) {
+    if (ctx.stats) ctx.stats->record(step, ctx.comm.rank(), seconds, bytes_in, bytes_out);
+}
+
+std::size_t pick_partition_dim(const util::NdShape& shape,
+                               const std::set<std::size_t>& exclude) {
+    std::optional<std::size_t> best;
+    for (std::size_t d = 0; d < shape.ndim(); ++d) {
+        if (exclude.count(d)) continue;
+        if (!best || shape[d] > shape[*best]) best = d;
+    }
+    if (!best) {
+        throw std::invalid_argument("pick_partition_dim: no partitionable dimension in " +
+                                    shape.to_string());
+    }
+    return *best;
+}
+
+adios::GroupDef output_group(const std::string& component,
+                             const std::string& array_name,
+                             const std::vector<std::string>& dim_labels,
+                             adios::DataKind kind) {
+    adios::GroupDef def;
+    def.name = component + "." + array_name;
+
+    // Dimension variable names: the input labels where available and
+    // unique, synthesized otherwise — labels keep their meaning downstream
+    // (design guideline 2) without ever colliding.
+    std::vector<std::string> names;
+    names.reserve(dim_labels.size());
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < dim_labels.size(); ++i) {
+        std::string n = dim_labels[i].empty() ? "d" + std::to_string(i) : dim_labels[i];
+        while (!seen.insert(n).second) n += "_" + std::to_string(i);
+        names.push_back(std::move(n));
+    }
+    for (const std::string& n : names) {
+        def.vars.push_back(adios::VarSpec{n, adios::DataKind::UInt64, {}});
+    }
+    def.vars.push_back(adios::VarSpec{array_name, kind, names});
+    return def;
+}
+
+}  // namespace sb::core

@@ -1,0 +1,170 @@
+// The SmartBlock component framework.
+//
+// A SmartBlock component is, in the paper, a standalone MPI executable
+// configured entirely by positional command-line parameters and connected to
+// its neighbours by named FlexPath streams.  Here a component is a class
+// whose run() receives a RunContext (the stream fabric + this rank's
+// communicator) and the same positional arguments the paper's launch scripts
+// pass (Figs. 1-3, 8).  One instance runs per rank; ranks coordinate through
+// the communicator exactly as the paper's processes do ("for each timestep,
+// these processes communicate to determine how to partition the overall
+// incoming dataset").
+//
+// Design guidelines from paper §III.A are enforced structurally:
+//   1. uniform packaging — every component exports the same interface;
+//   2. any-rank data with labelled dimensions — shapes/labels come from
+//      stream metadata, never from configuration;
+//   3. semantics preserved downstream — helpers propagate attributes and
+//      headers across components that don't use them;
+//   4. explicit re-arrangement — Dim-Reduce does layout changes, nothing
+//      else silently reorders memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adios/reader.hpp"
+#include "adios/writer.hpp"
+#include "mpi/runtime.hpp"
+#include "util/argparse.hpp"
+
+namespace sb::core {
+
+/// Per-component, per-step measurements (Fig. 9 / Fig. 10 need per-component
+/// timestep completion times "averaged over the component's communicator").
+/// One StepStats is shared by all ranks of a component instance.
+class StepStats {
+public:
+    void record(std::uint64_t step, int rank, double seconds, std::uint64_t bytes_in,
+                std::uint64_t bytes_out);
+
+    struct Sample {
+        std::uint64_t step;
+        int rank;
+        double seconds;
+        std::uint64_t bytes_in;
+        std::uint64_t bytes_out;
+        /// Completion instant on the process-wide steady clock (seconds);
+        /// lets the workflow export a timeline (see Workflow::write_trace).
+        double t_end;
+    };
+
+    /// Raw samples, in record order.
+    std::vector<Sample> samples() const;
+
+    struct StepRow {
+        std::uint64_t step = 0;
+        int nranks = 0;           // ranks that reported this step
+        double mean_seconds = 0;  // mean over the communicator
+        double max_seconds = 0;
+        std::uint64_t bytes_in = 0;   // summed over ranks
+        std::uint64_t bytes_out = 0;
+    };
+
+    /// One row per step, aggregated over ranks, ordered by step.
+    std::vector<StepRow> per_step() const;
+
+    /// Mean per-step completion time over all steps and ranks.
+    double mean_step_seconds() const;
+
+    std::uint64_t total_bytes_in() const;
+    std::uint64_t total_bytes_out() const;
+    std::uint64_t steps() const;
+
+private:
+    mutable std::mutex mu_;
+    std::vector<Sample> samples_;
+};
+
+/// Seconds on the process-wide steady clock (the time base of
+/// StepStats::Sample::t_end).
+double steady_now_seconds();
+
+/// Everything a component rank needs to run.
+struct RunContext {
+    flexpath::Fabric& fabric;
+    mpi::Communicator comm;
+    StepStats* stats = nullptr;  // optional measurement sink
+    flexpath::StreamOptions stream_options{};  // applied to output streams
+};
+
+/// The streams a component instance would read and write, derived from its
+/// arguments without running it.  The workflow graph validator (see
+/// core/graph.hpp) builds the dataflow DAG from these.
+struct Ports {
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    /// False when the component cannot statically name its streams (the
+    /// graph validator then treats it as opaque instead of mis-wired).
+    bool known = true;
+};
+
+/// Base class of all SmartBlock components (analytics, sources, endpoints).
+class Component {
+public:
+    virtual ~Component() = default;
+
+    /// The name used in launch scripts ("select", "histogram", "lammps", ...).
+    virtual std::string name() const = 0;
+
+    /// One-line usage string, in the style of the paper's Figs. 1-3.
+    virtual std::string usage() const = 0;
+
+    /// Runs this rank of the component to end of stream.  Called once.
+    virtual void run(RunContext& ctx, const util::ArgList& args) = 0;
+
+    /// Declares the streams run() would open for these arguments.  Throws
+    /// util::ArgError for malformed arguments (same validation as run()).
+    /// The default declares nothing and marks the ports unknown.
+    virtual Ports ports(const util::ArgList& args) const {
+        (void)args;
+        return Ports{{}, {}, false};
+    }
+};
+
+// ---- helpers shared by the generic components ----------------------------
+
+/// Attribute key carrying the names of the quantities along dimension `dim`
+/// of array `array` — the "header" of paper §III.C.
+std::string header_attr_key(const std::string& array, std::size_t dim);
+
+/// Rules for carrying attributes across a component (design guideline 3).
+struct AttrRules {
+    std::string in_array;
+    std::string out_array;
+    /// For each output dimension, the input dimension it came from; empty
+    /// means identity.  Headers are re-keyed through this map.
+    std::vector<std::size_t> dim_map;
+    /// Input dimensions whose headers must not propagate (they were
+    /// consumed or invalidated, e.g. Select's filtered dimension).
+    std::set<std::size_t> drop_in_dims;
+};
+
+/// Copies the current step's attributes from `in` to `out`, renaming
+/// `<in_array>.*` keys to `<out_array>.*` and remapping header dimension
+/// indices per the rules.  Unrelated attributes pass through unchanged.
+void propagate_attributes(const adios::Reader& in, adios::Writer& out,
+                          const AttrRules& rules);
+
+/// Records one step's timing/volume into ctx.stats if present.
+void record_step(const RunContext& ctx, std::uint64_t step, double seconds,
+                 std::uint64_t bytes_in, std::uint64_t bytes_out);
+
+/// Picks the dimension a component should auto-partition: the largest-extent
+/// dimension not in `exclude`.  Throws if every dimension is excluded.
+std::size_t pick_partition_dim(const util::NdShape& shape,
+                               const std::set<std::size_t>& exclude);
+
+/// Builds a single-variable GroupDef for a component's output: the array
+/// plus one scalar dimension variable per label.
+adios::GroupDef output_group(const std::string& component,
+                             const std::string& array_name,
+                             const std::vector<std::string>& dim_labels,
+                             adios::DataKind kind = adios::DataKind::Float64);
+
+}  // namespace sb::core

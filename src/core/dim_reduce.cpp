@@ -1,0 +1,165 @@
+#include "core/dim_reduce.hpp"
+
+#include <cstring>
+#include <optional>
+
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+util::NdShape dim_reduce_shape(const util::NdShape& in_shape, std::size_t remove,
+                               std::size_t grow) {
+    if (remove == grow) {
+        throw std::invalid_argument("dim-reduce: remove and grow dimensions must differ");
+    }
+    if (remove >= in_shape.ndim() || grow >= in_shape.ndim()) {
+        throw std::invalid_argument("dim-reduce: dimension out of range for " +
+                                    in_shape.to_string());
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(in_shape.ndim() - 1);
+    for (std::size_t d = 0; d < in_shape.ndim(); ++d) {
+        if (d == remove) continue;
+        out.push_back(d == grow ? in_shape[d] * in_shape[remove] : in_shape[d]);
+    }
+    return util::NdShape(std::move(out));
+}
+
+void dim_reduce_copy(std::span<const std::byte> src, const util::NdShape& in_shape,
+                     std::size_t remove, std::size_t grow, std::span<std::byte> dst,
+                     std::size_t elem) {
+    const util::NdShape out_shape = dim_reduce_shape(in_shape, remove, grow);
+    if (src.size() < in_shape.volume() * elem || dst.size() < out_shape.volume() * elem) {
+        throw std::invalid_argument("dim_reduce_copy: buffer too small");
+    }
+    const std::size_t nd = in_shape.ndim();
+    if (in_shape.volume() == 0) return;
+
+    // Effective output stride of each *input* dimension: the grown output
+    // index is g*Nr + r, so dim `grow` contributes with stride
+    // out_stride(g') * Nr and dim `remove` with out_stride(g').
+    const std::vector<std::uint64_t> out_strides = out_shape.strides();
+    std::vector<std::uint64_t> eff(nd, 0);
+    {
+        std::size_t j = 0;  // output dimension index
+        std::uint64_t grow_stride = 0;
+        for (std::size_t d = 0; d < nd; ++d) {
+            if (d == remove) continue;
+            if (d == grow) grow_stride = out_strides[j];
+            eff[d] = out_strides[j];
+            ++j;
+        }
+        eff[grow] = grow_stride * in_shape[remove];
+        eff[remove] = grow_stride;
+    }
+
+    // Odometer over the input, copying contiguous runs of the innermost
+    // input dimension when its effective output stride is 1.
+    const bool inner_contig = eff[nd - 1] == 1;
+    const std::uint64_t inner_n = in_shape[nd - 1];
+    std::vector<std::uint64_t> idx(nd, 0);
+    std::uint64_t src_off = 0;  // in elements; src is dense row-major
+    for (;;) {
+        std::uint64_t dst_off = 0;
+        for (std::size_t d = 0; d < nd; ++d) dst_off += idx[d] * eff[d];
+        if (inner_contig) {
+            std::memcpy(dst.data() + dst_off * elem, src.data() + src_off * elem,
+                        inner_n * elem);
+            src_off += inner_n;
+        } else {
+            for (std::uint64_t k = 0; k < inner_n; ++k) {
+                std::memcpy(dst.data() + (dst_off + k * eff[nd - 1]) * elem,
+                            src.data() + (src_off + k) * elem, elem);
+            }
+            src_off += inner_n;
+        }
+        // Advance dims [0, nd-1).
+        std::size_t d = nd - 1;
+        for (;;) {
+            if (d == 0) return;
+            --d;
+            if (++idx[d] < in_shape[d]) break;
+            idx[d] = 0;
+        }
+    }
+}
+
+void DimReduce::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(6, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::size_t remove = args.unsigned_integer(2, "dim-to-remove");
+    const std::size_t grow = args.unsigned_integer(3, "dim-to-grow");
+    const std::string out_stream = args.str(4, "output-stream-name");
+    const std::string out_array = args.str(5, "output-array-name");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+    std::optional<adios::Writer> writer;
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        const util::NdShape& shape = info.shape;
+        const util::NdShape out_shape = dim_reduce_shape(shape, remove, grow);
+
+        // Partition along the grow dimension: a rank's slab then maps to a
+        // contiguous hyperslab of the output (offset scaled by the removed
+        // extent), which keeps the MxN redistribution box-expressible.
+        const util::Box in_box = util::partition_along(shape, grow, rank, size);
+        const std::size_t elem = ffs::kind_size(info.kind);
+        std::vector<std::byte> local(in_box.volume() * elem);
+        reader.read_bytes(in_array, in_box, local);
+
+        const util::NdShape local_shape(in_box.count);
+        auto out_buf = std::make_shared<std::vector<std::byte>>(local.size());
+        dim_reduce_copy(local, local_shape, remove, grow, *out_buf, elem);
+
+        // The grown output dimension's index within the output array.
+        const std::size_t grow_out = grow - (remove < grow ? 1 : 0);
+        util::Box out_box = util::Box::whole(out_shape);
+        out_box.offset[grow_out] = in_box.offset[grow] * shape[remove];
+        out_box.count[grow_out] = in_box.count[grow] * shape[remove];
+
+        // Output dimension labels: the grown dimension keeps its label; the
+        // removed one disappears.
+        std::vector<std::string> labels;
+        std::vector<std::size_t> dim_map;
+        for (std::size_t d = 0; d < shape.ndim(); ++d) {
+            if (d == remove) continue;
+            labels.push_back(d < info.dim_labels.size() ? info.dim_labels[d]
+                                                        : std::string{});
+            dim_map.push_back(d);
+        }
+
+        if (!writer) {
+            writer.emplace(ctx.fabric, out_stream,
+                           output_group("dim-reduce", out_array, labels, info.kind),
+                           rank, size, ctx.stream_options);
+        }
+        writer->begin_step();
+        const auto& dim_names = writer->group().find(out_array)->dimensions;
+        for (std::size_t d = 0; d < out_shape.ndim(); ++d) {
+            writer->set_dimension(dim_names[d], out_shape[d]);
+        }
+        // Headers of both the removed and the grown dimension are
+        // invalidated by the re-arrangement; the rest propagate re-indexed.
+        propagate_attributes(reader, *writer,
+                             AttrRules{in_array, out_array, dim_map, {remove, grow}});
+        writer->write_raw(out_array, out_box, out_buf);
+        writer->end_step();
+
+        record_step(ctx, reader.step(), timer.seconds(), local.size(), out_buf->size());
+        reader.end_step();
+    }
+    if (!writer) {
+        writer.emplace(ctx.fabric, out_stream, output_group("dim-reduce", out_array, {}),
+                       rank, size, ctx.stream_options);
+    }
+    writer->close();
+}
+
+}  // namespace sb::core

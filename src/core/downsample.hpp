@@ -1,0 +1,32 @@
+// The Downsample component.
+//
+//   downsample input-stream-name input-array-name dimension-index stride
+//              output-stream-name output-array-name
+//
+// Keeps every stride-th index (0, stride, 2*stride, ...) of one dimension —
+// the standard data-reduction step when an analysis only needs a coarser
+// sampling of particles, gridpoints, or timvarying quantities.  A header on
+// the sampled dimension, if present, is filtered to the kept rows so
+// name-based selection still works downstream.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+class Downsample : public Component {
+public:
+    std::string name() const override { return "downsample"; }
+    std::string usage() const override {
+        return "downsample input-stream-name input-array-name dimension-index "
+               "stride output-stream-name output-array-name";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        return Ports{{args.str(0, "input-stream-name")},
+                     {args.str(4, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

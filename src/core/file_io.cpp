@@ -1,0 +1,158 @@
+#include "core/file_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "ffs/encode.hpp"
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+std::string step_file_path(const std::string& prefix, std::uint64_t step) {
+    return prefix + "." + std::to_string(step) + ".ffs";
+}
+
+void FileWriter::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(3, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::string prefix = args.str(2, "output-path-prefix");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        // Partition along dim 0: the rank-ordered slabs of a row-major
+        // array concatenate back into the full array on rank 0.
+        const util::Box box = util::partition_along(info.shape, 0, rank, size);
+        const std::size_t elem = ffs::kind_size(info.kind);
+        std::vector<std::byte> local(box.volume() * elem);
+        reader.read_bytes(in_array, box, local);
+
+        const auto gathered = ctx.comm.allgatherv<std::byte>(local);
+
+        if (rank == 0) {
+            std::vector<std::byte> full;
+            full.reserve(info.shape.volume() * elem);
+            for (const auto& part : gathered) {
+                full.insert(full.end(), part.begin(), part.end());
+            }
+
+            ffs::Record rec(ffs::TypeDescriptor{"smartblock.file_step", {}});
+            rec.add_scalar<std::uint64_t>("step", reader.step());
+            rec.add_strings("labels", info.dim_labels);
+            rec.add_raw("data", info.kind, info.shape.dims(), std::move(full));
+            std::vector<std::string> sattr_names;
+            for (const auto& [k, v] : reader.string_attributes()) {
+                sattr_names.push_back(k);
+                rec.add_strings("attr.s." + k, v);
+            }
+            rec.add_strings("sattrs", std::move(sattr_names));
+            std::vector<std::string> dattr_names;
+            for (const auto& [k, v] : reader.double_attributes()) {
+                dattr_names.push_back(k);
+                rec.add_scalar<double>("attr.d." + k, v);
+            }
+            rec.add_strings("dattrs", std::move(dattr_names));
+
+            const ffs::Bytes packet = ffs::encode(rec);
+            const std::string path = step_file_path(prefix, reader.step());
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            if (!out) throw std::runtime_error("file-writer: cannot write '" + path + "'");
+            out.write(reinterpret_cast<const char*>(packet.data()),
+                      static_cast<std::streamsize>(packet.size()));
+        }
+
+        record_step(ctx, reader.step(), timer.seconds(), local.size(),
+                    rank == 0 ? info.shape.volume() * elem : 0);
+        reader.end_step();
+    }
+}
+
+void FileReader::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(3, usage());
+    const std::string prefix = args.str(0, "input-path-prefix");
+    const std::string out_stream = args.str(1, "output-stream-name");
+    const std::string out_array = args.str(2, "output-array-name");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    std::optional<adios::Writer> writer;
+
+    for (std::uint64_t step = 0;; ++step) {
+        // Rank 0 decides whether the next packet exists; all ranks agree.
+        int exists = 0;
+        if (rank == 0) {
+            exists = std::filesystem::exists(step_file_path(prefix, step)) ? 1 : 0;
+        }
+        exists = ctx.comm.bcast<int>(0, exists);
+        if (!exists) break;
+
+        util::WallTimer timer;
+        const std::string path = step_file_path(prefix, step);
+        std::ifstream in(path, std::ios::binary);
+        if (!in) throw std::runtime_error("file-reader: cannot open '" + path + "'");
+        const std::string packet((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+        const ffs::Record rec = ffs::decode(std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(packet.data()), packet.size()));
+
+        const ffs::FieldDesc* data_field = rec.descriptor().find("data");
+        if (!data_field) {
+            throw std::runtime_error("file-reader: packet '" + path +
+                                     "' has no 'data' field");
+        }
+        const util::NdShape shape(data_field->shape);
+        if (shape.ndim() == 0) {
+            throw std::runtime_error("file-reader: packet '" + path +
+                                     "' carries a scalar, expected an array");
+        }
+        const ffs::Kind kind = data_field->kind;
+        const std::vector<std::string> labels = rec.get_strings("labels");
+        const std::size_t elem = ffs::kind_size(kind);
+
+        if (!writer) {
+            writer.emplace(ctx.fabric, out_stream,
+                           output_group("file-reader", out_array, labels, kind), rank,
+                           size, ctx.stream_options);
+        }
+        writer->begin_step();
+        const auto& dim_names = writer->group().find(out_array)->dimensions;
+        for (std::size_t d = 0; d < shape.ndim(); ++d) {
+            writer->set_dimension(dim_names[d], shape[d]);
+        }
+        for (const std::string& k : rec.get_strings("sattrs")) {
+            writer->write_attribute(k, rec.get_strings("attr.s." + k));
+        }
+        for (const std::string& k : rec.get_strings("dattrs")) {
+            writer->write_attribute(k, rec.get_scalar<double>("attr.d." + k));
+        }
+
+        // Each rank republishes its dim-0 slab (contiguous in the packet).
+        const util::Box box = util::partition_along(shape, 0, rank, size);
+        const std::uint64_t row_elems =
+            shape[0] == 0 ? 0 : shape.volume() / shape[0];
+        const std::span<const std::byte> data = rec.raw_bytes("data");
+        auto slab = std::make_shared<std::vector<std::byte>>(
+            data.begin() + static_cast<std::ptrdiff_t>(box.offset[0] * row_elems * elem),
+            data.begin() +
+                static_cast<std::ptrdiff_t>((box.offset[0] + box.count[0]) * row_elems * elem));
+        writer->write_raw(out_array, box, std::move(slab));
+        writer->end_step();
+
+        record_step(ctx, step, timer.seconds(), packet.size(), box.volume() * elem);
+    }
+    if (!writer) {
+        writer.emplace(ctx.fabric, out_stream,
+                       output_group("file-reader", out_array, {}), rank, size,
+                       ctx.stream_options);
+    }
+    writer->close();
+}
+
+}  // namespace sb::core

@@ -1,0 +1,50 @@
+// File endpoint components (paper §VI, future work).
+//
+// "Introducing new components that write and read from storage as part of a
+// workflow can break [the all-components-simultaneous] dependency": these
+// two components decouple a workflow in time.  FileWriter drains a stream
+// to disk — one self-describing FFS packet per timestep — and FileReader
+// replays such a packet sequence as a live stream later, with the original
+// shapes, labels, and attributes intact.
+//
+//   file-writer input-stream-name input-array-name output-path-prefix
+//   file-reader input-path-prefix output-stream-name output-array-name
+//
+// Files are named "<prefix>.<step>.ffs"; the reader replays steps 0,1,2,...
+// until the next file is missing.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+class FileWriter : public Component {
+public:
+    std::string name() const override { return "file-writer"; }
+    std::string usage() const override {
+        return "file-writer input-stream-name input-array-name output-path-prefix";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(3, usage());
+        return Ports{{args.str(0, "input-stream-name")}, {}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+class FileReader : public Component {
+public:
+    std::string name() const override { return "file-reader"; }
+    std::string usage() const override {
+        return "file-reader input-path-prefix output-stream-name output-array-name";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(3, usage());
+        return Ports{{}, {args.str(1, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+/// Path of a step's packet file.
+std::string step_file_path(const std::string& prefix, std::uint64_t step);
+
+}  // namespace sb::core

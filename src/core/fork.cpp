@@ -1,0 +1,73 @@
+#include "core/fork.hpp"
+
+#include <memory>
+
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+void Fork::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(4, usage());
+    if (args.size() % 2 != 0) {
+        throw util::ArgError("fork: outputs must come in stream/array pairs\nusage: " +
+                             usage());
+    }
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    struct Output {
+        std::string stream;
+        std::string array;
+        std::unique_ptr<adios::Writer> writer;
+    };
+    std::vector<Output> outputs;
+    for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+        outputs.push_back(Output{args.str(i, "output-stream"),
+                                 args.str(i + 1, "output-array"), nullptr});
+    }
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        const std::size_t pdim = pick_partition_dim(info.shape, {});
+        const util::Box box = util::partition_along(info.shape, pdim, rank, size);
+        const std::size_t elem = ffs::kind_size(info.kind);
+        auto buf = std::make_shared<std::vector<std::byte>>(box.volume() * elem);
+        reader.read_bytes(in_array, box, *buf);
+
+        for (Output& o : outputs) {
+            if (!o.writer) {
+                o.writer = std::make_unique<adios::Writer>(
+                    ctx.fabric, o.stream,
+                    output_group("fork", o.array, info.dim_labels, info.kind), rank,
+                    size, ctx.stream_options);
+            }
+            o.writer->begin_step();
+            const auto& dim_names = o.writer->group().find(o.array)->dimensions;
+            for (std::size_t d = 0; d < info.shape.ndim(); ++d) {
+                o.writer->set_dimension(dim_names[d], info.shape[d]);
+            }
+            propagate_attributes(reader, *o.writer, AttrRules{in_array, o.array, {}, {}});
+            o.writer->write_raw(o.array, box, buf);  // shared, zero-copy fan-out
+            o.writer->end_step();
+        }
+
+        record_step(ctx, reader.step(), timer.seconds(), buf->size(),
+                    buf->size() * outputs.size());
+        reader.end_step();
+    }
+    for (Output& o : outputs) {
+        if (!o.writer) {
+            o.writer = std::make_unique<adios::Writer>(
+                ctx.fabric, o.stream, output_group("fork", o.array, {}), rank, size,
+                ctx.stream_options);
+        }
+        o.writer->close();
+    }
+}
+
+}  // namespace sb::core

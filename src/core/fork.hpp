@@ -1,0 +1,35 @@
+// The Fork component (paper §VI, future work).
+//
+//   fork input-stream-name input-array-name
+//        output-stream-1 output-array-1 [output-stream-2 output-array-2 ...]
+//
+// Re-publishes one input stream onto any number of output streams, turning
+// a linear pipeline into a directed acyclic graph: different analysis
+// branches can consume the same data independently (each downstream branch
+// has its own buffering and backpressure).  Dimension labels, headers, and
+// attributes propagate to every branch unchanged.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+class Fork : public Component {
+public:
+    std::string name() const override { return "fork"; }
+    std::string usage() const override {
+        return "fork input-stream-name input-array-name "
+               "output-stream-1 output-array-1 [output-stream-2 output-array-2 ...]";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(4, usage());
+        Ports p{{args.str(0, "input-stream-name")}, {}};
+        for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+            p.outputs.push_back(args.str(i, "output-stream"));
+        }
+        return p;
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,191 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/registry.hpp"
+
+namespace sb::core {
+
+const char* graph_issue_kind_name(GraphIssue::Kind k) {
+    switch (k) {
+        case GraphIssue::Kind::DanglingInput: return "dangling-input";
+        case GraphIssue::Kind::UnconsumedOutput: return "unconsumed-output";
+        case GraphIssue::Kind::MultipleWriters: return "multiple-writers";
+        case GraphIssue::Kind::MultipleReaders: return "multiple-readers";
+        case GraphIssue::Kind::Cycle: return "cycle";
+        case GraphIssue::Kind::BadArguments: return "bad-arguments";
+    }
+    return "?";
+}
+
+std::vector<GraphNode> resolve_graph(const std::vector<LaunchEntry>& entries) {
+    std::vector<GraphNode> nodes;
+    nodes.reserve(entries.size());
+    for (const LaunchEntry& e : entries) {
+        GraphNode n;
+        n.entry = e;
+        const auto component = make_component(e.component);  // throws if unknown
+        try {
+            n.ports = component->ports(util::ArgList(e.args));
+        } catch (const util::ArgError&) {
+            n.ports = Ports{{}, {}, false};
+        }
+        nodes.push_back(std::move(n));
+    }
+    return nodes;
+}
+
+namespace {
+
+std::string describe(const GraphNode& n, std::size_t index) {
+    return "#" + std::to_string(index + 1) + " " + n.entry.component;
+}
+
+}  // namespace
+
+std::vector<GraphIssue> validate_graph(const std::vector<LaunchEntry>& entries) {
+    std::vector<GraphIssue> fatal, warnings;
+
+    // Resolve ports, capturing argument errors as issues.
+    std::vector<GraphNode> nodes;
+    nodes.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        GraphNode n;
+        n.entry = entries[i];
+        const auto component = make_component(entries[i].component);
+        try {
+            n.ports = component->ports(util::ArgList(entries[i].args));
+        } catch (const util::ArgError& err) {
+            n.ports = Ports{{}, {}, false};
+            fatal.push_back(GraphIssue{GraphIssue::Kind::BadArguments, true,
+                                       describe(n, i) + ": " + err.what()});
+        }
+        nodes.push_back(std::move(n));
+    }
+
+    // Stream usage maps (only over nodes with known ports).
+    std::map<std::string, std::vector<std::size_t>> writers, readers;
+    bool any_unknown = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!nodes[i].ports.known) {
+            any_unknown = true;
+            continue;
+        }
+        for (const auto& s : nodes[i].ports.outputs) writers[s].push_back(i);
+        for (const auto& s : nodes[i].ports.inputs) readers[s].push_back(i);
+    }
+
+    for (const auto& [stream, who] : writers) {
+        if (who.size() > 1) {
+            std::string names;
+            for (const auto i : who) names += (names.empty() ? "" : ", ") + describe(nodes[i], i);
+            fatal.push_back(GraphIssue{GraphIssue::Kind::MultipleWriters, true,
+                                       "stream '" + stream + "' written by " + names});
+        }
+    }
+    for (const auto& [stream, who] : readers) {
+        if (who.size() > 1) {
+            std::string names;
+            for (const auto i : who) names += (names.empty() ? "" : ", ") + describe(nodes[i], i);
+            fatal.push_back(GraphIssue{GraphIssue::Kind::MultipleReaders, true,
+                                       "stream '" + stream + "' read by " + names});
+        }
+        if (!writers.count(stream) && !any_unknown) {
+            fatal.push_back(GraphIssue{
+                GraphIssue::Kind::DanglingInput, true,
+                "stream '" + stream + "' is read by " + describe(nodes[who[0]], who[0]) +
+                    " but nothing writes it (the reader would block forever)"});
+        }
+    }
+    for (const auto& [stream, who] : writers) {
+        if (!readers.count(stream) && !any_unknown) {
+            warnings.push_back(GraphIssue{
+                GraphIssue::Kind::UnconsumedOutput, false,
+                "stream '" + stream + "' is written by " + describe(nodes[who[0]], who[0]) +
+                    " but nothing reads it (the writer stalls once its buffer fills)"});
+        }
+    }
+
+    // Cycle detection over component nodes (edge: writer -> reader).
+    std::vector<std::vector<std::size_t>> adj(nodes.size());
+    for (const auto& [stream, rs] : readers) {
+        const auto wit = writers.find(stream);
+        if (wit == writers.end()) continue;
+        for (const auto w : wit->second) {
+            for (const auto r : rs) adj[w].push_back(r);
+        }
+    }
+    std::vector<int> state(nodes.size(), 0);  // 0=unvisited 1=in-stack 2=done
+    std::vector<std::size_t> stack;
+    const std::function<bool(std::size_t)> dfs = [&](std::size_t v) -> bool {
+        state[v] = 1;
+        stack.push_back(v);
+        for (const std::size_t w : adj[v]) {
+            if (state[w] == 1) {
+                std::string path;
+                for (auto it = std::find(stack.begin(), stack.end(), w);
+                     it != stack.end(); ++it) {
+                    path += describe(nodes[*it], *it) + " -> ";
+                }
+                fatal.push_back(GraphIssue{GraphIssue::Kind::Cycle, true,
+                                           "dependency cycle: " + path +
+                                               describe(nodes[w], w)});
+                return true;
+            }
+            if (state[w] == 0 && dfs(w)) return true;
+        }
+        stack.pop_back();
+        state[v] = 2;
+        return false;
+    };
+    for (std::size_t v = 0; v < nodes.size(); ++v) {
+        if (state[v] == 0 && dfs(v)) break;  // one cycle report is enough
+    }
+
+    fatal.insert(fatal.end(), warnings.begin(), warnings.end());
+    return fatal;
+}
+
+bool graph_is_runnable(const std::vector<GraphIssue>& issues) {
+    for (const auto& i : issues) {
+        if (i.fatal) return false;
+    }
+    return true;
+}
+
+std::string graph_to_dot(const std::vector<LaunchEntry>& entries) {
+    const std::vector<GraphNode> nodes = resolve_graph(entries);
+    std::ostringstream os;
+    os << "digraph smartblock {\n  rankdir=LR;\n  node [shape=box];\n";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        os << "  n" << i << " [label=\"" << nodes[i].entry.component << " x"
+           << nodes[i].entry.nprocs << "\"];\n";
+    }
+    // Edges via stream names.
+    std::map<std::string, std::vector<std::size_t>> writers;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (const auto& s : nodes[i].ports.outputs) writers[s].push_back(i);
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (const auto& s : nodes[i].ports.inputs) {
+            const auto wit = writers.find(s);
+            if (wit == writers.end()) {
+                os << "  s" << i << "_missing [label=\"" << s
+                   << "?\", shape=ellipse, style=dashed];\n";
+                os << "  s" << i << "_missing -> n" << i << ";\n";
+                continue;
+            }
+            for (const auto w : wit->second) {
+                os << "  n" << w << " -> n" << i << " [label=\"" << s << "\"];\n";
+            }
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace sb::core

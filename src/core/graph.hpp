@@ -1,0 +1,66 @@
+// Workflow graph analysis (paper §VI: toward "a true Workflow Management
+// System").
+//
+// In the paper, workflows are wired by hand-matching stream names across
+// launch-script lines; a typo means a component blocks forever waiting for
+// a stream nobody writes.  This module builds the dataflow graph from the
+// components' declared ports (Component::ports) *before* anything launches
+// and reports:
+//
+//   - DanglingInput     a stream read but never written (would block forever)
+//   - UnconsumedOutput  a stream written but never read (writer stalls once
+//                       its buffer fills) — a warning, not an error
+//   - MultipleWriters   two component instances writing one stream (the
+//                       transport supports exactly one writer group)
+//   - MultipleReaders   two component instances reading one stream (ditto)
+//   - Cycle             a dependency cycle (in situ pipelines must be DAGs)
+//   - BadArguments      a component rejected its arguments outright
+//
+// A Graphviz rendering of the graph is available for documentation and
+// debugging (`smartblock_run --dot`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/launch_script.hpp"
+
+namespace sb::core {
+
+struct GraphIssue {
+    enum class Kind {
+        DanglingInput,
+        UnconsumedOutput,
+        MultipleWriters,
+        MultipleReaders,
+        Cycle,
+        BadArguments,
+    };
+    Kind kind;
+    bool fatal;  // UnconsumedOutput is a warning; everything else is fatal
+    std::string message;
+};
+
+const char* graph_issue_kind_name(GraphIssue::Kind k);
+
+/// One node of the dataflow graph, resolved through the registry.
+struct GraphNode {
+    LaunchEntry entry;
+    Ports ports;
+};
+
+/// Resolves every entry's ports.  Throws for unregistered components;
+/// argument errors are captured per node (ports.known = false) and surface
+/// as BadArguments issues in validate_graph.
+std::vector<GraphNode> resolve_graph(const std::vector<LaunchEntry>& entries);
+
+/// All issues with the workflow's wiring, fatal ones first.
+std::vector<GraphIssue> validate_graph(const std::vector<LaunchEntry>& entries);
+
+/// True if validate_graph found no fatal issue.
+bool graph_is_runnable(const std::vector<GraphIssue>& issues);
+
+/// Graphviz (dot) rendering: components as boxes, streams as labelled edges.
+std::string graph_to_dot(const std::vector<LaunchEntry>& entries);
+
+}  // namespace sb::core

@@ -1,0 +1,124 @@
+#include "core/heatmap.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+std::vector<std::uint8_t> render_gray(std::span<const double> values,
+                                      std::uint64_t rows, std::uint64_t cols,
+                                      std::uint64_t scale) {
+    if (values.size() < rows * cols) {
+        throw std::invalid_argument("render_gray: buffer smaller than rows*cols");
+    }
+    if (scale == 0) throw std::invalid_argument("render_gray: scale must be positive");
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const double v : values.subspan(0, rows * cols)) {
+        if (std::isnan(v)) continue;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const bool flat = !(lo < hi);
+
+    std::vector<std::uint8_t> px(rows * scale * cols * scale, 0);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        for (std::uint64_t c = 0; c < cols; ++c) {
+            const double v = values[r * cols + c];
+            std::uint8_t g = 0;
+            if (!std::isnan(v)) {
+                g = flat ? 128
+                         : static_cast<std::uint8_t>(
+                               std::lround(255.0 * (v - lo) / (hi - lo)));
+            }
+            for (std::uint64_t dr = 0; dr < scale; ++dr) {
+                for (std::uint64_t dc = 0; dc < scale; ++dc) {
+                    px[(r * scale + dr) * cols * scale + c * scale + dc] = g;
+                }
+            }
+        }
+    }
+    return px;
+}
+
+void write_pgm(const std::string& path, std::span<const std::uint8_t> pixels,
+               std::uint64_t width, std::uint64_t height) {
+    if (pixels.size() < width * height) {
+        throw std::invalid_argument("write_pgm: pixel buffer too small");
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("heatmap: cannot write '" + path + "'");
+    out << "P5\n" << width << ' ' << height << "\n255\n";
+    out.write(reinterpret_cast<const char*>(pixels.data()),
+              static_cast<std::streamsize>(width * height));
+}
+
+std::vector<std::uint8_t> read_pgm(const std::string& path, std::uint64_t& width,
+                                   std::uint64_t& height) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("heatmap: cannot open '" + path + "'");
+    std::string magic;
+    std::uint64_t maxval = 0;
+    in >> magic >> width >> height >> maxval;
+    if (magic != "P5" || maxval != 255) {
+        throw std::runtime_error("heatmap: '" + path + "' is not an 8-bit P5 PGM");
+    }
+    in.get();  // the single whitespace after the header
+    std::vector<std::uint8_t> px(width * height);
+    in.read(reinterpret_cast<char*>(px.data()),
+            static_cast<std::streamsize>(px.size()));
+    if (!in) throw std::runtime_error("heatmap: truncated PGM '" + path + "'");
+    return px;
+}
+
+void Heatmap::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(3, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::string prefix = args.str(2, "output-path-prefix");
+    const std::uint64_t scale = args.size() > 3 ? args.unsigned_integer(3, "scale") : 1;
+    if (scale == 0) throw util::ArgError("heatmap: scale must be positive");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        if (info.shape.ndim() != 2) {
+            throw std::runtime_error("heatmap: '" + in_array + "' must be 2-D, got " +
+                                     info.shape.to_string());
+        }
+        if (info.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("heatmap: '" + in_array +
+                                     "' must be double-precision");
+        }
+
+        // Row slabs gather back into the full image on rank 0.
+        const util::Box box = util::partition_along(info.shape, 0, rank, size);
+        const std::vector<double> local = reader.read<double>(in_array, box);
+        const auto gathered = ctx.comm.allgatherv<double>(local);
+
+        if (rank == 0) {
+            std::vector<double> full;
+            full.reserve(info.shape.volume());
+            for (const auto& part : gathered) {
+                full.insert(full.end(), part.begin(), part.end());
+            }
+            const auto px = render_gray(full, info.shape[0], info.shape[1], scale);
+            write_pgm(prefix + "." + std::to_string(reader.step()) + ".pgm", px,
+                      info.shape[1] * scale, info.shape[0] * scale);
+        }
+
+        record_step(ctx, reader.step(), timer.seconds(), local.size() * sizeof(double),
+                    rank == 0 ? info.shape.volume() * scale * scale : 0);
+        reader.end_step();
+    }
+}
+
+}  // namespace sb::core

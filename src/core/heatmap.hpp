@@ -1,0 +1,49 @@
+// The Heatmap component: an in situ visualization endpoint.
+//
+//   heatmap input-stream-name input-array-name output-path-prefix [scale]
+//
+// Runtime analysis in the paper's setting feeds "analysis and visualization
+// components" (§I); Heatmap is the minimal visualization endpoint: each
+// timestep's 2-D array is rendered to a portable graymap image
+// "<prefix>.<step>.pgm" (rows x cols, value-scaled to 0..255 between the
+// step's min and max; NaNs render black).  `scale` (default 1) repeats each
+// cell scale x scale pixels for small arrays.
+//
+// Rank 0 renders; the other ranks only contribute their partitions via the
+// usual collective gather — the output is tiny next to the input, like
+// Histogram's.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+/// Renders one 2-D field to 8-bit graymap pixels (row-major rows x cols),
+/// scaled so min -> 0 and max -> 255 (all-equal data renders mid-gray,
+/// NaN renders 0).  Exposed for tests.
+std::vector<std::uint8_t> render_gray(std::span<const double> values,
+                                      std::uint64_t rows, std::uint64_t cols,
+                                      std::uint64_t scale);
+
+/// Writes a binary PGM (P5) image.
+void write_pgm(const std::string& path, std::span<const std::uint8_t> pixels,
+               std::uint64_t width, std::uint64_t height);
+
+/// Reads back a P5 PGM (tests); returns pixels and fills width/height.
+std::vector<std::uint8_t> read_pgm(const std::string& path, std::uint64_t& width,
+                                   std::uint64_t& height);
+
+class Heatmap : public Component {
+public:
+    std::string name() const override { return "heatmap"; }
+    std::string usage() const override {
+        return "heatmap input-stream-name input-array-name output-path-prefix [scale]";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(3, usage());
+        return Ports{{args.str(0, "input-stream-name")}, {}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

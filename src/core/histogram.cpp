@@ -1,0 +1,174 @@
+#include "core/histogram.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+double HistogramResult::bin_lo(std::size_t b) const {
+    const double width = (max - min) / static_cast<double>(counts.size());
+    return min + width * static_cast<double>(b);
+}
+
+double HistogramResult::bin_hi(std::size_t b) const {
+    const double width = (max - min) / static_cast<double>(counts.size());
+    return b + 1 == counts.size() ? max : min + width * static_cast<double>(b + 1);
+}
+
+std::vector<std::uint64_t> histogram_counts(std::span<const double> values,
+                                            double min, double max,
+                                            std::size_t bins) {
+    if (bins == 0) throw std::invalid_argument("histogram: num-bins must be positive");
+    std::vector<std::uint64_t> counts(bins, 0);
+    const double width = (max - min) / static_cast<double>(bins);
+    for (const double v : values) {
+        if (std::isnan(v)) continue;
+        std::size_t b = 0;
+        if (width > 0.0) {
+            const double x = (v - min) / width;
+            if (x <= 0.0) {
+                b = 0;
+            } else if (x >= static_cast<double>(bins)) {
+                b = bins - 1;  // v == max (or a caller-supplied tighter range)
+            } else {
+                b = static_cast<std::size_t>(x);
+                if (b >= bins) b = bins - 1;
+            }
+        }
+        ++counts[b];
+    }
+    return counts;
+}
+
+HistogramResult distributed_histogram(const mpi::Communicator& comm,
+                                      std::span<const double> local,
+                                      std::size_t bins, std::uint64_t step) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const double v : local) {
+        if (std::isnan(v)) continue;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    lo = comm.allreduce(lo, mpi::ReduceOp::Min);
+    hi = comm.allreduce(hi, mpi::ReduceOp::Max);
+
+    HistogramResult h;
+    h.step = step;
+    if (!(lo <= hi)) {
+        // No finite values anywhere.  The min/max allreduces already ran on
+        // every rank, so all ranks agree and take this branch together.
+        h.min = 0.0;
+        h.max = 0.0;
+        h.counts.assign(bins, 0);
+        return h;
+    }
+    h.min = lo;
+    h.max = hi;
+    const std::vector<std::uint64_t> local_counts = histogram_counts(local, lo, hi, bins);
+    h.counts = comm.allreduce_vec<std::uint64_t>(local_counts, mpi::ReduceOp::Sum);
+    return h;
+}
+
+void write_histogram(std::ostream& os, const HistogramResult& h) {
+    // Full round-trip precision: the files are parsed back by tests and by
+    // downstream tooling comparing against references.
+    const auto old_precision =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    os << "# step " << h.step << " bins " << h.counts.size() << " min " << h.min
+       << " max " << h.max << " total " << h.total() << "\n";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        os << h.bin_lo(b) << ' ' << h.bin_hi(b) << ' ' << h.counts[b] << "\n";
+    }
+    os.precision(old_precision);
+}
+
+std::vector<HistogramResult> read_histogram_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("histogram: cannot open '" + path + "'");
+    std::vector<HistogramResult> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            std::istringstream is(line);
+            std::string hash, kw;
+            HistogramResult h;
+            std::size_t bins = 0;
+            std::uint64_t total = 0;
+            is >> hash >> kw >> h.step;   // "# step N"
+            is >> kw >> bins;             // "bins B"
+            is >> kw >> h.min;            // "min m"
+            is >> kw >> h.max;            // "max M"
+            is >> kw >> total;            // "total T"
+            if (!is) throw std::runtime_error("histogram: malformed header: " + line);
+            h.counts.reserve(bins);
+            out.push_back(std::move(h));
+        } else {
+            if (out.empty()) throw std::runtime_error("histogram: data before header");
+            std::istringstream is(line);
+            double lo, hi;
+            std::uint64_t count;
+            if (!(is >> lo >> hi >> count)) {
+                throw std::runtime_error("histogram: malformed bin line: " + line);
+            }
+            out.back().counts.push_back(count);
+        }
+    }
+    return out;
+}
+
+void Histogram::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(3, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::size_t bins = args.unsigned_integer(2, "num-bins");
+    const std::string out_file = args.size() > 3
+                                     ? args.str(3, "output-file")
+                                     : "histogram_" + in_array + ".txt";
+    if (bins == 0) throw util::ArgError("histogram: num-bins must be positive");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+    std::ofstream out;
+    if (rank == 0) {
+        out.open(out_file, std::ios::trunc);
+        if (!out) throw std::runtime_error("histogram: cannot write '" + out_file + "'");
+    }
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        if (info.shape.ndim() != 1) {
+            throw std::runtime_error("histogram: '" + in_array + "' must be 1-D, got " +
+                                     info.shape.to_string());
+        }
+        if (info.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("histogram: '" + in_array +
+                                     "' must be double-precision");
+        }
+
+        const util::Box box = util::partition_along(info.shape, 0, rank, size);
+        const std::vector<double> local = reader.read<double>(in_array, box);
+        const HistogramResult h =
+            distributed_histogram(ctx.comm, local, bins, reader.step());
+
+        if (rank == 0) {
+            write_histogram(out, h);
+            out.flush();
+        }
+
+        record_step(ctx, reader.step(), timer.seconds(), local.size() * sizeof(double),
+                    rank == 0 ? h.counts.size() * sizeof(std::uint64_t) : 0);
+        reader.end_step();
+    }
+}
+
+}  // namespace sb::core

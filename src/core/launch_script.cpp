@@ -1,0 +1,80 @@
+#include "core/launch_script.hpp"
+
+#include <sstream>
+
+namespace sb::core {
+
+namespace {
+
+bool is_launcher(const std::string& tok) {
+    return tok == "aprun" || tok == "mpirun" || tok == "srun" || tok == "mpiexec";
+}
+
+bool is_proc_flag(const std::string& tok) {
+    return tok == "-n" || tok == "-np" || tok == "--ntasks";
+}
+
+}  // namespace
+
+std::vector<LaunchEntry> parse_launch_script(const std::string& text) {
+    std::vector<LaunchEntry> entries;
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        // Strip comments.
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        util::ArgList toks = util::ArgList::split(line);
+        if (toks.size() == 0) continue;
+        if (toks.size() == 1 && toks.str(0, "token") == "wait") continue;
+
+        const auto fail = [&](const std::string& msg) -> void {
+            throw util::ArgError("launch script line " + std::to_string(lineno) + ": " +
+                                 msg + ": " + line);
+        };
+
+        std::size_t i = 0;
+        LaunchEntry e;
+        e.nprocs = 1;
+        if (is_launcher(toks.str(i, "launcher"))) {
+            ++i;
+            if (i >= toks.size() || !is_proc_flag(toks.str(i, "flag"))) {
+                fail("expected -n/-np after launcher");
+            }
+            ++i;
+            e.nprocs = static_cast<int>(toks.integer(i, "process count"));
+            if (e.nprocs <= 0) fail("process count must be positive");
+            ++i;
+        }
+        if (i >= toks.size()) fail("missing component name");
+        e.component = toks.str(i++, "component");
+
+        while (i < toks.size()) {
+            std::string tok = toks.str(i++, "argument");
+            if (tok == "&") continue;  // background marker
+            if (tok == "<") {
+                if (i >= toks.size()) fail("'<' with no file");
+                tok = toks.str(i++, "input file");
+            }
+            // "&" glued to the last token: "in.cracksm&"
+            if (!tok.empty() && tok.back() == '&') tok.pop_back();
+            if (!tok.empty()) e.args.push_back(std::move(tok));
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+Workflow build_workflow(flexpath::Fabric& fabric, const std::string& script,
+                        flexpath::StreamOptions options) {
+    Workflow wf(fabric, options);
+    for (LaunchEntry& e : parse_launch_script(script)) {
+        wf.add(e.component, e.nprocs, std::move(e.args));
+    }
+    return wf;
+}
+
+}  // namespace sb::core

@@ -1,0 +1,38 @@
+// Launch-script parsing: the paper's Fig. 8 workflow assembly.
+//
+//   aprun -n 64   histogram velos.fp velocities 16 &
+//   aprun -n 256  magnitude lmpselect.fp lmpsel velos.fp velocities &
+//   aprun -n 256  select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+//   aprun -n 1024 lammps < in.cracksm &
+//   wait
+//
+// Each line is one component instance: launcher prefix ("aprun -n N",
+// "mpirun -np N", "srun -n N"), the component name, and its positional
+// arguments.  "&" suffixes, blank lines, "#" comments, and a final "wait"
+// are accepted and ignored.  A "< file" redirection is folded into the
+// arguments (our simulation drivers take their input deck as an argument).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+
+namespace sb::core {
+
+struct LaunchEntry {
+    int nprocs = 0;
+    std::string component;
+    std::vector<std::string> args;
+
+    bool operator==(const LaunchEntry&) const = default;
+};
+
+/// Parses a whole script; throws util::ArgError with the offending line.
+std::vector<LaunchEntry> parse_launch_script(const std::string& text);
+
+/// Builds a Workflow from a script (components resolved via the registry).
+Workflow build_workflow(flexpath::Fabric& fabric, const std::string& script,
+                        flexpath::StreamOptions options = {});
+
+}  // namespace sb::core

@@ -1,0 +1,33 @@
+// The Magnitude component (paper §III.D).
+//
+//   magnitude input-stream-name input-array-name
+//             output-stream-name output-array-name
+//
+// Computes the Euclidean magnitude of an array of vectors: the input is a
+// two-dimensional array where the first dimension spans the data points
+// (particles, atoms, ...) and the second spans the components of each
+// point's vector; the output is the one-dimensional array of magnitudes.
+// Because it always operates on 2-D data, it takes only the stream/array
+// names as parameters.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+class Magnitude : public Component {
+public:
+    std::string name() const override { return "magnitude"; }
+    std::string usage() const override {
+        return "magnitude input-stream-name input-array-name "
+               "output-stream-name output-array-name";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(4, usage());
+        return Ports{{args.str(0, "input-stream-name")},
+                     {args.str(2, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

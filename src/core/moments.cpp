@@ -1,0 +1,121 @@
+#include "core/moments.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+MomentsResult distributed_moments(const mpi::Communicator& comm,
+                                  std::span<const double> local, std::uint64_t step) {
+    // Local accumulators: n, sum, sum of squares, sum of cubes, min, max.
+    double n = 0, s1 = 0, s2 = 0, s3 = 0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const double v : local) {
+        if (std::isnan(v)) continue;
+        n += 1.0;
+        s1 += v;
+        s2 += v * v;
+        s3 += v * v * v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    const double sums_in[4] = {n, s1, s2, s3};
+    const auto sums = comm.allreduce_vec<double>(sums_in, mpi::ReduceOp::Sum);
+    lo = comm.allreduce(lo, mpi::ReduceOp::Min);
+    hi = comm.allreduce(hi, mpi::ReduceOp::Max);
+
+    MomentsResult m;
+    m.step = step;
+    m.count = static_cast<std::uint64_t>(sums[0]);
+    if (m.count == 0) return m;
+    const double N = sums[0];
+    m.mean = sums[1] / N;
+    m.variance = std::max(0.0, sums[2] / N - m.mean * m.mean);
+    if (m.count >= 2 && m.variance > 0.0) {
+        const double third_central =
+            sums[3] / N - 3.0 * m.mean * sums[2] / N + 2.0 * m.mean * m.mean * m.mean;
+        m.skewness = third_central / std::pow(m.variance, 1.5);
+    }
+    m.min = lo;
+    m.max = hi;
+    return m;
+}
+
+void write_moments(std::ostream& os, const MomentsResult& m) {
+    const auto old_precision =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    os << m.step << ' ' << m.count << ' ' << m.mean << ' ' << m.variance << ' '
+       << m.skewness << ' ' << m.min << ' ' << m.max << "\n";
+    os.precision(old_precision);
+}
+
+std::vector<MomentsResult> read_moments_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("moments: cannot open '" + path + "'");
+    std::vector<MomentsResult> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream is(line);
+        MomentsResult m;
+        if (!(is >> m.step >> m.count >> m.mean >> m.variance >> m.skewness >> m.min >>
+              m.max)) {
+            throw std::runtime_error("moments: malformed line: " + line);
+        }
+        out.push_back(m);
+    }
+    return out;
+}
+
+void Moments::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(2, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::string out_file = args.size() > 2 ? args.str(2, "output-file")
+                                                 : "moments_" + in_array + ".txt";
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+
+    std::ofstream out;
+    if (rank == 0) {
+        out.open(out_file, std::ios::trunc);
+        if (!out) throw std::runtime_error("moments: cannot write '" + out_file + "'");
+        out << "# step count mean variance skewness min max\n";
+    }
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        if (info.shape.ndim() != 1) {
+            throw std::runtime_error("moments: '" + in_array + "' must be 1-D, got " +
+                                     info.shape.to_string());
+        }
+        if (info.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("moments: '" + in_array +
+                                     "' must be double-precision");
+        }
+
+        const util::Box box = util::partition_along(info.shape, 0, rank, size);
+        const std::vector<double> local = reader.read<double>(in_array, box);
+        const MomentsResult m = distributed_moments(ctx.comm, local, reader.step());
+
+        if (rank == 0) {
+            write_moments(out, m);
+            out.flush();
+        }
+        record_step(ctx, reader.step(), timer.seconds(), local.size() * sizeof(double),
+                    rank == 0 ? sizeof(MomentsResult) : 0);
+        reader.end_step();
+    }
+}
+
+}  // namespace sb::core

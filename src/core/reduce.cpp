@@ -1,0 +1,152 @@
+#include "core/reduce.hpp"
+
+#include <limits>
+#include <optional>
+
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+ReduceKind parse_reduce_kind(const std::string& s) {
+    if (s == "sum") return ReduceKind::Sum;
+    if (s == "mean") return ReduceKind::Mean;
+    if (s == "min") return ReduceKind::Min;
+    if (s == "max") return ReduceKind::Max;
+    throw util::ArgError("reduce: op must be sum|mean|min|max, got '" + s + "'");
+}
+
+void reduce_copy(std::span<const double> src, const util::NdShape& in_shape,
+                 std::size_t dim, ReduceKind op, std::span<double> dst) {
+    if (dim >= in_shape.ndim()) {
+        throw std::invalid_argument("reduce: dimension out of range for " +
+                                    in_shape.to_string());
+    }
+    const std::uint64_t n = in_shape[dim];
+    if (n == 0) {
+        throw std::invalid_argument("reduce: cannot reduce an empty dimension");
+    }
+
+    // Split the index space into (outer, reduced, inner) so src reads are
+    // strided but systematic: linear = (outer * n + r) * inner + i.
+    std::uint64_t outer = 1, inner = 1;
+    for (std::size_t d = 0; d < dim; ++d) outer *= in_shape[d];
+    for (std::size_t d = dim + 1; d < in_shape.ndim(); ++d) inner *= in_shape[d];
+    if (src.size() < outer * n * inner || dst.size() < outer * inner) {
+        throw std::invalid_argument("reduce: buffer too small");
+    }
+
+    for (std::uint64_t o = 0; o < outer; ++o) {
+        double* out = &dst[o * inner];
+        const double* first = &src[o * n * inner];
+        for (std::uint64_t i = 0; i < inner; ++i) out[i] = first[i];
+        for (std::uint64_t r = 1; r < n; ++r) {
+            const double* row = &src[(o * n + r) * inner];
+            switch (op) {
+                case ReduceKind::Sum:
+                case ReduceKind::Mean:
+                    for (std::uint64_t i = 0; i < inner; ++i) out[i] += row[i];
+                    break;
+                case ReduceKind::Min:
+                    for (std::uint64_t i = 0; i < inner; ++i) {
+                        out[i] = std::min(out[i], row[i]);
+                    }
+                    break;
+                case ReduceKind::Max:
+                    for (std::uint64_t i = 0; i < inner; ++i) {
+                        out[i] = std::max(out[i], row[i]);
+                    }
+                    break;
+            }
+        }
+        if (op == ReduceKind::Mean) {
+            for (std::uint64_t i = 0; i < inner; ++i) {
+                out[i] /= static_cast<double>(n);
+            }
+        }
+    }
+}
+
+void Reduce::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(6, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::size_t dim = args.unsigned_integer(2, "dimension-index");
+    const ReduceKind op = parse_reduce_kind(args.str(3, "op"));
+    const std::string out_stream = args.str(4, "output-stream-name");
+    const std::string out_array = args.str(5, "output-array-name");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+    std::optional<adios::Writer> writer;
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        const util::NdShape& shape = info.shape;
+        if (dim >= shape.ndim()) {
+            throw std::runtime_error("reduce: dimension-index " + std::to_string(dim) +
+                                     " out of range for " + shape.to_string());
+        }
+        if (shape.ndim() < 2) {
+            throw std::runtime_error("reduce: input must have at least 2 dimensions "
+                                     "(use moments/histogram for 1-D endpoints)");
+        }
+        if (info.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("reduce: '" + in_array + "' must be double-precision");
+        }
+
+        // Each rank reduces a slab covering the full reduced dimension.
+        const std::size_t pdim = pick_partition_dim(shape, {dim});
+        const util::Box in_box = util::partition_along(shape, pdim, rank, size);
+        const std::vector<double> local = reader.read<double>(in_array, in_box);
+
+        const util::NdShape local_shape(in_box.count);
+        std::vector<double> reduced(in_box.volume() / std::max<std::uint64_t>(shape[dim], 1));
+        if (!local.empty()) {
+            reduce_copy(local, local_shape, dim, op, reduced);
+        }
+
+        // Output shape/box: the reduced dimension disappears.
+        std::vector<std::uint64_t> out_dims, out_off, out_cnt;
+        std::vector<std::string> labels;
+        std::vector<std::size_t> dim_map;
+        for (std::size_t d = 0; d < shape.ndim(); ++d) {
+            if (d == dim) continue;
+            out_dims.push_back(shape[d]);
+            out_off.push_back(in_box.offset[d]);
+            out_cnt.push_back(in_box.count[d]);
+            labels.push_back(d < info.dim_labels.size() ? info.dim_labels[d]
+                                                        : std::string{});
+            dim_map.push_back(d);
+        }
+        const util::NdShape out_shape(out_dims);
+
+        if (!writer) {
+            writer.emplace(ctx.fabric, out_stream,
+                           output_group("reduce", out_array, labels), rank, size,
+                           ctx.stream_options);
+        }
+        writer->begin_step();
+        const auto& dim_names = writer->group().find(out_array)->dimensions;
+        for (std::size_t d = 0; d < out_shape.ndim(); ++d) {
+            writer->set_dimension(dim_names[d], out_shape[d]);
+        }
+        propagate_attributes(reader, *writer,
+                             AttrRules{in_array, out_array, dim_map, {dim}});
+        writer->write<double>(out_array, reduced, util::Box(out_off, out_cnt));
+        writer->end_step();
+
+        record_step(ctx, reader.step(), timer.seconds(), local.size() * sizeof(double),
+                    reduced.size() * sizeof(double));
+        reader.end_step();
+    }
+    if (!writer) {
+        writer.emplace(ctx.fabric, out_stream, output_group("reduce", out_array, {}),
+                       rank, size, ctx.stream_options);
+    }
+    writer->close();
+}
+
+}  // namespace sb::core

@@ -1,0 +1,46 @@
+// The Reduce component (paper §VI: "expanding the generic components
+// library to include a variety of other analytical operations").
+//
+//   reduce input-stream-name input-array-name dimension-index op
+//          output-stream-name output-array-name
+//
+// Collapses one dimension of an n-dimensional array with an associative
+// reduction: op is one of "sum", "mean", "min", "max".  The output has the
+// same rank minus one; every other dimension's label and header propagate.
+// Like Dim-Reduce it changes the *shape* of the data so that downstream
+// components get the layout they expect — but by aggregating rather than
+// re-arranging, e.g. collapsing GTCP's toroidal dimension into per-gridpoint
+// mean pressures.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+enum class ReduceKind { Sum, Mean, Min, Max };
+
+/// Parses "sum" / "mean" / "min" / "max"; throws util::ArgError otherwise.
+ReduceKind parse_reduce_kind(const std::string& s);
+
+/// The kernel, exposed for tests and benches: reduces dimension `dim` of
+/// `src` (row-major, shape `in_shape`) into `dst`, which must hold
+/// in_shape.volume() / in_shape[dim] doubles.
+void reduce_copy(std::span<const double> src, const util::NdShape& in_shape,
+                 std::size_t dim, ReduceKind op, std::span<double> dst);
+
+class Reduce : public Component {
+public:
+    std::string name() const override { return "reduce"; }
+    std::string usage() const override {
+        return "reduce input-stream-name input-array-name dimension-index "
+               "sum|mean|min|max output-stream-name output-array-name";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        return Ports{{args.str(0, "input-stream-name")},
+                     {args.str(4, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,102 @@
+#include "core/registry.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/all_pairs.hpp"
+#include "core/dim_reduce.hpp"
+#include "core/downsample.hpp"
+#include "core/file_io.hpp"
+#include "core/fork.hpp"
+#include "core/heatmap.hpp"
+#include "core/histogram.hpp"
+#include "core/magnitude.hpp"
+#include "core/moments.hpp"
+#include "core/reduce.hpp"
+#include "core/select.hpp"
+#include "core/threshold.hpp"
+#include "core/transpose.hpp"
+#include "core/validate.hpp"
+
+namespace sb::core {
+
+namespace {
+
+struct Registry {
+    std::mutex mu;
+    std::map<std::string, ComponentFactory> factories;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+template <typename T>
+void register_type() {
+    register_component(T{}.name(), [] { return std::make_unique<T>(); });
+}
+
+}  // namespace
+
+void register_component(const std::string& name, ComponentFactory factory) {
+    Registry& r = registry();
+    const std::lock_guard lock(r.mu);
+    r.factories[name] = std::move(factory);
+}
+
+void register_builtin_components() {
+    static const bool once = [] {
+        register_type<Select>();
+        register_type<Magnitude>();
+        register_type<DimReduce>();
+        register_type<Histogram>();
+        register_type<Fork>();
+        register_type<FileWriter>();
+        register_type<FileReader>();
+        register_type<AllPairs>();
+        register_type<Reduce>();
+        register_type<Transpose>();
+        register_type<Downsample>();
+        register_type<Threshold>();
+        register_type<Moments>();
+        register_type<Validate>();
+        register_type<Heatmap>();
+        return true;
+    }();
+    (void)once;
+}
+
+std::unique_ptr<Component> make_component(const std::string& name) {
+    register_builtin_components();
+    Registry& r = registry();
+    const std::lock_guard lock(r.mu);
+    const auto it = r.factories.find(name);
+    if (it == r.factories.end()) {
+        std::string known;
+        for (const auto& [n, f] : r.factories) known += (known.empty() ? "" : ", ") + n;
+        throw std::runtime_error("unknown component '" + name + "' (registered: " +
+                                 known + ")");
+    }
+    return it->second();
+}
+
+bool component_registered(const std::string& name) {
+    register_builtin_components();
+    Registry& r = registry();
+    const std::lock_guard lock(r.mu);
+    return r.factories.count(name) != 0;
+}
+
+std::vector<std::string> component_names() {
+    register_builtin_components();
+    Registry& r = registry();
+    const std::lock_guard lock(r.mu);
+    std::vector<std::string> out;
+    out.reserve(r.factories.size());
+    for (const auto& [n, f] : r.factories) out.push_back(n);
+    return out;
+}
+
+}  // namespace sb::core

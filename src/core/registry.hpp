@@ -1,0 +1,37 @@
+// Component registry: launch scripts name components ("select",
+// "histogram", "lammps"); the registry maps those names to factories.
+//
+// The generic SmartBlock components register themselves on first use; the
+// simulation drivers register via sb::sim::register_simulations() so the
+// core library carries no dependency on any particular science code.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+using ComponentFactory = std::function<std::unique_ptr<Component>()>;
+
+/// Registers (or replaces) a factory under `name`.
+void register_component(const std::string& name, ComponentFactory factory);
+
+/// Instantiates a registered component; the error for an unknown name
+/// lists everything registered.
+std::unique_ptr<Component> make_component(const std::string& name);
+
+bool component_registered(const std::string& name);
+
+/// Sorted names of all registered components.
+std::vector<std::string> component_names();
+
+/// Registers the generic components (select, magnitude, dim-reduce,
+/// histogram, fork, file-writer, file-reader, all-pairs).  Idempotent;
+/// called automatically by make_component.
+void register_builtin_components();
+
+}  // namespace sb::core

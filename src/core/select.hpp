@@ -1,0 +1,34 @@
+// The Select component (paper §III.C).
+//
+//   select input-stream input-array dimension-index
+//          output-stream output-array name1 [name2 ...]
+//
+// Extracts the named rows of one dimension of an n-dimensional array: the
+// output has the same rank, with the dimension of interest shrunk to the
+// selected rows.  Rows are identified *by name* through the header attribute
+// the upstream component attached ("<array>.header.<dim>"), so launch
+// scripts select quantities like "vx vy vz" instead of index numbers.
+// The filtered header (in selection order) is re-attached on the output;
+// every other attribute and dimension label propagates unchanged.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+class Select : public Component {
+public:
+    std::string name() const override { return "select"; }
+    std::string usage() const override {
+        return "select input-stream-name input-array-name dimension-index "
+               "output-stream-name output-array-name name1 [name2 ...]";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        return Ports{{args.str(0, "input-stream-name")},
+                     {args.str(3, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

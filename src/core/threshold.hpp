@@ -1,0 +1,40 @@
+// The Threshold component.
+//
+//   threshold input-stream-name input-array-name above|below|band lo [hi]
+//             output-stream-name output-array-name
+//
+// Filters a one-dimensional array by value, emitting only the passing
+// elements ("above lo", "below lo", or "band lo hi" inclusive).  Unlike the
+// shape-preserving components its output length varies per step: the ranks
+// filter their partitions locally and agree on the global layout with one
+// allgather of counts, so the output is again a dense 1-D array any
+// downstream component can consume.  The pass count also rides on the
+// stream as the attribute "<output-array>.count".
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+enum class ThresholdMode { Above, Below, Band };
+
+ThresholdMode parse_threshold_mode(const std::string& s);
+
+class Threshold : public Component {
+public:
+    std::string name() const override { return "threshold"; }
+    std::string usage() const override {
+        return "threshold input-stream-name input-array-name above|below|band "
+               "lo [hi] output-stream-name output-array-name";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        const bool band = args.str(2, "mode") == "band";
+        if (band) args.require_at_least(7, usage());
+        return Ports{{args.str(0, "input-stream-name")},
+                     {args.str(band ? 5 : 4, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

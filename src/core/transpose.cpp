@@ -1,0 +1,162 @@
+#include "core/transpose.hpp"
+
+#include <cstring>
+#include <optional>
+
+#include "adios/group.hpp"
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+std::vector<std::size_t> parse_permutation(const std::string& s) {
+    std::vector<std::size_t> perm;
+    for (const std::string& tok : adios::split_csv(s)) {
+        try {
+            std::size_t pos = 0;
+            const unsigned long v = std::stoul(tok, &pos);
+            if (pos != tok.size()) throw std::invalid_argument(tok);
+            perm.push_back(v);
+        } catch (const std::exception&) {
+            throw util::ArgError("transpose: bad permutation element '" + tok + "'");
+        }
+    }
+    std::vector<bool> seen(perm.size(), false);
+    for (const std::size_t p : perm) {
+        if (p >= perm.size() || seen[p]) {
+            throw util::ArgError("transpose: '" + s + "' is not a permutation of 0.." +
+                                 std::to_string(perm.size() - 1));
+        }
+        seen[p] = true;
+    }
+    if (perm.empty()) throw util::ArgError("transpose: empty permutation");
+    return perm;
+}
+
+util::NdShape transpose_shape(const util::NdShape& in_shape,
+                              std::span<const std::size_t> perm) {
+    if (perm.size() != in_shape.ndim()) {
+        throw std::invalid_argument("transpose: permutation rank " +
+                                    std::to_string(perm.size()) + " != array rank " +
+                                    std::to_string(in_shape.ndim()));
+    }
+    std::vector<std::uint64_t> dims(perm.size());
+    for (std::size_t j = 0; j < perm.size(); ++j) dims[j] = in_shape[perm[j]];
+    return util::NdShape(std::move(dims));
+}
+
+void transpose_copy(std::span<const std::byte> src, const util::NdShape& in_shape,
+                    std::span<const std::size_t> perm, std::span<std::byte> dst,
+                    std::size_t elem) {
+    const util::NdShape out_shape = transpose_shape(in_shape, perm);
+    if (src.size() < in_shape.volume() * elem || dst.size() < out_shape.volume() * elem) {
+        throw std::invalid_argument("transpose_copy: buffer too small");
+    }
+    if (in_shape.volume() == 0) return;
+    const std::size_t nd = in_shape.ndim();
+    if (nd == 0) {
+        std::memcpy(dst.data(), src.data(), elem);
+        return;
+    }
+
+    // Effective output stride of each *input* dimension.
+    const std::vector<std::uint64_t> out_strides = out_shape.strides();
+    std::vector<std::uint64_t> eff(nd, 0);
+    for (std::size_t j = 0; j < nd; ++j) eff[perm[j]] = out_strides[j];
+
+    const bool inner_contig = eff[nd - 1] == 1;
+    const std::uint64_t inner_n = in_shape[nd - 1];
+    std::vector<std::uint64_t> idx(nd, 0);
+    std::uint64_t src_off = 0;
+    for (;;) {
+        std::uint64_t dst_off = 0;
+        for (std::size_t d = 0; d < nd; ++d) dst_off += idx[d] * eff[d];
+        if (inner_contig) {
+            std::memcpy(dst.data() + dst_off * elem, src.data() + src_off * elem,
+                        inner_n * elem);
+        } else {
+            for (std::uint64_t k = 0; k < inner_n; ++k) {
+                std::memcpy(dst.data() + (dst_off + k * eff[nd - 1]) * elem,
+                            src.data() + (src_off + k) * elem, elem);
+            }
+        }
+        src_off += inner_n;
+        std::size_t d = nd - 1;
+        for (;;) {
+            if (d == 0) return;
+            --d;
+            if (++idx[d] < in_shape[d]) break;
+            idx[d] = 0;
+        }
+    }
+}
+
+void Transpose::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(5, usage());
+    const std::string in_stream = args.str(0, "input-stream-name");
+    const std::string in_array = args.str(1, "input-array-name");
+    const std::vector<std::size_t> perm = parse_permutation(args.str(2, "perm"));
+    const std::string out_stream = args.str(3, "output-stream-name");
+    const std::string out_array = args.str(4, "output-array-name");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader reader(ctx.fabric, in_stream, rank, size);
+    std::optional<adios::Writer> writer;
+
+    while (reader.begin_step()) {
+        util::WallTimer timer;
+
+        const adios::VarInfo info = reader.inq_var(in_array);
+        const util::NdShape& shape = info.shape;
+        const util::NdShape out_shape = transpose_shape(shape, perm);
+
+        const std::size_t pdim = pick_partition_dim(shape, {});
+        const util::Box in_box = util::partition_along(shape, pdim, rank, size);
+        const std::size_t elem = ffs::kind_size(info.kind);
+        std::vector<std::byte> local(in_box.volume() * elem);
+        reader.read_bytes(in_array, in_box, local);
+
+        auto out_buf = std::make_shared<std::vector<std::byte>>(local.size());
+        transpose_copy(local, util::NdShape(in_box.count), perm, *out_buf, elem);
+
+        // The output box is the input box with its axes permuted.
+        util::Box out_box;
+        out_box.offset.resize(perm.size());
+        out_box.count.resize(perm.size());
+        std::vector<std::string> labels(perm.size());
+        for (std::size_t j = 0; j < perm.size(); ++j) {
+            out_box.offset[j] = in_box.offset[perm[j]];
+            out_box.count[j] = in_box.count[perm[j]];
+            labels[j] = perm[j] < info.dim_labels.size() ? info.dim_labels[perm[j]]
+                                                         : std::string{};
+        }
+
+        if (!writer) {
+            writer.emplace(ctx.fabric, out_stream,
+                           output_group("transpose", out_array, labels, info.kind),
+                           rank, size, ctx.stream_options);
+        }
+        writer->begin_step();
+        const auto& dim_names = writer->group().find(out_array)->dimensions;
+        for (std::size_t d = 0; d < out_shape.ndim(); ++d) {
+            writer->set_dimension(dim_names[d], out_shape[d]);
+        }
+        propagate_attributes(
+            reader, *writer,
+            AttrRules{in_array, out_array,
+                      std::vector<std::size_t>(perm.begin(), perm.end()), {}});
+        writer->write_raw(out_array, out_box, out_buf);
+        writer->end_step();
+
+        record_step(ctx, reader.step(), timer.seconds(), local.size(),
+                    out_buf->size());
+        reader.end_step();
+    }
+    if (!writer) {
+        writer.emplace(ctx.fabric, out_stream, output_group("transpose", out_array, {}),
+                       rank, size, ctx.stream_options);
+    }
+    writer->close();
+}
+
+}  // namespace sb::core

@@ -1,0 +1,49 @@
+// The Transpose component.
+//
+//   transpose input-stream-name input-array-name perm
+//             output-stream-name output-array-name
+//
+// Permutes the dimensions of an n-dimensional array: `perm` is a
+// comma-separated permutation, e.g. "2,0,1" sends input dimension 2 to
+// output dimension 0.  Like Dim-Reduce this exists because downstream
+// components expect data in a specific row-major order (paper §III.A
+// guideline 4); Transpose handles the cases where the required view is a
+// re-ordering rather than an absorption of dimensions.  Labels and headers
+// follow their dimensions through the permutation.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+/// Parses "2,0,1"-style permutations; validates it is a permutation of
+/// 0..n-1.
+std::vector<std::size_t> parse_permutation(const std::string& s);
+
+/// The kernel, exposed for tests/benches: writes `dst` such that
+/// dst[perm(idx)] = src[idx].  `perm[j]` is the *input* dimension that
+/// becomes output dimension j.  `elem` is the element size in bytes.
+void transpose_copy(std::span<const std::byte> src, const util::NdShape& in_shape,
+                    std::span<const std::size_t> perm, std::span<std::byte> dst,
+                    std::size_t elem);
+
+/// Output shape under a permutation.
+util::NdShape transpose_shape(const util::NdShape& in_shape,
+                              std::span<const std::size_t> perm);
+
+class Transpose : public Component {
+public:
+    std::string name() const override { return "transpose"; }
+    std::string usage() const override {
+        return "transpose input-stream-name input-array-name perm "
+               "output-stream-name output-array-name   (perm e.g. 2,0,1)";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(5, usage());
+        return Ports{{args.str(0, "input-stream-name")},
+                     {args.str(3, "output-stream-name")}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,82 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+void Validate::run(RunContext& ctx, const util::ArgList& args) {
+    args.require_at_least(4, usage());
+    const std::string stream_a = args.str(0, "stream-a");
+    const std::string array_a = args.str(1, "array-a");
+    const std::string stream_b = args.str(2, "stream-b");
+    const std::string array_b = args.str(3, "array-b");
+    const double tolerance = args.size() > 4 ? args.real(4, "tolerance") : 0.0;
+    if (tolerance < 0) throw util::ArgError("validate: tolerance must be >= 0");
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    adios::Reader ra(ctx.fabric, stream_a, rank, size);
+    adios::Reader rb(ctx.fabric, stream_b, rank, size);
+
+    std::uint64_t steps = 0;
+    for (;; ++steps) {
+        const bool more_a = ra.begin_step();
+        const bool more_b = rb.begin_step();
+        if (more_a != more_b) {
+            throw std::runtime_error("validate: streams end on different steps ('" +
+                                     stream_a + "' " + (more_a ? "continues" : "ended") +
+                                     " at step " + std::to_string(steps) + ")");
+        }
+        if (!more_a) break;
+        util::WallTimer timer;
+
+        const adios::VarInfo ia = ra.inq_var(array_a);
+        const adios::VarInfo ib = rb.inq_var(array_b);
+        const auto fail = [&](const std::string& what) -> void {
+            throw std::runtime_error("validate: step " + std::to_string(steps) + ": " +
+                                     what);
+        };
+        if (ia.shape != ib.shape) {
+            fail("shape mismatch " + ia.shape.to_string() + " vs " +
+                 ib.shape.to_string());
+        }
+        if (ia.kind != ib.kind) fail("element kind mismatch");
+
+        const std::size_t pdim = pick_partition_dim(ia.shape, {});
+        const util::Box box = util::partition_along(ia.shape, pdim, rank, size);
+        std::uint64_t local_bad = 0;
+        if (ia.kind == adios::DataKind::Float64) {
+            const auto va = ra.read<double>(array_a, box);
+            const auto vb = rb.read<double>(array_b, box);
+            for (std::size_t i = 0; i < va.size(); ++i) {
+                const bool both_nan = std::isnan(va[i]) && std::isnan(vb[i]);
+                if (!both_nan && !(std::abs(va[i] - vb[i]) <= tolerance)) ++local_bad;
+            }
+        } else {
+            const std::size_t elem = ffs::kind_size(ia.kind);
+            std::vector<std::byte> ba(box.volume() * elem), bb(ba.size());
+            ra.read_bytes(array_a, box, ba);
+            rb.read_bytes(array_b, box, bb);
+            if (ba != bb) ++local_bad;
+        }
+
+        const std::uint64_t bad =
+            ctx.comm.allreduce<std::uint64_t>(local_bad, mpi::ReduceOp::Sum);
+        if (bad != 0) {
+            fail(std::to_string(bad) + " element(s) differ beyond tolerance " +
+                 std::to_string(tolerance));
+        }
+
+        record_step(ctx, steps, timer.seconds(), 2 * box.volume() * ffs::kind_size(ia.kind),
+                    0);
+        ra.end_step();
+        rb.end_step();
+    }
+    SB_LOG(Info) << "validate: '" << stream_a << "' == '" << stream_b << "' over "
+                 << steps << " step(s)";
+}
+
+}  // namespace sb::core

@@ -1,0 +1,34 @@
+// The Validate component.
+//
+//   validate stream-a array-a stream-b array-b [tolerance]
+//
+// An endpoint that consumes two streams in lockstep and verifies they carry
+// the same data: equal shapes, equal element kinds, and values equal to
+// within `tolerance` (default 0: bit-exact for doubles), with both streams
+// ending on the same step.  Any deviation throws, failing the workflow.
+//
+// This is workflow-level infrastructure the generic-component model makes
+// cheap: a DAG can Fork its data through a refactored branch and the
+// original one and Validate asserts equivalence "out of the box" — no
+// custom comparison code, the same spirit as the paper's AIO-vs-SmartBlock
+// check in §V.C.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::core {
+
+class Validate : public Component {
+public:
+    std::string name() const override { return "validate"; }
+    std::string usage() const override {
+        return "validate stream-a array-a stream-b array-b [tolerance]";
+    }
+    Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(4, usage());
+        return Ports{{args.str(0, "stream-a"), args.str(2, "stream-b")}, {}};
+    }
+    void run(RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,116 @@
+#include "core/workflow.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+#include "flexpath/stream.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+Workflow::Workflow(flexpath::Fabric& fabric, flexpath::StreamOptions default_options)
+    : fabric_(fabric), options_(default_options) {}
+
+std::shared_ptr<StepStats> Workflow::add(const std::string& component, int nprocs,
+                                         std::vector<std::string> args) {
+    if (nprocs <= 0) throw std::invalid_argument("Workflow::add: nprocs must be positive");
+    if (!component_registered(component)) {
+        (void)make_component(component);  // throws with the registered list
+    }
+    auto stats = std::make_shared<StepStats>();
+    instances_.push_back(Instance{component, nprocs, util::ArgList(std::move(args)), stats});
+    return stats;
+}
+
+int Workflow::total_procs() const noexcept {
+    int n = 0;
+    for (const auto& i : instances_) n += i.nprocs;
+    return n;
+}
+
+std::string Workflow::describe(std::size_t i) const {
+    const Instance& inst = instances_.at(i);
+    return inst.component + " x" + std::to_string(inst.nprocs);
+}
+
+void Workflow::write_trace(const std::string& path) const {
+    if (!ran_) throw std::logic_error("Workflow::write_trace: run() first");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("write_trace: cannot write '" + path + "'");
+    out << "[\n";
+    bool first = true;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        const Instance& inst = instances_[i];
+        // Process metadata: name the track after the component instance.
+        out << (first ? "" : ",\n") << R"({"ph":"M","name":"process_name","pid":)"
+            << i << R"(,"args":{"name":")" << describe(i) << "\"}}";
+        first = false;
+        for (const StepStats::Sample& s : inst.stats->samples()) {
+            const double start_us = (s.t_end - s.seconds - epoch_) * 1e6;
+            out << ",\n"
+                << R"({"ph":"X","name":"step )" << s.step << R"(","pid":)" << i
+                << R"(,"tid":)" << s.rank << R"(,"ts":)" << start_us << R"(,"dur":)"
+                << s.seconds * 1e6 << R"(,"args":{"bytes_in":)" << s.bytes_in
+                << R"(,"bytes_out":)" << s.bytes_out << "}}";
+        }
+    }
+    out << "\n]\n";
+}
+
+void Workflow::run() {
+    if (ran_) throw std::logic_error("Workflow::run: already ran (build a new workflow)");
+    if (instances_.empty()) throw std::logic_error("Workflow::run: no instances added");
+    ran_ = true;
+
+    util::WallTimer timer;
+    epoch_ = steady_now_seconds();
+    std::vector<std::exception_ptr> errors(instances_.size());
+    std::atomic<bool> failed{false};
+
+    {
+        std::vector<std::jthread> drivers;
+        drivers.reserve(instances_.size());
+        for (std::size_t i = 0; i < instances_.size(); ++i) {
+            drivers.emplace_back([this, i, &errors, &failed] {
+                const Instance& inst = instances_[i];
+                try {
+                    mpi::run_ranks(inst.nprocs, [&](mpi::Communicator& comm) {
+                        auto component = make_component(inst.component);
+                        RunContext ctx{fabric_, comm, inst.stats.get(), options_};
+                        component->run(ctx, inst.args);
+                    });
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                    failed.store(true);
+                    // Unblock the rest of the graph: every stream wakes its
+                    // waiters with StreamAborted.
+                    fabric_.abort_all();
+                    SB_LOG(Error) << "workflow: instance '" << inst.component
+                                  << "' failed; aborting fabric";
+                }
+            });
+        }
+    }  // all drivers join
+
+    elapsed_ = timer.seconds();
+
+    if (failed.load()) {
+        // Prefer a root-cause error over secondary StreamAborted unwinds.
+        std::exception_ptr first;
+        for (const auto& e : errors) {
+            if (!e) continue;
+            if (!first) first = e;
+            try {
+                std::rethrow_exception(e);
+            } catch (const flexpath::StreamAborted&) {
+            } catch (...) {
+                std::rethrow_exception(e);
+            }
+        }
+        std::rethrow_exception(first);
+    }
+}
+
+}  // namespace sb::core

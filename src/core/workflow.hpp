@@ -1,0 +1,82 @@
+// Workflow assembly and execution.
+//
+// In the paper a workflow is a set of MPI executables launched together by
+// one job script (Fig. 8); the components find each other purely through
+// stream names, block until their neighbours are ready, and the whole graph
+// drains when the driving simulation closes its output stream.  Workflow
+// reproduces that: each added instance is a component with a process count
+// and its positional arguments; run() launches every instance at once (each
+// rank a thread, each instance a communicator) and blocks until the whole
+// graph has finished.
+//
+// If any rank of any instance throws, every stream in the fabric is aborted
+// so the remaining components unwind instead of blocking forever, and the
+// root-cause exception is rethrown from run().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "core/registry.hpp"
+
+namespace sb::core {
+
+class Workflow {
+public:
+    /// `default_options` applies to every output stream opened by the
+    /// workflow's components (writer-side buffering depth etc.).
+    explicit Workflow(flexpath::Fabric& fabric,
+                      flexpath::StreamOptions default_options = {});
+
+    /// Adds an instance of a registered component.  Returns the instance's
+    /// stats sink (per-step timings, shared by its ranks), which remains
+    /// valid after run().
+    std::shared_ptr<StepStats> add(const std::string& component, int nprocs,
+                                   std::vector<std::string> args);
+
+    /// Number of instances added.
+    std::size_t size() const noexcept { return instances_.size(); }
+
+    /// Total processes across all instances (the paper's resource count).
+    int total_procs() const noexcept;
+
+    /// Launches everything, waits for the graph to drain, records the
+    /// end-to-end wall time.  Throws the first root-cause failure.
+    void run();
+
+    /// End-to-end seconds of the last run() — "from the start of the
+    /// simulation to the point when the last histogram of the last timestep
+    /// is written" (paper §V.C).
+    double elapsed_seconds() const noexcept { return elapsed_; }
+
+    /// Stats sink of instance `i`, in add() order.
+    const StepStats& stats(std::size_t i) const { return *instances_.at(i).stats; }
+
+    /// Human-readable description of instance `i` ("select x16").
+    std::string describe(std::size_t i) const;
+
+    /// Writes a Chrome trace-event JSON timeline of the last run (one
+    /// track per component instance, one lane per rank, one slice per
+    /// timestep).  Load it in chrome://tracing or Perfetto to see how the
+    /// stages of the in situ pipeline overlap.  Call after run().
+    void write_trace(const std::string& path) const;
+
+private:
+    struct Instance {
+        std::string component;
+        int nprocs;
+        util::ArgList args;
+        std::shared_ptr<StepStats> stats;
+    };
+
+    flexpath::Fabric& fabric_;
+    flexpath::StreamOptions options_;
+    std::vector<Instance> instances_;
+    double elapsed_ = 0.0;
+    double epoch_ = 0.0;  // steady-clock start of the last run
+    bool ran_ = false;
+};
+
+}  // namespace sb::core

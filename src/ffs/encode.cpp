@@ -1,0 +1,125 @@
+#include "ffs/encode.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sb::ffs {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x31534646;  // "FFS1" little-endian
+}
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+void ByteWriter::u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+}
+
+void ByteWriter::bytes(std::span<const std::byte> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw std::runtime_error("ffs: truncated packet");
+}
+
+std::uint8_t ByteReader::u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+}
+
+std::uint64_t ByteReader::u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+}
+
+std::string ByteReader::str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+Bytes ByteReader::bytes(std::size_t n) {
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+}
+
+Bytes encode(const Record& rec) {
+    ByteWriter w;
+    w.u32(kMagic);
+    w.str(rec.descriptor().name);
+    w.u32(static_cast<std::uint32_t>(rec.descriptor().fields.size()));
+    for (const FieldDesc& fd : rec.descriptor().fields) {
+        w.str(fd.name);
+        w.u8(static_cast<std::uint8_t>(fd.kind));
+        w.u8(static_cast<std::uint8_t>(fd.shape.size()));
+        for (auto d : fd.shape) w.u64(d);
+        if (fd.kind == Kind::String) {
+            for (const std::string& s : rec.get_strings(fd.name)) w.str(s);
+        } else {
+            w.bytes(rec.raw_bytes(fd.name));
+        }
+    }
+    return w.take();
+}
+
+Record decode(std::span<const std::byte> wire) {
+    ByteReader r(wire);
+    if (r.u32() != kMagic) throw std::runtime_error("ffs: bad magic");
+    TypeDescriptor desc;
+    desc.name = r.str();
+    Record rec(desc);
+    const std::uint32_t nfields = r.u32();
+    for (std::uint32_t i = 0; i < nfields; ++i) {
+        FieldDesc fd;
+        fd.name = r.str();
+        const std::uint8_t kind_raw = r.u8();
+        if (kind_raw > static_cast<std::uint8_t>(Kind::String)) {
+            throw std::runtime_error("ffs: unknown field kind");
+        }
+        fd.kind = static_cast<Kind>(kind_raw);
+        const std::uint8_t ndim = r.u8();
+        fd.shape.resize(ndim);
+        for (auto& d : fd.shape) d = r.u64();
+
+        if (fd.kind == Kind::String) {
+            std::vector<std::string> vals(fd.element_count());
+            for (auto& s : vals) s = r.str();
+            if (fd.shape.size() != 1) {
+                throw std::runtime_error("ffs: string fields must be rank-1");
+            }
+            rec.add_strings(fd.name, std::move(vals));
+        } else {
+            const std::size_t nbytes =
+                static_cast<std::size_t>(fd.element_count()) * kind_size(fd.kind);
+            Bytes payload = r.bytes(nbytes);
+            rec.add_field(std::move(fd), std::move(payload));
+        }
+    }
+    if (!r.done()) throw std::runtime_error("ffs: trailing bytes after record");
+    return rec;
+}
+
+}  // namespace sb::ffs

@@ -1,0 +1,69 @@
+// Wire encoding of FFS records.
+//
+// Format (all integers little-endian):
+//   magic  "FFS1"
+//   name   : u32 length + bytes
+//   nfields: u32
+//   field  : name (u32+bytes), kind u8, ndim u8, dims u64 x ndim, payload
+//     numeric payload: element_count * kind_size raw bytes
+//     string  payload: element_count x (u32 length + bytes)
+//
+// The schema travels with every packet, so a decoder needs no out-of-band
+// type registry — the property that makes SmartBlock components generic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ffs/type.hpp"
+
+namespace sb::ffs {
+
+using Bytes = std::vector<std::byte>;
+
+/// Serializes a record with its embedded schema.
+Bytes encode(const Record& rec);
+
+/// Reconstructs a record (schema and values) from the wire.
+/// Throws std::runtime_error on truncated or corrupt input.
+Record decode(std::span<const std::byte> wire);
+
+// ---- low-level byte stream helpers (exposed for tests/benches) ----------
+
+class ByteWriter {
+public:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void str(const std::string& s);
+    void bytes(std::span<const std::byte> b);
+
+    Bytes take() { return std::move(buf_); }
+    std::size_t size() const noexcept { return buf_.size(); }
+
+private:
+    Bytes buf_;
+};
+
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::string str();
+    Bytes bytes(std::size_t n);
+
+    std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    bool done() const noexcept { return pos_ == data_.size(); }
+
+private:
+    void need(std::size_t n) const;
+    std::span<const std::byte> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace sb::ffs

@@ -1,0 +1,111 @@
+#include "ffs/type.hpp"
+
+namespace sb::ffs {
+
+std::size_t kind_size(Kind k) {
+    switch (k) {
+        case Kind::Byte: return 1;
+        case Kind::Int32: return 4;
+        case Kind::Int64: return 8;
+        case Kind::UInt64: return 8;
+        case Kind::Float32: return 4;
+        case Kind::Float64: return 8;
+        case Kind::String: break;
+    }
+    throw std::invalid_argument("kind_size: not a fixed-size kind");
+}
+
+const char* kind_name(Kind k) {
+    switch (k) {
+        case Kind::Byte: return "byte";
+        case Kind::Int32: return "int32";
+        case Kind::Int64: return "int64";
+        case Kind::UInt64: return "uint64";
+        case Kind::Float32: return "float32";
+        case Kind::Float64: return "float64";
+        case Kind::String: return "string";
+    }
+    return "?";
+}
+
+const FieldDesc* TypeDescriptor::find(const std::string& field_name) const noexcept {
+    for (const auto& f : fields) {
+        if (f.name == field_name) return &f;
+    }
+    return nullptr;
+}
+
+Record::Record(TypeDescriptor desc) : desc_(std::move(desc)) {
+    // Descriptor-first construction: payloads are added via add_* calls,
+    // which must match the declared fields in order.  Simpler: clear the
+    // field list and let add_* rebuild it, preserving only the type name.
+    desc_.fields.clear();
+}
+
+void Record::add_raw(const std::string& name, Kind kind,
+                     std::vector<std::uint64_t> shape, std::vector<std::byte> bytes) {
+    FieldDesc fd{name, kind, std::move(shape)};
+    if (fd.element_count() * kind_size(kind) != bytes.size()) {
+        throw std::invalid_argument("add_raw '" + name + "': shape/bytes size mismatch");
+    }
+    add_field(std::move(fd), std::move(bytes));
+}
+
+void Record::add_strings(const std::string& name, std::vector<std::string> values) {
+    FieldDesc fd{name, Kind::String, {static_cast<std::uint64_t>(values.size())}};
+    add_field(std::move(fd), std::move(values));
+}
+
+bool Record::has(const std::string& name) const noexcept {
+    return by_name_.count(name) != 0;
+}
+
+const std::vector<std::string>& Record::get_strings(const std::string& name) const {
+    const std::size_t i = index_of(name);
+    if (desc_.fields[i].kind != Kind::String) {
+        throw std::runtime_error("get_strings '" + name + "': field is not a string field");
+    }
+    return std::get<std::vector<std::string>>(payloads_[i]);
+}
+
+const std::vector<std::uint64_t>& Record::shape_of(const std::string& name) const {
+    return desc_.fields[index_of(name)].shape;
+}
+
+std::span<const std::byte> Record::raw_bytes(const std::string& name) const {
+    const std::size_t i = index_of(name);
+    if (desc_.fields[i].kind == Kind::String) {
+        throw std::runtime_error("raw_bytes '" + name + "': string field has no raw bytes");
+    }
+    return std::get<std::vector<std::byte>>(payloads_[i]);
+}
+
+void Record::add_field(FieldDesc fd, Payload payload) {
+    if (by_name_.count(fd.name)) {
+        throw std::invalid_argument("duplicate field '" + fd.name + "'");
+    }
+    by_name_[fd.name] = desc_.fields.size();
+    desc_.fields.push_back(std::move(fd));
+    payloads_.push_back(std::move(payload));
+}
+
+std::size_t Record::index_of(const std::string& name) const {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+        throw std::out_of_range("record '" + desc_.name + "' has no field '" + name + "'");
+    }
+    return it->second;
+}
+
+std::pair<const FieldDesc&, const std::vector<std::byte>&>
+Record::numeric_field(const std::string& name, Kind expected) const {
+    const std::size_t i = index_of(name);
+    const FieldDesc& fd = desc_.fields[i];
+    if (fd.kind != expected) {
+        throw std::runtime_error("field '" + name + "' is " + kind_name(fd.kind) +
+                                 ", not " + kind_name(expected));
+    }
+    return {fd, std::get<std::vector<std::byte>>(payloads_[i])};
+}
+
+}  // namespace sb::ffs

@@ -1,0 +1,161 @@
+// FFS-like self-describing typed records.
+//
+// FFS ("a type system for high performance communication") gives FlexPath
+// streams their self-describing property: every packet carries enough schema
+// to be decoded by a receiver that has never seen the type before.  This
+// module reproduces that: a TypeDescriptor names the fields of a record
+// (name, element kind, shape), a Record holds matching values, and
+// encode()/decode() (see encode.hpp) move records through a portable
+// little-endian wire format with the schema embedded in each packet.
+//
+// FlexPath (src/flexpath) uses FFS records for all step metadata — variable
+// names, global shapes, dimension labels, attributes — so stream metadata
+// crosses component boundaries exactly the way the paper describes: typed
+// and self-describing, not as shared in-process pointers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sb::ffs {
+
+/// Element kinds supported on the wire.
+enum class Kind : std::uint8_t {
+    Byte = 0,
+    Int32 = 1,
+    Int64 = 2,
+    UInt64 = 3,
+    Float32 = 4,
+    Float64 = 5,
+    String = 6,  // arrays of length-prefixed UTF-8 strings
+};
+
+/// Size in bytes of one element of a numeric kind; throws for String.
+std::size_t kind_size(Kind k);
+
+const char* kind_name(Kind k);
+
+/// Maps C++ types to wire kinds.
+template <typename T> struct kind_of;
+template <> struct kind_of<std::byte> { static constexpr Kind value = Kind::Byte; };
+template <> struct kind_of<std::int32_t> { static constexpr Kind value = Kind::Int32; };
+template <> struct kind_of<std::int64_t> { static constexpr Kind value = Kind::Int64; };
+template <> struct kind_of<std::uint64_t> { static constexpr Kind value = Kind::UInt64; };
+template <> struct kind_of<float> { static constexpr Kind value = Kind::Float32; };
+template <> struct kind_of<double> { static constexpr Kind value = Kind::Float64; };
+
+/// One field of a record: a named, shaped, typed value.  An empty shape
+/// denotes a scalar (exactly one element).
+struct FieldDesc {
+    std::string name;
+    Kind kind = Kind::Byte;
+    std::vector<std::uint64_t> shape;
+
+    std::uint64_t element_count() const noexcept {
+        std::uint64_t n = 1;
+        for (auto d : shape) n *= d;
+        return n;
+    }
+
+    bool operator==(const FieldDesc&) const = default;
+};
+
+/// The schema of a record type.
+struct TypeDescriptor {
+    std::string name;
+    std::vector<FieldDesc> fields;
+
+    const FieldDesc* find(const std::string& field_name) const noexcept;
+    bool operator==(const TypeDescriptor&) const = default;
+};
+
+/// A value conforming to a TypeDescriptor.  Numeric field payloads are kept
+/// as raw little-endian-compatible host bytes; string fields as vectors of
+/// strings.
+class Record {
+public:
+    Record() = default;
+    explicit Record(TypeDescriptor desc);
+
+    const TypeDescriptor& descriptor() const noexcept { return desc_; }
+
+    // ---- field construction (also extends the descriptor) --------------
+    /// Adds a numeric array field with the given shape.
+    template <typename T>
+    void add_array(const std::string& name, std::span<const T> data,
+                   std::vector<std::uint64_t> shape) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        FieldDesc fd{name, kind_of<T>::value, std::move(shape)};
+        if (fd.element_count() != data.size()) {
+            throw std::invalid_argument("add_array '" + name + "': shape/data size mismatch");
+        }
+        std::vector<std::byte> raw(data.size_bytes());
+        std::memcpy(raw.data(), data.data(), data.size_bytes());
+        add_field(std::move(fd), std::move(raw));
+    }
+
+    template <typename T>
+    void add_scalar(const std::string& name, const T& v) {
+        add_array<T>(name, std::span<const T>(&v, 1), {});
+    }
+
+    void add_strings(const std::string& name, std::vector<std::string> values);
+
+    /// Adds a numeric field from raw bytes (size must be
+    /// element_count(shape) * kind_size(kind)).
+    void add_raw(const std::string& name, Kind kind, std::vector<std::uint64_t> shape,
+                 std::vector<std::byte> bytes);
+
+    // ---- field access ----------------------------------------------------
+    bool has(const std::string& name) const noexcept;
+
+    template <typename T>
+    std::vector<T> get_array(const std::string& name) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto& [fd, raw] = numeric_field(name, kind_of<T>::value);
+        std::vector<T> out(raw.size() / sizeof(T));
+        std::memcpy(out.data(), raw.data(), raw.size());
+        (void)fd;
+        return out;
+    }
+
+    template <typename T>
+    T get_scalar(const std::string& name) const {
+        auto v = get_array<T>(name);
+        if (v.size() != 1) {
+            throw std::runtime_error("get_scalar '" + name + "': field is not scalar");
+        }
+        return v[0];
+    }
+
+    const std::vector<std::string>& get_strings(const std::string& name) const;
+
+    /// Shape of a field, as declared.
+    const std::vector<std::uint64_t>& shape_of(const std::string& name) const;
+
+    /// Raw payload bytes of a numeric field (no copy).
+    std::span<const std::byte> raw_bytes(const std::string& name) const;
+
+private:
+    friend Record decode(std::span<const std::byte>);
+
+    using Payload = std::variant<std::vector<std::byte>, std::vector<std::string>>;
+
+    void add_field(FieldDesc fd, Payload payload);
+    std::size_t index_of(const std::string& name) const;
+    std::pair<const FieldDesc&, const std::vector<std::byte>&>
+    numeric_field(const std::string& name, Kind expected) const;
+
+    TypeDescriptor desc_;
+    std::vector<Payload> payloads_;
+    std::map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace sb::ffs

@@ -1,0 +1,87 @@
+#include "flexpath/reader.hpp"
+
+#include <stdexcept>
+
+namespace sb::flexpath {
+
+ReaderPort::ReaderPort(Fabric& fabric, const std::string& stream_name, int rank,
+                       int nranks)
+    : stream_(fabric.get(stream_name)) {
+    (void)rank;
+    stream_->attach_reader(nranks);
+}
+
+bool ReaderPort::begin_step() {
+    if (current_) throw std::logic_error("begin_step: step already in progress");
+    current_ = stream_->acquire(gen_);
+    if (!current_) return false;
+    meta_ = decode_step_meta(current_->meta);
+    return true;
+}
+
+const StepMeta& ReaderPort::meta() const {
+    if (!current_) throw std::logic_error("meta: no step in progress");
+    return meta_;
+}
+
+const VarDecl& ReaderPort::var(const std::string& var) const {
+    const auto it = meta().vars.find(var);
+    if (it == meta_.vars.end()) {
+        throw std::runtime_error("stream '" + stream_->name() + "' step " +
+                                 std::to_string(meta_.step) + " has no variable '" +
+                                 var + "'");
+    }
+    return it->second;
+}
+
+void ReaderPort::read_bytes(const std::string& var, const util::Box& box,
+                            std::span<std::byte> dest) const {
+    const VarDecl& decl = this->var(var);
+    const std::size_t elem = ffs::kind_size(decl.kind);
+    if (box.ndim() != decl.global_shape.ndim()) {
+        throw std::invalid_argument("read '" + var + "': selection rank " +
+                                    std::to_string(box.ndim()) + " != variable rank " +
+                                    std::to_string(decl.global_shape.ndim()));
+    }
+    if (!box.within(decl.global_shape)) {
+        throw std::invalid_argument("read '" + var + "': selection " + box.to_string() +
+                                    " outside global shape " +
+                                    decl.global_shape.to_string());
+    }
+    if (dest.size() < box.volume() * elem) {
+        throw std::invalid_argument("read '" + var + "': destination too small");
+    }
+    if (box.empty()) return;
+
+    // MxN assembly: copy every writer block's intersection with the request.
+    std::uint64_t covered = 0;
+    const auto bit = current_->blocks.find(var);
+    if (bit != current_->blocks.end()) {
+        for (const Block& b : bit->second) {
+            const auto region = util::intersect(b.box, box);
+            if (!region) continue;
+            util::copy_box(std::span<const std::byte>(*b.data), b.box, dest, box,
+                           *region, elem);
+            covered += region->volume();
+        }
+    }
+    if (covered != box.volume()) {
+        throw std::runtime_error("read '" + var + "': selection " + box.to_string() +
+                                 " only covered by " + std::to_string(covered) + "/" +
+                                 std::to_string(box.volume()) + " elements");
+    }
+}
+
+void ReaderPort::end_step() {
+    if (!current_) throw std::logic_error("end_step: no step in progress");
+    current_.reset();
+    stream_->release(gen_);
+    ++gen_;
+}
+
+std::uint64_t ReaderPort::current_step() const {
+    if (!current_) throw std::logic_error("current_step: no step in progress");
+    return meta_.step;
+}
+
+}  // namespace sb::flexpath

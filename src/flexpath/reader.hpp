@@ -1,0 +1,69 @@
+// Per-rank reader handle on a FlexPath stream.
+//
+// One ReaderPort lives on each rank of the consuming component.  begin_step
+// blocks until the next assembled step is available (or returns false at end
+// of stream); the rank then inspects the decoded self-describing metadata,
+// reads any bounding boxes it wants (the MxN redistribution happens here:
+// the requested box is assembled from whichever writer blocks intersect it),
+// and calls end_step to retire the step.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flexpath/stream.hpp"
+
+namespace sb::flexpath {
+
+class ReaderPort {
+public:
+    ReaderPort(Fabric& fabric, const std::string& stream_name, int rank, int nranks);
+
+    ReaderPort(const ReaderPort&) = delete;
+    ReaderPort& operator=(const ReaderPort&) = delete;
+
+    /// Blocks until the next step is available; false at end of stream.
+    bool begin_step();
+
+    /// Decoded metadata of the current step.
+    const StepMeta& meta() const;
+
+    /// The declaration of variable `var` in the current step.
+    const VarDecl& var(const std::string& var) const;
+
+    /// Reads the hyperslab `box` (global coordinates) of `var` into `dest`,
+    /// which receives box.volume() elements row-major.  Throws if any part
+    /// of the box was not covered by writer blocks.
+    void read_bytes(const std::string& var, const util::Box& box,
+                    std::span<std::byte> dest) const;
+
+    template <typename T>
+    std::vector<T> read(const std::string& var, const util::Box& box) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (ffs::kind_size(this->var(var).kind) != sizeof(T)) {
+            throw std::runtime_error("read '" + var + "': element size mismatch");
+        }
+        std::vector<T> out(box.volume());
+        read_bytes(var, box,
+                   std::span<std::byte>(reinterpret_cast<std::byte*>(out.data()),
+                                        out.size() * sizeof(T)));
+        return out;
+    }
+
+    /// Retires the current step for this rank.
+    void end_step();
+
+    /// Step index of the currently acquired step.
+    std::uint64_t current_step() const;
+
+private:
+    std::shared_ptr<Stream> stream_;
+    std::shared_ptr<const StepData> current_;
+    StepMeta meta_;
+    std::uint64_t gen_ = 0;  // steps completed by this rank
+};
+
+}  // namespace sb::flexpath

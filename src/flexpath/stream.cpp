@@ -1,0 +1,393 @@
+#include "flexpath/stream.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace sb::flexpath {
+
+// ---- step metadata <-> FFS wire format -----------------------------------
+
+ffs::Bytes encode_step_meta(const StepMeta& m) {
+    ffs::Record rec(ffs::TypeDescriptor{"smartblock.step_meta", {}});
+    rec.add_scalar<std::uint64_t>("step", m.step);
+
+    std::vector<std::string> var_names;
+    var_names.reserve(m.vars.size());
+    for (const auto& [name, decl] : m.vars) {
+        var_names.push_back(name);
+        rec.add_scalar<std::int32_t>("v." + name + ".kind",
+                                     static_cast<std::int32_t>(decl.kind));
+        rec.add_array<std::uint64_t>("v." + name + ".shape",
+                                     decl.global_shape.dims(),
+                                     {decl.global_shape.ndim()});
+        rec.add_strings("v." + name + ".labels", decl.dim_labels);
+    }
+    rec.add_strings("vars", std::move(var_names));
+
+    std::vector<std::string> sattr_names;
+    for (const auto& [name, vals] : m.string_attrs) {
+        sattr_names.push_back(name);
+        rec.add_strings("as." + name, vals);
+    }
+    rec.add_strings("sattrs", std::move(sattr_names));
+
+    std::vector<std::string> dattr_names;
+    for (const auto& [name, val] : m.double_attrs) {
+        dattr_names.push_back(name);
+        rec.add_scalar<double>("ad." + name, val);
+    }
+    rec.add_strings("dattrs", std::move(dattr_names));
+
+    return ffs::encode(rec);
+}
+
+StepMeta decode_step_meta(std::span<const std::byte> wire) {
+    const ffs::Record rec = ffs::decode(wire);
+    StepMeta m;
+    m.step = rec.get_scalar<std::uint64_t>("step");
+    for (const std::string& name : rec.get_strings("vars")) {
+        VarDecl d;
+        d.name = name;
+        d.kind = static_cast<DataKind>(rec.get_scalar<std::int32_t>("v." + name + ".kind"));
+        d.global_shape = util::NdShape(rec.get_array<std::uint64_t>("v." + name + ".shape"));
+        d.dim_labels = rec.get_strings("v." + name + ".labels");
+        m.vars.emplace(name, std::move(d));
+    }
+    for (const std::string& name : rec.get_strings("sattrs")) {
+        m.string_attrs.emplace(name, rec.get_strings("as." + name));
+    }
+    for (const std::string& name : rec.get_strings("dattrs")) {
+        m.double_attrs.emplace(name, rec.get_scalar<double>("ad." + name));
+    }
+    return m;
+}
+
+// ---- spool encoding ---------------------------------------------------------
+
+ffs::Bytes encode_step_blocks(const std::map<std::string, std::vector<Block>>& blocks) {
+    ffs::Record rec(ffs::TypeDescriptor{"smartblock.spool", {}});
+    std::uint64_t i = 0;
+    for (const auto& [var, blks] : blocks) {
+        for (const Block& b : blks) {
+            const std::string p = "b" + std::to_string(i++);
+            rec.add_strings(p + ".var", {var});
+            rec.add_array<std::uint64_t>(p + ".offset", b.box.offset,
+                                         {b.box.offset.size()});
+            rec.add_array<std::uint64_t>(p + ".count", b.box.count,
+                                         {b.box.count.size()});
+            rec.add_raw(p + ".data", ffs::Kind::Byte, {b.data->size()}, *b.data);
+        }
+    }
+    rec.add_scalar<std::uint64_t>("nblocks", i);
+    return ffs::encode(rec);
+}
+
+std::map<std::string, std::vector<Block>> decode_step_blocks(
+    std::span<const std::byte> wire) {
+    const ffs::Record rec = ffs::decode(wire);
+    std::map<std::string, std::vector<Block>> out;
+    const std::uint64_t n = rec.get_scalar<std::uint64_t>("nblocks");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::string p = "b" + std::to_string(i);
+        Block b;
+        b.box.offset = rec.get_array<std::uint64_t>(p + ".offset");
+        b.box.count = rec.get_array<std::uint64_t>(p + ".count");
+        const auto raw = rec.raw_bytes(p + ".data");
+        b.data = std::make_shared<const std::vector<std::byte>>(raw.begin(), raw.end());
+        out[rec.get_strings(p + ".var").at(0)].push_back(std::move(b));
+    }
+    return out;
+}
+
+namespace {
+
+std::string spool_file_path(const std::string& dir, const std::string& stream,
+                            std::uint64_t step) {
+    std::string safe = stream;
+    for (char& c : safe) {
+        if (c == '/' || c == '\\') c = '_';
+    }
+    return dir + "/" + safe + "." + std::to_string(step) + ".spool";
+}
+
+}  // namespace
+
+// ---- Stream ----------------------------------------------------------------
+
+Stream::Stream(std::string name) : name_(std::move(name)) {}
+Stream::~Stream() = default;
+
+void Stream::attach_writer(int nranks, const StreamOptions& opts) {
+    if (nranks <= 0) throw std::invalid_argument("attach_writer: nranks must be positive");
+    std::lock_guard lock(mu_);
+    if (writer_size_ == 0) {
+        writer_size_ = nranks;
+        opts_ = opts;
+        rank_submits_.assign(static_cast<std::size_t>(nranks), 0);
+        queue_ = std::make_unique<util::BoundedQueue<StepData>>(opts.queue_capacity);
+        cv_.notify_all();  // wake readers waiting for a writer group
+    } else if (writer_size_ != nranks) {
+        throw std::logic_error("stream '" + name_ +
+                               "': writer ranks disagree on group size");
+    }
+}
+
+void Stream::merge_locked(Contribution& dst, Contribution&& c) {
+    for (auto& [name, decl] : c.var_decls) {
+        auto [it, inserted] = dst.var_decls.try_emplace(name, decl);
+        if (!inserted && !(it->second == decl)) {
+            throw std::logic_error("stream '" + name_ + "': writer ranks disagree on variable '" +
+                                   name + "' declaration");
+        }
+    }
+    for (auto& [name, blks] : c.blocks) {
+        auto& dstblks = dst.blocks[name];
+        for (auto& b : blks) {
+            if (!b.box.empty()) dstblks.push_back(std::move(b));
+        }
+    }
+    for (auto& [name, vals] : c.string_attrs) {
+        auto [it, inserted] = dst.string_attrs.try_emplace(name, vals);
+        if (!inserted && it->second != vals) {
+            throw std::logic_error("stream '" + name_ +
+                                   "': writer ranks disagree on attribute '" + name + "'");
+        }
+    }
+    for (auto& [name, val] : c.double_attrs) {
+        dst.double_attrs.emplace(name, val);
+    }
+}
+
+StepData Stream::assemble_locked(std::uint64_t step) {
+    Contribution pending = std::move(pending_.at(step));
+    pending_.erase(step);
+    pending_counts_.erase(step);
+
+    StepMeta meta;
+    meta.step = step;
+    meta.vars = pending.var_decls;
+    meta.string_attrs = pending.string_attrs;
+    meta.double_attrs = pending.double_attrs;
+
+    // Validate blocks against declarations.
+    for (const auto& [name, blks] : pending.blocks) {
+        const auto it = meta.vars.find(name);
+        if (it == meta.vars.end()) {
+            throw std::logic_error("stream '" + name_ + "': data for undeclared variable '" +
+                                   name + "'");
+        }
+        for (const Block& b : blks) {
+            if (!b.box.within(it->second.global_shape)) {
+                throw std::logic_error("stream '" + name_ + "': block " + b.box.to_string() +
+                                       " outside global shape " +
+                                       it->second.global_shape.to_string() +
+                                       " of variable '" + name + "'");
+            }
+        }
+    }
+
+    StepData sd;
+    sd.step = step;
+    sd.meta = encode_step_meta(meta);
+    sd.blocks = std::move(pending.blocks);
+    return sd;
+}
+
+void Stream::abort() {
+    std::lock_guard lock(mu_);
+    if (aborted_) return;
+    aborted_ = true;
+    if (queue_) queue_->close();
+    cv_.notify_all();
+}
+
+void Stream::submit(int rank, Contribution c) {
+    std::optional<StepData> completed;
+    {
+        std::lock_guard lock(mu_);
+        if (aborted_) throw StreamAborted(name_);
+        if (writer_size_ == 0) {
+            throw std::logic_error("stream '" + name_ + "': submit before attach_writer");
+        }
+        if (rank < 0 || rank >= writer_size_) {
+            throw std::out_of_range("stream '" + name_ + "': bad writer rank");
+        }
+        // This rank's n-th submit always belongs to step n, regardless of
+        // how far ahead of its peers the rank is running.
+        const std::uint64_t step = rank_submits_[static_cast<std::size_t>(rank)]++;
+        merge_locked(pending_[step], std::move(c));
+        if (++pending_counts_[step] == writer_size_) {
+            // Every rank submits steps in order, so steps complete in
+            // order: this must be the next step to queue.
+            if (step != next_step_) {
+                throw std::logic_error("stream '" + name_ + "': step " +
+                                       std::to_string(step) +
+                                       " completed out of order");
+            }
+            ++next_step_;
+            completed = assemble_locked(step);
+        }
+    }
+    if (completed) {
+        // Spooling: park the step's data on disk so deep buffers stay
+        // memory-bounded; readers load it back on acquire.
+        if (!opts_.spool_dir.empty()) {
+            const std::string path =
+                spool_file_path(opts_.spool_dir, name_, completed->step);
+            const ffs::Bytes packet = encode_step_blocks(completed->blocks);
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            if (!out) {
+                throw std::runtime_error("stream '" + name_ + "': cannot spool to '" +
+                                         path + "'");
+            }
+            out.write(reinterpret_cast<const char*>(packet.data()),
+                      static_cast<std::streamsize>(packet.size()));
+            completed->blocks.clear();
+            completed->spool_path = path;
+        }
+        // Pushed outside mu_ so other ranks can begin the next step while
+        // this (last-arriving) rank blocks on a full queue — backpressure
+        // lands exactly where FlexPath's bounded writer-side buffer puts it.
+        SB_LOG(Debug) << "stream " << name_ << ": step " << completed->step << " queued";
+        if (!queue_->push(std::move(*completed))) {
+            // The queue only closes on abort (writers close after their
+            // last submit, never during one).
+            throw StreamAborted(name_);
+        }
+    }
+}
+
+void Stream::close_writer(int rank) {
+    std::lock_guard lock(mu_);
+    if (aborted_) return;  // nothing left to signal
+    if (writer_size_ == 0 || rank < 0 || rank >= writer_size_) {
+        throw std::logic_error("stream '" + name_ + "': close_writer before attach");
+    }
+    if (++writers_closed_ == writer_size_) {
+        if (!pending_.empty()) {
+            throw std::logic_error("stream '" + name_ +
+                                   "': writer group closed with " +
+                                   std::to_string(pending_.size()) +
+                                   " incomplete step(s)");
+        }
+        queue_->close();
+        SB_LOG(Debug) << "stream " << name_ << ": writer group closed";
+    }
+}
+
+void Stream::attach_reader(int nranks) {
+    if (nranks <= 0) throw std::invalid_argument("attach_reader: nranks must be positive");
+    std::lock_guard lock(mu_);
+    if (reader_size_ == 0) {
+        reader_size_ = nranks;
+    } else if (reader_size_ != nranks) {
+        throw std::logic_error("stream '" + name_ +
+                               "': reader ranks disagree on group size");
+    }
+}
+
+std::shared_ptr<const StepData> Stream::acquire(std::uint64_t my_gen) {
+    std::unique_lock lock(mu_);
+    if (reader_size_ == 0) {
+        throw std::logic_error("stream '" + name_ + "': acquire before attach_reader");
+    }
+    for (;;) {
+        if (aborted_) throw StreamAborted(name_);
+        if (current_ && current_gen_ == my_gen) return current_;
+        if (!current_ && eos_) return nullptr;
+        if (!current_ && !fetching_ && queue_) {
+            fetching_ = true;
+            lock.unlock();
+            std::optional<StepData> item = queue_->pop();  // blocks, own cv
+            lock.lock();
+            fetching_ = false;
+            if (!item) {
+                eos_ = true;
+            } else {
+                if (!item->spool_path.empty()) {
+                    // Load the spooled blocks back (outside mu_ would be
+                    // nicer, but acquire contention is per-step and the
+                    // fetch already happens on one rank only).
+                    std::ifstream in(item->spool_path, std::ios::binary);
+                    if (!in) {
+                        throw std::runtime_error("stream '" + name_ +
+                                                 "': missing spool file '" +
+                                                 item->spool_path + "'");
+                    }
+                    const std::string packet(
+                        (std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+                    item->blocks = decode_step_blocks(std::span<const std::byte>(
+                        reinterpret_cast<const std::byte*>(packet.data()),
+                        packet.size()));
+                    std::filesystem::remove(item->spool_path);
+                    item->spool_path.clear();
+                }
+                current_ = std::make_shared<const StepData>(std::move(*item));
+                current_gen_ = my_gen;
+                released_ = 0;
+            }
+            cv_.notify_all();
+            continue;
+        }
+        // Waiting for: a writer group to appear, a peer to finish fetching,
+        // or peers to release the previous step.
+        cv_.wait(lock);
+    }
+}
+
+void Stream::release(std::uint64_t my_gen) {
+    std::lock_guard lock(mu_);
+    if (aborted_) return;
+    if (!current_ || current_gen_ != my_gen) {
+        throw std::logic_error("stream '" + name_ + "': release without matching acquire");
+    }
+    if (++released_ == reader_size_) {
+        current_.reset();
+        released_ = 0;
+        cv_.notify_all();
+    }
+}
+
+std::size_t Stream::queued_steps() const {
+    std::lock_guard lock(mu_);
+    return queue_ ? queue_->size() : 0;
+}
+
+bool Stream::writer_attached() const {
+    std::lock_guard lock(mu_);
+    return writer_size_ > 0;
+}
+
+// ---- Fabric ----------------------------------------------------------------
+
+std::shared_ptr<Stream> Fabric::get(const std::string& name) {
+    std::lock_guard lock(mu_);
+    auto it = streams_.find(name);
+    if (it == streams_.end()) {
+        it = streams_.emplace(name, std::make_shared<Stream>(name)).first;
+    }
+    return it->second;
+}
+
+void Fabric::abort_all() {
+    std::vector<std::shared_ptr<Stream>> snapshot;
+    {
+        std::lock_guard lock(mu_);
+        for (auto& [name, s] : streams_) snapshot.push_back(s);
+    }
+    for (auto& s : snapshot) s->abort();
+}
+
+std::vector<std::string> Fabric::stream_names() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(streams_.size());
+    for (const auto& [name, s] : streams_) out.push_back(name);
+    return out;
+}
+
+}  // namespace sb::flexpath

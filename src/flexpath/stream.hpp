@@ -1,0 +1,224 @@
+// FlexPath-like publish/subscribe stream transport.
+//
+// The paper's FlexPath connects a *writer group* (the W ranks of an upstream
+// component) to a *reader group* (the R ranks of a downstream component)
+// through a named stream, and carries out the MxN redistribution: each writer
+// rank contributes a hyperslab block of a global array per timestep; each
+// reader rank requests a bounding box and receives exactly the data inside
+// it, regardless of how the writers partitioned the array.
+//
+// This module reproduces the four assembly properties of paper §IV:
+//   1. Streams are addressed purely by name (Fabric registry), so workflows
+//      are wired by matching output/input stream names at launch.
+//   2. Launch order is irrelevant: a stream springs into existence on first
+//      open from either side; readers block until writers produce, writers
+//      buffer until readers consume.
+//   3. Writer and reader group sizes are independent (full MxN).
+//   4. Completed steps are buffered writer-side in a bounded queue, letting
+//      the upstream component compute ahead of its consumers (asynchronous
+//      overlap); a full queue applies backpressure.
+//
+// Step metadata (variable names, kinds, global shapes, dimension labels,
+// attributes) is carried as a self-describing FFS packet, decoded by
+// readers, so downstream components discover everything from the stream
+// itself — the property that makes SmartBlock components generic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ffs/encode.hpp"
+#include "ffs/type.hpp"
+#include "util/ndarray.hpp"
+#include "util/queue.hpp"
+
+namespace sb::flexpath {
+
+using DataKind = ffs::Kind;
+
+/// One writer rank's block of one variable for one step.  The payload is
+/// shared (never copied) between writer buffering and reader access.
+struct Block {
+    util::Box box;  // global coordinates
+    std::shared_ptr<const std::vector<std::byte>> data;  // row-major in box
+};
+
+/// Declaration of a variable within a step.
+struct VarDecl {
+    std::string name;
+    DataKind kind = DataKind::Float64;
+    util::NdShape global_shape;
+    std::vector<std::string> dim_labels;  // empty, or one label per dimension
+
+    bool operator==(const VarDecl&) const = default;
+};
+
+/// A fully assembled timestep, as seen by readers.
+struct StepData {
+    std::uint64_t step = 0;
+    ffs::Bytes meta;  // FFS-encoded metadata packet (see encode_step_meta)
+    std::map<std::string, std::vector<Block>> blocks;  // var name -> blocks
+    /// When the stream spools (StreamOptions::spool_dir), buffered steps
+    /// park their blocks in this file instead of memory until acquired.
+    std::string spool_path;
+};
+
+/// Encodes/decodes a step's blocks for disk spooling (exposed for tests).
+ffs::Bytes encode_step_blocks(const std::map<std::string, std::vector<Block>>& blocks);
+std::map<std::string, std::vector<Block>> decode_step_blocks(
+    std::span<const std::byte> wire);
+
+/// Decoded view of a step's metadata.
+struct StepMeta {
+    std::uint64_t step = 0;
+    std::map<std::string, VarDecl> vars;
+    std::map<std::string, std::vector<std::string>> string_attrs;
+    std::map<std::string, double> double_attrs;
+};
+
+/// Encodes/decodes step metadata through the FFS wire format.
+ffs::Bytes encode_step_meta(const StepMeta& m);
+StepMeta decode_step_meta(std::span<const std::byte> wire);
+
+/// Per-rank, per-step contribution handed to the stream by a writer.
+struct Contribution {
+    std::map<std::string, VarDecl> var_decls;
+    std::map<std::string, std::vector<Block>> blocks;
+    std::map<std::string, std::vector<std::string>> string_attrs;
+    std::map<std::string, double> double_attrs;
+};
+
+struct StreamOptions {
+    /// Max completed steps buffered writer-side.  0 = synchronous rendezvous
+    /// (writer's end_step blocks until the reader group takes the step) —
+    /// used by the async-buffering ablation.
+    std::size_t queue_capacity = 2;
+
+    /// When non-empty, buffered steps spool their data blocks to
+    /// self-describing packet files in this directory instead of holding
+    /// them in memory, and load them back on acquire — the paper §VI idea
+    /// of storage participating in a workflow, applied to the transport's
+    /// buffer: deep buffering with bounded memory.
+    std::string spool_dir;
+};
+
+/// Thrown out of blocked stream operations when a workflow peer failed and
+/// the fabric was aborted (so no component hangs on a dead neighbour).
+class StreamAborted : public std::runtime_error {
+public:
+    explicit StreamAborted(const std::string& stream)
+        : std::runtime_error("stream '" + stream + "' aborted") {}
+};
+
+/// A named stream connecting one writer group to one reader group.
+/// Thread-safe; all blocking uses condition variables.
+class Stream {
+public:
+    explicit Stream(std::string name);
+    ~Stream();
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+
+    // ---- writer side -----------------------------------------------------
+    /// Called once per writer rank; the first call fixes the group size and
+    /// options.  All ranks must pass the same values.
+    void attach_writer(int nranks, const StreamOptions& opts);
+
+    /// Submits rank `rank`'s contribution for its next step.  When the last
+    /// rank of the group submits, the step is assembled, its metadata is
+    /// FFS-encoded, and it is queued for the readers (this final submit
+    /// blocks if the queue is full — backpressure).
+    void submit(int rank, Contribution c);
+
+    /// Called once per writer rank.  When the whole group has closed, end
+    /// of stream propagates to the readers.
+    void close_writer(int rank);
+
+    // ---- reader side -----------------------------------------------------
+    /// Called once per reader rank; first call fixes the reader group size.
+    void attach_reader(int nranks);
+
+    /// Blocks until the step this rank should process next is available.
+    /// All reader ranks observe the same sequence of steps.  Returns nullptr
+    /// at end of stream.  `my_gen` is the number of steps this rank has
+    /// already completed (managed by ReaderPort).
+    std::shared_ptr<const StepData> acquire(std::uint64_t my_gen);
+
+    /// Releases the current step; when every reader rank has released it,
+    /// the step is retired and queue space is freed.
+    void release(std::uint64_t my_gen);
+
+    /// Wakes every blocked reader/writer with StreamAborted (used when a
+    /// workflow peer dies so the rest of the graph unwinds).  Idempotent.
+    void abort();
+
+    // ---- introspection (tests, benches) -----------------------------------
+    std::size_t queued_steps() const;
+    bool writer_attached() const;
+
+private:
+    struct WriterState;
+    struct ReaderState;
+
+    const std::string name_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+
+    // Writer group.  Ranks are not in lockstep: a fast rank may be several
+    // steps ahead of a slow one, so contributions are merged per step.
+    int writer_size_ = 0;  // 0 until attached
+    StreamOptions opts_;
+    std::vector<std::uint64_t> rank_submits_;  // per-rank count of submitted steps
+    std::map<std::uint64_t, Contribution> pending_;  // step -> merged contribution
+    std::map<std::uint64_t, int> pending_counts_;    // step -> ranks arrived
+    int writers_closed_ = 0;
+    std::uint64_t next_step_ = 0;  // next step to assemble and queue
+    std::unique_ptr<util::BoundedQueue<StepData>> queue_;
+
+    // Reader group.
+    int reader_size_ = 0;  // 0 until attached
+    std::shared_ptr<const StepData> current_;
+    std::uint64_t current_gen_ = 0;
+    int released_ = 0;
+    bool fetching_ = false;
+    bool eos_ = false;
+    bool aborted_ = false;
+
+    void merge_locked(Contribution& dst, Contribution&& c);
+    StepData assemble_locked(std::uint64_t step);
+};
+
+/// Process-wide registry of streams by name.  A workflow owns one Fabric;
+/// components receive it through their run context (the reproduction's
+/// stand-in for the EVPath connection manager).
+class Fabric {
+public:
+    Fabric() = default;
+    Fabric(const Fabric&) = delete;
+    Fabric& operator=(const Fabric&) = delete;
+
+    /// Returns the stream named `name`, creating it on first use (from
+    /// either the writer or the reader side — launch-order independence).
+    std::shared_ptr<Stream> get(const std::string& name);
+
+    /// Names of all streams ever opened (diagnostics).
+    std::vector<std::string> stream_names() const;
+
+    /// Aborts every stream (see Stream::abort).
+    void abort_all();
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Stream>> streams_;
+};
+
+}  // namespace sb::flexpath

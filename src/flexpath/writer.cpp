@@ -1,0 +1,60 @@
+#include "flexpath/writer.hpp"
+
+namespace sb::flexpath {
+
+WriterPort::WriterPort(Fabric& fabric, const std::string& stream_name, int rank,
+                       int nranks, const StreamOptions& opts)
+    : stream_(fabric.get(stream_name)), rank_(rank) {
+    stream_->attach_writer(nranks, opts);
+}
+
+WriterPort::~WriterPort() {
+    try {
+        close();
+    } catch (...) {
+        // Destructor must not throw; close errors surface via explicit close().
+    }
+}
+
+void WriterPort::declare(const VarDecl& decl) {
+    pending_.var_decls[decl.name] = decl;
+}
+
+void WriterPort::put(const std::string& var, util::Box box,
+                     std::shared_ptr<const std::vector<std::byte>> data) {
+    const auto it = pending_.var_decls.find(var);
+    if (it == pending_.var_decls.end()) {
+        throw std::logic_error("put '" + var + "': variable not declared this step");
+    }
+    const std::size_t elem = ffs::kind_size(it->second.kind);
+    if (data->size() != box.volume() * elem) {
+        throw std::invalid_argument("put '" + var + "': buffer size " +
+                                    std::to_string(data->size()) + " != box volume " +
+                                    std::to_string(box.volume()) + " x " +
+                                    std::to_string(elem));
+    }
+    pending_.blocks[var].push_back(Block{std::move(box), std::move(data)});
+}
+
+void WriterPort::put_attr(const std::string& name, std::vector<std::string> values) {
+    pending_.string_attrs[name] = std::move(values);
+}
+
+void WriterPort::put_attr(const std::string& name, double value) {
+    pending_.double_attrs[name] = value;
+}
+
+void WriterPort::end_step() {
+    if (closed_) throw std::logic_error("end_step after close");
+    stream_->submit(rank_, std::move(pending_));
+    pending_ = Contribution{};
+    ++steps_;
+}
+
+void WriterPort::close() {
+    if (closed_) return;
+    closed_ = true;
+    stream_->close_writer(rank_);
+}
+
+}  // namespace sb::flexpath

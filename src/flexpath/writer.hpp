@@ -1,0 +1,71 @@
+// Per-rank writer handle on a FlexPath stream.
+//
+// One WriterPort lives on each rank of the producing component.  Per step a
+// rank declares its variables (global shape, kind, dimension labels), puts
+// its local block(s), optionally attaches attributes (e.g. the Select
+// header), and calls end_step(); the stream assembles the step once every
+// rank of the group has done so.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "flexpath/stream.hpp"
+
+namespace sb::flexpath {
+
+class WriterPort {
+public:
+    /// Opens (creating if needed) stream `stream_name` on `fabric` for
+    /// writer rank `rank` of a group of `nranks`.
+    WriterPort(Fabric& fabric, const std::string& stream_name, int rank, int nranks,
+               const StreamOptions& opts = {});
+
+    /// Closes the port (idempotent); when all ranks of the group have
+    /// closed, end-of-stream propagates downstream.
+    ~WriterPort();
+
+    WriterPort(const WriterPort&) = delete;
+    WriterPort& operator=(const WriterPort&) = delete;
+
+    /// Declares a variable for the current step.  Every rank must declare
+    /// identically (the components compute the global shape collectively).
+    void declare(const VarDecl& decl);
+
+    /// Contributes this rank's block of `var` for the current step.  `data`
+    /// holds the block's elements row-major and is shared, not copied.
+    void put(const std::string& var, util::Box box,
+             std::shared_ptr<const std::vector<std::byte>> data);
+
+    /// Copying convenience: packs a typed span into a fresh buffer.
+    template <typename T>
+    void put(const std::string& var, const util::Box& box, std::span<const T> data) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        auto buf = std::make_shared<std::vector<std::byte>>(data.size_bytes());
+        std::memcpy(buf->data(), data.data(), data.size_bytes());
+        put(var, box, std::move(buf));
+    }
+
+    void put_attr(const std::string& name, std::vector<std::string> values);
+    void put_attr(const std::string& name, double value);
+
+    /// Ends the current step: submits this rank's contribution.  May block
+    /// on writer-side buffer backpressure (only the group's last-arriving
+    /// rank can block).
+    void end_step();
+
+    void close();
+
+    std::uint64_t steps_written() const noexcept { return steps_; }
+
+private:
+    std::shared_ptr<Stream> stream_;
+    int rank_;
+    Contribution pending_;
+    std::uint64_t steps_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace sb::flexpath

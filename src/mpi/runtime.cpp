@@ -1,0 +1,173 @@
+#include "mpi/runtime.hpp"
+
+#include <thread>
+
+namespace sb::mpi {
+
+namespace detail {
+
+// One mailbox per destination rank.  Messages are matched on (src, tag).
+struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Bytes>> slots;
+};
+
+// Reusable data-carrying barrier for collectives.  All ranks of the group
+// call collectives in the same order; a rank can therefore be at most one
+// round ahead of its slowest peer.  `exiting` gates re-entry so a fast rank
+// cannot clobber `published` while a slow rank is still reading it.
+struct CollectiveState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Bytes> contribs;
+    std::vector<Bytes> published;
+    std::uint64_t round = 0;  // number of completed rounds
+    int arrived = 0;
+    int exiting = 0;
+};
+
+struct GroupState {
+    explicit GroupState(int n) : size(n), mailboxes(static_cast<std::size_t>(n)) {
+        coll.contribs.resize(static_cast<std::size_t>(n));
+    }
+
+    const int size;
+    std::vector<Mailbox> mailboxes;
+    CollectiveState coll;
+    std::atomic<bool> aborted{false};
+
+    void check_abort() const {
+        if (aborted.load(std::memory_order_acquire)) throw AbortError();
+    }
+
+    void abort() {
+        aborted.store(true, std::memory_order_release);
+        for (auto& mb : mailboxes) {
+            const std::lock_guard lock(mb.mu);
+            mb.cv.notify_all();
+        }
+        {
+            const std::lock_guard lock(coll.mu);
+            coll.cv.notify_all();
+        }
+    }
+};
+
+}  // namespace detail
+
+int Communicator::size() const noexcept { return state_->size; }
+
+void Communicator::send_bytes(int dest, int tag, Bytes payload) const {
+    if (dest < 0 || dest >= state_->size) {
+        throw std::out_of_range("send_bytes: bad destination rank " + std::to_string(dest));
+    }
+    state_->check_abort();
+    auto& mb = state_->mailboxes[static_cast<std::size_t>(dest)];
+    {
+        const std::lock_guard lock(mb.mu);
+        mb.slots[{rank_, tag}].push_back(std::move(payload));
+    }
+    mb.cv.notify_all();
+}
+
+Bytes Communicator::recv_bytes(int src, int tag) const {
+    if (src < 0 || src >= state_->size) {
+        throw std::out_of_range("recv_bytes: bad source rank " + std::to_string(src));
+    }
+    auto& mb = state_->mailboxes[static_cast<std::size_t>(rank_)];
+    std::unique_lock lock(mb.mu);
+    auto& q = mb.slots[{src, tag}];
+    mb.cv.wait(lock, [&] { return state_->aborted.load() || !q.empty(); });
+    if (q.empty()) throw AbortError();
+    Bytes out = std::move(q.front());
+    q.pop_front();
+    return out;
+}
+
+std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
+    auto& c = state_->coll;
+    std::unique_lock lock(c.mu);
+
+    // Wait for the previous round to fully drain before re-entering.
+    c.cv.wait(lock, [&] { return state_->aborted.load() || c.exiting == 0; });
+    state_->check_abort();
+
+    c.contribs[static_cast<std::size_t>(rank_)] = std::move(mine);
+    const std::uint64_t my_round = c.round;
+    if (++c.arrived == state_->size) {
+        c.published = std::move(c.contribs);
+        c.contribs.assign(static_cast<std::size_t>(state_->size), Bytes{});
+        c.arrived = 0;
+        c.exiting = state_->size;
+        ++c.round;
+        c.cv.notify_all();
+    } else {
+        c.cv.wait(lock, [&] { return state_->aborted.load() || c.round > my_round; });
+        state_->check_abort();
+    }
+
+    std::vector<Bytes> result = c.published;  // copy: every rank needs it
+    if (--c.exiting == 0) c.cv.notify_all();
+    return result;
+}
+
+void Communicator::barrier() const { (void)allgather_bytes({}); }
+
+Bytes Communicator::bcast_bytes(int root, Bytes payload) const {
+    if (root < 0 || root >= state_->size) {
+        throw std::out_of_range("bcast_bytes: bad root rank");
+    }
+    auto all = allgather_bytes(rank_ == root ? std::move(payload) : Bytes{});
+    return std::move(all[static_cast<std::size_t>(root)]);
+}
+
+Group::Group(int size)
+    : state_(std::make_shared<detail::GroupState>(size)), size_(size) {
+    if (size <= 0) throw std::invalid_argument("Group: size must be positive");
+}
+
+Group::~Group() = default;
+
+Communicator Group::comm(int rank) const {
+    if (rank < 0 || rank >= size_) throw std::out_of_range("Group::comm: bad rank");
+    return Communicator(state_, rank);
+}
+
+void Group::abort() const { state_->abort(); }
+
+void run_ranks(int n, const std::function<void(Communicator&)>& fn) {
+    Group group(n);
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+    {
+        std::vector<std::jthread> threads;
+        threads.reserve(static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+            threads.emplace_back([&, r] {
+                try {
+                    Communicator comm = group.comm(r);
+                    fn(comm);
+                } catch (...) {
+                    errors[static_cast<std::size_t>(r)] = std::current_exception();
+                    group.abort();
+                }
+            });
+        }
+    }  // jthreads join here
+
+    // Prefer the root cause over secondary AbortErrors.
+    std::exception_ptr first_abort;
+    for (auto& e : errors) {
+        if (!e) continue;
+        try {
+            std::rethrow_exception(e);
+        } catch (const AbortError&) {
+            if (!first_abort) first_abort = e;
+        } catch (...) {
+            std::rethrow_exception(e);
+        }
+    }
+    if (first_abort) std::rethrow_exception(first_abort);
+}
+
+}  // namespace sb::mpi

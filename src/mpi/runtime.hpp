@@ -1,0 +1,277 @@
+// In-process message-passing runtime (the reproduction's stand-in for MPI).
+//
+// The paper's SmartBlock components are MPI executables: the processes of one
+// component share an MPI communicator and use P2P messages plus collectives
+// (Histogram, e.g., allreduces its local min/max).  This runtime reproduces
+// that model inside one process: each *rank* is a thread, each component a
+// `Communicator` group.  The API mirrors the MPI idioms the components need:
+//
+//   - tagged, blocking, by-value point-to-point send/recv
+//   - barrier, broadcast, gather, allgather, reduce, allreduce (elementwise
+//     over vectors or on scalars)
+//   - run_ranks(n, fn): SPMD launch of a rank function over n threads
+//
+// Every wait is a condition-variable wait with a predicate; nothing spins.
+// If any rank throws, the group is aborted: all blocked ranks wake and throw
+// AbortError, and run_ranks rethrows the original exception.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sb::mpi {
+
+using Bytes = std::vector<std::byte>;
+
+/// Thrown in ranks blocked on a communicator whose group has aborted
+/// (because a peer rank threw).
+class AbortError : public std::runtime_error {
+public:
+    AbortError() : std::runtime_error("communicator aborted by peer rank") {}
+};
+
+enum class ReduceOp { Sum, Min, Max, Prod };
+
+namespace detail {
+struct GroupState;
+}
+
+/// A rank's handle on its group.  Cheap to copy; all copies refer to the
+/// same group.  Valid only inside the rank function it was passed to.
+class Communicator {
+public:
+    int rank() const noexcept { return rank_; }
+    int size() const noexcept;
+
+    // ---- point-to-point ------------------------------------------------
+    /// Sends a byte payload to `dest` with `tag`.  By-value and buffered:
+    /// never blocks waiting for the receiver.
+    void send_bytes(int dest, int tag, Bytes payload) const;
+
+    /// Blocks until a message from `src` with `tag` arrives.
+    Bytes recv_bytes(int src, int tag) const;
+
+    template <typename T>
+    void send(int dest, int tag, std::span<const T> data) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes b(data.size_bytes());
+        std::memcpy(b.data(), data.data(), data.size_bytes());
+        send_bytes(dest, tag, std::move(b));
+    }
+
+    template <typename T>
+    void send_value(int dest, int tag, const T& v) const {
+        send<T>(dest, tag, std::span<const T>(&v, 1));
+    }
+
+    template <typename T>
+    std::vector<T> recv(int src, int tag) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const Bytes b = recv_bytes(src, tag);
+        if (b.size() % sizeof(T) != 0) {
+            throw std::runtime_error("recv: payload size not a multiple of element size");
+        }
+        std::vector<T> out(b.size() / sizeof(T));
+        std::memcpy(out.data(), b.data(), b.size());
+        return out;
+    }
+
+    template <typename T>
+    T recv_value(int src, int tag) const {
+        auto v = recv<T>(src, tag);
+        if (v.size() != 1) throw std::runtime_error("recv_value: expected 1 element");
+        return v[0];
+    }
+
+    // ---- collectives ---------------------------------------------------
+    // All ranks of the group must call the same collective in the same
+    // order (the usual MPI contract).
+
+    void barrier() const;
+
+    /// Every rank contributes bytes; every rank receives all contributions
+    /// indexed by rank.  The primitive the other collectives build on.
+    std::vector<Bytes> allgather_bytes(Bytes mine) const;
+
+    /// Root's payload is delivered to every rank.
+    Bytes bcast_bytes(int root, Bytes payload) const;
+
+    template <typename T>
+    T bcast(int root, T v) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes b(sizeof(T));
+        std::memcpy(b.data(), &v, sizeof(T));
+        b = bcast_bytes(root, std::move(b));
+        T out;
+        std::memcpy(&out, b.data(), sizeof(T));
+        return out;
+    }
+
+    template <typename T>
+    std::vector<T> allgather(const T& v) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes mine(sizeof(T));
+        std::memcpy(mine.data(), &v, sizeof(T));
+        auto all = allgather_bytes(std::move(mine));
+        std::vector<T> out(all.size());
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            std::memcpy(&out[i], all[i].data(), sizeof(T));
+        }
+        return out;
+    }
+
+    /// Variable-length allgather: concatenation is up to the caller.
+    template <typename T>
+    std::vector<std::vector<T>> allgatherv(std::span<const T> data) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes mine(data.size_bytes());
+        std::memcpy(mine.data(), data.data(), data.size_bytes());
+        auto all = allgather_bytes(std::move(mine));
+        std::vector<std::vector<T>> out(all.size());
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            out[i].resize(all[i].size() / sizeof(T));
+            std::memcpy(out[i].data(), all[i].data(), all[i].size());
+        }
+        return out;
+    }
+
+    template <typename T>
+    T allreduce(T v, ReduceOp op) const {
+        auto all = allgather<T>(v);
+        return fold(all, op);
+    }
+
+    /// Elementwise allreduce over equal-length vectors.
+    template <typename T>
+    std::vector<T> allreduce_vec(std::span<const T> v, ReduceOp op) const {
+        auto all = allgatherv<T>(v);
+        std::vector<T> out(v.size());
+        for (std::size_t j = 0; j < v.size(); ++j) {
+            T acc = all[0].at(j);
+            for (std::size_t r = 1; r < all.size(); ++r) {
+                acc = apply(acc, all[r].at(j), op);
+            }
+            out[j] = acc;
+        }
+        return out;
+    }
+
+    /// Reduce-to-root; non-root ranks receive an empty vector.
+    template <typename T>
+    std::vector<T> reduce_vec(std::span<const T> v, ReduceOp op, int root) const {
+        auto out = allreduce_vec<T>(v, op);
+        if (rank_ != root) out.clear();
+        return out;
+    }
+
+    /// Gather scalars to root; non-root ranks receive an empty vector.
+    template <typename T>
+    std::vector<T> gather(const T& v, int root) const {
+        auto all = allgather<T>(v);
+        if (rank_ != root) all.clear();
+        return all;
+    }
+
+    /// Inclusive prefix reduction: rank r receives fold(v_0 .. v_r).
+    template <typename T>
+    T scan(T v, ReduceOp op) const {
+        const auto all = allgather<T>(v);
+        T acc = all.at(0);
+        for (int r = 1; r <= rank_; ++r) {
+            acc = apply(acc, all[static_cast<std::size_t>(r)], op);
+        }
+        return acc;
+    }
+
+    /// Exclusive prefix reduction: rank r receives fold(v_0 .. v_{r-1});
+    /// rank 0 receives the operation's identity element.
+    template <typename T>
+    T exscan(T v, ReduceOp op) const {
+        const auto all = allgather<T>(v);
+        T acc = identity<T>(op);
+        for (int r = 0; r < rank_; ++r) {
+            acc = apply(acc, all[static_cast<std::size_t>(r)], op);
+        }
+        return acc;
+    }
+
+private:
+    friend void run_ranks(int, const std::function<void(Communicator&)>&);
+    friend class Group;
+
+    Communicator(std::shared_ptr<detail::GroupState> state, int rank)
+        : state_(std::move(state)), rank_(rank) {}
+
+    template <typename T>
+    static T apply(T a, T b, ReduceOp op) {
+        switch (op) {
+            case ReduceOp::Sum: return a + b;
+            case ReduceOp::Min: return a < b ? a : b;
+            case ReduceOp::Max: return a > b ? a : b;
+            case ReduceOp::Prod: return a * b;
+        }
+        throw std::logic_error("bad ReduceOp");
+    }
+
+    template <typename T>
+    static T identity(ReduceOp op) {
+        switch (op) {
+            case ReduceOp::Sum: return T{};
+            case ReduceOp::Prod: return T{1};
+            case ReduceOp::Min: return std::numeric_limits<T>::max();
+            case ReduceOp::Max: return std::numeric_limits<T>::lowest();
+        }
+        throw std::logic_error("bad ReduceOp");
+    }
+
+    template <typename T>
+    static T fold(const std::vector<T>& all, ReduceOp op) {
+        T acc = all.at(0);
+        for (std::size_t i = 1; i < all.size(); ++i) acc = apply(acc, all[i], op);
+        return acc;
+    }
+
+    std::shared_ptr<detail::GroupState> state_;
+    int rank_;
+};
+
+/// A communicator group whose rank threads are driven externally (used by
+/// the Workflow runner, which owns one thread per component rank).
+class Group {
+public:
+    explicit Group(int size);
+    ~Group();
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    int size() const noexcept { return size_; }
+
+    /// The communicator handle for `rank`.
+    Communicator comm(int rank) const;
+
+    /// Wakes every blocked rank with AbortError.  Idempotent.
+    void abort() const;
+
+private:
+    std::shared_ptr<detail::GroupState> state_;
+    int size_;
+};
+
+/// SPMD launch: runs `fn` on `n` rank threads and joins them all.  If any
+/// rank throws, the group is aborted (peers wake with AbortError) and the
+/// first non-abort exception is rethrown here.
+void run_ranks(int n, const std::function<void(Communicator&)>& fn);
+
+}  // namespace sb::mpi

@@ -1,0 +1,36 @@
+// The All-In-One (AIO) baseline component (paper §V.C, Table II).
+//
+//   aio input-stream-name input-array-name dimension-index num-bins
+//       output-file name1 [name2 ...]
+//
+// "We wrote a custom, all-in-one (AIO) component that performs the same
+// analytical procedure as all the components involved in the LAMMPS
+// workflow outside of the simulation itself."  This component fuses
+// Select(names) -> Magnitude -> Histogram into a single stage: one read,
+// no intermediate streams, no extra MxN coordination.  Comparing a
+// SmartBlock pipeline's end-to-end time against LAMMPS+AIO quantifies the
+// cost of componentization — the paper measures at most +1.9%.
+//
+// The histogram file format is identical to the Histogram component's, so
+// results are directly comparable.
+#pragma once
+
+#include "core/component.hpp"
+
+namespace sb::sim {
+
+class AllInOne : public core::Component {
+public:
+    std::string name() const override { return "aio"; }
+    std::string usage() const override {
+        return "aio input-stream-name input-array-name dimension-index num-bins "
+               "output-file name1 [name2 ...]";
+    }
+    core::Ports ports(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        return core::Ports{{args.str(0, "input-stream-name")}, {}};
+    }
+    void run(core::RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::sim

@@ -1,0 +1,295 @@
+#include "sim/crack_sim.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "adios/writer.hpp"
+#include "util/ndarray.hpp"
+#include "util/timer.hpp"
+
+namespace sb::sim {
+
+CrackSimParams CrackSimParams::from_deck(const Deck& d) {
+    CrackSimParams p;
+    p.rows = d.get_u64("rows", p.rows);
+    p.cols = d.get_u64("cols", p.cols);
+    p.io_steps = d.get_u64("steps", p.io_steps);
+    p.substeps = d.get_u64("substeps", p.substeps);
+    p.dt = d.get_double("dt", p.dt);
+    p.stiffness = d.get_double("stiffness", p.stiffness);
+    p.mass = d.get_double("mass", p.mass);
+    p.strain = d.get_double("strain", p.strain);
+    p.pull = d.get_double("pull", p.pull);
+    p.damping = d.get_double("damping", p.damping);
+    p.break_strain = d.get_double("break_strain", p.break_strain);
+    p.ramp_steps = d.get_u64("ramp_steps", p.ramp_steps);
+    p.notch = d.get_u64("notch", p.cols / 4);
+    p.stream = d.get("stream", p.stream);
+    p.array = d.get("array", p.array);
+    p.output = d.get_bool("output", p.output);
+    if (p.rows < 2 || p.cols < 2) {
+        throw util::ArgError("lammps: rows and cols must be at least 2");
+    }
+    return p;
+}
+
+CrackSim::CrackSim(const CrackSimParams& p, std::uint64_t row_begin,
+                   std::uint64_t row_count)
+    : p_(p), row_begin_(row_begin), row_count_(row_count) {
+    const std::size_t n = static_cast<std::size_t>(row_count * p.cols);
+    ux_.assign(n, 0.0);
+    uy_.assign(n, 0.0);
+    vx_.assign(n, 0.0);
+    vy_.assign(n, 0.0);
+    vz_.assign(n, 0.0);
+    if (p_.pull == 0.0) p_.pull = p_.stiffness * p_.strain;
+    if (p_.notch == 0) p_.notch = p_.cols / 4;
+    // Pre-strained equilibrium plus deterministic thermal seed velocities
+    // (both depend only on the *global* row, so the trajectory is
+    // independent of the rank layout).
+    for (std::uint64_t r = 0; r < row_count; ++r) {
+        for (std::uint64_t c = 0; c < p_.cols; ++c) {
+            const std::uint64_t gr = row_begin + r;
+            uy_[idx(r, c)] = p_.strain * (static_cast<double>(gr) -
+                                          static_cast<double>(p_.rows - 1) / 2.0);
+            vx_[idx(r, c)] = 0.01 * hash_noise(gr, c, 1);
+            vy_[idx(r, c)] = 0.01 * hash_noise(gr, c, 2);
+            vz_[idx(r, c)] = 0.005 * hash_noise(gr, c, 3);
+        }
+    }
+    bond_right_.assign(n, 1);
+    bond_down_.assign(static_cast<std::size_t>((row_count + 1) * p.cols), 1);
+    // The notch: a horizontal slit at mid-height cutting the first `notch`
+    // vertical bonds — the crack's seed.
+    const std::uint64_t mid = p_.rows / 2 - 1;  // down-bond row index
+    for (std::uint64_t c = 0; c < std::min(p_.notch, p_.cols); ++c) {
+        const std::int64_t local = static_cast<std::int64_t>(mid) -
+                                   static_cast<std::int64_t>(row_begin);
+        if (local >= -1 && local < static_cast<std::int64_t>(row_count)) {
+            down(local, c) = 0;
+        }
+    }
+}
+
+std::vector<double> CrackSim::boundary_row(bool top) const {
+    std::vector<double> out(2 * p_.cols);
+    if (row_count_ == 0) return out;
+    const std::uint64_t r = top ? 0 : row_count_ - 1;
+    for (std::uint64_t c = 0; c < p_.cols; ++c) {
+        out[c] = ux_[idx(r, c)];
+        out[p_.cols + c] = uy_[idx(r, c)];
+    }
+    return out;
+}
+
+void CrackSim::substep(std::span<const double> halo_above,
+                       std::span<const double> halo_below) {
+    if (row_count_ == 0) return;
+    const double k = p_.stiffness;
+    const double inv_m = 1.0 / p_.mass;
+    // Quasi-static loading: ramp the strain so it concentrates at the
+    // notch tip instead of shock-shearing the boundary rows.
+    const double load =
+        p_.pull * (p_.ramp_steps == 0
+                       ? 1.0
+                       : std::min(1.0, static_cast<double>(++substeps_done_) /
+                                           static_cast<double>(p_.ramp_steps)));
+    const std::size_t n = ux_.size();
+    std::vector<double> fx(n, 0.0), fy(n, 0.0);
+
+    auto u_at = [&](std::int64_t lr, std::uint64_t c, double& x, double& y) {
+        if (lr < 0) {
+            x = halo_above.empty() ? 0.0 : halo_above[c];
+            y = halo_above.empty() ? 0.0 : halo_above[p_.cols + c];
+        } else if (lr >= static_cast<std::int64_t>(row_count_)) {
+            x = halo_below.empty() ? 0.0 : halo_below[c];
+            y = halo_below.empty() ? 0.0 : halo_below[p_.cols + c];
+        } else {
+            x = ux_[idx(static_cast<std::uint64_t>(lr), c)];
+            y = uy_[idx(static_cast<std::uint64_t>(lr), c)];
+        }
+    };
+
+    // Harmonic bond forces; overstretched bonds break permanently.
+    auto bond_force = [&](std::uint64_t r, std::uint64_t c, std::int64_t nr,
+                          std::uint64_t nc, std::uint8_t& alive) {
+        if (!alive) return;
+        double nx, ny;
+        u_at(nr, nc, nx, ny);
+        const double dx = nx - ux_[idx(r, c)];
+        const double dy = ny - uy_[idx(r, c)];
+        if (dx * dx + dy * dy > p_.break_strain * p_.break_strain) {
+            alive = 0;
+            ++broken_;
+            return;
+        }
+        fx[idx(r, c)] += k * dx;
+        fy[idx(r, c)] += k * dy;
+    };
+
+    for (std::uint64_t r = 0; r < row_count_; ++r) {
+        const std::uint64_t gr = row_begin_ + r;
+        for (std::uint64_t c = 0; c < p_.cols; ++c) {
+            // Right and left bonds (owned by the left particle).
+            if (c + 1 < p_.cols) {
+                bond_force(r, c, static_cast<std::int64_t>(r), c + 1,
+                           bond_right_[idx(r, c)]);
+            }
+            if (c > 0 && bond_right_[idx(r, c - 1)]) {
+                double nx, ny;
+                u_at(static_cast<std::int64_t>(r), c - 1, nx, ny);
+                fx[idx(r, c)] += k * (nx - ux_[idx(r, c)]);
+                fy[idx(r, c)] += k * (ny - uy_[idx(r, c)]);
+            }
+            // Down bond (to gr+1) and up bond (from gr-1).
+            if (gr + 1 < p_.rows) {
+                bond_force(r, c, static_cast<std::int64_t>(r) + 1, c,
+                           down(static_cast<std::int64_t>(r), c));
+            }
+            if (gr > 0) {
+                // The up-bond is owned by the row above.  When that row
+                // lives on another rank, this rank must apply the breaking
+                // criterion itself — the arithmetic is symmetric
+                // (|u_a - u_b| both sides), so the two ranks always agree.
+                bond_force(r, c, static_cast<std::int64_t>(r) - 1, c,
+                           down(static_cast<std::int64_t>(r) - 1, c));
+            }
+            // Strain: pull the physical top and bottom rows apart.
+            if (gr == 0) fy[idx(r, c)] -= load;
+            if (gr + 1 == p_.rows) fy[idx(r, c)] += load;
+        }
+    }
+
+    // Semi-implicit Euler with light damping; vz is an independent damped
+    // thermal oscillation giving the third velocity component.
+    for (std::uint64_t r = 0; r < row_count_; ++r) {
+        for (std::uint64_t c = 0; c < p_.cols; ++c) {
+            const std::size_t i = idx(r, c);
+            vx_[i] = (1.0 - p_.damping) * vx_[i] + fx[i] * inv_m * p_.dt;
+            vy_[i] = (1.0 - p_.damping) * vy_[i] + fy[i] * inv_m * p_.dt;
+            vz_[i] = (1.0 - p_.damping) * vz_[i] - p_.stiffness * 0.1 * vz_[i] * p_.dt;
+            ux_[i] += vx_[i] * p_.dt;
+            uy_[i] += vy_[i] * p_.dt;
+        }
+    }
+}
+
+std::vector<double> CrackSim::dump() const {
+    std::vector<double> out(ux_.size() * 5);
+    for (std::uint64_t r = 0; r < row_count_; ++r) {
+        const std::uint64_t gr = row_begin_ + r;
+        for (std::uint64_t c = 0; c < p_.cols; ++c) {
+            const std::size_t i = idx(r, c);
+            double* row = &out[i * 5];
+            row[0] = static_cast<double>(gr * p_.cols + c + 1);  // ID (1-based)
+            row[1] = (gr == 0 || gr + 1 == p_.rows) ? 2.0 : 1.0;  // Type
+            row[2] = vx_[i];
+            row[3] = vy_[i];
+            row[4] = vz_[i];
+        }
+    }
+    return out;
+}
+
+std::uint64_t CrackSim::crack_extent() const {
+    const std::uint64_t mid = p_.rows / 2 - 1;
+    const std::int64_t local =
+        static_cast<std::int64_t>(mid) - static_cast<std::int64_t>(row_begin_);
+    if (local < -1 || local >= static_cast<std::int64_t>(row_count_)) return 0;
+    std::uint64_t n = 0;
+    for (std::uint64_t c = std::min(p_.notch, p_.cols); c < p_.cols; ++c) {
+        if (!bond_down_[static_cast<std::size_t>(
+                (local + 1) * static_cast<std::int64_t>(p_.cols)) + c]) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+double CrackSim::kinetic_energy() const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < vx_.size(); ++i) {
+        e += vx_[i] * vx_[i] + vy_[i] * vy_[i] + vz_[i] * vz_[i];
+    }
+    return 0.5 * p_.mass * e;
+}
+
+namespace {
+
+std::string lammps_xml(const std::string& array) {
+    return "<adios-config>\n"
+           "  <adios-group name=\"particle_dump\">\n"
+           "    <var name=\"natoms\" type=\"unsigned long\"/>\n"
+           "    <var name=\"nquantities\" type=\"unsigned long\"/>\n"
+           "    <var name=\"" + array + "\" type=\"double\" "
+           "dimensions=\"natoms,nquantities\"/>\n"
+           "    <attribute name=\"" + array + ".header.1\" "
+           "value=\"ID,Type,vx,vy,vz\"/>\n"
+           "  </adios-group>\n"
+           "  <transport group=\"particle_dump\" method=\"FLEXPATH\"/>\n"
+           "</adios-config>\n";
+}
+
+}  // namespace
+
+void CrackSimComponent::run(core::RunContext& ctx, const util::ArgList& args) {
+    const Deck deck = Deck::from_args(args);
+    const CrackSimParams p = CrackSimParams::from_deck(deck);
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    const auto [row_begin, row_count] = util::partition_range(p.rows, rank, size);
+    CrackSim sim(p, row_begin, row_count);
+
+    // Nearest owning neighbours for the halo exchange (ranks with empty
+    // bands are skipped so every band talks to the adjacent *band*).
+    const auto counts = ctx.comm.allgather<std::uint64_t>(row_count);
+    int above = -1, below = -1;
+    for (int r = rank - 1; r >= 0; --r) {
+        if (counts[static_cast<std::size_t>(r)] > 0) { above = r; break; }
+    }
+    for (int r = rank + 1; r < size; ++r) {
+        if (counts[static_cast<std::size_t>(r)] > 0) { below = r; break; }
+    }
+    if (row_count == 0) above = below = -1;
+
+    std::optional<adios::Writer> writer;
+    if (p.output) {
+        const adios::GroupDef group =
+            deck.has("xml") ? adios::GroupDef::from_xml_file(deck.get("xml", ""))
+                            : adios::GroupDef::from_xml(lammps_xml(p.array));
+        writer.emplace(ctx.fabric, p.stream, group, rank, size, ctx.stream_options);
+    }
+
+    constexpr int kHaloTag = 71;
+    for (std::uint64_t step = 0; step < p.io_steps; ++step) {
+        util::WallTimer timer;
+        for (std::uint64_t s = 0; s < p.substeps; ++s) {
+            // Exchange boundary displacement rows with the adjacent bands.
+            std::vector<double> halo_above, halo_below;
+            if (above >= 0) {
+                ctx.comm.send<double>(above, kHaloTag, sim.boundary_row(true));
+            }
+            if (below >= 0) {
+                ctx.comm.send<double>(below, kHaloTag, sim.boundary_row(false));
+            }
+            if (above >= 0) halo_above = ctx.comm.recv<double>(above, kHaloTag);
+            if (below >= 0) halo_below = ctx.comm.recv<double>(below, kHaloTag);
+            sim.substep(halo_above, halo_below);
+        }
+
+        if (writer) {
+            const std::vector<double> block = sim.dump();
+            writer->begin_step();
+            writer->set_dimension("natoms", p.particles());
+            writer->set_dimension("nquantities", 5);
+            const util::Box box({row_begin * p.cols, 0}, {row_count * p.cols, 5});
+            writer->write<double>(p.array, block, box);
+            writer->end_step();
+        }
+        record_step(ctx, step, timer.seconds(), 0, row_count * p.cols * 5 * 8);
+    }
+    if (writer) writer->close();
+}
+
+}  // namespace sb::sim

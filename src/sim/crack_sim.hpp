@@ -1,0 +1,125 @@
+// CrackSim: the LAMMPS stand-in (paper §V.A).
+//
+// The paper configures LAMMPS "to simulate a disruption (a 'crack') in a
+// thin layer of particles and output 5 numerical properties describing each
+// particle" (ID, Type, vx, vy, vz).  CrackSim reproduces that workload: a
+// 2-D lattice of particles coupled by harmonic bonds, with a pre-cut notch
+// and an applied strain pulling the layer apart.  Bonds that stretch past a
+// threshold break permanently, so the crack propagates and the velocity
+// distribution evolves over time — exactly the quantity the LAMMPS workflow
+// histograms.
+//
+// The simulation is domain-decomposed by rows across the component's ranks
+// with per-substep halo exchange of boundary displacements, so the driver
+// exercises the same P2P communication pattern a real MD code would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/component.hpp"
+#include "sim/source_component.hpp"
+
+namespace sb::sim {
+
+struct CrackSimParams {
+    std::uint64_t rows = 32;
+    std::uint64_t cols = 32;
+    std::uint64_t io_steps = 4;    // coarse output timesteps
+    std::uint64_t substeps = 5;    // fine integration steps per output
+    double dt = 0.05;
+    double stiffness = 1.0;
+    double mass = 1.0;
+    /// Uniform vertical pre-strain the layer starts under.  The lattice is
+    /// initialized at the corresponding equilibrium (every vertical bond
+    /// stretched by `strain`, held by a matching boundary pull), so the
+    /// notch's stress concentration appears within a few substeps and the
+    /// crack tears from the notch tip, not from the loaded boundary.
+    double strain = 0.45;
+    /// Boundary pull force; 0 (default) derives the equilibrium value
+    /// stiffness * strain.
+    double pull = 0.0;
+    double damping = 0.05;
+    double break_strain = 0.7;   // bond-breaking displacement threshold
+    /// Optional linear ramp of the boundary pull over this many substeps
+    /// (0 = full load immediately, which the pre-strain makes safe).
+    std::uint64_t ramp_steps = 0;
+    std::uint64_t notch = 0;     // pre-cut bond count (0 = cols/4)
+
+    std::string stream = "dump.custom.fp";
+    std::string array = "atoms";
+    bool output = true;  // false = computation only (Table II "LMP only")
+
+    static CrackSimParams from_deck(const Deck& d);
+    std::uint64_t particles() const noexcept { return rows * cols; }
+    /// Bytes of one output timestep (particles x 5 doubles).
+    std::uint64_t bytes_per_step() const noexcept { return particles() * 5 * 8; }
+};
+
+/// One rank's row band of the lattice.
+class CrackSim {
+public:
+    /// Owns rows [row_begin, row_begin + row_count).
+    CrackSim(const CrackSimParams& p, std::uint64_t row_begin, std::uint64_t row_count);
+
+    /// Advances one fine step.  `halo_above`/`halo_below` are the (ux, uy)
+    /// displacement rows adjacent to this band (2*cols doubles each), empty
+    /// at the physical boundary.
+    void substep(std::span<const double> halo_above, std::span<const double> halo_below);
+
+    /// Packed (ux, uy) of the band's first/last row, for halo exchange.
+    std::vector<double> boundary_row(bool top) const;
+
+    /// This band's output block: row-major (row_count*cols) x 5 of
+    /// {ID, Type, vx, vy, vz}.  Type is 2 on the strained boundary rows,
+    /// 1 in the interior.
+    std::vector<double> dump() const;
+
+    std::uint64_t broken_bonds() const noexcept { return broken_; }
+    double kinetic_energy() const;
+
+    /// Count of broken down-bonds in this band's copy of the mid (notch)
+    /// bond row, excluding the pre-cut notch itself — the crack's advance.
+    std::uint64_t crack_extent() const;
+
+private:
+    std::size_t idx(std::uint64_t r, std::uint64_t c) const {
+        return static_cast<std::size_t>(r * p_.cols + c);
+    }
+
+    CrackSimParams p_;
+    std::uint64_t row_begin_, row_count_;
+    // Displacements and velocities of the owned particles.
+    std::vector<double> ux_, uy_, vx_, vy_, vz_;
+    // Bond state: right bonds per owned particle; down bonds for local rows
+    // [-1, row_count) (the -1 row's down-bonds attach the band above).
+    std::vector<std::uint8_t> bond_right_;
+    std::vector<std::uint8_t> bond_down_;  // (row_count + 1) * cols, offset by one row
+    std::uint64_t broken_ = 0;
+    std::uint64_t substeps_done_ = 0;  // for the quasi-static load ramp
+
+    std::uint8_t& down(std::int64_t local_r, std::uint64_t c) {
+        return bond_down_[static_cast<std::size_t>((local_r + 1) * static_cast<std::int64_t>(p_.cols)) + c];
+    }
+};
+
+/// The "lammps" driver component.  Deck keys: rows, cols, steps (=io_steps),
+/// substeps, dt, stiffness, pull, damping, break_strain, notch, stream,
+/// array, output, xml (path of an ADIOS config overriding the built-in).
+class CrackSimComponent : public core::Component {
+public:
+    std::string name() const override { return "lammps"; }
+    std::string usage() const override {
+        return "lammps [deck-file] [key=value ...]   (keys: rows cols steps substeps "
+               "stream array output xml ...)";
+    }
+    core::Ports ports(const util::ArgList& args) const override {
+        const Deck deck = Deck::from_args(args);
+        const auto p = CrackSimParams::from_deck(deck);
+        if (!p.output) return core::Ports{};
+        return core::Ports{{}, {p.stream}};
+    }
+    void run(core::RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::sim

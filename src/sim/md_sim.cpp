@@ -1,0 +1,119 @@
+#include "sim/md_sim.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "adios/writer.hpp"
+#include "util/ndarray.hpp"
+#include "util/timer.hpp"
+
+namespace sb::sim {
+
+MdSimParams MdSimParams::from_deck(const Deck& d) {
+    MdSimParams p;
+    p.atoms = d.get_u64("atoms", p.atoms);
+    p.io_steps = d.get_u64("steps", p.io_steps);
+    p.substeps = d.get_u64("substeps", p.substeps);
+    p.dt = d.get_double("dt", p.dt);
+    p.drift = d.get_double("drift", p.drift);
+    p.temperature = d.get_double("temperature", p.temperature);
+    p.damping = d.get_double("damping", p.damping);
+    p.stream = d.get("stream", p.stream);
+    p.array = d.get("array", p.array);
+    p.output = d.get_bool("output", p.output);
+    if (p.atoms == 0) throw util::ArgError("gromacs: atoms must be positive");
+    return p;
+}
+
+MdSim::MdSim(const MdSimParams& p, std::uint64_t atom_begin, std::uint64_t atom_count)
+    : p_(p), atom_begin_(atom_begin), atom_count_(atom_count) {
+    x_.resize(atom_count * 3);
+    v_.assign(atom_count * 3, 0.0);
+    // Initial condition: a compact blob around the origin; deterministic in
+    // the *global* atom index, so the trajectory is rank-count independent.
+    for (std::uint64_t i = 0; i < atom_count; ++i) {
+        const std::uint64_t g = atom_begin + i;
+        for (std::uint64_t c = 0; c < 3; ++c) {
+            x_[i * 3 + c] = 0.5 * hash_noise(g, c, 9999);
+        }
+    }
+}
+
+void MdSim::substep(std::uint64_t t) {
+    for (std::uint64_t i = 0; i < atom_count_; ++i) {
+        const std::uint64_t g = atom_begin_ + i;
+        double* xi = &x_[i * 3];
+        double* vi = &v_[i * 3];
+        const double r = std::sqrt(xi[0] * xi[0] + xi[1] * xi[1] + xi[2] * xi[2]) + 1e-9;
+        for (std::uint64_t c = 0; c < 3; ++c) {
+            const double kick = p_.temperature * hash_noise(g, c, t);
+            const double outward = p_.drift * xi[c] / r;
+            vi[c] = (1.0 - p_.damping) * vi[c] + (outward + kick) * p_.dt;
+            xi[c] += vi[c] * p_.dt;
+        }
+    }
+}
+
+double MdSim::mean_radius() const {
+    if (atom_count_ == 0) return 0.0;
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < atom_count_; ++i) {
+        const double* xi = &x_[i * 3];
+        sum += std::sqrt(xi[0] * xi[0] + xi[1] * xi[1] + xi[2] * xi[2]);
+    }
+    return sum / static_cast<double>(atom_count_);
+}
+
+namespace {
+
+std::string gromacs_xml(const std::string& array) {
+    return "<adios-config>\n"
+           "  <adios-group name=\"gmx_coords\">\n"
+           "    <var name=\"natoms\" type=\"unsigned long\"/>\n"
+           "    <var name=\"ncoords\" type=\"unsigned long\"/>\n"
+           "    <var name=\"" + array + "\" type=\"double\" "
+           "dimensions=\"natoms,ncoords\"/>\n"
+           "    <attribute name=\"" + array + ".header.1\" value=\"x,y,z\"/>\n"
+           "  </adios-group>\n"
+           "  <transport group=\"gmx_coords\" method=\"FLEXPATH\"/>\n"
+           "</adios-config>\n";
+}
+
+}  // namespace
+
+void MdSimComponent::run(core::RunContext& ctx, const util::ArgList& args) {
+    const Deck deck = Deck::from_args(args);
+    const MdSimParams p = MdSimParams::from_deck(deck);
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    const auto [a_begin, a_count] = util::partition_range(p.atoms, rank, size);
+    MdSim sim(p, a_begin, a_count);
+
+    std::optional<adios::Writer> writer;
+    if (p.output) {
+        const adios::GroupDef group =
+            deck.has("xml") ? adios::GroupDef::from_xml_file(deck.get("xml", ""))
+                            : adios::GroupDef::from_xml(gromacs_xml(p.array));
+        writer.emplace(ctx.fabric, p.stream, group, rank, size, ctx.stream_options);
+    }
+
+    for (std::uint64_t step = 0; step < p.io_steps; ++step) {
+        util::WallTimer timer;
+        for (std::uint64_t s = 0; s < p.substeps; ++s) {
+            sim.substep(step * p.substeps + s);
+        }
+        if (writer) {
+            writer->begin_step();
+            writer->set_dimension("natoms", p.atoms);
+            writer->set_dimension("ncoords", 3);
+            const util::Box box({a_begin, 0}, {a_count, 3});
+            writer->write<double>(p.array, sim.coords(), box);
+            writer->end_step();
+        }
+        record_step(ctx, step, timer.seconds(), 0, a_count * 3 * 8);
+    }
+    if (writer) writer->close();
+}
+
+}  // namespace sb::sim

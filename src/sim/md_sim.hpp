@@ -1,0 +1,77 @@
+// MdSim: the GROMACS stand-in (paper §V.A).
+//
+// "Among other quantities, GROMACS outputs the three-dimensional
+// coordinates of the atoms involved in the simulation at regular
+// intervals."  MdSim reproduces that: N atoms undergoing damped Langevin
+// dynamics with a weak outward drift, so the cloud of atoms spreads over
+// time — the GROMACS workflow (Magnitude -> Histogram of |x|) shows the
+// evolving spread exactly as the paper's Figure 7 describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "sim/source_component.hpp"
+
+namespace sb::sim {
+
+struct MdSimParams {
+    std::uint64_t atoms = 512;
+    std::uint64_t io_steps = 4;
+    std::uint64_t substeps = 5;
+    double dt = 0.05;
+    double drift = 0.4;        // outward drift speed
+    double temperature = 0.3;  // thermal kick amplitude
+    double damping = 0.1;
+
+    std::string stream = "gmx.fp";
+    std::string array = "coords";
+    bool output = true;
+
+    static MdSimParams from_deck(const Deck& d);
+    std::uint64_t bytes_per_step() const noexcept { return atoms * 3 * 8; }
+};
+
+/// One rank's contiguous block of atoms.
+class MdSim {
+public:
+    MdSim(const MdSimParams& p, std::uint64_t atom_begin, std::uint64_t atom_count);
+
+    /// One fine Langevin step at global substep index `t` (for the
+    /// deterministic thermal noise).
+    void substep(std::uint64_t t);
+
+    /// Row-major (atom_count x 3) coordinates.
+    const std::vector<double>& coords() const noexcept { return x_; }
+
+    /// Mean distance from the origin (diagnostics/tests).
+    double mean_radius() const;
+
+private:
+    MdSimParams p_;
+    std::uint64_t atom_begin_, atom_count_;
+    std::vector<double> x_;  // positions, (n x 3)
+    std::vector<double> v_;  // velocities, (n x 3)
+};
+
+/// The "gromacs" driver component.  Deck keys: atoms, steps, substeps, dt,
+/// drift, temperature, damping, stream, array, output, xml.
+class MdSimComponent : public core::Component {
+public:
+    std::string name() const override { return "gromacs"; }
+    std::string usage() const override {
+        return "gromacs [deck-file] [key=value ...]   (keys: atoms steps substeps "
+               "stream array output xml)";
+    }
+    core::Ports ports(const util::ArgList& args) const override {
+        const Deck deck = Deck::from_args(args);
+        const auto p = MdSimParams::from_deck(deck);
+        if (!p.output) return core::Ports{};
+        return core::Ports{{}, {p.stream}};
+    }
+    void run(core::RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::sim

@@ -1,0 +1,120 @@
+#include "sim/source_component.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+#include "sim/all_in_one.hpp"
+#include "sim/crack_sim.hpp"
+#include "sim/md_sim.hpp"
+#include "sim/toroid_sim.hpp"
+
+namespace sb::sim {
+
+Deck Deck::from_args(const util::ArgList& args) {
+    Deck d;
+    for (const std::string& a : args.raw()) {
+        const auto eq = a.find('=');
+        if (eq == std::string::npos) {
+            // A deck file: merge its settings.
+            for (const auto& [k, v] : Deck::from_file(a).kv_) d.kv_[k] = v;
+        } else {
+            d.kv_[a.substr(0, eq)] = a.substr(eq + 1);
+        }
+    }
+    return d;
+}
+
+Deck Deck::from_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw util::ArgError("deck: cannot open '" + path + "'");
+    Deck d;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) continue;
+        auto trim = [](std::string s) {
+            while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+                s.erase(s.begin());
+            }
+            while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+                s.pop_back();
+            }
+            return s;
+        };
+        const std::string key = trim(line.substr(0, eq));
+        if (!key.empty()) d.kv_[key] = trim(line.substr(eq + 1));
+    }
+    return d;
+}
+
+void Deck::set(const std::string& key, std::string value) { kv_[key] = std::move(value); }
+
+bool Deck::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Deck::get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+}
+
+std::uint64_t Deck::get_u64(const std::string& key, std::uint64_t dflt) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    try {
+        return std::stoull(it->second);
+    } catch (const std::exception&) {
+        throw util::ArgError("deck: '" + key + "' must be an unsigned integer, got '" +
+                             it->second + "'");
+    }
+}
+
+double Deck::get_double(const std::string& key, double dflt) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception&) {
+        throw util::ArgError("deck: '" + key + "' must be a number, got '" + it->second +
+                             "'");
+    }
+}
+
+bool Deck::get_bool(const std::string& key, bool dflt) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    const std::string& v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+    throw util::ArgError("deck: '" + key + "' must be a boolean, got '" + v + "'");
+}
+
+double hash_noise(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+    // SplitMix64 over the mixed seeds.
+    std::uint64_t z = a * 0x9E3779B97F4A7C15ull + b * 0xBF58476D1CE4E5B9ull +
+                      c * 0x94D049BB133111EBull;
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ull;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    // Map the top 53 bits into [-1, 1).
+    return static_cast<double>(z >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+}
+
+void register_simulations() {
+    static const bool once = [] {
+        core::register_component("lammps",
+                                 [] { return std::make_unique<CrackSimComponent>(); });
+        core::register_component("gtcp",
+                                 [] { return std::make_unique<ToroidSimComponent>(); });
+        core::register_component("gromacs",
+                                 [] { return std::make_unique<MdSimComponent>(); });
+        core::register_component("aio",
+                                 [] { return std::make_unique<AllInOne>(); });
+        return true;
+    }();
+    (void)once;
+}
+
+}  // namespace sb::sim

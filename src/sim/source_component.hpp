@@ -1,0 +1,51 @@
+// Shared infrastructure for the simulation driver components.
+//
+// The paper drives its workflows with LAMMPS, GTCP, and GROMACS, each
+// modified (~70 lines + a ~25-line ADIOS XML file) to publish its output
+// through ADIOS/FlexPath.  The three stand-in drivers here (src/sim) are
+// configured the same way a launch script configures the real codes: an
+// input deck of key=value lines, passed either as a file ("lammps <
+// in.cracksm" in Fig. 8 — the '<' redirection is folded into an argument by
+// the script parser) or inline ("lammps rows=64 cols=64 steps=5").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/argparse.hpp"
+
+namespace sb::sim {
+
+/// key=value configuration, from inline args and/or deck files.
+class Deck {
+public:
+    /// Each argument is either "key=value" or the path of a deck file whose
+    /// lines are "key = value" (with '#' comments).  Later settings win.
+    static Deck from_args(const util::ArgList& args);
+
+    static Deck from_file(const std::string& path);
+
+    void set(const std::string& key, std::string value);
+
+    bool has(const std::string& key) const;
+    std::string get(const std::string& key, const std::string& dflt) const;
+    std::uint64_t get_u64(const std::string& key, std::uint64_t dflt) const;
+    double get_double(const std::string& key, double dflt) const;
+    bool get_bool(const std::string& key, bool dflt) const;
+
+    const std::map<std::string, std::string>& entries() const noexcept { return kv_; }
+
+private:
+    std::map<std::string, std::string> kv_;
+};
+
+/// Registers the simulation drivers and the all-in-one baseline with the
+/// component registry: "lammps", "gtcp", "gromacs", "aio".
+void register_simulations();
+
+/// Deterministic per-cell noise in [-1, 1): a SplitMix64 hash of the seeds,
+/// so simulations are reproducible and rank-count independent.
+double hash_noise(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
+}  // namespace sb::sim

@@ -1,0 +1,136 @@
+#include "sim/toroid_sim.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <optional>
+
+#include "adios/writer.hpp"
+#include "util/ndarray.hpp"
+#include "util/timer.hpp"
+
+namespace sb::sim {
+
+const std::vector<std::string> kToroidQuantities = {
+    "density",      "temperature",        "parallel_pressure",
+    "perpendicular_pressure", "energy_flux", "potential", "current"};
+
+ToroidSimParams ToroidSimParams::from_deck(const Deck& d) {
+    ToroidSimParams p;
+    p.slices = d.get_u64("slices", p.slices);
+    p.gridpoints = d.get_u64("gridpoints", p.gridpoints);
+    p.io_steps = d.get_u64("steps", p.io_steps);
+    p.work = d.get_u64("work", p.work);
+    p.stream = d.get("stream", p.stream);
+    p.array = d.get("array", p.array);
+    p.output = d.get_bool("output", p.output);
+    if (p.slices == 0 || p.gridpoints == 0) {
+        throw util::ArgError("gtcp: slices and gridpoints must be positive");
+    }
+    return p;
+}
+
+void ToroidField::evaluate(std::uint64_t s, std::uint64_t g_begin,
+                           std::uint64_t g_count, std::uint64_t t,
+                           std::span<double> out) const {
+    using std::numbers::pi;
+    const double phi = 2.0 * pi * static_cast<double>(s) / static_cast<double>(p_.slices);
+    const double time = 0.1 * static_cast<double>(t);
+    for (std::uint64_t gi = 0; gi < g_count; ++gi) {
+        const std::uint64_t g = g_begin + gi;
+        // Gridpoints wind around the poloidal cross-section: theta is the
+        // poloidal angle, rho the normalized minor radius.
+        const double theta =
+            2.0 * pi * static_cast<double>(g) / static_cast<double>(p_.gridpoints);
+        const double rho = 0.2 + 0.8 * std::fmod(static_cast<double>(g) * 0.618033988749,
+                                                 1.0);
+        const double noise = 0.05 * hash_noise(s, g, t);
+
+        // A pressure ridge drifting toroidally; zonal-flow-like modulation.
+        const double ridge = std::exp(-4.0 * std::pow(std::sin((phi - 0.7 * time) / 2.0), 2));
+        const double zonal = std::cos(3.0 * theta - 0.5 * time);
+
+        const double density = 1.0 + 0.3 * ridge * (1.0 - rho * rho) + noise;
+        const double temperature = 2.0 * (1.0 - 0.6 * rho) + 0.2 * zonal + noise;
+        const double ppar = density * temperature * (1.0 + 0.15 * zonal);
+        const double pperp = density * temperature * (1.0 + 0.25 * ridge + noise);
+        const double eflux = 0.1 * ridge * zonal + 0.02 * hash_noise(g, s, t + 1);
+        const double potential = 0.5 * std::sin(theta + phi - time) * (1.0 - rho);
+        const double current = 0.8 * (1.0 - rho * rho) + 0.1 * std::sin(2.0 * phi - time);
+
+        double* row = &out[gi * 7];
+        row[0] = density;
+        row[1] = temperature;
+        row[2] = ppar;
+        row[3] = pperp;
+        row[4] = eflux;
+        row[5] = potential;
+        row[6] = current;
+    }
+}
+
+namespace {
+
+std::string gtcp_xml(const std::string& array) {
+    std::string header;
+    for (const auto& q : kToroidQuantities) header += (header.empty() ? "" : ",") + q;
+    return "<adios-config>\n"
+           "  <adios-group name=\"gtcp_field\">\n"
+           "    <var name=\"ntoroidal\" type=\"unsigned long\"/>\n"
+           "    <var name=\"ngridpoints\" type=\"unsigned long\"/>\n"
+           "    <var name=\"nquantities\" type=\"unsigned long\"/>\n"
+           "    <var name=\"" + array + "\" type=\"double\" "
+           "dimensions=\"ntoroidal,ngridpoints,nquantities\"/>\n"
+           "    <attribute name=\"" + array + ".header.2\" value=\"" + header + "\"/>\n"
+           "  </adios-group>\n"
+           "  <transport group=\"gtcp_field\" method=\"FLEXPATH\"/>\n"
+           "</adios-config>\n";
+}
+
+}  // namespace
+
+void ToroidSimComponent::run(core::RunContext& ctx, const util::ArgList& args) {
+    const Deck deck = Deck::from_args(args);
+    const ToroidSimParams p = ToroidSimParams::from_deck(deck);
+
+    const int rank = ctx.comm.rank();
+    const int size = ctx.comm.size();
+    // GTCP domain-decomposes within slices: partition the gridpoints.
+    const auto [g_begin, g_count] = util::partition_range(p.gridpoints, rank, size);
+
+    const ToroidField field(p);
+    std::optional<adios::Writer> writer;
+    if (p.output) {
+        const adios::GroupDef group =
+            deck.has("xml") ? adios::GroupDef::from_xml_file(deck.get("xml", ""))
+                            : adios::GroupDef::from_xml(gtcp_xml(p.array));
+        writer.emplace(ctx.fabric, p.stream, group, rank, size, ctx.stream_options);
+    }
+
+    std::vector<double> block(p.slices * g_count * 7);
+    for (std::uint64_t step = 0; step < p.io_steps; ++step) {
+        util::WallTimer timer;
+        // Evaluate the plasma state (the `work` knob repeats the sweep to
+        // model heavier per-step computation).
+        for (std::uint64_t w = 0; w < std::max<std::uint64_t>(p.work, 1); ++w) {
+            for (std::uint64_t s = 0; s < p.slices; ++s) {
+                field.evaluate(s, g_begin, g_count, step,
+                               std::span<double>(block).subspan(s * g_count * 7,
+                                                                g_count * 7));
+            }
+        }
+
+        if (writer) {
+            writer->begin_step();
+            writer->set_dimension("ntoroidal", p.slices);
+            writer->set_dimension("ngridpoints", p.gridpoints);
+            writer->set_dimension("nquantities", 7);
+            const util::Box box({0, g_begin, 0}, {p.slices, g_count, 7});
+            writer->write<double>(p.array, block, box);
+            writer->end_step();
+        }
+        record_step(ctx, step, timer.seconds(), 0, p.slices * g_count * 7 * 8);
+    }
+    if (writer) writer->close();
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,76 @@
+// ToroidSim: the GTCP stand-in (paper §V.A, Fig. 4).
+//
+// GTCP is a particle-in-cell Tokamak code: it splits a toroidally confined
+// plasma into toroidal slices, each made of grid points, and outputs 7
+// physical properties per grid point.  ToroidSim reproduces that output
+// schema — a (toroidal_rank, gridpoint, quantity) 3-D array — with smooth
+// synthetic plasma fields evolving over time: a pressure ridge drifts
+// around the torus, temperature follows a radial profile, and a turbulent
+// component is injected with deterministic per-cell noise.  The GTCP
+// workflow (Select -> Dim-Reduce -> Dim-Reduce -> Histogram) consumes it
+// exactly as the paper's Figure 6 shows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "sim/source_component.hpp"
+
+namespace sb::sim {
+
+/// The 7 per-gridpoint properties, in output order.
+extern const std::vector<std::string> kToroidQuantities;
+
+struct ToroidSimParams {
+    std::uint64_t slices = 8;       // toroidal ranks
+    std::uint64_t gridpoints = 64;  // per slice
+    std::uint64_t io_steps = 4;
+    std::uint64_t work = 1;  // extra field-evaluation sweeps per step (compute load)
+
+    std::string stream = "gtcp.fp";
+    std::string array = "field3d";
+    bool output = true;
+
+    static ToroidSimParams from_deck(const Deck& d);
+    std::uint64_t quantities() const noexcept { return 7; }
+    std::uint64_t bytes_per_step() const noexcept {
+        return slices * gridpoints * quantities() * 8;
+    }
+};
+
+/// Evaluates the plasma state of one gridpoint range of one slice at one
+/// timestep; deterministic in (slice, gridpoint, step).
+class ToroidField {
+public:
+    explicit ToroidField(const ToroidSimParams& p) : p_(p) {}
+
+    /// Fills `out` (row-major (g_count x 7)) for slice `s`, gridpoints
+    /// [g_begin, g_begin + g_count), at timestep `t`.
+    void evaluate(std::uint64_t s, std::uint64_t g_begin, std::uint64_t g_count,
+                  std::uint64_t t, std::span<double> out) const;
+
+private:
+    ToroidSimParams p_;
+};
+
+/// The "gtcp" driver component.  Deck keys: slices, gridpoints, steps,
+/// work, stream, array, output, xml.
+class ToroidSimComponent : public core::Component {
+public:
+    std::string name() const override { return "gtcp"; }
+    std::string usage() const override {
+        return "gtcp [deck-file] [key=value ...]   (keys: slices gridpoints steps "
+               "work stream array output xml)";
+    }
+    core::Ports ports(const util::ArgList& args) const override {
+        const Deck deck = Deck::from_args(args);
+        const auto p = ToroidSimParams::from_deck(deck);
+        if (!p.output) return core::Ports{};
+        return core::Ports{{}, {p.stream}};
+    }
+    void run(core::RunContext& ctx, const util::ArgList& args) override;
+};
+
+}  // namespace sb::sim

@@ -1,0 +1,69 @@
+#include "util/argparse.hpp"
+
+#include <sstream>
+
+namespace sb::util {
+
+const std::string& ArgList::str(std::size_t i, const std::string& name) const {
+    if (i >= args_.size()) {
+        throw ArgError("missing argument <" + name + "> at position " +
+                       std::to_string(i));
+    }
+    return args_[i];
+}
+
+std::int64_t ArgList::integer(std::size_t i, const std::string& name) const {
+    const std::string& s = str(i, name);
+    try {
+        std::size_t pos = 0;
+        const std::int64_t v = std::stoll(s, &pos);
+        if (pos != s.size()) throw std::invalid_argument(s);
+        return v;
+    } catch (const std::exception&) {
+        throw ArgError("argument <" + name + "> must be an integer, got '" + s + "'");
+    }
+}
+
+std::uint64_t ArgList::unsigned_integer(std::size_t i, const std::string& name) const {
+    const std::int64_t v = integer(i, name);
+    if (v < 0) {
+        throw ArgError("argument <" + name + "> must be non-negative, got " +
+                       std::to_string(v));
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+double ArgList::real(std::size_t i, const std::string& name) const {
+    const std::string& s = str(i, name);
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos != s.size()) throw std::invalid_argument(s);
+        return v;
+    } catch (const std::exception&) {
+        throw ArgError("argument <" + name + "> must be a number, got '" + s + "'");
+    }
+}
+
+std::vector<std::string> ArgList::rest(std::size_t i) const {
+    if (i >= args_.size()) return {};
+    return {args_.begin() + static_cast<std::ptrdiff_t>(i), args_.end()};
+}
+
+void ArgList::require_at_least(std::size_t n, const std::string& usage) const {
+    if (args_.size() < n) {
+        throw ArgError("expected at least " + std::to_string(n) +
+                       " arguments, got " + std::to_string(args_.size()) +
+                       "\nusage: " + usage);
+    }
+}
+
+ArgList ArgList::split(const std::string& line) {
+    std::istringstream is(line);
+    std::vector<std::string> out;
+    std::string tok;
+    while (is >> tok) out.push_back(tok);
+    return ArgList(std::move(out));
+}
+
+}  // namespace sb::util

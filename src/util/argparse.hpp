@@ -1,0 +1,57 @@
+// Positional-argument helper for SmartBlock components.
+//
+// Components in the paper are configured entirely through positional
+// command-line parameters (Figs. 1-3), e.g.
+//     select input-stream input-array dim-index output-stream output-array q1 q2 ...
+// ArgList wraps an argv-style vector and provides typed, validated access
+// with useful error messages naming the missing/invalid parameter.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sb::util {
+
+/// Error thrown when a component's arguments are missing or malformed.
+class ArgError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class ArgList {
+public:
+    ArgList() = default;
+    explicit ArgList(std::vector<std::string> args) : args_(std::move(args)) {}
+
+    std::size_t size() const noexcept { return args_.size(); }
+    const std::vector<std::string>& raw() const noexcept { return args_; }
+
+    /// Positional string argument; `name` is used in error messages.
+    const std::string& str(std::size_t i, const std::string& name) const;
+
+    /// Positional integer argument (decimal).
+    std::int64_t integer(std::size_t i, const std::string& name) const;
+
+    /// Positional non-negative integer.
+    std::uint64_t unsigned_integer(std::size_t i, const std::string& name) const;
+
+    /// Positional floating-point argument.
+    double real(std::size_t i, const std::string& name) const;
+
+    /// All arguments from position `i` to the end (possibly empty).
+    std::vector<std::string> rest(std::size_t i) const;
+
+    /// Throws unless at least `n` arguments are present.  `usage` is the
+    /// component's usage line, included in the error.
+    void require_at_least(std::size_t n, const std::string& usage) const;
+
+    /// Splits a command line on whitespace (no quoting).
+    static ArgList split(const std::string& line);
+
+private:
+    std::vector<std::string> args_;
+};
+
+}  // namespace sb::util

@@ -1,0 +1,71 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace sb::util {
+
+namespace {
+
+std::atomic<int> g_level = [] {
+    if (const char* env = std::getenv("SB_LOG")) {
+        try {
+            return static_cast<int>(parse_log_level(env));
+        } catch (...) {
+            // fall through to default
+        }
+    }
+    return static_cast<int>(LogLevel::Warn);
+}();
+
+std::mutex& log_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+const char* level_name(LogLevel lvl) {
+    switch (lvl) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel lvl) noexcept {
+    g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& s) {
+    std::string t;
+    t.reserve(s.size());
+    for (char c : s) t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    if (t == "trace") return LogLevel::Trace;
+    if (t == "debug") return LogLevel::Debug;
+    if (t == "info") return LogLevel::Info;
+    if (t == "warn" || t == "warning") return LogLevel::Warn;
+    if (t == "error") return LogLevel::Error;
+    if (t == "off" || t == "none") return LogLevel::Off;
+    throw std::invalid_argument("unknown log level: " + s);
+}
+
+namespace detail {
+
+void log_line(LogLevel lvl, const std::string& msg) {
+    const std::lock_guard<std::mutex> lock(log_mutex());
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace sb::util

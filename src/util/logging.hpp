@@ -1,0 +1,55 @@
+// Minimal thread-safe leveled logging.
+//
+// Components run as many concurrent rank threads; the logger serializes
+// whole lines so interleaved output stays readable.  The level is settable
+// globally (SB_LOG env var or set_level) and checked cheaply before
+// formatting.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace sb::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+void log_line(LogLevel lvl, const std::string& msg);
+}
+
+/// Stream-style log statement: LOG(Info) << "x=" << x;
+/// The temporary flushes one serialized line on destruction.
+class LogStatement {
+public:
+    explicit LogStatement(LogLevel lvl) : lvl_(lvl) {}
+    ~LogStatement() { detail::log_line(lvl_, os_.str()); }
+    LogStatement(const LogStatement&) = delete;
+    LogStatement& operator=(const LogStatement&) = delete;
+
+    template <typename T>
+    LogStatement& operator<<(const T& v) {
+        os_ << v;
+        return *this;
+    }
+
+private:
+    LogLevel lvl_;
+    std::ostringstream os_;
+};
+
+}  // namespace sb::util
+
+#define SB_LOG_ENABLED(lvl) \
+    (static_cast<int>(::sb::util::LogLevel::lvl) >= static_cast<int>(::sb::util::log_level()))
+
+#define SB_LOG(lvl)                        \
+    if (!SB_LOG_ENABLED(lvl)) {            \
+    } else                                 \
+        ::sb::util::LogStatement(::sb::util::LogLevel::lvl)

@@ -1,0 +1,168 @@
+#include "util/ndarray.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace sb::util {
+
+std::uint64_t NdShape::volume() const noexcept {
+    std::uint64_t v = 1;
+    for (auto d : dims_) v *= d;
+    return v;
+}
+
+std::vector<std::uint64_t> NdShape::strides() const {
+    std::vector<std::uint64_t> s(dims_.size(), 1);
+    for (std::size_t i = dims_.size(); i-- > 1;) {
+        s[i - 1] = s[i] * dims_[i];
+    }
+    return s;
+}
+
+std::uint64_t NdShape::linear_index(std::span<const std::uint64_t> idx) const {
+    if (idx.size() != dims_.size()) {
+        throw std::invalid_argument("linear_index: rank mismatch");
+    }
+    std::uint64_t off = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        off = off * dims_[i] + idx[i];
+    }
+    return off;
+}
+
+std::string NdShape::to_string() const {
+    std::ostringstream os;
+    os << '(';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i) os << ',';
+        os << dims_[i];
+    }
+    os << ')';
+    return os.str();
+}
+
+Box Box::whole(const NdShape& shape) {
+    return Box(std::vector<std::uint64_t>(shape.ndim(), 0), shape.dims());
+}
+
+std::uint64_t Box::volume() const noexcept {
+    std::uint64_t v = 1;
+    for (auto c : count) v *= c;
+    return v;
+}
+
+bool Box::within(const NdShape& shape) const {
+    if (ndim() != shape.ndim()) return false;
+    for (std::size_t i = 0; i < ndim(); ++i) {
+        if (offset[i] + count[i] > shape[i]) return false;
+    }
+    return true;
+}
+
+std::string Box::to_string() const {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < ndim(); ++i) {
+        if (i) os << ", ";
+        os << offset[i] << '+' << count[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+std::optional<Box> intersect(const Box& a, const Box& b) {
+    if (a.ndim() != b.ndim()) {
+        throw std::invalid_argument("intersect: rank mismatch");
+    }
+    Box r;
+    r.offset.resize(a.ndim());
+    r.count.resize(a.ndim());
+    for (std::size_t i = 0; i < a.ndim(); ++i) {
+        const std::uint64_t lo = std::max(a.offset[i], b.offset[i]);
+        const std::uint64_t hi =
+            std::min(a.offset[i] + a.count[i], b.offset[i] + b.count[i]);
+        if (hi <= lo) return std::nullopt;
+        r.offset[i] = lo;
+        r.count[i] = hi - lo;
+    }
+    return r;
+}
+
+namespace {
+
+// Linear element offset of global coordinate `gidx` inside hyperslab `box`
+// stored row-major.
+std::uint64_t slab_offset(const Box& box, std::span<const std::uint64_t> gidx) {
+    std::uint64_t off = 0;
+    for (std::size_t i = 0; i < box.ndim(); ++i) {
+        off = off * box.count[i] + (gidx[i] - box.offset[i]);
+    }
+    return off;
+}
+
+}  // namespace
+
+void copy_box(std::span<const std::byte> src, const Box& src_box,
+              std::span<std::byte> dst, const Box& dst_box,
+              const Box& region, std::size_t elem_size) {
+    const std::size_t nd = region.ndim();
+    if (src_box.ndim() != nd || dst_box.ndim() != nd) {
+        throw std::invalid_argument("copy_box: rank mismatch");
+    }
+    if (region.empty()) return;
+    assert(src.size() >= src_box.volume() * elem_size);
+    assert(dst.size() >= dst_box.volume() * elem_size);
+
+    if (nd == 0) {  // scalar
+        std::memcpy(dst.data(), src.data(), elem_size);
+        return;
+    }
+
+    // Iterate over all rows of the region (all dims but the last); each row
+    // is a contiguous run of region.count[nd-1] elements in both slabs.
+    std::vector<std::uint64_t> idx(region.offset);
+    const std::uint64_t row_elems = region.count[nd - 1];
+    const std::size_t row_bytes = row_elems * elem_size;
+    for (;;) {
+        const std::uint64_t soff = slab_offset(src_box, idx) * elem_size;
+        const std::uint64_t doff = slab_offset(dst_box, idx) * elem_size;
+        std::memcpy(dst.data() + doff, src.data() + soff, row_bytes);
+
+        // Advance the multi-index over dims [0, nd-1), odometer style.
+        std::size_t d = nd - 1;
+        for (;;) {
+            if (d == 0) return;
+            --d;
+            if (++idx[d] < region.offset[d] + region.count[d]) break;
+            idx[d] = region.offset[d];
+        }
+    }
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+partition_range(std::uint64_t n, int rank, int size) {
+    if (size <= 0 || rank < 0 || rank >= size) {
+        throw std::invalid_argument("partition_range: bad rank/size");
+    }
+    const std::uint64_t base = n / static_cast<std::uint64_t>(size);
+    const std::uint64_t extra = n % static_cast<std::uint64_t>(size);
+    const std::uint64_t r = static_cast<std::uint64_t>(rank);
+    const std::uint64_t count = base + (r < extra ? 1 : 0);
+    const std::uint64_t offset = r * base + std::min(r, extra);
+    return {offset, count};
+}
+
+Box partition_along(const NdShape& shape, std::size_t dim, int rank, int size) {
+    if (dim >= shape.ndim()) {
+        throw std::invalid_argument("partition_along: dim out of range");
+    }
+    Box b = Box::whole(shape);
+    auto [off, cnt] = partition_range(shape[dim], rank, size);
+    b.offset[dim] = off;
+    b.count[dim] = cnt;
+    return b;
+}
+
+}  // namespace sb::util

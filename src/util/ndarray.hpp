@@ -1,0 +1,98 @@
+// Multi-dimensional shapes, bounding boxes, and hyperslab copies.
+//
+// All arrays in SmartBlock are dense, row-major (C order: the last dimension
+// varies fastest), matching how ADIOS expects simulations to pack their
+// output.  A `Box` describes a hyperslab of a global array as an offset and a
+// count per dimension; the FlexPath MxN redistribution engine is built on
+// `intersect()` and `copy_box()` below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sb::util {
+
+/// Shape of an n-dimensional array: one extent per dimension.
+class NdShape {
+public:
+    NdShape() = default;
+    explicit NdShape(std::vector<std::uint64_t> dims) : dims_(std::move(dims)) {}
+    NdShape(std::initializer_list<std::uint64_t> dims) : dims_(dims) {}
+
+    std::size_t ndim() const noexcept { return dims_.size(); }
+    std::uint64_t operator[](std::size_t i) const { return dims_[i]; }
+    std::uint64_t& operator[](std::size_t i) { return dims_[i]; }
+    const std::vector<std::uint64_t>& dims() const noexcept { return dims_; }
+
+    /// Total number of elements (1 for a 0-d scalar).
+    std::uint64_t volume() const noexcept;
+
+    /// Row-major strides, in elements.
+    std::vector<std::uint64_t> strides() const;
+
+    /// Linear row-major offset of a multi-index (must have ndim() entries).
+    std::uint64_t linear_index(std::span<const std::uint64_t> idx) const;
+
+    bool operator==(const NdShape&) const = default;
+
+    std::string to_string() const;
+
+private:
+    std::vector<std::uint64_t> dims_;
+};
+
+/// A hyperslab of a global array: offset + count per dimension.
+struct Box {
+    std::vector<std::uint64_t> offset;
+    std::vector<std::uint64_t> count;
+
+    Box() = default;
+    Box(std::vector<std::uint64_t> off, std::vector<std::uint64_t> cnt)
+        : offset(std::move(off)), count(std::move(cnt)) {}
+
+    /// The box covering an entire array of the given shape.
+    static Box whole(const NdShape& shape);
+
+    std::size_t ndim() const noexcept { return offset.size(); }
+    std::uint64_t volume() const noexcept;
+    bool empty() const noexcept { return volume() == 0; }
+
+    /// True if this box lies entirely within an array of shape `shape`.
+    bool within(const NdShape& shape) const;
+
+    bool operator==(const Box&) const = default;
+
+    std::string to_string() const;
+};
+
+/// Intersection of two boxes, or nullopt when they do not overlap.
+/// Both boxes must have the same rank.
+std::optional<Box> intersect(const Box& a, const Box& b);
+
+/// Copies the elements of `region` (given in *global* coordinates) from a
+/// source hyperslab buffer into a destination hyperslab buffer.
+///
+/// `src` holds the elements of box `src_box` in row-major order; `dst` holds
+/// the elements of box `dst_box`.  `region` must be contained in both boxes.
+/// `elem_size` is the size of one element in bytes.
+void copy_box(std::span<const std::byte> src, const Box& src_box,
+              std::span<std::byte> dst, const Box& dst_box,
+              const Box& region, std::size_t elem_size);
+
+/// Evenly partitions `n` items among `size` parts; returns {offset, count}
+/// for part `rank`.  The first `n % size` parts receive one extra item, so
+/// every part's count differs by at most one — the paper's "approximately
+/// equal amount of data" rule.
+std::pair<std::uint64_t, std::uint64_t>
+partition_range(std::uint64_t n, int rank, int size);
+
+/// Partition an array of shape `shape` along dimension `dim` for `rank` of
+/// `size`: the returned box covers the rank's slab (full extent in every
+/// other dimension).  Ranks beyond the extent receive an empty box.
+Box partition_along(const NdShape& shape, std::size_t dim, int rank, int size);
+
+}  // namespace sb::util

@@ -1,0 +1,106 @@
+// Bounded, closable, blocking MPMC queue.
+//
+// This is the buffering primitive behind FlexPath's writer-side queues
+// (paper §IV point 4): a writer can run ahead of its readers by up to the
+// queue capacity, overlapping computation with downstream I/O; when the
+// queue is full the writer blocks (backpressure).  All waits use condition
+// variables with predicates — never spinning (Core Guidelines CP.42).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace sb::util {
+
+template <typename T>
+class BoundedQueue {
+public:
+    /// capacity == 0 gives rendezvous semantics: push() blocks until a
+    /// consumer has popped the item (used by the "synchronous handoff"
+    /// ablation).
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocks until there is room (or the queue is closed).  Returns false
+    /// if the queue was closed and the item was not enqueued.
+    bool push(T item) {
+        std::unique_lock lock(mu_);
+        if (capacity_ == 0) {
+            // Rendezvous: enqueue, then wait for the item to be taken.
+            if (closed_) return false;
+            q_.push_back(std::move(item));
+            const std::uint64_t my_seq = ++pushed_;
+            not_empty_.notify_all();
+            popped_cv_.wait(lock, [&] { return closed_ || popped_ >= my_seq; });
+            return popped_ >= my_seq;
+        }
+        not_full_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+        if (closed_) return false;
+        q_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; nullopt signals end of stream.
+    std::optional<T> pop() {
+        std::unique_lock lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+        if (q_.empty()) return std::nullopt;
+        T item = std::move(q_.front());
+        q_.pop_front();
+        ++popped_;
+        not_full_.notify_one();
+        popped_cv_.notify_all();
+        return item;
+    }
+
+    /// Non-blocking pop; nullopt when currently empty (closed or not).
+    std::optional<T> try_pop() {
+        std::lock_guard lock(mu_);
+        if (q_.empty()) return std::nullopt;
+        T item = std::move(q_.front());
+        q_.pop_front();
+        ++popped_;
+        not_full_.notify_one();
+        popped_cv_.notify_all();
+        return item;
+    }
+
+    /// After close(), pushes fail and pops drain the remaining items then
+    /// return nullopt.
+    void close() {
+        std::lock_guard lock(mu_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+        popped_cv_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard lock(mu_);
+        return closed_;
+    }
+
+    std::size_t size() const {
+        std::lock_guard lock(mu_);
+        return q_.size();
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::condition_variable popped_cv_;
+    std::deque<T> q_;
+    bool closed_ = false;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t popped_ = 0;
+};
+
+}  // namespace sb::util

@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace sb::util {
+
+Summary summarize(std::span<const double> xs) {
+    Summary s;
+    s.n = xs.size();
+    if (xs.empty()) return s;
+    s.min = xs[0];
+    s.max = xs[0];
+    double sum = 0.0;
+    for (double x : xs) {
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+        sum += x;
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) var += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+    return s;
+}
+
+double mean(std::span<const double> xs) { return summarize(xs).mean; }
+
+double percentile(std::span<const double> xs, double p) {
+    if (xs.empty()) return 0.0;
+    std::vector<double> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    const double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+namespace {
+
+std::string format_scaled(double v, const char* const units[], int nunits) {
+    int u = 0;
+    while (v >= 1024.0 && u < nunits - 1) {
+        v /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+    return buf;
+}
+
+}  // namespace
+
+std::string format_rate(double bytes_per_sec) {
+    static const char* const units[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    return format_scaled(bytes_per_sec, units, 5);
+}
+
+std::string format_bytes(double bytes) {
+    static const char* const units[] = {"B", "KB", "MB", "GB", "TB"};
+    return format_scaled(bytes, units, 5);
+}
+
+}  // namespace sb::util

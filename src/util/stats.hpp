@@ -1,0 +1,33 @@
+// Small statistics helpers for the evaluation harnesses (per-component
+// timestep times averaged over a communicator, throughput summaries, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace sb::util {
+
+struct Summary {
+    std::size_t n = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;  // population standard deviation
+};
+
+/// Summary statistics of a sample; all-zero summary for an empty span.
+Summary summarize(std::span<const double> xs);
+
+double mean(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::span<const double> xs, double p);
+
+/// "12.3 KB/s"-style human formatting of a bytes-per-second rate.
+std::string format_rate(double bytes_per_sec);
+
+/// "12.3 MB"-style human formatting of a byte count.
+std::string format_bytes(double bytes);
+
+}  // namespace sb::util

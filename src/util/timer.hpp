@@ -1,0 +1,26 @@
+// Wall-clock timing helpers used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace sb::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+public:
+    WallTimer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace sb::util

@@ -1,0 +1,263 @@
+// Tests for the ADIOS layer: XML parsing, group definitions, and the
+// writer/reader pair with named dimensions, labels, and attributes.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+#include "adios/reader.hpp"
+#include "adios/writer.hpp"
+#include "adios/xml.hpp"
+#include "mpi/runtime.hpp"
+
+namespace a = sb::adios;
+namespace fp = sb::flexpath;
+namespace u = sb::util;
+
+// ---- XML parser ------------------------------------------------------------
+
+TEST(Xml, BasicDocument) {
+    const auto root = a::parse_xml(
+        "<?xml version=\"1.0\"?>\n"
+        "<!-- header comment -->\n"
+        "<config a=\"1\" b='two'>\n"
+        "  <child/>\n"
+        "  <child name=\"x\">text</child>\n"
+        "  <!-- inner comment -->\n"
+        "</config>\n");
+    EXPECT_EQ(root.name, "config");
+    EXPECT_EQ(root.attr("a"), "1");
+    EXPECT_EQ(root.attr("b"), "two");
+    EXPECT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children_named("child").size(), 2u);
+    EXPECT_EQ(root.children[1].attr("name"), "x");
+    EXPECT_NE(root.children[1].text.find("text"), std::string::npos);
+    EXPECT_EQ(root.child("missing"), nullptr);
+    EXPECT_EQ(root.attr_or("missing", "dflt"), "dflt");
+    EXPECT_THROW((void)root.attr("missing"), std::runtime_error);
+}
+
+TEST(Xml, MalformedInputsThrowWithLineNumbers) {
+    EXPECT_THROW((void)a::parse_xml(""), std::runtime_error);
+    EXPECT_THROW((void)a::parse_xml("<a>"), std::runtime_error);
+    EXPECT_THROW((void)a::parse_xml("<a></b>"), std::runtime_error);
+    EXPECT_THROW((void)a::parse_xml("<a x=1/>"), std::runtime_error);
+    EXPECT_THROW((void)a::parse_xml("<a x=\"1\" x=\"2\"/>"), std::runtime_error);
+    EXPECT_THROW((void)a::parse_xml("<a/><b/>"), std::runtime_error);
+    try {
+        (void)a::parse_xml("<a>\n\n<b</a>");
+        FAIL();
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Xml, SelfClosingAndNesting) {
+    const auto root = a::parse_xml("<a><b><c deep=\"yes\"/></b></a>");
+    ASSERT_NE(root.child("b"), nullptr);
+    ASSERT_NE(root.child("b")->child("c"), nullptr);
+    EXPECT_EQ(root.child("b")->child("c")->attr("deep"), "yes");
+}
+
+// ---- GroupDef --------------------------------------------------------------
+
+namespace {
+
+const char* kConfig = R"(<adios-config>
+  <adios-group name="particles">
+    <var name="natoms" type="unsigned long"/>
+    <var name="nquant" type="unsigned long"/>
+    <var name="atoms" type="double" dimensions="natoms,nquant"/>
+    <attribute name="atoms.header.1" value="ID,Type,vx,vy,vz"/>
+  </adios-group>
+  <adios-group name="other">
+    <var name="x" type="float"/>
+  </adios-group>
+  <transport group="particles" method="FLEXPATH"/>
+</adios-config>)";
+
+}  // namespace
+
+TEST(GroupDef, FromXml) {
+    const a::GroupDef def = a::GroupDef::from_xml(kConfig);
+    EXPECT_EQ(def.name, "particles");
+    EXPECT_EQ(def.transport, "FLEXPATH");
+    ASSERT_EQ(def.vars.size(), 3u);
+    const a::VarSpec* atoms = def.find("atoms");
+    ASSERT_NE(atoms, nullptr);
+    EXPECT_EQ(atoms->kind, a::DataKind::Float64);
+    EXPECT_EQ(atoms->dimensions, (std::vector<std::string>{"natoms", "nquant"}));
+    EXPECT_TRUE(def.find("natoms")->is_scalar());
+    EXPECT_EQ(def.attributes.at("atoms.header.1"),
+              (std::vector<std::string>{"ID", "Type", "vx", "vy", "vz"}));
+    EXPECT_EQ(def.find("nope"), nullptr);
+}
+
+TEST(GroupDef, SelectGroupByName) {
+    const a::GroupDef def = a::GroupDef::from_xml(kConfig, "other");
+    EXPECT_EQ(def.name, "other");
+    EXPECT_EQ(def.find("x")->kind, a::DataKind::Float32);
+}
+
+TEST(GroupDef, MissingGroupThrows) {
+    EXPECT_THROW((void)a::GroupDef::from_xml(kConfig, "absent"), std::runtime_error);
+    EXPECT_THROW((void)a::GroupDef::from_xml("<wrong/>"), std::runtime_error);
+}
+
+TEST(GroupDef, FromXmlFile) {
+    const std::string path = ::testing::TempDir() + "/sb_group.xml";
+    std::ofstream(path) << kConfig;
+    const a::GroupDef def = a::GroupDef::from_xml_file(path);
+    EXPECT_EQ(def.name, "particles");
+    EXPECT_THROW((void)a::GroupDef::from_xml_file("/no/such/file.xml"),
+                 std::runtime_error);
+}
+
+TEST(GroupDef, TypeNames) {
+    EXPECT_EQ(a::parse_type_name("double"), a::DataKind::Float64);
+    EXPECT_EQ(a::parse_type_name("float"), a::DataKind::Float32);
+    EXPECT_EQ(a::parse_type_name("integer"), a::DataKind::Int32);
+    EXPECT_EQ(a::parse_type_name("long"), a::DataKind::Int64);
+    EXPECT_EQ(a::parse_type_name("unsigned long"), a::DataKind::UInt64);
+    EXPECT_EQ(a::parse_type_name("byte"), a::DataKind::Byte);
+    EXPECT_THROW((void)a::parse_type_name("quadruple"), std::runtime_error);
+}
+
+TEST(GroupDef, SplitCsvTrims) {
+    EXPECT_EQ(a::split_csv(" a, b ,c "), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(a::split_csv("").empty());
+    EXPECT_EQ(a::split_csv("one"), (std::vector<std::string>{"one"}));
+}
+
+// ---- Writer/Reader end-to-end ---------------------------------------------
+
+TEST(AdiosIo, WriteReadWithLabelsAndAttributes) {
+    fp::Fabric fabric;
+    const a::GroupDef def = a::GroupDef::from_xml(kConfig);
+
+    std::jthread writer_thread([&] {
+        sb::mpi::run_ranks(2, [&](sb::mpi::Communicator& c) {
+            a::Writer w(fabric, "adios.fp", def, c.rank(), c.size());
+            for (std::uint64_t t = 0; t < 3; ++t) {
+                w.begin_step();
+                w.set_dimension("natoms", 6);
+                w.set_dimension("nquant", 5);
+                const u::Box box =
+                    u::partition_along(u::NdShape{6, 5}, 0, c.rank(), c.size());
+                std::vector<double> block(box.volume());
+                for (std::size_t i = 0; i < block.size(); ++i) {
+                    block[i] = static_cast<double>(box.offset[0] * 5 + i + t * 1000);
+                }
+                w.write<double>("atoms", block, box);
+                w.write_attribute("step_parity", t % 2 == 0
+                                                     ? std::vector<std::string>{"even"}
+                                                     : std::vector<std::string>{"odd"});
+                w.end_step();
+            }
+            w.close();
+        });
+    });
+
+    a::Reader r(fabric, "adios.fp", 0, 1);
+    std::uint64_t t = 0;
+    while (r.begin_step()) {
+        EXPECT_EQ(r.step(), t);
+        const a::VarInfo info = r.inq_var("atoms");
+        EXPECT_EQ(info.shape, (u::NdShape{6, 5}));
+        EXPECT_EQ(info.dim_labels, (std::vector<std::string>{"natoms", "nquant"}));
+        EXPECT_EQ(info.kind, a::DataKind::Float64);
+
+        // Scalar dimension variables are published too.
+        EXPECT_TRUE(r.has_var("natoms"));
+        EXPECT_EQ(r.read_scalar<std::uint64_t>("natoms"), 6u);
+        EXPECT_EQ(r.read_scalar<std::uint64_t>("nquant"), 5u);
+
+        // Static group attribute rides on every step.
+        EXPECT_EQ(r.attribute_strings("atoms.header.1"),
+                  (std::vector<std::string>{"ID", "Type", "vx", "vy", "vz"}));
+        // Per-step attribute.
+        EXPECT_EQ(r.attribute_strings("step_parity"),
+                  (std::vector<std::string>{t % 2 == 0 ? "even" : "odd"}));
+        EXPECT_FALSE(r.attribute_strings("absent").has_value());
+        EXPECT_FALSE(r.attribute_double("absent").has_value());
+
+        const std::vector<double> all = r.read<double>("atoms", u::Box({0, 0}, {6, 5}));
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            EXPECT_EQ(all[i], static_cast<double>(i + t * 1000));
+        }
+        const auto names = r.variable_names();
+        EXPECT_EQ(names.size(), 3u);  // atoms, natoms, nquant
+        r.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 3u);
+}
+
+TEST(AdiosWriter, LifecycleErrors) {
+    fp::Fabric fabric;
+    const a::GroupDef def = a::GroupDef::from_xml(kConfig);
+    a::Writer w(fabric, "adios.errors", def, 0, 1);
+
+    const std::vector<double> v(30);
+    EXPECT_THROW(w.write<double>("atoms", v, u::Box({0, 0}, {6, 5})),
+                 std::logic_error);  // outside a step
+    EXPECT_THROW(w.set_dimension("natoms", 6), std::logic_error);
+    EXPECT_THROW(w.end_step(), std::logic_error);
+
+    w.begin_step();
+    EXPECT_THROW(w.begin_step(), std::logic_error);  // already in a step
+    EXPECT_THROW(w.set_dimension("atoms", 6), std::logic_error);   // not a scalar
+    EXPECT_THROW(w.set_dimension("unknown", 6), std::logic_error);
+    // Array write before its dimensions are set.
+    EXPECT_THROW(w.write<double>("atoms", v, u::Box({0, 0}, {6, 5})),
+                 std::logic_error);
+    w.set_dimension("natoms", 6);
+    EXPECT_THROW(w.set_dimension("natoms", 7), std::logic_error);  // conflict
+    w.set_dimension("nquant", 5);
+    EXPECT_THROW(w.write<double>("unknown", v, u::Box({0, 0}, {6, 5})),
+                 std::logic_error);
+    w.write<double>("atoms", v, u::Box({0, 0}, {6, 5}));
+    w.end_step();
+    w.close();
+}
+
+TEST(AdiosWriter, LiteralDimensionsResolve) {
+    fp::Fabric fabric;
+    a::GroupDef def;
+    def.name = "g";
+    def.vars.push_back(a::VarSpec{"fixed", a::DataKind::Float64, {"8", "3"}});
+
+    std::jthread writer_thread([&] {
+        a::Writer w(fabric, "adios.fixed", def, 0, 1);
+        w.begin_step();
+        std::vector<double> v(24, 1.0);
+        w.write<double>("fixed", v, u::Box({0, 0}, {8, 3}));
+        w.end_step();
+        w.close();
+    });
+
+    a::Reader r(fabric, "adios.fixed", 0, 1);
+    ASSERT_TRUE(r.begin_step());
+    EXPECT_EQ(r.inq_var("fixed").shape, (u::NdShape{8, 3}));
+    r.end_step();
+    EXPECT_FALSE(r.begin_step());
+}
+
+TEST(AdiosReader, UnknownVariableThrows) {
+    fp::Fabric fabric;
+    std::jthread writer_thread([&] {
+        a::GroupDef def;
+        def.name = "g";
+        def.vars.push_back(a::VarSpec{"x", a::DataKind::Float64, {"4"}});
+        a::Writer w(fabric, "adios.unknown", def, 0, 1);
+        w.begin_step();
+        std::vector<double> v(4, 0.0);
+        w.write<double>("x", v, u::Box({0}, {4}));
+        w.end_step();
+        w.close();
+    });
+    a::Reader r(fabric, "adios.unknown", 0, 1);
+    ASSERT_TRUE(r.begin_step());
+    EXPECT_THROW((void)r.inq_var("y"), std::runtime_error);
+    r.end_step();
+}

@@ -1,0 +1,712 @@
+// Tests for the generic SmartBlock components: the Select / Magnitude /
+// Dim-Reduce / Histogram kernels and each component end-to-end through the
+// real transport, plus the future-work components (Fork, file endpoints,
+// All-Pairs) and the attribute-propagation rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "adios/reader.hpp"
+#include "adios/writer.hpp"
+#include "core/dim_reduce.hpp"
+#include "core/file_io.hpp"
+#include "core/histogram.hpp"
+#include "core/registry.hpp"
+#include "mpi/runtime.hpp"
+
+namespace core = sb::core;
+namespace fp = sb::flexpath;
+namespace a = sb::adios;
+namespace u = sb::util;
+
+namespace {
+
+/// Runs one component instance over n ranks; blocks until it finishes.
+void run_component(fp::Fabric& fabric, const std::string& name, int nprocs,
+                   std::vector<std::string> args) {
+    sb::mpi::run_ranks(nprocs, [&](sb::mpi::Communicator& comm) {
+        auto c = core::make_component(name);
+        core::RunContext ctx{fabric, comm, nullptr, {}};
+        c->run(ctx, u::ArgList(args));
+    });
+}
+
+/// One synthetic upstream step.
+struct SourceStep {
+    std::vector<double> data;  // row-major, full array
+    std::map<std::string, std::vector<std::string>> attrs;
+};
+
+/// Publishes `steps` on stream `stream` as array `array` with the given
+/// shape/labels, from a single writer rank.  Returns the running thread.
+std::jthread publish(fp::Fabric& fabric, const std::string& stream,
+                     const std::string& array, u::NdShape shape,
+                     std::vector<std::string> labels,
+                     std::vector<SourceStep> steps) {
+    labels.resize(shape.ndim());  // pad so every dimension gets a name
+    return std::jthread([&fabric, stream, array, shape = std::move(shape),
+                         labels = std::move(labels), steps = std::move(steps)] {
+        a::GroupDef def = core::output_group("test-source", array, labels);
+        a::Writer w(fabric, stream, def, 0, 1);
+        const auto& dim_names = def.find(array)->dimensions;
+        for (const SourceStep& s : steps) {
+            w.begin_step();
+            for (std::size_t d = 0; d < shape.ndim(); ++d) {
+                w.set_dimension(dim_names[d], shape[d]);
+            }
+            for (const auto& [k, v] : s.attrs) w.write_attribute(k, v);
+            w.write<double>(array, s.data, u::Box::whole(shape));
+            w.end_step();
+        }
+        w.close();
+    });
+}
+
+/// Collects every step of a stream (full arrays + metadata) on one rank.
+struct Collected {
+    std::vector<std::vector<double>> steps;
+    u::NdShape shape;
+    std::vector<std::string> labels;
+    std::map<std::string, std::vector<std::string>> attrs;  // of the last step
+};
+
+Collected collect(fp::Fabric& fabric, const std::string& stream,
+                  const std::string& array) {
+    Collected out;
+    a::Reader r(fabric, stream, 0, 1);
+    while (r.begin_step()) {
+        const a::VarInfo info = r.inq_var(array);
+        out.shape = info.shape;
+        out.labels = info.dim_labels;
+        out.attrs = r.string_attributes();
+        out.steps.push_back(r.read<double>(array, u::Box::whole(info.shape)));
+        r.end_step();
+    }
+    return out;
+}
+
+}  // namespace
+
+// ---- dim-reduce kernel -----------------------------------------------------
+
+TEST(DimReduceShape, RemovesAndGrows) {
+    EXPECT_EQ(core::dim_reduce_shape(u::NdShape{4, 5, 7}, 2, 1), (u::NdShape{4, 35}));
+    EXPECT_EQ(core::dim_reduce_shape(u::NdShape{4, 5, 7}, 0, 1), (u::NdShape{20, 7}));
+    EXPECT_EQ(core::dim_reduce_shape(u::NdShape{4, 5}, 0, 1), (u::NdShape{20}));
+    EXPECT_EQ(core::dim_reduce_shape(u::NdShape{4, 5}, 1, 0), (u::NdShape{20}));
+}
+
+TEST(DimReduceShape, PreservesVolume) {
+    const u::NdShape s{3, 4, 5, 2};
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t g = 0; g < 4; ++g) {
+            if (r == g) continue;
+            EXPECT_EQ(core::dim_reduce_shape(s, r, g).volume(), s.volume());
+        }
+    }
+}
+
+TEST(DimReduceShape, BadDimsThrow) {
+    EXPECT_THROW((void)core::dim_reduce_shape(u::NdShape{4, 5}, 1, 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)core::dim_reduce_shape(u::NdShape{4, 5}, 2, 0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)core::dim_reduce_shape(u::NdShape{4}, 0, 1),
+                 std::invalid_argument);
+}
+
+namespace {
+
+/// Reference implementation: out[..., g*Nr + r, ...] = in[..., g, ..., r, ...]
+/// via explicit multi-index arithmetic.
+std::vector<double> dim_reduce_reference(const std::vector<double>& in,
+                                         const u::NdShape& shape, std::size_t remove,
+                                         std::size_t grow) {
+    const u::NdShape out_shape = core::dim_reduce_shape(shape, remove, grow);
+    std::vector<double> out(in.size());
+    const std::uint64_t n = shape.volume();
+    std::vector<std::uint64_t> idx(shape.ndim(), 0);
+    for (std::uint64_t lin = 0; lin < n; ++lin) {
+        // Build the output multi-index.
+        std::vector<std::uint64_t> oidx;
+        oidx.reserve(shape.ndim() - 1);
+        for (std::size_t d = 0; d < shape.ndim(); ++d) {
+            if (d == remove) continue;
+            oidx.push_back(d == grow ? idx[grow] * shape[remove] + idx[remove]
+                                     : idx[d]);
+        }
+        out[out_shape.linear_index(oidx)] = in[lin];
+        for (std::size_t d = shape.ndim(); d-- > 0;) {
+            if (++idx[d] < shape[d]) break;
+            idx[d] = 0;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+class DimReduceKernel
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<std::uint64_t>, std::size_t, std::size_t>> {};
+
+TEST_P(DimReduceKernel, MatchesReference) {
+    const auto& [dims, remove, grow] = GetParam();
+    const u::NdShape shape(dims);
+    std::vector<double> in(shape.volume());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<double>(i);
+
+    const std::vector<double> expected = dim_reduce_reference(in, shape, remove, grow);
+    std::vector<double> got(in.size());
+    core::dim_reduce_copy(std::as_bytes(std::span(in)), shape, remove, grow,
+                          std::as_writable_bytes(std::span(got)), sizeof(double));
+    EXPECT_EQ(got, expected) << "shape " << shape.to_string() << " remove " << remove
+                             << " grow " << grow;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DimReduceKernel,
+    ::testing::Values(
+        std::make_tuple(std::vector<std::uint64_t>{3, 4}, 0u, 1u),
+        std::make_tuple(std::vector<std::uint64_t>{3, 4}, 1u, 0u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4}, 2u, 1u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4}, 0u, 1u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4}, 0u, 2u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4}, 1u, 2u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4}, 1u, 0u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4}, 2u, 0u),
+        std::make_tuple(std::vector<std::uint64_t>{5, 1, 6}, 1u, 0u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4, 5}, 1u, 3u),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4, 5}, 3u, 0u),
+        std::make_tuple(std::vector<std::uint64_t>{7, 2}, 1u, 0u)));
+
+TEST(DimReduceKernel, GtcpFlattenIsIdentityOrder) {
+    // Removing the last (quantity) dim into the gridpoint dim of a
+    // row-major array is exactly the linear layout: no reorder.
+    const u::NdShape shape{2, 3, 4};
+    std::vector<double> in(24);
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<double>(i);
+    std::vector<double> got(24);
+    core::dim_reduce_copy(std::as_bytes(std::span(in)), shape, 2, 1,
+                          std::as_writable_bytes(std::span(got)), sizeof(double));
+    EXPECT_EQ(got, in);
+}
+
+// ---- histogram kernel ------------------------------------------------------
+
+TEST(HistogramCounts, BasicBinning) {
+    const double v[] = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+    const auto c = core::histogram_counts(v, 0.0, 4.0, 4);
+    // Last bin's upper edge is inclusive: 4.0 lands in bin 3.
+    EXPECT_EQ(c, (std::vector<std::uint64_t>{2, 2, 2, 3}));
+}
+
+TEST(HistogramCounts, AllEqualValuesGoToBinZero) {
+    const double v[] = {2.0, 2.0, 2.0};
+    const auto c = core::histogram_counts(v, 2.0, 2.0, 5);
+    EXPECT_EQ(c, (std::vector<std::uint64_t>{3, 0, 0, 0, 0}));
+}
+
+TEST(HistogramCounts, NanSkipped) {
+    const double v[] = {1.0, std::nan(""), 2.0};
+    const auto c = core::histogram_counts(v, 1.0, 2.0, 2);
+    EXPECT_EQ(c[0] + c[1], 2u);
+}
+
+TEST(HistogramCounts, OutOfRangeClampsToEdgeBins) {
+    const double v[] = {-5.0, 100.0};
+    const auto c = core::histogram_counts(v, 0.0, 10.0, 4);
+    EXPECT_EQ(c, (std::vector<std::uint64_t>{1, 0, 0, 1}));
+}
+
+TEST(HistogramCounts, ZeroBinsThrows) {
+    EXPECT_THROW((void)core::histogram_counts({}, 0, 1, 0), std::invalid_argument);
+}
+
+TEST(HistogramCounts, TotalAlwaysMatchesFiniteCount) {
+    std::vector<double> v;
+    for (int i = 0; i < 1000; ++i) v.push_back(std::sin(i * 0.1) * 7.0);
+    for (std::size_t bins : {1u, 2u, 7u, 64u}) {
+        const auto c = core::histogram_counts(v, -7.0, 7.0, bins);
+        std::uint64_t total = 0;
+        for (auto x : c) total += x;
+        EXPECT_EQ(total, v.size());
+    }
+}
+
+TEST(HistogramResult, BinEdges) {
+    core::HistogramResult h;
+    h.min = 0.0;
+    h.max = 10.0;
+    h.counts = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+    EXPECT_DOUBLE_EQ(h.bin_lo(3), 7.5);
+    EXPECT_DOUBLE_EQ(h.bin_hi(3), 10.0);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(HistogramFile, WriteReadRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/sb_hist_roundtrip.txt";
+    std::ofstream out(path, std::ios::trunc);
+    core::HistogramResult h1{0, -1.0, 3.0, {5, 0, 7}};
+    core::HistogramResult h2{1, 0.5, 0.5, {9}};
+    core::write_histogram(out, h1);
+    core::write_histogram(out, h2);
+    out.close();
+
+    const auto back = core::read_histogram_file(path);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0], h1);
+    EXPECT_EQ(back[1], h2);
+    EXPECT_THROW((void)core::read_histogram_file("/no/such/file"), std::runtime_error);
+}
+
+class DistributedHistogram : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedHistogram, MatchesSequential) {
+    const int nranks = GetParam();
+    std::vector<double> all(257);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = std::cos(static_cast<double>(i) * 0.37) * 5.0;
+    }
+    double lo = all[0], hi = all[0];
+    for (double x : all) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    const auto expected = core::histogram_counts(all, lo, hi, 16);
+
+    sb::mpi::run_ranks(nranks, [&](sb::mpi::Communicator& c) {
+        const auto [off, cnt] = u::partition_range(all.size(), c.rank(), c.size());
+        const auto h = core::distributed_histogram(
+            c, std::span(all).subspan(off, cnt), 16, 3);
+        EXPECT_EQ(h.step, 3u);
+        EXPECT_DOUBLE_EQ(h.min, lo);
+        EXPECT_DOUBLE_EQ(h.max, hi);
+        EXPECT_EQ(h.counts, expected);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedHistogram, ::testing::Values(1, 2, 5, 9));
+
+TEST(DistributedHistogram, AllEmptyRanks) {
+    sb::mpi::run_ranks(3, [](sb::mpi::Communicator& c) {
+        const auto h = core::distributed_histogram(c, {}, 4, 0);
+        EXPECT_EQ(h.counts, std::vector<std::uint64_t>(4, 0));
+        EXPECT_EQ(h.total(), 0u);
+    });
+}
+
+// ---- Select component ------------------------------------------------------
+
+class SelectComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectComponent, FiltersNamedRows) {
+    const int nprocs = GetParam();
+    fp::Fabric fabric;
+    // (6 particles x 5 quantities); quantity q of particle i = i*10 + q.
+    std::vector<double> data(30);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        for (std::uint64_t q = 0; q < 5; ++q) data[i * 5 + q] = double(i * 10 + q);
+    }
+    auto src = publish(fabric, "in.fp", "atoms", u::NdShape{6, 5},
+                       {"particles", "quantities"},
+                       {SourceStep{data, {{"atoms.header.1",
+                                           {"ID", "Type", "vx", "vy", "vz"}}}},
+                        SourceStep{data, {{"atoms.header.1",
+                                           {"ID", "Type", "vx", "vy", "vz"}}}}});
+
+    std::jthread select([&] {
+        run_component(fabric, "select", nprocs,
+                      {"in.fp", "atoms", "1", "out.fp", "sel", "vx", "vy", "vz"});
+    });
+
+    const Collected out = collect(fabric, "out.fp", "sel");
+    ASSERT_EQ(out.steps.size(), 2u);
+    EXPECT_EQ(out.shape, (u::NdShape{6, 3}));
+    EXPECT_EQ(out.labels, (std::vector<std::string>{"particles", "quantities"}));
+    EXPECT_EQ(out.attrs.at("sel.header.1"),
+              (std::vector<std::string>{"vx", "vy", "vz"}));
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        for (std::uint64_t q = 0; q < 3; ++q) {
+            EXPECT_EQ(out.steps[0][i * 3 + q], double(i * 10 + q + 2));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SelectComponent, ::testing::Values(1, 2, 4, 9));
+
+TEST(SelectComponentBehavior, ReordersByRequestOrder) {
+    fp::Fabric fabric;
+    std::vector<double> data = {1, 2, 3};
+    auto src = publish(fabric, "in.fp", "a", u::NdShape{1, 3}, {},
+                       {SourceStep{data, {{"a.header.1", {"x", "y", "z"}}}}});
+    std::jthread select([&] {
+        run_component(fabric, "select", 1, {"in.fp", "a", "1", "out.fp", "b", "z", "x"});
+    });
+    const Collected out = collect(fabric, "out.fp", "b");
+    EXPECT_EQ(out.steps.at(0), (std::vector<double>{3, 1}));
+    EXPECT_EQ(out.attrs.at("b.header.1"), (std::vector<std::string>{"z", "x"}));
+}
+
+TEST(SelectComponentBehavior, SelectsInFirstDimension) {
+    fp::Fabric fabric;
+    // 3 rows named alpha/beta/gamma, 2 columns.
+    std::vector<double> data = {1, 2, 3, 4, 5, 6};
+    auto src = publish(fabric, "in.fp", "m", u::NdShape{3, 2}, {"rows", "cols"},
+                       {SourceStep{data, {{"m.header.0", {"alpha", "beta", "gamma"}}}}});
+    std::jthread select([&] {
+        run_component(fabric, "select", 2, {"in.fp", "m", "0", "out.fp", "s", "gamma"});
+    });
+    const Collected out = collect(fabric, "out.fp", "s");
+    EXPECT_EQ(out.shape, (u::NdShape{1, 2}));
+    EXPECT_EQ(out.steps.at(0), (std::vector<double>{5, 6}));
+}
+
+TEST(SelectComponentBehavior, UnknownNameFailsListingAvailable) {
+    fp::Fabric fabric;
+    std::vector<double> data = {1, 2};
+    auto src = publish(fabric, "in.fp", "a", u::NdShape{1, 2}, {},
+                       {SourceStep{data, {{"a.header.1", {"p", "q"}}}}});
+    try {
+        run_component(fabric, "select", 1, {"in.fp", "a", "1", "out.fp", "b", "zz"});
+        FAIL() << "expected failure";
+    } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("zz"), std::string::npos);
+        EXPECT_NE(msg.find("p, q"), std::string::npos);
+    }
+    fabric.abort_all();  // unblock the publisher before joining it
+}
+
+TEST(SelectComponentBehavior, MissingHeaderFails) {
+    fp::Fabric fabric;
+    std::vector<double> data = {1, 2};
+    auto src = publish(fabric, "in.fp", "a", u::NdShape{1, 2}, {}, {SourceStep{data, {}}});
+    EXPECT_THROW(run_component(fabric, "select", 1,
+                               {"in.fp", "a", "1", "out.fp", "b", "p"}),
+                 std::runtime_error);
+    fabric.abort_all();
+}
+
+TEST(SelectComponentBehavior, DimensionOutOfRangeFails) {
+    fp::Fabric fabric;
+    std::vector<double> data = {1, 2};
+    auto src = publish(fabric, "in.fp", "a", u::NdShape{1, 2}, {},
+                       {SourceStep{data, {{"a.header.1", {"p", "q"}}}}});
+    EXPECT_THROW(run_component(fabric, "select", 1,
+                               {"in.fp", "a", "7", "out.fp", "b", "p"}),
+                 std::runtime_error);
+    fabric.abort_all();
+}
+
+TEST(SelectComponentBehavior, TooFewArgsFails) {
+    fp::Fabric fabric;
+    EXPECT_THROW(run_component(fabric, "select", 1, {"in.fp", "a", "1"}), u::ArgError);
+}
+
+// ---- Magnitude component ---------------------------------------------------
+
+class MagnitudeComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(MagnitudeComponent, ComputesEuclideanNorm) {
+    const int nprocs = GetParam();
+    fp::Fabric fabric;
+    const std::uint64_t n = 11;
+    std::vector<double> vecs(n * 3);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        vecs[i * 3 + 0] = double(i);
+        vecs[i * 3 + 1] = double(i) * 2.0;
+        vecs[i * 3 + 2] = -double(i);
+    }
+    auto src = publish(fabric, "v.fp", "vel", u::NdShape{n, 3},
+                       {"particles", "components"}, {SourceStep{vecs, {}}});
+    std::jthread mag([&] {
+        run_component(fabric, "magnitude", nprocs, {"v.fp", "vel", "m.fp", "mags"});
+    });
+    const Collected out = collect(fabric, "m.fp", "mags");
+    EXPECT_EQ(out.shape, (u::NdShape{n}));
+    EXPECT_EQ(out.labels, (std::vector<std::string>{"particles"}));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(out.steps.at(0)[i], std::sqrt(6.0) * double(i), 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MagnitudeComponent, ::testing::Values(1, 3, 13));
+
+TEST(MagnitudeComponentBehavior, RejectsNon2D) {
+    fp::Fabric fabric;
+    std::vector<double> data(8, 1.0);
+    auto src = publish(fabric, "v.fp", "x", u::NdShape{2, 2, 2}, {},
+                       {SourceStep{data, {}}});
+    EXPECT_THROW(run_component(fabric, "magnitude", 1, {"v.fp", "x", "m.fp", "m"}),
+                 std::runtime_error);
+    fabric.abort_all();
+}
+
+// ---- DimReduce component ----------------------------------------------------
+
+class DimReduceComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(DimReduceComponent, GtcpDoubleReduce) {
+    const int nprocs = GetParam();
+    fp::Fabric fabric;
+    const u::NdShape shape{3, 8, 2};
+    std::vector<double> data(shape.volume());
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = double(i);
+
+    auto src = publish(fabric, "g.fp", "f", shape,
+                       {"toroidal", "gridpoint", "quantity"}, {SourceStep{data, {}}});
+    std::jthread dr1([&] {
+        run_component(fabric, "dim-reduce", nprocs, {"g.fp", "f", "2", "1", "d1.fp", "f1"});
+    });
+    std::jthread dr2([&] {
+        run_component(fabric, "dim-reduce", nprocs, {"d1.fp", "f1", "0", "1", "d2.fp", "f2"});
+    });
+
+    const Collected out = collect(fabric, "d2.fp", "f2");
+    EXPECT_EQ(out.shape, (u::NdShape{48}));
+    EXPECT_EQ(out.labels, (std::vector<std::string>{"gridpoint"}));
+
+    // Expected: first reduce is layout-preserving; the second interleaves
+    // the toroidal dim inside the grown gridpoint dim.
+    const auto r1 = dim_reduce_reference(data, shape, 2, 1);
+    const auto expected = dim_reduce_reference(r1, u::NdShape{3, 16}, 0, 1);
+    EXPECT_EQ(out.steps.at(0), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DimReduceComponent, ::testing::Values(1, 2, 5));
+
+TEST(DimReduceComponentBehavior, PropagatesUntouchedDimHeader) {
+    fp::Fabric fabric;
+    const u::NdShape shape{2, 3, 4};
+    std::vector<double> data(shape.volume(), 1.0);
+    auto src = publish(fabric, "in.fp", "a", shape, {"x", "y", "z"},
+                       {SourceStep{data,
+                                   {{"a.header.0", {"s0", "s1"}},
+                                    {"a.header.2", {"q0", "q1", "q2", "q3"}}}}});
+    // Remove dim 2, grow dim 1: dim 0's header must survive (still dim 0);
+    // dim 2's header is consumed.
+    std::jthread dr([&] {
+        run_component(fabric, "dim-reduce", 1, {"in.fp", "a", "2", "1", "out.fp", "b"});
+    });
+    const Collected out = collect(fabric, "out.fp", "b");
+    EXPECT_EQ(out.attrs.at("b.header.0"), (std::vector<std::string>{"s0", "s1"}));
+    EXPECT_EQ(out.attrs.count("b.header.2"), 0u);
+    EXPECT_EQ(out.attrs.count("b.header.1"), 0u);
+}
+
+TEST(DimReduceComponentBehavior, InvalidDimsFail) {
+    fp::Fabric fabric;
+    std::vector<double> data(6, 0.0);
+    auto src = publish(fabric, "in.fp", "a", u::NdShape{2, 3}, {},
+                       {SourceStep{data, {}}});
+    EXPECT_THROW(run_component(fabric, "dim-reduce", 1,
+                               {"in.fp", "a", "1", "1", "out.fp", "b"}),
+                 std::invalid_argument);
+    fabric.abort_all();
+}
+
+// ---- Histogram component ----------------------------------------------------
+
+class HistogramComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramComponent, WritesPerStepHistograms) {
+    const int nprocs = GetParam();
+    fp::Fabric fabric;
+    const std::string file =
+        ::testing::TempDir() + "/sb_hist_" + std::to_string(nprocs) + ".txt";
+
+    std::vector<SourceStep> steps;
+    std::vector<std::vector<double>> raw;
+    for (int t = 0; t < 3; ++t) {
+        std::vector<double> v(40);
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            v[i] = std::sin(0.1 * double(i) + t) * (t + 1);
+        }
+        raw.push_back(v);
+        steps.push_back(SourceStep{v, {}});
+    }
+    auto src = publish(fabric, "h.fp", "vals", u::NdShape{40}, {"i"}, steps);
+    run_component(fabric, "histogram", nprocs, {"h.fp", "vals", "8", file});
+
+    const auto hists = core::read_histogram_file(file);
+    ASSERT_EQ(hists.size(), 3u);
+    for (int t = 0; t < 3; ++t) {
+        double lo = raw[t][0], hi = raw[t][0];
+        for (double x : raw[t]) {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+        EXPECT_EQ(hists[t].step, static_cast<std::uint64_t>(t));
+        EXPECT_DOUBLE_EQ(hists[t].min, lo);
+        EXPECT_DOUBLE_EQ(hists[t].max, hi);
+        EXPECT_EQ(hists[t].counts, core::histogram_counts(raw[t], lo, hi, 8));
+        EXPECT_EQ(hists[t].total(), 40u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, HistogramComponent, ::testing::Values(1, 2, 7));
+
+TEST(HistogramComponentBehavior, RejectsNon1D) {
+    fp::Fabric fabric;
+    std::vector<double> data(4, 0.0);
+    auto src = publish(fabric, "h.fp", "m", u::NdShape{2, 2}, {},
+                       {SourceStep{data, {}}});
+    EXPECT_THROW(run_component(fabric, "histogram", 1, {"h.fp", "m", "4"}),
+                 std::runtime_error);
+    fabric.abort_all();
+}
+
+TEST(HistogramComponentBehavior, ZeroBinsRejected) {
+    fp::Fabric fabric;
+    EXPECT_THROW(run_component(fabric, "histogram", 1, {"h.fp", "m", "0"}),
+                 u::ArgError);
+}
+
+// ---- Fork -------------------------------------------------------------------
+
+TEST(ForkComponent, DuplicatesToAllBranches) {
+    fp::Fabric fabric;
+    std::vector<double> data = {1, 2, 3, 4, 5, 6};
+    auto src = publish(fabric, "in.fp", "a", u::NdShape{3, 2}, {"r", "c"},
+                       {SourceStep{data, {{"a.header.1", {"u", "v"}}}},
+                        SourceStep{data, {{"a.header.1", {"u", "v"}}}}});
+    std::jthread fork([&] {
+        run_component(fabric, "fork", 2,
+                      {"in.fp", "a", "b1.fp", "x", "b2.fp", "y"});
+    });
+    std::jthread branch2([&] {
+        const Collected out2 = collect(fabric, "b2.fp", "y");
+        EXPECT_EQ(out2.steps.size(), 2u);
+        EXPECT_EQ(out2.steps.at(0), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+        EXPECT_EQ(out2.attrs.at("y.header.1"), (std::vector<std::string>{"u", "v"}));
+    });
+    const Collected out1 = collect(fabric, "b1.fp", "x");
+    EXPECT_EQ(out1.steps.size(), 2u);
+    EXPECT_EQ(out1.steps.at(0), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+    EXPECT_EQ(out1.labels, (std::vector<std::string>{"r", "c"}));
+    EXPECT_EQ(out1.attrs.at("x.header.1"), (std::vector<std::string>{"u", "v"}));
+}
+
+TEST(ForkComponent, OddArgsRejected) {
+    fp::Fabric fabric;
+    EXPECT_THROW(run_component(fabric, "fork", 1, {"in.fp", "a", "b1.fp"}),
+                 u::ArgError);
+}
+
+// ---- All-Pairs ---------------------------------------------------------------
+
+TEST(AllPairsComponent, PairwiseAbsoluteDifferences) {
+    fp::Fabric fabric;
+    std::vector<double> data = {1.0, 4.0, 6.0};
+    auto src = publish(fabric, "in.fp", "x", u::NdShape{3}, {"pts"},
+                       {SourceStep{data, {}}});
+    std::jthread ap([&] {
+        run_component(fabric, "all-pairs", 2, {"in.fp", "x", "out.fp", "d"});
+    });
+    const Collected out = collect(fabric, "out.fp", "d");
+    EXPECT_EQ(out.shape, (u::NdShape{3, 3}));
+    EXPECT_EQ(out.steps.at(0),
+              (std::vector<double>{0, 3, 5, 3, 0, 2, 5, 2, 0}));
+}
+
+// ---- File endpoints -----------------------------------------------------------
+
+TEST(FileEndpoints, StreamToDiskToStreamRoundTrip) {
+    const std::string prefix = ::testing::TempDir() + "/sb_fileio";
+    std::filesystem::remove(core::step_file_path(prefix, 0));
+    std::filesystem::remove(core::step_file_path(prefix, 1));
+    std::filesystem::remove(core::step_file_path(prefix, 2));
+
+    // Phase 1: drain a live stream to disk.
+    {
+        fp::Fabric fabric;
+        std::vector<double> s0 = {1, 2, 3, 4, 5, 6};
+        std::vector<double> s1 = {6, 5, 4, 3, 2, 1};
+        auto src = publish(fabric, "live.fp", "a", u::NdShape{3, 2}, {"r", "c"},
+                           {SourceStep{s0, {{"a.header.1", {"p", "q"}}}},
+                            SourceStep{s1, {{"a.header.1", {"p", "q"}}}}});
+        run_component(fabric, "file-writer", 2, {"live.fp", "a", prefix});
+    }
+    EXPECT_TRUE(std::filesystem::exists(core::step_file_path(prefix, 0)));
+    EXPECT_TRUE(std::filesystem::exists(core::step_file_path(prefix, 1)));
+    EXPECT_FALSE(std::filesystem::exists(core::step_file_path(prefix, 2)));
+
+    // Phase 2: replay from disk later — the decoupling of paper §VI.
+    {
+        fp::Fabric fabric;
+        std::jthread replay([&] {
+            run_component(fabric, "file-reader", 2, {prefix, "replay.fp", "b"});
+        });
+        const Collected out = collect(fabric, "replay.fp", "b");
+        ASSERT_EQ(out.steps.size(), 2u);
+        EXPECT_EQ(out.shape, (u::NdShape{3, 2}));
+        EXPECT_EQ(out.labels, (std::vector<std::string>{"r", "c"}));
+        EXPECT_EQ(out.steps[0], (std::vector<double>{1, 2, 3, 4, 5, 6}));
+        EXPECT_EQ(out.steps[1], (std::vector<double>{6, 5, 4, 3, 2, 1}));
+        EXPECT_EQ(out.attrs.at("a.header.1"), (std::vector<std::string>{"p", "q"}));
+    }
+}
+
+TEST(FileEndpoints, ReplayOfNothingIsEmptyStream) {
+    fp::Fabric fabric;
+    std::jthread replay([&] {
+        run_component(fabric, "file-reader", 1,
+                      {::testing::TempDir() + "/sb_no_files", "e.fp", "x"});
+    });
+    a::Reader r(fabric, "e.fp", 0, 1);
+    EXPECT_FALSE(r.begin_step());
+}
+
+// ---- framework helpers ---------------------------------------------------------
+
+TEST(Registry, KnownAndUnknownComponents) {
+    EXPECT_TRUE(core::component_registered("select"));
+    EXPECT_TRUE(core::component_registered("dim-reduce"));
+    EXPECT_FALSE(core::component_registered("nonsense"));
+    EXPECT_NO_THROW((void)core::make_component("histogram"));
+    try {
+        (void)core::make_component("nonsense");
+        FAIL();
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("select"), std::string::npos);
+    }
+    const auto names = core::component_names();
+    EXPECT_GE(names.size(), 8u);
+}
+
+TEST(ComponentHelpers, PickPartitionDim) {
+    EXPECT_EQ(core::pick_partition_dim(u::NdShape{4, 9, 2}, {}), 1u);
+    EXPECT_EQ(core::pick_partition_dim(u::NdShape{4, 9, 2}, {1}), 0u);
+    // Ties resolve to the lowest dimension index.
+    EXPECT_EQ(core::pick_partition_dim(u::NdShape{5, 5}, {}), 0u);
+}
+
+TEST(ComponentHelpers, PickPartitionDimAllExcludedThrows) {
+    EXPECT_THROW((void)core::pick_partition_dim(u::NdShape{4}, {0}),
+                 std::invalid_argument);
+}
+
+TEST(ComponentHelpers, HeaderAttrKey) {
+    EXPECT_EQ(core::header_attr_key("atoms", 1), "atoms.header.1");
+}
+
+TEST(ComponentHelpers, OutputGroupDeduplicatesLabels) {
+    const a::GroupDef def =
+        core::output_group("t", "arr", {"n", "n", ""}, a::DataKind::Float64);
+    const auto& dims = def.find("arr")->dimensions;
+    ASSERT_EQ(dims.size(), 3u);
+    EXPECT_EQ(dims[0], "n");
+    EXPECT_NE(dims[1], "n");   // de-duplicated
+    EXPECT_EQ(dims[2], "d2");  // synthesized for the empty label
+    // Every dimension name is also a scalar variable of the group.
+    for (const auto& d : dims) {
+        ASSERT_NE(def.find(d), nullptr);
+        EXPECT_TRUE(def.find(d)->is_scalar());
+    }
+}

@@ -1,0 +1,629 @@
+// Tests for the extended component library (paper §VI: "expanding the
+// generic components library"): Reduce, Transpose, Downsample, Threshold,
+// Moments, and Validate — kernels plus end-to-end behaviour through the
+// transport.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <thread>
+
+#include "adios/reader.hpp"
+#include "adios/writer.hpp"
+#include "core/launch_script.hpp"
+#include "core/moments.hpp"
+#include "core/reduce.hpp"
+#include "core/registry.hpp"
+#include "core/threshold.hpp"
+#include "core/transpose.hpp"
+#include "core/workflow.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/source_component.hpp"
+
+namespace core = sb::core;
+namespace sim = sb::sim;
+namespace fp = sb::flexpath;
+namespace a = sb::adios;
+namespace u = sb::util;
+
+namespace {
+
+std::string tmp(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+void run_component(fp::Fabric& fabric, const std::string& name, int nprocs,
+                   std::vector<std::string> args) {
+    sb::mpi::run_ranks(nprocs, [&](sb::mpi::Communicator& comm) {
+        auto c = core::make_component(name);
+        core::RunContext ctx{fabric, comm, nullptr, {}};
+        c->run(ctx, u::ArgList(args));
+    });
+}
+
+/// Publishes steps of a labelled array from one writer rank.
+std::jthread publish(fp::Fabric& fabric, const std::string& stream,
+                     const std::string& array, u::NdShape shape,
+                     std::vector<std::string> labels,
+                     std::vector<std::vector<double>> steps,
+                     std::map<std::string, std::vector<std::string>> attrs = {}) {
+    labels.resize(shape.ndim());
+    return std::jthread([&fabric, stream, array, shape = std::move(shape),
+                         labels = std::move(labels), steps = std::move(steps),
+                         attrs = std::move(attrs)] {
+        a::GroupDef def = core::output_group("test-source", array, labels);
+        a::Writer w(fabric, stream, def, 0, 1);
+        const auto& dim_names = def.find(array)->dimensions;
+        for (const auto& data : steps) {
+            w.begin_step();
+            for (std::size_t d = 0; d < shape.ndim(); ++d) {
+                w.set_dimension(dim_names[d], shape[d]);
+            }
+            for (const auto& [k, v] : attrs) w.write_attribute(k, v);
+            w.write<double>(array, data, u::Box::whole(shape));
+            w.end_step();
+        }
+        w.close();
+    });
+}
+
+struct Collected {
+    std::vector<std::vector<double>> steps;
+    u::NdShape shape;
+    std::vector<std::string> labels;
+    std::map<std::string, std::vector<std::string>> attrs;
+    std::map<std::string, double> dattrs;
+};
+
+Collected collect(fp::Fabric& fabric, const std::string& stream,
+                  const std::string& array) {
+    Collected out;
+    a::Reader r(fabric, stream, 0, 1);
+    while (r.begin_step()) {
+        const a::VarInfo info = r.inq_var(array);
+        out.shape = info.shape;
+        out.labels = info.dim_labels;
+        out.attrs = r.string_attributes();
+        out.dattrs = r.double_attributes();
+        out.steps.push_back(r.read<double>(array, u::Box::whole(info.shape)));
+        r.end_step();
+    }
+    return out;
+}
+
+}  // namespace
+
+// ---- reduce kernel ----------------------------------------------------------
+
+TEST(ReduceKernel, OpsOverMiddleDimension) {
+    // (2, 3, 2): reduce dim 1.
+    const u::NdShape shape{2, 3, 2};
+    const std::vector<double> in = {1, 2, 3, 4, 5, 6,     // block o=0
+                                    -1, 0, 7, 2, 1, -2};  // block o=1
+    std::vector<double> out(4);
+    core::reduce_copy(in, shape, 1, core::ReduceKind::Sum, out);
+    EXPECT_EQ(out, (std::vector<double>{9, 12, 7, 0}));
+    core::reduce_copy(in, shape, 1, core::ReduceKind::Mean, out);
+    EXPECT_EQ(out, (std::vector<double>{3, 4, 7.0 / 3, 0}));
+    core::reduce_copy(in, shape, 1, core::ReduceKind::Min, out);
+    EXPECT_EQ(out, (std::vector<double>{1, 2, -1, -2}));
+    core::reduce_copy(in, shape, 1, core::ReduceKind::Max, out);
+    EXPECT_EQ(out, (std::vector<double>{5, 6, 7, 2}));
+}
+
+TEST(ReduceKernel, FirstAndLastDimensions) {
+    const u::NdShape shape{2, 3};
+    const std::vector<double> in = {1, 2, 3, 10, 20, 30};
+    std::vector<double> rows(3), cols(2);
+    core::reduce_copy(in, shape, 0, core::ReduceKind::Sum, rows);
+    EXPECT_EQ(rows, (std::vector<double>{11, 22, 33}));
+    core::reduce_copy(in, shape, 1, core::ReduceKind::Sum, cols);
+    EXPECT_EQ(cols, (std::vector<double>{6, 60}));
+}
+
+TEST(ReduceKernel, Errors) {
+    EXPECT_THROW(core::reduce_copy({}, u::NdShape{2}, 1, core::ReduceKind::Sum, {}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)core::parse_reduce_kind("median"), u::ArgError);
+    EXPECT_EQ(core::parse_reduce_kind("mean"), core::ReduceKind::Mean);
+}
+
+class ReduceComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceComponent, MeanOverToroidalDim) {
+    fp::Fabric fabric;
+    const u::NdShape shape{3, 4, 2};
+    std::vector<double> data(shape.volume());
+    std::iota(data.begin(), data.end(), 0.0);
+    auto src = publish(fabric, "in.fp", "f", shape, {"s", "g", "q"}, {data},
+                       {{"f.header.2", {"a", "b"}}});
+    std::jthread red([&] {
+        run_component(fabric, "reduce", GetParam(),
+                      {"in.fp", "f", "0", "mean", "out.fp", "m"});
+    });
+    const Collected out = collect(fabric, "out.fp", "m");
+    EXPECT_EQ(out.shape, (u::NdShape{4, 2}));
+    EXPECT_EQ(out.labels, (std::vector<std::string>{"g", "q"}));
+    // Quantity header follows its dimension (2 -> 1).
+    EXPECT_EQ(out.attrs.at("m.header.1"), (std::vector<std::string>{"a", "b"}));
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_DOUBLE_EQ(out.steps.at(0)[i], (data[i] + data[i + 8] + data[i + 16]) / 3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ReduceComponent, ::testing::Values(1, 2, 5));
+
+// ---- transpose ---------------------------------------------------------------
+
+TEST(TransposeKernel, ParsePermutation) {
+    EXPECT_EQ(core::parse_permutation("2,0,1"), (std::vector<std::size_t>{2, 0, 1}));
+    EXPECT_EQ(core::parse_permutation("0"), (std::vector<std::size_t>{0}));
+    EXPECT_THROW((void)core::parse_permutation("0,0"), u::ArgError);
+    EXPECT_THROW((void)core::parse_permutation("0,2"), u::ArgError);
+    EXPECT_THROW((void)core::parse_permutation("a,b"), u::ArgError);
+    EXPECT_THROW((void)core::parse_permutation(""), u::ArgError);
+}
+
+TEST(TransposeKernel, TwoDimensional) {
+    const u::NdShape shape{2, 3};
+    const std::vector<double> in = {1, 2, 3, 4, 5, 6};
+    std::vector<double> out(6);
+    const std::size_t perm[] = {1, 0};
+    core::transpose_copy(std::as_bytes(std::span(in)), shape, perm,
+                         std::as_writable_bytes(std::span(out)), sizeof(double));
+    EXPECT_EQ(out, (std::vector<double>{1, 4, 2, 5, 3, 6}));
+}
+
+class TransposeKernelSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<std::uint64_t>, std::vector<std::size_t>>> {};
+
+TEST_P(TransposeKernelSweep, MatchesIndexArithmetic) {
+    const auto& [dims, perm] = GetParam();
+    const u::NdShape shape(dims);
+    std::vector<double> in(shape.volume());
+    std::iota(in.begin(), in.end(), 0.0);
+    std::vector<double> out(in.size());
+    core::transpose_copy(std::as_bytes(std::span(in)), shape, perm,
+                         std::as_writable_bytes(std::span(out)), sizeof(double));
+
+    const u::NdShape out_shape = core::transpose_shape(shape, perm);
+    std::vector<std::uint64_t> idx(shape.ndim(), 0);
+    for (std::uint64_t lin = 0; lin < shape.volume(); ++lin) {
+        std::vector<std::uint64_t> oidx(perm.size());
+        for (std::size_t j = 0; j < perm.size(); ++j) oidx[j] = idx[perm[j]];
+        EXPECT_EQ(out[out_shape.linear_index(oidx)], in[lin]);
+        for (std::size_t d = shape.ndim(); d-- > 0;) {
+            if (++idx[d] < shape[d]) break;
+            idx[d] = 0;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransposeKernelSweep,
+    ::testing::Values(
+        std::make_tuple(std::vector<std::uint64_t>{4, 5},
+                        std::vector<std::size_t>{1, 0}),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4},
+                        std::vector<std::size_t>{2, 0, 1}),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4},
+                        std::vector<std::size_t>{1, 2, 0}),
+        std::make_tuple(std::vector<std::uint64_t>{2, 3, 4},
+                        std::vector<std::size_t>{0, 2, 1}),
+        std::make_tuple(std::vector<std::uint64_t>{5, 1, 3},
+                        std::vector<std::size_t>{2, 1, 0}),
+        std::make_tuple(std::vector<std::uint64_t>{2, 2, 2, 2},
+                        std::vector<std::size_t>{3, 1, 0, 2})));
+
+class TransposeComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeComponent, MovesQuantitiesFirst) {
+    fp::Fabric fabric;
+    const u::NdShape shape{4, 3};
+    std::vector<double> data(12);
+    std::iota(data.begin(), data.end(), 0.0);
+    auto src = publish(fabric, "in.fp", "m", shape, {"pts", "q"}, {data, data},
+                       {{"m.header.1", {"x", "y", "z"}}});
+    std::jthread tr([&] {
+        run_component(fabric, "transpose", GetParam(),
+                      {"in.fp", "m", "1,0", "out.fp", "t"});
+    });
+    const Collected out = collect(fabric, "out.fp", "t");
+    ASSERT_EQ(out.steps.size(), 2u);
+    EXPECT_EQ(out.shape, (u::NdShape{3, 4}));
+    EXPECT_EQ(out.labels, (std::vector<std::string>{"q", "pts"}));
+    // Header follows its dimension: quantities are now dimension 0.
+    EXPECT_EQ(out.attrs.at("t.header.0"), (std::vector<std::string>{"x", "y", "z"}));
+    for (std::uint64_t q = 0; q < 3; ++q) {
+        for (std::uint64_t p = 0; p < 4; ++p) {
+            EXPECT_EQ(out.steps[0][q * 4 + p], data[p * 3 + q]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, TransposeComponent, ::testing::Values(1, 3));
+
+TEST(TransposeComponentBehavior, RankMismatchFails) {
+    fp::Fabric fabric;
+    auto src = publish(fabric, "in.fp", "m", u::NdShape{2, 2}, {},
+                       {std::vector<double>(4, 0.0)});
+    EXPECT_THROW(run_component(fabric, "transpose", 1,
+                               {"in.fp", "m", "2,0,1", "out.fp", "t"}),
+                 std::invalid_argument);
+    fabric.abort_all();
+}
+
+// ---- downsample ---------------------------------------------------------------
+
+class DownsampleComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(DownsampleComponent, KeepsEveryKth) {
+    fp::Fabric fabric;
+    const u::NdShape shape{10, 2};
+    std::vector<double> data(20);
+    std::iota(data.begin(), data.end(), 0.0);
+    auto src = publish(fabric, "in.fp", "a", shape, {"pts", "q"}, {data});
+    std::jthread ds([&] {
+        run_component(fabric, "downsample", GetParam(),
+                      {"in.fp", "a", "0", "3", "out.fp", "d"});
+    });
+    const Collected out = collect(fabric, "out.fp", "d");
+    EXPECT_EQ(out.shape, (u::NdShape{4, 2}));  // ceil(10/3) = 4 rows: 0,3,6,9
+    EXPECT_EQ(out.steps.at(0),
+              (std::vector<double>{0, 1, 6, 7, 12, 13, 18, 19}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DownsampleComponent, ::testing::Values(1, 2, 6));
+
+TEST(DownsampleComponentBehavior, FiltersHeaderAndValidates) {
+    fp::Fabric fabric;
+    const u::NdShape shape{2, 4};
+    std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto src = publish(fabric, "in.fp", "a", shape, {}, {data},
+                       {{"a.header.1", {"p", "q", "r", "s"}}});
+    std::jthread ds([&] {
+        run_component(fabric, "downsample", 1, {"in.fp", "a", "1", "2", "out.fp", "d"});
+    });
+    const Collected out = collect(fabric, "out.fp", "d");
+    EXPECT_EQ(out.shape, (u::NdShape{2, 2}));
+    EXPECT_EQ(out.steps.at(0), (std::vector<double>{1, 3, 5, 7}));
+    EXPECT_EQ(out.attrs.at("d.header.1"), (std::vector<std::string>{"p", "r"}));
+}
+
+TEST(DownsampleComponentBehavior, ZeroStrideRejected) {
+    fp::Fabric fabric;
+    EXPECT_THROW(run_component(fabric, "downsample", 1,
+                               {"in.fp", "a", "0", "0", "out.fp", "d"}),
+                 u::ArgError);
+}
+
+// ---- threshold -----------------------------------------------------------------
+
+TEST(ThresholdMode, Parse) {
+    EXPECT_EQ(core::parse_threshold_mode("above"), core::ThresholdMode::Above);
+    EXPECT_EQ(core::parse_threshold_mode("below"), core::ThresholdMode::Below);
+    EXPECT_EQ(core::parse_threshold_mode("band"), core::ThresholdMode::Band);
+    EXPECT_THROW((void)core::parse_threshold_mode("near"), u::ArgError);
+}
+
+class ThresholdComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdComponent, AboveKeepsOrder) {
+    fp::Fabric fabric;
+    std::vector<double> data = {5, -1, 7, 0, 3, 10, -4, 6};
+    auto src = publish(fabric, "in.fp", "x", u::NdShape{8}, {"i"}, {data});
+    std::jthread th([&] {
+        run_component(fabric, "threshold", GetParam(),
+                      {"in.fp", "x", "above", "2.5", "out.fp", "big"});
+    });
+    const Collected out = collect(fabric, "out.fp", "big");
+    EXPECT_EQ(out.steps.at(0), (std::vector<double>{5, 7, 3, 10, 6}));
+    EXPECT_EQ(out.shape, (u::NdShape{5}));
+    EXPECT_DOUBLE_EQ(out.dattrs.at("big.count"), 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ThresholdComponent, ::testing::Values(1, 2, 4));
+
+TEST(ThresholdComponentBehavior, BandAndEmptyResult) {
+    fp::Fabric fabric;
+    std::vector<double> s0 = {1, 2, 3, 4};
+    std::vector<double> s1 = {10, 20, 30, 40};
+    auto src = publish(fabric, "in.fp", "x", u::NdShape{4}, {}, {s0, s1});
+    std::jthread th([&] {
+        run_component(fabric, "threshold", 2,
+                      {"in.fp", "x", "band", "2", "3", "out.fp", "mid"});
+    });
+    const Collected out = collect(fabric, "out.fp", "mid");
+    ASSERT_EQ(out.steps.size(), 2u);
+    EXPECT_EQ(out.steps[0], (std::vector<double>{2, 3}));
+    EXPECT_TRUE(out.steps[1].empty());  // nothing in band on step 1
+}
+
+TEST(ThresholdComponentBehavior, BadBandRejected) {
+    fp::Fabric fabric;
+    EXPECT_THROW(run_component(fabric, "threshold", 1,
+                               {"in.fp", "x", "band", "3", "2", "out.fp", "m"}),
+                 u::ArgError);
+}
+
+// ---- moments -------------------------------------------------------------------
+
+class DistributedMoments : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedMoments, MatchesClosedForm) {
+    std::vector<double> all(200);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = std::sin(0.7 * static_cast<double>(i)) * 3.0 + 1.0;
+    }
+    // Sequential reference.
+    double s1 = 0, s2 = 0, s3 = 0;
+    double lo = all[0], hi = all[0];
+    for (double v : all) {
+        s1 += v;
+        s2 += v * v;
+        s3 += v * v * v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double n = static_cast<double>(all.size());
+    const double mean = s1 / n;
+    const double var = s2 / n - mean * mean;
+    const double skew =
+        (s3 / n - 3 * mean * s2 / n + 2 * mean * mean * mean) / std::pow(var, 1.5);
+
+    sb::mpi::run_ranks(GetParam(), [&](sb::mpi::Communicator& c) {
+        const auto [off, cnt] = u::partition_range(all.size(), c.rank(), c.size());
+        const auto m = core::distributed_moments(
+            c, std::span(all).subspan(off, cnt), 9);
+        EXPECT_EQ(m.step, 9u);
+        EXPECT_EQ(m.count, all.size());
+        EXPECT_NEAR(m.mean, mean, 1e-12);
+        EXPECT_NEAR(m.variance, var, 1e-12);
+        EXPECT_NEAR(m.skewness, skew, 1e-9);
+        EXPECT_DOUBLE_EQ(m.min, lo);
+        EXPECT_DOUBLE_EQ(m.max, hi);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedMoments, ::testing::Values(1, 3, 7));
+
+TEST(DistributedMomentsEdge, EmptyAndNan) {
+    sb::mpi::run_ranks(2, [](sb::mpi::Communicator& c) {
+        const auto m0 = core::distributed_moments(c, {}, 0);
+        EXPECT_EQ(m0.count, 0u);
+        const double with_nan[] = {std::nan(""), 2.0};
+        const auto m1 = core::distributed_moments(
+            c, c.rank() == 0 ? std::span<const double>(with_nan)
+                             : std::span<const double>(),
+            1);
+        EXPECT_EQ(m1.count, 1u);
+        EXPECT_DOUBLE_EQ(m1.mean, 2.0);
+        EXPECT_DOUBLE_EQ(m1.skewness, 0.0);
+    });
+}
+
+TEST(MomentsFile, RoundTrip) {
+    const std::string path = tmp("sb_moments_rt.txt");
+    std::ofstream out(path, std::ios::trunc);
+    out << "# header\n";
+    core::MomentsResult m{3, 100, 1.5, 0.25, -0.1, -2.0, 4.0};
+    core::write_moments(out, m);
+    out.close();
+    const auto back = core::read_moments_file(path);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].step, 3u);
+    EXPECT_EQ(back[0].count, 100u);
+    EXPECT_DOUBLE_EQ(back[0].mean, 1.5);
+    EXPECT_DOUBLE_EQ(back[0].skewness, -0.1);
+    EXPECT_THROW((void)core::read_moments_file("/no/such"), std::runtime_error);
+}
+
+TEST(MomentsComponent, EndToEndAgainstHistogramData) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 2, {"atoms=50", "steps=3"});
+    wf.add("magnitude", 2, {"gmx.fp", "coords", "m.fp", "r"});
+    wf.add("moments", 2, {"m.fp", "r", tmp("sb_moments_e2e.txt")});
+    wf.run();
+    const auto rows = core::read_moments_file(tmp("sb_moments_e2e.txt"));
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto& r : rows) {
+        EXPECT_EQ(r.count, 50u);
+        EXPECT_GE(r.min, 0.0);       // magnitudes are non-negative
+        EXPECT_GE(r.mean, r.min);
+        EXPECT_LE(r.mean, r.max);
+        EXPECT_GE(r.variance, 0.0);
+    }
+    // The spread of the atoms grows.
+    EXPECT_GT(rows.back().mean, rows.front().mean);
+}
+
+// ---- validate -------------------------------------------------------------------
+
+TEST(ValidateComponent, IdenticalBranchesPass) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=30", "steps=2"});
+    wf.add("fork", 2, {"gmx.fp", "coords", "b1.fp", "c1", "b2.fp", "c2"});
+    wf.add("magnitude", 2, {"b1.fp", "c1", "m1.fp", "r1"});
+    wf.add("magnitude", 1, {"b2.fp", "c2", "m2.fp", "r2"});
+    wf.add("validate", 2, {"m1.fp", "r1", "m2.fp", "r2"});
+    wf.run();  // must not throw
+}
+
+TEST(ValidateComponent, DivergentValuesFail) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=30", "steps=2"});
+    wf.add("fork", 1, {"gmx.fp", "coords", "b1.fp", "c1", "b2.fp", "c2"});
+    wf.add("magnitude", 1, {"b1.fp", "c1", "m1.fp", "r1"});
+    // The second branch squares distances via all-pairs? No — just compare
+    // magnitudes against raw x-coordinates, which differ.
+    wf.add("select", 1, {"b2.fp", "c2", "1", "sx.fp", "x", "x"});
+    wf.add("dim-reduce", 1, {"sx.fp", "x", "1", "0", "fx.fp", "xf"});
+    wf.add("validate", 1, {"m1.fp", "r1", "fx.fp", "xf"});
+    EXPECT_THROW(wf.run(), std::runtime_error);
+}
+
+TEST(ValidateComponent, ToleranceAllowsSmallDifferences) {
+    fp::Fabric fabric;
+    std::vector<double> da = {1.0, 2.0, 3.0};
+    std::vector<double> db = {1.0 + 1e-9, 2.0 - 1e-9, 3.0};
+    auto pa = publish(fabric, "a.fp", "x", u::NdShape{3}, {}, {da});
+    auto pb = publish(fabric, "b.fp", "y", u::NdShape{3}, {}, {db});
+    run_component(fabric, "validate", 1, {"a.fp", "x", "b.fp", "y", "1e-6"});
+}
+
+TEST(ValidateComponent, ShapeMismatchFails) {
+    fp::Fabric fabric;
+    auto pa = publish(fabric, "a.fp", "x", u::NdShape{3}, {},
+                      {std::vector<double>{1, 2, 3}});
+    auto pb = publish(fabric, "b.fp", "y", u::NdShape{4}, {},
+                      {std::vector<double>{1, 2, 3, 4}});
+    EXPECT_THROW(run_component(fabric, "validate", 1, {"a.fp", "x", "b.fp", "y"}),
+                 std::runtime_error);
+    fabric.abort_all();
+}
+
+TEST(ValidateComponent, StepCountMismatchFails) {
+    fp::Fabric fabric;
+    std::vector<double> d = {1, 2};
+    auto pa = publish(fabric, "a.fp", "x", u::NdShape{2}, {}, {d, d});
+    auto pb = publish(fabric, "b.fp", "y", u::NdShape{2}, {}, {d});
+    EXPECT_THROW(run_component(fabric, "validate", 1, {"a.fp", "x", "b.fp", "y"}),
+                 std::runtime_error);
+    fabric.abort_all();
+}
+
+// ---- new components are launchable from scripts -----------------------------------
+
+TEST(ExtendedRegistry, AllNewComponentsRegistered) {
+    for (const char* name : {"reduce", "transpose", "downsample", "threshold",
+                             "moments", "validate"}) {
+        EXPECT_TRUE(core::component_registered(name)) << name;
+        EXPECT_FALSE(core::make_component(name)->usage().empty());
+    }
+}
+
+TEST(ExtendedWorkflow, MixedPipelineFromScript) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        // GTCP -> mean over toroidal dim -> transpose -> select by name ->
+        // flatten -> threshold -> moments: seven generic components, zero
+        // custom code.
+        "aprun -n 2 gtcp slices=3 gridpoints=16 steps=2 &\n"
+        "aprun -n 2 reduce gtcp.fp field3d 0 mean avg.fp a &\n"
+        "aprun -n 1 transpose avg.fp a 1,0 tr.fp t &\n"
+        "aprun -n 1 select tr.fp t 0 sel.fp s density temperature &\n"
+        "aprun -n 1 dim-reduce sel.fp s 0 1 flat.fp f &\n"
+        "aprun -n 2 threshold flat.fp f above 0.0 pos.fp p &\n"
+        "aprun -n 1 moments pos.fp p " + tmp("sb_mixed_moments.txt") + " &\n");
+    wf.run();
+    const auto rows = core::read_moments_file(tmp("sb_mixed_moments.txt"));
+    ASSERT_EQ(rows.size(), 2u);
+    // Densities and temperatures are positive, so everything passes the
+    // threshold: 16 gridpoints x 2 quantities.
+    EXPECT_EQ(rows[0].count, 32u);
+    EXPECT_GT(rows[0].mean, 0.0);
+}
+
+// ---- heatmap (in situ visualization endpoint) -----------------------------------
+
+#include "core/heatmap.hpp"
+
+TEST(HeatmapKernel, RenderScalesBetweenMinAndMax) {
+    const double v[] = {0.0, 5.0, 10.0, 5.0};
+    const auto px = core::render_gray(v, 2, 2, 1);
+    ASSERT_EQ(px.size(), 4u);
+    EXPECT_EQ(px[0], 0);
+    EXPECT_EQ(px[1], 128);  // lround(127.5)
+    EXPECT_EQ(px[2], 255);
+    EXPECT_EQ(px[3], 128);
+}
+
+TEST(HeatmapKernel, FlatDataRendersMidGrayAndNanBlack) {
+    const double v[] = {3.0, 3.0, std::nan(""), 3.0};
+    const auto px = core::render_gray(v, 2, 2, 1);
+    EXPECT_EQ(px[0], 128);
+    EXPECT_EQ(px[2], 0);
+}
+
+TEST(HeatmapKernel, ScaleRepeatsPixels) {
+    const double v[] = {0.0, 1.0};
+    const auto px = core::render_gray(v, 1, 2, 3);
+    ASSERT_EQ(px.size(), 1u * 3 * 2 * 3);
+    // First 3 columns dark, next 3 bright, on every one of the 3 rows.
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            EXPECT_EQ(px[r * 6 + c], 0);
+            EXPECT_EQ(px[r * 6 + 3 + c], 255);
+        }
+    }
+}
+
+TEST(HeatmapKernel, PgmRoundTrip) {
+    const std::string path = tmp("sb_heatmap_rt.pgm");
+    const std::vector<std::uint8_t> px = {0, 64, 128, 255, 1, 2};
+    core::write_pgm(path, px, 3, 2);
+    std::uint64_t w = 0, h = 0;
+    EXPECT_EQ(core::read_pgm(path, w, h), px);
+    EXPECT_EQ(w, 3u);
+    EXPECT_EQ(h, 2u);
+    EXPECT_THROW((void)core::read_pgm("/no/such.pgm", w, h), std::runtime_error);
+}
+
+class HeatmapComponent : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeatmapComponent, RendersEachStep) {
+    fp::Fabric fabric;
+    const std::string prefix = tmp("sb_heat_" + std::to_string(GetParam()));
+    std::vector<double> s0 = {0, 1, 2, 3, 4, 5};        // gradient
+    std::vector<double> s1 = {5, 4, 3, 2, 1, 0};        // reversed
+    auto src = publish(fabric, "in.fp", "f", u::NdShape{2, 3}, {"y", "x"}, {s0, s1});
+    run_component(fabric, "heatmap", GetParam(), {"in.fp", "f", prefix, "2"});
+
+    std::uint64_t w = 0, h = 0;
+    const auto img0 = core::read_pgm(prefix + ".0.pgm", w, h);
+    EXPECT_EQ(w, 6u);  // 3 cols x scale 2
+    EXPECT_EQ(h, 4u);
+    EXPECT_EQ(img0.front(), 0);    // min at (0,0)
+    EXPECT_EQ(img0.back(), 255);   // max at (1,2)
+    const auto img1 = core::read_pgm(prefix + ".1.pgm", w, h);
+    EXPECT_EQ(img1.front(), 255);  // reversed gradient
+    EXPECT_EQ(img1.back(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, HeatmapComponent, ::testing::Values(1, 3));
+
+TEST(HeatmapComponentBehavior, RejectsNon2D) {
+    fp::Fabric fabric;
+    auto src = publish(fabric, "in.fp", "x", u::NdShape{4}, {},
+                       {std::vector<double>(4, 1.0)});
+    EXPECT_THROW(run_component(fabric, "heatmap", 1, {"in.fp", "x", tmp("h")}),
+                 std::runtime_error);
+    fabric.abort_all();
+}
+
+// A full sim -> viz workflow: GTCP's per-slice pressure field imaged per step.
+TEST(HeatmapWorkflow, GtcpPressureImages) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    const std::string prefix = tmp("sb_gtcp_img");
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        "aprun -n 2 gtcp slices=6 gridpoints=20 steps=2 &\n"
+        "aprun -n 1 select gtcp.fp field3d 2 p.fp pp perpendicular_pressure &\n"
+        "aprun -n 1 dim-reduce p.fp pp 2 1 img.fp im &\n"  // (slices, gridpoints)
+        "aprun -n 2 heatmap img.fp im " + prefix + " &\n");
+    wf.run();
+    std::uint64_t w = 0, h = 0;
+    const auto img = core::read_pgm(prefix + ".1.pgm", w, h);
+    EXPECT_EQ(w, 20u);
+    EXPECT_EQ(h, 6u);
+    EXPECT_EQ(img.size(), 120u);
+}

@@ -1,0 +1,211 @@
+// Tests for the FFS-like self-describing serialization: typed records,
+// wire round-trips, and corrupt-input handling.
+#include <gtest/gtest.h>
+
+#include "ffs/encode.hpp"
+#include "ffs/type.hpp"
+
+namespace f = sb::ffs;
+
+TEST(FfsKind, SizesAndNames) {
+    EXPECT_EQ(f::kind_size(f::Kind::Byte), 1u);
+    EXPECT_EQ(f::kind_size(f::Kind::Int32), 4u);
+    EXPECT_EQ(f::kind_size(f::Kind::Int64), 8u);
+    EXPECT_EQ(f::kind_size(f::Kind::UInt64), 8u);
+    EXPECT_EQ(f::kind_size(f::Kind::Float32), 4u);
+    EXPECT_EQ(f::kind_size(f::Kind::Float64), 8u);
+    EXPECT_THROW((void)f::kind_size(f::Kind::String), std::invalid_argument);
+    EXPECT_STREQ(f::kind_name(f::Kind::Float64), "float64");
+}
+
+TEST(FfsRecord, ScalarAndArrayAccess) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    rec.add_scalar<double>("x", 2.5);
+    const std::vector<std::int32_t> v = {1, 2, 3, 4, 5, 6};
+    rec.add_array<std::int32_t>("m", v, {2, 3});
+    rec.add_strings("names", {"a", "b"});
+
+    EXPECT_TRUE(rec.has("x"));
+    EXPECT_FALSE(rec.has("y"));
+    EXPECT_DOUBLE_EQ(rec.get_scalar<double>("x"), 2.5);
+    EXPECT_EQ(rec.get_array<std::int32_t>("m"), v);
+    EXPECT_EQ(rec.shape_of("m"), (std::vector<std::uint64_t>{2, 3}));
+    EXPECT_EQ(rec.get_strings("names"), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(rec.raw_bytes("m").size(), 6 * sizeof(std::int32_t));
+}
+
+TEST(FfsRecord, TypeMismatchThrows) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    rec.add_scalar<double>("x", 1.0);
+    rec.add_strings("s", {"hi"});
+    EXPECT_THROW((void)rec.get_scalar<std::int32_t>("x"), std::runtime_error);
+    EXPECT_THROW((void)rec.get_strings("x"), std::runtime_error);
+    EXPECT_THROW((void)rec.raw_bytes("s"), std::runtime_error);
+    EXPECT_THROW((void)rec.get_scalar<double>("nope"), std::out_of_range);
+}
+
+TEST(FfsRecord, DuplicateFieldThrows) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    rec.add_scalar<double>("x", 1.0);
+    EXPECT_THROW(rec.add_scalar<double>("x", 2.0), std::invalid_argument);
+}
+
+TEST(FfsRecord, ShapeMismatchThrows) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    const std::vector<double> v = {1, 2, 3};
+    EXPECT_THROW(rec.add_array<double>("a", v, {2, 2}), std::invalid_argument);
+    EXPECT_THROW(rec.add_raw("b", f::Kind::Float64, {4},
+                             std::vector<std::byte>(3 * 8)),
+                 std::invalid_argument);
+}
+
+TEST(FfsRecord, ScalarWithNonScalarShapeThrows) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    const std::vector<double> v = {1, 2};
+    rec.add_array<double>("a", v, {2});
+    EXPECT_THROW((void)rec.get_scalar<double>("a"), std::runtime_error);
+}
+
+TEST(FfsDescriptor, Find) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    rec.add_scalar<std::uint64_t>("n", 7);
+    const f::FieldDesc* fd = rec.descriptor().find("n");
+    ASSERT_NE(fd, nullptr);
+    EXPECT_EQ(fd->kind, f::Kind::UInt64);
+    EXPECT_EQ(rec.descriptor().find("missing"), nullptr);
+}
+
+TEST(FfsWire, RoundTripAllKinds) {
+    f::Record rec(f::TypeDescriptor{"everything", {}});
+    rec.add_scalar<std::int32_t>("i32", -7);
+    rec.add_scalar<std::int64_t>("i64", -1234567890123LL);
+    rec.add_scalar<std::uint64_t>("u64", 0xFFFFFFFFFFFFFFFFull);
+    rec.add_scalar<float>("f32", 1.5f);
+    rec.add_scalar<double>("f64", -2.25);
+    const std::vector<std::byte> bytes = {std::byte{0}, std::byte{255}, std::byte{1}};
+    rec.add_array<std::byte>("raw", bytes, {3});
+    rec.add_strings("strs", {"", "one", "two words", "ünïcode"});
+    const std::vector<double> arr = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+    rec.add_array<double>("arr", arr, {3, 2});
+
+    const f::Bytes wire = f::encode(rec);
+    const f::Record back = f::decode(wire);
+
+    EXPECT_EQ(back.descriptor(), rec.descriptor());
+    EXPECT_EQ(back.get_scalar<std::int32_t>("i32"), -7);
+    EXPECT_EQ(back.get_scalar<std::int64_t>("i64"), -1234567890123LL);
+    EXPECT_EQ(back.get_scalar<std::uint64_t>("u64"), 0xFFFFFFFFFFFFFFFFull);
+    EXPECT_FLOAT_EQ(back.get_scalar<float>("f32"), 1.5f);
+    EXPECT_DOUBLE_EQ(back.get_scalar<double>("f64"), -2.25);
+    EXPECT_EQ(back.get_array<std::byte>("raw"), bytes);
+    EXPECT_EQ(back.get_strings("strs"),
+              (std::vector<std::string>{"", "one", "two words", "ünïcode"}));
+    EXPECT_EQ(back.get_array<double>("arr"), arr);
+    EXPECT_EQ(back.shape_of("arr"), (std::vector<std::uint64_t>{3, 2}));
+}
+
+TEST(FfsWire, EmptyRecordRoundTrip) {
+    f::Record rec(f::TypeDescriptor{"empty", {}});
+    const f::Record back = f::decode(f::encode(rec));
+    EXPECT_EQ(back.descriptor().name, "empty");
+    EXPECT_TRUE(back.descriptor().fields.empty());
+}
+
+TEST(FfsWire, EmptyArraysRoundTrip) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    rec.add_array<double>("a", {}, {0});
+    rec.add_strings("s", {});
+    const f::Record back = f::decode(f::encode(rec));
+    EXPECT_TRUE(back.get_array<double>("a").empty());
+    EXPECT_TRUE(back.get_strings("s").empty());
+}
+
+TEST(FfsWire, BadMagicThrows) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    f::Bytes wire = f::encode(rec);
+    wire[0] = std::byte{0x00};
+    EXPECT_THROW((void)f::decode(wire), std::runtime_error);
+}
+
+TEST(FfsWire, TruncationAlwaysThrows) {
+    f::Record rec(f::TypeDescriptor{"trunc", {}});
+    rec.add_scalar<double>("x", 1.0);
+    rec.add_strings("s", {"hello"});
+    const f::Bytes wire = f::encode(rec);
+    // Every proper prefix must fail cleanly, never crash or succeed.
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        EXPECT_THROW((void)f::decode(std::span(wire.data(), len)), std::runtime_error)
+            << "prefix length " << len;
+    }
+}
+
+TEST(FfsWire, TrailingGarbageThrows) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    f::Bytes wire = f::encode(rec);
+    wire.push_back(std::byte{1});
+    EXPECT_THROW((void)f::decode(wire), std::runtime_error);
+}
+
+TEST(FfsWire, UnknownKindThrows) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    rec.add_scalar<std::int32_t>("x", 1);
+    f::Bytes wire = f::encode(rec);
+    // Field kind byte: magic(4) + name(4+1) + nfields(4) + fieldname(4+1) = 18.
+    wire[18] = std::byte{99};
+    EXPECT_THROW((void)f::decode(wire), std::runtime_error);
+}
+
+// Property sweep: numeric arrays of many shapes round-trip exactly.
+class FfsShapes
+    : public ::testing::TestWithParam<std::vector<std::uint64_t>> {};
+
+TEST_P(FfsShapes, Float64ArrayRoundTrip) {
+    const auto shape = GetParam();
+    std::uint64_t n = 1;
+    for (auto d : shape) n *= d;
+    std::vector<double> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) data[i] = static_cast<double>(i) * 0.5 - 3.0;
+
+    f::Record rec(f::TypeDescriptor{"sweep", {}});
+    rec.add_array<double>("a", data, shape);
+    const f::Record back = f::decode(f::encode(rec));
+    EXPECT_EQ(back.get_array<double>("a"), data);
+    EXPECT_EQ(back.shape_of("a"), shape);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FfsShapes,
+    ::testing::Values(std::vector<std::uint64_t>{}, std::vector<std::uint64_t>{1},
+                      std::vector<std::uint64_t>{17}, std::vector<std::uint64_t>{4, 5},
+                      std::vector<std::uint64_t>{2, 3, 4},
+                      std::vector<std::uint64_t>{1, 1, 1, 1},
+                      std::vector<std::uint64_t>{3, 0, 2}));
+
+TEST(FfsByteStream, PrimitiveRoundTrip) {
+    f::ByteWriter w;
+    w.u8(0xAB);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFull);
+    w.str("hello");
+    const f::Bytes b = w.take();
+
+    f::ByteReader r(b);
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_TRUE(r.done());
+}
+
+TEST(FfsByteStream, LittleEndianOnWire) {
+    f::ByteWriter w;
+    w.u32(0x01020304);
+    const f::Bytes b = w.take();
+    EXPECT_EQ(b[0], std::byte{0x04});
+    EXPECT_EQ(b[3], std::byte{0x01});
+}
+
+TEST(FfsByteStream, ReadPastEndThrows) {
+    f::ByteReader r({});
+    EXPECT_THROW((void)r.u8(), std::runtime_error);
+}

@@ -1,0 +1,391 @@
+// Tests for the FlexPath-like transport: MxN redistribution across writer
+// and reader group size combinations, launch-order independence, writer-side
+// buffering/backpressure, end-of-stream, metadata self-description, and
+// abort propagation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "flexpath/reader.hpp"
+#include "flexpath/stream.hpp"
+#include "flexpath/writer.hpp"
+#include "mpi/runtime.hpp"
+#include "util/ndarray.hpp"
+
+namespace fp = sb::flexpath;
+namespace u = sb::util;
+
+namespace {
+
+/// Value stamped at global coordinates (i, j) of an (n x m) test array.
+double stamp(std::uint64_t i, std::uint64_t j) {
+    return static_cast<double>(i) * 10000.0 + static_cast<double>(j);
+}
+
+/// Runs a writer group and a reader group concurrently over `steps`
+/// timesteps of an (n x m) array partitioned arbitrarily on both sides, and
+/// verifies every reader sees exactly the stamped values in its box.
+void run_mxn(int writers, int readers, std::uint64_t n, std::uint64_t m,
+             std::uint64_t steps, std::size_t queue_capacity = 2) {
+    fp::Fabric fabric;
+    const u::NdShape shape{n, m};
+
+    std::jthread writer_group([&] {
+        sb::mpi::run_ranks(writers, [&](sb::mpi::Communicator& c) {
+            fp::WriterPort port(fabric, "s", c.rank(), c.size(),
+                                fp::StreamOptions{queue_capacity});
+            for (std::uint64_t t = 0; t < steps; ++t) {
+                fp::VarDecl decl;
+                decl.name = "a";
+                decl.kind = fp::DataKind::Float64;
+                decl.global_shape = shape;
+                decl.dim_labels = {"rows", "cols"};
+                port.declare(decl);
+                // Writers partition along dim 0.
+                const u::Box box = u::partition_along(shape, 0, c.rank(), c.size());
+                std::vector<double> data(box.volume());
+                std::size_t k = 0;
+                for (std::uint64_t i = box.offset[0]; i < box.offset[0] + box.count[0];
+                     ++i) {
+                    for (std::uint64_t j = 0; j < m; ++j) {
+                        data[k++] = stamp(i, j) + static_cast<double>(t);
+                    }
+                }
+                port.put<double>("a", box, data);
+                port.put_attr("a.header.1", {"c0", "c1"});
+                port.end_step();
+            }
+            port.close();
+        });
+    });
+
+    sb::mpi::run_ranks(readers, [&](sb::mpi::Communicator& c) {
+        fp::ReaderPort port(fabric, "s", c.rank(), c.size());
+        std::uint64_t t = 0;
+        while (port.begin_step()) {
+            EXPECT_EQ(port.current_step(), t);
+            const fp::VarDecl& decl = port.var("a");
+            EXPECT_EQ(decl.global_shape, shape);
+            EXPECT_EQ(decl.dim_labels, (std::vector<std::string>{"rows", "cols"}));
+            // Readers partition along dim 1 — deliberately mismatched with
+            // the writers to exercise the MxN intersection engine.
+            const u::Box box = u::partition_along(shape, 1, c.rank(), c.size());
+            const std::vector<double> data = port.read<double>("a", box);
+            std::size_t k = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                for (std::uint64_t j = box.offset[1]; j < box.offset[1] + box.count[1];
+                     ++j) {
+                    ASSERT_EQ(data[k++], stamp(i, j) + static_cast<double>(t))
+                        << "at (" << i << "," << j << ") step " << t;
+                }
+            }
+            port.end_step();
+            ++t;
+        }
+        EXPECT_EQ(t, steps);
+    });
+}
+
+}  // namespace
+
+class MxN : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MxN, RedistributesExactly) {
+    const auto [w, r] = GetParam();
+    run_mxn(w, r, 12, 7, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, MxN,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                                            ::testing::Values(1, 2, 4, 7)));
+
+TEST(Flexpath, ManyStepsThroughSmallQueue) { run_mxn(2, 3, 8, 4, 12, 1); }
+
+TEST(Flexpath, RendezvousQueue) { run_mxn(2, 2, 8, 4, 5, 0); }
+
+TEST(Flexpath, ReaderFirstLaunchOrder) {
+    // The reader group starts first and blocks until the writer appears —
+    // assembly property 2 of paper §IV.
+    fp::Fabric fabric;
+    std::atomic<bool> got{false};
+
+    std::jthread reader([&] {
+        fp::ReaderPort port(fabric, "late", 0, 1);
+        ASSERT_TRUE(port.begin_step());
+        EXPECT_EQ(port.read<double>("x", u::Box({0}, {2})),
+                  (std::vector<double>{5.0, 6.0}));
+        got.store(true);
+        port.end_step();
+        EXPECT_FALSE(port.begin_step());
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(got.load());  // reader must still be blocked
+
+    fp::WriterPort port(fabric, "late", 0, 1);
+    port.declare(fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{2}, {}});
+    const std::vector<double> v = {5.0, 6.0};
+    port.put<double>("x", u::Box({0}, {2}), v);
+    port.end_step();
+    port.close();
+}
+
+TEST(Flexpath, WriterRunsAheadUpToQueueCapacity) {
+    fp::Fabric fabric;
+    auto stream = fabric.get("buffered");
+    fp::WriterPort port(fabric, "buffered", 0, 1, fp::StreamOptions{3});
+    const std::vector<double> v = {1.0};
+    for (int t = 0; t < 3; ++t) {
+        port.declare(fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{1}, {}});
+        port.put<double>("x", u::Box({0}, {1}), v);
+        port.end_step();  // no reader yet: all three steps buffer
+    }
+    EXPECT_EQ(stream->queued_steps(), 3u);
+
+    // A fourth step would exceed the buffer: the writer must block until a
+    // reader drains one step (backpressure).
+    std::atomic<bool> fourth_done{false};
+    std::jthread ahead([&] {
+        port.declare(fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{1}, {}});
+        port.put<double>("x", u::Box({0}, {1}), v);
+        port.end_step();
+        fourth_done.store(true);
+        port.close();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(fourth_done.load());
+
+    fp::ReaderPort reader(fabric, "buffered", 0, 1);
+    for (int t = 0; t < 4; ++t) {
+        ASSERT_TRUE(reader.begin_step());
+        reader.end_step();
+    }
+    EXPECT_FALSE(reader.begin_step());
+}
+
+TEST(Flexpath, EndOfStreamAfterDraining) {
+    fp::Fabric fabric;
+    {
+        fp::WriterPort port(fabric, "eos", 0, 1);
+        const std::vector<double> v = {1.0, 2.0};
+        for (int t = 0; t < 2; ++t) {
+            port.declare(fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{2}, {}});
+            port.put<double>("x", u::Box({0}, {2}), v);
+            port.end_step();
+        }
+    }  // destructor closes the writer group
+    fp::ReaderPort reader(fabric, "eos", 0, 1);
+    EXPECT_TRUE(reader.begin_step());
+    reader.end_step();
+    EXPECT_TRUE(reader.begin_step());
+    reader.end_step();
+    EXPECT_FALSE(reader.begin_step());
+    EXPECT_FALSE(reader.begin_step());  // stays at end of stream
+}
+
+TEST(Flexpath, EmptyStreamDeliversEosOnly) {
+    fp::Fabric fabric;
+    {
+        fp::WriterPort port(fabric, "never", 0, 1);
+        port.close();
+    }
+    fp::ReaderPort reader(fabric, "never", 0, 1);
+    EXPECT_FALSE(reader.begin_step());
+}
+
+TEST(Flexpath, MultipleVariablesAndAttributesPerStep) {
+    fp::Fabric fabric;
+    std::jthread writer([&] {
+        fp::WriterPort port(fabric, "multi", 0, 1);
+        port.declare(fp::VarDecl{"a", fp::DataKind::Float64, u::NdShape{3}, {"i"}});
+        port.declare(fp::VarDecl{"n", fp::DataKind::UInt64, u::NdShape{}, {}});
+        const std::vector<double> a = {1, 2, 3};
+        const std::uint64_t n = 3;
+        port.put<double>("a", u::Box({0}, {3}), a);
+        port.put<std::uint64_t>("n", u::Box{}, std::span<const std::uint64_t>(&n, 1));
+        port.put_attr("a.header.0", {"x", "y", "z"});
+        port.put_attr("note", {"hello"});
+        port.put_attr("dt", 0.25);
+        port.end_step();
+        port.close();
+    });
+
+    fp::ReaderPort reader(fabric, "multi", 0, 1);
+    ASSERT_TRUE(reader.begin_step());
+    const fp::StepMeta& meta = reader.meta();
+    EXPECT_EQ(meta.vars.size(), 2u);
+    EXPECT_EQ(meta.vars.at("a").dim_labels, (std::vector<std::string>{"i"}));
+    EXPECT_EQ(meta.string_attrs.at("a.header.0"),
+              (std::vector<std::string>{"x", "y", "z"}));
+    EXPECT_EQ(meta.string_attrs.at("note"), (std::vector<std::string>{"hello"}));
+    EXPECT_DOUBLE_EQ(meta.double_attrs.at("dt"), 0.25);
+    EXPECT_EQ(reader.read<std::uint64_t>("n", u::Box{}).at(0), 3u);
+    EXPECT_EQ(reader.read<double>("a", u::Box({1}, {2})),
+              (std::vector<double>{2.0, 3.0}));
+    reader.end_step();
+    EXPECT_FALSE(reader.begin_step());
+}
+
+TEST(Flexpath, ReadErrors) {
+    fp::Fabric fabric;
+    std::jthread writer([&] {
+        fp::WriterPort port(fabric, "errs", 0, 1);
+        port.declare(fp::VarDecl{"a", fp::DataKind::Float64, u::NdShape{4, 4}, {}});
+        // Only half the array is written: reads outside must fail coverage.
+        std::vector<double> half(8, 1.0);
+        port.put<double>("a", u::Box({0, 0}, {2, 4}), half);
+        port.end_step();
+        port.close();
+    });
+
+    fp::ReaderPort reader(fabric, "errs", 0, 1);
+    ASSERT_TRUE(reader.begin_step());
+    EXPECT_THROW((void)reader.read<double>("missing", u::Box({0}, {1})),
+                 std::runtime_error);
+    // Wrong selection rank.
+    EXPECT_THROW((void)reader.read<double>("a", u::Box({0}, {2})),
+                 std::invalid_argument);
+    // Out of bounds.
+    EXPECT_THROW((void)reader.read<double>("a", u::Box({0, 0}, {5, 4})),
+                 std::invalid_argument);
+    // Uncovered region.
+    EXPECT_THROW((void)reader.read<double>("a", u::Box({0, 0}, {4, 4})),
+                 std::runtime_error);
+    // Covered region reads fine.
+    EXPECT_EQ(reader.read<double>("a", u::Box({1, 0}, {1, 4})),
+              std::vector<double>(4, 1.0));
+    reader.end_step();
+}
+
+TEST(Flexpath, WritersMustAgreeOnDeclarations) {
+    fp::Fabric fabric;
+    EXPECT_THROW(
+        sb::mpi::run_ranks(2,
+                           [&](sb::mpi::Communicator& c) {
+                               fp::WriterPort port(fabric, "disagree", c.rank(),
+                                                   c.size());
+                               // Rank-dependent global shape: must be rejected.
+                               port.declare(fp::VarDecl{
+                                   "a", fp::DataKind::Float64,
+                                   u::NdShape{4 + static_cast<std::uint64_t>(c.rank())},
+                                   {}});
+                               const std::vector<double> v = {1.0};
+                               port.put<double>("a", u::Box({0}, {1}), v);
+                               port.end_step();
+                               port.close();
+                           }),
+        std::logic_error);
+}
+
+TEST(Flexpath, BlockOutsideGlobalShapeRejected) {
+    fp::Fabric fabric;
+    fp::WriterPort port(fabric, "oob", 0, 1);
+    port.declare(fp::VarDecl{"a", fp::DataKind::Float64, u::NdShape{4}, {}});
+    const std::vector<double> v = {1.0, 2.0};
+    port.put<double>("a", u::Box({3}, {2}), v);
+    EXPECT_THROW(port.end_step(), std::logic_error);
+}
+
+TEST(Flexpath, PutSizeValidation) {
+    fp::Fabric fabric;
+    fp::WriterPort port(fabric, "size", 0, 1);
+    port.declare(fp::VarDecl{"a", fp::DataKind::Float64, u::NdShape{4}, {}});
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_THROW(port.put<double>("a", u::Box({0}, {2}), v), std::invalid_argument);
+    EXPECT_THROW(port.put<double>("undeclared", u::Box({0}, {3}), v),
+                 std::logic_error);
+}
+
+TEST(Flexpath, StepMetaWireRoundTrip) {
+    fp::StepMeta m;
+    m.step = 42;
+    m.vars["a"] = fp::VarDecl{"a", fp::DataKind::Float64, u::NdShape{3, 4}, {"r", "c"}};
+    m.vars["n"] = fp::VarDecl{"n", fp::DataKind::UInt64, u::NdShape{}, {}};
+    m.string_attrs["a.header.1"] = {"p", "q", "r", "s"};
+    m.double_attrs["dt"] = 0.5;
+
+    const auto wire = fp::encode_step_meta(m);
+    const fp::StepMeta back = fp::decode_step_meta(wire);
+    EXPECT_EQ(back.step, 42u);
+    EXPECT_EQ(back.vars.at("a"), m.vars.at("a"));
+    EXPECT_EQ(back.vars.at("n"), m.vars.at("n"));
+    EXPECT_EQ(back.string_attrs, m.string_attrs);
+    EXPECT_EQ(back.double_attrs, m.double_attrs);
+}
+
+TEST(Flexpath, AbortWakesBlockedReader) {
+    fp::Fabric fabric;
+    auto stream = fabric.get("aborted");
+    std::jthread aborter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        fabric.abort_all();
+    });
+    fp::ReaderPort reader(fabric, "aborted", 0, 1);
+    EXPECT_THROW((void)reader.begin_step(), fp::StreamAborted);
+}
+
+TEST(Flexpath, AbortFailsSubsequentSubmit) {
+    fp::Fabric fabric;
+    fp::WriterPort port(fabric, "aborted2", 0, 1);
+    fabric.get("aborted2")->abort();
+    port.declare(fp::VarDecl{"a", fp::DataKind::Float64, u::NdShape{1}, {}});
+    const std::vector<double> v = {1.0};
+    port.put<double>("a", u::Box({0}, {1}), v);
+    EXPECT_THROW(port.end_step(), fp::StreamAborted);
+}
+
+TEST(Flexpath, FabricRegistryByName) {
+    fp::Fabric fabric;
+    auto a = fabric.get("one");
+    auto b = fabric.get("two");
+    auto a2 = fabric.get("one");
+    EXPECT_EQ(a.get(), a2.get());
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(fabric.stream_names(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Flexpath, GroupSizeDisagreementRejected) {
+    fp::Fabric fabric;
+    auto s = fabric.get("sz");
+    s->attach_writer(2, {});
+    EXPECT_THROW(s->attach_writer(3, {}), std::logic_error);
+    s->attach_reader(4);
+    EXPECT_THROW(s->attach_reader(1), std::logic_error);
+    EXPECT_THROW(s->attach_writer(0, {}), std::invalid_argument);
+}
+
+// Readers of the same group observe identical step sequences even when they
+// proceed at different speeds.
+TEST(Flexpath, ReaderGroupLockstep) {
+    fp::Fabric fabric;
+    constexpr std::uint64_t kSteps = 6;
+
+    std::jthread writer([&] {
+        fp::WriterPort port(fabric, "lockstep", 0, 1, fp::StreamOptions{1});
+        for (std::uint64_t t = 0; t < kSteps; ++t) {
+            port.declare(fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{4}, {}});
+            std::vector<double> v(4, static_cast<double>(t));
+            port.put<double>("x", u::Box({0}, {4}), v);
+            port.end_step();
+        }
+        port.close();
+    });
+
+    sb::mpi::run_ranks(3, [&](sb::mpi::Communicator& c) {
+        fp::ReaderPort port(fabric, "lockstep", c.rank(), c.size());
+        std::uint64_t expected = 0;
+        while (port.begin_step()) {
+            EXPECT_EQ(port.current_step(), expected);
+            // Stagger the ranks to stress the acquire/release protocol.
+            if (c.rank() == 1) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+            const auto v = port.read<double>(
+                "x", u::partition_along(u::NdShape{4}, 0, c.rank(), c.size()));
+            for (double x : v) EXPECT_EQ(x, static_cast<double>(expected));
+            port.end_step();
+            ++expected;
+        }
+        EXPECT_EQ(expected, kSteps);
+    });
+}

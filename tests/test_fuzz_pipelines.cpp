@@ -1,0 +1,389 @@
+// Randomized pipeline fuzzing: build random chains of generic components
+// with random shapes and process counts (deterministic per seed), run them
+// through the real transport, and check the final data against a reference
+// computed by applying the same operations sequentially with the library's
+// unit-tested kernels.  This shakes out interactions no hand-written case
+// covers: odd partitions, empty ranks, label/header propagation through
+// deep chains, MxN redistribution after shape changes.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "adios/reader.hpp"
+#include "adios/writer.hpp"
+#include "core/dim_reduce.hpp"
+#include "core/reduce.hpp"
+#include "core/registry.hpp"
+#include "core/transpose.hpp"
+#include "core/workflow.hpp"
+#include "mpi/runtime.hpp"
+
+namespace core = sb::core;
+namespace fp = sb::flexpath;
+namespace a = sb::adios;
+namespace u = sb::util;
+
+namespace {
+
+/// SplitMix64: small deterministic PRNG (no std::random_device — the test
+/// must reproduce exactly from its seed).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed * 2654435769u + 1) {}
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+    int procs() { return 1 + static_cast<int>(below(3)); }
+
+private:
+    std::uint64_t state_;
+};
+
+/// The fuzzer's model of the data flowing through the pipeline.
+struct Model {
+    u::NdShape shape;
+    std::vector<double> data;
+    std::vector<std::string> labels;
+    std::map<std::size_t, std::vector<std::string>> headers;  // dim -> names
+};
+
+/// One pipeline stage: the launch-script line plus the model transition.
+struct Stage {
+    std::string component;
+    int nprocs;
+    std::vector<std::string> args;
+};
+
+std::string arr_name(std::size_t i) { return "arr" + std::to_string(i); }
+std::string stream_name(std::size_t i) { return "fuzz" + std::to_string(i) + ".fp"; }
+
+/// Applies one random compatible operation to the model and returns the
+/// corresponding stage, or nullopt if no operation fits.
+std::optional<Stage> random_stage(Rng& rng, Model& m, std::size_t idx) {
+    const std::string in_s = stream_name(idx), in_a = arr_name(idx);
+    const std::string out_s = stream_name(idx + 1), out_a = arr_name(idx + 1);
+    const std::size_t nd = m.shape.ndim();
+
+    // Collect applicable ops.
+    std::vector<int> ops;
+    if (nd >= 2) {
+        ops.push_back(0);  // transpose
+        ops.push_back(1);  // dim-reduce
+        ops.push_back(2);  // reduce(mean)
+    }
+    for (std::size_t d = 0; d < nd; ++d) {
+        if (m.shape[d] >= 2) {
+            ops.push_back(3);  // downsample
+            break;
+        }
+    }
+    if (!m.headers.empty()) ops.push_back(4);  // select
+    if (ops.empty()) return std::nullopt;
+
+    const int op = ops[rng.below(ops.size())];
+    Stage st;
+    st.nprocs = rng.procs();
+    switch (op) {
+        case 0: {  // transpose
+            std::vector<std::size_t> perm(nd);
+            std::iota(perm.begin(), perm.end(), 0u);
+            for (std::size_t i = nd; i > 1; --i) {
+                std::swap(perm[i - 1], perm[rng.below(i)]);
+            }
+            std::string perm_str;
+            for (std::size_t p : perm) {
+                perm_str += (perm_str.empty() ? "" : ",") + std::to_string(p);
+            }
+            st.component = "transpose";
+            st.args = {in_s, in_a, perm_str, out_s, out_a};
+            // Model transition.
+            std::vector<double> out(m.data.size());
+            core::transpose_copy(std::as_bytes(std::span(m.data)), m.shape, perm,
+                                 std::as_writable_bytes(std::span(out)),
+                                 sizeof(double));
+            Model next;
+            next.shape = core::transpose_shape(m.shape, perm);
+            next.data = std::move(out);
+            next.labels.resize(nd);
+            for (std::size_t j = 0; j < nd; ++j) {
+                next.labels[j] = m.labels[perm[j]];
+                const auto it = m.headers.find(perm[j]);
+                if (it != m.headers.end()) next.headers[j] = it->second;
+            }
+            m = std::move(next);
+            return st;
+        }
+        case 1: {  // dim-reduce
+            const std::size_t remove = rng.below(nd);
+            std::size_t grow = rng.below(nd);
+            while (grow == remove) grow = rng.below(nd);
+            st.component = "dim-reduce";
+            st.args = {in_s, in_a, std::to_string(remove), std::to_string(grow),
+                       out_s, out_a};
+            std::vector<double> out(m.data.size());
+            core::dim_reduce_copy(std::as_bytes(std::span(m.data)), m.shape, remove,
+                                  grow, std::as_writable_bytes(std::span(out)),
+                                  sizeof(double));
+            Model next;
+            next.shape = core::dim_reduce_shape(m.shape, remove, grow);
+            next.data = std::move(out);
+            for (std::size_t d = 0, j = 0; d < nd; ++d) {
+                if (d == remove) continue;
+                next.labels.push_back(m.labels[d]);
+                const auto it = m.headers.find(d);
+                if (it != m.headers.end() && d != grow) next.headers[j] = it->second;
+                ++j;
+            }
+            m = std::move(next);
+            return st;
+        }
+        case 2: {  // reduce mean
+            const std::size_t dim = rng.below(nd);
+            st.component = "reduce";
+            st.args = {in_s, in_a, std::to_string(dim), "mean", out_s, out_a};
+            std::vector<double> out(m.data.size() / m.shape[dim]);
+            core::reduce_copy(m.data, m.shape, dim, core::ReduceKind::Mean, out);
+            Model next;
+            std::vector<std::uint64_t> dims;
+            for (std::size_t d = 0, j = 0; d < nd; ++d) {
+                if (d == dim) continue;
+                dims.push_back(m.shape[d]);
+                next.labels.push_back(m.labels[d]);
+                const auto it = m.headers.find(d);
+                if (it != m.headers.end()) next.headers[j] = it->second;
+                ++j;
+            }
+            next.shape = u::NdShape(dims);
+            next.data = std::move(out);
+            m = std::move(next);
+            return st;
+        }
+        case 3: {  // downsample
+            std::size_t dim = 0;
+            for (std::size_t tries = 0; tries < 8; ++tries) {
+                dim = rng.below(nd);
+                if (m.shape[dim] >= 2) break;
+            }
+            if (m.shape[dim] < 2) return std::nullopt;
+            const std::uint64_t stride = 2 + rng.below(2);
+            st.component = "downsample";
+            st.args = {in_s, in_a, std::to_string(dim), std::to_string(stride),
+                       out_s, out_a};
+            // Model: keep rows 0, stride, ... along dim.
+            const std::uint64_t kept = (m.shape[dim] + stride - 1) / stride;
+            u::NdShape out_shape = m.shape;
+            out_shape[dim] = kept;
+            std::vector<double> out(out_shape.volume());
+            // Copy row by row through the box helper.
+            for (std::uint64_t j = 0; j < kept; ++j) {
+                u::Box src_row = u::Box::whole(m.shape);
+                src_row.offset[dim] = j * stride;
+                src_row.count[dim] = 1;
+                u::Box dst_row = u::Box::whole(out_shape);
+                dst_row.offset[dim] = j;
+                dst_row.count[dim] = 1;
+                // Extract then place (two copies through contiguous temp).
+                std::vector<double> tmp(src_row.volume());
+                u::copy_box(std::as_bytes(std::span(m.data)), u::Box::whole(m.shape),
+                            std::as_writable_bytes(std::span(tmp)), src_row, src_row,
+                            sizeof(double));
+                u::copy_box(std::as_bytes(std::span(tmp)), dst_row,
+                            std::as_writable_bytes(std::span(out)),
+                            u::Box::whole(out_shape), dst_row, sizeof(double));
+            }
+            Model next;
+            next.shape = out_shape;
+            next.data = std::move(out);
+            next.labels = m.labels;
+            for (const auto& [d, names] : m.headers) {
+                if (d != dim) {
+                    next.headers[d] = names;
+                } else {
+                    std::vector<std::string> filtered;
+                    for (std::uint64_t i = 0; i < names.size(); i += stride) {
+                        filtered.push_back(names[i]);
+                    }
+                    next.headers[d] = filtered;
+                }
+            }
+            m = std::move(next);
+            return st;
+        }
+        case 4: {  // select
+            const auto hit = std::next(m.headers.begin(),
+                                       static_cast<std::ptrdiff_t>(
+                                           rng.below(m.headers.size())));
+            const std::size_t dim = hit->first;
+            const auto& names = hit->second;
+            // Choose a random non-empty subset *without replacement* (the
+            // component resolves names by first match, so names must stay
+            // unique for the model to agree), in random order.
+            const std::size_t k = 1 + rng.below(names.size());
+            std::vector<std::uint64_t> pool(names.size());
+            std::iota(pool.begin(), pool.end(), 0u);
+            for (std::size_t i = pool.size(); i > 1; --i) {
+                std::swap(pool[i - 1], pool[rng.below(i)]);
+            }
+            std::vector<std::uint64_t> rows(pool.begin(),
+                                            pool.begin() + static_cast<std::ptrdiff_t>(k));
+            std::vector<std::string> chosen;
+            for (const auto r : rows) chosen.push_back(names[r]);
+            st.component = "select";
+            st.args = {in_s, in_a, std::to_string(dim), out_s, out_a};
+            for (const auto& c : chosen) st.args.push_back(c);
+
+            u::NdShape out_shape = m.shape;
+            out_shape[dim] = k;
+            std::vector<double> out(out_shape.volume());
+            for (std::size_t j = 0; j < k; ++j) {
+                u::Box src_row = u::Box::whole(m.shape);
+                src_row.offset[dim] = rows[j];
+                src_row.count[dim] = 1;
+                u::Box dst_row = u::Box::whole(out_shape);
+                dst_row.offset[dim] = j;
+                dst_row.count[dim] = 1;
+                std::vector<double> tmp(src_row.volume());
+                u::copy_box(std::as_bytes(std::span(m.data)), u::Box::whole(m.shape),
+                            std::as_writable_bytes(std::span(tmp)), src_row, src_row,
+                            sizeof(double));
+                u::copy_box(std::as_bytes(std::span(tmp)), dst_row,
+                            std::as_writable_bytes(std::span(out)),
+                            u::Box::whole(out_shape), dst_row, sizeof(double));
+            }
+            Model next;
+            next.shape = out_shape;
+            next.data = std::move(out);
+            next.labels = m.labels;
+            for (const auto& [d, ns] : m.headers) {
+                if (d != dim) next.headers[d] = ns;
+            }
+            next.headers[dim] = chosen;
+            m = std::move(next);
+            return st;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+class FuzzPipelines : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipelines, RandomChainMatchesReference) {
+    Rng rng(GetParam());
+
+    // Random 2-D or 3-D source with labelled dims + a header on the last.
+    Model m;
+    std::vector<std::uint64_t> dims;
+    const std::size_t nd = 2 + rng.below(2);
+    for (std::size_t d = 0; d + 1 < nd; ++d) dims.push_back(3 + rng.below(6));
+    dims.push_back(2 + rng.below(4));  // last dim small (named quantities)
+    m.shape = u::NdShape(dims);
+    m.data.resize(m.shape.volume());
+    for (std::size_t i = 0; i < m.data.size(); ++i) {
+        m.data[i] = static_cast<double>(i) * 0.25 - 7.0;
+    }
+    for (std::size_t d = 0; d < nd; ++d) m.labels.push_back("L" + std::to_string(d));
+    std::vector<std::string> names;
+    for (std::uint64_t i = 0; i < m.shape[nd - 1]; ++i) {
+        names.push_back("q" + std::to_string(i));
+    }
+    m.headers[nd - 1] = names;
+
+    const Model source = m;
+
+    // 2-5 random stages.
+    std::vector<Stage> stages;
+    const std::size_t want = 2 + rng.below(4);
+    for (std::size_t i = 0; stages.size() < want && i < want + 4; ++i) {
+        if (auto st = random_stage(rng, m, stages.size())) {
+            stages.push_back(std::move(*st));
+        }
+    }
+    ASSERT_FALSE(stages.empty());
+
+    // Run the pipeline for real: publisher -> stages -> collector.
+    fp::Fabric fabric;
+    std::jthread publisher([&] {
+        a::GroupDef def = core::output_group("fuzz-source", arr_name(0), source.labels);
+        a::Writer w(fabric, stream_name(0), def, 0, 1);
+        const auto& dim_names = def.find(arr_name(0))->dimensions;
+        for (int t = 0; t < 2; ++t) {
+            w.begin_step();
+            for (std::size_t d = 0; d < source.shape.ndim(); ++d) {
+                w.set_dimension(dim_names[d], source.shape[d]);
+            }
+            for (const auto& [d, ns] : source.headers) {
+                w.write_attribute(core::header_attr_key(arr_name(0), d), ns);
+            }
+            w.write<double>(arr_name(0), source.data, u::Box::whole(source.shape));
+            w.end_step();
+        }
+        w.close();
+    });
+
+    std::vector<std::jthread> workers;
+    std::mutex err_mu;
+    std::vector<std::string> worker_errors;
+    for (const Stage& st : stages) {
+        workers.emplace_back([&fabric, &err_mu, &worker_errors, st] {
+            try {
+                sb::mpi::run_ranks(st.nprocs, [&](sb::mpi::Communicator& c) {
+                    auto comp = core::make_component(st.component);
+                    core::RunContext ctx{fabric, c, nullptr, {}};
+                    comp->run(ctx, u::ArgList(st.args));
+                });
+            } catch (const std::exception& e) {
+                const std::lock_guard lock(err_mu);
+                worker_errors.push_back(st.component + ": " + e.what());
+                fabric.abort_all();
+            }
+        });
+    }
+
+    a::Reader r(fabric, stream_name(stages.size()), 0, 1);
+    int steps = 0;
+    while ([&] {
+        try {
+            return r.begin_step();
+        } catch (const fp::StreamAborted&) {
+            return false;
+        }
+    }()) {
+        const a::VarInfo info = r.inq_var(arr_name(stages.size()));
+        ASSERT_EQ(info.shape, m.shape) << "seed " << GetParam();
+        const auto data = r.read<double>(arr_name(stages.size()),
+                                         u::Box::whole(info.shape));
+        ASSERT_EQ(data.size(), m.data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            ASSERT_DOUBLE_EQ(data[i], m.data[i])
+                << "seed " << GetParam() << " element " << i;
+        }
+        // Headers survived the chain per the model.
+        for (const auto& [d, ns] : m.headers) {
+            const auto got = r.attribute_strings(
+                core::header_attr_key(arr_name(stages.size()), d));
+            ASSERT_TRUE(got.has_value()) << "seed " << GetParam() << " dim " << d;
+            EXPECT_EQ(*got, ns) << "seed " << GetParam() << " dim " << d;
+        }
+        ++steps;
+        r.end_step();
+    }
+    workers.clear();  // join before inspecting errors
+    {
+        const std::lock_guard lock(err_mu);
+        ASSERT_TRUE(worker_errors.empty())
+            << "seed " << GetParam() << ": " << worker_errors.front();
+    }
+    EXPECT_EQ(steps, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelines,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                           14, 15, 16));

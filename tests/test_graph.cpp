@@ -1,0 +1,203 @@
+// Tests for the workflow-management layer: component port introspection,
+// dataflow-graph validation, and the Graphviz rendering.
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "core/registry.hpp"
+#include "sim/source_component.hpp"
+
+namespace core = sb::core;
+namespace u = sb::util;
+
+namespace {
+
+std::vector<core::LaunchEntry> entries_of(const std::string& script) {
+    sb::sim::register_simulations();
+    return core::parse_launch_script(script);
+}
+
+bool has_issue(const std::vector<core::GraphIssue>& issues,
+               core::GraphIssue::Kind kind) {
+    for (const auto& i : issues) {
+        if (i.kind == kind) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+// ---- port introspection ------------------------------------------------------
+
+TEST(Ports, AnalyticsComponents) {
+    const auto p = [](const char* name, std::vector<std::string> args) {
+        return core::make_component(name)->ports(u::ArgList(std::move(args)));
+    };
+    auto sel = p("select", {"in.fp", "a", "1", "out.fp", "b", "x"});
+    EXPECT_EQ(sel.inputs, (std::vector<std::string>{"in.fp"}));
+    EXPECT_EQ(sel.outputs, (std::vector<std::string>{"out.fp"}));
+    EXPECT_TRUE(sel.known);
+
+    auto mag = p("magnitude", {"in.fp", "a", "out.fp", "b"});
+    EXPECT_EQ(mag.inputs, (std::vector<std::string>{"in.fp"}));
+    EXPECT_EQ(mag.outputs, (std::vector<std::string>{"out.fp"}));
+
+    auto dr = p("dim-reduce", {"in.fp", "a", "2", "1", "out.fp", "b"});
+    EXPECT_EQ(dr.outputs, (std::vector<std::string>{"out.fp"}));
+
+    auto hist = p("histogram", {"in.fp", "a", "16"});
+    EXPECT_EQ(hist.inputs, (std::vector<std::string>{"in.fp"}));
+    EXPECT_TRUE(hist.outputs.empty());
+
+    auto fork = p("fork", {"in.fp", "a", "b1.fp", "x", "b2.fp", "y"});
+    EXPECT_EQ(fork.outputs, (std::vector<std::string>{"b1.fp", "b2.fp"}));
+
+    auto th = p("threshold", {"in.fp", "a", "band", "0", "1", "out.fp", "b"});
+    EXPECT_EQ(th.outputs, (std::vector<std::string>{"out.fp"}));
+    auto th2 = p("threshold", {"in.fp", "a", "above", "0", "out.fp", "b"});
+    EXPECT_EQ(th2.outputs, (std::vector<std::string>{"out.fp"}));
+
+    auto val = p("validate", {"a.fp", "x", "b.fp", "y"});
+    EXPECT_EQ(val.inputs, (std::vector<std::string>{"a.fp", "b.fp"}));
+
+    auto fr = p("file-reader", {"prefix", "out.fp", "b"});
+    EXPECT_EQ(fr.outputs, (std::vector<std::string>{"out.fp"}));
+    auto fw = p("file-writer", {"in.fp", "a", "prefix"});
+    EXPECT_EQ(fw.inputs, (std::vector<std::string>{"in.fp"}));
+}
+
+TEST(Ports, SimulationDrivers) {
+    sb::sim::register_simulations();
+    auto lmp = core::make_component("lammps")->ports(
+        u::ArgList({"rows=8", "cols=8", "stream=my.fp"}));
+    EXPECT_TRUE(lmp.inputs.empty());
+    EXPECT_EQ(lmp.outputs, (std::vector<std::string>{"my.fp"}));
+
+    auto gtcp = core::make_component("gtcp")->ports(u::ArgList{});
+    EXPECT_EQ(gtcp.outputs, (std::vector<std::string>{"gtcp.fp"}));
+
+    // output=false: the driver computes but opens no streams.
+    auto silent = core::make_component("gromacs")->ports(
+        u::ArgList({"output=false"}));
+    EXPECT_TRUE(silent.outputs.empty());
+}
+
+TEST(Ports, BadArgumentsThrow) {
+    EXPECT_THROW((void)core::make_component("select")->ports(u::ArgList({"in.fp"})),
+                 u::ArgError);
+}
+
+// ---- validation ---------------------------------------------------------------
+
+TEST(GraphValidation, WellFormedPipelinePasses) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 2 gromacs atoms=8 steps=1 &\n"
+        "aprun -n 2 magnitude gmx.fp coords m.fp r &\n"
+        "aprun -n 1 histogram m.fp r 4 &\n"));
+    EXPECT_TRUE(issues.empty());
+    EXPECT_TRUE(core::graph_is_runnable(issues));
+}
+
+TEST(GraphValidation, TypoedStreamNameIsDanglingInput) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 2 gromacs atoms=8 steps=1 &\n"
+        "aprun -n 2 magnitude gmxx.fp coords m.fp r &\n"  // typo: gmxx
+        "aprun -n 1 histogram m.fp r 4 &\n"));
+    EXPECT_TRUE(has_issue(issues, core::GraphIssue::Kind::DanglingInput));
+    EXPECT_TRUE(has_issue(issues, core::GraphIssue::Kind::UnconsumedOutput));
+    EXPECT_FALSE(core::graph_is_runnable(issues));
+}
+
+TEST(GraphValidation, UnconsumedOutputIsOnlyAWarning) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 2 gromacs atoms=8 steps=1 &\n"
+        "aprun -n 2 fork gmx.fp coords used.fp a spare.fp b &\n"
+        "aprun -n 1 moments used.fp a &\n"));
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].kind, core::GraphIssue::Kind::UnconsumedOutput);
+    EXPECT_FALSE(issues[0].fatal);
+    EXPECT_TRUE(core::graph_is_runnable(issues));
+}
+
+TEST(GraphValidation, MultipleWritersDetected) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 1 gromacs atoms=8 stream=x.fp &\n"
+        "aprun -n 1 lammps rows=4 cols=4 stream=x.fp &\n"
+        "aprun -n 1 moments x.fp coords &\n"));
+    EXPECT_TRUE(has_issue(issues, core::GraphIssue::Kind::MultipleWriters));
+    EXPECT_FALSE(core::graph_is_runnable(issues));
+}
+
+TEST(GraphValidation, MultipleReadersDetected) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 1 gromacs atoms=8 &\n"
+        "aprun -n 1 moments gmx.fp coords a.txt &\n"
+        "aprun -n 1 histogram gmx.fp coords 4 &\n"));
+    EXPECT_TRUE(has_issue(issues, core::GraphIssue::Kind::MultipleReaders));
+}
+
+TEST(GraphValidation, CycleDetected) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 1 magnitude a.fp x b.fp y &\n"
+        "aprun -n 1 magnitude b.fp y a.fp x &\n"));
+    EXPECT_TRUE(has_issue(issues, core::GraphIssue::Kind::Cycle));
+    EXPECT_FALSE(core::graph_is_runnable(issues));
+}
+
+TEST(GraphValidation, BadArgumentsReported) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 1 select onlyone &\n"));
+    EXPECT_TRUE(has_issue(issues, core::GraphIssue::Kind::BadArguments));
+    EXPECT_FALSE(core::graph_is_runnable(issues));
+}
+
+TEST(GraphValidation, UnknownComponentThrows) {
+    EXPECT_THROW((void)core::validate_graph(entries_of("aprun -n 1 bogus a b &\n")),
+                 std::runtime_error);
+}
+
+TEST(GraphValidation, PaperFigure8IsClean) {
+    const auto issues = core::validate_graph(entries_of(
+        "aprun -n 64 histogram velos.fp velocities 16 &\n"
+        "aprun -n 256 magnitude lmpselect.fp lmpsel velos.fp velocities &\n"
+        "aprun -n 256 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &\n"
+        "aprun -n 1024 lammps rows=64 cols=64 &\n"
+        "wait\n"));
+    EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues[0].message);
+}
+
+TEST(GraphValidation, IssueKindNames) {
+    EXPECT_STREQ(core::graph_issue_kind_name(core::GraphIssue::Kind::Cycle), "cycle");
+    EXPECT_STREQ(core::graph_issue_kind_name(core::GraphIssue::Kind::DanglingInput),
+                 "dangling-input");
+}
+
+// ---- dot rendering --------------------------------------------------------------
+
+TEST(GraphDot, RendersNodesAndLabelledEdges) {
+    const std::string dot = core::graph_to_dot(entries_of(
+        "aprun -n 4 gromacs atoms=8 &\n"
+        "aprun -n 2 magnitude gmx.fp coords m.fp r &\n"
+        "aprun -n 1 histogram m.fp r 4 &\n"));
+    EXPECT_NE(dot.find("digraph smartblock"), std::string::npos);
+    EXPECT_NE(dot.find("gromacs x4"), std::string::npos);
+    EXPECT_NE(dot.find("magnitude x2"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"gmx.fp\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"m.fp\""), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(GraphDot, MissingUpstreamRenderedDashed) {
+    const std::string dot =
+        core::graph_to_dot(entries_of("aprun -n 1 histogram ghost.fp x 4 &\n"));
+    EXPECT_NE(dot.find("ghost.fp?"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(GraphResolve, NodesCarryEntriesAndPorts) {
+    const auto nodes = core::resolve_graph(entries_of(
+        "aprun -n 3 gromacs atoms=8 &\naprun -n 2 moments gmx.fp coords &\n"));
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0].entry.nprocs, 3);
+    EXPECT_EQ(nodes[0].ports.outputs, (std::vector<std::string>{"gmx.fp"}));
+    EXPECT_EQ(nodes[1].ports.inputs, (std::vector<std::string>{"gmx.fp"}));
+}

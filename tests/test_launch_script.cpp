@@ -1,0 +1,98 @@
+// Tests for the Fig. 8 launch-script parser and workflow construction.
+#include <gtest/gtest.h>
+
+#include "core/launch_script.hpp"
+
+namespace core = sb::core;
+namespace u = sb::util;
+
+TEST(LaunchScript, PaperFigure8) {
+    const auto entries = core::parse_launch_script(
+        "aprun -n 64 histogram velos.fp velocities 16 &\n"
+        "aprun -n 256 magnitude lmpselect.fp lmpsel velos.fp velocities &\n"
+        "aprun -n 256 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &\n"
+        "aprun -n 1024 lammps < in.cracksm &\n"
+        "wait\n");
+    ASSERT_EQ(entries.size(), 4u);
+
+    EXPECT_EQ(entries[0].nprocs, 64);
+    EXPECT_EQ(entries[0].component, "histogram");
+    EXPECT_EQ(entries[0].args,
+              (std::vector<std::string>{"velos.fp", "velocities", "16"}));
+
+    EXPECT_EQ(entries[1].nprocs, 256);
+    EXPECT_EQ(entries[1].component, "magnitude");
+
+    EXPECT_EQ(entries[2].args,
+              (std::vector<std::string>{"dump.custom.fp", "atoms", "1",
+                                        "lmpselect.fp", "lmpsel", "vx", "vy", "vz"}));
+
+    // "< in.cracksm" folds into an argument for the simulation driver.
+    EXPECT_EQ(entries[3].nprocs, 1024);
+    EXPECT_EQ(entries[3].component, "lammps");
+    EXPECT_EQ(entries[3].args, (std::vector<std::string>{"in.cracksm"}));
+}
+
+TEST(LaunchScript, CommentsAndBlankLines) {
+    const auto entries = core::parse_launch_script(
+        "# workflow for run 7\n"
+        "\n"
+        "mpirun -np 4 select a b 1 c d x  # trailing comment\n"
+        "   \n");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].nprocs, 4);
+    EXPECT_EQ(entries[0].args,
+              (std::vector<std::string>{"a", "b", "1", "c", "d", "x"}));
+}
+
+TEST(LaunchScript, BareComponentDefaultsToOneProc) {
+    const auto entries = core::parse_launch_script("histogram h.fp vals 4\n");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].nprocs, 1);
+    EXPECT_EQ(entries[0].component, "histogram");
+}
+
+TEST(LaunchScript, GluedAmpersand) {
+    const auto entries = core::parse_launch_script("aprun -n 2 lammps rows=8&\n");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].args, (std::vector<std::string>{"rows=8"}));
+}
+
+TEST(LaunchScript, SrunAndMpiexecAccepted) {
+    const auto entries = core::parse_launch_script(
+        "srun -n 3 magnitude a b c d\nmpiexec -np 2 histogram x y 4\n");
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].nprocs, 3);
+    EXPECT_EQ(entries[1].nprocs, 2);
+}
+
+TEST(LaunchScript, Errors) {
+    EXPECT_THROW((void)core::parse_launch_script("aprun histogram a b 4\n"),
+                 u::ArgError);
+    EXPECT_THROW((void)core::parse_launch_script("aprun -n zero histogram a b 4\n"),
+                 u::ArgError);
+    EXPECT_THROW((void)core::parse_launch_script("aprun -n -3 histogram a b 4\n"),
+                 u::ArgError);
+    EXPECT_THROW((void)core::parse_launch_script("aprun -n 4\n"), u::ArgError);
+    EXPECT_THROW((void)core::parse_launch_script("aprun -n 4 lammps <\n"), u::ArgError);
+}
+
+TEST(LaunchScript, EmptyScriptParsesToNothing) {
+    EXPECT_TRUE(core::parse_launch_script("").empty());
+    EXPECT_TRUE(core::parse_launch_script("# only a comment\nwait\n").empty());
+}
+
+TEST(LaunchScript, BuildWorkflowResolvesComponents) {
+    sb::flexpath::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric, "aprun -n 2 select a b 1 c d x\naprun -n 1 histogram c d 4\n");
+    EXPECT_EQ(wf.size(), 2u);
+    EXPECT_EQ(wf.total_procs(), 3);
+    EXPECT_EQ(wf.describe(0), "select x2");
+}
+
+TEST(LaunchScript, BuildWorkflowRejectsUnknownComponent) {
+    sb::flexpath::Fabric fabric;
+    EXPECT_THROW((void)core::build_workflow(fabric, "aprun -n 2 frobnicate a b\n"),
+                 std::runtime_error);
+}

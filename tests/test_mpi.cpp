@@ -1,0 +1,263 @@
+// Tests for the in-process message-passing runtime: point-to-point
+// semantics, collectives across a sweep of group sizes, and failure
+// propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpi/runtime.hpp"
+
+namespace m = sb::mpi;
+
+TEST(Mpi, RankAndSize) {
+    std::atomic<int> sum{0};
+    m::run_ranks(5, [&](m::Communicator& c) {
+        EXPECT_EQ(c.size(), 5);
+        EXPECT_GE(c.rank(), 0);
+        EXPECT_LT(c.rank(), 5);
+        sum += c.rank();
+    });
+    EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(Mpi, SendRecvValue) {
+    m::run_ranks(2, [](m::Communicator& c) {
+        if (c.rank() == 0) {
+            c.send_value<int>(1, 0, 42);
+        } else {
+            EXPECT_EQ(c.recv_value<int>(0, 0), 42);
+        }
+    });
+}
+
+TEST(Mpi, SendRecvVector) {
+    m::run_ranks(2, [](m::Communicator& c) {
+        if (c.rank() == 0) {
+            std::vector<double> v = {1.5, 2.5, 3.5};
+            c.send<double>(1, 9, v);
+        } else {
+            EXPECT_EQ(c.recv<double>(0, 9),
+                      (std::vector<double>{1.5, 2.5, 3.5}));
+        }
+    });
+}
+
+TEST(Mpi, MessagesMatchedByTag) {
+    m::run_ranks(2, [](m::Communicator& c) {
+        if (c.rank() == 0) {
+            c.send_value<int>(1, /*tag=*/1, 100);
+            c.send_value<int>(1, /*tag=*/2, 200);
+        } else {
+            // Receive in the opposite order of sending: tags disambiguate.
+            EXPECT_EQ(c.recv_value<int>(0, 2), 200);
+            EXPECT_EQ(c.recv_value<int>(0, 1), 100);
+        }
+    });
+}
+
+TEST(Mpi, FifoPerSourceAndTag) {
+    m::run_ranks(2, [](m::Communicator& c) {
+        if (c.rank() == 0) {
+            for (int i = 0; i < 20; ++i) c.send_value<int>(1, 0, i);
+        } else {
+            for (int i = 0; i < 20; ++i) EXPECT_EQ(c.recv_value<int>(0, 0), i);
+        }
+    });
+}
+
+TEST(Mpi, SendToBadRankThrows) {
+    m::run_ranks(1, [](m::Communicator& c) {
+        EXPECT_THROW(c.send_value<int>(1, 0, 1), std::out_of_range);
+        EXPECT_THROW(c.send_value<int>(-1, 0, 1), std::out_of_range);
+        EXPECT_THROW((void)c.recv_value<int>(3, 0), std::out_of_range);
+    });
+}
+
+TEST(Mpi, RingExchange) {
+    m::run_ranks(4, [](m::Communicator& c) {
+        const int next = (c.rank() + 1) % c.size();
+        const int prev = (c.rank() + c.size() - 1) % c.size();
+        c.send_value<int>(next, 5, c.rank());
+        EXPECT_EQ(c.recv_value<int>(prev, 5), prev);
+    });
+}
+
+// ---- collectives over a sweep of group sizes ------------------------------
+
+class MpiCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiCollectives, Barrier) {
+    const int n = GetParam();
+    std::atomic<int> before{0}, after{0};
+    m::run_ranks(n, [&](m::Communicator& c) {
+        ++before;
+        c.barrier();
+        // After any rank crosses the barrier, every rank must have arrived.
+        EXPECT_EQ(before.load(), n);
+        ++after;
+    });
+    EXPECT_EQ(after.load(), n);
+}
+
+TEST_P(MpiCollectives, AllgatherScalar) {
+    const int n = GetParam();
+    m::run_ranks(n, [&](m::Communicator& c) {
+        const auto all = c.allgather<int>(c.rank() * 10);
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);
+    });
+}
+
+TEST_P(MpiCollectives, AllgathervVariableLengths) {
+    const int n = GetParam();
+    m::run_ranks(n, [&](m::Communicator& c) {
+        std::vector<std::int64_t> mine(static_cast<std::size_t>(c.rank()), c.rank());
+        const auto all = c.allgatherv<std::int64_t>(mine);
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+            EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                      static_cast<std::size_t>(r));
+            for (auto v : all[static_cast<std::size_t>(r)]) EXPECT_EQ(v, r);
+        }
+    });
+}
+
+TEST_P(MpiCollectives, Bcast) {
+    const int n = GetParam();
+    for (int root = 0; root < n; root += std::max(1, n / 2)) {
+        m::run_ranks(n, [&](m::Communicator& c) {
+            const double v = c.rank() == root ? 3.25 : -1.0;
+            EXPECT_DOUBLE_EQ(c.bcast<double>(root, v), 3.25);
+        });
+    }
+}
+
+TEST_P(MpiCollectives, AllreduceOps) {
+    const int n = GetParam();
+    m::run_ranks(n, [&](m::Communicator& c) {
+        const int r = c.rank() + 1;  // 1..n
+        EXPECT_EQ(c.allreduce<int>(r, m::ReduceOp::Sum), n * (n + 1) / 2);
+        EXPECT_EQ(c.allreduce<int>(r, m::ReduceOp::Min), 1);
+        EXPECT_EQ(c.allreduce<int>(r, m::ReduceOp::Max), n);
+        if (n <= 8) {
+            std::int64_t fact = 1;
+            for (int i = 2; i <= n; ++i) fact *= i;
+            EXPECT_EQ(c.allreduce<std::int64_t>(r, m::ReduceOp::Prod), fact);
+        }
+    });
+}
+
+TEST_P(MpiCollectives, AllreduceVecElementwise) {
+    const int n = GetParam();
+    m::run_ranks(n, [&](m::Communicator& c) {
+        const std::vector<std::uint64_t> mine = {1, static_cast<std::uint64_t>(c.rank()),
+                                                 7};
+        const auto out = c.allreduce_vec<std::uint64_t>(mine, m::ReduceOp::Sum);
+        ASSERT_EQ(out.size(), 3u);
+        EXPECT_EQ(out[0], static_cast<std::uint64_t>(n));
+        EXPECT_EQ(out[1], static_cast<std::uint64_t>(n * (n - 1) / 2));
+        EXPECT_EQ(out[2], static_cast<std::uint64_t>(7 * n));
+    });
+}
+
+TEST_P(MpiCollectives, GatherOnlyRootKeeps) {
+    const int n = GetParam();
+    m::run_ranks(n, [&](m::Communicator& c) {
+        const auto all = c.gather<int>(c.rank(), 0);
+        if (c.rank() == 0) {
+            ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+            for (int r = 0; r < n; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r);
+        } else {
+            EXPECT_TRUE(all.empty());
+        }
+    });
+}
+
+TEST_P(MpiCollectives, RepeatedCollectivesStayConsistent) {
+    const int n = GetParam();
+    m::run_ranks(n, [&](m::Communicator& c) {
+        for (int round = 0; round < 25; ++round) {
+            const int v = c.allreduce<int>(c.rank() + round, m::ReduceOp::Sum);
+            EXPECT_EQ(v, n * (n - 1) / 2 + n * round);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MpiCollectives, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---- failure propagation ---------------------------------------------------
+
+TEST(Mpi, ThrowingRankAbortsBlockedPeers) {
+    EXPECT_THROW(
+        m::run_ranks(3,
+                     [](m::Communicator& c) {
+                         if (c.rank() == 0) {
+                             throw std::runtime_error("rank 0 died");
+                         }
+                         // Peers block forever unless the abort wakes them.
+                         (void)c.recv_value<int>(0, 0);
+                     }),
+        std::runtime_error);
+}
+
+TEST(Mpi, RootCauseIsRethrownNotAbortError) {
+    try {
+        m::run_ranks(4, [](m::Communicator& c) {
+            if (c.rank() == 2) throw std::logic_error("root cause");
+            c.barrier();
+            c.barrier();
+        });
+        FAIL() << "expected a throw";
+    } catch (const std::logic_error& e) {
+        EXPECT_STREQ(e.what(), "root cause");
+    }
+}
+
+TEST(Mpi, AbortWakesCollectiveWaiters) {
+    EXPECT_THROW(m::run_ranks(3,
+                              [](m::Communicator& c) {
+                                  if (c.rank() == 1) {
+                                      throw std::runtime_error("boom");
+                                  }
+                                  c.barrier();  // would deadlock without abort
+                              }),
+                 std::runtime_error);
+}
+
+TEST(Mpi, GroupCommAccessors) {
+    m::Group g(3);
+    EXPECT_EQ(g.size(), 3);
+    EXPECT_EQ(g.comm(2).rank(), 2);
+    EXPECT_THROW((void)g.comm(3), std::out_of_range);
+    EXPECT_THROW(m::Group(0), std::invalid_argument);
+}
+
+class MpiScan : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiScan, InclusiveAndExclusivePrefixes) {
+    const int n = GetParam();
+    m::run_ranks(n, [&](m::Communicator& c) {
+        const int r = c.rank() + 1;
+        // Inclusive: sum of 1..rank+1.
+        EXPECT_EQ(c.scan<int>(r, m::ReduceOp::Sum), (c.rank() + 1) * (c.rank() + 2) / 2);
+        // Exclusive: sum of 1..rank (0 on rank 0).
+        EXPECT_EQ(c.exscan<int>(r, m::ReduceOp::Sum), c.rank() * (c.rank() + 1) / 2);
+        // Min/max prefixes with identities.
+        EXPECT_EQ(c.scan<int>(r, m::ReduceOp::Min), 1);
+        EXPECT_EQ(c.scan<int>(r, m::ReduceOp::Max), r);
+        if (c.rank() == 0) {
+            EXPECT_EQ(c.exscan<int>(r, m::ReduceOp::Min), std::numeric_limits<int>::max());
+            EXPECT_EQ(c.exscan<int>(r, m::ReduceOp::Max), std::numeric_limits<int>::lowest());
+        } else {
+            EXPECT_EQ(c.exscan<int>(r, m::ReduceOp::Min), 1);
+            EXPECT_EQ(c.exscan<int>(r, m::ReduceOp::Max), c.rank());
+        }
+        // Prefix products.
+        std::int64_t fact = 1;
+        for (int i = 2; i <= r; ++i) fact *= i;
+        EXPECT_EQ(c.scan<std::int64_t>(r, m::ReduceOp::Prod), fact);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MpiScan, ::testing::Values(1, 2, 5, 9));

@@ -1,0 +1,282 @@
+// Unit and property tests for shapes, boxes, hyperslab copies, and
+// partitioning — the geometry underneath the FlexPath MxN redistribution.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <span>
+
+#include "util/ndarray.hpp"
+
+namespace u = sb::util;
+
+TEST(NdShape, VolumeAndStrides) {
+    const u::NdShape s{4, 3, 5};
+    EXPECT_EQ(s.ndim(), 3u);
+    EXPECT_EQ(s.volume(), 60u);
+    EXPECT_EQ(s.strides(), (std::vector<std::uint64_t>{15, 5, 1}));
+}
+
+TEST(NdShape, ScalarShape) {
+    const u::NdShape s{};
+    EXPECT_EQ(s.ndim(), 0u);
+    EXPECT_EQ(s.volume(), 1u);
+    EXPECT_TRUE(s.strides().empty());
+}
+
+TEST(NdShape, ZeroExtentDimension) {
+    const u::NdShape s{4, 0, 5};
+    EXPECT_EQ(s.volume(), 0u);
+}
+
+TEST(NdShape, LinearIndexMatchesStrides) {
+    const u::NdShape s{3, 4, 5};
+    const auto strides = s.strides();
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        for (std::uint64_t j = 0; j < 4; ++j) {
+            for (std::uint64_t k = 0; k < 5; ++k) {
+                const std::uint64_t idx[] = {i, j, k};
+                EXPECT_EQ(s.linear_index(idx),
+                          i * strides[0] + j * strides[1] + k * strides[2]);
+            }
+        }
+    }
+}
+
+TEST(NdShape, LinearIndexRankMismatchThrows) {
+    const u::NdShape s{3, 4};
+    const std::uint64_t idx[] = {1, 2, 3};
+    EXPECT_THROW((void)s.linear_index(idx), std::invalid_argument);
+}
+
+TEST(NdShape, ToString) {
+    EXPECT_EQ((u::NdShape{3, 4}).to_string(), "(3,4)");
+    EXPECT_EQ(u::NdShape{}.to_string(), "()");
+}
+
+TEST(Box, WholeCoversShape) {
+    const u::NdShape s{7, 2};
+    const u::Box b = u::Box::whole(s);
+    EXPECT_EQ(b.offset, (std::vector<std::uint64_t>{0, 0}));
+    EXPECT_EQ(b.count, (std::vector<std::uint64_t>{7, 2}));
+    EXPECT_TRUE(b.within(s));
+    EXPECT_EQ(b.volume(), 14u);
+}
+
+TEST(Box, WithinChecksUpperBound) {
+    const u::NdShape s{10, 10};
+    EXPECT_TRUE(u::Box({5, 5}, {5, 5}).within(s));
+    EXPECT_FALSE(u::Box({5, 5}, {6, 5}).within(s));
+    EXPECT_FALSE(u::Box({0}, {1}).within(s));  // rank mismatch
+}
+
+TEST(Box, EmptyBox) {
+    EXPECT_TRUE(u::Box({0, 0}, {0, 3}).empty());
+    EXPECT_FALSE(u::Box({0, 0}, {1, 3}).empty());
+    // A 0-d box is the scalar box: one element, not empty.
+    EXPECT_FALSE(u::Box{}.empty());
+    EXPECT_EQ(u::Box{}.volume(), 1u);
+}
+
+TEST(Intersect, Disjoint) {
+    EXPECT_FALSE(u::intersect(u::Box({0}, {5}), u::Box({5}, {5})).has_value());
+    EXPECT_FALSE(u::intersect(u::Box({0, 0}, {2, 2}), u::Box({2, 0}, {2, 2})));
+}
+
+TEST(Intersect, Nested) {
+    const auto r = u::intersect(u::Box({0, 0}, {10, 10}), u::Box({3, 4}, {2, 2}));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(*r, u::Box({3, 4}, {2, 2}));
+}
+
+TEST(Intersect, PartialOverlap) {
+    const auto r = u::intersect(u::Box({0, 0}, {6, 6}), u::Box({4, 4}, {6, 6}));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(*r, u::Box({4, 4}, {2, 2}));
+}
+
+TEST(Intersect, RankMismatchThrows) {
+    EXPECT_THROW((void)u::intersect(u::Box({0}, {5}), u::Box({0, 0}, {5, 5})),
+                 std::invalid_argument);
+}
+
+// Property: intersection is commutative and contained in both operands.
+TEST(Intersect, CommutativeAndContained) {
+    for (std::uint64_t ao = 0; ao < 6; ++ao) {
+        for (std::uint64_t ac = 1; ac < 5; ++ac) {
+            for (std::uint64_t bo = 0; bo < 6; ++bo) {
+                for (std::uint64_t bc = 1; bc < 5; ++bc) {
+                    const u::Box a({ao}, {ac}), b({bo}, {bc});
+                    const auto ab = u::intersect(a, b);
+                    const auto ba = u::intersect(b, a);
+                    EXPECT_EQ(ab.has_value(), ba.has_value());
+                    if (ab) {
+                        EXPECT_EQ(*ab, *ba);
+                        EXPECT_GE(ab->offset[0], std::max(ao, bo));
+                        EXPECT_LE(ab->offset[0] + ab->count[0],
+                                  std::min(ao + ac, bo + bc));
+                    }
+                }
+            }
+        }
+    }
+}
+
+namespace {
+
+std::vector<std::byte> make_pattern(const u::Box& box) {
+    // Element value = its global linear coordinate hash, so misplaced copies
+    // are always detected.
+    std::vector<double> vals(box.volume());
+    std::vector<std::uint64_t> idx(box.offset);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        double v = 0.0;
+        for (std::size_t d = 0; d < box.ndim(); ++d) {
+            v = v * 1000.0 + static_cast<double>(idx[d]);
+        }
+        vals[i] = v;
+        for (std::size_t d = box.ndim(); d-- > 0;) {
+            if (++idx[d] < box.offset[d] + box.count[d]) break;
+            idx[d] = box.offset[d];
+            if (d == 0) break;
+        }
+    }
+    std::vector<std::byte> out(vals.size() * sizeof(double));
+    std::memcpy(out.data(), vals.data(), out.size());
+    return out;
+}
+
+}  // namespace
+
+TEST(CopyBox, IdentityCopy) {
+    const u::Box box({2, 3}, {4, 5});
+    const auto src = make_pattern(box);
+    std::vector<std::byte> dst(src.size());
+    u::copy_box(src, box, dst, box, box, sizeof(double));
+    EXPECT_EQ(src, dst);
+}
+
+TEST(CopyBox, ScalarCopy) {
+    const double v = 42.0;
+    double w = 0.0;
+    u::copy_box(std::as_bytes(std::span(&v, 1)), u::Box{},
+                std::as_writable_bytes(std::span(&w, 1)), u::Box{}, u::Box{},
+                sizeof(double));
+    EXPECT_EQ(w, 42.0);
+}
+
+// Property: copying every region of a 2-D array between differently-offset
+// slabs lands each element at its correct global coordinate.
+TEST(CopyBox, AllRegions2D) {
+    const u::Box src_box({1, 2}, {5, 6});
+    const u::Box dst_box({0, 0}, {8, 9});
+    const auto src = make_pattern(src_box);
+    for (std::uint64_t ro = 1; ro < 5; ++ro) {
+        for (std::uint64_t co = 2; co < 7; ++co) {
+            for (std::uint64_t rc = 1; rc <= 6 - ro; ++rc) {
+                for (std::uint64_t cc = 1; cc <= 8 - co; ++cc) {
+                    const u::Box region({ro, co}, {rc, cc});
+                    std::vector<std::byte> dst(dst_box.volume() * sizeof(double),
+                                               std::byte{0});
+                    u::copy_box(src, src_box, dst, dst_box, region, sizeof(double));
+                    // Verify each element of the region.
+                    for (std::uint64_t r = ro; r < ro + rc; ++r) {
+                        for (std::uint64_t c = co; c < co + cc; ++c) {
+                            double got;
+                            const std::size_t off =
+                                ((r - 0) * 9 + (c - 0)) * sizeof(double);
+                            std::memcpy(&got, dst.data() + off, sizeof(double));
+                            EXPECT_EQ(got, static_cast<double>(r * 1000 + c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(CopyBox, ThreeDimensional) {
+    const u::Box src_box({0, 0, 0}, {3, 4, 5});
+    const u::Box dst_box({1, 1, 1}, {2, 3, 4});
+    const u::Box region({1, 1, 1}, {2, 3, 4});
+    const auto src = make_pattern(src_box);
+    std::vector<std::byte> dst(dst_box.volume() * sizeof(double));
+    u::copy_box(src, src_box, dst, dst_box, region, sizeof(double));
+    double got;
+    std::memcpy(&got, dst.data(), sizeof(double));  // first element = (1,1,1)
+    EXPECT_EQ(got, 1001001.0);
+}
+
+TEST(CopyBox, EmptyRegionIsNoop) {
+    const u::Box box({0}, {4});
+    const auto src = make_pattern(box);
+    std::vector<std::byte> dst(src.size(), std::byte{7});
+    u::copy_box(src, box, dst, box, u::Box({0}, {0}), sizeof(double));
+    EXPECT_EQ(dst, std::vector<std::byte>(src.size(), std::byte{7}));
+}
+
+// ---- partitioning --------------------------------------------------------
+
+class PartitionRange : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionRange, CoversExactlyOnceAndBalanced) {
+    const auto [n_i, size] = GetParam();
+    const std::uint64_t n = static_cast<std::uint64_t>(n_i);
+    std::uint64_t covered = 0;
+    std::uint64_t prev_end = 0;
+    std::uint64_t minc = UINT64_MAX, maxc = 0;
+    for (int r = 0; r < size; ++r) {
+        const auto [off, cnt] = u::partition_range(n, r, size);
+        EXPECT_EQ(off, prev_end);  // contiguous, ordered
+        prev_end = off + cnt;
+        covered += cnt;
+        minc = std::min(minc, cnt);
+        maxc = std::max(maxc, cnt);
+    }
+    EXPECT_EQ(covered, n);
+    EXPECT_LE(maxc - minc, 1u);  // "approximately equal amount of data"
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionRange,
+                         ::testing::Combine(::testing::Values(0, 1, 5, 16, 17, 100, 1023),
+                                            ::testing::Values(1, 2, 3, 7, 16, 33)));
+
+TEST(PartitionRange, BadArgsThrow) {
+    EXPECT_THROW((void)u::partition_range(10, -1, 4), std::invalid_argument);
+    EXPECT_THROW((void)u::partition_range(10, 4, 4), std::invalid_argument);
+    EXPECT_THROW((void)u::partition_range(10, 0, 0), std::invalid_argument);
+}
+
+TEST(PartitionAlong, SlabsPartitionTheShape) {
+    const u::NdShape s{10, 6, 4};
+    for (std::size_t dim = 0; dim < 3; ++dim) {
+        std::uint64_t total = 0;
+        for (int r = 0; r < 4; ++r) {
+            const u::Box b = u::partition_along(s, dim, r, 4);
+            EXPECT_TRUE(b.within(s));
+            total += b.volume();
+            for (std::size_t d = 0; d < 3; ++d) {
+                if (d != dim) {
+                    EXPECT_EQ(b.offset[d], 0u);
+                    EXPECT_EQ(b.count[d], s[d]);
+                }
+            }
+        }
+        EXPECT_EQ(total, s.volume());
+    }
+}
+
+TEST(PartitionAlong, MoreRanksThanExtent) {
+    const u::NdShape s{2, 8};
+    int nonempty = 0;
+    for (int r = 0; r < 5; ++r) {
+        const u::Box b = u::partition_along(s, 0, r, 5);
+        if (!b.empty()) ++nonempty;
+    }
+    EXPECT_EQ(nonempty, 2);
+}
+
+TEST(PartitionAlong, BadDimThrows) {
+    EXPECT_THROW((void)u::partition_along(u::NdShape{4}, 1, 0, 2),
+                 std::invalid_argument);
+}

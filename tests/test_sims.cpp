@@ -1,0 +1,291 @@
+// Tests for the simulation drivers: deck configuration, physical sanity,
+// and — critically — rank-count independence: the data a workflow sees must
+// not depend on how many processes the simulation used.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <thread>
+
+#include "adios/reader.hpp"
+#include "core/registry.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/crack_sim.hpp"
+#include "sim/md_sim.hpp"
+#include "sim/source_component.hpp"
+#include "sim/toroid_sim.hpp"
+
+namespace sim = sb::sim;
+namespace core = sb::core;
+namespace fp = sb::flexpath;
+namespace a = sb::adios;
+namespace u = sb::util;
+
+namespace {
+
+/// Runs a registered simulation driver with `nprocs` ranks and collects all
+/// steps of its output stream.
+std::vector<std::vector<double>> run_and_collect(const std::string& component,
+                                                 const std::vector<std::string>& args,
+                                                 int nprocs, const std::string& stream,
+                                                 const std::string& array,
+                                                 std::map<std::string, std::vector<std::string>>* attrs = nullptr,
+                                                 std::vector<std::string>* labels = nullptr) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    std::jthread driver([&] {
+        sb::mpi::run_ranks(nprocs, [&](sb::mpi::Communicator& comm) {
+            auto c = core::make_component(component);
+            core::RunContext ctx{fabric, comm, nullptr, {}};
+            c->run(ctx, u::ArgList(args));
+        });
+    });
+    std::vector<std::vector<double>> out;
+    a::Reader r(fabric, stream, 0, 1);
+    while (r.begin_step()) {
+        const a::VarInfo info = r.inq_var(array);
+        if (attrs) *attrs = r.string_attributes();
+        if (labels) *labels = info.dim_labels;
+        out.push_back(r.read<double>(array, u::Box::whole(info.shape)));
+        r.end_step();
+    }
+    return out;
+}
+
+}  // namespace
+
+// ---- Deck -------------------------------------------------------------------
+
+TEST(Deck, InlineKeyValues) {
+    const sim::Deck d = sim::Deck::from_args(u::ArgList({"rows=8", "pull=0.5",
+                                                         "output=false", "name=x"}));
+    EXPECT_EQ(d.get_u64("rows", 0), 8u);
+    EXPECT_DOUBLE_EQ(d.get_double("pull", 0), 0.5);
+    EXPECT_FALSE(d.get_bool("output", true));
+    EXPECT_EQ(d.get("name", ""), "x");
+    EXPECT_EQ(d.get_u64("missing", 42), 42u);
+    EXPECT_TRUE(d.has("rows"));
+    EXPECT_FALSE(d.has("cols"));
+}
+
+TEST(Deck, FromFileWithCommentsAndSpaces) {
+    const std::string path = ::testing::TempDir() + "/sb_deck.in";
+    std::ofstream(path) << "# crack input deck\n"
+                        << "rows = 16\n"
+                        << "cols=24   # inline comment\n"
+                        << "\n"
+                        << "stream = dump.fp\n";
+    const sim::Deck d = sim::Deck::from_file(path);
+    EXPECT_EQ(d.get_u64("rows", 0), 16u);
+    EXPECT_EQ(d.get_u64("cols", 0), 24u);
+    EXPECT_EQ(d.get("stream", ""), "dump.fp");
+    EXPECT_THROW((void)sim::Deck::from_file("/no/such/deck"), u::ArgError);
+}
+
+TEST(Deck, LaterSettingsWin) {
+    const std::string path = ::testing::TempDir() + "/sb_deck2.in";
+    std::ofstream(path) << "rows = 16\n";
+    const sim::Deck d = sim::Deck::from_args(u::ArgList({path, "rows=99"}));
+    EXPECT_EQ(d.get_u64("rows", 0), 99u);
+}
+
+TEST(Deck, BadValuesThrow) {
+    const sim::Deck d = sim::Deck::from_args(u::ArgList({"n=abc", "b=maybe"}));
+    EXPECT_THROW((void)d.get_u64("n", 0), u::ArgError);
+    EXPECT_THROW((void)d.get_double("n", 0), u::ArgError);
+    EXPECT_THROW((void)d.get_bool("b", false), u::ArgError);
+}
+
+TEST(HashNoise, DeterministicAndBounded) {
+    EXPECT_EQ(sim::hash_noise(1, 2, 3), sim::hash_noise(1, 2, 3));
+    EXPECT_NE(sim::hash_noise(1, 2, 3), sim::hash_noise(1, 2, 4));
+    double mean = 0.0;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const double v = sim::hash_noise(i, i * 7, 13);
+        EXPECT_GE(v, -1.0);
+        EXPECT_LT(v, 1.0);
+        mean += v;
+    }
+    EXPECT_LT(std::abs(mean / 1000.0), 0.1);  // roughly centred
+}
+
+// ---- CrackSim ------------------------------------------------------------------
+
+TEST(CrackSim, CrackPropagatesFromNotchTip) {
+    sim::CrackSimParams p;
+    p.rows = 24;
+    p.cols = 24;
+    sim::CrackSim s(p, 0, p.rows);
+    EXPECT_EQ(s.broken_bonds(), 0u);
+    EXPECT_EQ(s.crack_extent(), 0u);
+    std::uint64_t extent_mid = 0;
+    for (int i = 0; i < 600; ++i) {
+        s.substep({}, {});
+        if (i == 299) extent_mid = s.crack_extent();
+    }
+    // The strain must tear bonds beyond the pre-cut notch, along the notch
+    // row (a propagating crack, not boundary shear), progressively.
+    EXPECT_GT(extent_mid, 0u);
+    EXPECT_GE(s.crack_extent(), extent_mid);
+    EXPECT_GE(s.broken_bonds(), s.crack_extent());
+    EXPECT_GT(s.kinetic_energy(), 0.0);
+    for (double v : s.dump()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CrackSim, DumpSchema) {
+    sim::CrackSimParams p;
+    p.rows = 4;
+    p.cols = 3;
+    sim::CrackSim s(p, 0, 4);
+    const auto d = s.dump();
+    ASSERT_EQ(d.size(), 4u * 3u * 5u);
+    EXPECT_EQ(d[0], 1.0);        // ID of the first particle
+    EXPECT_EQ(d[1], 2.0);        // Type: top row is boundary
+    EXPECT_EQ(d[3 * 5 * 1 + 1], 1.0);  // second row: interior
+    EXPECT_EQ(d[3 * 5 * 3 + 1], 2.0);  // bottom row: boundary
+    EXPECT_EQ(d[5], 2.0);        // second particle's ID
+}
+
+TEST(CrackSim, ParamsFromDeckValidates) {
+    sim::Deck d;
+    d.set("rows", "1");
+    EXPECT_THROW((void)sim::CrackSimParams::from_deck(d), u::ArgError);
+    sim::Deck ok;
+    ok.set("rows", "8");
+    ok.set("cols", "6");
+    ok.set("steps", "2");
+    const auto p = sim::CrackSimParams::from_deck(ok);
+    EXPECT_EQ(p.particles(), 48u);
+    EXPECT_EQ(p.bytes_per_step(), 48u * 5 * 8);
+    EXPECT_EQ(p.notch, 6u / 4);
+}
+
+class CrackSimRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrackSimRanks, OutputIndependentOfRankCount) {
+    const std::vector<std::string> args = {"rows=12", "cols=10", "steps=3",
+                                           "substeps=4", "stream=lmp.fp"};
+    const auto ref = run_and_collect("lammps", args, 1, "lmp.fp", "atoms");
+    const auto got = run_and_collect("lammps", args, GetParam(), "lmp.fp", "atoms");
+    ASSERT_EQ(ref.size(), 3u);
+    ASSERT_EQ(got.size(), 3u);
+    for (std::size_t t = 0; t < ref.size(); ++t) {
+        ASSERT_EQ(got[t].size(), ref[t].size());
+        for (std::size_t i = 0; i < ref[t].size(); ++i) {
+            ASSERT_DOUBLE_EQ(got[t][i], ref[t][i]) << "step " << t << " elem " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CrackSimRanks, ::testing::Values(2, 3, 5));
+
+TEST(CrackSimComponent, HeaderAndLabels) {
+    std::map<std::string, std::vector<std::string>> attrs;
+    std::vector<std::string> labels;
+    const auto steps = run_and_collect("lammps", {"rows=6", "cols=4", "steps=1"}, 2,
+                                       "dump.custom.fp", "atoms", &attrs, &labels);
+    ASSERT_EQ(steps.size(), 1u);
+    EXPECT_EQ(steps[0].size(), 6u * 4 * 5);
+    EXPECT_EQ(attrs.at("atoms.header.1"),
+              (std::vector<std::string>{"ID", "Type", "vx", "vy", "vz"}));
+    EXPECT_EQ(labels, (std::vector<std::string>{"natoms", "nquantities"}));
+}
+
+// ---- ToroidSim -------------------------------------------------------------------
+
+TEST(ToroidField, DeterministicAndFinite) {
+    sim::ToroidSimParams p;
+    p.slices = 4;
+    p.gridpoints = 16;
+    const sim::ToroidField f(p);
+    std::vector<double> a(16 * 7), b(16 * 7);
+    f.evaluate(2, 0, 16, 5, a);
+    f.evaluate(2, 0, 16, 5, b);
+    EXPECT_EQ(a, b);
+    for (double v : a) EXPECT_TRUE(std::isfinite(v));
+    // Density and temperature stay physically positive.
+    for (std::size_t g = 0; g < 16; ++g) {
+        EXPECT_GT(a[g * 7 + 0], 0.0);
+        EXPECT_GT(a[g * 7 + 1], 0.0);
+    }
+}
+
+TEST(ToroidField, RangeEvaluationMatchesPointwise) {
+    sim::ToroidSimParams p;
+    p.slices = 3;
+    p.gridpoints = 20;
+    const sim::ToroidField f(p);
+    std::vector<double> whole(20 * 7), part(5 * 7);
+    f.evaluate(1, 0, 20, 2, whole);
+    f.evaluate(1, 10, 5, 2, part);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+        EXPECT_EQ(part[i], whole[10 * 7 + i]);
+    }
+}
+
+TEST(ToroidField, EvolvesOverTime) {
+    sim::ToroidSimParams p;
+    const sim::ToroidField f(p);
+    std::vector<double> t0(p.gridpoints * 7), t1(p.gridpoints * 7);
+    f.evaluate(0, 0, p.gridpoints, 0, t0);
+    f.evaluate(0, 0, p.gridpoints, 7, t1);
+    EXPECT_NE(t0, t1);
+}
+
+class ToroidSimRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToroidSimRanks, OutputIndependentOfRankCount) {
+    const std::vector<std::string> args = {"slices=3", "gridpoints=14", "steps=2",
+                                           "stream=g.fp"};
+    const auto ref = run_and_collect("gtcp", args, 1, "g.fp", "field3d");
+    const auto got = run_and_collect("gtcp", args, GetParam(), "g.fp", "field3d");
+    ASSERT_EQ(ref.size(), 2u);
+    ASSERT_EQ(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ToroidSimRanks, ::testing::Values(2, 4, 7));
+
+TEST(ToroidSimComponent, SchemaMatchesPaper) {
+    std::map<std::string, std::vector<std::string>> attrs;
+    std::vector<std::string> labels;
+    const auto steps = run_and_collect("gtcp", {"slices=2", "gridpoints=6", "steps=1"},
+                                       2, "gtcp.fp", "field3d", &attrs, &labels);
+    ASSERT_EQ(steps.size(), 1u);
+    EXPECT_EQ(steps[0].size(), 2u * 6 * 7);
+    EXPECT_EQ(attrs.at("field3d.header.2"), sim::kToroidQuantities);
+    EXPECT_EQ(labels, (std::vector<std::string>{"ntoroidal", "ngridpoints",
+                                                "nquantities"}));
+}
+
+// ---- MdSim -----------------------------------------------------------------------
+
+TEST(MdSim, AtomsSpreadOverTime) {
+    sim::MdSimParams p;
+    p.atoms = 200;
+    sim::MdSim s(p, 0, p.atoms);
+    const double r0 = s.mean_radius();
+    for (std::uint64_t t = 0; t < 100; ++t) s.substep(t);
+    EXPECT_GT(s.mean_radius(), r0 * 1.5);  // outward drift dominates
+    for (double v : s.coords()) EXPECT_TRUE(std::isfinite(v));
+}
+
+class MdSimRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(MdSimRanks, OutputIndependentOfRankCount) {
+    const std::vector<std::string> args = {"atoms=37", "steps=2", "substeps=3",
+                                           "stream=md.fp"};
+    const auto ref = run_and_collect("gromacs", args, 1, "md.fp", "coords");
+    const auto got = run_and_collect("gromacs", args, GetParam(), "md.fp", "coords");
+    ASSERT_EQ(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MdSimRanks, ::testing::Values(2, 5, 8));
+
+TEST(MdSimComponent, SchemaMatchesPaper) {
+    std::map<std::string, std::vector<std::string>> attrs;
+    const auto steps = run_and_collect("gromacs", {"atoms=10", "steps=2"}, 1, "gmx.fp",
+                                       "coords", &attrs);
+    ASSERT_EQ(steps.size(), 2u);
+    EXPECT_EQ(steps[0].size(), 30u);
+    EXPECT_EQ(attrs.at("coords.header.1"), (std::vector<std::string>{"x", "y", "z"}));
+}

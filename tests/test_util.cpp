@@ -1,0 +1,233 @@
+// Tests for the utility layer: argument parsing, statistics, logging
+// configuration, and the bounded blocking queue that underlies FlexPath's
+// writer-side buffering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/argparse.hpp"
+#include "util/logging.hpp"
+#include "util/queue.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace u = sb::util;
+
+// ---- ArgList ---------------------------------------------------------------
+
+TEST(ArgList, PositionalAccess) {
+    const u::ArgList args({"stream.fp", "atoms", "3", "-2", "2.5"});
+    EXPECT_EQ(args.size(), 5u);
+    EXPECT_EQ(args.str(0, "s"), "stream.fp");
+    EXPECT_EQ(args.integer(2, "i"), 3);
+    EXPECT_EQ(args.integer(3, "i"), -2);
+    EXPECT_EQ(args.unsigned_integer(2, "u"), 3u);
+    EXPECT_DOUBLE_EQ(args.real(4, "r"), 2.5);
+}
+
+TEST(ArgList, MissingArgumentNamesParameter) {
+    const u::ArgList args({"only"});
+    try {
+        (void)args.str(1, "output-stream-name");
+        FAIL() << "expected ArgError";
+    } catch (const u::ArgError& e) {
+        EXPECT_NE(std::string(e.what()).find("output-stream-name"), std::string::npos);
+    }
+}
+
+TEST(ArgList, BadIntegerThrows) {
+    const u::ArgList args({"3x"});
+    EXPECT_THROW((void)args.integer(0, "n"), u::ArgError);
+    EXPECT_THROW((void)args.real(0, "n"), u::ArgError);
+}
+
+TEST(ArgList, NegativeUnsignedThrows) {
+    const u::ArgList args({"-1"});
+    EXPECT_THROW((void)args.unsigned_integer(0, "n"), u::ArgError);
+}
+
+TEST(ArgList, Rest) {
+    const u::ArgList args({"a", "b", "c"});
+    EXPECT_EQ(args.rest(1), (std::vector<std::string>{"b", "c"}));
+    EXPECT_TRUE(args.rest(3).empty());
+    EXPECT_TRUE(args.rest(99).empty());
+}
+
+TEST(ArgList, RequireAtLeastIncludesUsage) {
+    const u::ArgList args({"a"});
+    try {
+        args.require_at_least(3, "select in out ...");
+        FAIL();
+    } catch (const u::ArgError& e) {
+        EXPECT_NE(std::string(e.what()).find("select in out"), std::string::npos);
+    }
+}
+
+TEST(ArgList, SplitOnWhitespace) {
+    const u::ArgList args = u::ArgList::split("  select  a\tb \n c ");
+    EXPECT_EQ(args.raw(), (std::vector<std::string>{"select", "a", "b", "c"}));
+}
+
+// ---- stats -----------------------------------------------------------------
+
+TEST(Stats, Summary) {
+    const double xs[] = {1.0, 2.0, 3.0, 4.0};
+    const auto s = u::summarize(xs);
+    EXPECT_EQ(s.n, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, 1.1180339887, 1e-9);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+    const auto s = u::summarize({});
+    EXPECT_EQ(s.n, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Percentile) {
+    const double xs[] = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(u::percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(u::percentile(xs, 100), 4.0);
+    EXPECT_DOUBLE_EQ(u::percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, Formatting) {
+    EXPECT_EQ(u::format_bytes(512), "512.0 B");
+    EXPECT_EQ(u::format_bytes(2048), "2.0 KB");
+    EXPECT_EQ(u::format_rate(3.0 * 1024 * 1024), "3.0 MB/s");
+}
+
+// ---- logging ---------------------------------------------------------------
+
+TEST(Logging, ParseLevels) {
+    EXPECT_EQ(u::parse_log_level("debug"), u::LogLevel::Debug);
+    EXPECT_EQ(u::parse_log_level("WARN"), u::LogLevel::Warn);
+    EXPECT_EQ(u::parse_log_level("off"), u::LogLevel::Off);
+    EXPECT_THROW((void)u::parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST(Logging, SetAndGet) {
+    const auto prev = u::log_level();
+    u::set_log_level(u::LogLevel::Error);
+    EXPECT_EQ(u::log_level(), u::LogLevel::Error);
+    EXPECT_FALSE(SB_LOG_ENABLED(Debug));
+    EXPECT_TRUE(SB_LOG_ENABLED(Error));
+    u::set_log_level(prev);
+}
+
+// ---- WallTimer -------------------------------------------------------------
+
+TEST(WallTimer, MeasuresElapsed) {
+    u::WallTimer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(t.millis(), 5.0);
+    t.reset();
+    EXPECT_LT(t.millis(), 5.0);
+}
+
+// ---- BoundedQueue ----------------------------------------------------------
+
+TEST(BoundedQueue, FifoOrder) {
+    u::BoundedQueue<int> q(4);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BoundedQueue, TryPopEmpty) {
+    u::BoundedQueue<int> q(2);
+    EXPECT_FALSE(q.try_pop().has_value());
+    q.push(1);
+    EXPECT_EQ(q.try_pop(), 1);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+    u::BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_FALSE(q.push(3));  // rejected after close
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_FALSE(q.pop().has_value());  // end of stream
+}
+
+TEST(BoundedQueue, CapacityBlocksProducer) {
+    u::BoundedQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    std::atomic<bool> second_pushed{false};
+    std::jthread producer([&] {
+        q.push(2);
+        second_pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(second_pushed.load());  // blocked on the full queue
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, RendezvousBlocksUntilConsumed) {
+    u::BoundedQueue<int> q(0);
+    std::atomic<bool> push_returned{false};
+    std::jthread producer([&] {
+        q.push(7);
+        push_returned.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(push_returned.load());  // waiting for the consumer
+    EXPECT_EQ(q.pop(), 7);
+    // After the pop, the producer must complete promptly.
+    for (int i = 0; i < 500 && !push_returned.load(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(push_returned.load());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+    u::BoundedQueue<int> q(2);
+    std::jthread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        q.close();
+    });
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+    u::BoundedQueue<int> q(3);
+    constexpr int kPerProducer = 50;
+    constexpr int kProducers = 4;
+    std::atomic<int> sum{0};
+    std::atomic<int> popped{0};
+    {
+        std::vector<std::jthread> threads;
+        for (int p = 0; p < kProducers; ++p) {
+            threads.emplace_back([&q, p] {
+                for (int i = 0; i < kPerProducer; ++i) {
+                    q.push(p * kPerProducer + i);
+                }
+            });
+        }
+        for (int c = 0; c < 3; ++c) {
+            threads.emplace_back([&] {
+                while (auto v = q.pop()) {
+                    sum += *v;
+                    ++popped;
+                }
+            });
+        }
+        // Close once all producers finished.
+        threads.emplace_back([&] {
+            while (popped.load() + static_cast<int>(q.size()) <
+                   kProducers * kPerProducer) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            q.close();
+        });
+    }
+    const int n = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}

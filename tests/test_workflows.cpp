@@ -1,0 +1,361 @@
+// End-to-end workflow tests: the three workflows of the paper's evaluation
+// (Figs. 5-7) assembled exactly as their launch scripts describe, validated
+// against independently computed references; the AIO-vs-SmartBlock
+// equivalence behind Table II; DAG workflows via Fork; and failure
+// propagation across a running graph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "adios/reader.hpp"
+#include "core/file_io.hpp"
+#include "core/histogram.hpp"
+#include "core/launch_script.hpp"
+#include "core/workflow.hpp"
+#include "sim/source_component.hpp"
+
+namespace core = sb::core;
+namespace sim = sb::sim;
+namespace fp = sb::flexpath;
+namespace a = sb::adios;
+namespace u = sb::util;
+
+namespace {
+
+std::string tmp(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+/// Collects the per-step full arrays a simulation driver emits (reference
+/// path: 1 rank, straight off the stream).
+std::vector<std::vector<double>> sim_reference(const std::string& component,
+                                               const std::vector<std::string>& args,
+                                               const std::string& stream,
+                                               const std::string& array) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    std::vector<std::vector<double>> out;
+    core::Workflow wf(fabric);
+    wf.add(component, 1, args);
+    std::jthread driver([&] { wf.run(); });
+    a::Reader r(fabric, stream, 0, 1);
+    while (r.begin_step()) {
+        out.push_back(r.read<double>(array, u::Box::whole(r.inq_var(array).shape)));
+        r.end_step();
+    }
+    return out;
+}
+
+core::HistogramResult reference_histogram(const std::vector<double>& values,
+                                          std::size_t bins, std::uint64_t step) {
+    double lo = values.at(0), hi = values.at(0);
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    core::HistogramResult h;
+    h.step = step;
+    h.min = lo;
+    h.max = hi;
+    h.counts = core::histogram_counts(values, lo, hi, bins);
+    return h;
+}
+
+void expect_histograms_match(const std::vector<core::HistogramResult>& got,
+                             const std::vector<core::HistogramResult>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t t = 0; t < want.size(); ++t) {
+        EXPECT_EQ(got[t].step, want[t].step) << "step " << t;
+        EXPECT_NEAR(got[t].min, want[t].min, 1e-12) << "step " << t;
+        EXPECT_NEAR(got[t].max, want[t].max, 1e-12) << "step " << t;
+        EXPECT_EQ(got[t].counts, want[t].counts) << "step " << t;
+    }
+}
+
+}  // namespace
+
+// ---- Fig. 5: the LAMMPS workflow -------------------------------------------
+
+TEST(PaperWorkflows, LammpsVelocityHistogram) {
+    sim::register_simulations();
+    const std::string hist_file = tmp("wf_lammps_hist.txt");
+    const std::string sim_args = "rows=10 cols=8 steps=3 substeps=4";
+
+    // Reference: sim output -> select vx,vy,vz -> |v| -> histogram, computed
+    // directly from the (deterministic) simulation data.
+    const auto raw = sim_reference("lammps", u::ArgList::split(sim_args).raw(),
+                                   "dump.custom.fp", "atoms");
+    ASSERT_EQ(raw.size(), 3u);
+    std::vector<core::HistogramResult> want;
+    for (std::size_t t = 0; t < raw.size(); ++t) {
+        std::vector<double> mags;
+        for (std::size_t i = 0; i < raw[t].size(); i += 5) {
+            const double vx = raw[t][i + 2], vy = raw[t][i + 3], vz = raw[t][i + 4];
+            mags.push_back(std::sqrt(vx * vx + vy * vy + vz * vz));
+        }
+        want.push_back(reference_histogram(mags, 16, t));
+    }
+
+    // The workflow, assembled from the Fig. 8 launch script (scaled down).
+    fp::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        "aprun -n 2 histogram velos.fp velocities 16 " + hist_file + " &\n"
+        "aprun -n 3 magnitude lmpselect.fp lmpsel velos.fp velocities &\n"
+        "aprun -n 3 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &\n"
+        "aprun -n 4 lammps " + sim_args + " &\n"
+        "wait\n");
+    wf.run();
+    EXPECT_GT(wf.elapsed_seconds(), 0.0);
+
+    expect_histograms_match(core::read_histogram_file(hist_file), want);
+}
+
+// ---- Fig. 6: the GTCP workflow ----------------------------------------------
+
+TEST(PaperWorkflows, GtcpPressureHistogram) {
+    sim::register_simulations();
+    const std::string hist_file = tmp("wf_gtcp_hist.txt");
+    const std::string sim_args = "slices=4 gridpoints=18 steps=2";
+
+    const auto raw =
+        sim_reference("gtcp", u::ArgList::split(sim_args).raw(), "gtcp.fp", "field3d");
+    ASSERT_EQ(raw.size(), 2u);
+    std::vector<core::HistogramResult> want;
+    for (std::size_t t = 0; t < raw.size(); ++t) {
+        // perpendicular_pressure is quantity index 3 of 7.
+        std::vector<double> pperp;
+        for (std::size_t i = 3; i < raw[t].size(); i += 7) pperp.push_back(raw[t][i]);
+        want.push_back(reference_histogram(pperp, 12, t));
+    }
+
+    fp::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        "aprun -n 4 gtcp " + sim_args + " &\n"
+        "aprun -n 3 select gtcp.fp field3d 2 psel.fp pp perpendicular_pressure &\n"
+        "aprun -n 2 dim-reduce psel.fp pp 2 1 pflat1.fp pp1 &\n"
+        "aprun -n 2 dim-reduce pflat1.fp pp1 0 1 pflat2.fp pp2 &\n"
+        "aprun -n 2 histogram pflat2.fp pp2 12 " + hist_file + " &\n"
+        "wait\n");
+    wf.run();
+
+    expect_histograms_match(core::read_histogram_file(hist_file), want);
+}
+
+// ---- Fig. 7: the GROMACS workflow ---------------------------------------------
+
+TEST(PaperWorkflows, GromacsSpreadHistogram) {
+    sim::register_simulations();
+    const std::string hist_file = tmp("wf_gmx_hist.txt");
+    const std::string sim_args = "atoms=64 steps=3 substeps=3";
+
+    const auto raw =
+        sim_reference("gromacs", u::ArgList::split(sim_args).raw(), "gmx.fp", "coords");
+    std::vector<core::HistogramResult> want;
+    for (std::size_t t = 0; t < raw.size(); ++t) {
+        std::vector<double> radii;
+        for (std::size_t i = 0; i < raw[t].size(); i += 3) {
+            radii.push_back(std::sqrt(raw[t][i] * raw[t][i] +
+                                      raw[t][i + 1] * raw[t][i + 1] +
+                                      raw[t][i + 2] * raw[t][i + 2]));
+        }
+        want.push_back(reference_histogram(radii, 10, t));
+    }
+
+    fp::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        "aprun -n 3 gromacs " + sim_args + " &\n"
+        "aprun -n 2 magnitude gmx.fp coords radii.fp radii &\n"
+        "aprun -n 1 histogram radii.fp radii 10 " + hist_file + " &\n"
+        "wait\n");
+    wf.run();
+
+    // The spread of the atoms grows over the run (the paper's observable).
+    const auto got = core::read_histogram_file(hist_file);
+    expect_histograms_match(got, want);
+    EXPECT_GT(got.back().max, got.front().max);
+}
+
+// ---- Table II: SmartBlock vs all-in-one equivalence ----------------------------
+
+TEST(PaperWorkflows, AioProducesIdenticalHistograms) {
+    sim::register_simulations();
+    const std::string sb_file = tmp("wf_sb_hist.txt");
+    const std::string aio_file = tmp("wf_aio_hist.txt");
+    const std::string sim_args = "rows=8 cols=8 steps=2 substeps=3";
+
+    {
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 lammps " + sim_args + " &\n"
+            "aprun -n 2 select dump.custom.fp atoms 1 s.fp v vx vy vz &\n"
+            "aprun -n 2 magnitude s.fp v m.fp mag &\n"
+            "aprun -n 1 histogram m.fp mag 8 " + sb_file + " &\n");
+        wf.run();
+    }
+    {
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 lammps " + sim_args + " &\n"
+            "aprun -n 2 aio dump.custom.fp atoms 1 8 " + aio_file + " vx vy vz &\n");
+        wf.run();
+    }
+
+    // The generic, componentized pipeline and the custom fused code must
+    // produce the *same* analysis (that's the Table II premise).
+    expect_histograms_match(core::read_histogram_file(sb_file),
+                            core::read_histogram_file(aio_file));
+}
+
+// ---- DAG workflow via Fork ------------------------------------------------------
+
+TEST(ExtendedWorkflows, ForkFansOutToTwoAnalyses) {
+    sim::register_simulations();
+    const std::string h1 = tmp("wf_fork_h1.txt");
+    const std::string h2 = tmp("wf_fork_h2.txt");
+
+    fp::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        // gromacs -> fork -> (magnitude -> histogram) and (select x -> ... )
+        "aprun -n 2 gromacs atoms=48 steps=2 substeps=2 &\n"
+        "aprun -n 2 fork gmx.fp coords b1.fp c1 b2.fp c2 &\n"
+        "aprun -n 2 magnitude b1.fp c1 m1.fp r1 &\n"
+        "aprun -n 1 histogram m1.fp r1 6 " + h1 + " &\n"
+        "aprun -n 2 select b2.fp c2 1 sx.fp x x &\n"
+        "aprun -n 1 dim-reduce sx.fp x 1 0 fx.fp xflat &\n"
+        "aprun -n 1 histogram fx.fp xflat 6 " + h2 + " &\n");
+    wf.run();
+
+    const auto r1 = core::read_histogram_file(h1);
+    const auto r2 = core::read_histogram_file(h2);
+    ASSERT_EQ(r1.size(), 2u);
+    ASSERT_EQ(r2.size(), 2u);
+    EXPECT_EQ(r1[0].total(), 48u);  // all atoms' |x|
+    EXPECT_EQ(r2[0].total(), 48u);  // all atoms' x coordinate
+}
+
+// ---- offline stage via the file endpoints ----------------------------------------
+
+TEST(ExtendedWorkflows, TwoPhaseWorkflowThroughDisk) {
+    sim::register_simulations();
+    const std::string prefix = tmp("wf_disk");
+    const std::string hist_file = tmp("wf_disk_hist.txt");
+    for (int s = 0; s < 4; ++s) std::filesystem::remove(core::step_file_path(prefix, s));
+
+    {  // Phase 1: run the simulation now, park its output on disk.
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 gromacs atoms=32 steps=2 stream=gmx.fp &\n"
+            "aprun -n 2 file-writer gmx.fp coords " + prefix + " &\n");
+        wf.run();
+    }
+    {  // Phase 2: analyze later, no simulation running.
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 file-reader " + prefix + " replay.fp coords &\n"
+            "aprun -n 2 magnitude replay.fp coords m.fp r &\n"
+            "aprun -n 1 histogram m.fp r 5 " + hist_file + " &\n");
+        wf.run();
+    }
+    const auto hists = core::read_histogram_file(hist_file);
+    ASSERT_EQ(hists.size(), 2u);
+    EXPECT_EQ(hists[0].total(), 32u);
+}
+
+// ---- data-increasing analytics ----------------------------------------------------
+
+TEST(ExtendedWorkflows, AllPairsThenHistogram) {
+    sim::register_simulations();
+    const std::string hist_file = tmp("wf_ap_hist.txt");
+    fp::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        "aprun -n 1 gromacs atoms=12 steps=1 &\n"
+        "aprun -n 1 magnitude gmx.fp coords m.fp r &\n"
+        "aprun -n 2 all-pairs m.fp r ap.fp dists &\n"
+        "aprun -n 1 dim-reduce ap.fp dists 1 0 flat.fp d1 &\n"
+        "aprun -n 1 histogram flat.fp d1 4 " + hist_file + " &\n");
+    wf.run();
+    const auto hists = core::read_histogram_file(hist_file);
+    ASSERT_EQ(hists.size(), 1u);
+    EXPECT_EQ(hists[0].total(), 144u);  // n^2 pairwise distances
+    EXPECT_GE(hists[0].counts[0], 12u);  // the diagonal zeros land in bin 0
+}
+
+// ---- failure handling ---------------------------------------------------------------
+
+TEST(WorkflowErrors, FailingComponentUnwindsWholeGraph) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=16", "steps=50"});  // long-running producer
+    // Histogram on a 2-D array: fails on its first step.
+    wf.add("histogram", 1, {"gmx.fp", "coords", "4", tmp("wf_err.txt")});
+    EXPECT_THROW(wf.run(), std::runtime_error);  // and does not hang
+}
+
+TEST(WorkflowErrors, UnknownComponentRejectedAtAdd) {
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    EXPECT_THROW(wf.add("not-a-component", 1, {}), std::runtime_error);
+    EXPECT_THROW(wf.add("select", 0, {}), std::invalid_argument);
+}
+
+TEST(WorkflowErrors, RunTwiceRejected) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=4", "steps=1", "output=false"});
+    wf.run();
+    EXPECT_THROW(wf.run(), std::logic_error);
+}
+
+TEST(WorkflowErrors, EmptyWorkflowRejected) {
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    EXPECT_THROW(wf.run(), std::logic_error);
+}
+
+// ---- stats plumbing ------------------------------------------------------------------
+
+TEST(WorkflowStats, PerComponentPerStepTimings) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=24", "steps=3"});
+    auto mag_stats = wf.add("magnitude", 2, {"gmx.fp", "coords", "m.fp", "r"});
+    wf.add("histogram", 1, {"m.fp", "r", "4", tmp("wf_stats_hist.txt")});
+    wf.run();
+
+    EXPECT_EQ(mag_stats->steps(), 3u);
+    const auto rows = mag_stats->per_step();
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto& r : rows) {
+        EXPECT_EQ(r.nranks, 2);
+        EXPECT_GE(r.max_seconds, r.mean_seconds);
+        EXPECT_EQ(r.bytes_in, 24u * 3 * 8);  // whole array read per step
+        EXPECT_EQ(r.bytes_out, 24u * 8);
+    }
+    EXPECT_EQ(mag_stats->total_bytes_in(), 3u * 24 * 3 * 8);
+    EXPECT_EQ(mag_stats->total_bytes_out(), 3u * 24 * 8);
+    EXPECT_GE(mag_stats->mean_step_seconds(), 0.0);
+}
+
+TEST(WorkflowStats, DescribeAndTotals) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 3, {"atoms=8", "steps=1", "output=false"});
+    wf.add("lammps", 2, {"rows=4", "cols=4", "steps=1", "output=false"});
+    EXPECT_EQ(wf.total_procs(), 5);
+    EXPECT_EQ(wf.describe(0), "gromacs x3");
+    EXPECT_EQ(wf.describe(1), "lammps x2");
+    wf.run();
+}
