@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_async_buffering"
+  "../bench/ablation_async_buffering.pdb"
+  "CMakeFiles/ablation_async_buffering.dir/ablation_async_buffering.cpp.o"
+  "CMakeFiles/ablation_async_buffering.dir/ablation_async_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

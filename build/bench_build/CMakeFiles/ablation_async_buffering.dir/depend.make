@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_async_buffering.
+# This may be replaced when dependencies are built.

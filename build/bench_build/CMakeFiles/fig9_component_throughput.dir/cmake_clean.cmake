@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_component_throughput"
+  "../bench/fig9_component_throughput.pdb"
+  "CMakeFiles/fig9_component_throughput.dir/fig9_component_throughput.cpp.o"
+  "CMakeFiles/fig9_component_throughput.dir/fig9_component_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_component_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

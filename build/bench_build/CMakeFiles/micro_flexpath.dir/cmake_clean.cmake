@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_flexpath"
+  "../bench/micro_flexpath.pdb"
+  "CMakeFiles/micro_flexpath.dir/micro_flexpath.cpp.o"
+  "CMakeFiles/micro_flexpath.dir/micro_flexpath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flexpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

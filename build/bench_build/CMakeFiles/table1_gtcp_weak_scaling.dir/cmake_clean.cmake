@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_gtcp_weak_scaling"
+  "../bench/table1_gtcp_weak_scaling.pdb"
+  "CMakeFiles/table1_gtcp_weak_scaling.dir/table1_gtcp_weak_scaling.cpp.o"
+  "CMakeFiles/table1_gtcp_weak_scaling.dir/table1_gtcp_weak_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gtcp_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

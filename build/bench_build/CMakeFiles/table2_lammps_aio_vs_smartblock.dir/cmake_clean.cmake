@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_lammps_aio_vs_smartblock"
+  "../bench/table2_lammps_aio_vs_smartblock.pdb"
+  "CMakeFiles/table2_lammps_aio_vs_smartblock.dir/table2_lammps_aio_vs_smartblock.cpp.o"
+  "CMakeFiles/table2_lammps_aio_vs_smartblock.dir/table2_lammps_aio_vs_smartblock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lammps_aio_vs_smartblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_lammps_aio_vs_smartblock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_lammps_aio_vs_smartblock.
+# This may be replaced when dependencies are built.

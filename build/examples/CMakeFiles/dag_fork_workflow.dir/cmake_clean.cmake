@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_fork_workflow.dir/dag_fork_workflow.cpp.o"
+  "CMakeFiles/dag_fork_workflow.dir/dag_fork_workflow.cpp.o.d"
+  "dag_fork_workflow"
+  "dag_fork_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_fork_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

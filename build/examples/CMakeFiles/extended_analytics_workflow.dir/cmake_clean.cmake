@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_analytics_workflow.dir/extended_analytics_workflow.cpp.o"
+  "CMakeFiles/extended_analytics_workflow.dir/extended_analytics_workflow.cpp.o.d"
+  "extended_analytics_workflow"
+  "extended_analytics_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_analytics_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

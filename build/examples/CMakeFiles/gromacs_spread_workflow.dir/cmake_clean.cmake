@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gromacs_spread_workflow.dir/gromacs_spread_workflow.cpp.o"
+  "CMakeFiles/gromacs_spread_workflow.dir/gromacs_spread_workflow.cpp.o.d"
+  "gromacs_spread_workflow"
+  "gromacs_spread_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gromacs_spread_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtcp_pressure_workflow.dir/gtcp_pressure_workflow.cpp.o"
+  "CMakeFiles/gtcp_pressure_workflow.dir/gtcp_pressure_workflow.cpp.o.d"
+  "gtcp_pressure_workflow"
+  "gtcp_pressure_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtcp_pressure_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

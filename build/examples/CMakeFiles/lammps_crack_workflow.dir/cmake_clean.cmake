@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lammps_crack_workflow.dir/lammps_crack_workflow.cpp.o"
+  "CMakeFiles/lammps_crack_workflow.dir/lammps_crack_workflow.cpp.o.d"
+  "lammps_crack_workflow"
+  "lammps_crack_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lammps_crack_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

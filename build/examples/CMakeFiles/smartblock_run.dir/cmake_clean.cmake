@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartblock_run.dir/smartblock_run.cpp.o"
+  "CMakeFiles/smartblock_run.dir/smartblock_run.cpp.o.d"
+  "smartblock_run"
+  "smartblock_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartblock_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

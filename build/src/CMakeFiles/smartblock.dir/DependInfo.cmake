@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adios/group.cpp" "src/CMakeFiles/smartblock.dir/adios/group.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/adios/group.cpp.o.d"
+  "/root/repo/src/adios/reader.cpp" "src/CMakeFiles/smartblock.dir/adios/reader.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/adios/reader.cpp.o.d"
+  "/root/repo/src/adios/writer.cpp" "src/CMakeFiles/smartblock.dir/adios/writer.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/adios/writer.cpp.o.d"
+  "/root/repo/src/adios/xml.cpp" "src/CMakeFiles/smartblock.dir/adios/xml.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/adios/xml.cpp.o.d"
+  "/root/repo/src/core/all_pairs.cpp" "src/CMakeFiles/smartblock.dir/core/all_pairs.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/all_pairs.cpp.o.d"
+  "/root/repo/src/core/component.cpp" "src/CMakeFiles/smartblock.dir/core/component.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/component.cpp.o.d"
+  "/root/repo/src/core/dim_reduce.cpp" "src/CMakeFiles/smartblock.dir/core/dim_reduce.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/dim_reduce.cpp.o.d"
+  "/root/repo/src/core/downsample.cpp" "src/CMakeFiles/smartblock.dir/core/downsample.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/downsample.cpp.o.d"
+  "/root/repo/src/core/file_io.cpp" "src/CMakeFiles/smartblock.dir/core/file_io.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/file_io.cpp.o.d"
+  "/root/repo/src/core/fork.cpp" "src/CMakeFiles/smartblock.dir/core/fork.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/fork.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/CMakeFiles/smartblock.dir/core/graph.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/graph.cpp.o.d"
+  "/root/repo/src/core/heatmap.cpp" "src/CMakeFiles/smartblock.dir/core/heatmap.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/heatmap.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/CMakeFiles/smartblock.dir/core/histogram.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/histogram.cpp.o.d"
+  "/root/repo/src/core/launch_script.cpp" "src/CMakeFiles/smartblock.dir/core/launch_script.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/launch_script.cpp.o.d"
+  "/root/repo/src/core/magnitude.cpp" "src/CMakeFiles/smartblock.dir/core/magnitude.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/magnitude.cpp.o.d"
+  "/root/repo/src/core/moments.cpp" "src/CMakeFiles/smartblock.dir/core/moments.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/moments.cpp.o.d"
+  "/root/repo/src/core/reduce.cpp" "src/CMakeFiles/smartblock.dir/core/reduce.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/reduce.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/smartblock.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/select.cpp" "src/CMakeFiles/smartblock.dir/core/select.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/select.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/CMakeFiles/smartblock.dir/core/threshold.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/threshold.cpp.o.d"
+  "/root/repo/src/core/transpose.cpp" "src/CMakeFiles/smartblock.dir/core/transpose.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/transpose.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/smartblock.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/validate.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/CMakeFiles/smartblock.dir/core/workflow.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/core/workflow.cpp.o.d"
+  "/root/repo/src/ffs/encode.cpp" "src/CMakeFiles/smartblock.dir/ffs/encode.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/ffs/encode.cpp.o.d"
+  "/root/repo/src/ffs/type.cpp" "src/CMakeFiles/smartblock.dir/ffs/type.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/ffs/type.cpp.o.d"
+  "/root/repo/src/flexpath/reader.cpp" "src/CMakeFiles/smartblock.dir/flexpath/reader.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/flexpath/reader.cpp.o.d"
+  "/root/repo/src/flexpath/stream.cpp" "src/CMakeFiles/smartblock.dir/flexpath/stream.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/flexpath/stream.cpp.o.d"
+  "/root/repo/src/flexpath/writer.cpp" "src/CMakeFiles/smartblock.dir/flexpath/writer.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/flexpath/writer.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/CMakeFiles/smartblock.dir/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/mpi/runtime.cpp.o.d"
+  "/root/repo/src/sim/all_in_one.cpp" "src/CMakeFiles/smartblock.dir/sim/all_in_one.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/sim/all_in_one.cpp.o.d"
+  "/root/repo/src/sim/crack_sim.cpp" "src/CMakeFiles/smartblock.dir/sim/crack_sim.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/sim/crack_sim.cpp.o.d"
+  "/root/repo/src/sim/md_sim.cpp" "src/CMakeFiles/smartblock.dir/sim/md_sim.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/sim/md_sim.cpp.o.d"
+  "/root/repo/src/sim/source_component.cpp" "src/CMakeFiles/smartblock.dir/sim/source_component.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/sim/source_component.cpp.o.d"
+  "/root/repo/src/sim/toroid_sim.cpp" "src/CMakeFiles/smartblock.dir/sim/toroid_sim.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/sim/toroid_sim.cpp.o.d"
+  "/root/repo/src/util/argparse.cpp" "src/CMakeFiles/smartblock.dir/util/argparse.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/util/argparse.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/smartblock.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/ndarray.cpp" "src/CMakeFiles/smartblock.dir/util/ndarray.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/util/ndarray.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/smartblock.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/smartblock.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

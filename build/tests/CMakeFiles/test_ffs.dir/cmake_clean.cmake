@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ffs.dir/test_ffs.cpp.o"
+  "CMakeFiles/test_ffs.dir/test_ffs.cpp.o.d"
+  "test_ffs"
+  "test_ffs.pdb"
+  "test_ffs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

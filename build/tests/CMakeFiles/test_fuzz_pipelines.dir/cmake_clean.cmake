@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_pipelines.dir/test_fuzz_pipelines.cpp.o"
+  "CMakeFiles/test_fuzz_pipelines.dir/test_fuzz_pipelines.cpp.o.d"
+  "test_fuzz_pipelines"
+  "test_fuzz_pipelines.pdb"
+  "test_fuzz_pipelines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_launch_script.dir/test_launch_script.cpp.o"
+  "CMakeFiles/test_launch_script.dir/test_launch_script.cpp.o.d"
+  "test_launch_script"
+  "test_launch_script.pdb"
+  "test_launch_script[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_launch_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

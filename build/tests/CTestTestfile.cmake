@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_ndarray[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_ffs[1]_include.cmake")
+include("/root/repo/build/tests/test_flexpath[1]_include.cmake")
+include("/root/repo/build/tests/test_adios[1]_include.cmake")
+include("/root/repo/build/tests/test_components[1]_include.cmake")
+include("/root/repo/build/tests/test_launch_script[1]_include.cmake")
+include("/root/repo/build/tests/test_sims[1]_include.cmake")
+include("/root/repo/build/tests/test_workflows[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_extended_components[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_pipelines[1]_include.cmake")
