@@ -14,6 +14,7 @@
 #include "core/histogram.hpp"
 #include "core/workflow.hpp"
 #include "flexpath/stream.hpp"
+#include "obs/metrics.hpp"
 #include "sim/source_component.hpp"
 #include "sim/toroid_sim.hpp"
 #include "util/stats.hpp"
@@ -46,8 +47,22 @@ struct GtcpRunConfig {
 struct GtcpRunResult {
     GtcpRunConfig config;
     double end_to_end_seconds = 0.0;
+    /// Transport stall time this run added across all streams and ranks
+    /// (deltas of the process-wide obs totals).
+    double backpressure_wait_seconds = 0.0;
+    double acquire_wait_seconds = 0.0;
     /// Per-component stats, in pipeline order.
     std::shared_ptr<core::StepStats> select, dimred1, dimred2, histo;
+
+    /// Backpressure stall as a percentage of total process-time: how much
+    /// of the workflow's aggregate compute capacity was spent blocked on
+    /// full downstream queues.  0 when metrics are off (SB_METRICS=off).
+    double backpressure_stall_percent() const {
+        const double proc_seconds = end_to_end_seconds * config.total_procs();
+        return proc_seconds > 0.0
+                   ? 100.0 * backpressure_wait_seconds / proc_seconds
+                   : 0.0;
+    }
 
     /// The paper's Table I throughput: total simulation output divided by
     /// the total process count and the end-to-end time.
@@ -127,8 +142,14 @@ inline GtcpRunResult run_gtcp_workflow(const GtcpRunConfig& c) {
     r.histo = wf.add("histogram", c.histo_procs,
                      {"pflat2.fp", "pp2", "16",
                       "/tmp/sb_bench_gtcp_run" + std::to_string(c.run_number) + ".txt"});
+    auto& reg = obs::Registry::global();
+    const double bp0 = reg.total("flexpath.backpressure_wait_seconds");
+    const double acq0 = reg.total("flexpath.acquire_wait_seconds");
     wf.run();
     r.end_to_end_seconds = wf.elapsed_seconds();
+    r.backpressure_wait_seconds =
+        reg.total("flexpath.backpressure_wait_seconds") - bp0;
+    r.acquire_wait_seconds = reg.total("flexpath.acquire_wait_seconds") - acq0;
     return r;
 }
 

@@ -16,8 +16,15 @@
 
 namespace {
 
+struct MagnitudeRun {
+    double timestep_seconds = 0.0;
+    /// Transport-stall share of the run's total process-time (see
+    /// GtcpRunResult::backpressure_stall_percent).
+    double stall_percent = 0.0;
+};
+
 /// Runs the GROMACS workflow and returns Magnitude's mean timestep time.
-double magnitude_timestep_seconds(std::uint64_t atoms, int mag_procs) {
+MagnitudeRun magnitude_timestep_seconds(std::uint64_t atoms, int mag_procs) {
     using namespace sb;
     sim::register_simulations();
     flexpath::Fabric fabric;
@@ -26,7 +33,16 @@ double magnitude_timestep_seconds(std::uint64_t atoms, int mag_procs) {
            {"atoms=" + std::to_string(atoms), "steps=8", "substeps=2"});
     auto mag = wf.add("magnitude", mag_procs, {"gmx.fp", "coords", "m.fp", "r"});
     wf.add("histogram", 1, {"m.fp", "r", "16", "/tmp/sb_bench_fig10.txt"});
+    auto& reg = obs::Registry::global();
+    const double bp0 = reg.total("flexpath.backpressure_wait_seconds");
     wf.run();
+    MagnitudeRun out;
+    const double proc_seconds = wf.elapsed_seconds() * wf.total_procs();
+    if (proc_seconds > 0.0) {
+        out.stall_percent =
+            100.0 * (reg.total("flexpath.backpressure_wait_seconds") - bp0) /
+            proc_seconds;
+    }
     // Fastest steady-state step: the min over steps filters the scheduling
     // noise a shared single core injects into individual steps.
     const auto rows = mag->per_step();
@@ -34,7 +50,8 @@ double magnitude_timestep_seconds(std::uint64_t atoms, int mag_procs) {
     for (std::size_t i = 1; i < rows.size(); ++i) {
         best = std::min(best, rows[i].mean_seconds);
     }
-    return rows.size() > 1 ? best : mag->mean_step_seconds();
+    out.timestep_seconds = rows.size() > 1 ? best : mag->mean_step_seconds();
+    return out;
 }
 
 }  // namespace
@@ -49,16 +66,17 @@ int main() {
     // "a linear domain of scalability, followed by a turning point and
     // eventual flattening": the large sizes trace the linear domain, the
     // small ones hit the per-step fixed-cost floor (the flattening).
-    std::printf("%-22s %-22s %-22s\n", "Size per proc (MB)", "Timestep (s)",
-                "time/size (s/MB)");
+    std::printf("%-22s %-22s %-22s %-10s\n", "Size per proc (MB)", "Timestep (s)",
+                "time/size (s/MB)", "BP-stall%");
     std::vector<double> sizes_mb, times;
     for (const std::uint64_t atoms : {1048576u, 786432u, 524288u, 393216u,
                                       262144u, 131072u, 65536u, 16384u}) {
         const double mb = static_cast<double>(atoms) * 3 * 8 / (1024.0 * 1024.0);
-        const double t = magnitude_timestep_seconds(atoms, 1);
+        const MagnitudeRun run = magnitude_timestep_seconds(atoms, 1);
         sizes_mb.push_back(mb);
-        times.push_back(t);
-        std::printf("%-22.2f %-22.4f %-22.5f\n", mb, t, t / mb);
+        times.push_back(run.timestep_seconds);
+        std::printf("%-22.2f %-22.4f %-22.5f %-10.2f\n", mb, run.timestep_seconds,
+                    run.timestep_seconds / mb, run.stall_percent);
     }
 
     // Linear-domain check over the large (out-of-cache) regime.
@@ -77,10 +95,12 @@ int main() {
     // document the substitution.
     std::printf("\nprocess-count sweep at 524288 atoms (12 MB/step; single-core "
                 "oversubscription — no speedup expected here):\n");
-    std::printf("%-12s %-18s %-22s\n", "Mag procs", "MB per proc", "Timestep (s)");
+    std::printf("%-12s %-18s %-22s %-10s\n", "Mag procs", "MB per proc",
+                "Timestep (s)", "BP-stall%");
     for (const int procs : {1, 2, 4}) {
-        const double t = magnitude_timestep_seconds(524288, procs);
-        std::printf("%-12d %-18.1f %-22.4f\n", procs, 12.0 / procs, t);
+        const MagnitudeRun run = magnitude_timestep_seconds(524288, procs);
+        std::printf("%-12d %-18.1f %-22.4f %-10.2f\n", procs, 12.0 / procs,
+                    run.timestep_seconds, run.stall_percent);
     }
     return 0;
 }

@@ -13,8 +13,8 @@ int main() {
     print_header("Figure 9 — per-component, per-process throughput (KB/s)",
                  "Fig. 9 of the paper (GTCP weak-scaling runs 1-5)");
 
-    std::printf("%-4s %-14s %-14s %-14s %-14s\n", "Run", "Select", "Dim-Reduce 1",
-                "Dim-Reduce 2", "Histogram");
+    std::printf("%-4s %-14s %-14s %-14s %-14s %-10s\n", "Run", "Select",
+                "Dim-Reduce 1", "Dim-Reduce 2", "Histogram", "BP-stall%");
 
     std::vector<double> sel_series;
     for (const GtcpRunConfig& c : gtcp_weak_scaling_ladder()) {
@@ -24,8 +24,8 @@ int main() {
         const double d2 = r.component_kb_per_proc_per_sec(*r.dimred2, c.dimred2_procs);
         const double h = r.component_kb_per_proc_per_sec(*r.histo, c.histo_procs);
         sel_series.push_back(sel);
-        std::printf("%-4d %-14.0f %-14.0f %-14.0f %-14.0f\n", c.run_number, sel, d1,
-                    d2, h);
+        std::printf("%-4d %-14.0f %-14.0f %-14.0f %-14.0f %-10.2f\n", c.run_number,
+                    sel, d1, d2, h, r.backpressure_stall_percent());
     }
 
     const auto s = sb::util::summarize(sel_series);

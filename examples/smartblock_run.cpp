@@ -4,9 +4,11 @@
 // dataflow graph is validated before launch (typo'd stream names are
 // reported instead of deadlocking) and can be rendered to Graphviz.
 //
-//   smartblock_run <workflow-script> [queue-capacity]
+//   smartblock_run [options] <workflow-script> [queue-capacity]
 //   smartblock_run --validate <workflow-script>    check wiring, don't run
 //   smartblock_run --dot <workflow-script>         print the dataflow graph
+//   smartblock_run --trace t.json <script>         write a Chrome trace
+//   smartblock_run --metrics m.json <script>       write metrics + summary
 //
 // Example workflow script:
 //   aprun -n 2 histogram velos.fp velocities 16 speeds.txt &
@@ -28,7 +30,8 @@ namespace {
 
 void print_usage() {
     std::fprintf(stderr,
-                 "usage: smartblock_run [--validate|--dot] <workflow-script> "
+                 "usage: smartblock_run [--validate|--dot] [--trace <out.json>] "
+                 "[--metrics <out.json>] <workflow-script> "
                  "[queue-capacity]\n\nregistered components:\n");
     for (const auto& name : sb::core::component_names()) {
         std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
@@ -50,13 +53,26 @@ int main(int argc, char** argv) {
     sb::sim::register_simulations();
 
     bool validate_only = false, dot_only = false;
+    const char* trace_path = nullptr;
+    const char* metrics_path = nullptr;
     int argi = 1;
-    if (argi < argc && std::strcmp(argv[argi], "--validate") == 0) {
-        validate_only = true;
-        ++argi;
-    } else if (argi < argc && std::strcmp(argv[argi], "--dot") == 0) {
-        dot_only = true;
-        ++argi;
+    while (argi < argc && argv[argi][0] == '-') {
+        if (std::strcmp(argv[argi], "--validate") == 0) {
+            validate_only = true;
+            ++argi;
+        } else if (std::strcmp(argv[argi], "--dot") == 0) {
+            dot_only = true;
+            ++argi;
+        } else if (std::strcmp(argv[argi], "--trace") == 0 && argi + 1 < argc) {
+            trace_path = argv[argi + 1];
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--metrics") == 0 && argi + 1 < argc) {
+            metrics_path = argv[argi + 1];
+            argi += 2;
+        } else {
+            print_usage();
+            return 2;
+        }
     }
     if (argi >= argc) {
         print_usage();
@@ -106,6 +122,15 @@ int main(int argc, char** argv) {
                         wf.describe(i).c_str(),
                         static_cast<unsigned long long>(wf.stats(i).steps()),
                         wf.stats(i).mean_step_seconds());
+        }
+        if (trace_path) {
+            wf.write_trace(trace_path);
+            std::printf("smartblock_run: trace written to %s\n", trace_path);
+        }
+        if (metrics_path) {
+            wf.write_metrics(metrics_path);
+            std::printf("smartblock_run: metrics written to %s\n", metrics_path);
+            std::fputs(wf.metrics_summary().c_str(), stdout);
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "smartblock_run: %s\n", e.what());

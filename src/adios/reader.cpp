@@ -1,12 +1,21 @@
 #include "adios/reader.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace sb::adios {
 
 Reader::Reader(flexpath::Fabric& fabric, const std::string& stream_name, int rank,
                int nranks)
-    : port_(fabric, stream_name, rank, nranks) {}
+    : port_(fabric, stream_name, rank, nranks) {
+    steps_read_ = &obs::Registry::global().counter("adios.steps_read",
+                                                   {{"stream", stream_name}});
+}
 
-bool Reader::begin_step() { return port_.begin_step(); }
+bool Reader::begin_step() {
+    const bool ok = port_.begin_step();
+    if (ok) steps_read_->inc();
+    return ok;
+}
 
 std::vector<std::string> Reader::variable_names() const {
     std::vector<std::string> out;

@@ -76,6 +76,7 @@ public:
 
 private:
     flexpath::ReaderPort port_;
+    obs::Counter* steps_read_ = nullptr;  // adios.steps_read{stream=}
 };
 
 }  // namespace sb::adios

@@ -3,13 +3,20 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace sb::adios {
 
 Writer::Writer(flexpath::Fabric& fabric, const std::string& stream_name,
                GroupDef group, int rank, int nranks,
                const flexpath::StreamOptions& opts)
     : group_(std::move(group)), port_(fabric, stream_name, rank, nranks, opts),
-      rank_(rank) {}
+      rank_(rank) {
+    auto& reg = obs::Registry::global();
+    const obs::Labels labels{{"stream", stream_name}};
+    steps_written_ = &reg.counter("adios.steps_written", labels);
+    vars_written_ = &reg.counter("adios.vars_written", labels);
+}
 
 void Writer::begin_step() {
     if (in_step_) throw std::logic_error("adios::Writer: begin_step twice");
@@ -80,6 +87,7 @@ void Writer::write_raw(const std::string& var, const util::Box& box,
     decl.dim_labels = spec->dimensions;
     port_.declare(decl);
     port_.put(var, box, std::move(data));
+    vars_written_->inc();
 }
 
 void Writer::write_attribute(const std::string& name, std::vector<std::string> values) {
@@ -96,6 +104,7 @@ void Writer::end_step() {
     if (!in_step_) throw std::logic_error("adios::Writer: end_step without begin_step");
     in_step_ = false;
     port_.end_step();
+    steps_written_->inc();
 }
 
 void Writer::close() { port_.close(); }

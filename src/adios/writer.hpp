@@ -67,6 +67,8 @@ private:
     int rank_;
     std::map<std::string, std::uint64_t> dims_;
     bool in_step_ = false;
+    obs::Counter* steps_written_ = nullptr;  // adios.steps_written{stream=}
+    obs::Counter* vars_written_ = nullptr;   // adios.vars_written{stream=}
 };
 
 }  // namespace sb::adios

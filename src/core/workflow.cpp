@@ -5,6 +5,9 @@
 #include <thread>
 
 #include "flexpath/stream.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -41,22 +44,66 @@ void Workflow::write_trace(const std::string& path) const {
     if (!out) throw std::runtime_error("write_trace: cannot write '" + path + "'");
     out << "[\n";
     bool first = true;
+    const auto emit = [&](const std::string& event) {
+        out << (first ? "" : ",\n") << event;
+        first = false;
+    };
     for (std::size_t i = 0; i < instances_.size(); ++i) {
         const Instance& inst = instances_[i];
         // Process metadata: name the track after the component instance.
-        out << (first ? "" : ",\n") << R"({"ph":"M","name":"process_name","pid":)"
-            << i << R"(,"args":{"name":")" << describe(i) << "\"}}";
-        first = false;
+        emit(R"({"ph":"M","name":"process_name","pid":)" + std::to_string(i) +
+             R"(,"args":{"name":")" + obs::json_escape(describe(i)) + "\"}}");
         for (const StepStats::Sample& s : inst.stats->samples()) {
             const double start_us = (s.t_end - s.seconds - epoch_) * 1e6;
-            out << ",\n"
-                << R"({"ph":"X","name":"step )" << s.step << R"(","pid":)" << i
-                << R"(,"tid":)" << s.rank << R"(,"ts":)" << start_us << R"(,"dur":)"
-                << s.seconds * 1e6 << R"(,"args":{"bytes_in":)" << s.bytes_in
-                << R"(,"bytes_out":)" << s.bytes_out << "}}";
+            emit(R"({"ph":"X","name":"step )" + std::to_string(s.step) +
+                 R"(","pid":)" + std::to_string(i) + R"(,"tid":)" +
+                 std::to_string(s.rank) + R"(,"ts":)" + obs::json_number(start_us) +
+                 R"(,"dur":)" + obs::json_number(s.seconds * 1e6) +
+                 R"(,"args":{"bytes_in":)" + std::to_string(s.bytes_in) +
+                 R"(,"bytes_out":)" + std::to_string(s.bytes_out) + "}}");
+        }
+    }
+
+    // Transport track: queue-depth counter tracks and stall slices recorded
+    // by the FlexPath layer during this run (filtered by the run epoch so a
+    // previous run in the same process doesn't leak in).
+    const auto events = obs::TraceLog::global().events_after(epoch_);
+    if (!events.empty()) {
+        const std::size_t pid = instances_.size();
+        emit(R"({"ph":"M","name":"process_name","pid":)" + std::to_string(pid) +
+             R"(,"args":{"name":"transport"}})");
+        std::uint64_t async_id = 0;
+        for (const obs::TraceEvent& ev : events) {
+            const std::string name =
+                obs::json_escape(ev.name + " " + ev.stream);
+            const std::string ts = obs::json_number((ev.t0 - epoch_) * 1e6);
+            if (ev.kind == obs::TraceEvent::Kind::Counter) {
+                emit(R"({"ph":"C","name":")" + name + R"(","pid":)" +
+                     std::to_string(pid) + R"(,"ts":)" + ts +
+                     R"(,"args":{"value":)" + obs::json_number(ev.value) + "}}");
+            } else {
+                const std::string common =
+                    R"(,"cat":")" + obs::json_escape(ev.category) +
+                    R"(","name":")" + name + R"(","pid":)" + std::to_string(pid) +
+                    R"(,"tid":0,"id":)" + std::to_string(async_id++);
+                emit(R"({"ph":"b")" + common + R"(,"ts":)" + ts + "}");
+                emit(R"({"ph":"e")" + common + R"(,"ts":)" +
+                     obs::json_number((ev.t1 - epoch_) * 1e6) + "}");
+            }
         }
     }
     out << "\n]\n";
+}
+
+void Workflow::write_metrics(const std::string& path) const {
+    if (!ran_) throw std::logic_error("Workflow::write_metrics: run() first");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("write_metrics: cannot write '" + path + "'");
+    obs::write_metrics_json(out, obs::Registry::global().snapshot());
+}
+
+std::string Workflow::metrics_summary() const {
+    return obs::format_metrics_table(obs::Registry::global().snapshot());
 }
 
 void Workflow::run() {
@@ -76,11 +123,16 @@ void Workflow::run() {
             drivers.emplace_back([this, i, &errors, &failed] {
                 const Instance& inst = instances_[i];
                 try {
-                    mpi::run_ranks(inst.nprocs, [&](mpi::Communicator& comm) {
-                        auto component = make_component(inst.component);
-                        RunContext ctx{fabric_, comm, inst.stats.get(), options_};
-                        component->run(ctx, inst.args);
-                    });
+                    // Label the communicator with the instance index:
+                    // describe() can collide when a component appears twice.
+                    mpi::run_ranks(
+                        inst.nprocs,
+                        [&](mpi::Communicator& comm) {
+                            auto component = make_component(inst.component);
+                            RunContext ctx{fabric_, comm, inst.stats.get(), options_};
+                            component->run(ctx, inst.args);
+                        },
+                        inst.component + "#" + std::to_string(i));
                 } catch (...) {
                     errors[i] = std::current_exception();
                     failed.store(true);

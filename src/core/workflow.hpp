@@ -59,9 +59,21 @@ public:
 
     /// Writes a Chrome trace-event JSON timeline of the last run (one
     /// track per component instance, one lane per rank, one slice per
-    /// timestep).  Load it in chrome://tracing or Perfetto to see how the
-    /// stages of the in situ pipeline overlap.  Call after run().
+    /// timestep).  A final "transport" track carries per-stream queue-depth
+    /// counter tracks and async slices for backpressure / acquire stalls
+    /// recorded by the FlexPath layer during the run.  Load it in
+    /// chrome://tracing or Perfetto to see how the stages of the in situ
+    /// pipeline overlap — and why a lane is idle.  Call after run().
     void write_trace(const std::string& path) const;
+
+    /// Writes a JSON snapshot of every obs::Registry metric (see
+    /// docs/OBSERVABILITY.md for the schema and metric reference).  The
+    /// registry is process-wide, so values accumulate across runs unless
+    /// obs::Registry::global().reset() is called between them.
+    void write_metrics(const std::string& path) const;
+
+    /// The same snapshot as a human-readable aligned table.
+    std::string metrics_summary() const;
 
 private:
     struct Instance {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace sb::flexpath {
 
 ReaderPort::ReaderPort(Fabric& fabric, const std::string& stream_name, int rank,
@@ -9,6 +11,10 @@ ReaderPort::ReaderPort(Fabric& fabric, const std::string& stream_name, int rank,
     : stream_(fabric.get(stream_name)) {
     (void)rank;
     stream_->attach_reader(nranks);
+    auto& reg = obs::Registry::global();
+    const obs::Labels labels{{"stream", stream_->name()}};
+    bytes_read_ = &reg.counter("flexpath.bytes_read", labels);
+    reads_ = &reg.counter("flexpath.reads", labels);
 }
 
 bool ReaderPort::begin_step() {
@@ -70,6 +76,8 @@ void ReaderPort::read_bytes(const std::string& var, const util::Box& box,
                                  " only covered by " + std::to_string(covered) + "/" +
                                  std::to_string(box.volume()) + " elements");
     }
+    bytes_read_->add(box.volume() * elem);
+    reads_->inc();
 }
 
 void ReaderPort::end_step() {

@@ -59,11 +59,15 @@ public:
     /// Step index of the currently acquired step.
     std::uint64_t current_step() const;
 
+    const std::string& stream_name() const noexcept { return stream_->name(); }
+
 private:
     std::shared_ptr<Stream> stream_;
     std::shared_ptr<const StepData> current_;
     StepMeta meta_;
     std::uint64_t gen_ = 0;  // steps completed by this rank
+    obs::Counter* bytes_read_ = nullptr;  // flexpath.bytes_read{stream=}
+    obs::Counter* reads_ = nullptr;       // flexpath.reads{stream=}
 };
 
 }  // namespace sb::flexpath

@@ -4,9 +4,19 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace sb::flexpath {
+
+namespace {
+
+/// Stalls shorter than this are aggregated into the histograms but not
+/// worth an individual slice in the timeline view.
+constexpr double kStallSliceSeconds = 10e-6;
+
+}  // namespace
 
 // ---- step metadata <-> FFS wire format -----------------------------------
 
@@ -117,7 +127,23 @@ std::string spool_file_path(const std::string& dir, const std::string& stream,
 
 // ---- Stream ----------------------------------------------------------------
 
-Stream::Stream(std::string name) : name_(std::move(name)) {}
+Stream::Stream(std::string name) : name_(std::move(name)) {
+    auto& reg = obs::Registry::global();
+    const obs::Labels labels{{"stream", name_}};
+    ins_.steps_assembled = &reg.counter("flexpath.steps_assembled", labels);
+    ins_.steps_retired = &reg.counter("flexpath.steps_retired", labels);
+    ins_.aborts = &reg.counter("flexpath.aborts", labels);
+    ins_.spool_bytes_written = &reg.counter("flexpath.spool_bytes_written", labels);
+    ins_.spool_bytes_read = &reg.counter("flexpath.spool_bytes_read", labels);
+    ins_.queue_depth = &reg.gauge("flexpath.queue_depth", labels);
+    ins_.blocked_push_seconds = &reg.gauge("flexpath.queue_blocked_push_seconds", labels);
+    ins_.blocked_pop_seconds = &reg.gauge("flexpath.queue_blocked_pop_seconds", labels);
+    ins_.backpressure_wait = &reg.histogram("flexpath.backpressure_wait_seconds", labels);
+    ins_.acquire_wait = &reg.histogram("flexpath.acquire_wait_seconds", labels);
+    ins_.spool_write_seconds = &reg.histogram("flexpath.spool_write_seconds", labels);
+    ins_.spool_read_seconds = &reg.histogram("flexpath.spool_read_seconds", labels);
+}
+
 Stream::~Stream() = default;
 
 void Stream::attach_writer(int nranks, const StreamOptions& opts) {
@@ -200,6 +226,7 @@ void Stream::abort() {
     std::lock_guard lock(mu_);
     if (aborted_) return;
     aborted_ = true;
+    ins_.aborts->inc();
     if (queue_) queue_->close();
     cv_.notify_all();
 }
@@ -232,11 +259,14 @@ void Stream::submit(int rank, Contribution c) {
         }
     }
     if (completed) {
+        const bool instr = obs::enabled();
+        ins_.steps_assembled->inc();
         // Spooling: park the step's data on disk so deep buffers stay
         // memory-bounded; readers load it back on acquire.
         if (!opts_.spool_dir.empty()) {
             const std::string path =
                 spool_file_path(opts_.spool_dir, name_, completed->step);
+            const double t0 = instr ? obs::steady_seconds() : 0.0;
             const ffs::Bytes packet = encode_step_blocks(completed->blocks);
             std::ofstream out(path, std::ios::binary | std::ios::trunc);
             if (!out) {
@@ -245,6 +275,10 @@ void Stream::submit(int rank, Contribution c) {
             }
             out.write(reinterpret_cast<const char*>(packet.data()),
                       static_cast<std::streamsize>(packet.size()));
+            if (instr) {
+                ins_.spool_write_seconds->observe(obs::steady_seconds() - t0);
+                ins_.spool_bytes_written->add(packet.size());
+            }
             completed->blocks.clear();
             completed->spool_path = path;
         }
@@ -252,10 +286,23 @@ void Stream::submit(int rank, Contribution c) {
         // this (last-arriving) rank blocks on a full queue — backpressure
         // lands exactly where FlexPath's bounded writer-side buffer puts it.
         SB_LOG(Debug) << "stream " << name_ << ": step " << completed->step << " queued";
+        const double push_t0 = instr ? obs::steady_seconds() : 0.0;
         if (!queue_->push(std::move(*completed))) {
             // The queue only closes on abort (writers close after their
             // last submit, never during one).
             throw StreamAborted(name_);
+        }
+        if (instr) {
+            const double push_t1 = obs::steady_seconds();
+            const double waited = push_t1 - push_t0;
+            ins_.backpressure_wait->observe(waited);
+            ins_.queue_depth->set(static_cast<double>(queue_->size()));
+            ins_.blocked_push_seconds->set(queue_->blocked_push_seconds());
+            auto& tl = obs::TraceLog::global();
+            tl.counter("queue depth", name_, static_cast<double>(queue_->size()));
+            if (waited >= kStallSliceSeconds) {
+                tl.slice("backpressure", name_, "backpressure", push_t0, push_t1);
+            }
         }
     }
 }
@@ -301,7 +348,21 @@ std::shared_ptr<const StepData> Stream::acquire(std::uint64_t my_gen) {
         if (!current_ && !fetching_ && queue_) {
             fetching_ = true;
             lock.unlock();
+            const bool instr = obs::enabled();
+            const double pop_t0 = instr ? obs::steady_seconds() : 0.0;
             std::optional<StepData> item = queue_->pop();  // blocks, own cv
+            if (instr) {
+                const double pop_t1 = obs::steady_seconds();
+                const double waited = pop_t1 - pop_t0;
+                ins_.acquire_wait->observe(waited);
+                ins_.queue_depth->set(static_cast<double>(queue_->size()));
+                ins_.blocked_pop_seconds->set(queue_->blocked_pop_seconds());
+                auto& tl = obs::TraceLog::global();
+                tl.counter("queue depth", name_, static_cast<double>(queue_->size()));
+                if (waited >= kStallSliceSeconds) {
+                    tl.slice("acquire wait", name_, "acquire", pop_t0, pop_t1);
+                }
+            }
             lock.lock();
             fetching_ = false;
             if (!item) {
@@ -311,6 +372,7 @@ std::shared_ptr<const StepData> Stream::acquire(std::uint64_t my_gen) {
                     // Load the spooled blocks back (outside mu_ would be
                     // nicer, but acquire contention is per-step and the
                     // fetch already happens on one rank only).
+                    const double sp_t0 = instr ? obs::steady_seconds() : 0.0;
                     std::ifstream in(item->spool_path, std::ios::binary);
                     if (!in) {
                         throw std::runtime_error("stream '" + name_ +
@@ -325,6 +387,10 @@ std::shared_ptr<const StepData> Stream::acquire(std::uint64_t my_gen) {
                         packet.size()));
                     std::filesystem::remove(item->spool_path);
                     item->spool_path.clear();
+                    if (instr) {
+                        ins_.spool_read_seconds->observe(obs::steady_seconds() - sp_t0);
+                        ins_.spool_bytes_read->add(packet.size());
+                    }
                 }
                 current_ = std::make_shared<const StepData>(std::move(*item));
                 current_gen_ = my_gen;
@@ -348,6 +414,7 @@ void Stream::release(std::uint64_t my_gen) {
     if (++released_ == reader_size_) {
         current_.reset();
         released_ = 0;
+        ins_.steps_retired->inc();
         cv_.notify_all();
     }
 }

@@ -38,6 +38,12 @@
 #include "util/ndarray.hpp"
 #include "util/queue.hpp"
 
+namespace sb::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace sb::obs
+
 namespace sb::flexpath {
 
 using DataKind = ffs::Kind;
@@ -195,6 +201,26 @@ private:
 
     void merge_locked(Contribution& dst, Contribution&& c);
     StepData assemble_locked(std::uint64_t step);
+
+    // Observability instruments, resolved once per stream (label stream=name)
+    // from the global registry in the constructor; the registry guarantees
+    // pointer stability, so the hot path touches only atomics.  See
+    // docs/OBSERVABILITY.md for the metric reference.
+    struct Instruments {
+        obs::Counter* steps_assembled = nullptr;
+        obs::Counter* steps_retired = nullptr;
+        obs::Counter* aborts = nullptr;
+        obs::Counter* spool_bytes_written = nullptr;
+        obs::Counter* spool_bytes_read = nullptr;
+        obs::Gauge* queue_depth = nullptr;
+        obs::Gauge* blocked_push_seconds = nullptr;
+        obs::Gauge* blocked_pop_seconds = nullptr;
+        obs::Histogram* backpressure_wait = nullptr;
+        obs::Histogram* acquire_wait = nullptr;
+        obs::Histogram* spool_write_seconds = nullptr;
+        obs::Histogram* spool_read_seconds = nullptr;
+    };
+    Instruments ins_;
 };
 
 /// Process-wide registry of streams by name.  A workflow owns one Fabric;

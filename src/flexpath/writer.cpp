@@ -1,11 +1,17 @@
 #include "flexpath/writer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace sb::flexpath {
 
 WriterPort::WriterPort(Fabric& fabric, const std::string& stream_name, int rank,
                        int nranks, const StreamOptions& opts)
     : stream_(fabric.get(stream_name)), rank_(rank) {
     stream_->attach_writer(nranks, opts);
+    auto& reg = obs::Registry::global();
+    const obs::Labels labels{{"stream", stream_->name()}};
+    bytes_written_ = &reg.counter("flexpath.bytes_written", labels);
+    puts_ = &reg.counter("flexpath.puts", labels);
 }
 
 WriterPort::~WriterPort() {
@@ -33,6 +39,8 @@ void WriterPort::put(const std::string& var, util::Box box,
                                     std::to_string(box.volume()) + " x " +
                                     std::to_string(elem));
     }
+    bytes_written_->add(data->size());
+    puts_->inc();
     pending_.blocks[var].push_back(Block{std::move(box), std::move(data)});
 }
 

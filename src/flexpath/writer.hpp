@@ -60,12 +60,16 @@ public:
 
     std::uint64_t steps_written() const noexcept { return steps_; }
 
+    const std::string& stream_name() const noexcept { return stream_->name(); }
+
 private:
     std::shared_ptr<Stream> stream_;
     int rank_;
     Contribution pending_;
     std::uint64_t steps_ = 0;
     bool closed_ = false;
+    obs::Counter* bytes_written_ = nullptr;  // flexpath.bytes_written{stream=}
+    obs::Counter* puts_ = nullptr;           // flexpath.puts{stream=}
 };
 
 }  // namespace sb::flexpath

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace sb::mpi {
 
 namespace detail {
@@ -28,13 +30,25 @@ struct CollectiveState {
 };
 
 struct GroupState {
-    explicit GroupState(int n) : size(n), mailboxes(static_cast<std::size_t>(n)) {
+    explicit GroupState(int n, std::string name_ = {})
+        : size(n), name(std::move(name_)), mailboxes(static_cast<std::size_t>(n)) {
         coll.contribs.resize(static_cast<std::size_t>(n));
+        obs::Labels labels;
+        if (!name.empty()) labels.push_back({"comm", name});
+        coll_wait = &obs::Registry::global().histogram("mpi.collective_wait_seconds",
+                                                       labels);
+        collectives = &obs::Registry::global().counter("mpi.collectives", labels);
     }
 
     const int size;
+    const std::string name;
     std::vector<Mailbox> mailboxes;
     CollectiveState coll;
+    // Per-group collective telemetry: every collective is built on
+    // allgather_bytes, so one histogram of per-call blocked seconds covers
+    // barrier/bcast/reduce/allreduce/gather alike.
+    obs::Histogram* coll_wait = nullptr;
+    obs::Counter* collectives = nullptr;
     std::atomic<bool> aborted{false};
 
     void check_abort() const {
@@ -87,10 +101,19 @@ Bytes Communicator::recv_bytes(int src, int tag) const {
 
 std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
     auto& c = state_->coll;
+    const bool instr = obs::enabled();
+    double waited = 0.0;
     std::unique_lock lock(c.mu);
 
     // Wait for the previous round to fully drain before re-entering.
-    c.cv.wait(lock, [&] { return state_->aborted.load() || c.exiting == 0; });
+    {
+        const auto drained = [&] { return state_->aborted.load() || c.exiting == 0; };
+        if (!drained()) {
+            const double t0 = instr ? obs::steady_seconds() : 0.0;
+            c.cv.wait(lock, drained);
+            if (instr) waited += obs::steady_seconds() - t0;
+        }
+    }
     state_->check_abort();
 
     c.contribs[static_cast<std::size_t>(rank_)] = std::move(mine);
@@ -103,12 +126,24 @@ std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
         ++c.round;
         c.cv.notify_all();
     } else {
-        c.cv.wait(lock, [&] { return state_->aborted.load() || c.round > my_round; });
+        const auto round_done = [&] {
+            return state_->aborted.load() || c.round > my_round;
+        };
+        if (!round_done()) {
+            const double t0 = instr ? obs::steady_seconds() : 0.0;
+            c.cv.wait(lock, round_done);
+            if (instr) waited += obs::steady_seconds() - t0;
+        }
         state_->check_abort();
     }
 
     std::vector<Bytes> result = c.published;  // copy: every rank needs it
     if (--c.exiting == 0) c.cv.notify_all();
+    lock.unlock();
+    if (instr) {
+        state_->coll_wait->observe(waited);
+        state_->collectives->inc();
+    }
     return result;
 }
 
@@ -122,8 +157,9 @@ Bytes Communicator::bcast_bytes(int root, Bytes payload) const {
     return std::move(all[static_cast<std::size_t>(root)]);
 }
 
-Group::Group(int size)
-    : state_(std::make_shared<detail::GroupState>(size)), size_(size) {
+Group::Group(int size, std::string name)
+    : state_(std::make_shared<detail::GroupState>(size, std::move(name))),
+      size_(size) {
     if (size <= 0) throw std::invalid_argument("Group: size must be positive");
 }
 
@@ -136,8 +172,9 @@ Communicator Group::comm(int rank) const {
 
 void Group::abort() const { state_->abort(); }
 
-void run_ranks(int n, const std::function<void(Communicator&)>& fn) {
-    Group group(n);
+void run_ranks(int n, const std::function<void(Communicator&)>& fn,
+               std::string name) {
+    Group group(n, std::move(name));
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
     {
         std::vector<std::jthread> threads;

@@ -208,7 +208,7 @@ public:
     }
 
 private:
-    friend void run_ranks(int, const std::function<void(Communicator&)>&);
+    friend void run_ranks(int, const std::function<void(Communicator&)>&, std::string);
     friend class Group;
 
     Communicator(std::shared_ptr<detail::GroupState> state, int rank)
@@ -249,9 +249,12 @@ private:
 
 /// A communicator group whose rank threads are driven externally (used by
 /// the Workflow runner, which owns one thread per component rank).
+/// `name` labels the group's collective-wait metrics
+/// (mpi.collective_wait_seconds{comm=name}); unnamed groups aggregate
+/// under an empty label.
 class Group {
 public:
-    explicit Group(int size);
+    explicit Group(int size, std::string name = {});
     ~Group();
     Group(const Group&) = delete;
     Group& operator=(const Group&) = delete;
@@ -271,7 +274,9 @@ private:
 
 /// SPMD launch: runs `fn` on `n` rank threads and joins them all.  If any
 /// rank throws, the group is aborted (peers wake with AbortError) and the
-/// first non-abort exception is rethrown here.
-void run_ranks(int n, const std::function<void(Communicator&)>& fn);
+/// first non-abort exception is rethrown here.  `name` labels the group's
+/// collective-wait metrics (see Group).
+void run_ranks(int n, const std::function<void(Communicator&)>& fn,
+               std::string name = {});
 
 }  // namespace sb::mpi

@@ -1,0 +1,21 @@
+// Tiny JSON output helpers shared by the observability exporters
+// (Workflow::write_trace, Workflow::write_metrics).  Only escaping lives
+// here: the exporters emit their own structure, but every string that ends
+// up inside a JSON document must pass through json_escape so instance
+// names, stream names, and labels can never produce an invalid file.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sb::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes are NOT
+/// added): ", \, and control characters become their escape sequences.
+std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number: finite values as shortest round-trip
+/// decimal, NaN/inf (not representable in JSON) as 0.
+std::string json_number(double v);
+
+}  // namespace sb::obs

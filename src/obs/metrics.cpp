@@ -1,0 +1,323 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace sb::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+    const char* env = std::getenv("SB_METRICS");
+    if (!env) return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "OFF") != 0 &&
+           std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+double steady_seconds() noexcept {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram() noexcept
+    : neg_min_(-std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+int Histogram::bucket_index(double v) noexcept {
+    if (!(v > 0.0)) return 0;  // <= 0 and NaN land in the underflow bucket
+    const int e = std::ilogb(v);
+    if (e < kMinExp) return 1;
+    if (e >= kMaxExp) return kBuckets - 1;
+    return e - kMinExp + 1;
+}
+
+double Histogram::bucket_upper_bound(int i) noexcept {
+    if (i <= 0) return 0.0;
+    if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+    return std::ldexp(1.0, kMinExp + i);
+}
+
+void Histogram::observe(double v) noexcept {
+    if (!enabled()) return;
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    Gauge::update_max(neg_min_, -v);
+    Gauge::update_max(max_, v);
+    const std::size_t slot = res_n_.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kReservoir) {
+        res_[slot].store(v, std::memory_order_relaxed);
+    }
+}
+
+double Histogram::min() const noexcept {
+    const double m = neg_min_.load(std::memory_order_relaxed);
+    return std::isfinite(m) ? -m : 0.0;
+}
+
+double Histogram::max() const noexcept {
+    const double m = max_.load(std::memory_order_relaxed);
+    return std::isfinite(m) ? m : 0.0;
+}
+
+std::vector<double> Histogram::reservoir() const {
+    const std::size_t n =
+        std::min(res_n_.load(std::memory_order_relaxed), kReservoir);
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(res_[i].load(std::memory_order_relaxed));
+    }
+    return out;
+}
+
+void Histogram::reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    neg_min_.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    res_n_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+Registry& Registry::global() {
+    static Registry r;
+    return r;
+}
+
+namespace {
+
+Labels canonical_labels(const Labels& labels) {
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+}
+
+std::string metric_key(const std::string& name, const Labels& sorted) {
+    std::string key = name;
+    key += '{';
+    for (const auto& [k, v] : sorted) {
+        key += k;
+        key += '=';
+        key += v;
+        key += ',';
+    }
+    key += '}';
+    return key;
+}
+
+std::string labels_to_string(const Labels& labels) {
+    std::string out;
+    for (const auto& [k, v] : labels) {
+        if (!out.empty()) out += ',';
+        out += k + "=" + v;
+    }
+    return out;
+}
+
+}  // namespace
+
+template <typename T>
+T& Registry::lookup(std::map<std::string, Entry<T>>& m, const std::string& name,
+                    const Labels& labels) {
+    const Labels sorted = canonical_labels(labels);
+    const std::string key = metric_key(name, sorted);
+    const std::lock_guard lock(mu_);
+    auto it = m.find(key);
+    if (it == m.end()) {
+        it = m.emplace(key, Entry<T>{name, sorted, std::make_unique<T>()}).first;
+    }
+    return *it->second.metric;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+    return lookup(counters_, name, labels);
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+    return lookup(gauges_, name, labels);
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
+    return lookup(histograms_, name, labels);
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+    std::vector<MetricSnapshot> out;
+    const std::lock_guard lock(mu_);
+    for (const auto& [key, e] : counters_) {
+        MetricSnapshot m;
+        m.type = MetricSnapshot::Type::Counter;
+        m.name = e.name;
+        m.labels = e.labels;
+        m.count = e.metric->value();
+        out.push_back(std::move(m));
+    }
+    for (const auto& [key, e] : gauges_) {
+        MetricSnapshot m;
+        m.type = MetricSnapshot::Type::Gauge;
+        m.name = e.name;
+        m.labels = e.labels;
+        m.value = e.metric->value();
+        m.high_water = e.metric->high_water();
+        out.push_back(std::move(m));
+    }
+    for (const auto& [key, e] : histograms_) {
+        MetricSnapshot m;
+        m.type = MetricSnapshot::Type::Histogram;
+        m.name = e.name;
+        m.labels = e.labels;
+        m.count = e.metric->count();
+        m.sum = e.metric->sum();
+        m.min = e.metric->min();
+        m.max = e.metric->max();
+        const std::vector<double> samples = e.metric->reservoir();
+        m.p50 = util::percentile(samples, 50.0);
+        m.p95 = util::percentile(samples, 95.0);
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            const std::uint64_t c = e.metric->bucket_count(i);
+            if (c) m.buckets.push_back({Histogram::bucket_upper_bound(i), c});
+        }
+        out.push_back(std::move(m));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSnapshot& a, const MetricSnapshot& b) {
+                  if (a.name != b.name) return a.name < b.name;
+                  return a.labels < b.labels;
+              });
+    return out;
+}
+
+double Registry::total(const std::string& name) const {
+    double sum = 0.0;
+    const std::lock_guard lock(mu_);
+    for (const auto& [key, e] : counters_) {
+        if (e.name == name) sum += static_cast<double>(e.metric->value());
+    }
+    for (const auto& [key, e] : gauges_) {
+        if (e.name == name) sum += e.metric->value();
+    }
+    for (const auto& [key, e] : histograms_) {
+        if (e.name == name) sum += e.metric->sum();
+    }
+    return sum;
+}
+
+void Registry::reset() {
+    const std::lock_guard lock(mu_);
+    for (auto& [key, e] : counters_) e.metric->reset();
+    for (auto& [key, e] : gauges_) e.metric->reset();
+    for (auto& [key, e] : histograms_) e.metric->reset();
+}
+
+// ---- export ----------------------------------------------------------------
+
+void write_metrics_json(std::ostream& out, const std::vector<MetricSnapshot>& metrics) {
+    out << "{\n  \"version\": 1,\n  \"metrics\": [";
+    bool first = true;
+    for (const MetricSnapshot& m : metrics) {
+        out << (first ? "\n" : ",\n") << "    {\"name\":\"" << json_escape(m.name)
+            << "\",\"labels\":{";
+        first = false;
+        bool lfirst = true;
+        for (const auto& [k, v] : m.labels) {
+            out << (lfirst ? "" : ",") << '"' << json_escape(k) << "\":\""
+                << json_escape(v) << '"';
+            lfirst = false;
+        }
+        out << "},";
+        switch (m.type) {
+            case MetricSnapshot::Type::Counter:
+                out << "\"type\":\"counter\",\"value\":" << m.count;
+                break;
+            case MetricSnapshot::Type::Gauge:
+                out << "\"type\":\"gauge\",\"value\":" << json_number(m.value)
+                    << ",\"high_water\":" << json_number(m.high_water);
+                break;
+            case MetricSnapshot::Type::Histogram: {
+                out << "\"type\":\"histogram\",\"count\":" << m.count
+                    << ",\"sum\":" << json_number(m.sum)
+                    << ",\"min\":" << json_number(m.min)
+                    << ",\"max\":" << json_number(m.max)
+                    << ",\"p50\":" << json_number(m.p50)
+                    << ",\"p95\":" << json_number(m.p95) << ",\"buckets\":[";
+                bool bfirst = true;
+                for (const auto& b : m.buckets) {
+                    out << (bfirst ? "" : ",") << "{\"le\":"
+                        << (std::isfinite(b.le) ? json_number(b.le)
+                                                : std::string("\"inf\""))
+                        << ",\"count\":" << b.count << '}';
+                    bfirst = false;
+                }
+                out << ']';
+                break;
+            }
+        }
+        out << '}';
+    }
+    out << "\n  ]\n}\n";
+}
+
+std::string format_metrics_table(const std::vector<MetricSnapshot>& metrics) {
+    std::ostringstream os;
+    char line[256];
+    std::snprintf(line, sizeof line, "%-44s %-28s %12s %12s %12s %12s %12s\n",
+                  "metric", "labels", "count/value", "sum", "mean", "p50", "p95");
+    os << line;
+    for (const MetricSnapshot& m : metrics) {
+        const std::string labels = labels_to_string(m.labels);
+        switch (m.type) {
+            case MetricSnapshot::Type::Counter:
+                std::snprintf(line, sizeof line, "%-44s %-28s %12llu\n",
+                              m.name.c_str(), labels.c_str(),
+                              static_cast<unsigned long long>(m.count));
+                break;
+            case MetricSnapshot::Type::Gauge:
+                std::snprintf(line, sizeof line,
+                              "%-44s %-28s %12.6g %12s hwm=%.6g\n", m.name.c_str(),
+                              labels.c_str(), m.value, "", m.high_water);
+                break;
+            case MetricSnapshot::Type::Histogram: {
+                const double mean =
+                    m.count ? m.sum / static_cast<double>(m.count) : 0.0;
+                std::snprintf(line, sizeof line,
+                              "%-44s %-28s %12llu %12.6g %12.6g %12.6g %12.6g\n",
+                              m.name.c_str(), labels.c_str(),
+                              static_cast<unsigned long long>(m.count), m.sum, mean,
+                              m.p50, m.p95);
+                break;
+            }
+        }
+        os << line;
+    }
+    return os.str();
+}
+
+}  // namespace sb::obs

@@ -1,0 +1,220 @@
+// sb::obs — process-wide, low-overhead observability.
+//
+// The paper's evaluation hinges on knowing where time goes in an in situ
+// pipeline — compute vs. transport vs. backpressure — so the transport and
+// runtime layers publish their telemetry here: monotonic counters, gauges
+// with high-water marks, and log-bucketed histograms, addressed by name
+// plus labels (stream=, comm=).  Design constraints:
+//
+//   - cheap enough to leave on: the hot path is one relaxed atomic op per
+//     update, and a single relaxed bool load when disabled (SB_METRICS=off);
+//   - stable identities: the registry never deletes an instrument, so a
+//     component may resolve its instruments once and keep the pointers for
+//     its whole lifetime; Registry::reset() zeroes values but keeps every
+//     pointer valid (tests and benches isolate runs this way);
+//   - self-contained export: snapshot() captures everything needed by the
+//     JSON exporter and the human-readable summary table (see
+//     docs/OBSERVABILITY.md for the metric name reference).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sb::obs {
+
+/// Label set attached to a metric, e.g. {{"stream", "gtcp.fp"}}.  Order
+/// does not matter; the registry canonicalizes by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;  // initialized from SB_METRICS
+}
+
+/// Whether instruments record at all.  Initialized from the SB_METRICS env
+/// var ("off"/"0"/"false" disable; anything else, or unset, enables).
+inline bool enabled() noexcept {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// Seconds on the process-wide steady clock — the shared time base of all
+/// observability timestamps (same base as core::steady_now_seconds).
+double steady_seconds() noexcept;
+
+/// Monotonic counter (events, bytes).
+class Counter {
+public:
+    void add(std::uint64_t n) noexcept {
+        if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void inc() noexcept { add(1); }
+    std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous value with a high-water mark (queue depths, accumulated
+/// blocked time republished from another accounting domain).
+class Gauge {
+public:
+    void set(double v) noexcept {
+        if (!enabled()) return;
+        v_.store(v, std::memory_order_relaxed);
+        update_max(hwm_, v);
+    }
+    double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+    double high_water() const noexcept { return hwm_.load(std::memory_order_relaxed); }
+    void reset() noexcept {
+        v_.store(0.0, std::memory_order_relaxed);
+        hwm_.store(0.0, std::memory_order_relaxed);
+    }
+
+private:
+    friend class Histogram;
+    static void update_max(std::atomic<double>& slot, double v) noexcept {
+        double cur = slot.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    std::atomic<double> v_{0.0};
+    std::atomic<double> hwm_{0.0};
+};
+
+/// Log-bucketed histogram for durations (seconds) and sizes (bytes):
+/// bucket boundaries are powers of two from 2^-40 (~1 ns) to 2^24 (~16 M),
+/// plus an underflow bucket for v <= 0 and an overflow bucket on top.
+/// Tracks count/sum/min/max exactly; additionally keeps the first
+/// kReservoir raw samples so percentiles can be computed with
+/// util::percentile (exact early in a run, bucket-bounded accuracy after).
+class Histogram {
+public:
+    static constexpr int kMinExp = -40;   // lowest bucket: v < 2^-40
+    static constexpr int kMaxExp = 24;    // overflow bucket: v >= 2^24
+    static constexpr int kBuckets = kMaxExp - kMinExp + 2;  // + under/overflow
+    static constexpr std::size_t kReservoir = 512;
+
+    Histogram() noexcept;
+
+    void observe(double v) noexcept;
+
+    std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    /// Smallest / largest observed value; 0 when empty.
+    double min() const noexcept;
+    double max() const noexcept;
+
+    /// Index of the bucket `v` lands in.
+    static int bucket_index(double v) noexcept;
+    /// Exclusive upper bound of bucket `i` (infinity for the overflow bucket).
+    static double bucket_upper_bound(int i) noexcept;
+    std::uint64_t bucket_count(int i) const noexcept {
+        return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+
+    /// The retained raw samples (at most kReservoir, earliest first).
+    std::vector<double> reservoir() const;
+
+    void reset() noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    // Extrema via the monotonic update_max helper: the minimum is tracked
+    // negated so both directions are "move up only".
+    std::atomic<double> neg_min_;  // initialized to -inf in the ctor
+    std::atomic<double> max_;      // initialized to -inf in the ctor
+    std::atomic<std::size_t> res_n_{0};
+    std::array<std::atomic<double>, kReservoir> res_{};
+};
+
+/// One exported metric, fully materialized (see Registry::snapshot).
+struct MetricSnapshot {
+    enum class Type { Counter, Gauge, Histogram };
+
+    Type type = Type::Counter;
+    std::string name;
+    Labels labels;  // sorted by key
+
+    // Counter / histogram observation count.
+    std::uint64_t count = 0;
+    // Gauge.
+    double value = 0.0;
+    double high_water = 0.0;
+    // Histogram.
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    struct Bucket {
+        double le = 0.0;  // exclusive upper bound
+        std::uint64_t count = 0;
+    };
+    std::vector<Bucket> buckets;  // non-empty buckets only, ascending
+};
+
+/// Thread-safe instrument registry.  Lookup takes a mutex; the returned
+/// references are valid for the life of the process, so callers resolve
+/// once and then touch only atomics.
+class Registry {
+public:
+    /// The process-wide registry every layer publishes into.
+    static Registry& global();
+
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    Counter& counter(const std::string& name, const Labels& labels = {});
+    Gauge& gauge(const std::string& name, const Labels& labels = {});
+    Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+    /// Every registered metric, materialized and sorted by (name, labels).
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /// Sum over all label sets of `name`: counter values, gauge values, or
+    /// histogram sums (whichever type the name resolves to).
+    double total(const std::string& name) const;
+
+    /// Zeroes every instrument.  Identities survive: pointers previously
+    /// returned remain valid and start accumulating from zero again.
+    void reset();
+
+private:
+    template <typename T>
+    struct Entry {
+        std::string name;
+        Labels labels;
+        std::unique_ptr<T> metric;
+    };
+    template <typename T>
+    T& lookup(std::map<std::string, Entry<T>>& m, const std::string& name,
+              const Labels& labels);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry<Counter>> counters_;
+    std::map<std::string, Entry<Gauge>> gauges_;
+    std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+/// Writes the snapshot as a JSON document: {"version":1,"metrics":[...]}.
+void write_metrics_json(std::ostream& out, const std::vector<MetricSnapshot>& metrics);
+
+/// Renders the snapshot as an aligned human-readable table (counters,
+/// gauges with high-water marks, histograms with count/sum/mean/p50/p95/max
+/// via util::stats percentiles over the retained samples).
+std::string format_metrics_table(const std::vector<MetricSnapshot>& metrics);
+
+}  // namespace sb::obs

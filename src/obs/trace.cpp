@@ -1,0 +1,66 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace sb::obs {
+
+TraceLog& TraceLog::global() {
+    static TraceLog log;
+    return log;
+}
+
+void TraceLog::record(TraceEvent ev) {
+    const std::lock_guard lock(mu_);
+    if (events_.size() >= kCapacity) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(ev));
+}
+
+void TraceLog::counter(const std::string& name, const std::string& stream,
+                       double value) {
+    if (!enabled()) return;
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::Counter;
+    ev.name = name;
+    ev.stream = stream;
+    ev.t0 = steady_seconds();
+    ev.value = value;
+    record(std::move(ev));
+}
+
+void TraceLog::slice(const std::string& name, const std::string& stream,
+                     const std::string& category, double t0, double t1) {
+    if (!enabled()) return;
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::Slice;
+    ev.name = name;
+    ev.stream = stream;
+    ev.category = category;
+    ev.t0 = t0;
+    ev.t1 = t1;
+    record(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceLog::events_after(double t) const {
+    const std::lock_guard lock(mu_);
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& ev : events_) {
+        if (ev.t0 >= t) out.push_back(ev);
+    }
+    return out;
+}
+
+std::uint64_t TraceLog::dropped() const {
+    const std::lock_guard lock(mu_);
+    return dropped_;
+}
+
+void TraceLog::clear() {
+    const std::lock_guard lock(mu_);
+    events_.clear();
+    dropped_ = 0;
+}
+
+}  // namespace sb::obs

@@ -1,0 +1,69 @@
+// Timeline event capture for the transport layer.
+//
+// Aggregate metrics (obs::Registry) say *how much* time went to
+// backpressure; the trace log says *when*: the transport records
+// queue-depth samples and stall intervals here, and
+// Workflow::write_trace merges them into the Chrome trace as counter
+// tracks ("C" events) and async slices, so a viewer shows why a component
+// lane is idle, not just that it is.
+//
+// Events are low-rate (per step / per stall, never per element), so a
+// mutex-protected ring is enough; the log is bounded and counts drops
+// instead of growing without limit.  Recording is gated on obs::enabled().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sb::obs {
+
+struct TraceEvent {
+    enum class Kind { Counter, Slice };
+
+    Kind kind = Kind::Counter;
+    std::string name;      // track or slice name, e.g. "queue depth"
+    std::string stream;    // the stream the event belongs to
+    std::string category;  // slice category: "backpressure", "acquire", ...
+    double t0 = 0.0;       // steady-clock seconds (obs::steady_seconds)
+    double t1 = 0.0;       // slice end; unused for counter samples
+    double value = 0.0;    // counter sample value
+};
+
+class TraceLog {
+public:
+    static TraceLog& global();
+
+    TraceLog() = default;
+    TraceLog(const TraceLog&) = delete;
+    TraceLog& operator=(const TraceLog&) = delete;
+
+    /// Records an instantaneous sample of a per-stream counter track
+    /// (timestamped now).
+    void counter(const std::string& name, const std::string& stream, double value);
+
+    /// Records a completed stall interval [t0, t1].
+    void slice(const std::string& name, const std::string& stream,
+               const std::string& category, double t0, double t1);
+
+    /// Events with t0 >= t, in record order (a workflow filters by its own
+    /// run epoch so earlier runs in the same process don't leak in).
+    std::vector<TraceEvent> events_after(double t) const;
+
+    /// Events dropped because the log was full.
+    std::uint64_t dropped() const;
+
+    void clear();
+
+    static constexpr std::size_t kCapacity = 1 << 16;
+
+private:
+    void record(TraceEvent ev);
+
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sb::obs

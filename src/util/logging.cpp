@@ -1,5 +1,6 @@
 #include "util/logging.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -7,6 +8,25 @@
 namespace sb::util {
 
 namespace {
+
+// Elapsed-time origin: first use of the logger, which for SB_LOG-enabled
+// runs is effectively process start.
+std::chrono::steady_clock::time_point log_epoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+// Anchor the epoch during static initialization rather than at first log.
+[[maybe_unused]] const auto g_epoch_anchor = log_epoch();
+
+// Compact per-thread id: sequential in first-log order, so a workflow's
+// rank threads come out as small stable numbers instead of opaque pthread
+// handles.
+unsigned thread_log_id() {
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
 
 std::atomic<int> g_level = [] {
     if (const char* env = std::getenv("SB_LOG")) {
@@ -62,8 +82,13 @@ LogLevel parse_log_level(const std::string& s) {
 namespace detail {
 
 void log_line(LogLevel lvl, const std::string& msg) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - log_epoch())
+            .count();
+    const unsigned tid = thread_log_id();
     const std::lock_guard<std::mutex> lock(log_mutex());
-    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+    std::fprintf(stderr, "[%9.3fs %-5s t%02u] %s\n", elapsed, level_name(lvl), tid,
+                 msg.c_str());
 }
 
 }  // namespace detail

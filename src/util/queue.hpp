@@ -7,7 +7,9 @@
 // variables with predicates — never spinning (Core Guidelines CP.42).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -35,10 +37,12 @@ public:
             q_.push_back(std::move(item));
             const std::uint64_t my_seq = ++pushed_;
             not_empty_.notify_all();
-            popped_cv_.wait(lock, [&] { return closed_ || popped_ >= my_seq; });
+            timed_wait(popped_cv_, lock, blocked_push_s_, blocked_pushes_,
+                       [&] { return closed_ || popped_ >= my_seq; });
             return popped_ >= my_seq;
         }
-        not_full_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+        timed_wait(not_full_, lock, blocked_push_s_, blocked_pushes_,
+                   [&] { return closed_ || q_.size() < capacity_; });
         if (closed_) return false;
         q_.push_back(std::move(item));
         not_empty_.notify_one();
@@ -49,7 +53,8 @@ public:
     /// drained; nullopt signals end of stream.
     std::optional<T> pop() {
         std::unique_lock lock(mu_);
-        not_empty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+        timed_wait(not_empty_, lock, blocked_pop_s_, blocked_pops_,
+                   [&] { return closed_ || !q_.empty(); });
         if (q_.empty()) return std::nullopt;
         T item = std::move(q_.front());
         q_.pop_front();
@@ -91,7 +96,45 @@ public:
         return q_.size();
     }
 
+    // ---- blocked-time accounting -------------------------------------------
+    // Seconds spent waiting in push()/pop() because the queue was full/empty
+    // (backpressure and starvation, respectively), and how many calls had to
+    // wait at all.  FlexPath's Stream republishes these per stream through
+    // sb::obs with a stream= label (this header stays obs-free so the queue
+    // remains a standalone primitive).
+
+    double blocked_push_seconds() const {
+        std::lock_guard lock(mu_);
+        return blocked_push_s_;
+    }
+    double blocked_pop_seconds() const {
+        std::lock_guard lock(mu_);
+        return blocked_pop_s_;
+    }
+    std::uint64_t blocked_pushes() const {
+        std::lock_guard lock(mu_);
+        return blocked_pushes_;
+    }
+    std::uint64_t blocked_pops() const {
+        std::lock_guard lock(mu_);
+        return blocked_pops_;
+    }
+
 private:
+    /// cv.wait(lock, pred), accounting the time actually spent blocked into
+    /// `seconds`/`stalls` (both protected by mu_, which the caller holds and
+    /// the wait reacquires).  The satisfied-immediately path costs nothing.
+    template <typename Pred>
+    void timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                    double& seconds, std::uint64_t& stalls, Pred pred) {
+        if (pred()) return;
+        const auto t0 = std::chrono::steady_clock::now();
+        cv.wait(lock, pred);
+        seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                       .count();
+        ++stalls;
+    }
+
     const std::size_t capacity_;
     mutable std::mutex mu_;
     std::condition_variable not_empty_;
@@ -101,6 +144,10 @@ private:
     bool closed_ = false;
     std::uint64_t pushed_ = 0;
     std::uint64_t popped_ = 0;
+    double blocked_push_s_ = 0.0;
+    double blocked_pop_s_ = 0.0;
+    std::uint64_t blocked_pushes_ = 0;
+    std::uint64_t blocked_pops_ = 0;
 };
 
 }  // namespace sb::util

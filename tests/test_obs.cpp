@@ -1,0 +1,555 @@
+// Tests for sb::obs: the instrument primitives, the registry, the trace
+// log, and — through a real 2-writer/3-reader workflow — the end-to-end
+// exporters (Workflow::write_trace / write_metrics).  A minimal
+// recursive-descent JSON parser validates that the exported files are
+// well-formed documents, not just grep-able text.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/workflow.hpp"
+#include "flexpath/stream.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/source_component.hpp"
+
+namespace obs = sb::obs;
+
+namespace {
+
+// ---- minimal JSON parser ---------------------------------------------------
+
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    const JsonValue* find(const std::string& key) const {
+        const auto it = obj.find(key);
+        return it == obj.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : s_(text) {}
+
+    JsonValue parse() {
+        JsonValue v = value();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing content");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) {
+        throw std::runtime_error("JSON parse error at byte " + std::to_string(pos_) +
+                                 ": " + why);
+    }
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                    s_[pos_] == '\n' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end");
+        return s_[pos_];
+    }
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+    bool consume(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool consume_word(std::string_view w) {
+        if (s_.substr(pos_, w.size()) == w) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue value() {
+        skip_ws();
+        JsonValue v;
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"':
+                v.kind = JsonValue::Kind::String;
+                v.str = string();
+                return v;
+            case 't':
+                if (!consume_word("true")) fail("bad literal");
+                v.kind = JsonValue::Kind::Bool;
+                v.boolean = true;
+                return v;
+            case 'f':
+                if (!consume_word("false")) fail("bad literal");
+                v.kind = JsonValue::Kind::Bool;
+                return v;
+            case 'n':
+                if (!consume_word("null")) fail("bad literal");
+                return v;
+            default: return number();
+        }
+    }
+
+    JsonValue object() {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skip_ws();
+        if (consume('}')) return v;
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            v.obj.emplace(std::move(key), value());
+            skip_ws();
+            if (consume('}')) return v;
+            expect(',');
+        }
+    }
+
+    JsonValue array() {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skip_ws();
+        if (consume(']')) return v;
+        while (true) {
+            v.arr.push_back(value());
+            skip_ws();
+            if (consume(']')) return v;
+            expect(',');
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size()) fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("short \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // The exporters only emit \u00xx; that's all we decode.
+                    out.push_back(static_cast<char>(code & 0xff));
+                    break;
+                }
+                default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue number() {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
+        return v;
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue parse_json_file(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return JsonParser(ss.str()).parse();
+}
+
+// Re-enables metrics when a test that disables them exits (other tests in
+// this binary rely on the instruments being live).
+struct EnabledGuard {
+    ~EnabledGuard() { obs::set_enabled(true); }
+};
+
+// ---- instrument primitives -------------------------------------------------
+
+TEST(ObsCounter, AccumulatesAndResets) {
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, DisabledIsNoOp) {
+    EnabledGuard guard;
+    obs::Counter c;
+    obs::set_enabled(false);
+    c.add(5);
+    EXPECT_EQ(c.value(), 0u);
+    obs::set_enabled(true);
+    c.add(5);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(ObsGauge, TracksHighWaterMark) {
+    obs::Gauge g;
+    g.set(3.0);
+    g.set(7.0);
+    g.set(2.0);
+    EXPECT_EQ(g.value(), 2.0);
+    EXPECT_EQ(g.high_water(), 7.0);
+    g.reset();
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(g.high_water(), 0.0);
+}
+
+TEST(ObsHistogram, CountSumMinMax) {
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0.0);  // empty
+    EXPECT_EQ(h.max(), 0.0);
+    h.observe(0.5);
+    h.observe(2.0);
+    h.observe(0.25);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 2.75);
+    EXPECT_DOUBLE_EQ(h.min(), 0.25);
+    EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST(ObsHistogram, BucketIndexing) {
+    using H = obs::Histogram;
+    EXPECT_EQ(H::bucket_index(0.0), 0);    // underflow
+    EXPECT_EQ(H::bucket_index(-1.0), 0);
+    EXPECT_EQ(H::bucket_index(1.0), -H::kMinExp + 1);  // ilogb(1.0) == 0
+    EXPECT_EQ(H::bucket_index(1e300), H::kBuckets - 1);  // overflow
+    // Each finite bucket's upper bound contains values just below it.
+    for (int i = 2; i < H::kBuckets - 1; ++i) {
+        const double ub = H::bucket_upper_bound(i);
+        EXPECT_EQ(H::bucket_index(std::nextafter(ub, 0.0)), i) << "bucket " << i;
+        EXPECT_EQ(H::bucket_index(ub), i + 1) << "bucket " << i;
+    }
+}
+
+TEST(ObsHistogram, ReservoirKeepsEarlySamples) {
+    obs::Histogram h;
+    for (int i = 1; i <= 10; ++i) h.observe(static_cast<double>(i));
+    const auto samples = h.reservoir();
+    ASSERT_EQ(samples.size(), 10u);
+    EXPECT_EQ(samples.front(), 1.0);
+    EXPECT_EQ(samples.back(), 10.0);
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(ObsRegistry, LabelsAddressDistinctInstruments) {
+    auto& reg = obs::Registry::global();
+    obs::Counter& a = reg.counter("test.labels", {{"stream", "a"}});
+    obs::Counter& b = reg.counter("test.labels", {{"stream", "b"}});
+    EXPECT_NE(&a, &b);
+    // Label order is canonicalized: same set, same instrument.
+    obs::Counter& c1 = reg.counter("test.two", {{"x", "1"}, {"y", "2"}});
+    obs::Counter& c2 = reg.counter("test.two", {{"y", "2"}, {"x", "1"}});
+    EXPECT_EQ(&c1, &c2);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsIdentity) {
+    auto& reg = obs::Registry::global();
+    obs::Counter& c = reg.counter("test.reset");
+    c.add(9);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(&reg.counter("test.reset"), &c);  // same instrument after reset
+}
+
+TEST(ObsRegistry, TotalSumsAcrossLabelSets) {
+    auto& reg = obs::Registry::global();
+    reg.counter("test.total", {{"s", "1"}}).add(2);
+    reg.counter("test.total", {{"s", "2"}}).add(3);
+    const double before = reg.total("test.total");
+    reg.counter("test.total", {{"s", "1"}}).add(1);
+    EXPECT_DOUBLE_EQ(reg.total("test.total") - before, 1.0);
+    reg.histogram("test.total_h").observe(1.5);
+    EXPECT_DOUBLE_EQ(reg.total("test.total_h"), 1.5);
+}
+
+TEST(ObsRegistry, SnapshotCarriesHistogramStats) {
+    auto& reg = obs::Registry::global();
+    obs::Histogram& h = reg.histogram("test.snap_h", {{"k", "v"}});
+    h.reset();
+    for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+    bool found = false;
+    for (const auto& m : reg.snapshot()) {
+        if (m.name != "test.snap_h") continue;
+        found = true;
+        EXPECT_EQ(m.type, obs::MetricSnapshot::Type::Histogram);
+        ASSERT_EQ(m.labels.size(), 1u);
+        EXPECT_EQ(m.labels[0].first, "k");
+        EXPECT_EQ(m.count, 100u);
+        EXPECT_DOUBLE_EQ(m.sum, 5050.0);
+        EXPECT_DOUBLE_EQ(m.min, 1.0);
+        EXPECT_DOUBLE_EQ(m.max, 100.0);
+        EXPECT_NEAR(m.p50, 50.0, 2.0);
+        EXPECT_NEAR(m.p95, 95.0, 2.0);
+        EXPECT_FALSE(m.buckets.empty());
+    }
+    EXPECT_TRUE(found);
+}
+
+// ---- json helpers ----------------------------------------------------------
+
+TEST(ObsJson, EscapesControlAndQuoteCharacters) {
+    EXPECT_EQ(obs::json_escape("plain"), "plain");
+    EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::json_escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+    // Round-trips through the test parser.
+    const std::string doc = "\"" + obs::json_escape("x\"\\\n\t\x02y") + "\"";
+    const JsonValue v = JsonParser(doc).parse();
+    EXPECT_EQ(v.str, "x\"\\\n\t\x02y");
+}
+
+TEST(ObsJson, NumbersAreAlwaysValidJson) {
+    EXPECT_EQ(obs::json_number(0.0), "0");
+    EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "0");
+    EXPECT_EQ(obs::json_number(std::nan("")), "0");
+    const double v = 0.1234567890123;
+    EXPECT_DOUBLE_EQ(std::stod(obs::json_number(v)), v);
+}
+
+// ---- trace log -------------------------------------------------------------
+
+TEST(ObsTraceLog, RecordsAndFiltersByEpoch) {
+    auto& tl = obs::TraceLog::global();
+    tl.clear();
+    const double epoch = obs::steady_seconds();
+    tl.counter("queue depth", "s1", 2.0);
+    tl.slice("backpressure", "s1", "backpressure", epoch, epoch + 0.001);
+    const auto all = tl.events_after(epoch);
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].kind, obs::TraceEvent::Kind::Counter);
+    EXPECT_EQ(all[0].stream, "s1");
+    EXPECT_EQ(all[1].kind, obs::TraceEvent::Kind::Slice);
+    EXPECT_EQ(all[1].category, "backpressure");
+    // A later epoch filters everything out.
+    EXPECT_TRUE(tl.events_after(obs::steady_seconds() + 1.0).empty());
+    tl.clear();
+    EXPECT_TRUE(tl.events_after(0.0).empty());
+}
+
+TEST(ObsTraceLog, DisabledRecordsNothing) {
+    EnabledGuard guard;
+    auto& tl = obs::TraceLog::global();
+    tl.clear();
+    obs::set_enabled(false);
+    tl.counter("queue depth", "s1", 1.0);
+    tl.slice("backpressure", "s1", "backpressure", 0.0, 1.0);
+    EXPECT_TRUE(tl.events_after(0.0).empty());
+}
+
+// ---- end-to-end export -----------------------------------------------------
+
+TEST(ObsExport, RendezvousStreamsShowBackpressureAndTraceStalls) {
+    sb::sim::register_simulations();
+    obs::set_enabled(true);
+    obs::TraceLog::global().clear();
+    auto& reg = obs::Registry::global();
+
+    sb::flexpath::Fabric fabric;
+    sb::flexpath::StreamOptions opts;
+    opts.queue_capacity = 0;  // rendezvous: every push blocks until popped
+    sb::core::Workflow wf(fabric, opts);
+    wf.add("gromacs", 2, {"atoms=16384", "steps=6", "substeps=2"});
+    wf.add("magnitude", 3, {"gmx.fp", "coords", "m.fp", "r"});
+    wf.add("histogram", 1, {"m.fp", "r", "8", "/tmp/sb_test_obs_hist.txt"});
+
+    const double bp0 = reg.total("flexpath.backpressure_wait_seconds");
+    wf.run();
+    const double bp = reg.total("flexpath.backpressure_wait_seconds") - bp0;
+    EXPECT_GT(bp, 0.0) << "rendezvous pushes must accumulate backpressure wait";
+
+    // -- trace file: valid JSON, queue-depth counter track, >= 1 stall slice
+    const std::string trace_path = "/tmp/sb_test_obs_trace.json";
+    wf.write_trace(trace_path);
+    const JsonValue trace = parse_json_file(trace_path);
+    ASSERT_EQ(trace.kind, JsonValue::Kind::Array);
+    ASSERT_FALSE(trace.arr.empty());
+
+    bool transport_track = false, queue_depth_counter = false, stall_slice = false;
+    bool step_slice = false;
+    for (const JsonValue& ev : trace.arr) {
+        ASSERT_EQ(ev.kind, JsonValue::Kind::Object);
+        const JsonValue* ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->str == "M") {
+            const JsonValue* args = ev.find("args");
+            if (args && args->find("name") &&
+                args->find("name")->str == "transport") {
+                transport_track = true;
+            }
+        } else if (ph->str == "C") {
+            const JsonValue* name = ev.find("name");
+            if (name && name->str.find("queue depth") != std::string::npos) {
+                queue_depth_counter = true;
+                EXPECT_NE(ev.find("ts"), nullptr);
+                ASSERT_NE(ev.find("args"), nullptr);
+                EXPECT_NE(ev.find("args")->find("value"), nullptr);
+            }
+        } else if (ph->str == "b") {
+            const JsonValue* cat = ev.find("cat");
+            if (cat && (cat->str == "backpressure" || cat->str == "acquire")) {
+                stall_slice = true;
+            }
+        } else if (ph->str == "X") {
+            step_slice = true;
+        }
+    }
+    EXPECT_TRUE(transport_track);
+    EXPECT_TRUE(queue_depth_counter);
+    EXPECT_TRUE(stall_slice) << "expected at least one backpressure/acquire slice";
+    EXPECT_TRUE(step_slice);
+
+    // -- metrics file: valid JSON carrying the stream-labelled instruments
+    const std::string metrics_path = "/tmp/sb_test_obs_metrics.json";
+    wf.write_metrics(metrics_path);
+    const JsonValue doc = parse_json_file(metrics_path);
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+    ASSERT_NE(doc.find("version"), nullptr);
+    EXPECT_EQ(doc.find("version")->number, 1.0);
+    const JsonValue* metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_EQ(metrics->kind, JsonValue::Kind::Array);
+
+    double bp_sum = 0.0;
+    bool saw_steps = false, saw_adios = false, saw_mpi = false;
+    for (const JsonValue& m : metrics->arr) {
+        const JsonValue* name = m.find("name");
+        ASSERT_NE(name, nullptr);
+        if (name->str == "flexpath.backpressure_wait_seconds") {
+            const JsonValue* labels = m.find("labels");
+            ASSERT_NE(labels, nullptr);
+            EXPECT_NE(labels->find("stream"), nullptr);
+            bp_sum += m.find("sum")->number;
+        }
+        if (name->str == "flexpath.steps_assembled") saw_steps = true;
+        if (name->str == "adios.steps_written") saw_adios = true;
+        if (name->str == "mpi.collective_wait_seconds") saw_mpi = true;
+    }
+    EXPECT_GT(bp_sum, 0.0);
+    EXPECT_TRUE(saw_steps);
+    EXPECT_TRUE(saw_adios);
+    EXPECT_TRUE(saw_mpi);
+
+    // -- summary table mentions the key instruments
+    const std::string table = wf.metrics_summary();
+    EXPECT_NE(table.find("flexpath.backpressure_wait_seconds"), std::string::npos);
+    EXPECT_NE(table.find("stream=gmx.fp"), std::string::npos);
+}
+
+TEST(ObsExport, LargeQueueShowsFarLessBackpressureThanRendezvous) {
+    sb::sim::register_simulations();
+    obs::set_enabled(true);
+    auto& reg = obs::Registry::global();
+
+    const auto run_with_capacity = [&](std::size_t cap) {
+        sb::flexpath::Fabric fabric;
+        sb::flexpath::StreamOptions opts;
+        opts.queue_capacity = cap;
+        sb::core::Workflow wf(fabric, opts);
+        wf.add("gromacs", 2, {"atoms=16384", "steps=6", "substeps=2"});
+        wf.add("magnitude", 3, {"gmx.fp", "coords", "m.fp", "r"});
+        wf.add("histogram", 1, {"m.fp", "r", "8", "/tmp/sb_test_obs_hist2.txt"});
+        const double bp0 = reg.total("flexpath.backpressure_wait_seconds");
+        wf.run();
+        return reg.total("flexpath.backpressure_wait_seconds") - bp0;
+    };
+
+    const double bp_rendezvous = run_with_capacity(0);
+    const double bp_large = run_with_capacity(64);
+    EXPECT_GT(bp_rendezvous, 0.0);
+    // With a queue deeper than the total step count nothing ever blocks on
+    // a full queue; only the non-blocking bookkeeping time remains.
+    EXPECT_LT(bp_large, bp_rendezvous);
+}
+
+TEST(ObsExport, TraceIsValidJsonWithMetricsDisabled) {
+    EnabledGuard guard;
+    sb::sim::register_simulations();
+    obs::set_enabled(false);  // no trace events, no metrics recorded
+
+    sb::flexpath::Fabric fabric;
+    sb::core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=1024", "steps=2", "substeps=1"});
+    wf.add("magnitude", 1, {"gmx.fp", "coords", "m.fp", "r"});
+    wf.add("histogram", 1, {"m.fp", "r", "8", "/tmp/sb_test_obs_hist3.txt"});
+    wf.run();
+
+    const std::string trace_path = "/tmp/sb_test_obs_trace_off.json";
+    wf.write_trace(trace_path);
+    const JsonValue trace = parse_json_file(trace_path);
+    ASSERT_EQ(trace.kind, JsonValue::Kind::Array);
+    // The per-instance metadata is always present; no transport track.
+    for (const JsonValue& ev : trace.arr) {
+        const JsonValue* args = ev.find("args");
+        if (args && args->find("name")) {
+            EXPECT_NE(args->find("name")->str, "transport");
+        }
+    }
+
+    const std::string metrics_path = "/tmp/sb_test_obs_metrics_off.json";
+    wf.write_metrics(metrics_path);
+    const JsonValue doc = parse_json_file(metrics_path);
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+}
+
+}  // namespace

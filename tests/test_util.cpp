@@ -195,6 +195,50 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer) {
     EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(BoundedQueue, BlockedPushTimeAccumulatesWhenBounded) {
+    u::BoundedQueue<int> q(1);
+    EXPECT_EQ(q.blocked_push_seconds(), 0.0);
+    EXPECT_EQ(q.blocked_pushes(), 0u);
+    EXPECT_TRUE(q.push(1));  // fits: no blocking recorded
+    EXPECT_EQ(q.blocked_pushes(), 0u);
+
+    std::jthread producer([&] { q.push(2); });  // blocks on the full queue
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(q.pop(), 1);  // slow consumer finally drains
+    EXPECT_EQ(q.pop(), 2);
+    producer.join();
+
+    EXPECT_GE(q.blocked_pushes(), 1u);
+    EXPECT_GT(q.blocked_push_seconds(), 0.0);
+}
+
+TEST(BoundedQueue, BlockedPushTimeAccumulatesInRendezvousMode) {
+    u::BoundedQueue<int> q(0);
+    std::jthread producer([&] { q.push(7); });  // must wait for the pop
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(q.pop(), 7);
+    producer.join();
+
+    EXPECT_GE(q.blocked_pushes(), 1u);
+    // The producer waited for the consumer's pop (~20 ms); the accounting
+    // must show a nonzero fraction of it.
+    EXPECT_GT(q.blocked_push_seconds(), 0.001);
+}
+
+TEST(BoundedQueue, BlockedPopTimeAccumulates) {
+    u::BoundedQueue<int> q(2);
+    EXPECT_EQ(q.blocked_pop_seconds(), 0.0);
+    std::jthread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        q.push(1);
+    });
+    EXPECT_EQ(q.pop(), 1);  // blocks until the slow producer delivers
+    producer.join();
+
+    EXPECT_GE(q.blocked_pops(), 1u);
+    EXPECT_GT(q.blocked_pop_seconds(), 0.001);
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers) {
     u::BoundedQueue<int> q(3);
     constexpr int kPerProducer = 50;
