@@ -8,12 +8,16 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/histogram.hpp"
 #include "core/workflow.hpp"
 #include "flexpath/stream.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/source_component.hpp"
 #include "sim/toroid_sim.hpp"
@@ -152,6 +156,43 @@ inline GtcpRunResult run_gtcp_workflow(const GtcpRunConfig& c) {
     r.acquire_wait_seconds = reg.total("flexpath.acquire_wait_seconds") - acq0;
     return r;
 }
+
+/// Machine-readable bench output: collects samples per (config, metric) and
+/// writes `BENCH_<name>.json` with n/median/p90 for each, so CI and the
+/// EXPERIMENTS.md tables consume the same numbers the console shows.
+class JsonReport {
+public:
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+    void add(const std::string& config, const std::string& metric, double value) {
+        samples_[{config, metric}].push_back(value);
+    }
+
+    /// Writes BENCH_<name>.json into `dir`; returns the path written.
+    std::string write(const std::string& dir = ".") const {
+        const std::string path = dir + "/BENCH_" + name_ + ".json";
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\n  \"bench\": \"" << obs::json_escape(name_)
+            << "\",\n  \"results\": [";
+        bool first = true;
+        for (const auto& [key, vals] : samples_) {
+            out << (first ? "\n" : ",\n") << "    {\"config\":\""
+                << obs::json_escape(key.first) << "\",\"metric\":\""
+                << obs::json_escape(key.second) << "\",\"n\":" << vals.size()
+                << ",\"median\":" << obs::json_number(util::percentile(vals, 50.0))
+                << ",\"p90\":" << obs::json_number(util::percentile(vals, 90.0))
+                << "}";
+            first = false;
+        }
+        out << "\n  ]\n}\n";
+        std::printf("wrote %s\n", path.c_str());
+        return path;
+    }
+
+private:
+    std::string name_;
+    std::map<std::pair<std::string, std::string>, std::vector<double>> samples_;
+};
 
 inline void print_header(const char* title, const char* paper_ref) {
     std::printf("\n================================================================\n");

@@ -68,6 +68,7 @@ int main() {
     // small ones hit the per-step fixed-cost floor (the flattening).
     std::printf("%-22s %-22s %-22s %-10s\n", "Size per proc (MB)", "Timestep (s)",
                 "time/size (s/MB)", "BP-stall%");
+    JsonReport report("fig10_magnitude_strong_scaling");
     std::vector<double> sizes_mb, times;
     for (const std::uint64_t atoms : {1048576u, 786432u, 524288u, 393216u,
                                       262144u, 131072u, 65536u, 16384u}) {
@@ -77,6 +78,8 @@ int main() {
         times.push_back(run.timestep_seconds);
         std::printf("%-22.2f %-22.4f %-22.5f %-10.2f\n", mb, run.timestep_seconds,
                     run.timestep_seconds / mb, run.stall_percent);
+        report.add(std::to_string(atoms) + "_atoms_1proc", "timestep_seconds",
+                   run.timestep_seconds);
     }
 
     // Linear-domain check over the large (out-of-cache) regime.
@@ -101,6 +104,9 @@ int main() {
         const MagnitudeRun run = magnitude_timestep_seconds(524288, procs);
         std::printf("%-12d %-18.1f %-22.4f %-10.2f\n", procs, 12.0 / procs,
                     run.timestep_seconds, run.stall_percent);
+        report.add("524288_atoms_" + std::to_string(procs) + "proc",
+                   "timestep_seconds", run.timestep_seconds);
     }
+    report.write();
     return 0;
 }

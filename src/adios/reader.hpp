@@ -64,6 +64,20 @@ public:
         port_.read_bytes(name, box, dest);
     }
 
+    /// Zero-copy bounding-box read: when `box` is exactly one writer block,
+    /// returns a view into the step's shared payload (valid until
+    /// end_step()); empty optional otherwise — fall back to read().
+    template <typename T>
+    std::optional<std::span<const T>> try_read_view(const std::string& name,
+                                                    const util::Box& box) const {
+        return port_.try_read_view<T>(name, box);
+    }
+
+    std::optional<std::span<const std::byte>>
+    try_read_view_bytes(const std::string& name, const util::Box& box) const {
+        return port_.try_read_view_bytes(name, box);
+    }
+
     /// String-list attribute, or nullopt when the step doesn't carry it.
     std::optional<std::vector<std::string>> attribute_strings(const std::string& name) const;
     std::optional<double> attribute_double(const std::string& name) const;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <optional>
+#include <span>
 
 #include "util/timer.hpp"
 
@@ -111,8 +112,15 @@ void DimReduce::run(RunContext& ctx, const util::ArgList& args) {
         // extent), which keeps the MxN redistribution box-expressible.
         const util::Box in_box = util::partition_along(shape, grow, rank, size);
         const std::size_t elem = ffs::kind_size(info.kind);
-        std::vector<std::byte> local(in_box.volume() * elem);
-        reader.read_bytes(in_array, in_box, local);
+        std::vector<std::byte> owned;
+        std::span<const std::byte> local;
+        if (const auto view = reader.try_read_view_bytes(in_array, in_box)) {
+            local = *view;  // slab is exactly one writer block: zero-copy
+        } else {
+            owned.resize(in_box.volume() * elem);
+            reader.read_bytes(in_array, in_box, owned);
+            local = owned;
+        }
 
         const util::NdShape local_shape(in_box.count);
         auto out_buf = std::make_shared<std::vector<std::byte>>(local.size());

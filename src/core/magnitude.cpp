@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <optional>
+#include <span>
 
 #include "util/timer.hpp"
 
@@ -35,9 +36,18 @@ void Magnitude::run(RunContext& ctx, const util::ArgList& args) {
         const std::uint64_t npoints = info.shape[0];
         const std::uint64_t ncomp = info.shape[1];
 
-        // Partition the data points among the ranks.
+        // Partition the data points among the ranks.  When the slab lines up
+        // with a single writer block, compute straight off the transport's
+        // payload (zero-copy); otherwise fall back to an assembled copy.
         const util::Box in_box = util::partition_along(info.shape, 0, rank, size);
-        const std::vector<double> vecs = reader.read<double>(in_array, in_box);
+        std::vector<double> owned;
+        std::span<const double> vecs;
+        if (const auto view = reader.try_read_view<double>(in_array, in_box)) {
+            vecs = *view;
+        } else {
+            owned = reader.read<double>(in_array, in_box);
+            vecs = owned;
+        }
 
         const std::uint64_t local_n = in_box.count[0];
         std::vector<double> mags(local_n);

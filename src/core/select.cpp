@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 
 #include "util/timer.hpp"
 
@@ -91,18 +92,27 @@ void Select::run(RunContext& ctx, const util::ArgList& args) {
         // Gather each selected row with a bounding-box read, then place it
         // at its output position along `dim`.
         std::uint64_t bytes_in = 0;
+        std::vector<std::byte> tmp;
         for (std::uint64_t j = j_begin; j < j_begin + j_count; ++j) {
             util::Box row_in = in_box;
             row_in.offset[dim] = rows[j];
             row_in.count[dim] = 1;
-            std::vector<std::byte> tmp(row_in.volume() * elem);
-            reader.read_bytes(in_array, row_in, tmp);
-            bytes_in += tmp.size();
+            // A row that is exactly one writer block is copied once,
+            // straight from the transport payload into its output slot.
+            std::span<const std::byte> row;
+            if (const auto view = reader.try_read_view_bytes(in_array, row_in)) {
+                row = *view;
+            } else {
+                tmp.resize(row_in.volume() * elem);
+                reader.read_bytes(in_array, row_in, tmp);
+                row = tmp;
+            }
+            bytes_in += row.size();
 
             util::Box row_out = out_box;
             row_out.offset[dim] = j;
             row_out.count[dim] = 1;
-            util::copy_box(tmp, row_out, *out_buf, out_box, row_out, elem);
+            util::copy_box(row, row_out, *out_buf, out_box, row_out, elem);
         }
 
         if (!writer) {

@@ -59,15 +59,42 @@ std::string ByteReader::str() {
 }
 
 Bytes ByteReader::bytes(std::size_t n) {
-    need(n);
-    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-    pos_ += n;
-    return out;
+    const auto v = view(n);
+    return Bytes(v.begin(), v.end());
 }
+
+std::span<const std::byte> ByteReader::view(std::size_t n) {
+    need(n);
+    const auto v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+}
+
+namespace {
+
+/// Exact wire size of a record: lets encode reserve the packet in one
+/// allocation.  Must mirror the format written by encode below.
+std::size_t encoded_size(const Record& rec) {
+    std::size_t n = 4;  // magic
+    n += 4 + rec.descriptor().name.size();
+    n += 4;  // nfields
+    for (const FieldDesc& fd : rec.descriptor().fields) {
+        n += 4 + fd.name.size();
+        n += 1 + 1 + 8 * fd.shape.size();
+        if (fd.kind == Kind::String) {
+            for (const std::string& s : rec.get_strings(fd.name)) n += 4 + s.size();
+        } else {
+            n += rec.raw_bytes(fd.name).size();
+        }
+    }
+    return n;
+}
+
+}  // namespace
 
 Bytes encode(const Record& rec) {
     ByteWriter w;
+    w.reserve(encoded_size(rec));
     w.u32(kMagic);
     w.str(rec.descriptor().name);
     w.u32(static_cast<std::uint32_t>(rec.descriptor().fields.size()));

@@ -34,6 +34,11 @@ Record decode(std::span<const std::byte> wire);
 
 class ByteWriter {
 public:
+    /// Capacity hint: grows the buffer's capacity to `total` bytes so a
+    /// caller that knows the final packet size (encode does) pays one
+    /// allocation instead of a doubling cascade.
+    void reserve(std::size_t total) { buf_.reserve(total); }
+
     void u8(std::uint8_t v);
     void u32(std::uint32_t v);
     void u64(std::uint64_t v);
@@ -56,6 +61,10 @@ public:
     std::uint64_t u64();
     std::string str();
     Bytes bytes(std::size_t n);
+
+    /// The next `n` bytes without copying; the span aliases the wire buffer
+    /// handed to the constructor and is valid for that buffer's lifetime.
+    std::span<const std::byte> view(std::size_t n);
 
     std::size_t remaining() const noexcept { return data_.size() - pos_; }
     bool done() const noexcept { return pos_ == data_.size(); }

@@ -80,6 +80,14 @@ std::span<const std::byte> Record::raw_bytes(const std::string& name) const {
     return std::get<std::vector<std::byte>>(payloads_[i]);
 }
 
+std::vector<std::byte> Record::take_bytes(const std::string& name) {
+    const std::size_t i = index_of(name);
+    if (desc_.fields[i].kind == Kind::String) {
+        throw std::runtime_error("take_bytes '" + name + "': string field has no raw bytes");
+    }
+    return std::move(std::get<std::vector<std::byte>>(payloads_[i]));
+}
+
 void Record::add_field(FieldDesc fd, Payload payload) {
     if (by_name_.count(fd.name)) {
         throw std::invalid_argument("duplicate field '" + fd.name + "'");

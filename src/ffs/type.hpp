@@ -143,6 +143,11 @@ public:
     /// Raw payload bytes of a numeric field (no copy).
     std::span<const std::byte> raw_bytes(const std::string& name) const;
 
+    /// Moves a numeric field's payload out of the record (the field stays
+    /// declared but its payload is left empty).  Lets a consumer adopt a
+    /// decoded payload without a second copy.
+    std::vector<std::byte> take_bytes(const std::string& name);
+
 private:
     friend Record decode(std::span<const std::byte>);
 

@@ -1,41 +1,126 @@
 #include "flexpath/reader.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 
 namespace sb::flexpath {
 
+namespace {
+
+/// Stale-generation plans are pruned once the cache grows past this; a
+/// steady-state workflow re-requests the same boxes every step, so live
+/// plans number (vars x boxes per rank), far below the bound.
+constexpr std::size_t kMaxPlans = 1024;
+
+bool plan_cache_enabled_from_env() {
+    const char* v = std::getenv("SB_PLAN_CACHE");
+    if (!v) return true;
+    const std::string s(v);
+    return !(s == "off" || s == "0" || s == "false");
+}
+
+}  // namespace
+
 ReaderPort::ReaderPort(Fabric& fabric, const std::string& stream_name, int rank,
                        int nranks)
-    : stream_(fabric.get(stream_name)) {
-    (void)rank;
+    : stream_(fabric.get(stream_name)),
+      rank_(rank),
+      plan_cache_enabled_(plan_cache_enabled_from_env()) {
     stream_->attach_reader(nranks);
     auto& reg = obs::Registry::global();
-    const obs::Labels labels{{"stream", stream_->name()}};
+    const obs::Labels labels{{"stream", stream_->name()},
+                             {"rank", std::to_string(rank)}};
     bytes_read_ = &reg.counter("flexpath.bytes_read", labels);
     reads_ = &reg.counter("flexpath.reads", labels);
+    plan_hits_ = &reg.counter("flexpath.plan_hits", labels);
+    plan_misses_ = &reg.counter("flexpath.plan_misses", labels);
+    zero_copy_reads_ = &reg.counter("flexpath.zero_copy_reads", labels);
+    plan_compile_seconds_ = &reg.histogram("flexpath.plan_compile_seconds", labels);
 }
 
 bool ReaderPort::begin_step() {
     if (current_) throw std::logic_error("begin_step: step already in progress");
     current_ = stream_->acquire(gen_);
     if (!current_) return false;
-    meta_ = decode_step_meta(current_->meta);
+    meta_ = &current_->decoded_meta();
     return true;
 }
 
 const StepMeta& ReaderPort::meta() const {
     if (!current_) throw std::logic_error("meta: no step in progress");
-    return meta_;
+    return *meta_;
 }
 
 const VarDecl& ReaderPort::var(const std::string& var) const {
-    const auto it = meta().vars.find(var);
-    if (it == meta_.vars.end()) {
+    const StepMeta& m = meta();
+    const auto it = m.vars.find(var);
+    if (it == m.vars.end()) {
         throw std::runtime_error("stream '" + stream_->name() + "' step " +
-                                 std::to_string(meta_.step) + " has no variable '" +
+                                 std::to_string(m.step) + " has no variable '" +
                                  var + "'");
+    }
+    return it->second;
+}
+
+ReaderPort::CachedPlan ReaderPort::compile_plan(const std::vector<Block>* blocks,
+                                                const std::string& var,
+                                                const util::Box& box,
+                                                std::size_t elem) {
+    CachedPlan plan;
+    std::uint64_t covered = 0;
+    if (blocks) {
+        for (std::size_t i = 0; i < blocks->size(); ++i) {
+            const Block& b = (*blocks)[i];
+            const auto region = util::intersect(b.box, box);
+            if (!region) continue;
+            plan.blocks.push_back(
+                {i, util::compile_copy_plan(b.box, box, *region, elem)});
+            covered += region->volume();
+            if (b.box == box) plan.exact_block = static_cast<std::ptrdiff_t>(i);
+        }
+    }
+    if (covered != box.volume()) {
+        throw std::runtime_error("read '" + var + "': selection " + box.to_string() +
+                                 " only covered by " + std::to_string(covered) + "/" +
+                                 std::to_string(box.volume()) + " elements");
+    }
+    return plan;
+}
+
+const ReaderPort::CachedPlan& ReaderPort::plan_for(const std::string& var,
+                                                   const VarDecl& decl,
+                                                   const util::Box& box,
+                                                   std::size_t elem) const {
+    (void)decl;
+    PlanKey key{var, {box.offset, box.count}};
+    auto it = plans_.find(key);
+    if (it != plans_.end() && it->second.layout_gen == current_->layout_gen) {
+        plan_hits_->inc();
+        return it->second;
+    }
+
+    const bool instr = obs::enabled();
+    const double t0 = instr ? obs::steady_seconds() : 0.0;
+    const auto bit = current_->blocks.find(var);
+    CachedPlan plan = compile_plan(
+        bit == current_->blocks.end() ? nullptr : &bit->second, var, box, elem);
+    plan.layout_gen = current_->layout_gen;
+    if (instr) plan_compile_seconds_->observe(obs::steady_seconds() - t0);
+    plan_misses_->inc();
+
+    if (it == plans_.end()) {
+        // A new key into a grown cache: drop plans from dead generations
+        // first (a layout change strands every previously compiled plan).
+        if (plans_.size() >= kMaxPlans) {
+            std::erase_if(plans_, [&](const auto& kv) {
+                return kv.second.layout_gen != current_->layout_gen;
+            });
+        }
+        it = plans_.emplace(std::move(key), std::move(plan)).first;
+    } else {
+        it->second = std::move(plan);
     }
     return it->second;
 }
@@ -59,37 +144,74 @@ void ReaderPort::read_bytes(const std::string& var, const util::Box& box,
     }
     if (box.empty()) return;
 
-    // MxN assembly: copy every writer block's intersection with the request.
-    std::uint64_t covered = 0;
+    // MxN assembly: replay the cached copy plan (compiled on first touch of
+    // this (var, box) under the current writer layout).
     const auto bit = current_->blocks.find(var);
-    if (bit != current_->blocks.end()) {
-        for (const Block& b : bit->second) {
-            const auto region = util::intersect(b.box, box);
-            if (!region) continue;
-            util::copy_box(std::span<const std::byte>(*b.data), b.box, dest, box,
-                           *region, elem);
-            covered += region->volume();
+    const std::vector<Block>* blocks =
+        bit == current_->blocks.end() ? nullptr : &bit->second;
+    if (plan_cache_enabled_) {
+        const CachedPlan& plan = plan_for(var, decl, box, elem);
+        for (const auto& br : plan.blocks) {
+            const Block& b = (*blocks)[br.block];
+            util::execute_copy_plan(std::span<const std::byte>(*b.data), dest,
+                                    br.runs);
         }
-    }
-    if (covered != box.volume()) {
-        throw std::runtime_error("read '" + var + "': selection " + box.to_string() +
-                                 " only covered by " + std::to_string(covered) + "/" +
-                                 std::to_string(box.volume()) + " elements");
+    } else {
+        const CachedPlan plan = compile_plan(blocks, var, box, elem);
+        for (const auto& br : plan.blocks) {
+            const Block& b = (*blocks)[br.block];
+            util::execute_copy_plan(std::span<const std::byte>(*b.data), dest,
+                                    br.runs);
+        }
     }
     bytes_read_->add(box.volume() * elem);
     reads_->inc();
 }
 
+std::optional<std::span<const std::byte>>
+ReaderPort::try_read_view_bytes(const std::string& var, const util::Box& box) const {
+    const VarDecl& decl = this->var(var);
+    const std::size_t elem = ffs::kind_size(decl.kind);
+    if (box.ndim() != decl.global_shape.ndim() || !box.within(decl.global_shape) ||
+        box.empty()) {
+        return std::nullopt;
+    }
+    const auto bit = current_->blocks.find(var);
+    if (bit == current_->blocks.end()) return std::nullopt;
+
+    const Block* exact = nullptr;
+    if (plan_cache_enabled_) {
+        // Resolving through the plan cache means a later fallback
+        // read_bytes of the same box replays the already compiled plan.
+        const CachedPlan& plan = plan_for(var, decl, box, elem);
+        if (plan.exact_block < 0) return std::nullopt;
+        exact = &bit->second[static_cast<std::size_t>(plan.exact_block)];
+    } else {
+        for (const Block& b : bit->second) {
+            if (b.box == box) {
+                exact = &b;
+                break;
+            }
+        }
+        if (!exact) return std::nullopt;
+    }
+    zero_copy_reads_->inc();
+    bytes_read_->add(box.volume() * elem);
+    reads_->inc();
+    return std::span<const std::byte>(*exact->data).first(box.volume() * elem);
+}
+
 void ReaderPort::end_step() {
     if (!current_) throw std::logic_error("end_step: no step in progress");
     current_.reset();
+    meta_ = nullptr;
     stream_->release(gen_);
     ++gen_;
 }
 
 std::uint64_t ReaderPort::current_step() const {
     if (!current_) throw std::logic_error("current_step: no step in progress");
-    return meta_.step;
+    return meta_->step;
 }
 
 }  // namespace sb::flexpath

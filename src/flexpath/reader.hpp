@@ -6,15 +6,28 @@
 // reads any bounding boxes it wants (the MxN redistribution happens here:
 // the requested box is assembled from whichever writer blocks intersect it),
 // and calls end_step to retire the step.
+//
+// Redistribution fast path: the first read of a (var, box) resolves the
+// writer-block intersections into a flat copy plan of contiguous runs,
+// cached and replayed on subsequent steps for as long as the writer layout
+// generation (StepData::layout_gen) is unchanged.  When the requested box
+// coincides exactly with a single writer block, try_read_view returns a
+// zero-copy span pinned by the step's shared payload instead.
 #pragma once
 
 #include <cstring>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "flexpath/stream.hpp"
+
+namespace sb::obs {
+class Histogram;
+}  // namespace sb::obs
 
 namespace sb::flexpath {
 
@@ -28,7 +41,8 @@ public:
     /// Blocks until the next step is available; false at end of stream.
     bool begin_step();
 
-    /// Decoded metadata of the current step.
+    /// Decoded metadata of the current step (shared with the other reader
+    /// ranks of the step — decoded once, not once per rank).
     const StepMeta& meta() const;
 
     /// The declaration of variable `var` in the current step.
@@ -53,6 +67,27 @@ public:
         return out;
     }
 
+    /// Zero-copy read: when `box` coincides exactly with a single writer
+    /// block, returns a view of that block's payload (box.volume() elements
+    /// row-major) without copying; empty optional otherwise.  The view is
+    /// pinned by the step's shared payload and stays valid until this
+    /// rank's end_step().
+    std::optional<std::span<const std::byte>>
+    try_read_view_bytes(const std::string& var, const util::Box& box) const;
+
+    template <typename T>
+    std::optional<std::span<const T>> try_read_view(const std::string& var,
+                                                    const util::Box& box) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (ffs::kind_size(this->var(var).kind) != sizeof(T)) {
+            throw std::runtime_error("read '" + var + "': element size mismatch");
+        }
+        const auto raw = try_read_view_bytes(var, box);
+        if (!raw) return std::nullopt;
+        return std::span<const T>(reinterpret_cast<const T*>(raw->data()),
+                                  raw->size() / sizeof(T));
+    }
+
     /// Retires the current step for this rank.
     void end_step();
 
@@ -61,13 +96,47 @@ public:
 
     const std::string& stream_name() const noexcept { return stream_->name(); }
 
+    int rank() const noexcept { return rank_; }
+
+    /// Disables/enables the copy-plan cache (benchmarking the uncached
+    /// path; also honours SB_PLAN_CACHE=off at construction).
+    void set_plan_cache_enabled(bool on) noexcept { plan_cache_enabled_ = on; }
+
 private:
+    /// A (var, box) read resolved against one writer layout generation:
+    /// per intersecting block, the compiled runs into the destination.
+    struct CachedPlan {
+        std::uint64_t layout_gen = 0;
+        struct BlockRuns {
+            std::size_t block = 0;  // index into the step's sorted block list
+            util::CopyPlan runs;
+        };
+        std::vector<BlockRuns> blocks;
+        /// Index of the single block covering the box exactly, or -1.
+        std::ptrdiff_t exact_block = -1;
+    };
+    using PlanKey = std::pair<std::string, std::pair<std::vector<std::uint64_t>,
+                                                     std::vector<std::uint64_t>>>;
+
+    const CachedPlan& plan_for(const std::string& var, const VarDecl& decl,
+                               const util::Box& box, std::size_t elem) const;
+    static CachedPlan compile_plan(const std::vector<Block>* blocks,
+                                   const std::string& var, const util::Box& box,
+                                   std::size_t elem);
+
     std::shared_ptr<Stream> stream_;
     std::shared_ptr<const StepData> current_;
-    StepMeta meta_;
+    const StepMeta* meta_ = nullptr;  // points into current_'s shared cache
     std::uint64_t gen_ = 0;  // steps completed by this rank
-    obs::Counter* bytes_read_ = nullptr;  // flexpath.bytes_read{stream=}
-    obs::Counter* reads_ = nullptr;       // flexpath.reads{stream=}
+    int rank_ = 0;
+    bool plan_cache_enabled_ = true;
+    mutable std::map<PlanKey, CachedPlan> plans_;
+    obs::Counter* bytes_read_ = nullptr;   // flexpath.bytes_read{rank=,stream=}
+    obs::Counter* reads_ = nullptr;        // flexpath.reads{rank=,stream=}
+    obs::Counter* plan_hits_ = nullptr;    // flexpath.plan_hits{rank=,stream=}
+    obs::Counter* plan_misses_ = nullptr;  // flexpath.plan_misses{rank=,stream=}
+    obs::Counter* zero_copy_reads_ = nullptr;  // flexpath.zero_copy_reads{...}
+    obs::Histogram* plan_compile_seconds_ = nullptr;
 };
 
 }  // namespace sb::flexpath

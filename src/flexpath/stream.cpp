@@ -1,8 +1,10 @@
 #include "flexpath/stream.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <tuple>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,6 +19,12 @@ namespace {
 constexpr double kStallSliceSeconds = 10e-6;
 
 }  // namespace
+
+const StepMeta& StepData::decoded_meta() const {
+    std::call_once(meta_cache_->once,
+                   [this] { meta_cache_->meta = decode_step_meta(meta); });
+    return meta_cache_->meta;
+}
 
 // ---- step metadata <-> FFS wire format -----------------------------------
 
@@ -97,7 +105,7 @@ ffs::Bytes encode_step_blocks(const std::map<std::string, std::vector<Block>>& b
 
 std::map<std::string, std::vector<Block>> decode_step_blocks(
     std::span<const std::byte> wire) {
-    const ffs::Record rec = ffs::decode(wire);
+    ffs::Record rec = ffs::decode(wire);
     std::map<std::string, std::vector<Block>> out;
     const std::uint64_t n = rec.get_scalar<std::uint64_t>("nblocks");
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -105,8 +113,10 @@ std::map<std::string, std::vector<Block>> decode_step_blocks(
         Block b;
         b.box.offset = rec.get_array<std::uint64_t>(p + ".offset");
         b.box.count = rec.get_array<std::uint64_t>(p + ".count");
-        const auto raw = rec.raw_bytes(p + ".data");
-        b.data = std::make_shared<const std::vector<std::byte>>(raw.begin(), raw.end());
+        // Adopt the decoded payload: one copy from the wire total, instead
+        // of wire -> record -> block.
+        b.data = std::make_shared<const std::vector<std::byte>>(
+            rec.take_bytes(p + ".data"));
         out[rec.get_strings(p + ".var").at(0)].push_back(std::move(b));
     }
     return out;
@@ -219,6 +229,32 @@ StepData Stream::assemble_locked(std::uint64_t step) {
     sd.step = step;
     sd.meta = encode_step_meta(meta);
     sd.blocks = std::move(pending.blocks);
+
+    // Deterministic block order: contributions arrive in rank-arrival order,
+    // which varies step to step; sorting by box makes "same layout" mean
+    // "same block at the same index", which is what lets reader-side copy
+    // plans reference blocks by index across steps of one generation.
+    for (auto& [name, blks] : sd.blocks) {
+        std::sort(blks.begin(), blks.end(), [](const Block& a, const Block& b) {
+            return std::tie(a.box.offset, a.box.count) <
+                   std::tie(b.box.offset, b.box.count);
+        });
+    }
+
+    // Layout generation: bump when any variable's shape or block
+    // partitioning differs from the previous step.
+    std::map<std::string, std::pair<util::NdShape, std::vector<util::Box>>> layout;
+    for (const auto& [name, blks] : sd.blocks) {
+        auto& entry = layout[name];
+        entry.first = meta.vars.at(name).global_shape;
+        entry.second.reserve(blks.size());
+        for (const Block& b : blks) entry.second.push_back(b.box);
+    }
+    if (layout_gen_ == 0 || layout != last_layout_) {
+        ++layout_gen_;
+        last_layout_ = std::move(layout);
+    }
+    sd.layout_gen = layout_gen_;
     return sd;
 }
 

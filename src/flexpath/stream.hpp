@@ -65,21 +65,6 @@ struct VarDecl {
     bool operator==(const VarDecl&) const = default;
 };
 
-/// A fully assembled timestep, as seen by readers.
-struct StepData {
-    std::uint64_t step = 0;
-    ffs::Bytes meta;  // FFS-encoded metadata packet (see encode_step_meta)
-    std::map<std::string, std::vector<Block>> blocks;  // var name -> blocks
-    /// When the stream spools (StreamOptions::spool_dir), buffered steps
-    /// park their blocks in this file instead of memory until acquired.
-    std::string spool_path;
-};
-
-/// Encodes/decodes a step's blocks for disk spooling (exposed for tests).
-ffs::Bytes encode_step_blocks(const std::map<std::string, std::vector<Block>>& blocks);
-std::map<std::string, std::vector<Block>> decode_step_blocks(
-    std::span<const std::byte> wire);
-
 /// Decoded view of a step's metadata.
 struct StepMeta {
     std::uint64_t step = 0;
@@ -91,6 +76,38 @@ struct StepMeta {
 /// Encodes/decodes step metadata through the FFS wire format.
 ffs::Bytes encode_step_meta(const StepMeta& m);
 StepMeta decode_step_meta(std::span<const std::byte> wire);
+
+/// A fully assembled timestep, as seen by readers.
+struct StepData {
+    std::uint64_t step = 0;
+    ffs::Bytes meta;  // FFS-encoded metadata packet (see encode_step_meta)
+    std::map<std::string, std::vector<Block>> blocks;  // var name -> blocks
+    /// When the stream spools (StreamOptions::spool_dir), buffered steps
+    /// park their blocks in this file instead of memory until acquired.
+    std::string spool_path;
+    /// Writer-layout generation: bumped by the stream whenever the block
+    /// partitioning or any variable shape differs from the previous step.
+    /// Reader-side copy plans compiled under one generation stay valid for
+    /// every step carrying the same generation.
+    std::uint64_t layout_gen = 0;
+
+    /// The decoded metadata packet, decoded lazily on first access and
+    /// shared by every reader rank of the step (one decode per step, not
+    /// one per rank).  Thread-safe.
+    const StepMeta& decoded_meta() const;
+
+private:
+    struct MetaCache {
+        std::once_flag once;
+        StepMeta meta;
+    };
+    std::shared_ptr<MetaCache> meta_cache_ = std::make_shared<MetaCache>();
+};
+
+/// Encodes/decodes a step's blocks for disk spooling (exposed for tests).
+ffs::Bytes encode_step_blocks(const std::map<std::string, std::vector<Block>>& blocks);
+std::map<std::string, std::vector<Block>> decode_step_blocks(
+    std::span<const std::byte> wire);
 
 /// Per-rank, per-step contribution handed to the stream by a writer.
 struct Contribution {
@@ -189,6 +206,12 @@ private:
     int writers_closed_ = 0;
     std::uint64_t next_step_ = 0;  // next step to assemble and queue
     std::unique_ptr<util::BoundedQueue<StepData>> queue_;
+
+    // Writer-layout tracking for StepData::layout_gen: the previous step's
+    // per-variable (shape, sorted block boxes) signature.
+    std::uint64_t layout_gen_ = 0;
+    std::map<std::string, std::pair<util::NdShape, std::vector<util::Box>>>
+        last_layout_;
 
     // Reader group.
     int reader_size_ = 0;  // 0 until attached

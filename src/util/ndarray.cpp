@@ -92,14 +92,82 @@ std::optional<Box> intersect(const Box& a, const Box& b) {
 
 namespace {
 
-// Linear element offset of global coordinate `gidx` inside hyperslab `box`
-// stored row-major.
-std::uint64_t slab_offset(const Box& box, std::span<const std::uint64_t> gidx) {
-    std::uint64_t off = 0;
-    for (std::size_t i = 0; i < box.ndim(); ++i) {
-        off = off * box.count[i] + (gidx[i] - box.offset[i]);
+// Core of copy_box / compile_copy_plan: visits every contiguous run of the
+// region copy as (src_byte_offset, dst_byte_offset, run_bytes).  Trailing
+// dimensions that are full in *both* slabs are collapsed into a single run,
+// and the remaining dimensions are walked odometer-style with the byte
+// offsets advanced incrementally from precomputed strides — no per-row
+// slab-offset rederivation.
+template <typename EmitRun>
+void for_each_run(const Box& src_box, const Box& dst_box, const Box& region,
+                  std::size_t elem_size, EmitRun&& emit) {
+    const std::size_t nd = region.ndim();
+    if (src_box.ndim() != nd || dst_box.ndim() != nd) {
+        throw std::invalid_argument("copy_box: rank mismatch");
     }
-    return off;
+    if (region.empty()) return;
+
+    if (nd == 0) {  // scalar
+        emit(std::uint64_t{0}, std::uint64_t{0}, elem_size);
+        return;
+    }
+
+    // Collapse trailing dimensions: a dimension may fold into the
+    // contiguous run when the region spans its full extent in both slabs
+    // (containment then forces the offsets to coincide too).  The first
+    // non-full dimension can still contribute its partial count as the
+    // outermost factor of the run.
+    std::size_t split = nd - 1;
+    while (split > 0 && region.count[split] == src_box.count[split] &&
+           region.count[split] == dst_box.count[split]) {
+        --split;
+    }
+    std::uint64_t run_elems = region.count[split];
+    for (std::size_t d = split + 1; d < nd; ++d) run_elems *= region.count[d];
+    const std::uint64_t run_bytes = run_elems * elem_size;
+
+    // Byte strides of each slab dimension, and each dimension's incremental
+    // advance delta: stepping dim d after exhausting dims (d, split)
+    // rewinds the inner dimensions, so the net move is
+    // stride[d] - sum over inner dims of (count-1)*stride.
+    std::uint64_t soff = 0, doff = 0;  // run start offsets, bytes
+    std::vector<std::uint64_t> sstep(split), dstep(split);
+    {
+        std::uint64_t sstride = elem_size, dstride = elem_size;
+        std::uint64_t srewind = 0, drewind = 0;
+        for (std::size_t d = nd; d-- > 0;) {
+            soff += (region.offset[d] - src_box.offset[d]) * sstride;
+            doff += (region.offset[d] - dst_box.offset[d]) * dstride;
+            if (d < split) {
+                sstep[d] = sstride - srewind;
+                dstep[d] = dstride - drewind;
+                srewind += (region.count[d] - 1) * sstride;
+                drewind += (region.count[d] - 1) * dstride;
+            }
+            sstride *= src_box.count[d];
+            dstride *= dst_box.count[d];
+        }
+    }
+
+    if (split == 0) {
+        emit(soff, doff, run_bytes);
+        return;
+    }
+    std::vector<std::uint64_t> idx(split, 0);
+    for (;;) {
+        emit(soff, doff, run_bytes);
+        std::size_t d = split;
+        for (;;) {
+            if (d == 0) return;
+            --d;
+            if (++idx[d] < region.count[d]) {
+                soff += sstep[d];
+                doff += dstep[d];
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
 }
 
 }  // namespace
@@ -107,37 +175,36 @@ std::uint64_t slab_offset(const Box& box, std::span<const std::uint64_t> gidx) {
 void copy_box(std::span<const std::byte> src, const Box& src_box,
               std::span<std::byte> dst, const Box& dst_box,
               const Box& region, std::size_t elem_size) {
-    const std::size_t nd = region.ndim();
-    if (src_box.ndim() != nd || dst_box.ndim() != nd) {
-        throw std::invalid_argument("copy_box: rank mismatch");
-    }
-    if (region.empty()) return;
     assert(src.size() >= src_box.volume() * elem_size);
     assert(dst.size() >= dst_box.volume() * elem_size);
+    for_each_run(src_box, dst_box, region, elem_size,
+                 [&](std::uint64_t soff, std::uint64_t doff, std::uint64_t n) {
+                     std::memcpy(dst.data() + doff, src.data() + soff, n);
+                 });
+}
 
-    if (nd == 0) {  // scalar
-        std::memcpy(dst.data(), src.data(), elem_size);
-        return;
+CopyPlan compile_copy_plan(const Box& src_box, const Box& dst_box,
+                           const Box& region, std::size_t elem_size) {
+    CopyPlan plan;
+    if (region.ndim() > 0 && !region.empty()) {
+        // Runs per copy = region volume / collapsed run length; reserve the
+        // worst case (one run per innermost row) cheaply via the first run.
+        plan.reserve(region.volume() / std::max<std::uint64_t>(
+                                           region.count[region.ndim() - 1], 1));
     }
+    for_each_run(src_box, dst_box, region, elem_size,
+                 [&](std::uint64_t soff, std::uint64_t doff, std::uint64_t n) {
+                     plan.push_back(CopyRun{soff, doff, n});
+                 });
+    return plan;
+}
 
-    // Iterate over all rows of the region (all dims but the last); each row
-    // is a contiguous run of region.count[nd-1] elements in both slabs.
-    std::vector<std::uint64_t> idx(region.offset);
-    const std::uint64_t row_elems = region.count[nd - 1];
-    const std::size_t row_bytes = row_elems * elem_size;
-    for (;;) {
-        const std::uint64_t soff = slab_offset(src_box, idx) * elem_size;
-        const std::uint64_t doff = slab_offset(dst_box, idx) * elem_size;
-        std::memcpy(dst.data() + doff, src.data() + soff, row_bytes);
-
-        // Advance the multi-index over dims [0, nd-1), odometer style.
-        std::size_t d = nd - 1;
-        for (;;) {
-            if (d == 0) return;
-            --d;
-            if (++idx[d] < region.offset[d] + region.count[d]) break;
-            idx[d] = region.offset[d];
-        }
+void execute_copy_plan(std::span<const std::byte> src, std::span<std::byte> dst,
+                       const CopyPlan& plan) {
+    for (const CopyRun& r : plan) {
+        assert(r.src_offset + r.length <= src.size());
+        assert(r.dst_offset + r.length <= dst.size());
+        std::memcpy(dst.data() + r.dst_offset, src.data() + r.src_offset, r.length);
     }
 }
 

@@ -83,6 +83,33 @@ void copy_box(std::span<const std::byte> src, const Box& src_box,
               std::span<std::byte> dst, const Box& dst_box,
               const Box& region, std::size_t elem_size);
 
+/// One contiguous run of a hyperslab copy, in bytes relative to the source
+/// and destination slab buffers: memcpy(dst + dst_offset, src + src_offset,
+/// length).
+struct CopyRun {
+    std::uint64_t src_offset = 0;
+    std::uint64_t dst_offset = 0;
+    std::uint64_t length = 0;
+
+    bool operator==(const CopyRun&) const = default;
+};
+
+/// A compiled hyperslab copy: the exact memcpy sequence copy_box would
+/// perform, resolved once so repeated copies with the same geometry (the
+/// steady-state MxN redistribution) skip all offset arithmetic.
+using CopyPlan = std::vector<CopyRun>;
+
+/// Resolves the copy of `region` between slabs `src_box` and `dst_box`
+/// into contiguous runs (trailing dimensions that are full in both slabs
+/// are collapsed into single runs).  Same preconditions as copy_box.
+CopyPlan compile_copy_plan(const Box& src_box, const Box& dst_box,
+                           const Box& region, std::size_t elem_size);
+
+/// Replays a compiled plan.  The caller guarantees the buffers match the
+/// geometry the plan was compiled for (checked by assert only).
+void execute_copy_plan(std::span<const std::byte> src, std::span<std::byte> dst,
+                       const CopyPlan& plan);
+
 /// Evenly partitions `n` items among `size` parts; returns {offset, count}
 /// for part `rank`.  The first `n % size` parts receive one extra item, so
 /// every part's count differs by at most one — the paper's "approximately

@@ -209,3 +209,69 @@ TEST(FfsByteStream, ReadPastEndThrows) {
     f::ByteReader r({});
     EXPECT_THROW((void)r.u8(), std::runtime_error);
 }
+
+TEST(FfsByteStream, ViewAliasesWireWithoutCopy) {
+    f::ByteWriter w;
+    w.u32(7);
+    const std::vector<std::byte> payload(16, std::byte{0xAB});
+    w.bytes(payload);
+    const f::Bytes wire = w.take();
+
+    f::ByteReader r(wire);
+    EXPECT_EQ(r.u32(), 7u);
+    const std::span<const std::byte> v = r.view(16);
+    ASSERT_EQ(v.size(), 16u);
+    // The span points into the wire buffer itself.
+    EXPECT_EQ(v.data(), wire.data() + 4);
+    EXPECT_EQ(v[0], std::byte{0xAB});
+    EXPECT_TRUE(r.done());
+    // Past-the-end views throw like every other read.
+    f::ByteReader r2(wire);
+    EXPECT_THROW((void)r2.view(wire.size() + 1), std::runtime_error);
+}
+
+TEST(FfsByteStream, ReserveKeepsContentAndAvoidsRegrowth) {
+    f::ByteWriter w;
+    w.reserve(64);
+    w.u64(1);
+    w.str("hello");
+    const f::Bytes b = w.take();
+    ASSERT_EQ(b.size(), 8u + 4u + 5u);
+    f::ByteReader r(b);
+    EXPECT_EQ(r.u64(), 1u);
+    EXPECT_EQ(r.str(), "hello");
+}
+
+TEST(FfsRecord, TakeBytesMovesPayloadOut) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    rec.add_array<double>("x", v, {3});
+    rec.add_strings("s", {"a"});
+
+    const std::vector<std::byte> taken = rec.take_bytes("x");
+    ASSERT_EQ(taken.size(), 3 * sizeof(double));
+    double back[3];
+    std::memcpy(back, taken.data(), sizeof(back));
+    EXPECT_EQ(back[1], 2.0);
+    // The field stays declared; its payload is now empty.
+    EXPECT_TRUE(rec.has("x"));
+    EXPECT_EQ(rec.raw_bytes("x").size(), 0u);
+    // String fields have no raw payload to take.
+    EXPECT_THROW((void)rec.take_bytes("s"), std::runtime_error);
+    EXPECT_THROW((void)rec.take_bytes("absent"), std::out_of_range);
+}
+
+// encode reserves the exact packet size up front: the round-trip stays
+// byte-identical and the buffer never over-allocates past one reservation.
+TEST(FfsWire, EncodeReservesExactSize) {
+    f::Record rec(f::TypeDescriptor{"sized", {}});
+    const std::vector<double> xs(37, 1.5);
+    rec.add_array<double>("xs", xs, {37});
+    rec.add_strings("names", {"alpha", "beta"});
+    rec.add_scalar<std::int32_t>("n", 42);
+    const f::Bytes wire = f::encode(rec);
+    const f::Record back = f::decode(wire);
+    EXPECT_EQ(back.get_array<double>("xs"), xs);
+    EXPECT_EQ(back.get_scalar<std::int32_t>("n"), 42);
+    EXPECT_EQ(f::encode(back), wire);
+}

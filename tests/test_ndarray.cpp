@@ -215,6 +215,141 @@ TEST(CopyBox, EmptyRegionIsNoop) {
     EXPECT_EQ(dst, std::vector<std::byte>(src.size(), std::byte{7}));
 }
 
+namespace {
+
+// Element-at-a-time reference for copy_box: walks every global coordinate
+// of the region and moves one element, deriving both slab offsets from
+// first principles.  The production kernel collapses dimensions and steps
+// offsets incrementally; any disagreement with this is a bug there.
+void naive_copy_box(std::span<const std::byte> src, const u::Box& src_box,
+                    std::span<std::byte> dst, const u::Box& dst_box,
+                    const u::Box& region, std::size_t elem) {
+    if (region.empty()) return;
+    const std::size_t nd = region.ndim();
+    if (nd == 0) {
+        std::memcpy(dst.data(), src.data(), elem);
+        return;
+    }
+    std::vector<std::uint64_t> g(region.offset);
+    for (;;) {
+        std::uint64_t soff = 0, doff = 0;
+        for (std::size_t d = 0; d < nd; ++d) {
+            soff = soff * src_box.count[d] + (g[d] - src_box.offset[d]);
+            doff = doff * dst_box.count[d] + (g[d] - dst_box.offset[d]);
+        }
+        std::memcpy(dst.data() + doff * elem, src.data() + soff * elem, elem);
+        std::size_t d = nd;
+        for (;;) {
+            if (d == 0) return;
+            --d;
+            if (++g[d] < region.offset[d] + region.count[d]) break;
+            g[d] = region.offset[d];
+        }
+    }
+}
+
+struct CopyCase {
+    u::Box src_box, dst_box, region;
+};
+
+// 0-d through 4-d, with unit-count dimensions, full-slab copies, and
+// single-element regions.
+std::vector<CopyCase> copy_cases() {
+    return {
+        // 0-d scalar
+        {u::Box{}, u::Box{}, u::Box{}},
+        // 1-d: interior region, single element, full slab
+        {u::Box({2}, {7}), u::Box({0}, {12}), u::Box({4}, {3})},
+        {u::Box({2}, {7}), u::Box({3}, {6}), u::Box({5}, {1})},
+        {u::Box({4}, {6}), u::Box({4}, {6}), u::Box({4}, {6})},
+        // 2-d: offset slabs, unit rows/cols, full slab
+        {u::Box({1, 2}, {5, 6}), u::Box({0, 0}, {8, 9}), u::Box({2, 3}, {3, 4})},
+        {u::Box({0, 0}, {4, 4}), u::Box({1, 1}, {3, 3}), u::Box({1, 1}, {1, 3})},
+        {u::Box({0, 0}, {4, 4}), u::Box({1, 1}, {3, 3}), u::Box({1, 1}, {3, 1})},
+        {u::Box({3, 3}, {2, 2}), u::Box({3, 3}, {2, 2}), u::Box({3, 3}, {2, 2})},
+        {u::Box({0, 0}, {5, 5}), u::Box({2, 2}, {3, 3}), u::Box({2, 2}, {1, 1})},
+        // 3-d: trailing dims full in both slabs (collapse), partial inner
+        {u::Box({0, 0, 0}, {3, 4, 5}), u::Box({1, 1, 1}, {2, 3, 4}),
+         u::Box({1, 1, 1}, {2, 3, 4})},
+        {u::Box({0, 0, 0}, {4, 4, 4}), u::Box({0, 0, 0}, {4, 4, 4}),
+         u::Box({1, 0, 0}, {2, 4, 4})},
+        {u::Box({0, 0, 0}, {4, 4, 4}), u::Box({0, 2, 0}, {4, 2, 4}),
+         u::Box({0, 2, 1}, {4, 2, 2})},
+        {u::Box({0, 0, 0}, {2, 1, 3}), u::Box({0, 0, 0}, {2, 1, 3}),
+         u::Box({0, 0, 0}, {2, 1, 3})},
+        // 4-d: mixed full/partial/unit dimensions
+        {u::Box({0, 0, 0, 0}, {3, 2, 4, 5}), u::Box({1, 0, 0, 0}, {2, 2, 4, 5}),
+         u::Box({1, 0, 0, 0}, {2, 2, 4, 5})},
+        {u::Box({0, 0, 0, 0}, {3, 3, 3, 3}), u::Box({0, 0, 0, 0}, {3, 3, 3, 3}),
+         u::Box({1, 1, 1, 1}, {2, 1, 2, 1})},
+        {u::Box({0, 1, 0, 2}, {2, 3, 2, 4}), u::Box({0, 0, 0, 0}, {4, 4, 4, 6}),
+         u::Box({1, 2, 0, 3}, {1, 2, 2, 2})},
+    };
+}
+
+}  // namespace
+
+// Property: the dimension-collapsing kernel is byte-identical to the
+// element-wise reference across ranks 0-4.
+TEST(CopyBox, MatchesNaiveReference) {
+    for (const CopyCase& c : copy_cases()) {
+        const auto src = make_pattern(c.src_box);
+        std::vector<std::byte> fast(c.dst_box.volume() * sizeof(double),
+                                    std::byte{0});
+        std::vector<std::byte> ref(fast.size(), std::byte{0});
+        u::copy_box(src, c.src_box, fast, c.dst_box, c.region, sizeof(double));
+        naive_copy_box(src, c.src_box, ref, c.dst_box, c.region, sizeof(double));
+        EXPECT_EQ(fast, ref) << "src " << c.src_box.to_string() << " dst "
+                             << c.dst_box.to_string() << " region "
+                             << c.region.to_string();
+    }
+}
+
+// Property: compiling a plan and replaying it equals the direct copy, and
+// recompiling yields an identical plan (replay across steps is sound).
+TEST(CopyPlan, CompileExecuteMatchesCopyBox) {
+    for (const CopyCase& c : copy_cases()) {
+        const auto src = make_pattern(c.src_box);
+        std::vector<std::byte> direct(c.dst_box.volume() * sizeof(double),
+                                      std::byte{0});
+        std::vector<std::byte> replayed(direct.size(), std::byte{0});
+        u::copy_box(src, c.src_box, direct, c.dst_box, c.region, sizeof(double));
+        const u::CopyPlan plan =
+            u::compile_copy_plan(c.src_box, c.dst_box, c.region, sizeof(double));
+        u::execute_copy_plan(src, replayed, plan);
+        EXPECT_EQ(direct, replayed);
+        EXPECT_EQ(plan, u::compile_copy_plan(c.src_box, c.dst_box, c.region,
+                                             sizeof(double)));
+        std::uint64_t covered = 0;
+        for (const u::CopyRun& r : plan) covered += r.length;
+        EXPECT_EQ(covered, c.region.volume() * sizeof(double));
+    }
+}
+
+// The collapse itself: full trailing dimensions merge into single memcpys.
+TEST(CopyPlan, CollapsesContiguousTrailingDims) {
+    const u::Box slab({0, 0, 0}, {4, 5, 6});
+    // Whole-slab copy: one run of the full volume.
+    const auto whole = u::compile_copy_plan(slab, slab, slab, 8);
+    ASSERT_EQ(whole.size(), 1u);
+    EXPECT_EQ(whole[0].length, 4u * 5 * 6 * 8);
+    // Partial innermost dim: one run per (outer, middle) row.
+    const auto rows =
+        u::compile_copy_plan(slab, slab, u::Box({0, 0, 1}, {4, 5, 3}), 8);
+    EXPECT_EQ(rows.size(), 4u * 5);
+    EXPECT_EQ(rows[0].length, 3u * 8);
+    // Full innermost, partial middle: the inner dim folds into the run and
+    // the partial middle dim contributes as the outermost run factor.
+    const auto planes =
+        u::compile_copy_plan(slab, slab, u::Box({0, 1, 0}, {4, 3, 6}), 8);
+    EXPECT_EQ(planes.size(), 4u);
+    EXPECT_EQ(planes[0].length, 3u * 6 * 8);
+    // Scalar: a single element-sized run.
+    const auto scalar = u::compile_copy_plan(u::Box{}, u::Box{}, u::Box{}, 8);
+    ASSERT_EQ(scalar.size(), 1u);
+    EXPECT_EQ(scalar[0].length, 8u);
+}
+
 // ---- partitioning --------------------------------------------------------
 
 class PartitionRange : public ::testing::TestWithParam<std::tuple<int, int>> {};

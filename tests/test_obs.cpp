@@ -552,4 +552,46 @@ TEST(ObsExport, TraceIsValidJsonWithMetricsDisabled) {
     ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
 }
 
+// A steady multi-step pipeline exercises the redistribution fast path: the
+// plan cache hits from the second step on, the writer-aligned pass-through
+// reads go zero-copy, and the exported counters carry rank= labels.
+TEST(ObsExport, FastPathCountersInSteadyWorkflow) {
+    sb::sim::register_simulations();
+    obs::set_enabled(true);
+    auto& reg = obs::Registry::global();
+
+    const double hits0 = reg.total("flexpath.plan_hits");
+    const double zc0 = reg.total("flexpath.zero_copy_reads");
+
+    sb::flexpath::Fabric fabric;
+    sb::core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=4096", "steps=4", "substeps=1"});
+    wf.add("magnitude", 1, {"gmx.fp", "coords", "m.fp", "r"});
+    wf.add("histogram", 1, {"m.fp", "r", "8", "/tmp/sb_test_obs_hist4.txt"});
+    wf.run();
+
+    EXPECT_GT(reg.total("flexpath.plan_hits") - hits0, 0.0)
+        << "repeated (var, box) reads must replay cached plans";
+    EXPECT_GT(reg.total("flexpath.zero_copy_reads") - zc0, 0.0)
+        << "writer-aligned boxes must read zero-copy";
+
+    const std::string metrics_path = "/tmp/sb_test_obs_metrics_fastpath.json";
+    wf.write_metrics(metrics_path);
+    const JsonValue doc = parse_json_file(metrics_path);
+    const JsonValue* metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    bool saw_plan_hits = false;
+    for (const JsonValue& m : metrics->arr) {
+        const JsonValue* name = m.find("name");
+        if (name && name->str == "flexpath.plan_hits") {
+            saw_plan_hits = true;
+            const JsonValue* labels = m.find("labels");
+            ASSERT_NE(labels, nullptr);
+            EXPECT_NE(labels->find("stream"), nullptr);
+            EXPECT_NE(labels->find("rank"), nullptr);
+        }
+    }
+    EXPECT_TRUE(saw_plan_hits);
+}
+
 }  // namespace
