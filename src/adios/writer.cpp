@@ -3,6 +3,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 
 namespace sb::adios {
@@ -18,8 +19,18 @@ Writer::Writer(flexpath::Fabric& fabric, const std::string& stream_name,
     vars_written_ = &reg.counter("adios.vars_written", labels);
 }
 
+void Writer::usage(const std::string& what) const {
+    if (!check::enabled()) return;
+    check::report(check::Kind::Usage, "adios::Writer group '" + group_.name +
+                                          "' rank " + std::to_string(rank_) + ": " +
+                                          what);
+}
+
 void Writer::begin_step() {
-    if (in_step_) throw std::logic_error("adios::Writer: begin_step twice");
+    if (in_step_) {
+        usage("begin_step with a step already in progress");
+        throw std::logic_error("adios::Writer: begin_step twice");
+    }
     in_step_ = true;
     dims_.clear();
     // Static group attributes ride on every step (rank 0 is enough, but all
@@ -74,7 +85,10 @@ util::NdShape Writer::resolve_shape(const VarSpec& spec) const {
 
 void Writer::write_raw(const std::string& var, const util::Box& box,
                        std::shared_ptr<const std::vector<std::byte>> data) {
-    if (!in_step_) throw std::logic_error("adios::Writer: write outside a step");
+    if (!in_step_) {
+        usage("write of '" + var + "' outside begin_step/end_step");
+        throw std::logic_error("adios::Writer: write outside a step");
+    }
     const VarSpec* spec = group_.find(var);
     if (!spec) {
         throw std::logic_error("adios::Writer: variable '" + var +
@@ -91,17 +105,26 @@ void Writer::write_raw(const std::string& var, const util::Box& box,
 }
 
 void Writer::write_attribute(const std::string& name, std::vector<std::string> values) {
-    if (!in_step_) throw std::logic_error("adios::Writer: attribute outside a step");
+    if (!in_step_) {
+        usage("attribute '" + name + "' outside begin_step/end_step");
+        throw std::logic_error("adios::Writer: attribute outside a step");
+    }
     port_.put_attr(name, std::move(values));
 }
 
 void Writer::write_attribute(const std::string& name, double value) {
-    if (!in_step_) throw std::logic_error("adios::Writer: attribute outside a step");
+    if (!in_step_) {
+        usage("attribute '" + name + "' outside begin_step/end_step");
+        throw std::logic_error("adios::Writer: attribute outside a step");
+    }
     port_.put_attr(name, value);
 }
 
 void Writer::end_step() {
-    if (!in_step_) throw std::logic_error("adios::Writer: end_step without begin_step");
+    if (!in_step_) {
+        usage("end_step without begin_step (double end_step?)");
+        throw std::logic_error("adios::Writer: end_step without begin_step");
+    }
     in_step_ = false;
     port_.end_step();
     steps_written_->inc();

@@ -16,6 +16,7 @@
 
 #include "adios/group.hpp"
 #include "flexpath/writer.hpp"
+#include "util/bytes.hpp"
 
 namespace sb::adios {
 
@@ -40,7 +41,7 @@ public:
     void write(const std::string& var, std::span<const T> data, const util::Box& box) {
         static_assert(std::is_trivially_copyable_v<T>);
         auto buf = std::make_shared<std::vector<std::byte>>(data.size_bytes());
-        std::memcpy(buf->data(), data.data(), data.size_bytes());
+        util::copy_bytes(buf->data(), data.data(), data.size_bytes());
         write_raw(var, box, std::move(buf));
     }
 
@@ -61,6 +62,8 @@ public:
 
 private:
     util::NdShape resolve_shape(const VarSpec& spec) const;
+    /// Files an sb::check Usage diagnostic (API misuse) before throwing.
+    void usage(const std::string& what) const;
 
     GroupDef group_;
     flexpath::WriterPort port_;

@@ -1,0 +1,122 @@
+#include "check/check.hpp"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace sb::check {
+
+namespace {
+
+bool enabled_from_env() {
+    const char* v = std::getenv("SB_CHECK");
+    if (!v) {
+#ifdef SB_CHECK_DEFAULT_ON
+        return true;
+#else
+        return false;
+#endif
+    }
+    const std::string s(v);
+    return s == "on" || s == "1" || s == "true";
+}
+
+double stall_timeout_from_env() {
+    const char* v = std::getenv("SB_CHECK_STALL_MS");
+    if (!v) return 5.0;
+    const double ms = std::atof(v);
+    return ms > 0.0 ? ms / 1000.0 : 5.0;
+}
+
+StallAction stall_action_from_env() {
+    const char* v = std::getenv("SB_CHECK_STALL_ACTION");
+    if (v && std::string(v) == "throw") return StallAction::Throw;
+    return StallAction::Report;
+}
+
+std::atomic<double> g_stall_timeout{stall_timeout_from_env()};
+std::atomic<int> g_stall_action{static_cast<int>(stall_action_from_env())};
+
+struct DiagnosticLog {
+    std::mutex mu;
+    std::deque<Diagnostic> entries;
+    std::size_t counts[5] = {};
+};
+
+DiagnosticLog& diag_log() {
+    static DiagnosticLog log;
+    return log;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{enabled_from_env()};
+}
+
+void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const char* kind_name(Kind k) noexcept {
+    switch (k) {
+        case Kind::LockOrder: return "lock-order";
+        case Kind::Stall: return "stall";
+        case Kind::Collective: return "collective";
+        case Kind::Lifetime: return "lifetime";
+        case Kind::Usage: return "usage";
+    }
+    return "?";
+}
+
+void report(Kind kind, const std::string& message) {
+    SB_LOG(Error) << "sb::check [" << kind_name(kind) << "] " << message;
+    obs::Registry::global()
+        .counter("check.diagnostics", {{"kind", kind_name(kind)}})
+        .inc();
+    auto& log = diag_log();
+    const std::lock_guard lock(log.mu);
+    ++log.counts[static_cast<std::size_t>(kind)];
+    log.entries.push_back({kind, message});
+    if (log.entries.size() > kMaxDiagnostics) log.entries.pop_front();
+}
+
+std::vector<Diagnostic> diagnostics() {
+    auto& log = diag_log();
+    const std::lock_guard lock(log.mu);
+    return {log.entries.begin(), log.entries.end()};
+}
+
+std::size_t diagnostic_count(Kind kind) {
+    auto& log = diag_log();
+    const std::lock_guard lock(log.mu);
+    return log.counts[static_cast<std::size_t>(kind)];
+}
+
+void clear_diagnostics() {
+    auto& log = diag_log();
+    const std::lock_guard lock(log.mu);
+    log.entries.clear();
+    for (auto& c : log.counts) c = 0;
+}
+
+double stall_timeout_seconds() noexcept {
+    return g_stall_timeout.load(std::memory_order_relaxed);
+}
+
+void set_stall_timeout_seconds(double s) noexcept {
+    g_stall_timeout.store(s, std::memory_order_relaxed);
+}
+
+StallAction stall_action() noexcept {
+    return static_cast<StallAction>(g_stall_action.load(std::memory_order_relaxed));
+}
+
+void set_stall_action(StallAction a) noexcept {
+    g_stall_action.store(static_cast<int>(a), std::memory_order_relaxed);
+}
+
+}  // namespace sb::check

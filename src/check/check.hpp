@@ -1,0 +1,117 @@
+// sb::check — debug-gated runtime concurrency & lifetime analysis.
+//
+// SmartBlock's promise is free recombination of generic components, which
+// means every new pipeline is a new interleaving of threaded ranks, bounded
+// transport queues, and zero-copy views.  This layer turns the failure modes
+// of that freedom — silent deadlocks, mismatched collectives, dangling
+// views — into immediate diagnostics:
+//
+//   - a lock-order / wait-for graph detector (check/mutex.hpp, check/waits.hpp)
+//     that reports potential-deadlock cycles and dumps "who waits on whom"
+//     when a blocked wait exceeds a stall timeout;
+//   - a collective-matching verifier (check/collective.hpp, wired into
+//     sb::mpi) that aborts with a rank-by-rank table when ranks diverge;
+//   - a view-lifetime guard (check/lifetime.hpp) that catches reads of
+//     zero-copy spans after end_step.
+//
+// Like SB_METRICS, the whole subsystem is compiled in but off by default:
+// every entry point starts with one relaxed atomic load, so the release hot
+// path pays nothing.  Enable with SB_CHECK=on (env) or build with
+// -DSB_CHECK=ON to flip the compiled-in default.  See docs/CORRECTNESS.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sb::check {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;  // initialized from SB_CHECK
+}
+
+/// Whether the analyzers are active.  Initialized from the SB_CHECK env var
+/// ("on"/"1"/"true" enable); the compiled-in default is off unless the tree
+/// was configured with -DSB_CHECK=ON.
+inline bool enabled() noexcept {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// The analyzer a diagnostic came from.
+enum class Kind {
+    LockOrder,   // potential-deadlock cycle in the lock-order graph
+    Stall,       // a blocked wait exceeded the stall timeout
+    Collective,  // ranks diverged inside a collective
+    Lifetime,    // zero-copy view used after end_step
+    Usage,       // API sequencing (double end_step, put outside a step)
+};
+const char* kind_name(Kind k) noexcept;
+
+struct Diagnostic {
+    Kind kind = Kind::Usage;
+    std::string message;
+};
+
+/// Records a diagnostic: logs it at Error level, bumps the
+/// check.diagnostics{kind=} counter, and appends it to the bounded
+/// in-memory list behind diagnostics().  Thread-safe.
+void report(Kind kind, const std::string& message);
+
+/// The recorded diagnostics, oldest first (at most kMaxDiagnostics; older
+/// entries are dropped).  Thread-safe snapshot.
+std::vector<Diagnostic> diagnostics();
+
+/// Number of recorded diagnostics of `kind` since the last clear.
+std::size_t diagnostic_count(Kind kind);
+
+/// Drops every recorded diagnostic (tests isolate cases this way).
+void clear_diagnostics();
+
+inline constexpr std::size_t kMaxDiagnostics = 256;
+
+/// Base of every exception the analyzers throw.
+class CheckError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Thrown out of a blocked wait when the stall timeout fires with
+/// StallAction::Throw.
+class StallError : public CheckError {
+public:
+    using CheckError::CheckError;
+};
+
+/// Thrown by every rank of a collective round whose signatures diverged.
+class CollectiveMismatchError : public CheckError {
+public:
+    using CheckError::CheckError;
+};
+
+/// Thrown when a read chokepoint touches an expired zero-copy view.
+class LifetimeError : public CheckError {
+public:
+    using CheckError::CheckError;
+};
+
+// ---- stall-detector configuration ------------------------------------------
+
+/// What the wait-for detector does once a blocked wait exceeds the stall
+/// timeout (it always reports the wait-for dump first).
+enum class StallAction {
+    Report,  // keep waiting after the dump (default)
+    Throw,   // throw StallError out of the blocked wait
+};
+
+/// Stall timeout in seconds (SB_CHECK_STALL_MS env, default 5000 ms).
+double stall_timeout_seconds() noexcept;
+void set_stall_timeout_seconds(double s) noexcept;
+
+/// Stall action (SB_CHECK_STALL_ACTION env: "report" | "throw").
+StallAction stall_action() noexcept;
+void set_stall_action(StallAction a) noexcept;
+
+}  // namespace sb::check

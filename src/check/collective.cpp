@@ -1,0 +1,29 @@
+#include "check/collective.hpp"
+
+#include <sstream>
+
+namespace sb::check {
+
+bool sigs_match(const std::vector<CollSig>& sigs) noexcept {
+    for (std::size_t r = 1; r < sigs.size(); ++r) {
+        if (!(sigs[r] == sigs[0])) return false;
+    }
+    return true;
+}
+
+std::string format_collective_table(const std::string& comm, std::uint64_t seq,
+                                    const std::vector<CollSig>& sigs) {
+    std::ostringstream out;
+    out << "collective mismatch on comm '" << comm << "' (call #" << seq << "):";
+    for (std::size_t r = 0; r < sigs.size(); ++r) {
+        const CollSig& s = sigs[r];
+        out << "\n  rank " << r << ": " << (s.op.empty() ? "?" : s.op);
+        if (s.count != 0 || s.elem != 0) {
+            out << " count=" << s.count << " elem=" << s.elem;
+        }
+        if (!(s == sigs[0])) out << "   <-- diverges from rank 0";
+    }
+    return out.str();
+}
+
+}  // namespace sb::check

@@ -1,0 +1,42 @@
+// Collective-matching verification.
+//
+// The MPI contract the components rely on — every rank of a communicator
+// calls the same collective, with matching geometry, in the same order —
+// is unchecked at the transport level: all of sb::mpi's collectives funnel
+// through one data-carrying barrier, so a rank calling reduce while its
+// peers call barrier "works" and silently computes garbage (or hangs).
+// While sb::check is enabled, every collective entry is tagged with a
+// CollSig; the completing rank of each round compares all signatures and,
+// on divergence, the whole group aborts with a rank-by-rank table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace sb::check {
+
+/// What one rank claims it is doing in a collective round.  `count`/`elem`
+/// are 0 when the operation legitimately varies per rank (allgatherv
+/// payload sizes, bcast where only the root carries data).
+struct CollSig {
+    std::string op;           // "barrier", "allreduce:Sum", "bcast(root=0)", ...
+    std::uint64_t count = 0;  // element count contributed
+    std::uint64_t elem = 0;   // element size in bytes
+
+    bool operator==(const CollSig&) const = default;
+};
+
+/// True when every rank's signature matches rank 0's.
+bool sigs_match(const std::vector<CollSig>& sigs) noexcept;
+
+/// The rank-by-rank divergence table:
+///   collective mismatch on comm 'x' (call #12):
+///     rank 0: barrier
+///     rank 1: allreduce:Sum count=1 elem=8   <-- diverges
+std::string format_collective_table(const std::string& comm, std::uint64_t seq,
+                                    const std::vector<CollSig>& sigs);
+
+}  // namespace sb::check

@@ -1,0 +1,127 @@
+#include "check/lifetime.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sb::check {
+
+namespace {
+
+struct ViewRec {
+    const void* owner = nullptr;
+    std::uintptr_t begin = 0;
+    std::uintptr_t end = 0;
+    std::string desc;
+    std::shared_ptr<const void> keep_alive;
+    // Views are handed to one rank thread; only that thread's reads after
+    // its own end_step are bugs (a peer rank may legitimately still be
+    // reading the same shared block payload inside its own step).
+    std::thread::id tid;
+};
+
+/// Quarantined (expired) views are bounded: old entries age out, releasing
+/// their payload pin.  Live views are bounded by the number of views a
+/// step actually hands out.
+constexpr std::size_t kMaxExpired = 128;
+
+struct ViewTable {
+    std::mutex mu;
+    std::vector<ViewRec> live;
+    std::deque<ViewRec> expired;
+};
+
+ViewTable& views() {
+    static ViewTable t;
+    return t;
+}
+
+bool overlaps(const ViewRec& v, std::uintptr_t begin, std::uintptr_t end) {
+    return begin < v.end && v.begin < end;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_view_slow(const void* owner, const void* data, std::size_t size,
+                        std::string desc,
+                        std::shared_ptr<const void> keep_alive) {
+    if (!data || size == 0) return;
+    const auto begin = reinterpret_cast<std::uintptr_t>(data);
+    auto& t = views();
+    const std::lock_guard lock(t.mu);
+    t.live.push_back({owner, begin, begin + size, std::move(desc),
+                      std::move(keep_alive), std::this_thread::get_id()});
+}
+
+void expire_views_slow(const void* owner) {
+    auto& t = views();
+    const std::lock_guard lock(t.mu);
+    for (auto it = t.live.begin(); it != t.live.end();) {
+        if (it->owner == owner) {
+            t.expired.push_back(std::move(*it));
+            it = t.live.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    while (t.expired.size() > kMaxExpired) t.expired.pop_front();
+}
+
+void forget_views_slow(const void* owner) {
+    auto& t = views();
+    const std::lock_guard lock(t.mu);
+    std::erase_if(t.live, [&](const ViewRec& v) { return v.owner == owner; });
+    std::erase_if(t.expired, [&](const ViewRec& v) { return v.owner == owner; });
+}
+
+void note_read_slow(const void* data, std::size_t size) {
+    if (!data || size == 0) return;
+    const auto begin = reinterpret_cast<std::uintptr_t>(data);
+    const auto end = begin + size;
+    const auto me = std::this_thread::get_id();
+    std::string hit;
+    {
+        auto& t = views();
+        const std::lock_guard lock(t.mu);
+        for (const ViewRec& v : t.expired) {
+            if (v.tid == me && overlaps(v, begin, end)) {
+                hit = v.desc;
+                break;
+            }
+        }
+    }
+    if (!hit.empty()) {
+        const std::string msg =
+            "use-after-end_step: read of " + std::to_string(size) +
+            " bytes overlaps expired zero-copy view of " + hit;
+        report(Kind::Lifetime, msg);
+        throw LifetimeError(msg);
+    }
+}
+
+}  // namespace detail
+
+std::size_t live_view_count() {
+    auto& t = views();
+    const std::lock_guard lock(t.mu);
+    return t.live.size();
+}
+
+std::size_t expired_view_count() {
+    auto& t = views();
+    const std::lock_guard lock(t.mu);
+    return t.expired.size();
+}
+
+void reset_views() {
+    auto& t = views();
+    const std::lock_guard lock(t.mu);
+    t.live.clear();
+    t.expired.clear();
+}
+
+}  // namespace sb::check

@@ -1,0 +1,72 @@
+// View-lifetime guard for zero-copy reads.
+//
+// try_read_view hands components a span pinned by the step's shared
+// payload; the span dies at end_step, but nothing in the type system stops
+// a component from stashing it across steps.  While sb::check is enabled:
+//
+//   - every handed-out view is registered here with its owning port, its
+//     step generation, and a human-readable owner description (stream,
+//     var, box, step);
+//   - ReaderPort::end_step() expires its views: they move into a bounded
+//     quarantine that keeps the underlying payload alive (so the address
+//     range cannot be recycled by a fresh allocation and misattributed);
+//   - the read chokepoints (util::copy_box, util::execute_copy_plan)
+//     probe their source span against the quarantine and report + throw
+//     LifetimeError on a hit — a read through a span that end_step
+//     already invalidated.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "check/check.hpp"
+
+namespace sb::check {
+
+namespace detail {
+void register_view_slow(const void* owner, const void* data, std::size_t size,
+                        std::string desc, std::shared_ptr<const void> keep_alive);
+void expire_views_slow(const void* owner);
+void forget_views_slow(const void* owner);
+void note_read_slow(const void* data, std::size_t size);
+}  // namespace detail
+
+/// Registers a handed-out zero-copy view.  `owner` groups views expired
+/// together (the ReaderPort); `keep_alive` pins the payload while the view
+/// sits in the expired quarantine.
+inline void register_view(const void* owner, const void* data, std::size_t size,
+                          std::string desc,
+                          std::shared_ptr<const void> keep_alive) {
+    if (!enabled()) return;
+    detail::register_view_slow(owner, data, size, std::move(desc),
+                               std::move(keep_alive));
+}
+
+/// Expires every live view of `owner` (called by end_step): subsequent
+/// reads overlapping them are use-after-end_step.
+inline void expire_views(const void* owner) {
+    if (!enabled()) return;
+    detail::expire_views_slow(owner);
+}
+
+/// Drops `owner`'s views entirely, live and quarantined (port teardown in
+/// tests; real misuse keeps the quarantine relevant across ports).
+inline void forget_views(const void* owner) {
+    if (!enabled()) return;
+    detail::forget_views_slow(owner);
+}
+
+/// Probes a source range about to be read; reports and throws
+/// LifetimeError when it overlaps an expired view.
+inline void note_read(const void* data, std::size_t size) {
+    if (!enabled()) return;
+    detail::note_read_slow(data, size);
+}
+
+/// Introspection (tests).
+std::size_t live_view_count();
+std::size_t expired_view_count();
+void reset_views();
+
+}  // namespace sb::check

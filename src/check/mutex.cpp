@@ -1,0 +1,147 @@
+#include "check/mutex.hpp"
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace sb::check {
+
+namespace {
+
+thread_local std::string t_label;
+
+/// The stack of mutexes the calling thread currently holds (innermost
+/// last).  Name pointers stay valid while the mutex is held.
+struct Held {
+    std::uint64_t id;
+    const std::string* name;
+};
+thread_local std::vector<Held> t_held;
+
+struct Edge {
+    std::string context;  // "thread 'x': acquired 'B' while holding 'A'"
+    std::string to_name;
+};
+
+/// The process-wide lock-order graph: node = mutex id, edge a->b = "some
+/// thread acquired b while holding a".
+struct LockGraph {
+    std::mutex mu;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, Edge> edges;
+    std::map<std::uint64_t, std::set<std::uint64_t>> adj;
+    std::size_t cycles = 0;
+
+    /// Depth-first path from `from` to `to` along recorded edges; fills
+    /// `path` with the edge keys walked.  Returns true when reachable.
+    bool find_path(std::uint64_t from, std::uint64_t to,
+                   std::set<std::uint64_t>& seen,
+                   std::vector<std::pair<std::uint64_t, std::uint64_t>>& path) {
+        if (from == to) return true;
+        if (!seen.insert(from).second) return false;
+        const auto it = adj.find(from);
+        if (it == adj.end()) return false;
+        for (const std::uint64_t next : it->second) {
+            path.emplace_back(from, next);
+            if (find_path(next, to, seen, path)) return true;
+            path.pop_back();
+        }
+        return false;
+    }
+};
+
+LockGraph& graph() {
+    static LockGraph g;
+    return g;
+}
+
+}  // namespace
+
+ThreadLabel::ThreadLabel(std::string label) : prev_(std::move(t_label)) {
+    t_label = std::move(label);
+}
+
+ThreadLabel::~ThreadLabel() { t_label = std::move(prev_); }
+
+const std::string& ThreadLabel::current() noexcept { return t_label; }
+
+namespace detail {
+
+std::uint64_t next_mutex_id() noexcept {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void lock_acquired(std::uint64_t id, const std::string& name) {
+    std::string cycle_report;
+    if (!t_held.empty()) {
+        const Held& holder = t_held.back();
+        if (holder.id != id) {
+            auto& g = graph();
+            const std::lock_guard lock(g.mu);
+            const std::pair<std::uint64_t, std::uint64_t> key{holder.id, id};
+            if (g.edges.find(key) == g.edges.end()) {
+                std::string ctx = "acquired '" + name + "' while holding '" +
+                                  *holder.name + "'";
+                if (!t_label.empty()) ctx += " [" + t_label + "]";
+
+                // Does the new edge close a cycle?  Then two code paths
+                // take these mutexes in opposite orders.
+                std::set<std::uint64_t> seen;
+                std::vector<std::pair<std::uint64_t, std::uint64_t>> path;
+                if (g.find_path(id, holder.id, seen, path)) {
+                    ++g.cycles;
+                    cycle_report =
+                        "potential deadlock: lock-order cycle between '" +
+                        *holder.name + "' and '" + name + "':\n  " + ctx;
+                    for (const auto& ek : path) {
+                        cycle_report += "\n  " + g.edges.at(ek).context;
+                    }
+                }
+                g.edges.emplace(key, Edge{std::move(ctx), name});
+                g.adj[holder.id].insert(id);
+            }
+        }
+    }
+    t_held.push_back({id, &name});
+    // Reported outside the graph mutex: report() takes the diagnostic-log
+    // and registry mutexes, which must stay leaves of the lock order.
+    if (!cycle_report.empty()) report(Kind::LockOrder, cycle_report);
+}
+
+void lock_released(std::uint64_t id) noexcept {
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+        if (it->id == id) {
+            t_held.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+}  // namespace detail
+
+namespace lock_order {
+
+std::size_t edge_count() {
+    auto& g = graph();
+    const std::lock_guard lock(g.mu);
+    return g.edges.size();
+}
+
+std::size_t cycle_count() {
+    auto& g = graph();
+    const std::lock_guard lock(g.mu);
+    return g.cycles;
+}
+
+void reset() {
+    auto& g = graph();
+    const std::lock_guard lock(g.mu);
+    g.edges.clear();
+    g.adj.clear();
+    g.cycles = 0;
+}
+
+}  // namespace lock_order
+
+}  // namespace sb::check

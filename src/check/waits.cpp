@@ -1,0 +1,111 @@
+#include "check/waits.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "check/mutex.hpp"
+
+namespace sb::check {
+
+const char* wait_kind_name(WaitKind k) noexcept {
+    switch (k) {
+        case WaitKind::P2PRecv: return "p2p-recv";
+        case WaitKind::Collective: return "collective";
+        case WaitKind::QueuePush: return "queue-push";
+        case WaitKind::QueuePop: return "queue-pop";
+        case WaitKind::StreamAcquire: return "stream-acquire";
+        case WaitKind::Other: return "wait";
+    }
+    return "?";
+}
+
+namespace {
+
+struct WaitRec {
+    bool in_use = false;
+    WaitKind kind = WaitKind::Other;
+    std::string what;
+    std::string label;  // thread context label at registration
+    std::thread::id tid;
+    std::chrono::steady_clock::time_point t0;
+};
+
+/// Fixed-slot table: registration never allocates table storage while a
+/// diagnostic may be in flight, and iteration for dumps is trivially
+/// bounded.
+struct WaitTable {
+    std::mutex mu;
+    std::vector<WaitRec> slots{std::vector<WaitRec>(256)};
+    std::size_t active = 0;
+};
+
+WaitTable& table() {
+    static WaitTable t;
+    return t;
+}
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+ScopedWait::ScopedWait(WaitKind kind, std::string what)
+    : slot_(kNoSlot), t0_(std::chrono::steady_clock::now()) {
+    if (!enabled()) return;
+    auto& t = table();
+    const std::lock_guard lock(t.mu);
+    for (std::size_t i = 0; i < t.slots.size(); ++i) {
+        if (t.slots[i].in_use) continue;
+        t.slots[i] = WaitRec{true,
+                             kind,
+                             std::move(what),
+                             ThreadLabel::current(),
+                             std::this_thread::get_id(),
+                             t0_};
+        slot_ = i;
+        ++t.active;
+        return;
+    }
+    // Table full (pathological): the wait simply goes unlisted.
+}
+
+ScopedWait::~ScopedWait() {
+    if (slot_ == kNoSlot) return;
+    auto& t = table();
+    const std::lock_guard lock(t.mu);
+    t.slots[slot_] = WaitRec{};
+    --t.active;
+}
+
+double ScopedWait::elapsed() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+}
+
+std::string dump_waits() {
+    const auto now = std::chrono::steady_clock::now();
+    auto& t = table();
+    const std::lock_guard lock(t.mu);
+    std::ostringstream out;
+    std::size_t n = 0;
+    for (const WaitRec& w : t.slots) {
+        if (!w.in_use) continue;
+        const double blocked =
+            std::chrono::duration<double>(now - w.t0).count();
+        out << "  [" << wait_kind_name(w.kind) << "] " << w.what;
+        if (!w.label.empty()) out << " [" << w.label << "]";
+        out << " blocked " << blocked << "s\n";
+        ++n;
+    }
+    if (n == 0) out << "  (no registered waits)\n";
+    return out.str();
+}
+
+std::size_t active_wait_count() {
+    auto& t = table();
+    const std::lock_guard lock(t.mu);
+    return t.active;
+}
+
+}  // namespace sb::check

@@ -1,0 +1,94 @@
+// Wait-for graph & stall detection.
+//
+// Every blocking wait in the runtime (P2P recv, collective rounds, bounded
+// queue push/pop, stream acquire) registers itself here while blocked, so
+// that at any instant the process can answer "who waits on whom".  A wait
+// that exceeds the configured stall timeout fires a diagnostic carrying the
+// full wait-for table — queue depths, current steps, thread context labels
+// — instead of the workflow hanging forever with no explanation; with
+// StallAction::Throw the blocked wait additionally throws StallError so
+// the component unwinds (and the workflow's abort path tears down the rest
+// of the graph).
+//
+// Waiting sites use wait_checked() below, which degrades to a plain
+// cv.wait(lock, pred) when sb::check is disabled.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "check/check.hpp"
+
+namespace sb::check {
+
+enum class WaitKind {
+    P2PRecv,        // mpi recv_bytes blocked on an empty mailbox slot
+    Collective,     // mpi collective blocked on missing peers
+    QueuePush,      // BoundedQueue push blocked on a full queue (backpressure)
+    QueuePop,       // BoundedQueue pop blocked on an empty queue
+    StreamAcquire,  // flexpath reader blocked waiting for a step
+    Other,
+};
+const char* wait_kind_name(WaitKind k) noexcept;
+
+/// RAII registration of one blocked wait in the process-wide table.
+/// Registers only when sb::check is enabled at construction.
+class ScopedWait {
+public:
+    ScopedWait(WaitKind kind, std::string what);
+    ~ScopedWait();
+    ScopedWait(const ScopedWait&) = delete;
+    ScopedWait& operator=(const ScopedWait&) = delete;
+
+    /// Seconds since construction.
+    double elapsed() const noexcept;
+
+private:
+    std::size_t slot_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/// Formats the current wait-for table, one line per blocked wait.
+std::string dump_waits();
+
+/// Number of currently registered waits.
+std::size_t active_wait_count();
+
+/// cv.wait(lock, pred) with stall detection.  While sb::check is enabled
+/// the wait is registered in the wait-for table and sliced into short
+/// timed waits; once blocked longer than stall_timeout_seconds() it
+/// reports a Stall diagnostic with the full table (once per wait) and,
+/// under StallAction::Throw, throws StallError.  `what` describes the
+/// wait ("stream 'x' acquire gen=3 queued=0").
+template <typename CV, typename Lock, typename Pred>
+void wait_checked(CV& cv, Lock& lock, WaitKind kind, const std::string& what,
+                  Pred pred) {
+    if (!enabled()) {
+        cv.wait(lock, pred);
+        return;
+    }
+    if (pred()) return;
+    const ScopedWait wait(kind, what);
+    bool reported = false;
+    for (;;) {
+        const double timeout = stall_timeout_seconds();
+        const double remaining = reported ? timeout : timeout - wait.elapsed();
+        const auto slice = std::chrono::duration<double>(
+            std::clamp(remaining, 1e-3, 0.05));
+        if (cv.wait_for(lock, slice, pred)) return;
+        if (!reported && wait.elapsed() >= timeout) {
+            reported = true;
+            report(Kind::Stall,
+                   "stalled " + std::string(wait_kind_name(kind)) + " " + what +
+                       " (blocked " + std::to_string(wait.elapsed()) +
+                       "s)\nwait-for table:\n" + dump_waits());
+            if (stall_action() == StallAction::Throw) {
+                throw StallError("stalled " + std::string(wait_kind_name(kind)) +
+                                 " " + what);
+            }
+        }
+    }
+}
+
+}  // namespace sb::check

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <thread>
 
+#include "check/check.hpp"
 #include "flexpath/stream.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -147,6 +148,15 @@ void Workflow::run() {
     }  // all drivers join
 
     elapsed_ = timer.seconds();
+
+    if (check::enabled()) {
+        const auto diags = check::diagnostics();
+        if (!diags.empty()) {
+            SB_LOG(Warn) << "workflow: sb::check recorded " << diags.size()
+                         << " diagnostic(s) during this run (see earlier "
+                            "sb::check log lines)";
+        }
+    }
 
     if (failed.load()) {
         // Prefer a root-cause error over secondary StreamAborted unwinds.

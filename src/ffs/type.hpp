@@ -24,6 +24,8 @@
 #include <variant>
 #include <vector>
 
+#include "util/bytes.hpp"
+
 namespace sb::ffs {
 
 /// Element kinds supported on the wire.
@@ -97,7 +99,7 @@ public:
             throw std::invalid_argument("add_array '" + name + "': shape/data size mismatch");
         }
         std::vector<std::byte> raw(data.size_bytes());
-        std::memcpy(raw.data(), data.data(), data.size_bytes());
+        util::copy_bytes(raw.data(), data.data(), data.size_bytes());
         add_field(std::move(fd), std::move(raw));
     }
 
@@ -121,7 +123,7 @@ public:
         static_assert(std::is_trivially_copyable_v<T>);
         const auto& [fd, raw] = numeric_field(name, kind_of<T>::value);
         std::vector<T> out(raw.size() / sizeof(T));
-        std::memcpy(out.data(), raw.data(), raw.size());
+        util::copy_bytes(out.data(), raw.data(), raw.size());
         (void)fd;
         return out;
     }

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "check/lifetime.hpp"
 #include "obs/metrics.hpp"
 
 namespace sb::flexpath {
@@ -40,8 +41,20 @@ ReaderPort::ReaderPort(Fabric& fabric, const std::string& stream_name, int rank,
     plan_compile_seconds_ = &reg.histogram("flexpath.plan_compile_seconds", labels);
 }
 
+ReaderPort::~ReaderPort() {
+    // Views cannot outlive their port; drop them from the guard entirely.
+    check::forget_views(this);
+}
+
 bool ReaderPort::begin_step() {
-    if (current_) throw std::logic_error("begin_step: step already in progress");
+    if (current_) {
+        if (check::enabled()) {
+            check::report(check::Kind::Usage,
+                          "begin_step with a step already in progress on stream '" +
+                              stream_->name() + "' rank " + std::to_string(rank_));
+        }
+        throw std::logic_error("begin_step: step already in progress");
+    }
     current_ = stream_->acquire(gen_);
     if (!current_) return false;
     meta_ = &current_->decoded_meta();
@@ -198,11 +211,35 @@ ReaderPort::try_read_view_bytes(const std::string& var, const util::Box& box) co
     zero_copy_reads_->inc();
     bytes_read_->add(box.volume() * elem);
     reads_->inc();
-    return std::span<const std::byte>(*exact->data).first(box.volume() * elem);
+    const auto view =
+        std::span<const std::byte>(*exact->data).first(box.volume() * elem);
+    if (check::enabled()) {
+        // Lifetime guard: the view dies at this rank's end_step; register it
+        // with the payload as keep-alive so a later read through the stale
+        // span is caught and attributed to this var/box.
+        check::register_view(this, view.data(), view.size(),
+                             "stream '" + stream_->name() + "' var '" + var +
+                                 "' box " + box.to_string() + " step " +
+                                 std::to_string(meta_->step) + " rank " +
+                                 std::to_string(rank_),
+                             exact->data);
+    }
+    return view;
 }
 
 void ReaderPort::end_step() {
-    if (!current_) throw std::logic_error("end_step: no step in progress");
+    if (!current_) {
+        if (check::enabled()) {
+            check::report(check::Kind::Usage,
+                          "end_step without a step in progress (double end_step?) "
+                          "on stream '" +
+                              stream_->name() + "' rank " + std::to_string(rank_));
+        }
+        throw std::logic_error("end_step: no step in progress");
+    }
+    // Expire this rank's zero-copy views before the step can be retired:
+    // from here on, any read through one of them is use-after-end_step.
+    check::expire_views(this);
     current_.reset();
     meta_ = nullptr;
     stream_->release(gen_);

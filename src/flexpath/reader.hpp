@@ -34,6 +34,7 @@ namespace sb::flexpath {
 class ReaderPort {
 public:
     ReaderPort(Fabric& fabric, const std::string& stream_name, int rank, int nranks);
+    ~ReaderPort();
 
     ReaderPort(const ReaderPort&) = delete;
     ReaderPort& operator=(const ReaderPort&) = delete;

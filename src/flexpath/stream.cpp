@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "check/waits.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -137,7 +138,8 @@ std::string spool_file_path(const std::string& dir, const std::string& stream,
 
 // ---- Stream ----------------------------------------------------------------
 
-Stream::Stream(std::string name) : name_(std::move(name)) {
+Stream::Stream(std::string name)
+    : name_(std::move(name)), mu_("flexpath.Stream('" + name_ + "').mu") {
     auto& reg = obs::Registry::global();
     const obs::Labels labels{{"stream", name_}};
     ins_.steps_assembled = &reg.counter("flexpath.steps_assembled", labels);
@@ -163,7 +165,8 @@ void Stream::attach_writer(int nranks, const StreamOptions& opts) {
         writer_size_ = nranks;
         opts_ = opts;
         rank_submits_.assign(static_cast<std::size_t>(nranks), 0);
-        queue_ = std::make_unique<util::BoundedQueue<StepData>>(opts.queue_capacity);
+        queue_ = std::make_unique<util::BoundedQueue<StepData>>(opts.queue_capacity,
+                                                                name_);
         cv_.notify_all();  // wake readers waiting for a writer group
     } else if (writer_size_ != nranks) {
         throw std::logic_error("stream '" + name_ +
@@ -437,7 +440,19 @@ std::shared_ptr<const StepData> Stream::acquire(std::uint64_t my_gen) {
         }
         // Waiting for: a writer group to appear, a peer to finish fetching,
         // or peers to release the previous step.
-        cv_.wait(lock);
+        std::string what;
+        if (check::enabled()) {
+            what = "stream '" + name_ + "' acquire gen=" + std::to_string(my_gen) +
+                   (current_ ? " current_step=" + std::to_string(current_->step)
+                             : std::string{}) +
+                   " queued=" + std::to_string(queue_ ? queue_->size() : 0) +
+                   (writer_size_ == 0 ? " (no writer attached)" : "");
+        }
+        check::wait_checked(cv_, lock, check::WaitKind::StreamAcquire, what, [&] {
+            return aborted_ || (current_ && current_gen_ == my_gen) ||
+                   (!current_ && eos_) ||
+                   (!current_ && !fetching_ && queue_ != nullptr);
+        });
     }
 }
 

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "check/mutex.hpp"
 #include "ffs/encode.hpp"
 #include "ffs/type.hpp"
 #include "util/ndarray.hpp"
@@ -118,6 +119,12 @@ struct Contribution {
 };
 
 struct StreamOptions {
+    StreamOptions() = default;
+    // Constructors (rather than aggregate init) so StreamOptions{N} call
+    // sites stay clean under -Wmissing-field-initializers / SB_WERROR.
+    explicit StreamOptions(std::size_t capacity, std::string spool = {})
+        : queue_capacity(capacity), spool_dir(std::move(spool)) {}
+
     /// Max completed steps buffered writer-side.  0 = synchronous rendezvous
     /// (writer's end_step blocks until the reader group takes the step) —
     /// used by the async-buffering ablation.
@@ -193,8 +200,10 @@ private:
 
     const std::string name_;
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
+    // CheckedMutex + condition_variable_any so the sb::check lock-order and
+    // wait-for analyzers see every stream acquisition and blocked wait.
+    mutable check::CheckedMutex mu_;
+    std::condition_variable_any cv_;
 
     // Writer group.  Ranks are not in lockstep: a fast rank may be several
     // steps ahead of a slow one, so contributions are merged per step.

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "flexpath/stream.hpp"
+#include "util/bytes.hpp"
 
 namespace sb::flexpath {
 
@@ -44,7 +45,7 @@ public:
     void put(const std::string& var, const util::Box& box, std::span<const T> data) {
         static_assert(std::is_trivially_copyable_v<T>);
         auto buf = std::make_shared<std::vector<std::byte>>(data.size_bytes());
-        std::memcpy(buf->data(), data.data(), data.size_bytes());
+        util::copy_bytes(buf->data(), data.data(), data.size_bytes());
         put(var, box, std::move(buf));
     }
 

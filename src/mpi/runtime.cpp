@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "check/collective.hpp"
+#include "check/mutex.hpp"
+#include "check/waits.hpp"
 #include "obs/metrics.hpp"
 
 namespace sb::mpi {
@@ -10,8 +13,8 @@ namespace detail {
 
 // One mailbox per destination rank.  Messages are matched on (src, tag).
 struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
+    check::CheckedMutex mu{"mpi.mailbox.mu"};
+    std::condition_variable_any cv;
     std::map<std::pair<int, int>, std::deque<Bytes>> slots;
 };
 
@@ -20,19 +23,28 @@ struct Mailbox {
 // round ahead of its slowest peer.  `exiting` gates re-entry so a fast rank
 // cannot clobber `published` while a slow rank is still reading it.
 struct CollectiveState {
-    std::mutex mu;
-    std::condition_variable cv;
+    check::CheckedMutex mu{"mpi.collective.mu"};
+    std::condition_variable_any cv;
     std::vector<Bytes> contribs;
     std::vector<Bytes> published;
     std::uint64_t round = 0;  // number of completed rounds
     int arrived = 0;
     int exiting = 0;
+    // sb::check collective verifier: per-rank signatures of the current
+    // round, and the round (if any) whose signatures diverged.
+    std::vector<check::CollSig> sigs;
+    std::uint64_t mismatch_round = static_cast<std::uint64_t>(-1);
+    std::string mismatch_table;
 };
 
 struct GroupState {
     explicit GroupState(int n, std::string name_ = {})
         : size(n), name(std::move(name_)), mailboxes(static_cast<std::size_t>(n)) {
         coll.contribs.resize(static_cast<std::size_t>(n));
+        coll.mu.set_name("mpi.collective('" + name + "').mu");
+        for (auto& mb : mailboxes) {
+            mb.mu.set_name("mpi.mailbox('" + name + "').mu");
+        }
         obs::Labels labels;
         if (!name.empty()) labels.push_back({"comm", name});
         coll_wait = &obs::Registry::global().histogram("mpi.collective_wait_seconds",
@@ -45,7 +57,7 @@ struct GroupState {
     std::vector<Mailbox> mailboxes;
     CollectiveState coll;
     // Per-group collective telemetry: every collective is built on
-    // allgather_bytes, so one histogram of per-call blocked seconds covers
+    // allgather_tagged, so one histogram of per-call blocked seconds covers
     // barrier/bcast/reduce/allreduce/gather alike.
     obs::Histogram* coll_wait = nullptr;
     obs::Counter* collectives = nullptr;
@@ -70,6 +82,22 @@ struct GroupState {
 
 }  // namespace detail
 
+namespace {
+
+/// Formats a SigSpec lazily — only when the sb::check verifier is on.
+check::CollSig make_sig(const char* op, const char* variant, int root,
+                        std::uint64_t count, std::uint64_t elem) {
+    check::CollSig sig;
+    sig.op = op;
+    if (variant) sig.op += std::string(":") + variant;
+    if (root >= 0) sig.op += "(root=" + std::to_string(root) + ")";
+    sig.count = count;
+    sig.elem = elem;
+    return sig;
+}
+
+}  // namespace
+
 int Communicator::size() const noexcept { return state_->size; }
 
 void Communicator::send_bytes(int dest, int tag, Bytes payload) const {
@@ -92,17 +120,30 @@ Bytes Communicator::recv_bytes(int src, int tag) const {
     auto& mb = state_->mailboxes[static_cast<std::size_t>(rank_)];
     std::unique_lock lock(mb.mu);
     auto& q = mb.slots[{src, tag}];
-    mb.cv.wait(lock, [&] { return state_->aborted.load() || !q.empty(); });
+    std::string what;
+    if (check::enabled()) {
+        what = "comm '" + state_->name + "' rank " + std::to_string(rank_) +
+               " <- rank " + std::to_string(src) + " tag " + std::to_string(tag);
+    }
+    check::wait_checked(mb.cv, lock, check::WaitKind::P2PRecv, what,
+                        [&] { return state_->aborted.load() || !q.empty(); });
     if (q.empty()) throw AbortError();
     Bytes out = std::move(q.front());
     q.pop_front();
     return out;
 }
 
-std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
+std::vector<Bytes> Communicator::allgather_tagged(Bytes mine,
+                                                  const SigSpec& spec) const {
     auto& c = state_->coll;
     const bool instr = obs::enabled();
+    const bool chk = check::enabled();
     double waited = 0.0;
+    std::string what;
+    if (chk) {
+        what = "comm '" + state_->name + "' rank " + std::to_string(rank_) + " " +
+               make_sig(spec.op, spec.variant, spec.root, spec.count, spec.elem).op;
+    }
     std::unique_lock lock(c.mu);
 
     // Wait for the previous round to fully drain before re-entering.
@@ -110,15 +151,31 @@ std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
         const auto drained = [&] { return state_->aborted.load() || c.exiting == 0; };
         if (!drained()) {
             const double t0 = instr ? obs::steady_seconds() : 0.0;
-            c.cv.wait(lock, drained);
+            check::wait_checked(c.cv, lock, check::WaitKind::Collective, what,
+                                drained);
             if (instr) waited += obs::steady_seconds() - t0;
         }
     }
     state_->check_abort();
 
     c.contribs[static_cast<std::size_t>(rank_)] = std::move(mine);
+    if (chk) {
+        if (c.sigs.size() != static_cast<std::size_t>(state_->size)) {
+            c.sigs.assign(static_cast<std::size_t>(state_->size), {});
+        }
+        c.sigs[static_cast<std::size_t>(rank_)] =
+            make_sig(spec.op, spec.variant, spec.root, spec.count, spec.elem);
+    }
     const std::uint64_t my_round = c.round;
     if (++c.arrived == state_->size) {
+        // The completing rank verifies the round's signatures before
+        // publishing; on divergence every rank of the round throws below.
+        if (chk && !check::sigs_match(c.sigs)) {
+            c.mismatch_round = my_round;
+            c.mismatch_table =
+                check::format_collective_table(state_->name, my_round, c.sigs);
+            check::report(check::Kind::Collective, c.mismatch_table);
+        }
         c.published = std::move(c.contribs);
         c.contribs.assign(static_cast<std::size_t>(state_->size), Bytes{});
         c.arrived = 0;
@@ -131,15 +188,20 @@ std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
         };
         if (!round_done()) {
             const double t0 = instr ? obs::steady_seconds() : 0.0;
-            c.cv.wait(lock, round_done);
+            check::wait_checked(c.cv, lock, check::WaitKind::Collective, what,
+                                round_done);
             if (instr) waited += obs::steady_seconds() - t0;
         }
         state_->check_abort();
     }
 
+    const bool mismatched = chk && c.mismatch_round == my_round;
+    const std::string table = mismatched ? c.mismatch_table : std::string{};
+
     std::vector<Bytes> result = c.published;  // copy: every rank needs it
     if (--c.exiting == 0) c.cv.notify_all();
     lock.unlock();
+    if (mismatched) throw check::CollectiveMismatchError(table);
     if (instr) {
         state_->coll_wait->observe(waited);
         state_->collectives->inc();
@@ -147,13 +209,20 @@ std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
     return result;
 }
 
-void Communicator::barrier() const { (void)allgather_bytes({}); }
+std::vector<Bytes> Communicator::allgather_bytes(Bytes mine) const {
+    return allgather_tagged(std::move(mine), {"allgather_bytes", nullptr, -1, 0, 0});
+}
+
+void Communicator::barrier() const {
+    (void)allgather_tagged({}, {"barrier", nullptr, -1, 0, 0});
+}
 
 Bytes Communicator::bcast_bytes(int root, Bytes payload) const {
     if (root < 0 || root >= state_->size) {
         throw std::out_of_range("bcast_bytes: bad root rank");
     }
-    auto all = allgather_bytes(rank_ == root ? std::move(payload) : Bytes{});
+    auto all = allgather_tagged(rank_ == root ? std::move(payload) : Bytes{},
+                                {"bcast", nullptr, root, 0, 0});
     return std::move(all[static_cast<std::size_t>(root)]);
 }
 
@@ -183,6 +252,11 @@ void run_ranks(int n, const std::function<void(Communicator&)>& fn,
             threads.emplace_back([&, r] {
                 try {
                     Communicator comm = group.comm(r);
+                    // Label the rank thread so lock-order and wait-for
+                    // diagnostics name the component rank.
+                    const check::ThreadLabel label(
+                        (comm.state_->name.empty() ? "comm" : comm.state_->name) +
+                        "/rank" + std::to_string(r));
                     fn(comm);
                 } catch (...) {
                     errors[static_cast<std::size_t>(r)] = std::current_exception();

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "util/bytes.hpp"
+
 namespace sb::mpi {
 
 using Bytes = std::vector<std::byte>;
@@ -43,6 +45,16 @@ public:
 };
 
 enum class ReduceOp { Sum, Min, Max, Prod };
+
+constexpr const char* reduce_op_name(ReduceOp op) noexcept {
+    switch (op) {
+        case ReduceOp::Sum: return "Sum";
+        case ReduceOp::Min: return "Min";
+        case ReduceOp::Max: return "Max";
+        case ReduceOp::Prod: return "Prod";
+    }
+    return "?";
+}
 
 namespace detail {
 struct GroupState;
@@ -67,7 +79,7 @@ public:
     void send(int dest, int tag, std::span<const T> data) const {
         static_assert(std::is_trivially_copyable_v<T>);
         Bytes b(data.size_bytes());
-        std::memcpy(b.data(), data.data(), data.size_bytes());
+        util::copy_bytes(b.data(), data.data(), data.size_bytes());
         send_bytes(dest, tag, std::move(b));
     }
 
@@ -84,7 +96,7 @@ public:
             throw std::runtime_error("recv: payload size not a multiple of element size");
         }
         std::vector<T> out(b.size() / sizeof(T));
-        std::memcpy(out.data(), b.data(), b.size());
+        util::copy_bytes(out.data(), b.data(), b.size());
         return out;
     }
 
@@ -97,7 +109,10 @@ public:
 
     // ---- collectives ---------------------------------------------------
     // All ranks of the group must call the same collective in the same
-    // order (the usual MPI contract).
+    // order (the usual MPI contract).  With SB_CHECK=on every entry is
+    // tagged with (op, count, element size); sb::check verifies that the
+    // ranks of each round agree and aborts the group with a rank-by-rank
+    // table when they diverge (see docs/CORRECTNESS.md).
 
     void barrier() const;
 
@@ -121,57 +136,34 @@ public:
 
     template <typename T>
     std::vector<T> allgather(const T& v) const {
-        static_assert(std::is_trivially_copyable_v<T>);
-        Bytes mine(sizeof(T));
-        std::memcpy(mine.data(), &v, sizeof(T));
-        auto all = allgather_bytes(std::move(mine));
-        std::vector<T> out(all.size());
-        for (std::size_t i = 0; i < all.size(); ++i) {
-            std::memcpy(&out[i], all[i].data(), sizeof(T));
-        }
-        return out;
+        return allgather_impl(v, {"allgather", nullptr, -1, 1, sizeof(T)});
     }
 
     /// Variable-length allgather: concatenation is up to the caller.
     template <typename T>
     std::vector<std::vector<T>> allgatherv(std::span<const T> data) const {
-        static_assert(std::is_trivially_copyable_v<T>);
-        Bytes mine(data.size_bytes());
-        std::memcpy(mine.data(), data.data(), data.size_bytes());
-        auto all = allgather_bytes(std::move(mine));
-        std::vector<std::vector<T>> out(all.size());
-        for (std::size_t i = 0; i < all.size(); ++i) {
-            out[i].resize(all[i].size() / sizeof(T));
-            std::memcpy(out[i].data(), all[i].data(), all[i].size());
-        }
-        return out;
+        return allgatherv_impl(data, {"allgatherv", nullptr, -1, 0, sizeof(T)});
     }
 
     template <typename T>
     T allreduce(T v, ReduceOp op) const {
-        auto all = allgather<T>(v);
+        auto all =
+            allgather_impl(v, {"allreduce", reduce_op_name(op), -1, 1, sizeof(T)});
         return fold(all, op);
     }
 
     /// Elementwise allreduce over equal-length vectors.
     template <typename T>
     std::vector<T> allreduce_vec(std::span<const T> v, ReduceOp op) const {
-        auto all = allgatherv<T>(v);
-        std::vector<T> out(v.size());
-        for (std::size_t j = 0; j < v.size(); ++j) {
-            T acc = all[0].at(j);
-            for (std::size_t r = 1; r < all.size(); ++r) {
-                acc = apply(acc, all[r].at(j), op);
-            }
-            out[j] = acc;
-        }
-        return out;
+        return allreduce_vec_impl(
+            v, op, {"allreduce_vec", reduce_op_name(op), -1, v.size(), sizeof(T)});
     }
 
     /// Reduce-to-root; non-root ranks receive an empty vector.
     template <typename T>
     std::vector<T> reduce_vec(std::span<const T> v, ReduceOp op, int root) const {
-        auto out = allreduce_vec<T>(v, op);
+        auto out = allreduce_vec_impl(
+            v, op, {"reduce_vec", reduce_op_name(op), root, v.size(), sizeof(T)});
         if (rank_ != root) out.clear();
         return out;
     }
@@ -179,7 +171,7 @@ public:
     /// Gather scalars to root; non-root ranks receive an empty vector.
     template <typename T>
     std::vector<T> gather(const T& v, int root) const {
-        auto all = allgather<T>(v);
+        auto all = allgather_impl(v, {"gather", nullptr, root, 1, sizeof(T)});
         if (rank_ != root) all.clear();
         return all;
     }
@@ -187,7 +179,8 @@ public:
     /// Inclusive prefix reduction: rank r receives fold(v_0 .. v_r).
     template <typename T>
     T scan(T v, ReduceOp op) const {
-        const auto all = allgather<T>(v);
+        const auto all =
+            allgather_impl(v, {"scan", reduce_op_name(op), -1, 1, sizeof(T)});
         T acc = all.at(0);
         for (int r = 1; r <= rank_; ++r) {
             acc = apply(acc, all[static_cast<std::size_t>(r)], op);
@@ -199,7 +192,8 @@ public:
     /// rank 0 receives the operation's identity element.
     template <typename T>
     T exscan(T v, ReduceOp op) const {
-        const auto all = allgather<T>(v);
+        const auto all =
+            allgather_impl(v, {"exscan", reduce_op_name(op), -1, 1, sizeof(T)});
         T acc = identity<T>(op);
         for (int r = 0; r < rank_; ++r) {
             acc = apply(acc, all[static_cast<std::size_t>(r)], op);
@@ -213,6 +207,64 @@ private:
 
     Communicator(std::shared_ptr<detail::GroupState> state, int rank)
         : state_(std::move(state)), rank_(rank) {}
+
+    /// What the calling rank claims this collective is, for the sb::check
+    /// verifier.  Kept as raw pieces so the disabled path never allocates;
+    /// the formatted signature is only built when SB_CHECK is on.
+    struct SigSpec {
+        const char* op;
+        const char* variant = nullptr;  // reduce-op name, or null
+        int root = -1;                  // rooted collectives, or -1
+        std::uint64_t count = 0;        // 0 when legitimately per-rank
+        std::uint64_t elem = 0;
+    };
+
+    /// The data-carrying barrier every collective funnels through, tagged
+    /// with the caller's signature.
+    std::vector<Bytes> allgather_tagged(Bytes mine, const SigSpec& sig) const;
+
+    template <typename T>
+    std::vector<T> allgather_impl(const T& v, const SigSpec& sig) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes mine(sizeof(T));
+        std::memcpy(mine.data(), &v, sizeof(T));
+        auto all = allgather_tagged(std::move(mine), sig);
+        std::vector<T> out(all.size());
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            std::memcpy(&out[i], all[i].data(), sizeof(T));
+        }
+        return out;
+    }
+
+    template <typename T>
+    std::vector<std::vector<T>> allgatherv_impl(std::span<const T> data,
+                                                const SigSpec& sig) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Bytes mine(data.size_bytes());
+        util::copy_bytes(mine.data(), data.data(), data.size_bytes());
+        auto all = allgather_tagged(std::move(mine), sig);
+        std::vector<std::vector<T>> out(all.size());
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            out[i].resize(all[i].size() / sizeof(T));
+            util::copy_bytes(out[i].data(), all[i].data(), all[i].size());
+        }
+        return out;
+    }
+
+    template <typename T>
+    std::vector<T> allreduce_vec_impl(std::span<const T> v, ReduceOp op,
+                                      const SigSpec& sig) const {
+        auto all = allgatherv_impl<T>(v, sig);
+        std::vector<T> out(v.size());
+        for (std::size_t j = 0; j < v.size(); ++j) {
+            T acc = all[0].at(j);
+            for (std::size_t r = 1; r < all.size(); ++r) {
+                acc = apply(acc, all[r].at(j), op);
+            }
+            out[j] = acc;
+        }
+        return out;
+    }
 
     template <typename T>
     static T apply(T a, T b, ReduceOp op) {

@@ -1,0 +1,18 @@
+// Byte-copy helper shared by the wire/transport layers.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+namespace sb::util {
+
+/// std::memcpy that tolerates empty ranges.  Passing a null pointer to
+/// memcpy is undefined behaviour even when n == 0 (UBSan halts on it), and
+/// empty spans/vectors legitimately return null data() — e.g. a rank
+/// contributing zero elements to an allgatherv, or a variable with an empty
+/// shape.
+inline void copy_bytes(void* dst, const void* src, std::size_t n) {
+    if (n != 0) std::memcpy(dst, src, n);
+}
+
+}  // namespace sb::util

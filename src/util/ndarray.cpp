@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/lifetime.hpp"
+
 namespace sb::util {
 
 std::uint64_t NdShape::volume() const noexcept {
@@ -177,6 +179,9 @@ void copy_box(std::span<const std::byte> src, const Box& src_box,
               const Box& region, std::size_t elem_size) {
     assert(src.size() >= src_box.volume() * elem_size);
     assert(dst.size() >= dst_box.volume() * elem_size);
+    // Read chokepoint of the sb::check view-lifetime guard: a source span
+    // that end_step already invalidated is caught here.
+    check::note_read(src.data(), src.size());
     for_each_run(src_box, dst_box, region, elem_size,
                  [&](std::uint64_t soff, std::uint64_t doff, std::uint64_t n) {
                      std::memcpy(dst.data() + doff, src.data() + soff, n);
@@ -201,6 +206,7 @@ CopyPlan compile_copy_plan(const Box& src_box, const Box& dst_box,
 
 void execute_copy_plan(std::span<const std::byte> src, std::span<std::byte> dst,
                        const CopyPlan& plan) {
+    check::note_read(src.data(), src.size());
     for (const CopyRun& r : plan) {
         assert(r.src_offset + r.length <= src.size());
         assert(r.dst_offset + r.length <= dst.size());

@@ -5,6 +5,10 @@
 // queue capacity, overlapping computation with downstream I/O; when the
 // queue is full the writer blocks (backpressure).  All waits use condition
 // variables with predicates — never spinning (Core Guidelines CP.42).
+//
+// The queue stays obs-free so it remains a standalone primitive, but its
+// mutex and blocked waits do feed the sb::check lock-order / wait-for
+// analyzers (one relaxed atomic load each when SB_CHECK is off).
 #pragma once
 
 #include <chrono>
@@ -13,6 +17,10 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
+
+#include "check/mutex.hpp"
+#include "check/waits.hpp"
 
 namespace sb::util {
 
@@ -21,8 +29,11 @@ class BoundedQueue {
 public:
     /// capacity == 0 gives rendezvous semantics: push() blocks until a
     /// consumer has popped the item (used by the "synchronous handoff"
-    /// ablation).
-    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+    /// ablation).  `name` labels the queue in sb::check diagnostics.
+    explicit BoundedQueue(std::size_t capacity, std::string name = {})
+        : capacity_(capacity),
+          name_(std::move(name)),
+          mu_("util.BoundedQueue('" + name_ + "').mu") {}
 
     BoundedQueue(const BoundedQueue&) = delete;
     BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -38,10 +49,12 @@ public:
             const std::uint64_t my_seq = ++pushed_;
             not_empty_.notify_all();
             timed_wait(popped_cv_, lock, blocked_push_s_, blocked_pushes_,
+                       check::WaitKind::QueuePush,
                        [&] { return closed_ || popped_ >= my_seq; });
             return popped_ >= my_seq;
         }
         timed_wait(not_full_, lock, blocked_push_s_, blocked_pushes_,
+                   check::WaitKind::QueuePush,
                    [&] { return closed_ || q_.size() < capacity_; });
         if (closed_) return false;
         q_.push_back(std::move(item));
@@ -54,6 +67,7 @@ public:
     std::optional<T> pop() {
         std::unique_lock lock(mu_);
         timed_wait(not_empty_, lock, blocked_pop_s_, blocked_pops_,
+                   check::WaitKind::QueuePop,
                    [&] { return closed_ || !q_.empty(); });
         if (q_.empty()) return std::nullopt;
         T item = std::move(q_.front());
@@ -124,22 +138,32 @@ private:
     /// cv.wait(lock, pred), accounting the time actually spent blocked into
     /// `seconds`/`stalls` (both protected by mu_, which the caller holds and
     /// the wait reacquires).  The satisfied-immediately path costs nothing.
+    /// Blocked waits register in the sb::check wait-for table under `kind`.
     template <typename Pred>
-    void timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
-                    double& seconds, std::uint64_t& stalls, Pred pred) {
+    void timed_wait(std::condition_variable_any& cv,
+                    std::unique_lock<check::CheckedMutex>& lock, double& seconds,
+                    std::uint64_t& stalls, check::WaitKind kind, Pred pred) {
         if (pred()) return;
+        std::string what;
+        if (check::enabled()) {
+            what = "queue '" + name_ + "' " +
+                   (kind == check::WaitKind::QueuePush ? "push" : "pop") +
+                   " size=" + std::to_string(q_.size()) + "/cap=" +
+                   std::to_string(capacity_);
+        }
         const auto t0 = std::chrono::steady_clock::now();
-        cv.wait(lock, pred);
+        check::wait_checked(cv, lock, kind, what, pred);
         seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                        .count();
         ++stalls;
     }
 
     const std::size_t capacity_;
-    mutable std::mutex mu_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::condition_variable popped_cv_;
+    const std::string name_;
+    mutable check::CheckedMutex mu_;
+    std::condition_variable_any not_empty_;
+    std::condition_variable_any not_full_;
+    std::condition_variable_any popped_cv_;
     std::deque<T> q_;
     bool closed_ = false;
     std::uint64_t pushed_ = 0;

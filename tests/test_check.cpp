@@ -1,0 +1,386 @@
+// Deliberate-fault tests for the sb::check runtime analyzers: each test
+// injects one failure class (lock inversion, mismatched collectives, a
+// zero-copy view used after end_step, a stalled wait, API misuse) and
+// asserts the analyzer produces the intended diagnostic — and that clean
+// code produces none.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "adios/group.hpp"
+#include "adios/writer.hpp"
+#include "check/check.hpp"
+#include "check/lifetime.hpp"
+#include "check/mutex.hpp"
+#include "check/waits.hpp"
+#include "flexpath/reader.hpp"
+#include "flexpath/stream.hpp"
+#include "flexpath/writer.hpp"
+#include "mpi/runtime.hpp"
+#include "util/ndarray.hpp"
+#include "util/queue.hpp"
+
+namespace chk = sb::check;
+namespace fp = sb::flexpath;
+namespace u = sb::util;
+
+namespace {
+
+/// Arms the analyzers for one test and restores the previous configuration
+/// (enabled flag, stall timeout/action, diagnostics, graphs) afterwards, so
+/// tests are order-independent and leave nothing armed for other suites.
+class CheckTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        was_enabled_ = chk::enabled();
+        prev_timeout_ = chk::stall_timeout_seconds();
+        prev_action_ = chk::stall_action();
+        chk::set_enabled(true);
+        chk::clear_diagnostics();
+        chk::lock_order::reset();
+        chk::reset_views();
+    }
+
+    void TearDown() override {
+        chk::clear_diagnostics();
+        chk::lock_order::reset();
+        chk::reset_views();
+        chk::set_stall_timeout_seconds(prev_timeout_);
+        chk::set_stall_action(prev_action_);
+        chk::set_enabled(was_enabled_);
+    }
+
+    /// True when some recorded diagnostic of `kind` contains `needle`.
+    static bool diagnostic_contains(chk::Kind kind, const std::string& needle) {
+        for (const chk::Diagnostic& d : chk::diagnostics()) {
+            if (d.kind == kind && d.message.find(needle) != std::string::npos) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+private:
+    bool was_enabled_ = false;
+    double prev_timeout_ = 5.0;
+    chk::StallAction prev_action_ = chk::StallAction::Report;
+};
+
+// ---- lock-order analysis ---------------------------------------------------
+
+TEST_F(CheckTest, AbbaLockInversionReportsCycle) {
+    chk::CheckedMutex a("test.A");
+    chk::CheckedMutex b("test.B");
+
+    {
+        const chk::ThreadLabel label("abba-thread");
+        {  // A -> B
+            std::lock_guard la(a);
+            std::lock_guard lb(b);
+        }
+        {  // B -> A closes the cycle (a *potential* deadlock: this single
+           // thread never actually deadlocks, the analyzer still flags it).
+            std::lock_guard lb(b);
+            std::lock_guard la(a);
+        }
+    }
+
+    EXPECT_EQ(chk::lock_order::cycle_count(), 1u);
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::LockOrder), 1u);
+    // The report names both mutexes and the acquiring context.
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::LockOrder, "test.A"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::LockOrder, "test.B"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::LockOrder, "abba-thread"));
+}
+
+TEST_F(CheckTest, ConsistentLockOrderIsSilent) {
+    chk::CheckedMutex a("test.A");
+    chk::CheckedMutex b("test.B");
+    for (int i = 0; i < 3; ++i) {
+        std::lock_guard la(a);
+        std::lock_guard lb(b);
+    }
+    EXPECT_GE(chk::lock_order::edge_count(), 1u);
+    EXPECT_EQ(chk::lock_order::cycle_count(), 0u);
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::LockOrder), 0u);
+}
+
+TEST_F(CheckTest, CycleReportedOncePerEdgePair) {
+    chk::CheckedMutex a("test.A");
+    chk::CheckedMutex b("test.B");
+    for (int i = 0; i < 3; ++i) {
+        {
+            std::lock_guard la(a);
+            std::lock_guard lb(b);
+        }
+        {
+            std::lock_guard lb(b);
+            std::lock_guard la(a);
+        }
+    }
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::LockOrder), 1u);
+}
+
+// ---- collective-matching verification --------------------------------------
+
+TEST_F(CheckTest, DivergentCollectivesAbortWithRankTable) {
+    EXPECT_THROW(
+        sb::mpi::run_ranks(
+            2,
+            [](sb::mpi::Communicator& c) {
+                if (c.rank() == 0) {
+                    c.barrier();
+                } else {
+                    (void)c.allreduce<double>(1.0, sb::mpi::ReduceOp::Sum);
+                }
+            },
+            "divergent"),
+        chk::CollectiveMismatchError);
+
+    EXPECT_GE(chk::diagnostic_count(chk::Kind::Collective), 1u);
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Collective, "barrier"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Collective, "allreduce"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Collective, "rank 0"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Collective, "rank 1"));
+}
+
+TEST_F(CheckTest, CountMismatchInVectorCollectiveIsCaught) {
+    EXPECT_THROW(
+        sb::mpi::run_ranks(
+            2,
+            [](sb::mpi::Communicator& c) {
+                // Ranks disagree on the vector length — elementwise reduce
+                // semantics are undefined; the verifier turns it into an
+                // immediate error instead of corruption or a hang.
+                std::vector<double> v(c.rank() == 0 ? 3 : 4, 1.0);
+                (void)c.allreduce_vec<double>(v, sb::mpi::ReduceOp::Sum);
+            },
+            "lengths"),
+        chk::CollectiveMismatchError);
+    EXPECT_GE(chk::diagnostic_count(chk::Kind::Collective), 1u);
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Collective, "count=3"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Collective, "count=4"));
+}
+
+TEST_F(CheckTest, MatchingCollectivesAreSilent) {
+    sb::mpi::run_ranks(
+        3,
+        [](sb::mpi::Communicator& c) {
+            c.barrier();
+            EXPECT_EQ(c.allreduce<int>(1, sb::mpi::ReduceOp::Sum), 3);
+            std::vector<double> v(4, static_cast<double>(c.rank()));
+            (void)c.allreduce_vec<double>(v, sb::mpi::ReduceOp::Max);
+        },
+        "matching");
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Collective), 0u);
+}
+
+// ---- view-lifetime guard ---------------------------------------------------
+
+namespace {
+
+void put_one_block(fp::WriterPort& port, const u::NdShape& shape) {
+    port.declare(fp::VarDecl{"a", fp::DataKind::Float64, shape, {}});
+    std::vector<double> data(shape.volume(), 1.25);
+    port.put<double>("a", u::Box::whole(shape), data);
+    port.end_step();
+}
+
+}  // namespace
+
+TEST_F(CheckTest, ViewReadAfterEndStepThrowsLifetimeError) {
+    fp::Fabric fabric;
+    const u::NdShape shape{4, 4};
+
+    std::jthread writer([&] {
+        fp::WriterPort port(fabric, "views", 0, 1, fp::StreamOptions{2});
+        put_one_block(port, shape);
+        port.close();
+    });
+
+    fp::ReaderPort reader(fabric, "views", 0, 1);
+    ASSERT_TRUE(reader.begin_step());
+    const auto view = reader.try_read_view<double>("a", u::Box::whole(shape));
+    ASSERT_TRUE(view.has_value());
+    const auto bytes = std::as_bytes(*view);
+
+    // While the step is live the span reads fine through the chokepoint.
+    std::vector<std::byte> dst(bytes.size());
+    const u::Box whole = u::Box::whole(shape);
+    u::copy_box(bytes, whole, dst, whole, whole, sizeof(double));
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Lifetime), 0u);
+
+    reader.end_step();  // the span dies here
+
+    EXPECT_THROW(u::copy_box(bytes, whole, dst, whole, whole, sizeof(double)),
+                 chk::LifetimeError);
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Lifetime), 1u);
+    // The diagnostic attributes the stale span to its origin.
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Lifetime, "use-after-end_step"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Lifetime, "var 'a'"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Lifetime, "stream 'views'"));
+}
+
+TEST_F(CheckTest, ViewReadBeforeEndStepIsSilent) {
+    fp::Fabric fabric;
+    const u::NdShape shape{4, 4};
+
+    std::jthread writer([&] {
+        fp::WriterPort port(fabric, "views-ok", 0, 1, fp::StreamOptions{2});
+        put_one_block(port, shape);
+        port.close();
+    });
+
+    fp::ReaderPort reader(fabric, "views-ok", 0, 1);
+    ASSERT_TRUE(reader.begin_step());
+    const auto view = reader.try_read_view<double>("a", u::Box::whole(shape));
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ((*view)[0], 1.25);
+    EXPECT_GE(chk::live_view_count(), 1u);
+    reader.end_step();
+    EXPECT_FALSE(reader.begin_step());  // end of stream
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Lifetime), 0u);
+}
+
+// ---- API-misuse (usage) diagnostics ----------------------------------------
+
+TEST_F(CheckTest, DoubleEndStepReportsUsage) {
+    fp::Fabric fabric;
+    const u::NdShape shape{2, 2};
+
+    std::jthread writer([&] {
+        fp::WriterPort port(fabric, "misuse", 0, 1, fp::StreamOptions{2});
+        put_one_block(port, shape);
+        port.close();
+    });
+
+    fp::ReaderPort reader(fabric, "misuse", 0, 1);
+    ASSERT_TRUE(reader.begin_step());
+    reader.end_step();
+    EXPECT_THROW(reader.end_step(), std::logic_error);
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Usage), 1u);
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Usage, "end_step without a step"));
+}
+
+TEST_F(CheckTest, WriteOutsideStepReportsUsage) {
+    fp::Fabric fabric;
+    sb::adios::GroupDef group;
+    group.name = "g";
+    group.vars.push_back(sb::adios::VarSpec{"x", sb::adios::DataKind::Float64,
+                                            {"4"}});
+    sb::adios::Writer writer(fabric, "misuse.w", group, 0, 1);
+
+    const std::vector<double> data(4, 0.0);
+    EXPECT_THROW(writer.write<double>("x", data, u::Box({0}, {4})),
+                 std::logic_error);
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Usage), 1u);
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Usage, "outside begin_step"));
+}
+
+// ---- wait-for graph & stall detection --------------------------------------
+
+TEST_F(CheckTest, ReaderOnNeverWrittenStreamStalls) {
+    chk::set_stall_timeout_seconds(0.05);
+    chk::set_stall_action(chk::StallAction::Throw);
+
+    fp::Fabric fabric;
+    fp::ReaderPort reader(fabric, "nobody-writes-this", 0, 1);
+    EXPECT_THROW(reader.begin_step(), chk::StallError);
+
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Stall), 1u);
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Stall, "wait-for table"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Stall, "nobody-writes-this"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Stall, "no writer attached"));
+    fabric.abort_all();  // release the stream for teardown
+}
+
+TEST_F(CheckTest, StallReportKeepsWaitingAndRecovers) {
+    chk::set_stall_timeout_seconds(0.05);
+    chk::set_stall_action(chk::StallAction::Report);
+
+    u::BoundedQueue<int> q(1, "stall-test");
+    std::jthread consumer([&] {
+        const chk::ThreadLabel label("stalled-consumer");
+        // Blocks well past the stall timeout: the detector dumps the
+        // wait-for table but (Report action) the wait then continues and
+        // completes normally once the producer shows up.
+        EXPECT_EQ(q.pop().value(), 7);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ASSERT_TRUE(q.push(7));
+    consumer.join();
+
+    EXPECT_EQ(chk::diagnostic_count(chk::Kind::Stall), 1u);
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Stall, "queue 'stall-test'"));
+    EXPECT_TRUE(diagnostic_contains(chk::Kind::Stall, "stalled-consumer"));
+    EXPECT_EQ(chk::active_wait_count(), 0u);
+}
+
+// ---- disabled mode ---------------------------------------------------------
+
+TEST_F(CheckTest, DisabledModeRecordsNothing) {
+    chk::set_enabled(false);
+
+    chk::CheckedMutex a("off.A");
+    chk::CheckedMutex b("off.B");
+    {
+        std::lock_guard la(a);
+        std::lock_guard lb(b);
+    }
+    {
+        std::lock_guard lb(b);
+        std::lock_guard la(a);
+    }
+    EXPECT_EQ(chk::lock_order::edge_count(), 0u);
+    EXPECT_EQ(chk::lock_order::cycle_count(), 0u);
+
+    const std::vector<std::byte> buf(64);
+    chk::note_read(buf.data(), buf.size());  // no registry, no throw
+
+    sb::mpi::run_ranks(2, [](sb::mpi::Communicator& c) {
+        c.barrier();
+        EXPECT_EQ(c.allreduce<int>(1, sb::mpi::ReduceOp::Sum), 2);
+    });
+
+    EXPECT_TRUE(chk::diagnostics().empty());
+}
+
+// The instrumented runtime stays diagnostic-free on a clean MxN pipeline —
+// the analyzers flag real faults, not normal operation.
+TEST_F(CheckTest, CleanPipelineProducesNoDiagnostics) {
+    fp::Fabric fabric;
+    const u::NdShape shape{8, 6};
+
+    std::jthread writers([&] {
+        sb::mpi::run_ranks(2, [&](sb::mpi::Communicator& c) {
+            fp::WriterPort port(fabric, "clean", c.rank(), c.size(),
+                                fp::StreamOptions{1});
+            for (int t = 0; t < 4; ++t) {
+                port.declare(fp::VarDecl{"a", fp::DataKind::Float64, shape, {}});
+                const u::Box box = u::partition_along(shape, 0, c.rank(), c.size());
+                std::vector<double> data(box.volume(), static_cast<double>(t));
+                port.put<double>("a", box, data);
+                port.end_step();
+            }
+            port.close();
+        });
+    });
+
+    sb::mpi::run_ranks(3, [&](sb::mpi::Communicator& c) {
+        fp::ReaderPort port(fabric, "clean", c.rank(), c.size());
+        while (port.begin_step()) {
+            const u::Box box = u::partition_along(shape, 1, c.rank(), c.size());
+            const auto data = port.read<double>("a", box);
+            EXPECT_EQ(data.size(), box.volume());
+            port.end_step();
+        }
+    });
+    writers.join();
+
+    EXPECT_TRUE(chk::diagnostics().empty())
+        << chk::diagnostics().front().message;
+}
+
+}  // namespace
