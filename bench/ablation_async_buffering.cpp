@@ -25,6 +25,10 @@ double run_with_queue_capacity(std::size_t capacity) {
     flexpath::Fabric fabric;
     flexpath::StreamOptions opts;
     opts.queue_capacity = capacity;
+    // Pin the reader-side window to 1 so writer-side buffering depth stays
+    // the only variable of this ablation (read-ahead is measured separately
+    // by micro_pipeline).
+    opts.read_ahead = 1;
     core::Workflow wf(fabric, opts);
     wf.add("lammps", 2, {"rows=160", "cols=160", "steps=8", "substeps=20"});
     wf.add("select", 2, {"dump.custom.fp", "atoms", "1", "s.fp", "v", "vx", "vy", "vz"});

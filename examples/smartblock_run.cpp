@@ -31,7 +31,7 @@ namespace {
 void print_usage() {
     std::fprintf(stderr,
                  "usage: smartblock_run [--validate|--dot] [--trace <out.json>] "
-                 "[--metrics <out.json>] <workflow-script> "
+                 "[--metrics <out.json>] [--read-ahead <depth>] <workflow-script> "
                  "[queue-capacity]\n\nregistered components:\n");
     for (const auto& name : sb::core::component_names()) {
         std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
@@ -55,9 +55,13 @@ int main(int argc, char** argv) {
     bool validate_only = false, dot_only = false;
     const char* trace_path = nullptr;
     const char* metrics_path = nullptr;
+    std::size_t read_ahead = 0;  // 0 = resolve from SB_READ_AHEAD / default
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
-        if (std::strcmp(argv[argi], "--validate") == 0) {
+        if (std::strcmp(argv[argi], "--read-ahead") == 0 && argi + 1 < argc) {
+            read_ahead = static_cast<std::size_t>(std::stoul(argv[argi + 1]));
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--validate") == 0) {
             validate_only = true;
             ++argi;
         } else if (std::strcmp(argv[argi], "--dot") == 0) {
@@ -107,6 +111,7 @@ int main(int argc, char** argv) {
         }
 
         sb::flexpath::StreamOptions opts;
+        opts.read_ahead = read_ahead;
         if (argi + 1 < argc) {
             opts.queue_capacity = static_cast<std::size_t>(std::stoul(argv[argi + 1]));
         }

@@ -6,6 +6,13 @@
 // and attributes — then schedule bounding-box reads for exactly the portion
 // its rank will process (paper §IV: "ADIOS allows each process involved in
 // the read operation to specify a bounding box").
+//
+// begin_step advances this rank's own cursor: reader ranks of one group all
+// observe the same step sequence but may be skewed by up to the stream's
+// read-ahead window (StreamOptions::read_ahead / SB_READ_AHEAD), with a
+// background prefetcher staging upcoming steps.  Spans returned by
+// try_read_view stay valid until this rank's end_step regardless of what
+// steps peer ranks hold (docs/CORRECTNESS.md).
 #pragma once
 
 #include <cstdint>

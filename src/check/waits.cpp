@@ -16,6 +16,7 @@ const char* wait_kind_name(WaitKind k) noexcept {
         case WaitKind::QueuePush: return "queue-push";
         case WaitKind::QueuePop: return "queue-pop";
         case WaitKind::StreamAcquire: return "stream-acquire";
+        case WaitKind::StreamPrefetch: return "stream-prefetch";
         case WaitKind::Other: return "wait";
     }
     return "?";

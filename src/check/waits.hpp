@@ -28,6 +28,7 @@ enum class WaitKind {
     QueuePush,      // BoundedQueue push blocked on a full queue (backpressure)
     QueuePop,       // BoundedQueue pop blocked on an empty queue
     StreamAcquire,  // flexpath reader blocked waiting for a step
+    StreamPrefetch, // flexpath prefetcher idle: window full or no reader demand
     Other,
 };
 const char* wait_kind_name(WaitKind k) noexcept;

@@ -55,7 +55,7 @@ bool ReaderPort::begin_step() {
         }
         throw std::logic_error("begin_step: step already in progress");
     }
-    current_ = stream_->acquire(gen_);
+    current_ = stream_->acquire(cursor_);
     if (!current_) return false;
     meta_ = &current_->decoded_meta();
     return true;
@@ -107,7 +107,9 @@ const ReaderPort::CachedPlan& ReaderPort::plan_for(const std::string& var,
                                                    const util::Box& box,
                                                    std::size_t elem) const {
     (void)decl;
-    PlanKey key{var, {box.offset, box.count}};
+    // Transparent probe: no string/vector copies on the (overwhelmingly
+    // common) cache-hit path.
+    const PlanKeyView key{var, box.offset, box.count};
     auto it = plans_.find(key);
     if (it != plans_.end() && it->second.layout_gen == current_->layout_gen) {
         plan_hits_->inc();
@@ -131,7 +133,8 @@ const ReaderPort::CachedPlan& ReaderPort::plan_for(const std::string& var,
                 return kv.second.layout_gen != current_->layout_gen;
             });
         }
-        it = plans_.emplace(std::move(key), std::move(plan)).first;
+        it = plans_.emplace(PlanKey{var, box.offset, box.count}, std::move(plan))
+                 .first;
     } else {
         it->second = std::move(plan);
     }
@@ -242,8 +245,8 @@ void ReaderPort::end_step() {
     check::expire_views(this);
     current_.reset();
     meta_ = nullptr;
-    stream_->release(gen_);
-    ++gen_;
+    stream_->release(cursor_);
+    ++cursor_;
 }
 
 std::uint64_t ReaderPort::current_step() const {

@@ -1,11 +1,15 @@
 // Per-rank reader handle on a FlexPath stream.
 //
 // One ReaderPort lives on each rank of the consuming component.  begin_step
-// blocks until the next assembled step is available (or returns false at end
-// of stream); the rank then inspects the decoded self-describing metadata,
-// reads any bounding boxes it wants (the MxN redistribution happens here:
-// the requested box is assembled from whichever writer blocks intersect it),
-// and calls end_step to retire the step.
+// blocks until the step at this rank's *cursor* (its count of completed
+// steps) is available (or returns false at end of stream); the rank then
+// inspects the decoded self-describing metadata, reads any bounding boxes it
+// wants (the MxN redistribution happens here: the requested box is assembled
+// from whichever writer blocks intersect it), and calls end_step to retire
+// the step for this rank.  Ranks of one reader group need not stay in
+// lockstep: the stream holds up to StreamOptions::read_ahead consecutive
+// steps in flight, so this rank may run ahead of slow peers by the window
+// depth (see docs/PERFORMANCE.md, "Reader-side step pipelining").
 //
 // Redistribution fast path: the first read of a (var, box) resolves the
 // writer-block intersections into a flat copy plan of contiguous runs,
@@ -15,12 +19,14 @@
 // zero-copy span pinned by the step's shared payload instead.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "flexpath/stream.hpp"
@@ -116,8 +122,39 @@ private:
         /// Index of the single block covering the box exactly, or -1.
         std::ptrdiff_t exact_block = -1;
     };
-    using PlanKey = std::pair<std::string, std::pair<std::vector<std::uint64_t>,
-                                                     std::vector<std::uint64_t>>>;
+    /// Owning cache key (stored in the map)…
+    struct PlanKey {
+        std::string var;
+        std::vector<std::uint64_t> offset;
+        std::vector<std::uint64_t> count;
+    };
+    /// …and its borrowing twin for lookups: the hot path (cache hit every
+    /// step of a steady-state workflow) probes with views over the caller's
+    /// var name and box, allocating nothing; an owning key is built only on
+    /// a miss.
+    struct PlanKeyView {
+        std::string_view var;
+        std::span<const std::uint64_t> offset;
+        std::span<const std::uint64_t> count;
+    };
+    struct PlanKeyLess {
+        using is_transparent = void;
+        template <typename X, typename Y>
+        static int cmp_seq(const X& x, const Y& y) {
+            const std::size_t n = std::min(x.size(), y.size());
+            for (std::size_t i = 0; i < n; ++i) {
+                if (x[i] != y[i]) return x[i] < y[i] ? -1 : 1;
+            }
+            if (x.size() == y.size()) return 0;
+            return x.size() < y.size() ? -1 : 1;
+        }
+        template <typename A, typename B>
+        bool operator()(const A& a, const B& b) const {
+            if (a.var != b.var) return a.var < b.var;
+            if (const int c = cmp_seq(a.offset, b.offset)) return c < 0;
+            return cmp_seq(a.count, b.count) < 0;
+        }
+    };
 
     const CachedPlan& plan_for(const std::string& var, const VarDecl& decl,
                                const util::Box& box, std::size_t elem) const;
@@ -128,10 +165,10 @@ private:
     std::shared_ptr<Stream> stream_;
     std::shared_ptr<const StepData> current_;
     const StepMeta* meta_ = nullptr;  // points into current_'s shared cache
-    std::uint64_t gen_ = 0;  // steps completed by this rank
+    std::uint64_t cursor_ = 0;  // steps completed by this rank
     int rank_ = 0;
     bool plan_cache_enabled_ = true;
-    mutable std::map<PlanKey, CachedPlan> plans_;
+    mutable std::map<PlanKey, CachedPlan, PlanKeyLess> plans_;
     obs::Counter* bytes_read_ = nullptr;   // flexpath.bytes_read{rank=,stream=}
     obs::Counter* reads_ = nullptr;        // flexpath.reads{rank=,stream=}
     obs::Counter* plan_hits_ = nullptr;    // flexpath.plan_hits{rank=,stream=}

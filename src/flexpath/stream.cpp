@@ -1,11 +1,13 @@
 #include "flexpath/stream.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <tuple>
 
+#include "check/mutex.hpp"
 #include "check/waits.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,7 +21,21 @@ namespace {
 /// worth an individual slice in the timeline view.
 constexpr double kStallSliceSeconds = 10e-6;
 
+constexpr std::size_t kDefaultReadAhead = 2;
+
 }  // namespace
+
+std::size_t resolve_read_ahead(const StreamOptions& opts) {
+    if (opts.read_ahead > 0) return opts.read_ahead;
+    const char* v = std::getenv("SB_READ_AHEAD");
+    if (!v) return kDefaultReadAhead;
+    const std::string s(v);
+    if (s == "off" || s == "0" || s == "false") return 1;
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(s.c_str(), &end, 10);
+    if (end != s.c_str() && *end == '\0' && n > 0) return static_cast<std::size_t>(n);
+    return kDefaultReadAhead;
+}
 
 const StepMeta& StepData::decoded_meta() const {
     std::call_once(meta_cache_->once,
@@ -150,13 +166,24 @@ Stream::Stream(std::string name)
     ins_.queue_depth = &reg.gauge("flexpath.queue_depth", labels);
     ins_.blocked_push_seconds = &reg.gauge("flexpath.queue_blocked_push_seconds", labels);
     ins_.blocked_pop_seconds = &reg.gauge("flexpath.queue_blocked_pop_seconds", labels);
+    ins_.read_ahead_depth = &reg.gauge("flexpath.read_ahead_depth", labels);
     ins_.backpressure_wait = &reg.histogram("flexpath.backpressure_wait_seconds", labels);
     ins_.acquire_wait = &reg.histogram("flexpath.acquire_wait_seconds", labels);
+    ins_.prefetch_wait = &reg.histogram("flexpath.prefetch_wait_seconds", labels);
     ins_.spool_write_seconds = &reg.histogram("flexpath.spool_write_seconds", labels);
     ins_.spool_read_seconds = &reg.histogram("flexpath.spool_read_seconds", labels);
 }
 
-Stream::~Stream() = default;
+Stream::~Stream() {
+    {
+        std::lock_guard lock(mu_);
+        shutdown_ = true;
+        if (queue_) queue_->close();
+        prefetch_cv_.notify_all();
+        reader_cv_.notify_all();
+    }
+    if (prefetcher_.joinable()) prefetcher_.join();
+}
 
 void Stream::attach_writer(int nranks, const StreamOptions& opts) {
     if (nranks <= 0) throw std::invalid_argument("attach_writer: nranks must be positive");
@@ -164,10 +191,15 @@ void Stream::attach_writer(int nranks, const StreamOptions& opts) {
     if (writer_size_ == 0) {
         writer_size_ = nranks;
         opts_ = opts;
+        read_ahead_ = resolve_read_ahead(opts);
         rank_submits_.assign(static_cast<std::size_t>(nranks), 0);
         queue_ = std::make_unique<util::BoundedQueue<StepData>>(opts.queue_capacity,
                                                                 name_);
-        cv_.notify_all();  // wake readers waiting for a writer group
+        // Readers blocked in acquire() are woken by the prefetcher once it
+        // delivers a step; the prefetcher itself may already be idling
+        // (attach_reader ran first), so hand it the new queue.
+        start_prefetcher_locked();
+        prefetch_cv_.notify_all();
     } else if (writer_size_ != nranks) {
         throw std::logic_error("stream '" + name_ +
                                "': writer ranks disagree on group size");
@@ -196,7 +228,11 @@ void Stream::merge_locked(Contribution& dst, Contribution&& c) {
         }
     }
     for (auto& [name, val] : c.double_attrs) {
-        dst.double_attrs.emplace(name, val);
+        auto [it, inserted] = dst.double_attrs.try_emplace(name, val);
+        if (!inserted && it->second != val) {
+            throw std::logic_error("stream '" + name_ +
+                                   "': writer ranks disagree on attribute '" + name + "'");
+        }
     }
 }
 
@@ -267,7 +303,8 @@ void Stream::abort() {
     aborted_ = true;
     ins_.aborts->inc();
     if (queue_) queue_->close();
-    cv_.notify_all();
+    reader_cv_.notify_all();
+    prefetch_cv_.notify_all();
 }
 
 void Stream::submit(int rank, Contribution c) {
@@ -369,104 +406,208 @@ void Stream::attach_reader(int nranks) {
     std::lock_guard lock(mu_);
     if (reader_size_ == 0) {
         reader_size_ = nranks;
+        start_prefetcher_locked();
     } else if (reader_size_ != nranks) {
         throw std::logic_error("stream '" + name_ +
                                "': reader ranks disagree on group size");
     }
 }
 
-std::shared_ptr<const StepData> Stream::acquire(std::uint64_t my_gen) {
+void Stream::start_prefetcher_locked() {
+    // Needs both sides: the reader group size bounds retirement, the queue
+    // exists once a writer attached.  Whichever attach completes the pair
+    // starts the thread.
+    if (prefetcher_started_ || reader_size_ == 0 || !queue_) return;
+    if (aborted_ || shutdown_) return;
+    prefetcher_started_ = true;
+    prefetcher_ = std::thread([this] { prefetch_loop(); });
+}
+
+void Stream::prefetch_loop() {
+    check::ThreadLabel label("prefetch:" + name_);
+    std::unique_lock lock(mu_);
+    for (;;) {
+        const auto ready = [&] {
+            return shutdown_ || aborted_ ||
+                   (window_.size() < read_ahead_ &&
+                    next_fetch_ < demand_ + (read_ahead_ - 1));
+        };
+        if (!ready()) {
+            // Idle (window full, or no demand yet at read_ahead=1): list the
+            // wait in the wait-for table so stall dumps explain the pipeline
+            // state, but never report it as a stall itself — an idle
+            // prefetcher is readers not draining, not blocked progress.
+            if (check::enabled()) {
+                const check::ScopedWait wait(
+                    check::WaitKind::StreamPrefetch,
+                    "stream '" + name_ + "' prefetch cursor=" +
+                        std::to_string(next_fetch_) + " window=" +
+                        std::to_string(window_.size()) + "/" +
+                        std::to_string(read_ahead_) + " demand=" +
+                        std::to_string(demand_));
+                prefetch_cv_.wait(lock, ready);
+            } else {
+                prefetch_cv_.wait(lock, ready);
+            }
+        }
+        if (shutdown_ || aborted_) return;
+        util::BoundedQueue<StepData>* queue = queue_.get();
+        lock.unlock();
+
+        // Both the (blocking) queue pop and the spool reload run off mu_:
+        // reader ranks keep acquiring/releasing window steps while the next
+        // step is fetched and decoded.
+        const bool instr = obs::enabled();
+        const double pop_t0 = instr ? obs::steady_seconds() : 0.0;
+        std::optional<StepData> item = queue->pop();  // blocks, own cv
+        if (instr) {
+            const double pop_t1 = obs::steady_seconds();
+            const double waited = pop_t1 - pop_t0;
+            ins_.prefetch_wait->observe(waited);
+            ins_.queue_depth->set(static_cast<double>(queue->size()));
+            ins_.blocked_pop_seconds->set(queue->blocked_pop_seconds());
+            auto& tl = obs::TraceLog::global();
+            tl.counter("queue depth", name_, static_cast<double>(queue->size()));
+            if (waited >= kStallSliceSeconds) {
+                tl.slice("prefetch wait", name_, "prefetch", pop_t0, pop_t1);
+            }
+        }
+        if (item && !item->spool_path.empty()) {
+            try {
+                const double sp_t0 = instr ? obs::steady_seconds() : 0.0;
+                std::ifstream in(item->spool_path, std::ios::binary);
+                if (!in) {
+                    throw std::runtime_error("stream '" + name_ +
+                                             "': missing spool file '" +
+                                             item->spool_path + "'");
+                }
+                const std::string packet(
+                    (std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+                item->blocks = decode_step_blocks(std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(packet.data()),
+                    packet.size()));
+                std::filesystem::remove(item->spool_path);
+                item->spool_path.clear();
+                if (instr) {
+                    const double sp_t1 = obs::steady_seconds();
+                    ins_.spool_read_seconds->observe(sp_t1 - sp_t0);
+                    ins_.spool_bytes_read->add(packet.size());
+                    if (sp_t1 - sp_t0 >= kStallSliceSeconds) {
+                        obs::TraceLog::global().slice("spool reload", name_,
+                                                      "prefetch", sp_t0, sp_t1);
+                    }
+                }
+            } catch (...) {
+                // A fetch failure poisons the stream: readers rethrow the
+                // original error from acquire(), writers unwind through the
+                // closed queue.
+                lock.lock();
+                prefetch_error_ = std::current_exception();
+                aborted_ = true;
+                if (queue_) queue_->close();
+                reader_cv_.notify_all();
+                return;
+            }
+        }
+
+        lock.lock();
+        if (shutdown_ || aborted_) return;
+        if (!item) {
+            eos_ = true;  // queue closed and drained: no step >= next_fetch_
+            reader_cv_.notify_all();
+            return;
+        }
+        window_.push_back(InFlight{
+            next_fetch_, std::make_shared<const StepData>(std::move(*item)), 0});
+        ++next_fetch_;
+        if (instr) {
+            ins_.read_ahead_depth->set(static_cast<double>(window_.size()));
+        }
+        reader_cv_.notify_all();
+    }
+}
+
+std::shared_ptr<const StepData> Stream::acquire(std::uint64_t cursor) {
     std::unique_lock lock(mu_);
     if (reader_size_ == 0) {
         throw std::logic_error("stream '" + name_ + "': acquire before attach_reader");
     }
-    for (;;) {
-        if (aborted_) throw StreamAborted(name_);
-        if (current_ && current_gen_ == my_gen) return current_;
-        if (!current_ && eos_) return nullptr;
-        if (!current_ && !fetching_ && queue_) {
-            fetching_ = true;
-            lock.unlock();
-            const bool instr = obs::enabled();
-            const double pop_t0 = instr ? obs::steady_seconds() : 0.0;
-            std::optional<StepData> item = queue_->pop();  // blocks, own cv
-            if (instr) {
-                const double pop_t1 = obs::steady_seconds();
-                const double waited = pop_t1 - pop_t0;
-                ins_.acquire_wait->observe(waited);
-                ins_.queue_depth->set(static_cast<double>(queue_->size()));
-                ins_.blocked_pop_seconds->set(queue_->blocked_pop_seconds());
-                auto& tl = obs::TraceLog::global();
-                tl.counter("queue depth", name_, static_cast<double>(queue_->size()));
-                if (waited >= kStallSliceSeconds) {
-                    tl.slice("acquire wait", name_, "acquire", pop_t0, pop_t1);
-                }
-            }
-            lock.lock();
-            fetching_ = false;
-            if (!item) {
-                eos_ = true;
-            } else {
-                if (!item->spool_path.empty()) {
-                    // Load the spooled blocks back (outside mu_ would be
-                    // nicer, but acquire contention is per-step and the
-                    // fetch already happens on one rank only).
-                    const double sp_t0 = instr ? obs::steady_seconds() : 0.0;
-                    std::ifstream in(item->spool_path, std::ios::binary);
-                    if (!in) {
-                        throw std::runtime_error("stream '" + name_ +
-                                                 "': missing spool file '" +
-                                                 item->spool_path + "'");
-                    }
-                    const std::string packet(
-                        (std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
-                    item->blocks = decode_step_blocks(std::span<const std::byte>(
-                        reinterpret_cast<const std::byte*>(packet.data()),
-                        packet.size()));
-                    std::filesystem::remove(item->spool_path);
-                    item->spool_path.clear();
-                    if (instr) {
-                        ins_.spool_read_seconds->observe(obs::steady_seconds() - sp_t0);
-                        ins_.spool_bytes_read->add(packet.size());
-                    }
-                }
-                current_ = std::make_shared<const StepData>(std::move(*item));
-                current_gen_ = my_gen;
-                released_ = 0;
-            }
-            cv_.notify_all();
-            continue;
+    if (cursor + 1 > demand_) {
+        // Demand drives the prefetcher: at read_ahead=1 it fetches only
+        // cursors a rank has actually asked for (the seed's on-demand
+        // lockstep protocol); deeper windows fetch read_ahead-1 beyond.
+        demand_ = cursor + 1;
+        prefetch_cv_.notify_one();
+    }
+    const bool instr = obs::enabled();
+    double wait_t0 = 0.0;
+    const auto note_wait_end = [&] {
+        if (wait_t0 == 0.0) return;
+        const double t1 = obs::steady_seconds();
+        ins_.acquire_wait->observe(t1 - wait_t0);
+        if (t1 - wait_t0 >= kStallSliceSeconds) {
+            obs::TraceLog::global().slice("acquire wait", name_, "acquire",
+                                          wait_t0, t1);
         }
-        // Waiting for: a writer group to appear, a peer to finish fetching,
-        // or peers to release the previous step.
+    };
+    for (;;) {
+        if (aborted_) {
+            if (prefetch_error_) std::rethrow_exception(prefetch_error_);
+            throw StreamAborted(name_);
+        }
+        if (!window_.empty() && cursor >= window_.front().cursor &&
+            cursor < window_.front().cursor + window_.size()) {
+            auto data = window_[cursor - window_.front().cursor].data;
+            note_wait_end();
+            return data;
+        }
+        if (eos_ && cursor >= next_fetch_) {
+            note_wait_end();
+            return nullptr;
+        }
+        if (instr && wait_t0 == 0.0) wait_t0 = obs::steady_seconds();
+        // Waiting for the prefetcher to deliver this cursor's step — which
+        // may in turn be waiting on window space (slow peers) or on the
+        // writer group.
         std::string what;
         if (check::enabled()) {
-            what = "stream '" + name_ + "' acquire gen=" + std::to_string(my_gen) +
-                   (current_ ? " current_step=" + std::to_string(current_->step)
-                             : std::string{}) +
+            what = "stream '" + name_ + "' acquire cursor=" + std::to_string(cursor) +
+                   " window=" + std::to_string(window_.size()) + "/" +
+                   std::to_string(read_ahead_) +
                    " queued=" + std::to_string(queue_ ? queue_->size() : 0) +
                    (writer_size_ == 0 ? " (no writer attached)" : "");
         }
-        check::wait_checked(cv_, lock, check::WaitKind::StreamAcquire, what, [&] {
-            return aborted_ || (current_ && current_gen_ == my_gen) ||
-                   (!current_ && eos_) ||
-                   (!current_ && !fetching_ && queue_ != nullptr);
+        check::wait_checked(reader_cv_, lock, check::WaitKind::StreamAcquire, what, [&] {
+            return aborted_ ||
+                   (!window_.empty() && cursor >= window_.front().cursor &&
+                    cursor < window_.front().cursor + window_.size()) ||
+                   (eos_ && cursor >= next_fetch_);
         });
     }
 }
 
-void Stream::release(std::uint64_t my_gen) {
+void Stream::release(std::uint64_t cursor) {
     std::lock_guard lock(mu_);
     if (aborted_) return;
-    if (!current_ || current_gen_ != my_gen) {
+    if (window_.empty() || cursor < window_.front().cursor ||
+        cursor >= window_.front().cursor + window_.size()) {
         throw std::logic_error("stream '" + name_ + "': release without matching acquire");
     }
-    if (++released_ == reader_size_) {
-        current_.reset();
-        released_ = 0;
+    ++window_[cursor - window_.front().cursor].released;
+    bool retired = false;
+    // Ranks release their cursors in order, so fully-released steps form a
+    // prefix of the window and retirement stays in cursor order.
+    while (!window_.empty() && window_.front().released == reader_size_) {
+        window_.pop_front();
         ins_.steps_retired->inc();
-        cv_.notify_all();
+        retired = true;
+    }
+    if (retired) {
+        if (obs::enabled()) {
+            ins_.read_ahead_depth->set(static_cast<double>(window_.size()));
+        }
+        prefetch_cv_.notify_one();  // window space freed; only the prefetcher cares
     }
 }
 
@@ -478,6 +619,16 @@ std::size_t Stream::queued_steps() const {
 bool Stream::writer_attached() const {
     std::lock_guard lock(mu_);
     return writer_size_ > 0;
+}
+
+std::size_t Stream::read_ahead() const {
+    std::lock_guard lock(mu_);
+    return read_ahead_;
+}
+
+std::size_t Stream::in_flight_steps() const {
+    std::lock_guard lock(mu_);
+    return window_.size();
 }
 
 // ---- Fabric ----------------------------------------------------------------

@@ -18,6 +18,14 @@
 //      the upstream component compute ahead of its consumers (asynchronous
 //      overlap); a full queue applies backpressure.
 //
+// The asynchronous overlap extends to the consumer side: readers hold a
+// bounded *in-flight step window* (StreamOptions::read_ahead, default 2)
+// with per-rank cursors, so a fast reader rank starts step N+1 while slow
+// peers still hold N, and a per-stream prefetch thread pops the queue and
+// reloads spooled blocks outside the stream mutex, overlapping fetch cost
+// with downstream compute (docs/PERFORMANCE.md, "Reader-side step
+// pipelining").
+//
 // Step metadata (variable names, kinds, global shapes, dimension labels,
 // attributes) is carried as a self-describing FFS packet, decoded by
 // readers, so downstream components discover everything from the stream
@@ -26,11 +34,14 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/mutex.hpp"
@@ -136,7 +147,21 @@ struct StreamOptions {
     /// of storage participating in a workflow, applied to the transport's
     /// buffer: deep buffering with bounded memory.
     std::string spool_dir;
+
+    /// Reader-side in-flight step window (read-ahead depth): how many steps
+    /// the reader group may hold concurrently, and how far ahead of reader
+    /// demand the stream's prefetcher fetches.  1 = the lockstep protocol
+    /// (every rank must release step N before any rank sees N+1, fetched on
+    /// demand).  0 = auto: the SB_READ_AHEAD env var ("off"/"0"/"false" ->
+    /// 1, an integer -> that depth), defaulting to 2.  An explicit value
+    /// here wins over the env var (tests pin semantics this way).  Memory
+    /// cost: up to read_ahead assembled steps held reader-side.
+    std::size_t read_ahead = 0;
 };
+
+/// The window depth `opts` resolves to (explicit value, else SB_READ_AHEAD,
+/// else 2); always >= 1.
+std::size_t resolve_read_ahead(const StreamOptions& opts);
 
 /// Thrown out of blocked stream operations when a workflow peer failed and
 /// the fabric was aborted (so no component hangs on a dead neighbour).
@@ -176,15 +201,19 @@ public:
     /// Called once per reader rank; first call fixes the reader group size.
     void attach_reader(int nranks);
 
-    /// Blocks until the step this rank should process next is available.
-    /// All reader ranks observe the same sequence of steps.  Returns nullptr
-    /// at end of stream.  `my_gen` is the number of steps this rank has
-    /// already completed (managed by ReaderPort).
-    std::shared_ptr<const StepData> acquire(std::uint64_t my_gen);
+    /// Blocks until the step at this rank's cursor is available.  All
+    /// reader ranks observe the same sequence of steps, but ranks need not
+    /// be in lockstep: up to `read_ahead` consecutive steps are in flight
+    /// at once, so a fast rank can hold cursor N+k while a slow peer still
+    /// holds N (k < read_ahead).  Returns nullptr at end of stream.
+    /// `cursor` is the number of steps this rank has already completed
+    /// (managed per rank by ReaderPort).
+    std::shared_ptr<const StepData> acquire(std::uint64_t cursor);
 
-    /// Releases the current step; when every reader rank has released it,
-    /// the step is retired and queue space is freed.
-    void release(std::uint64_t my_gen);
+    /// Releases the step at this rank's cursor; when every reader rank has
+    /// released a step it is retired (in order) and window space is freed
+    /// for the prefetcher.
+    void release(std::uint64_t cursor);
 
     /// Wakes every blocked reader/writer with StreamAborted (used when a
     /// workflow peer dies so the rest of the graph unwinds).  Idempotent.
@@ -193,17 +222,26 @@ public:
     // ---- introspection (tests, benches) -----------------------------------
     std::size_t queued_steps() const;
     bool writer_attached() const;
+    /// The resolved in-flight window depth (0 until a writer attached).
+    std::size_t read_ahead() const;
+    /// Steps currently held in the reader-side window.
+    std::size_t in_flight_steps() const;
 
 private:
-    struct WriterState;
-    struct ReaderState;
-
     const std::string name_;
 
     // CheckedMutex + condition_variable_any so the sb::check lock-order and
     // wait-for analyzers see every stream acquisition and blocked wait.
+    // Two condition variables with targeted notifies instead of one
+    // broadcast cv: readers blocked in acquire() sleep on reader_cv_
+    // (woken when the prefetcher delivers a step, at EOS, and on abort);
+    // the prefetch thread sleeps on prefetch_cv_ (woken when reader demand
+    // advances, when a retired step frees window space, and on teardown).
+    // submit()/release() no longer wake every blocked thread in the
+    // process — the thundering herd of the single-cv protocol.
     mutable check::CheckedMutex mu_;
-    std::condition_variable_any cv_;
+    std::condition_variable_any reader_cv_;
+    std::condition_variable_any prefetch_cv_;
 
     // Writer group.  Ranks are not in lockstep: a fast rank may be several
     // steps ahead of a slow one, so contributions are merged per step.
@@ -222,14 +260,36 @@ private:
     std::map<std::string, std::pair<util::NdShape, std::vector<util::Box>>>
         last_layout_;
 
-    // Reader group.
+    // Reader group: a bounded window of in-flight steps instead of a
+    // single-step rendezvous.  window_ holds consecutive steps (front =
+    // oldest cursor); each entry retires when every reader rank has
+    // released it, and retirement is always in cursor order because each
+    // rank releases its cursors in order.
+    struct InFlight {
+        std::uint64_t cursor = 0;  // reader-sequence index of this step
+        std::shared_ptr<const StepData> data;
+        int released = 0;  // reader ranks that released this step
+    };
     int reader_size_ = 0;  // 0 until attached
-    std::shared_ptr<const StepData> current_;
-    std::uint64_t current_gen_ = 0;
-    int released_ = 0;
-    bool fetching_ = false;
-    bool eos_ = false;
+    std::deque<InFlight> window_;
+    std::size_t read_ahead_ = 0;   // resolved window depth; 0 until attach_writer
+    std::uint64_t next_fetch_ = 0; // cursor the prefetcher fetches next
+    std::uint64_t demand_ = 0;     // 1 + highest cursor any rank has asked for
+    bool eos_ = false;             // queue drained: no step at cursor >= next_fetch_
     bool aborted_ = false;
+    bool shutdown_ = false;        // destructor tearing the prefetcher down
+    std::exception_ptr prefetch_error_;  // fatal prefetch failure, rethrown in acquire
+
+    // Background prefetcher: pops the next step from the bounded queue and
+    // reloads spooled blocks *off* mu_, then publishes the step into the
+    // window.  Started once both sides are attached; exits at EOS, abort,
+    // or stream destruction.  Demand-driven: it never fetches past
+    // (highest demanded cursor) + read_ahead - 1, so read_ahead=1
+    // reproduces the seed's on-demand lockstep fetch.
+    std::thread prefetcher_;
+    bool prefetcher_started_ = false;
+    void start_prefetcher_locked();
+    void prefetch_loop();
 
     void merge_locked(Contribution& dst, Contribution&& c);
     StepData assemble_locked(std::uint64_t step);
@@ -247,8 +307,10 @@ private:
         obs::Gauge* queue_depth = nullptr;
         obs::Gauge* blocked_push_seconds = nullptr;
         obs::Gauge* blocked_pop_seconds = nullptr;
+        obs::Gauge* read_ahead_depth = nullptr;
         obs::Histogram* backpressure_wait = nullptr;
         obs::Histogram* acquire_wait = nullptr;
+        obs::Histogram* prefetch_wait = nullptr;
         obs::Histogram* spool_write_seconds = nullptr;
         obs::Histogram* spool_read_seconds = nullptr;
     };

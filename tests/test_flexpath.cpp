@@ -4,6 +4,10 @@
 // abort propagation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "flexpath/reader.hpp"
@@ -556,4 +560,314 @@ TEST(Flexpath, PlanCacheDisabledStillCorrect) {
     }
     EXPECT_EQ(t, 2u);
     EXPECT_EQ(counter_total("flexpath.plan_hits") - hits0, 0.0);
+}
+
+// ---- reader-side step pipelining ------------------------------------------
+
+namespace {
+
+/// Restores an environment variable to its prior state on scope exit.
+class EnvVarGuard {
+public:
+    explicit EnvVarGuard(const char* name) : name_(name) {
+        if (const char* v = std::getenv(name)) saved_ = v;
+    }
+    ~EnvVarGuard() {
+        if (saved_) {
+            ::setenv(name_, saved_->c_str(), 1);
+        } else {
+            ::unsetenv(name_);
+        }
+    }
+    EnvVarGuard(const EnvVarGuard&) = delete;
+    EnvVarGuard& operator=(const EnvVarGuard&) = delete;
+
+private:
+    const char* name_;
+    std::optional<std::string> saved_;
+};
+
+/// Single-rank writer: `steps` steps of a 4-element var "x" valued t, then
+/// close.
+void write_simple_steps(fp::Fabric& fabric, const std::string& stream,
+                        std::uint64_t steps, const fp::StreamOptions& opts) {
+    fp::WriterPort port(fabric, stream, 0, 1, opts);
+    for (std::uint64_t t = 0; t < steps; ++t) {
+        port.declare(fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{4}, {}});
+        const std::vector<double> v(4, static_cast<double>(t));
+        port.put<double>("x", u::Box({0}, {4}), v);
+        port.end_step();
+    }
+    port.close();
+}
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+}  // namespace
+
+TEST(Pipeline, ReadAheadResolution) {
+    const EnvVarGuard guard("SB_READ_AHEAD");
+    fp::StreamOptions opts;
+    ::unsetenv("SB_READ_AHEAD");
+    EXPECT_EQ(fp::resolve_read_ahead(opts), 2u);
+    ::setenv("SB_READ_AHEAD", "off", 1);
+    EXPECT_EQ(fp::resolve_read_ahead(opts), 1u);
+    ::setenv("SB_READ_AHEAD", "0", 1);
+    EXPECT_EQ(fp::resolve_read_ahead(opts), 1u);
+    ::setenv("SB_READ_AHEAD", "false", 1);
+    EXPECT_EQ(fp::resolve_read_ahead(opts), 1u);
+    ::setenv("SB_READ_AHEAD", "4", 1);
+    EXPECT_EQ(fp::resolve_read_ahead(opts), 4u);
+    ::setenv("SB_READ_AHEAD", "banana", 1);
+    EXPECT_EQ(fp::resolve_read_ahead(opts), 2u);
+    // An explicit option always wins over the environment, so tests that
+    // pin a window keep their semantics under the SB_READ_AHEAD=off CI leg.
+    opts.read_ahead = 3;
+    ::setenv("SB_READ_AHEAD", "off", 1);
+    EXPECT_EQ(fp::resolve_read_ahead(opts), 3u);
+}
+
+TEST(Pipeline, StreamReportsResolvedWindow) {
+    fp::Fabric fabric;
+    auto s = fabric.get("window-depth");
+    EXPECT_EQ(s->read_ahead(), 0u);  // unresolved until a writer attaches
+    fp::StreamOptions opts(4);
+    opts.read_ahead = 3;
+    s->attach_writer(1, opts);
+    EXPECT_EQ(s->read_ahead(), 3u);
+    EXPECT_EQ(s->in_flight_steps(), 0u);
+}
+
+// A fast reader rank advances into step N+1 while a slow peer still holds
+// step N — the point of the window.  The handshake is deterministic: rank 1
+// refuses to finish step 0 until rank 0 proves it is inside step 1.
+TEST(Pipeline, FastRankRunsAheadWithinWindow) {
+    fp::Fabric fabric;
+    constexpr std::uint64_t kSteps = 4;
+    fp::StreamOptions opts(8);
+    opts.read_ahead = 2;
+
+    std::jthread writer([&] { write_simple_steps(fabric, "skew", kSteps, opts); });
+
+    std::atomic<bool> rank0_inside_step1{false};
+    sb::mpi::run_ranks(2, [&](sb::mpi::Communicator& c) {
+        fp::ReaderPort port(fabric, "skew", c.rank(), c.size());
+        std::uint64_t t = 0;
+        while (port.begin_step()) {
+            EXPECT_EQ(port.current_step(), t);
+            if (c.rank() == 0 && t == 1) {
+                // Rank 1 still holds step 0 (it is spinning on the flag set
+                // below), and this rank holds step 1: two steps in flight.
+                EXPECT_EQ(fabric.get("skew")->in_flight_steps(), 2u);
+                rank0_inside_step1.store(true, std::memory_order_release);
+            }
+            if (c.rank() == 1 && t == 0) {
+                EXPECT_TRUE(wait_until(
+                    [&] {
+                        return rank0_inside_step1.load(std::memory_order_acquire);
+                    },
+                    std::chrono::seconds(10)))
+                    << "rank 0 never reached step 1 while rank 1 held step 0";
+            }
+            const auto v = port.read<double>("x", u::Box({0}, {4}));
+            for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+            port.end_step();
+            ++t;
+        }
+        EXPECT_EQ(t, kSteps);
+    });
+
+    auto& reg = sb::obs::Registry::global();
+    EXPECT_GE(reg.gauge("flexpath.read_ahead_depth", {{"stream", "skew"}})
+                  .high_water(),
+              2.0);
+    EXPECT_GT(reg.histogram("flexpath.prefetch_wait_seconds", {{"stream", "skew"}})
+                  .count(),
+              0u);
+}
+
+// With the window pinned to 1 the seed's lockstep protocol is reproduced:
+// no rank enters step N+1 until every rank has released step N.
+TEST(Pipeline, ReadAheadOneForcesLockstep) {
+    fp::Fabric fabric;
+    constexpr std::uint64_t kSteps = 3;
+    fp::StreamOptions opts(8);
+    opts.read_ahead = 1;
+
+    std::jthread writer([&] { write_simple_steps(fabric, "lock1", kSteps, opts); });
+
+    std::atomic<bool> rank0_entered_step1{false};
+    sb::mpi::run_ranks(2, [&](sb::mpi::Communicator& c) {
+        fp::ReaderPort port(fabric, "lock1", c.rank(), c.size());
+        std::uint64_t t = 0;
+        while (port.begin_step()) {
+            if (c.rank() == 0 && t == 1) {
+                rank0_entered_step1.store(true, std::memory_order_release);
+            }
+            if (c.rank() == 1 && t == 0) {
+                EXPECT_EQ(fabric.get("lock1")->read_ahead(), 1u);
+                // Give rank 0 ample opportunity to (incorrectly) run ahead.
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                EXPECT_FALSE(rank0_entered_step1.load(std::memory_order_acquire))
+                    << "rank 0 entered step 1 while rank 1 still held step 0";
+                EXPECT_LE(fabric.get("lock1")->in_flight_steps(), 1u);
+            }
+            const auto v = port.read<double>("x", u::Box({0}, {4}));
+            for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+            port.end_step();
+            ++t;
+        }
+        EXPECT_EQ(t, kSteps);
+    });
+}
+
+// The full ctest suite also runs under SB_READ_AHEAD=off in CI; this keeps
+// a direct in-suite check that the env gate preserves MxN correctness.
+TEST(Pipeline, EnvOffReproducesSeedSemantics) {
+    const EnvVarGuard guard("SB_READ_AHEAD");
+    ::setenv("SB_READ_AHEAD", "off", 1);
+    run_mxn(2, 3, 8, 4, 6, 2);
+}
+
+TEST(Pipeline, EosAfterDrainingDeepWindow) {
+    fp::Fabric fabric;
+    fp::StreamOptions opts(8);
+    opts.read_ahead = 4;
+    write_simple_steps(fabric, "deep-eos", 3, opts);
+
+    fp::ReaderPort reader(fabric, "deep-eos", 0, 1);
+    std::uint64_t t = 0;
+    while (reader.begin_step()) {
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 3u);
+    EXPECT_FALSE(reader.begin_step());  // stays at end of stream
+}
+
+// Tearing a stream down while the prefetcher has staged steps the reader
+// never consumed must join the prefetcher cleanly (no hang; the ASan/TSan
+// legs verify no leak/race).
+TEST(Pipeline, TeardownWithPartiallyConsumedWindow) {
+    fp::Fabric fabric;
+    fp::StreamOptions opts(8);
+    opts.read_ahead = 4;
+    write_simple_steps(fabric, "partial", 3, opts);
+
+    auto stream = fabric.get("partial");
+    fp::ReaderPort reader(fabric, "partial", 0, 1);
+    ASSERT_TRUE(reader.begin_step());  // consume step 0 only
+    reader.end_step();
+    // The prefetcher stages the remaining steps behind our back.
+    EXPECT_TRUE(wait_until([&] { return stream->in_flight_steps() == 2; },
+                           std::chrono::seconds(10)));
+    // Scope exit destroys the port, fabric, and stream with steps 1..2
+    // still in flight.
+}
+
+TEST(Pipeline, AbortWithPartiallyConsumedWindow) {
+    fp::Fabric fabric;
+    fp::StreamOptions opts(8);
+    opts.read_ahead = 3;
+    write_simple_steps(fabric, "abort-win", 3, opts);
+
+    auto stream = fabric.get("abort-win");
+    fp::ReaderPort reader(fabric, "abort-win", 0, 1);
+    ASSERT_TRUE(reader.begin_step());  // hold step 0
+    EXPECT_TRUE(wait_until([&] { return stream->in_flight_steps() >= 2; },
+                           std::chrono::seconds(10)));
+    fabric.abort_all();
+    reader.end_step();  // releasing into an aborted stream is a no-op
+    EXPECT_THROW((void)reader.begin_step(), fp::StreamAborted);
+}
+
+TEST(Pipeline, SpoolReloadInteractsWithReadAhead) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "sb_test_spool_ra";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    fp::Fabric fabric;
+    fp::StreamOptions opts(8, dir.string());
+    opts.read_ahead = 3;
+    const double spool_read0 = counter_total("flexpath.spool_bytes_read");
+    write_simple_steps(fabric, "spool-ra", 5, opts);
+    // All five steps are parked on disk before the reader attaches.
+    EXPECT_EQ(std::distance(fs::directory_iterator(dir), fs::directory_iterator{}),
+              5);
+
+    fp::ReaderPort reader(fabric, "spool-ra", 0, 1);
+    std::uint64_t t = 0;
+    while (reader.begin_step()) {
+        const auto v = reader.read<double>("x", u::Box({0}, {4}));
+        for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 5u);
+    EXPECT_GT(counter_total("flexpath.spool_bytes_read") - spool_read0, 0.0);
+    // Spool files are consumed (reloaded and removed) as steps enter the
+    // window, so EOS leaves the directory empty.
+    EXPECT_TRUE(fs::is_empty(dir));
+    fs::remove_all(dir);
+}
+
+// A prefetch failure (spool file vanished) poisons the stream and surfaces
+// as the original error on the next acquire instead of hanging the reader.
+TEST(Pipeline, PrefetchFailurePropagatesToAcquire) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "sb_test_spool_gone";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    fp::Fabric fabric;
+    fp::StreamOptions opts(8, dir.string());
+    opts.read_ahead = 2;
+    write_simple_steps(fabric, "spool-gone", 2, opts);
+    for (const auto& f : fs::directory_iterator(dir)) fs::remove(f);
+
+    fp::ReaderPort reader(fabric, "spool-gone", 0, 1);
+    try {
+        (void)reader.begin_step();
+        FAIL() << "expected the prefetch failure to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("spool"), std::string::npos)
+            << e.what();
+    }
+    fs::remove_all(dir);
+}
+
+// Satellite bugfix: writer ranks disagreeing on a double attribute is an
+// error, exactly like the string-attribute path (the seed silently kept the
+// first value).
+TEST(Pipeline, WritersMustAgreeOnDoubleAttrs) {
+    fp::Fabric fabric;
+    EXPECT_THROW(
+        sb::mpi::run_ranks(2,
+                           [&](sb::mpi::Communicator& c) {
+                               fp::WriterPort port(fabric, "dattr", c.rank(),
+                                                   c.size());
+                               port.declare(fp::VarDecl{
+                                   "a", fp::DataKind::Float64, u::NdShape{2}, {}});
+                               const std::vector<double> v = {1.0};
+                               port.put<double>(
+                                   "a",
+                                   u::Box({static_cast<std::uint64_t>(c.rank())},
+                                          {1}),
+                                   v);
+                               // Rank-dependent value: must be rejected.
+                               port.put_attr("dt",
+                                             0.25 * (1.0 + c.rank()));
+                               port.end_step();
+                               port.close();
+                           }),
+        std::logic_error);
 }
