@@ -9,6 +9,9 @@
 //   smartblock_run --dot <workflow-script>         print the dataflow graph
 //   smartblock_run --trace t.json <script>         write a Chrome trace
 //   smartblock_run --metrics m.json <script>       write metrics + summary
+//   smartblock_run --fault <spec> <script>         arm fault injection (SB_FAULT syntax)
+//   smartblock_run --restart-policy on_failure:3 <script>   supervise + restart
+//   smartblock_run --liveness-ms 5000 <script>     hung-peer detection timeout
 //
 // Example workflow script:
 //   aprun -n 2 histogram velos.fp velocities 16 speeds.txt &
@@ -23,6 +26,7 @@
 
 #include "core/graph.hpp"
 #include "core/launch_script.hpp"
+#include "fault/fault.hpp"
 #include "flexpath/stream.hpp"
 #include "sim/source_component.hpp"
 
@@ -31,7 +35,9 @@ namespace {
 void print_usage() {
     std::fprintf(stderr,
                  "usage: smartblock_run [--validate|--dot] [--trace <out.json>] "
-                 "[--metrics <out.json>] [--read-ahead <depth>] <workflow-script> "
+                 "[--metrics <out.json>] [--read-ahead <depth>] "
+                 "[--fault <spec>] [--restart-policy never|on_failure[:max]] "
+                 "[--liveness-ms <ms>] <workflow-script> "
                  "[queue-capacity]\n\nregistered components:\n");
     for (const auto& name : sb::core::component_names()) {
         std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
@@ -55,11 +61,23 @@ int main(int argc, char** argv) {
     bool validate_only = false, dot_only = false;
     const char* trace_path = nullptr;
     const char* metrics_path = nullptr;
+    const char* fault_spec = nullptr;
+    const char* restart_policy = nullptr;
     std::size_t read_ahead = 0;  // 0 = resolve from SB_READ_AHEAD / default
+    double liveness_ms = -1.0;   // -1 = resolve from SB_LIVENESS_MS / disabled
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
         if (std::strcmp(argv[argi], "--read-ahead") == 0 && argi + 1 < argc) {
             read_ahead = static_cast<std::size_t>(std::stoul(argv[argi + 1]));
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--fault") == 0 && argi + 1 < argc) {
+            fault_spec = argv[argi + 1];
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--restart-policy") == 0 && argi + 1 < argc) {
+            restart_policy = argv[argi + 1];
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--liveness-ms") == 0 && argi + 1 < argc) {
+            liveness_ms = std::stod(argv[argi + 1]);
             argi += 2;
         } else if (std::strcmp(argv[argi], "--validate") == 0) {
             validate_only = true;
@@ -110,13 +128,39 @@ int main(int argc, char** argv) {
             return 0;
         }
 
+        if (fault_spec) {
+            const std::size_t n =
+                sb::fault::Registry::global().arm_from_env(fault_spec);
+            std::printf("smartblock_run: %zu fault spec(s) armed\n", n);
+        }
+
         sb::flexpath::StreamOptions opts;
         opts.read_ahead = read_ahead;
+        opts.liveness_ms = liveness_ms;
         if (argi + 1 < argc) {
             opts.queue_capacity = static_cast<std::size_t>(std::stoul(argv[argi + 1]));
         }
         sb::flexpath::Fabric fabric;
         sb::core::Workflow wf = sb::core::build_workflow(fabric, script, opts);
+        if (restart_policy) {
+            const std::string p(restart_policy);
+            if (p == "never") {
+                wf.set_restart_policy(sb::core::RestartPolicy::never());
+            } else if (p.rfind("on_failure", 0) == 0) {
+                int max_attempts = 2;
+                if (p.size() > 10 && p[10] == ':') {
+                    max_attempts = std::stoi(p.substr(11));
+                }
+                wf.set_restart_policy(
+                    sb::core::RestartPolicy::on_failure(max_attempts));
+            } else {
+                std::fprintf(stderr,
+                             "smartblock_run: bad --restart-policy '%s' "
+                             "(never | on_failure[:max])\n",
+                             restart_policy);
+                return 2;
+            }
+        }
         std::printf("smartblock_run: %zu components, %d processes\n", wf.size(),
                     wf.total_procs());
         wf.run();

@@ -85,6 +85,11 @@ public:
         return port_.try_read_view_bytes(name, box);
     }
 
+    /// True when the current step's data was lost to the stream's
+    /// OnDataLoss::ZeroFill degradation policy: metadata (shapes, labels,
+    /// attributes) is intact but every read returns zeros.
+    bool step_data_lost() const { return port_.step_lossy(); }
+
     /// String-list attribute, or nullopt when the step doesn't carry it.
     std::optional<std::vector<std::string>> attribute_strings(const std::string& name) const;
     std::optional<double> attribute_double(const std::string& name) const;

@@ -92,4 +92,44 @@ void wait_checked(CV& cv, Lock& lock, WaitKind kind, const std::string& what,
     }
 }
 
+/// Deadline-bounded wait_checked: returns true when `pred` held before
+/// `timeout_seconds` elapsed, false on deadline.  Stalls are still reported
+/// with the wait-for table, but StallAction::Throw is deliberately *not*
+/// honoured here: a bounded wait already has a failure path — the caller
+/// converts the deadline into its own typed error (e.g. flexpath's
+/// PeerLivenessError) — so throwing StallError as well would race the two
+/// diagnoses (docs/CORRECTNESS.md, "Stall detection vs liveness timeouts").
+template <typename CV, typename Lock, typename Pred>
+bool wait_checked_for(CV& cv, Lock& lock, WaitKind kind, const std::string& what,
+                      Pred pred, double timeout_seconds) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    if (!enabled()) {
+        return cv.wait_until(lock, deadline, pred);
+    }
+    if (pred()) return true;
+    const ScopedWait wait(kind, what);
+    bool reported = false;
+    for (;;) {
+        const double until_deadline =
+            std::chrono::duration<double>(deadline - std::chrono::steady_clock::now())
+                .count();
+        if (until_deadline <= 0.0) return pred();
+        const double timeout = stall_timeout_seconds();
+        const double remaining = reported ? timeout : timeout - wait.elapsed();
+        const auto slice = std::chrono::duration<double>(
+            std::clamp(std::min(remaining, until_deadline), 1e-3, 0.05));
+        if (cv.wait_for(lock, slice, pred)) return true;
+        if (!reported && wait.elapsed() >= timeout) {
+            reported = true;
+            report(Kind::Stall,
+                   "stalled " + std::string(wait_kind_name(kind)) + " " + what +
+                       " (blocked " + std::to_string(wait.elapsed()) +
+                       "s, deadline-bounded)\nwait-for table:\n" + dump_waits());
+        }
+    }
+}
+
 }  // namespace sb::check

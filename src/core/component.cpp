@@ -6,6 +6,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace sb::core {
 
 double steady_now_seconds() {
@@ -132,6 +134,9 @@ void propagate_attributes(const adios::Reader& in, adios::Writer& out,
 
 void record_step(const RunContext& ctx, std::uint64_t step, double seconds,
                  std::uint64_t bytes_in, std::uint64_t bytes_out) {
+    // Every component's step loop reports through here, which makes it the
+    // natural per-step fault point (crash/delay component N at step k).
+    fault::hit("component.step", ctx.component);
     if (ctx.stats) ctx.stats->record(step, ctx.comm.rank(), seconds, bytes_in, bytes_out);
 }
 

@@ -87,10 +87,25 @@ double steady_now_seconds();
 
 /// Everything a component rank needs to run.
 struct RunContext {
+    // Constructor matching the historical aggregate shape, so existing
+    // RunContext{fabric, comm, stats, opts} call sites keep compiling
+    // without naming the supervision fields (-Wmissing-field-initializers).
+    RunContext(flexpath::Fabric& f, mpi::Communicator c, StepStats* s = nullptr,
+               flexpath::StreamOptions o = {})
+        : fabric(f), comm(std::move(c)), stats(s), stream_options(std::move(o)) {}
+
     flexpath::Fabric& fabric;
     mpi::Communicator comm;
     StepStats* stats = nullptr;  // optional measurement sink
     flexpath::StreamOptions stream_options{};  // applied to output streams
+
+    // ---- supervision (set by Workflow, defaulted elsewhere) --------------
+    /// The workflow-level component name this rank belongs to ("" outside a
+    /// workflow); scopes the "component.step" / "component.run" fault points.
+    std::string component;
+    /// 0 on the first run, k on the k-th restart.  Components with external
+    /// side effects (file endpoints) use this to resume instead of truncate.
+    int attempt = 0;
 };
 
 /// The streams a component instance would read and write, derived from its

@@ -138,7 +138,9 @@ void Histogram::run(RunContext& ctx, const util::ArgList& args) {
     adios::Reader reader(ctx.fabric, in_stream, rank, size);
     std::ofstream out;
     if (rank == 0) {
-        out.open(out_file, std::ios::trunc);
+        // A restarted incarnation appends: steps written before the failure
+        // were already force-acknowledged upstream and will not be replayed.
+        out.open(out_file, ctx.attempt > 0 ? std::ios::app : std::ios::trunc);
         if (!out) throw std::runtime_error("histogram: cannot write '" + out_file + "'");
     }
 

@@ -1,10 +1,14 @@
 #include "core/workflow.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <thread>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "flexpath/stream.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -24,7 +28,8 @@ std::shared_ptr<StepStats> Workflow::add(const std::string& component, int nproc
         (void)make_component(component);  // throws with the registered list
     }
     auto stats = std::make_shared<StepStats>();
-    instances_.push_back(Instance{component, nprocs, util::ArgList(std::move(args)), stats});
+    instances_.push_back(
+        Instance{component, nprocs, util::ArgList(std::move(args)), stats, {}, 0});
     return stats;
 }
 
@@ -107,6 +112,110 @@ std::string Workflow::metrics_summary() const {
     return obs::format_metrics_table(obs::Registry::global().snapshot());
 }
 
+namespace {
+
+std::string what_of(const std::exception_ptr& e) {
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+        return ex.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+}  // namespace
+
+bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& policy,
+                           const std::exception_ptr& err, bool another_failed) {
+    Instance& inst = instances_[i];
+    if (policy.mode != RestartPolicy::Mode::OnFailure) return false;
+    if (attempt >= policy.max_attempts) {
+        SB_LOG(Error) << "workflow: instance '" << inst.component
+                      << "' exhausted " << policy.max_attempts << " restart(s)";
+        return false;
+    }
+    // Another instance already failed fatally: the fabric is (or is about to
+    // be) aborted, so relaunching would only produce a secondary unwind.
+    if (another_failed) return false;
+    try {
+        std::rethrow_exception(err);
+    } catch (const flexpath::StreamAborted&) {
+        return false;  // secondary: a peer died, nothing to recover here
+    } catch (const util::ArgError&) {
+        return false;  // deterministic config bug; a relaunch repeats it
+    } catch (...) {
+    }
+    // Recovery needs the instance's stream endpoints.
+    Ports ports;
+    try {
+        ports = make_component(inst.component)->ports(inst.args);
+    } catch (...) {
+        ports.known = false;
+    }
+    if (!ports.known) {
+        SB_LOG(Error) << "workflow: instance '" << inst.component
+                      << "' has unknown ports; cannot recover its streams";
+        return false;
+    }
+
+    const double t_fail = obs::steady_seconds();
+    try {
+        // Output streams roll back to their last fully assembled step; the
+        // relaunched incarnation resumes submitting exactly there.  A source
+        // (no inputs) deterministically regenerates from step 0, so its
+        // first `resume` submissions are suppressed stream-side instead.
+        std::uint64_t resume = 0;
+        for (const std::string& out : ports.outputs) {
+            auto s = fabric_.get(out);
+            s->detach_writer(/*source_replays_from_zero=*/ports.inputs.empty());
+            resume = std::max(resume, s->writer_resume_step());
+        }
+        // Input streams detach (voiding partial acknowledgements) and start
+        // retaining steps for replay.  A middle component consumed one input
+        // step per output step (SmartBlock components are step-aligned), so
+        // inputs that fed the `resume` already-assembled output steps are
+        // force-acknowledged rather than replayed — replaying them would
+        // duplicate downstream data.
+        for (const std::string& in : ports.inputs) {
+            auto s = fabric_.get(in);
+            s->detach_reader();
+            if (!ports.outputs.empty()) s->skip_reader_to(resume);
+        }
+    } catch (const std::exception& e) {
+        SB_LOG(Error) << "workflow: recovery of '" << inst.component
+                      << "' failed: " << e.what();
+        return false;
+    }
+
+    ++inst.restarts;
+    obs::Registry::global()
+        .counter("workflow.component_restarts", {{"component", inst.component}})
+        .inc();
+    SB_LOG(Warn) << "workflow: restarting '" << inst.component << "' (attempt "
+                 << (attempt + 1) << "/" << policy.max_attempts
+                 << "): " << what_of(err);
+
+    // Exponential backoff with deterministic jitter: hashed from (instance,
+    // attempt) instead of a clock-seeded RNG so chaos tests are repeatable.
+    double delay_ms = policy.backoff_base_ms *
+                      std::pow(policy.backoff_factor, static_cast<double>(attempt));
+    delay_ms = std::min(delay_ms, policy.backoff_max_ms);
+    std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ull ^
+                      (static_cast<std::uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 31;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 29;
+    const double jitter = 0.5 + static_cast<double>(h % 1000) / 1000.0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms * jitter));
+    if (obs::enabled()) {
+        obs::TraceLog::global().slice("restart", inst.component, "restart",
+                                      t_fail, obs::steady_seconds());
+    }
+    return true;
+}
+
 void Workflow::run() {
     if (ran_) throw std::logic_error("Workflow::run: already ran (build a new workflow)");
     if (instances_.empty()) throw std::logic_error("Workflow::run: no instances added");
@@ -123,25 +232,40 @@ void Workflow::run() {
         for (std::size_t i = 0; i < instances_.size(); ++i) {
             drivers.emplace_back([this, i, &errors, &failed] {
                 const Instance& inst = instances_[i];
-                try {
-                    // Label the communicator with the instance index:
-                    // describe() can collide when a component appears twice.
-                    mpi::run_ranks(
-                        inst.nprocs,
-                        [&](mpi::Communicator& comm) {
-                            auto component = make_component(inst.component);
-                            RunContext ctx{fabric_, comm, inst.stats.get(), options_};
-                            component->run(ctx, inst.args);
-                        },
-                        inst.component + "#" + std::to_string(i));
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                    failed.store(true);
-                    // Unblock the rest of the graph: every stream wakes its
-                    // waiters with StreamAborted.
-                    fabric_.abort_all();
-                    SB_LOG(Error) << "workflow: instance '" << inst.component
-                                  << "' failed; aborting fabric";
+                const RestartPolicy policy = inst.policy ? *inst.policy : policy_;
+                for (int attempt = 0;; ++attempt) {
+                    try {
+                        // Label the communicator with the instance index:
+                        // describe() can collide when a component appears
+                        // twice.
+                        mpi::run_ranks(
+                            inst.nprocs,
+                            [&](mpi::Communicator& comm) {
+                                auto component = make_component(inst.component);
+                                RunContext ctx{fabric_, comm, inst.stats.get(),
+                                               options_};
+                                ctx.component = inst.component;
+                                ctx.attempt = attempt;
+                                fault::hit("component.run", inst.component);
+                                component->run(ctx, inst.args);
+                            },
+                            inst.component + "#" + std::to_string(i) +
+                                (attempt ? ".r" + std::to_string(attempt) : ""));
+                        return;  // this instance drained
+                    } catch (...) {
+                        const std::exception_ptr err = std::current_exception();
+                        if (try_recover(i, attempt, policy, err, failed.load())) {
+                            continue;  // relaunch the instance
+                        }
+                        errors[i] = err;
+                        failed.store(true);
+                        // Unblock the rest of the graph: every stream wakes
+                        // its waiters with StreamAborted.
+                        fabric_.abort_all();
+                        SB_LOG(Error) << "workflow: instance '" << inst.component
+                                      << "' failed; aborting fabric";
+                        return;
+                    }
                 }
             });
         }
@@ -159,19 +283,43 @@ void Workflow::run() {
     }
 
     if (failed.load()) {
-        // Prefer a root-cause error over secondary StreamAborted unwinds.
+        // Prefer a root-cause error over secondary StreamAborted unwinds —
+        // but never silently drop the secondaries: distinct failures in
+        // several instances are all part of the diagnosis.
         std::exception_ptr first;
-        for (const auto& e : errors) {
+        std::exception_ptr root;
+        std::vector<std::string> suppressed;
+        std::size_t root_index = 0;
+        for (std::size_t i = 0; i < errors.size(); ++i) {
+            const auto& e = errors[i];
             if (!e) continue;
             if (!first) first = e;
+            bool aborted_unwind = false;
             try {
                 std::rethrow_exception(e);
             } catch (const flexpath::StreamAborted&) {
+                aborted_unwind = true;
             } catch (...) {
-                std::rethrow_exception(e);
+            }
+            if (aborted_unwind) continue;
+            if (!root) {
+                root = e;
+                root_index = i;
+            } else {
+                suppressed.push_back("[" + describe(i) + "] " + what_of(e));
             }
         }
-        std::rethrow_exception(first);
+        if (!root) std::rethrow_exception(first);  // only secondary unwinds
+        if (suppressed.empty()) std::rethrow_exception(root);  // preserve type
+        std::string msg = "[" + describe(root_index) + "] " + what_of(root) +
+                          " (+" + std::to_string(suppressed.size()) +
+                          " suppressed secondary error(s):";
+        for (std::size_t k = 0; k < suppressed.size() && k < 3; ++k) {
+            msg += " | " + suppressed[k];
+        }
+        if (suppressed.size() > 3) msg += " | ...";
+        msg += ")";
+        throw WorkflowError(msg, std::move(suppressed));
     }
 }
 

@@ -12,9 +12,18 @@
 // If any rank of any instance throws, every stream in the fabric is aborted
 // so the remaining components unwind instead of blocking forever, and the
 // root-cause exception is rethrown from run().
+//
+// Supervision (docs/RESILIENCE.md): each instance is its own failure
+// domain.  Under RestartPolicy::on_failure a failed instance is relaunched
+// in place — its input streams detach and replay un-acknowledged steps, its
+// output streams roll back to the last fully assembled step — while the
+// rest of the graph keeps running; only a non-restartable (or restart-
+// exhausted) failure aborts the fabric.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,6 +31,47 @@
 #include "core/registry.hpp"
 
 namespace sb::core {
+
+/// Whether (and how often) the workflow relaunches a failed component
+/// instance instead of aborting the whole graph.
+struct RestartPolicy {
+    enum class Mode {
+        Never,      // any failure is fatal to the workflow (the seed behaviour)
+        OnFailure,  // relaunch the instance, replaying un-acknowledged steps
+    };
+    Mode mode = Mode::Never;
+    /// Restarts allowed per instance (not counting the initial run).
+    int max_attempts = 2;
+    /// Exponential backoff between relaunches, with deterministic jitter
+    /// (0.5x-1.5x, hashed from instance and attempt — reproducible runs).
+    double backoff_base_ms = 10.0;
+    double backoff_factor = 2.0;
+    double backoff_max_ms = 1000.0;
+
+    static RestartPolicy never() { return {}; }
+    static RestartPolicy on_failure(int max_attempts = 2) {
+        RestartPolicy p;
+        p.mode = Mode::OnFailure;
+        p.max_attempts = max_attempts;
+        return p;
+    }
+};
+
+/// Thrown by Workflow::run() when several instances failed for distinct
+/// reasons: carries the root cause in what() plus every suppressed
+/// secondary error (a failure in one component unwinds its neighbours, and
+/// those secondary unwinds used to be silently dropped).
+class WorkflowError : public std::runtime_error {
+public:
+    WorkflowError(const std::string& what, std::vector<std::string> suppressed)
+        : std::runtime_error(what), suppressed_(std::move(suppressed)) {}
+    const std::vector<std::string>& suppressed() const noexcept {
+        return suppressed_;
+    }
+
+private:
+    std::vector<std::string> suppressed_;
+};
 
 class Workflow {
 public:
@@ -38,6 +88,19 @@ public:
 
     /// Number of instances added.
     std::size_t size() const noexcept { return instances_.size(); }
+
+    /// Sets the workflow-wide restart policy (default: RestartPolicy::never,
+    /// the fail-fast seed behaviour).  Call before run().
+    void set_restart_policy(RestartPolicy policy) { policy_ = policy; }
+
+    /// Per-instance override (instance `i` in add() order); unset instances
+    /// use the workflow-wide policy.
+    void set_restart_policy(std::size_t i, RestartPolicy policy) {
+        instances_.at(i).policy = policy;
+    }
+
+    /// Times instance `i` was relaunched during the last run().
+    int restarts(std::size_t i) const { return instances_.at(i).restarts; }
 
     /// Total processes across all instances (the paper's resource count).
     int total_procs() const noexcept;
@@ -81,10 +144,18 @@ private:
         int nprocs;
         util::ArgList args;
         std::shared_ptr<StepStats> stats;
+        std::optional<RestartPolicy> policy;  // overrides the workflow policy
+        int restarts = 0;                     // relaunches during the last run
     };
+
+    /// Whether the error behind `err` may be recovered by relaunching the
+    /// instance, and if so, rolls its streams back (detach + replay/skip).
+    bool try_recover(std::size_t i, int attempt, const RestartPolicy& policy,
+                     const std::exception_ptr& err, bool another_failed);
 
     flexpath::Fabric& fabric_;
     flexpath::StreamOptions options_;
+    RestartPolicy policy_;
     std::vector<Instance> instances_;
     double elapsed_ = 0.0;
     double epoch_ = 0.0;  // steady-clock start of the last run

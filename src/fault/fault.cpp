@@ -1,0 +1,269 @@
+#include "fault/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace sb::fault {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+const char* action_name(Action a) {
+    switch (a) {
+        case Action::Throw: return "throw";
+        case Action::Delay: return "delay";
+        case Action::Crash: return "crash";
+    }
+    return "?";
+}
+
+std::string trim(std::string s) {
+    const auto notspace = [](char c) { return c != ' ' && c != '\t' && c != '\n'; };
+    while (!s.empty() && !notspace(s.front())) s.erase(s.begin());
+    while (!s.empty() && !notspace(s.back())) s.pop_back();
+    return s;
+}
+
+}  // namespace
+
+FaultSpec parse_spec(const std::string& entry) {
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("fault spec '" + entry +
+                                    "': expected <point>=<action>");
+    }
+    FaultSpec spec;
+    spec.point = trim(entry.substr(0, eq));
+    std::string rhs = trim(entry.substr(eq + 1));
+
+    // Action word runs to the first modifier character.
+    const auto mod = rhs.find_first_of("@%x");
+    std::string word = rhs.substr(0, mod);
+    if (word == "throw") {
+        spec.action = Action::Throw;
+    } else if (word == "crash") {
+        spec.action = Action::Crash;
+    } else if (word.rfind("delay:", 0) == 0) {
+        spec.action = Action::Delay;
+        spec.delay_ms = std::stod(word.substr(6));
+        spec.max_fires = 0;  // delays default to every eligible hit
+    } else {
+        throw std::invalid_argument("fault spec '" + entry +
+                                    "': unknown action '" + word +
+                                    "' (throw | crash | delay:<ms>)");
+    }
+
+    std::size_t i = mod;
+    while (i != std::string::npos && i < rhs.size()) {
+        const char kind = rhs[i++];
+        std::size_t used = 0;
+        const std::string tail = rhs.substr(i);
+        try {
+            if (kind == '@') {
+                spec.at_hit = std::stoull(tail, &used);
+            } else if (kind == '%') {
+                spec.probability = std::stod(tail, &used);
+            } else if (kind == 'x') {
+                spec.max_fires = std::stoull(tail, &used);
+            }
+        } catch (const std::exception&) {
+            used = 0;
+        }
+        if (used == 0) {
+            throw std::invalid_argument("fault spec '" + entry +
+                                        "': malformed modifier '" + kind + tail +
+                                        "'");
+        }
+        i += used;
+    }
+    if (spec.at_hit > 0) spec.probability = -1.0;  // @N wins over %p
+    return spec;
+}
+
+struct Registry::Armed {
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    std::mt19937_64 rng;
+};
+
+Registry& Registry::global() {
+    static Registry* r = new Registry();  // never destroyed: outlives statics
+    return *r;
+}
+
+std::vector<Registry::Armed>& Registry::specs_locked() {
+    if (!specs_) specs_ = new std::vector<Armed>();
+    return *specs_;
+}
+
+void Registry::arm(FaultSpec spec) {
+    std::lock_guard lock(mu_);
+    auto& specs = specs_locked();
+    Armed a;
+    a.spec = std::move(spec);
+    a.rng.seed(seed_ ^ (specs.size() + 1) * 0x9e3779b97f4a7c15ull);
+    specs.push_back(std::move(a));
+    detail::g_armed.store(static_cast<int>(specs.size()), std::memory_order_relaxed);
+    SB_LOG(Info) << "fault: armed " << specs.back().spec.point << " ("
+                 << action_name(specs.back().spec.action) << ")";
+}
+
+std::size_t Registry::arm_from_env(const char* value) {
+    if (!value || !*value) return 0;
+    std::size_t armed = 0;
+    const std::string s(value);
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find_first_of(";,", start);
+        if (end == std::string::npos) end = s.size();
+        const std::string entry = trim(s.substr(start, end - start));
+        start = end + 1;
+        if (entry.empty()) continue;
+        if (entry.rfind("seed=", 0) == 0) {
+            set_seed(std::stoull(entry.substr(5)));
+            continue;
+        }
+        arm(parse_spec(entry));
+        ++armed;
+    }
+    return armed;
+}
+
+void Registry::disarm_all() {
+    std::lock_guard lock(mu_);
+    specs_locked().clear();
+    detail::g_armed.store(0, std::memory_order_relaxed);
+}
+
+void Registry::set_seed(std::uint64_t seed) {
+    std::lock_guard lock(mu_);
+    seed_ = seed;
+    auto& specs = specs_locked();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        specs[i].rng.seed(seed_ ^ (i + 1) * 0x9e3779b97f4a7c15ull);
+    }
+}
+
+std::uint64_t Registry::hits(std::string_view point) const {
+    std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    if (specs_) {
+        for (const Armed& a : *specs_) {
+            if (a.spec.point == point) n += a.hits;
+        }
+    }
+    return n;
+}
+
+std::uint64_t Registry::fires(std::string_view point) const {
+    std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    if (specs_) {
+        for (const Armed& a : *specs_) {
+            if (a.spec.point == point) n += a.fires;
+        }
+    }
+    return n;
+}
+
+bool Registry::any_armed() const noexcept {
+    return detail::g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+void Registry::on_hit(std::string_view point, std::string_view scope) {
+    // Decided under the lock, performed outside it (Throw/Crash unwind
+    // through arbitrary callers; Delay must not serialize unrelated hits).
+    Action action = Action::Throw;
+    double delay_ms = 0.0;
+    std::string what;
+    bool fire = false;
+    {
+        std::lock_guard lock(mu_);
+        if (!specs_) return;
+        std::string full;
+        for (Armed& a : *specs_) {
+            const std::string& p = a.spec.point;
+            bool match = false;
+            if (!p.empty() && p.back() == '*') {
+                if (full.empty()) {
+                    full = std::string(point);
+                    if (!scope.empty()) full += ":" + std::string(scope);
+                }
+                match = full.compare(0, p.size() - 1,
+                                     p.substr(0, p.size() - 1)) == 0;
+            } else if (p == point) {
+                match = true;
+            } else if (!scope.empty() && p.size() == point.size() + 1 + scope.size() &&
+                       p.compare(0, point.size(), point) == 0 &&
+                       p[point.size()] == ':' &&
+                       p.compare(point.size() + 1, scope.size(), scope) == 0) {
+                match = true;
+            }
+            if (!match) continue;
+            ++a.hits;
+            if (a.spec.max_fires > 0 && a.fires >= a.spec.max_fires) continue;
+            bool eligible;
+            if (a.spec.at_hit > 0) {
+                eligible = a.hits == a.spec.at_hit;
+            } else if (a.spec.probability >= 0.0) {
+                eligible = std::uniform_real_distribution<double>(0.0, 1.0)(a.rng) <
+                           a.spec.probability;
+            } else {
+                eligible = true;
+            }
+            if (!eligible) continue;
+            ++a.fires;
+            fire = true;
+            action = a.spec.action;
+            delay_ms = a.spec.delay_ms;
+            what = "injected " + std::string(action_name(action)) + " at " +
+                   std::string(point) +
+                   (scope.empty() ? "" : ":" + std::string(scope)) + " (hit " +
+                   std::to_string(a.hits) + " of spec '" + a.spec.point + "')";
+            break;  // one fire per hit — first matching spec wins
+        }
+    }
+    if (!fire) return;
+    obs::Registry::global()
+        .counter("fault.fires", {{"point", std::string(point)}})
+        .inc();
+    SB_LOG(Warn) << "fault: " << what;
+    switch (action) {
+        case Action::Delay:
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+            return;
+        case Action::Throw:
+            throw InjectedFault(what);
+        case Action::Crash:
+            throw InjectedCrash(what);
+    }
+}
+
+namespace {
+
+/// Arms SB_FAULT at static-init time, so workflows launched from main()
+/// inherit the environment schedule without any call-in.
+struct EnvArm {
+    EnvArm() {
+        try {
+            Registry::global().arm_from_env(std::getenv("SB_FAULT"));
+        } catch (const std::exception& e) {
+            SB_LOG(Error) << "fault: ignoring malformed SB_FAULT: " << e.what();
+        }
+    }
+};
+const EnvArm g_env_arm;
+
+}  // namespace
+
+}  // namespace sb::fault

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace sb::ffs {
 
 namespace {
@@ -113,6 +115,7 @@ Bytes encode(const Record& rec) {
 }
 
 Record decode(std::span<const std::byte> wire) {
+    fault::hit("ffs.decode");
     ByteReader r(wire);
     if (r.u32() != kMagic) throw std::runtime_error("ffs: bad magic");
     TypeDescriptor desc;

@@ -29,7 +29,10 @@ ReaderPort::ReaderPort(Fabric& fabric, const std::string& stream_name, int rank,
     : stream_(fabric.get(stream_name)),
       rank_(rank),
       plan_cache_enabled_(plan_cache_enabled_from_env()) {
-    stream_->attach_reader(nranks);
+    // Resume cursor: 0 on a fresh stream, or the oldest un-acknowledged
+    // step when this port belongs to a restarted component incarnation
+    // replacing a detached reader group (replay).
+    cursor_ = stream_->attach_reader(nranks);
     auto& reg = obs::Registry::global();
     const obs::Labels labels{{"stream", stream_->name()},
                              {"rank", std::to_string(rank)}};
@@ -159,6 +162,15 @@ void ReaderPort::read_bytes(const std::string& var, const util::Box& box,
         throw std::invalid_argument("read '" + var + "': destination too small");
     }
     if (box.empty()) return;
+    if (current_->lossy) {
+        // ZeroFill degradation: the step's data was shed while the reader
+        // group was detached — metadata survives, the payload reads as
+        // zeros (step_lossy() lets components tell).
+        std::fill_n(dest.begin(), box.volume() * elem, std::byte{0});
+        bytes_read_->add(box.volume() * elem);
+        reads_->inc();
+        return;
+    }
 
     // MxN assembly: replay the cached copy plan (compiled on first touch of
     // this (var, box) under the current writer layout).
@@ -192,6 +204,7 @@ ReaderPort::try_read_view_bytes(const std::string& var, const util::Box& box) co
         box.empty()) {
         return std::nullopt;
     }
+    if (current_->lossy) return std::nullopt;  // no payload to view; read_bytes zero-fills
     const auto bit = current_->blocks.find(var);
     if (bit == current_->blocks.end()) return std::nullopt;
 
@@ -252,6 +265,11 @@ void ReaderPort::end_step() {
 std::uint64_t ReaderPort::current_step() const {
     if (!current_) throw std::logic_error("current_step: no step in progress");
     return meta_->step;
+}
+
+bool ReaderPort::step_lossy() const {
+    if (!current_) throw std::logic_error("step_lossy: no step in progress");
+    return current_->lossy;
 }
 
 }  // namespace sb::flexpath

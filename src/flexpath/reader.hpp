@@ -101,6 +101,11 @@ public:
     /// Step index of the currently acquired step.
     std::uint64_t current_step() const;
 
+    /// True when the current step's data was dropped under
+    /// OnDataLoss::ZeroFill: metadata is intact but every read returns
+    /// zeros (see docs/RESILIENCE.md).
+    bool step_lossy() const;
+
     const std::string& stream_name() const noexcept { return stream_->name(); }
 
     int rank() const noexcept { return rank_; }

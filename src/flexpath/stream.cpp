@@ -9,6 +9,7 @@
 
 #include "check/mutex.hpp"
 #include "check/waits.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -37,9 +38,24 @@ std::size_t resolve_read_ahead(const StreamOptions& opts) {
     return kDefaultReadAhead;
 }
 
+double resolve_liveness_seconds(const StreamOptions& opts) {
+    if (opts.liveness_ms >= 0.0) return opts.liveness_ms / 1e3;
+    const char* v = std::getenv("SB_LIVENESS_MS");
+    if (!v) return 0.0;
+    const std::string s(v);
+    if (s == "off" || s == "0" || s == "false") return 0.0;
+    char* end = nullptr;
+    const double ms = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() && *end == '\0' && ms > 0.0) return ms / 1e3;
+    return 0.0;
+}
+
 const StepMeta& StepData::decoded_meta() const {
-    std::call_once(meta_cache_->once,
-                   [this] { meta_cache_->meta = decode_step_meta(meta); });
+    const std::lock_guard lock(meta_cache_->mu);
+    if (!meta_cache_->decoded) {
+        meta_cache_->meta = decode_step_meta(meta);
+        meta_cache_->decoded = true;
+    }
     return meta_cache_->meta;
 }
 
@@ -160,6 +176,9 @@ Stream::Stream(std::string name)
     const obs::Labels labels{{"stream", name_}};
     ins_.steps_assembled = &reg.counter("flexpath.steps_assembled", labels);
     ins_.steps_retired = &reg.counter("flexpath.steps_retired", labels);
+    ins_.steps_replayed = &reg.counter("flexpath.steps_replayed", labels);
+    ins_.steps_skipped = &reg.counter("flexpath.steps_skipped", labels);
+    ins_.replay_suppressed = &reg.counter("flexpath.replay_suppressed", labels);
     ins_.aborts = &reg.counter("flexpath.aborts", labels);
     ins_.spool_bytes_written = &reg.counter("flexpath.spool_bytes_written", labels);
     ins_.spool_bytes_read = &reg.counter("flexpath.spool_bytes_read", labels);
@@ -192,6 +211,7 @@ void Stream::attach_writer(int nranks, const StreamOptions& opts) {
         writer_size_ = nranks;
         opts_ = opts;
         read_ahead_ = resolve_read_ahead(opts);
+        liveness_s_ = resolve_liveness_seconds(opts);
         rank_submits_.assign(static_cast<std::size_t>(nranks), 0);
         queue_ = std::make_unique<util::BoundedQueue<StepData>>(opts.queue_capacity,
                                                                 name_);
@@ -308,6 +328,7 @@ void Stream::abort() {
 }
 
 void Stream::submit(int rank, Contribution c) {
+    fault::hit("flexpath.publish", name_);
     std::optional<StepData> completed;
     {
         std::lock_guard lock(mu_);
@@ -317,6 +338,16 @@ void Stream::submit(int rank, Contribution c) {
         }
         if (rank < 0 || rank >= writer_size_) {
             throw std::out_of_range("stream '" + name_ + "': bad writer rank");
+        }
+        // Replay suppression: a restarted source regenerates its
+        // deterministic sequence from step 0, but the stream already
+        // assembled the first writer_resume_step() of them — drop those
+        // re-submissions without assigning them a step.
+        if (!replay_drop_.empty() &&
+            replay_drop_[static_cast<std::size_t>(rank)] > 0) {
+            --replay_drop_[static_cast<std::size_t>(rank)];
+            ins_.replay_suppressed->inc();
+            return;
         }
         // This rank's n-th submit always belongs to step n, regardless of
         // how far ahead of its peers the rank is running.
@@ -363,7 +394,22 @@ void Stream::submit(int rank, Contribution c) {
         // lands exactly where FlexPath's bounded writer-side buffer puts it.
         SB_LOG(Debug) << "stream " << name_ << ": step " << completed->step << " queued";
         const double push_t0 = instr ? obs::steady_seconds() : 0.0;
-        if (!queue_->push(std::move(*completed))) {
+        try {
+            if (liveness_s_ > 0.0) {
+                if (!queue_->try_push_for(*completed, liveness_s_)) {
+                    // No consumer progress for the whole liveness interval:
+                    // presume the reader group hung/died rather than block
+                    // this writer forever.
+                    throw PeerLivenessError(
+                        "stream '" + name_ + "': no reader progress within " +
+                        std::to_string(liveness_s_ * 1e3) +
+                        " ms (queue full at step " +
+                        std::to_string(completed->step) + ")");
+                }
+            } else {
+                queue_->push(std::move(*completed));
+            }
+        } catch (const util::QueueAborted&) {
             // The queue only closes on abort (writers close after their
             // last submit, never during one).
             throw StreamAborted(name_);
@@ -401,16 +447,100 @@ void Stream::close_writer(int rank) {
     }
 }
 
-void Stream::attach_reader(int nranks) {
+void Stream::detach_writer(bool source_replays_from_zero) {
+    std::lock_guard lock(mu_);
+    if (writer_size_ == 0) return;
+    if (!pending_.empty()) {
+        SB_LOG(Warn) << "stream " << name_ << ": discarding " << pending_.size()
+                     << " partial step(s) from a dead writer incarnation";
+    }
+    // Roll back to the assembly frontier: everything short of a fully
+    // assembled step is regenerated by the relaunched incarnation.
+    pending_.clear();
+    pending_counts_.clear();
+    for (auto& s : rank_submits_) s = next_step_;
+    writers_closed_ = 0;
+    if (source_replays_from_zero) {
+        replay_drop_.assign(static_cast<std::size_t>(writer_size_), next_step_);
+    }
+}
+
+std::uint64_t Stream::writer_resume_step() const {
+    std::lock_guard lock(mu_);
+    return next_step_;
+}
+
+std::uint64_t Stream::attach_reader(int nranks) {
     if (nranks <= 0) throw std::invalid_argument("attach_reader: nranks must be positive");
     std::lock_guard lock(mu_);
     if (reader_size_ == 0) {
         reader_size_ = nranks;
         start_prefetcher_locked();
+    } else if (reader_detached_) {
+        // A replacement group reattaches; it may be a different size (the
+        // supervisor relaunches with the same count today, but the stream
+        // does not care — acknowledgement counts were voided on detach).
+        reader_size_ = nranks;
+        reader_detached_ = false;
+        if (!window_.empty()) {
+            ins_.steps_replayed->add(window_.size());
+            SB_LOG(Info) << "stream " << name_ << ": reader reattached, replaying "
+                         << window_.size() << " retained step(s) from cursor "
+                         << window_base_;
+            if (obs::enabled()) {
+                obs::TraceLog::global().slice("replay", name_, "restart",
+                                              detach_t0_, obs::steady_seconds());
+            }
+        }
+        demand_ = window_base_;
+        prefetch_cv_.notify_all();  // deferred spool reloads may now proceed
     } else if (reader_size_ != nranks) {
         throw std::logic_error("stream '" + name_ +
                                "': reader ranks disagree on group size");
     }
+    return window_base_;
+}
+
+void Stream::detach_reader() {
+    std::lock_guard lock(mu_);
+    if (reader_size_ == 0 || reader_detached_ || aborted_) return;
+    reader_detached_ = true;
+    detach_t0_ = obs::steady_seconds();
+    // Void partial acknowledgements: a step not released by *every* rank of
+    // the dead incarnation is replayed in full to the replacement group.
+    for (auto& e : window_) e.released = 0;
+    demand_ = window_base_;
+    prefetch_cv_.notify_all();  // switch the prefetcher into retention mode
+    SB_LOG(Info) << "stream " << name_ << ": reader detached with "
+                 << window_.size() << " step(s) retained (cursor "
+                 << window_base_ << ")";
+}
+
+void Stream::skip_reader_to(std::uint64_t cursor) {
+    std::lock_guard lock(mu_);
+    if (cursor <= window_base_) return;
+    if (cursor > window_base_ + window_.size()) {
+        throw std::logic_error(
+            "stream '" + name_ + "': skip_reader_to(" + std::to_string(cursor) +
+            ") beyond fetched window [" + std::to_string(window_base_) + ", " +
+            std::to_string(window_base_ + window_.size()) + ")");
+    }
+    while (window_base_ < cursor) {
+        InFlight& front = window_.front();
+        if (front.loaded && front.data && !front.data->lossy &&
+            !front.data->blocks.empty()) {
+            --window_payloads_;
+        }
+        if (front.data && !front.data->spool_path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove(front.data->spool_path, ec);
+        }
+        window_.pop_front();
+        ++window_base_;
+        ins_.steps_retired->inc();
+    }
+    demand_ = std::max(demand_, window_base_);
+    prefetch_cv_.notify_all();
 }
 
 void Stream::start_prefetcher_locked() {
@@ -423,14 +553,94 @@ void Stream::start_prefetcher_locked() {
     prefetcher_ = std::thread([this] { prefetch_loop(); });
 }
 
+namespace {
+
+/// Whether a window entry holds in-memory block data (counts against the
+/// retention bound).
+bool entry_has_payload(const Stream&, const std::shared_ptr<StepData>& data,
+                       bool loaded) {
+    return loaded && data && !data->lossy && !data->blocks.empty();
+}
+
+}  // namespace
+
+void Stream::shed_retained_locked() {
+    // Spooled streams spill to disk instead of dropping; Fail never drops.
+    if (opts_.on_data_loss == OnDataLoss::Fail || !opts_.spool_dir.empty()) return;
+    while (window_payloads_ >= read_ahead_ + opts_.retain_steps) {
+        if (opts_.on_data_loss == OnDataLoss::Skip) {
+            if (window_.empty()) break;
+            InFlight& front = window_.front();
+            if (entry_has_payload(*this, front.data, front.loaded)) {
+                --window_payloads_;
+            }
+            SB_LOG(Warn) << "stream " << name_ << ": retention exhausted, skipping "
+                         << "step at cursor " << front.cursor;
+            window_.pop_front();
+            ++window_base_;
+            ++lost_steps_;
+            ins_.steps_skipped->inc();
+        } else {  // ZeroFill: the oldest payload-bearing step loses its data
+            bool found = false;
+            for (auto& e : window_) {
+                if (!entry_has_payload(*this, e.data, e.loaded)) continue;
+                SB_LOG(Warn) << "stream " << name_
+                             << ": retention exhausted, zero-filling step at cursor "
+                             << e.cursor;
+                e.data->blocks.clear();
+                e.data->lossy = true;
+                --window_payloads_;
+                ++lost_steps_;
+                ins_.steps_skipped->inc();
+                found = true;
+                break;
+            }
+            if (!found) break;
+        }
+    }
+}
+
 void Stream::prefetch_loop() {
     check::ThreadLabel label("prefetch:" + name_);
     std::unique_lock lock(mu_);
     for (;;) {
+        // Oldest spool-parked window entry a reader wants soon; reloads are
+        // deferred entirely while the reader group is detached.
+        const auto reload_index = [&]() -> std::ptrdiff_t {
+            if (reader_detached_) return -1;
+            for (std::size_t i = 0; i < window_.size(); ++i) {
+                if (window_[i].loaded) continue;
+                if (window_[i].cursor < demand_ + read_ahead_) {
+                    return static_cast<std::ptrdiff_t>(i);
+                }
+                return -1;  // entries are cursor-ordered
+            }
+            return -1;
+        };
+        const auto unloaded_any = [&] {
+            for (const auto& e : window_) {
+                if (!e.loaded) return true;
+            }
+            return false;
+        };
+        const auto can_fetch = [&] {
+            if (eos_) return false;
+            if (!reader_detached_) {
+                return window_.size() < read_ahead_ &&
+                       next_fetch_ < demand_ + (read_ahead_ - 1);
+            }
+            // Retention mode: keep draining the writer.  Spooled streams
+            // park further steps on disk, so only in-memory payloads count
+            // against the retention bound; past it the data-loss policy
+            // decides whether to shed (Fail = stop fetching, apply
+            // backpressure to the writer instead).
+            if (!opts_.spool_dir.empty()) return true;
+            if (window_payloads_ < read_ahead_ + opts_.retain_steps) return true;
+            return opts_.on_data_loss != OnDataLoss::Fail;
+        };
         const auto ready = [&] {
-            return shutdown_ || aborted_ ||
-                   (window_.size() < read_ahead_ &&
-                    next_fetch_ < demand_ + (read_ahead_ - 1));
+            return shutdown_ || aborted_ || reload_index() >= 0 || can_fetch() ||
+                   (eos_ && !unloaded_any());
         };
         if (!ready()) {
             // Idle (window full, or no demand yet at read_ahead=1): list the
@@ -451,13 +661,53 @@ void Stream::prefetch_loop() {
             }
         }
         if (shutdown_ || aborted_) return;
+        if (eos_ && !unloaded_any()) return;  // drained and fully loaded
+        const bool instr = obs::enabled();
+
+        // Spool reload of a window entry whose data was deferred while the
+        // reader group was detached (the I/O runs off mu_, like a fetch).
+        const std::ptrdiff_t ri = reload_index();
+        if (ri >= 0) {
+            // Held by shared_ptr: the entry cannot vanish under us (release
+            // only retires *loaded* steps, and we are attached, so no shed).
+            std::shared_ptr<StepData> data =
+                window_[static_cast<std::size_t>(ri)].data;
+            const std::uint64_t cursor =
+                window_[static_cast<std::size_t>(ri)].cursor;
+            lock.unlock();
+            try {
+                load_spooled(*data, instr);
+            } catch (...) {
+                lock.lock();
+                prefetch_error_ = std::current_exception();
+                aborted_ = true;
+                if (queue_) queue_->close();
+                reader_cv_.notify_all();
+                return;
+            }
+            lock.lock();
+            if (shutdown_ || aborted_) return;
+            // Re-find by cursor: skip_reader_to may have advanced the base.
+            if (cursor >= window_base_ && cursor < window_base_ + window_.size()) {
+                InFlight& e = window_[static_cast<std::size_t>(cursor - window_base_)];
+                e.loaded = true;
+                if (entry_has_payload(*this, e.data, e.loaded)) ++window_payloads_;
+                reader_cv_.notify_all();
+            }
+            continue;
+        }
+        if (!can_fetch()) continue;  // woken for a reload that got skipped
+
+        // Spool reloads of freshly popped steps are deferred while detached:
+        // retained data stays parked on disk until a replacement group
+        // reattaches and actually demands it.
+        const bool defer_reload = reader_detached_;
         util::BoundedQueue<StepData>* queue = queue_.get();
         lock.unlock();
 
         // Both the (blocking) queue pop and the spool reload run off mu_:
         // reader ranks keep acquiring/releasing window steps while the next
         // step is fetched and decoded.
-        const bool instr = obs::enabled();
         const double pop_t0 = instr ? obs::steady_seconds() : 0.0;
         std::optional<StepData> item = queue->pop();  // blocks, own cv
         if (instr) {
@@ -472,42 +722,24 @@ void Stream::prefetch_loop() {
                 tl.slice("prefetch wait", name_, "prefetch", pop_t0, pop_t1);
             }
         }
+        bool loaded = true;
         if (item && !item->spool_path.empty()) {
-            try {
-                const double sp_t0 = instr ? obs::steady_seconds() : 0.0;
-                std::ifstream in(item->spool_path, std::ios::binary);
-                if (!in) {
-                    throw std::runtime_error("stream '" + name_ +
-                                             "': missing spool file '" +
-                                             item->spool_path + "'");
+            if (defer_reload) {
+                loaded = false;
+            } else {
+                try {
+                    load_spooled(*item, instr);
+                } catch (...) {
+                    // A fetch failure poisons the stream: readers rethrow the
+                    // original error from acquire(), writers unwind through
+                    // the closed queue.
+                    lock.lock();
+                    prefetch_error_ = std::current_exception();
+                    aborted_ = true;
+                    if (queue_) queue_->close();
+                    reader_cv_.notify_all();
+                    return;
                 }
-                const std::string packet(
-                    (std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-                item->blocks = decode_step_blocks(std::span<const std::byte>(
-                    reinterpret_cast<const std::byte*>(packet.data()),
-                    packet.size()));
-                std::filesystem::remove(item->spool_path);
-                item->spool_path.clear();
-                if (instr) {
-                    const double sp_t1 = obs::steady_seconds();
-                    ins_.spool_read_seconds->observe(sp_t1 - sp_t0);
-                    ins_.spool_bytes_read->add(packet.size());
-                    if (sp_t1 - sp_t0 >= kStallSliceSeconds) {
-                        obs::TraceLog::global().slice("spool reload", name_,
-                                                      "prefetch", sp_t0, sp_t1);
-                    }
-                }
-            } catch (...) {
-                // A fetch failure poisons the stream: readers rethrow the
-                // original error from acquire(), writers unwind through the
-                // closed queue.
-                lock.lock();
-                prefetch_error_ = std::current_exception();
-                aborted_ = true;
-                if (queue_) queue_->close();
-                reader_cv_.notify_all();
-                return;
             }
         }
 
@@ -516,10 +748,15 @@ void Stream::prefetch_loop() {
         if (!item) {
             eos_ = true;  // queue closed and drained: no step >= next_fetch_
             reader_cv_.notify_all();
-            return;
+            // Not done yet: deferred spool reloads may still be pending for
+            // a reattached reader — loop until the window is fully loaded.
+            continue;
         }
-        window_.push_back(InFlight{
-            next_fetch_, std::make_shared<const StepData>(std::move(*item)), 0});
+        if (reader_detached_) shed_retained_locked();
+        auto data = std::make_shared<StepData>(std::move(*item));
+        const bool payload = entry_has_payload(*this, data, loaded);
+        window_.push_back(InFlight{next_fetch_, std::move(data), 0, loaded});
+        if (payload) ++window_payloads_;
         ++next_fetch_;
         if (instr) {
             ins_.read_ahead_depth->set(static_cast<double>(window_.size()));
@@ -528,10 +765,44 @@ void Stream::prefetch_loop() {
     }
 }
 
+void Stream::load_spooled(StepData& item, bool instr) {
+    const double sp_t0 = instr ? obs::steady_seconds() : 0.0;
+    fault::hit("flexpath.spool_reload", name_);
+    std::ifstream in(item.spool_path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("stream '" + name_ + "': missing spool file '" +
+                                 item.spool_path + "'");
+    }
+    const std::string packet((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    item.blocks = decode_step_blocks(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(packet.data()), packet.size()));
+    std::filesystem::remove(item.spool_path);
+    item.spool_path.clear();
+    if (instr) {
+        const double sp_t1 = obs::steady_seconds();
+        ins_.spool_read_seconds->observe(sp_t1 - sp_t0);
+        ins_.spool_bytes_read->add(packet.size());
+        if (sp_t1 - sp_t0 >= kStallSliceSeconds) {
+            obs::TraceLog::global().slice("spool reload", name_, "prefetch",
+                                          sp_t0, sp_t1);
+        }
+    }
+}
+
 std::shared_ptr<const StepData> Stream::acquire(std::uint64_t cursor) {
+    fault::hit("flexpath.acquire", name_);
     std::unique_lock lock(mu_);
     if (reader_size_ == 0) {
         throw std::logic_error("stream '" + name_ + "': acquire before attach_reader");
+    }
+    if (cursor < window_base_) {
+        // A correctly restarted reader resumes at attach_reader()'s cursor;
+        // anything below the window base was already retired or skipped.
+        throw std::logic_error("stream '" + name_ + "': acquire cursor " +
+                               std::to_string(cursor) + " behind window base " +
+                               std::to_string(window_base_) +
+                               " (stale reader incarnation?)");
     }
     if (cursor + 1 > demand_) {
         // Demand drives the prefetcher: at read_ahead=1 it fetches only
@@ -551,14 +822,18 @@ std::shared_ptr<const StepData> Stream::acquire(std::uint64_t cursor) {
                                           wait_t0, t1);
         }
     };
+    const auto in_window = [&] {
+        return cursor >= window_base_ && cursor < window_base_ + window_.size() &&
+               window_[static_cast<std::size_t>(cursor - window_base_)].loaded;
+    };
     for (;;) {
         if (aborted_) {
             if (prefetch_error_) std::rethrow_exception(prefetch_error_);
             throw StreamAborted(name_);
         }
-        if (!window_.empty() && cursor >= window_.front().cursor &&
-            cursor < window_.front().cursor + window_.size()) {
-            auto data = window_[cursor - window_.front().cursor].data;
+        if (in_window()) {
+            std::shared_ptr<const StepData> data =
+                window_[static_cast<std::size_t>(cursor - window_base_)].data;
             note_wait_end();
             return data;
         }
@@ -578,28 +853,50 @@ std::shared_ptr<const StepData> Stream::acquire(std::uint64_t cursor) {
                    " queued=" + std::to_string(queue_ ? queue_->size() : 0) +
                    (writer_size_ == 0 ? " (no writer attached)" : "");
         }
-        check::wait_checked(reader_cv_, lock, check::WaitKind::StreamAcquire, what, [&] {
-            return aborted_ ||
-                   (!window_.empty() && cursor >= window_.front().cursor &&
-                    cursor < window_.front().cursor + window_.size()) ||
-                   (eos_ && cursor >= next_fetch_);
-        });
+        const auto pred = [&] {
+            return aborted_ || in_window() || (eos_ && cursor >= next_fetch_);
+        };
+        if (liveness_s_ > 0.0) {
+            if (!check::wait_checked_for(reader_cv_, lock,
+                                         check::WaitKind::StreamAcquire, what,
+                                         pred, liveness_s_)) {
+                note_wait_end();
+                // No writer progress for the whole liveness interval:
+                // presume the writer group hung/died rather than block this
+                // reader forever.
+                throw PeerLivenessError(
+                    "stream '" + name_ + "': no step at cursor " +
+                    std::to_string(cursor) + " within " +
+                    std::to_string(liveness_s_ * 1e3) + " ms" +
+                    (writer_size_ == 0 ? " (no writer attached)" : ""));
+            }
+        } else {
+            check::wait_checked(reader_cv_, lock, check::WaitKind::StreamAcquire,
+                                what, pred);
+        }
     }
 }
 
 void Stream::release(std::uint64_t cursor) {
     std::lock_guard lock(mu_);
     if (aborted_) return;
-    if (window_.empty() || cursor < window_.front().cursor ||
-        cursor >= window_.front().cursor + window_.size()) {
+    // A rank of a detached (dead) incarnation racing its own teardown must
+    // not acknowledge steps the replacement group still needs.
+    if (reader_detached_) return;
+    if (cursor < window_base_ || cursor >= window_base_ + window_.size()) {
         throw std::logic_error("stream '" + name_ + "': release without matching acquire");
     }
-    ++window_[cursor - window_.front().cursor].released;
+    ++window_[static_cast<std::size_t>(cursor - window_base_)].released;
     bool retired = false;
     // Ranks release their cursors in order, so fully-released steps form a
     // prefix of the window and retirement stays in cursor order.
-    while (!window_.empty() && window_.front().released == reader_size_) {
+    while (!window_.empty() && window_.front().released >= reader_size_) {
+        InFlight& front = window_.front();
+        if (entry_has_payload(*this, front.data, front.loaded)) {
+            --window_payloads_;
+        }
         window_.pop_front();
+        ++window_base_;
         ins_.steps_retired->inc();
         retired = true;
     }
@@ -609,6 +906,16 @@ void Stream::release(std::uint64_t cursor) {
         }
         prefetch_cv_.notify_one();  // window space freed; only the prefetcher cares
     }
+}
+
+bool Stream::reader_detached() const {
+    std::lock_guard lock(mu_);
+    return reader_detached_;
+}
+
+std::uint64_t Stream::steps_lost() const {
+    std::lock_guard lock(mu_);
+    return lost_steps_;
 }
 
 std::size_t Stream::queued_steps() const {

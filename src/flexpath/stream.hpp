@@ -102,6 +102,11 @@ struct StepData {
     /// Reader-side copy plans compiled under one generation stay valid for
     /// every step carrying the same generation.
     std::uint64_t layout_gen = 0;
+    /// True when the step's data was dropped under OnDataLoss::ZeroFill:
+    /// metadata (shapes, labels, attributes) is intact but every read
+    /// returns zeros (ReaderPort::step_lossy / adios::Reader::step_data_lost
+    /// let components tell).
+    bool lossy = false;
 
     /// The decoded metadata packet, decoded lazily on first access and
     /// shared by every reader rank of the step (one decode per step, not
@@ -109,8 +114,13 @@ struct StepData {
     const StepMeta& decoded_meta() const;
 
 private:
+    // Explicit mutex + flag rather than std::call_once: decode can throw
+    // (corrupt packet, injected ffs.decode fault), and the next caller must
+    // retry — exceptional call_once retry deadlocks under TSan's
+    // interceptors.
     struct MetaCache {
-        std::once_flag once;
+        std::mutex mu;
+        bool decoded = false;
         StepMeta meta;
     };
     std::shared_ptr<MetaCache> meta_cache_ = std::make_shared<MetaCache>();
@@ -127,6 +137,14 @@ struct Contribution {
     std::map<std::string, std::vector<Block>> blocks;
     std::map<std::string, std::vector<std::string>> string_attrs;
     std::map<std::string, double> double_attrs;
+};
+
+/// What a stream does when a detached reader's retention bound is exceeded
+/// and un-acknowledged steps must be dropped (docs/RESILIENCE.md).
+enum class OnDataLoss {
+    Fail,      // never drop: the writer blocks (or trips its liveness timeout)
+    Skip,      // drop the oldest retained step; readers never see it
+    ZeroFill,  // keep the step's metadata, replace its data with zeros
 };
 
 struct StreamOptions {
@@ -157,11 +175,34 @@ struct StreamOptions {
     /// here wins over the env var (tests pin semantics this way).  Memory
     /// cost: up to read_ahead assembled steps held reader-side.
     std::size_t read_ahead = 0;
+
+    /// While the reader group is detached (component restart), the stream
+    /// keeps pulling completed steps into the retained window so the writer
+    /// is not stalled; at most read_ahead + retain_steps of them are held
+    /// *in memory*.  Spooled streams (spool_dir set) keep further steps
+    /// parked on disk instead — replay material is then bounded by disk,
+    /// not by this knob.  Past the bound, `on_data_loss` decides.
+    std::size_t retain_steps = 8;
+
+    /// Degradation policy when retention is exhausted (see OnDataLoss).
+    OnDataLoss on_data_loss = OnDataLoss::Fail;
+
+    /// Writer/reader liveness timeout in milliseconds: a submit blocked on
+    /// a full queue or an acquire blocked on a silent writer group longer
+    /// than this throws PeerLivenessError instead of waiting forever —
+    /// converting a hung peer into a detected failure the supervisor can
+    /// act on.  0 disables; negative (default) resolves SB_LIVENESS_MS
+    /// (unset/"off"/"0" = disabled).
+    double liveness_ms = -1.0;
 };
 
 /// The window depth `opts` resolves to (explicit value, else SB_READ_AHEAD,
 /// else 2); always >= 1.
 std::size_t resolve_read_ahead(const StreamOptions& opts);
+
+/// The liveness timeout `opts` resolves to, in seconds (explicit value, else
+/// SB_LIVENESS_MS); 0 = disabled.
+double resolve_liveness_seconds(const StreamOptions& opts);
 
 /// Thrown out of blocked stream operations when a workflow peer failed and
 /// the fabric was aborted (so no component hangs on a dead neighbour).
@@ -169,6 +210,16 @@ class StreamAborted : public std::runtime_error {
 public:
     explicit StreamAborted(const std::string& stream)
         : std::runtime_error("stream '" + stream + "' aborted") {}
+};
+
+/// Thrown out of a blocked submit/acquire when the liveness timeout
+/// (StreamOptions::liveness_ms / SB_LIVENESS_MS) expired: the peer group
+/// made no progress for the configured interval and is presumed hung or
+/// dead.  The workflow supervisor treats it like any other component
+/// failure (restart or root-cause propagation).
+class PeerLivenessError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
 };
 
 /// A named stream connecting one writer group to one reader group.
@@ -197,9 +248,42 @@ public:
     /// of stream propagates to the readers.
     void close_writer(int rank);
 
+    /// Rolls the writer side back to the last fully assembled step after a
+    /// writer-group incarnation died: partial per-rank submissions are
+    /// discarded, submit counters rewind to the assembly frontier, and
+    /// close counts reset, so a relaunched group resumes submitting step
+    /// writer_resume_step() consistently.  With `source_replays_from_zero`
+    /// (a component with no input streams regenerates its deterministic
+    /// sequence from step 0), the first writer_resume_step() submissions of
+    /// each rank are additionally suppressed instead of re-queued.
+    void detach_writer(bool source_replays_from_zero);
+
+    /// The step index a relaunched writer group's next accepted submission
+    /// will be assigned (i.e. the number of fully assembled steps so far).
+    std::uint64_t writer_resume_step() const;
+
     // ---- reader side -----------------------------------------------------
     /// Called once per reader rank; first call fixes the reader group size.
-    void attach_reader(int nranks);
+    /// Returns the cursor this rank must start acquiring from: 0 on first
+    /// attach, or — after detach_reader() — the oldest un-acknowledged
+    /// (retained) step, so a replacement reader group replays everything
+    /// the failed one never finished.
+    std::uint64_t attach_reader(int nranks);
+
+    /// Detaches the reader group after its component incarnation died: all
+    /// partial acknowledgements on in-flight steps are voided (a step is
+    /// replayed in full unless *every* rank had released it), retention
+    /// mode begins (see StreamOptions::retain_steps), and a later
+    /// attach_reader() resumes from the oldest retained step.  Idempotent;
+    /// a replacement group may attach with a different rank count.
+    void detach_reader();
+
+    /// Force-acknowledges every retained step below `cursor` (supervisor
+    /// alignment: a restarted middle component whose *output* stream
+    /// already holds steps through cursor-1 must not consume the inputs
+    /// that produced them again).  Throws if steps beyond the fetched
+    /// window would have to be skipped.
+    void skip_reader_to(std::uint64_t cursor);
 
     /// Blocks until the step at this rank's cursor is available.  All
     /// reader ranks observe the same sequence of steps, but ranks need not
@@ -226,6 +310,10 @@ public:
     std::size_t read_ahead() const;
     /// Steps currently held in the reader-side window.
     std::size_t in_flight_steps() const;
+    /// Whether the reader group is currently detached (retention mode).
+    bool reader_detached() const;
+    /// Steps dropped (skipped or zero-filled) under the data-loss policy.
+    std::uint64_t steps_lost() const;
 
 private:
     const std::string name_;
@@ -253,6 +341,11 @@ private:
     int writers_closed_ = 0;
     std::uint64_t next_step_ = 0;  // next step to assemble and queue
     std::unique_ptr<util::BoundedQueue<StepData>> queue_;
+    double liveness_s_ = 0.0;  // resolved liveness timeout; 0 = disabled
+    // Replay suppression for restarted sources: per writer rank, how many
+    // leading re-submissions (the deterministic regeneration of steps the
+    // stream already assembled) to drop without assigning them a step.
+    std::vector<std::uint64_t> replay_drop_;
 
     // Writer-layout tracking for StepData::layout_gen: the previous step's
     // per-variable (shape, sorted block boxes) signature.
@@ -267,14 +360,22 @@ private:
     // rank releases its cursors in order.
     struct InFlight {
         std::uint64_t cursor = 0;  // reader-sequence index of this step
-        std::shared_ptr<const StepData> data;
+        std::shared_ptr<StepData> data;
         int released = 0;  // reader ranks that released this step
+        /// False while the step's blocks are still parked in the spool
+        /// (retention mode defers the reload until a reader reattaches).
+        bool loaded = true;
     };
     int reader_size_ = 0;  // 0 until attached
     std::deque<InFlight> window_;
+    std::uint64_t window_base_ = 0;  // cursor of window_.front() (live even when empty)
+    std::size_t window_payloads_ = 0;  // entries holding in-memory block data
+    bool reader_detached_ = false;     // retention mode (between detach/reattach)
+    double detach_t0_ = 0.0;           // when the reader detached (trace slice)
     std::size_t read_ahead_ = 0;   // resolved window depth; 0 until attach_writer
     std::uint64_t next_fetch_ = 0; // cursor the prefetcher fetches next
     std::uint64_t demand_ = 0;     // 1 + highest cursor any rank has asked for
+    std::uint64_t lost_steps_ = 0; // steps dropped under the data-loss policy
     bool eos_ = false;             // queue drained: no step at cursor >= next_fetch_
     bool aborted_ = false;
     bool shutdown_ = false;        // destructor tearing the prefetcher down
@@ -293,6 +394,12 @@ private:
 
     void merge_locked(Contribution& dst, Contribution&& c);
     StepData assemble_locked(std::uint64_t step);
+    /// Drops retained data (detached mode, retention bound hit) per the
+    /// data-loss policy until an in-memory payload slot is free.
+    void shed_retained_locked();
+    /// Loads `item`'s spooled blocks back into memory and removes the spool
+    /// file.  Runs off mu_ (prefetcher only); throws on I/O/decode failure.
+    void load_spooled(StepData& item, bool instr);
 
     // Observability instruments, resolved once per stream (label stream=name)
     // from the global registry in the constructor; the registry guarantees
@@ -301,6 +408,9 @@ private:
     struct Instruments {
         obs::Counter* steps_assembled = nullptr;
         obs::Counter* steps_retired = nullptr;
+        obs::Counter* steps_replayed = nullptr;
+        obs::Counter* steps_skipped = nullptr;
+        obs::Counter* replay_suppressed = nullptr;
         obs::Counter* aborts = nullptr;
         obs::Counter* spool_bytes_written = nullptr;
         obs::Counter* spool_bytes_read = nullptr;

@@ -1,5 +1,7 @@
 #include "flexpath/writer.hpp"
 
+#include <exception>
+
 #include "obs/metrics.hpp"
 
 namespace sb::flexpath {
@@ -15,6 +17,15 @@ WriterPort::WriterPort(Fabric& fabric, const std::string& stream_name, int rank,
 }
 
 WriterPort::~WriterPort() {
+    // Unwinding out of a failed component must not look like an orderly
+    // close: counting this rank toward writers_closed would signal a false
+    // end-of-stream (or trip the incomplete-step check) before the
+    // supervisor decides whether to restart.  Abandon instead — the
+    // supervisor's detach_writer() rolls the stream back.
+    if (std::uncaught_exceptions() > 0) {
+        closed_ = true;
+        return;
+    }
     try {
         close();
     } catch (...) {

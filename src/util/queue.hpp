@@ -24,6 +24,21 @@
 
 namespace sb::util {
 
+/// Thrown by push()/try_push_for() once the queue is closed.  Typed (and
+/// named) so workflow supervision can tell orderly teardown — a peer
+/// aborted the stream and closed its queue — from a logic bug pushing into
+/// a queue that was never meant to close.
+class QueueAborted : public std::runtime_error {
+public:
+    explicit QueueAborted(const std::string& name)
+        : std::runtime_error("queue '" + name + "' closed: push rejected"),
+          name_(name) {}
+    const std::string& queue_name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+};
+
 template <typename T>
 class BoundedQueue {
 public:
@@ -38,25 +53,63 @@ public:
     BoundedQueue(const BoundedQueue&) = delete;
     BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-    /// Blocks until there is room (or the queue is closed).  Returns false
-    /// if the queue was closed and the item was not enqueued.
-    bool push(T item) {
+    /// Blocks until there is room, then enqueues.  Throws QueueAborted if
+    /// the queue was closed before the push was accepted (rendezvous mode:
+    /// before the item was taken by a consumer).
+    void push(T item) {
         std::unique_lock lock(mu_);
         if (capacity_ == 0) {
             // Rendezvous: enqueue, then wait for the item to be taken.
-            if (closed_) return false;
+            if (closed_) throw QueueAborted(name_);
             q_.push_back(std::move(item));
             const std::uint64_t my_seq = ++pushed_;
             not_empty_.notify_all();
             timed_wait(popped_cv_, lock, blocked_push_s_, blocked_pushes_,
                        check::WaitKind::QueuePush,
                        [&] { return closed_ || popped_ >= my_seq; });
-            return popped_ >= my_seq;
+            if (popped_ < my_seq) throw QueueAborted(name_);
+            return;
         }
         timed_wait(not_full_, lock, blocked_push_s_, blocked_pushes_,
                    check::WaitKind::QueuePush,
                    [&] { return closed_ || q_.size() < capacity_; });
-        if (closed_) return false;
+        if (closed_) throw QueueAborted(name_);
+        q_.push_back(std::move(item));
+        not_empty_.notify_one();
+    }
+
+    /// push() with a deadline: blocks at most `seconds` for room.  Returns
+    /// true on success; false on timeout, leaving `item` intact so the
+    /// caller can report or retry.  Throws QueueAborted when closed.
+    /// Rendezvous queues (capacity 0) have no bounded-wait semantics and
+    /// fall back to the blocking push.
+    bool try_push_for(T& item, double seconds) {
+        std::unique_lock lock(mu_);
+        if (capacity_ == 0) {
+            lock.unlock();
+            push(std::move(item));
+            return true;
+        }
+        bool ok = closed_ || q_.size() < capacity_;
+        if (!ok) {
+            std::string what;
+            if (check::enabled()) {
+                what = "queue '" + name_ + "' push (deadline " +
+                       std::to_string(seconds) + "s) size=" +
+                       std::to_string(q_.size()) + "/cap=" +
+                       std::to_string(capacity_);
+            }
+            const auto t0 = std::chrono::steady_clock::now();
+            ok = check::wait_checked_for(
+                not_full_, lock, check::WaitKind::QueuePush, what,
+                [&] { return closed_ || q_.size() < capacity_; }, seconds);
+            blocked_push_s_ +=
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            ++blocked_pushes_;
+        }
+        if (!ok) return false;
+        if (closed_) throw QueueAborted(name_);
         q_.push_back(std::move(item));
         not_empty_.notify_one();
         return true;

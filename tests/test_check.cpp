@@ -309,7 +309,7 @@ TEST_F(CheckTest, StallReportKeepsWaitingAndRecovers) {
         EXPECT_EQ(q.pop().value(), 7);
     });
     std::this_thread::sleep_for(std::chrono::milliseconds(150));
-    ASSERT_TRUE(q.push(7));
+    q.push(7);
     consumer.join();
 
     EXPECT_EQ(chk::diagnostic_count(chk::Kind::Stall), 1u);

@@ -1,0 +1,507 @@
+// Tests for sb::fault (deterministic fault injection) and for workflow
+// supervision: component restart with stream replay, source replay
+// suppression, restart exhaustion, and secondary-error collection — the
+// chaos suite behind docs/RESILIENCE.md.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/component.hpp"
+#include "core/registry.hpp"
+#include "core/workflow.hpp"
+#include "fault/fault.hpp"
+#include "flexpath/reader.hpp"
+#include "flexpath/stream.hpp"
+#include "flexpath/writer.hpp"
+#include "obs/metrics.hpp"
+
+namespace core = sb::core;
+namespace fp = sb::flexpath;
+namespace u = sb::util;
+namespace ft = sb::fault;
+
+namespace {
+
+double counter_total(const std::string& name) {
+    return sb::obs::Registry::global().total(name);
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string tmp(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+}
+
+/// Every test disarms on exit so an injected schedule never leaks into the
+/// next case (the registry is process-wide).
+class FaultTest : public ::testing::Test {
+protected:
+    void TearDown() override { ft::Registry::global().disarm_all(); }
+};
+
+// ---- chaos components ------------------------------------------------------
+
+/// Deterministic source: `steps` steps of a 1-D "v" array, f(t, i) stamped.
+/// Regenerates the identical sequence on every (re)start — the property the
+/// stream-side replay suppression relies on.
+class ChaosSource final : public core::Component {
+public:
+    std::string name() const override { return "chaos_source"; }
+    std::string usage() const override {
+        return "chaos_source out-stream-name num-steps [len]";
+    }
+    core::Ports ports(const u::ArgList& args) const override {
+        args.require_at_least(2, usage());
+        return core::Ports{{}, {args.str(0, "out-stream-name")}};
+    }
+    void run(core::RunContext& ctx, const u::ArgList& args) override {
+        args.require_at_least(2, usage());
+        const std::string out = args.str(0, "out-stream-name");
+        const std::uint64_t steps = args.unsigned_integer(1, "num-steps");
+        const std::uint64_t len =
+            args.size() > 2 ? args.unsigned_integer(2, "len") : 16;
+        fp::WriterPort port(ctx.fabric, out, ctx.comm.rank(), ctx.comm.size(),
+                            ctx.stream_options);
+        for (std::uint64_t t = 0; t < steps; ++t) {
+            port.declare(
+                fp::VarDecl{"v", fp::DataKind::Float64, u::NdShape{len}, {}});
+            std::vector<double> v(len);
+            for (std::uint64_t i = 0; i < len; ++i) {
+                v[i] = static_cast<double>(t * 100 + i) * 0.25;
+            }
+            port.put<double>("v", u::Box({0}, {len}), v);
+            port.end_step();
+            // The "component.step" fault point fires here (record_step),
+            // after the step was submitted — modelling a rank that dies
+            // between publishing and bookkeeping.
+            core::record_step(ctx, t, 0.0, 0, len * sizeof(double));
+        }
+        port.close();
+    }
+};
+
+/// Middle component: reads 1-D "v", writes 2*v.  Publishes its output step
+/// *before* acknowledging the input step, so a crash between the two leaves
+/// exactly the state the supervisor's skip_reader_to alignment handles.
+class ChaosDouble final : public core::Component {
+public:
+    std::string name() const override { return "chaos_double"; }
+    std::string usage() const override {
+        return "chaos_double in-stream-name out-stream-name";
+    }
+    core::Ports ports(const u::ArgList& args) const override {
+        args.require_at_least(2, usage());
+        return core::Ports{{args.str(0, "in-stream-name")},
+                           {args.str(1, "out-stream-name")}};
+    }
+    void run(core::RunContext& ctx, const u::ArgList& args) override {
+        args.require_at_least(2, usage());
+        fp::ReaderPort in(ctx.fabric, args.str(0, "in-stream-name"),
+                          ctx.comm.rank(), ctx.comm.size());
+        fp::WriterPort out(ctx.fabric, args.str(1, "out-stream-name"),
+                           ctx.comm.rank(), ctx.comm.size(), ctx.stream_options);
+        while (in.begin_step()) {
+            const fp::VarDecl& decl = in.var("v");
+            auto v = in.read<double>("v", u::Box::whole(decl.global_shape));
+            for (double& x : v) x *= 2.0;
+            out.declare(
+                fp::VarDecl{"v", fp::DataKind::Float64, decl.global_shape, {}});
+            out.put<double>("v", u::Box::whole(decl.global_shape), v);
+            out.end_step();
+            core::record_step(ctx, in.current_step(), 0.0,
+                              v.size() * sizeof(double),
+                              v.size() * sizeof(double));
+            in.end_step();
+        }
+        out.close();
+    }
+};
+
+/// Fails immediately with a distinct, typed error (no streams touched).
+class Failer final : public core::Component {
+public:
+    std::string name() const override { return "chaos_failer"; }
+    std::string usage() const override { return "chaos_failer message"; }
+    core::Ports ports(const u::ArgList&) const override {
+        return core::Ports{{}, {}};
+    }
+    void run(core::RunContext&, const u::ArgList& args) override {
+        throw std::domain_error(args.str(0, "message"));
+    }
+};
+
+void register_chaos_components() {
+    core::register_component("chaos_source",
+                             [] { return std::make_unique<ChaosSource>(); });
+    core::register_component("chaos_double",
+                             [] { return std::make_unique<ChaosDouble>(); });
+    core::register_component("chaos_failer",
+                             [] { return std::make_unique<Failer>(); });
+}
+
+}  // namespace
+
+// ---- SB_FAULT grammar ------------------------------------------------------
+
+TEST(FaultSpec, ParsesPlainThrow) {
+    const ft::FaultSpec s = ft::parse_spec("flexpath.acquire=throw");
+    EXPECT_EQ(s.point, "flexpath.acquire");
+    EXPECT_EQ(s.action, ft::Action::Throw);
+    EXPECT_EQ(s.at_hit, 0u);
+    EXPECT_LT(s.probability, 0.0);
+    EXPECT_EQ(s.max_fires, 1u);  // throws default to one fire
+}
+
+TEST(FaultSpec, ParsesScopeAndAtHit) {
+    const ft::FaultSpec s = ft::parse_spec("flexpath.acquire:velos.fp=crash@5");
+    EXPECT_EQ(s.point, "flexpath.acquire:velos.fp");
+    EXPECT_EQ(s.action, ft::Action::Crash);
+    EXPECT_EQ(s.at_hit, 5u);
+}
+
+TEST(FaultSpec, ParsesDelayWithProbabilityAndMaxFires) {
+    const ft::FaultSpec s = ft::parse_spec(" ffs.decode = delay:12.5%0.25x3 ");
+    EXPECT_EQ(s.point, "ffs.decode");
+    EXPECT_EQ(s.action, ft::Action::Delay);
+    EXPECT_DOUBLE_EQ(s.delay_ms, 12.5);
+    EXPECT_DOUBLE_EQ(s.probability, 0.25);
+    EXPECT_EQ(s.max_fires, 3u);
+}
+
+TEST(FaultSpec, DelayDefaultsToUnlimitedFires) {
+    EXPECT_EQ(ft::parse_spec("p=delay:1").max_fires, 0u);
+}
+
+TEST(FaultSpec, AtHitWinsOverProbability) {
+    const ft::FaultSpec s = ft::parse_spec("p=throw@3%0.5");
+    EXPECT_EQ(s.at_hit, 3u);
+    EXPECT_LT(s.probability, 0.0);
+}
+
+TEST(FaultSpec, MalformedEntriesThrow) {
+    EXPECT_THROW((void)ft::parse_spec("no-equals"), std::invalid_argument);
+    EXPECT_THROW((void)ft::parse_spec("=throw"), std::invalid_argument);
+    EXPECT_THROW((void)ft::parse_spec("p=explode"), std::invalid_argument);
+    EXPECT_THROW((void)ft::parse_spec("p=throw@"), std::invalid_argument);
+    EXPECT_THROW((void)ft::parse_spec("p=throw%zz"), std::invalid_argument);
+    EXPECT_THROW((void)ft::parse_spec("p=throwx"), std::invalid_argument);
+}
+
+// ---- registry behaviour ----------------------------------------------------
+
+TEST_F(FaultTest, NothingArmedIsFree) {
+    EXPECT_FALSE(ft::Registry::global().any_armed());
+    ft::hit("some.point", "scope");  // must be a no-op, not a crash
+}
+
+TEST_F(FaultTest, AtHitFiresExactlyOnce) {
+    auto& reg = ft::Registry::global();
+    reg.arm_from_env("unit.p=throw@3");
+    ft::hit("unit.p");
+    ft::hit("unit.p");
+    EXPECT_THROW(ft::hit("unit.p"), ft::InjectedFault);  // the 3rd hit
+    for (int i = 0; i < 5; ++i) ft::hit("unit.p");       // spent: max_fires=1
+    EXPECT_EQ(reg.hits("unit.p"), 8u);
+    EXPECT_EQ(reg.fires("unit.p"), 1u);
+}
+
+TEST_F(FaultTest, CrashThrowsInjectedCrash) {
+    ft::Registry::global().arm_from_env("unit.crash=crash@1");
+    try {
+        ft::hit("unit.crash");
+        FAIL() << "expected InjectedCrash";
+    } catch (const ft::InjectedCrash& e) {
+        // The message names the point and the firing hit.
+        EXPECT_NE(std::string(e.what()).find("unit.crash"), std::string::npos);
+    }
+}
+
+TEST_F(FaultTest, MaxFiresBoundsRepeatedFiring) {
+    auto& reg = ft::Registry::global();
+    reg.arm_from_env("unit.x=throw@0x2");  // every hit eligible, two fires max
+    int thrown = 0;
+    for (int i = 0; i < 6; ++i) {
+        try {
+            ft::hit("unit.x");
+        } catch (const ft::InjectedFault&) {
+            ++thrown;
+        }
+    }
+    EXPECT_EQ(thrown, 2);
+    EXPECT_EQ(reg.fires("unit.x"), 2u);
+}
+
+TEST_F(FaultTest, ScopeNarrowsThePoint) {
+    auto& reg = ft::Registry::global();
+    reg.arm_from_env("unit.scoped:velos.fp=throw@0x0");
+    ft::hit("unit.scoped", "other.fp");  // scope mismatch: no fire
+    ft::hit("unit.scoped");              // no scope: no fire
+    EXPECT_THROW(ft::hit("unit.scoped", "velos.fp"), ft::InjectedFault);
+    EXPECT_EQ(reg.fires("unit.scoped:velos.fp"), 1u);
+}
+
+TEST_F(FaultTest, TrailingStarPrefixMatches) {
+    ft::Registry::global().arm_from_env("flexpath.*=throw@0x0");
+    ft::hit("component.step", "histogram");  // different prefix: no fire
+    EXPECT_THROW(ft::hit("flexpath.publish", "any.fp"), ft::InjectedFault);
+    EXPECT_THROW(ft::hit("flexpath.acquire"), ft::InjectedFault);
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicUnderSeed) {
+    auto& reg = ft::Registry::global();
+    const auto pattern = [&](std::uint64_t seed) {
+        reg.disarm_all();
+        reg.set_seed(seed);
+        reg.arm_from_env("unit.prob=throw%0.3x0");
+        std::vector<bool> fired;
+        for (int i = 0; i < 200; ++i) {
+            try {
+                ft::hit("unit.prob");
+                fired.push_back(false);
+            } catch (const ft::InjectedFault&) {
+                fired.push_back(true);
+            }
+        }
+        return fired;
+    };
+    const auto a = pattern(42), b = pattern(42), c = pattern(43);
+    EXPECT_EQ(a, b);  // identical schedule: chaos tests replay exactly
+    EXPECT_NE(a, c);  // a different seed fires a different schedule
+    const auto fires = static_cast<std::size_t>(
+        std::count(a.begin(), a.end(), true));
+    EXPECT_GT(fires, 20u);  // ~60 expected at p=0.3
+    EXPECT_LT(fires, 120u);
+}
+
+TEST_F(FaultTest, ArmFromEnvParsesMultipleEntriesAndSeed) {
+    auto& reg = ft::Registry::global();
+    EXPECT_EQ(reg.arm_from_env(nullptr), 0u);
+    EXPECT_EQ(reg.arm_from_env(""), 0u);
+    // A benign schedule (what the CI fault leg exports): seed only.
+    EXPECT_EQ(reg.arm_from_env("seed=7"), 0u);
+    EXPECT_FALSE(reg.any_armed());
+    EXPECT_EQ(reg.arm_from_env("seed=9; unit.a=throw@1, unit.b=delay:1"), 2u);
+    EXPECT_TRUE(reg.any_armed());
+    EXPECT_THROW((void)reg.arm_from_env("unit.bad=?"), std::invalid_argument);
+}
+
+TEST_F(FaultTest, DisarmAllStopsFiringAndResetsCounts) {
+    auto& reg = ft::Registry::global();
+    reg.arm_from_env("unit.d=throw@1");
+    EXPECT_THROW(ft::hit("unit.d"), ft::InjectedFault);
+    reg.disarm_all();
+    EXPECT_FALSE(reg.any_armed());
+    ft::hit("unit.d");  // disarmed: no throw
+    EXPECT_EQ(reg.hits("unit.d"), 0u);
+    EXPECT_EQ(reg.fires("unit.d"), 0u);
+}
+
+// ---- chaos: supervised workflows -------------------------------------------
+
+// Acceptance scenario 1: the sink component crashes mid-stream (its third
+// acquire throws); the supervisor relaunches it, the input stream replays
+// every un-acknowledged step, and the output file is bit-identical to a
+// fault-free run.
+TEST_F(FaultTest, ReaderCrashRestartProducesBitIdenticalOutput) {
+    register_chaos_components();
+
+    const std::string ref_file = tmp("chaos_ref_hist.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("chaos_source", 1, {"chaos.ref.fp", "6"});
+        wf.add("histogram", 1, {"chaos.ref.fp", "v", "8", ref_file});
+        wf.run();
+    }
+
+    ft::Registry::global().arm_from_env(
+        "seed=7; flexpath.acquire:chaos.data.fp=throw@3");
+    const std::string out_file = tmp("chaos_restart_hist.txt");
+    const double restarts0 = counter_total("workflow.component_restarts");
+    const double replayed0 = counter_total("flexpath.steps_replayed");
+
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_source", 1, {"chaos.data.fp", "6"});
+    wf.add("histogram", 1, {"chaos.data.fp", "v", "8", out_file});
+    wf.set_restart_policy(core::RestartPolicy::on_failure(2));
+    wf.run();  // must complete despite the injected crash
+
+    EXPECT_EQ(wf.restarts(0), 0);
+    EXPECT_EQ(wf.restarts(1), 1);
+    EXPECT_EQ(counter_total("workflow.component_restarts") - restarts0, 1.0);
+    EXPECT_GT(counter_total("flexpath.steps_replayed") - replayed0, 0.0);
+    EXPECT_EQ(slurp(out_file), slurp(ref_file));  // no loss, no duplication
+}
+
+// A restarted *source* regenerates its deterministic sequence from step 0;
+// the stream suppresses the re-submissions of already-assembled steps, so
+// the downstream output is still bit-identical.
+TEST_F(FaultTest, SourceRestartReplayIsSuppressed) {
+    register_chaos_components();
+
+    const std::string ref_file = tmp("chaos_src_ref_hist.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("chaos_source", 1, {"chaos.sref.fp", "5"});
+        wf.add("histogram", 1, {"chaos.sref.fp", "v", "8", ref_file});
+        wf.run();
+    }
+
+    // The source dies in its step-2 bookkeeping — after publishing steps 0
+    // and 1.
+    ft::Registry::global().arm_from_env(
+        "seed=7; component.step:chaos_source=throw@2");
+    const std::string out_file = tmp("chaos_src_hist.txt");
+    const double suppressed0 = counter_total("flexpath.replay_suppressed");
+
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_source", 1, {"chaos.src.fp", "5"});
+    wf.add("histogram", 1, {"chaos.src.fp", "v", "8", out_file});
+    wf.set_restart_policy(core::RestartPolicy::on_failure(2));
+    wf.run();
+
+    EXPECT_EQ(wf.restarts(0), 1);
+    // Steps 0 and 1 were already assembled; their regeneration was dropped.
+    EXPECT_EQ(counter_total("flexpath.replay_suppressed") - suppressed0, 2.0);
+    EXPECT_EQ(slurp(out_file), slurp(ref_file));
+}
+
+// A restarted *middle* component must neither lose nor duplicate steps: its
+// output stream rolls back to the last assembled step and the matching
+// input steps are force-acknowledged (skip_reader_to), not replayed.
+TEST_F(FaultTest, MiddleComponentRestartNeitherLosesNorDuplicates) {
+    register_chaos_components();
+
+    const std::string ref_file = tmp("chaos_mid_ref_hist.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("chaos_source", 1, {"chaos.mref.fp", "6"});
+        wf.add("chaos_double", 1, {"chaos.mref.fp", "chaos.mref2.fp"});
+        wf.add("histogram", 1, {"chaos.mref2.fp", "v", "8", ref_file});
+        wf.run();
+    }
+
+    // Crash between publishing output step 1 and acknowledging input step 1.
+    ft::Registry::global().arm_from_env(
+        "seed=7; component.step:chaos_double=throw@2");
+    const std::string out_file = tmp("chaos_mid_hist.txt");
+
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_source", 1, {"chaos.mid.fp", "6"});
+    wf.add("chaos_double", 1, {"chaos.mid.fp", "chaos.mid2.fp"});
+    wf.add("histogram", 1, {"chaos.mid2.fp", "v", "8", out_file});
+    wf.set_restart_policy(core::RestartPolicy::on_failure(2));
+    wf.run();
+
+    EXPECT_EQ(wf.restarts(1), 1);
+    EXPECT_EQ(slurp(out_file), slurp(ref_file));
+}
+
+// When restarts are exhausted the root cause propagates with its original
+// type, and the restart count is visible.
+TEST_F(FaultTest, RestartExhaustionPropagatesRootCause) {
+    register_chaos_components();
+    const double restarts0 = counter_total("workflow.component_restarts");
+
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_failer", 1, {"deterministic bug"});
+    wf.set_restart_policy(core::RestartPolicy::on_failure(2));
+    try {
+        wf.run();
+        FAIL() << "expected the failure to propagate";
+    } catch (const std::domain_error& e) {  // original type preserved
+        EXPECT_NE(std::string(e.what()).find("deterministic bug"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(wf.restarts(0), 2);
+    EXPECT_EQ(counter_total("workflow.component_restarts") - restarts0, 2.0);
+}
+
+// RestartPolicy::never (the default) keeps the seed's fail-fast behaviour.
+TEST_F(FaultTest, NeverPolicyFailsFast) {
+    register_chaos_components();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_failer", 1, {"fatal"});
+    EXPECT_THROW(wf.run(), std::domain_error);
+    EXPECT_EQ(wf.restarts(0), 0);
+}
+
+// Per-instance policies override the workflow-wide one.
+TEST_F(FaultTest, PerInstancePolicyOverridesWorkflowPolicy) {
+    register_chaos_components();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_failer", 1, {"always fails"});
+    wf.set_restart_policy(core::RestartPolicy::on_failure(3));
+    wf.set_restart_policy(0, core::RestartPolicy::never());
+    EXPECT_THROW(wf.run(), std::domain_error);
+    EXPECT_EQ(wf.restarts(0), 0);
+}
+
+// Two instances failing for distinct reasons: the first is the root cause,
+// the second is collected — not silently dropped — in WorkflowError.
+TEST_F(FaultTest, DistinctFailuresCollectSecondaryErrors) {
+    register_chaos_components();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_failer", 1, {"first failure"});
+    wf.add("chaos_failer", 1, {"second failure"});
+    try {
+        wf.run();
+        FAIL() << "expected WorkflowError";
+    } catch (const core::WorkflowError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("failure"), std::string::npos);
+        EXPECT_NE(what.find("suppressed secondary"), std::string::npos);
+        ASSERT_EQ(e.suppressed().size(), 1u);
+        // One of the two messages is the root cause, the other suppressed.
+        EXPECT_NE(e.suppressed()[0].find("failure"), std::string::npos);
+        EXPECT_NE(e.suppressed()[0], what);
+    }
+}
+
+// An injected decode fault surfaces as a component failure the supervisor
+// can restart — exercising the ffs.decode point end to end.
+TEST_F(FaultTest, DecodeFaultIsRecoverable) {
+    register_chaos_components();
+
+    const std::string ref_file = tmp("chaos_dec_ref_hist.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("chaos_source", 1, {"chaos.dref.fp", "4"});
+        wf.add("histogram", 1, {"chaos.dref.fp", "v", "8", ref_file});
+        wf.run();
+    }
+
+    // ffs.decode runs once per step (shared metadata decode) in the reader.
+    ft::Registry::global().arm_from_env("seed=7; ffs.decode=throw@2");
+    const std::string out_file = tmp("chaos_dec_hist.txt");
+
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("chaos_source", 1, {"chaos.dec.fp", "4"});
+    wf.add("histogram", 1, {"chaos.dec.fp", "v", "8", out_file});
+    wf.set_restart_policy(core::RestartPolicy::on_failure(2));
+    wf.run();
+
+    EXPECT_EQ(wf.restarts(1), 1);
+    EXPECT_EQ(slurp(out_file), slurp(ref_file));
+}

@@ -7,9 +7,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "flexpath/reader.hpp"
 #include "flexpath/stream.hpp"
 #include "flexpath/writer.hpp"
@@ -870,4 +872,367 @@ TEST(Pipeline, WritersMustAgreeOnDoubleAttrs) {
                                port.close();
                            }),
         std::logic_error);
+}
+
+// ---- resilience: detach/reattach, retention, replay, liveness --------------
+
+namespace {
+
+/// Single-rank, single-variable contribution: 4 doubles valued `val`.
+fp::Contribution simple_contrib(double val) {
+    fp::Contribution c;
+    c.var_decls["x"] = fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{4}, {}};
+    auto data = std::make_shared<std::vector<std::byte>>(4 * sizeof(double));
+    for (int k = 0; k < 4; ++k) {
+        std::memcpy(data->data() + k * sizeof(double), &val, sizeof(double));
+    }
+    c.blocks["x"].push_back(fp::Block{u::Box({0}, {4}), std::move(data)});
+    return c;
+}
+
+/// Disarms every injected fault on scope exit (test isolation).
+struct FaultGuard {
+    ~FaultGuard() { sb::fault::Registry::global().disarm_all(); }
+};
+
+}  // namespace
+
+// A reader incarnation dies after acknowledging two steps; the replacement
+// group replays every un-acknowledged step from the retained window with no
+// data loss.
+TEST(Resilience, DetachReattachReplaysUnacknowledged) {
+    fp::Fabric fabric;
+    fp::StreamOptions opts(16);
+    opts.read_ahead = 2;
+    opts.retain_steps = 8;
+    write_simple_steps(fabric, "replay", 10, opts);
+
+    auto stream = fabric.get("replay");
+    {
+        fp::ReaderPort reader(fabric, "replay", 0, 1);
+        for (std::uint64_t t = 0; t < 2; ++t) {
+            ASSERT_TRUE(reader.begin_step());
+            const auto v = reader.read<double>("x", u::Box({0}, {4}));
+            for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+            reader.end_step();
+        }
+    }  // the incarnation dies; steps 2..9 were never acknowledged
+    stream->detach_reader();
+    EXPECT_TRUE(stream->reader_detached());
+    // Retention mode keeps draining the writer: all eight remaining steps
+    // fit within read_ahead + retain_steps, so nothing is dropped.
+    ASSERT_TRUE(wait_until([&] { return stream->in_flight_steps() == 8; },
+                           std::chrono::seconds(10)));
+
+    const double replayed0 = counter_total("flexpath.steps_replayed");
+    fp::ReaderPort reader(fabric, "replay", 0, 1);
+    std::uint64_t t = 2;  // resumes from the oldest un-acknowledged step
+    while (reader.begin_step()) {
+        const auto v = reader.read<double>("x", u::Box({0}, {4}));
+        for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 10u);
+    EXPECT_EQ(counter_total("flexpath.steps_replayed") - replayed0, 8.0);
+    EXPECT_EQ(stream->steps_lost(), 0u);
+    EXPECT_FALSE(stream->reader_detached());
+}
+
+// OnDataLoss::Skip: when the retention bound is exhausted the oldest
+// retained steps are dropped, the replacement group resumes past them, and
+// the loss is counted exactly.
+TEST(Resilience, SkipPolicyDropsOldestRetained) {
+    fp::Fabric fabric;
+    fp::StreamOptions opts(16);
+    opts.read_ahead = 2;
+    opts.retain_steps = 2;  // in-memory bound: 4 payloads
+    opts.on_data_loss = fp::OnDataLoss::Skip;
+    write_simple_steps(fabric, "shed-skip", 10, opts);
+
+    auto stream = fabric.get("shed-skip");
+    {
+        fp::ReaderPort reader(fabric, "shed-skip", 0, 1);
+        for (std::uint64_t t = 0; t < 2; ++t) {
+            ASSERT_TRUE(reader.begin_step());
+            reader.end_step();
+        }
+    }
+    const double skipped0 = counter_total("flexpath.steps_skipped");
+    stream->detach_reader();
+    // Eight steps remain; four fit in memory, so exactly four are skipped.
+    ASSERT_TRUE(wait_until([&] { return stream->steps_lost() == 4; },
+                           std::chrono::seconds(10)));
+    ASSERT_TRUE(wait_until([&] { return stream->in_flight_steps() == 4; },
+                           std::chrono::seconds(10)));
+    EXPECT_EQ(counter_total("flexpath.steps_skipped") - skipped0, 4.0);
+
+    fp::ReaderPort reader(fabric, "shed-skip", 0, 1);
+    std::uint64_t t = 6;  // steps 2..5 were sacrificed
+    while (reader.begin_step()) {
+        EXPECT_FALSE(reader.step_lossy());
+        const auto v = reader.read<double>("x", u::Box({0}, {4}));
+        for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 10u);
+    EXPECT_EQ(stream->steps_lost(), 4u);
+}
+
+// OnDataLoss::ZeroFill: dropped steps keep their metadata and position in
+// the sequence; reads return zeros and the step is flagged lossy.
+TEST(Resilience, ZeroFillPolicyKeepsMetadata) {
+    fp::Fabric fabric;
+    fp::StreamOptions opts(16);
+    opts.read_ahead = 2;
+    opts.retain_steps = 2;
+    opts.on_data_loss = fp::OnDataLoss::ZeroFill;
+    write_simple_steps(fabric, "shed-zero", 10, opts);
+
+    auto stream = fabric.get("shed-zero");
+    {
+        fp::ReaderPort reader(fabric, "shed-zero", 0, 1);
+        for (std::uint64_t t = 0; t < 2; ++t) {
+            ASSERT_TRUE(reader.begin_step());
+            reader.end_step();
+        }
+    }
+    stream->detach_reader();
+    ASSERT_TRUE(wait_until([&] { return stream->steps_lost() == 4; },
+                           std::chrono::seconds(10)));
+    ASSERT_TRUE(wait_until([&] { return stream->in_flight_steps() == 8; },
+                           std::chrono::seconds(10)));
+
+    fp::ReaderPort reader(fabric, "shed-zero", 0, 1);
+    std::uint64_t t = 2;  // every step is still delivered, some without data
+    while (reader.begin_step()) {
+        const bool lossy = reader.step_lossy();
+        EXPECT_EQ(lossy, t < 6) << "step " << t;
+        // Metadata survives the data loss: the variable is fully described.
+        EXPECT_EQ(reader.var("x").global_shape, u::NdShape{4});
+        const auto v = reader.read<double>("x", u::Box({0}, {4}));
+        for (const double x : v) {
+            EXPECT_EQ(x, lossy ? 0.0 : static_cast<double>(t)) << "step " << t;
+        }
+        if (lossy) {
+            EXPECT_FALSE(
+                reader.try_read_view<double>("x", u::Box({0}, {4})).has_value());
+        }
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 10u);
+    EXPECT_EQ(stream->steps_lost(), 4u);
+}
+
+// A spooled stream spills retained steps to disk instead of shedding them:
+// detach/reattach replays everything even with a tiny in-memory bound.
+TEST(Resilience, SpooledRetentionParksReplayOnDisk) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "sb_test_spool_retain";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    fp::Fabric fabric;
+    fp::StreamOptions opts(16, dir.string());
+    opts.read_ahead = 2;
+    opts.retain_steps = 1;  // irrelevant: the spool holds replay material
+    opts.on_data_loss = fp::OnDataLoss::Skip;
+    write_simple_steps(fabric, "spool-retain", 6, opts);
+
+    auto stream = fabric.get("spool-retain");
+    {
+        fp::ReaderPort reader(fabric, "spool-retain", 0, 1);
+        for (std::uint64_t t = 0; t < 2; ++t) {
+            ASSERT_TRUE(reader.begin_step());
+            reader.end_step();
+        }
+    }
+    stream->detach_reader();
+    ASSERT_TRUE(wait_until([&] { return stream->in_flight_steps() == 4; },
+                           std::chrono::seconds(10)));
+    // Retained data is parked on disk, not held in memory or dropped.
+    EXPECT_GT(std::distance(fs::directory_iterator(dir), fs::directory_iterator{}),
+              0);
+    EXPECT_EQ(stream->steps_lost(), 0u);
+
+    fp::ReaderPort reader(fabric, "spool-retain", 0, 1);
+    std::uint64_t t = 2;
+    while (reader.begin_step()) {
+        EXPECT_FALSE(reader.step_lossy());
+        const auto v = reader.read<double>("x", u::Box({0}, {4}));
+        for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 6u);
+    EXPECT_EQ(stream->steps_lost(), 0u);
+    EXPECT_TRUE(fs::is_empty(dir));  // replayed spool files were consumed
+    fs::remove_all(dir);
+}
+
+// detach_writer discards partial per-rank submissions: the relaunched
+// incarnation resubmits the whole step and readers never see torn data.
+TEST(Resilience, WriterDetachDiscardsPartialSteps) {
+    fp::Fabric fabric;
+    auto stream = fabric.get("wdetach");
+    fp::StreamOptions opts(4);
+    stream->attach_writer(2, opts);
+
+    const auto half = [](int rank, double val) {
+        fp::Contribution c;
+        c.var_decls["x"] =
+            fp::VarDecl{"x", fp::DataKind::Float64, u::NdShape{2}, {}};
+        auto data = std::make_shared<std::vector<std::byte>>(sizeof(double));
+        std::memcpy(data->data(), &val, sizeof(double));
+        c.blocks["x"].push_back(fp::Block{
+            u::Box({static_cast<std::uint64_t>(rank)}, {1}), std::move(data)});
+        return c;
+    };
+    stream->submit(0, half(0, 5.0));  // rank 1 dies before contributing
+    EXPECT_EQ(stream->writer_resume_step(), 0u);
+    stream->detach_writer(/*source_replays_from_zero=*/false);
+    EXPECT_EQ(stream->writer_resume_step(), 0u);
+
+    // The relaunched incarnation regenerates step 0 from both ranks.
+    stream->submit(0, half(0, 7.0));
+    stream->submit(1, half(1, 8.0));
+    stream->close_writer(0);
+    stream->close_writer(1);
+
+    fp::ReaderPort reader(fabric, "wdetach", 0, 1);
+    ASSERT_TRUE(reader.begin_step());
+    const auto v = reader.read<double>("x", u::Box({0}, {2}));
+    EXPECT_EQ(v[0], 7.0);  // the dead incarnation's 5.0 was discarded
+    EXPECT_EQ(v[1], 8.0);
+    reader.end_step();
+    EXPECT_FALSE(reader.begin_step());
+}
+
+// A restarted deterministic source regenerates its sequence from step 0;
+// the stream suppresses the re-submissions of steps it already assembled,
+// so readers see each step exactly once.
+TEST(Resilience, SourceReplayIsSuppressed) {
+    fp::Fabric fabric;
+    auto stream = fabric.get("sredo");
+    stream->attach_writer(1, fp::StreamOptions{8});
+    stream->submit(0, simple_contrib(0.0));
+    stream->submit(0, simple_contrib(1.0));
+    EXPECT_EQ(stream->writer_resume_step(), 2u);
+    stream->detach_writer(/*source_replays_from_zero=*/true);
+
+    const double sup0 = counter_total("flexpath.replay_suppressed");
+    for (int t = 0; t < 4; ++t) {
+        stream->submit(0, simple_contrib(static_cast<double>(t)));
+    }
+    stream->close_writer(0);
+    EXPECT_EQ(counter_total("flexpath.replay_suppressed") - sup0, 2.0);
+
+    fp::ReaderPort reader(fabric, "sredo", 0, 1);
+    std::uint64_t t = 0;
+    while (reader.begin_step()) {
+        const auto v = reader.read<double>("x", u::Box({0}, {4}));
+        for (const double x : v) EXPECT_EQ(x, static_cast<double>(t));
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 4u);  // steps 0..3, none duplicated
+}
+
+// A submit blocked on a full queue longer than the liveness timeout throws
+// PeerLivenessError instead of hanging the writer on a dead reader forever.
+TEST(Resilience, WriterLivenessConvertsStuckReaderIntoError) {
+    fp::Fabric fabric;
+    auto stream = fabric.get("live-w");
+    fp::StreamOptions opts(1);
+    opts.liveness_ms = 100.0;
+    stream->attach_writer(1, opts);
+    stream->submit(0, simple_contrib(0.0));  // fills the queue; nobody drains
+    EXPECT_THROW(stream->submit(0, simple_contrib(1.0)), fp::PeerLivenessError);
+}
+
+// An acquire blocked on a silent writer group longer than the liveness
+// timeout throws PeerLivenessError instead of waiting forever.
+TEST(Resilience, ReaderLivenessConvertsSilentWriterIntoError) {
+    fp::Fabric fabric;
+    auto stream = fabric.get("live-r");
+    fp::StreamOptions opts(4);
+    opts.liveness_ms = 100.0;
+    stream->attach_writer(1, opts);  // attaches but never submits
+    fp::ReaderPort reader(fabric, "live-r", 0, 1);
+    EXPECT_THROW((void)reader.begin_step(), fp::PeerLivenessError);
+}
+
+// ---- abort-path edge cases -------------------------------------------------
+
+// Aborting while the prefetcher is inside a (slow) spool reload must not
+// hang or crash: the reader unwinds with StreamAborted and the prefetcher
+// notices the abort when the reload returns.
+TEST(Resilience, AbortDuringSpoolReload) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "sb_test_spool_abort";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const FaultGuard guard;
+    auto& faults = sb::fault::Registry::global();
+    faults.arm_from_env("flexpath.spool_reload=delay:80");
+
+    fp::Fabric fabric;
+    fp::StreamOptions opts(8, dir.string());
+    opts.read_ahead = 2;
+    write_simple_steps(fabric, "spool-abort", 3, opts);
+
+    fp::ReaderPort reader(fabric, "spool-abort", 0, 1);
+    // The prefetcher is now inside the delayed reload (off the stream lock).
+    ASSERT_TRUE(wait_until(
+        [&] { return faults.hits("flexpath.spool_reload") >= 1; },
+        std::chrono::seconds(10)));
+    fabric.abort_all();
+    EXPECT_THROW((void)reader.begin_step(), fp::StreamAborted);
+    // Scope exit joins the prefetcher mid-reload: must not hang (the test
+    // timeout and the TSan/ASan legs enforce it).
+    fs::remove_all(dir);
+}
+
+// Abort with a partially-acknowledged in-flight window: one rank released
+// the step, its peer still holds it.  Both unwind; the late release of the
+// dead step is a no-op.
+TEST(Resilience, AbortWithPartialAcknowledgements) {
+    fp::Fabric fabric;
+    fp::StreamOptions opts(8);
+    opts.read_ahead = 2;
+    write_simple_steps(fabric, "abort-ack", 3, opts);
+
+    const double aborts0 = counter_total("flexpath.aborts");
+    std::atomic<bool> aborted{false};
+    sb::mpi::run_ranks(2, [&](sb::mpi::Communicator& c) {
+        fp::ReaderPort port(fabric, "abort-ack", c.rank(), c.size());
+        ASSERT_TRUE(port.begin_step());
+        c.barrier();  // both ranks hold step 0 before anyone aborts
+        if (c.rank() == 0) {
+            port.end_step();  // rank 0 acknowledged step 0; rank 1 holds it
+            fabric.abort_all();
+            aborted.store(true);
+        } else {
+            ASSERT_TRUE(wait_until([&] { return aborted.load(); },
+                                   std::chrono::seconds(10)));
+            port.end_step();  // releasing into an aborted stream: no-op
+        }
+        EXPECT_THROW((void)port.begin_step(), fp::StreamAborted);
+    });
+    EXPECT_EQ(counter_total("flexpath.aborts") - aborts0, 1.0);
+}
+
+// abort() is idempotent: the second call neither throws nor double-counts.
+TEST(Resilience, DoubleAbortIsIdempotent) {
+    fp::Fabric fabric;
+    auto stream = fabric.get("dabort");
+    stream->attach_writer(1, fp::StreamOptions{2});
+    const double aborts0 = counter_total("flexpath.aborts");
+    stream->abort();
+    stream->abort();
+    EXPECT_EQ(counter_total("flexpath.aborts") - aborts0, 1.0);
+    EXPECT_THROW(stream->submit(0, simple_contrib(0.0)), fp::StreamAborted);
 }

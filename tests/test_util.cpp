@@ -133,7 +133,7 @@ TEST(WallTimer, MeasuresElapsed) {
 
 TEST(BoundedQueue, FifoOrder) {
     u::BoundedQueue<int> q(4);
-    for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+    for (int i = 0; i < 4; ++i) q.push(i);
     for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop(), i);
 }
 
@@ -149,7 +149,7 @@ TEST(BoundedQueue, CloseDrainsThenEnds) {
     q.push(1);
     q.push(2);
     q.close();
-    EXPECT_FALSE(q.push(3));  // rejected after close
+    EXPECT_THROW(q.push(3), u::QueueAborted);  // typed rejection after close
     EXPECT_EQ(q.pop(), 1);
     EXPECT_EQ(q.pop(), 2);
     EXPECT_FALSE(q.pop().has_value());  // end of stream
@@ -157,7 +157,7 @@ TEST(BoundedQueue, CloseDrainsThenEnds) {
 
 TEST(BoundedQueue, CapacityBlocksProducer) {
     u::BoundedQueue<int> q(1);
-    EXPECT_TRUE(q.push(1));
+    q.push(1);
     std::atomic<bool> second_pushed{false};
     std::jthread producer([&] {
         q.push(2);
@@ -199,7 +199,7 @@ TEST(BoundedQueue, BlockedPushTimeAccumulatesWhenBounded) {
     u::BoundedQueue<int> q(1);
     EXPECT_EQ(q.blocked_push_seconds(), 0.0);
     EXPECT_EQ(q.blocked_pushes(), 0u);
-    EXPECT_TRUE(q.push(1));  // fits: no blocking recorded
+    q.push(1);  // fits: no blocking recorded
     EXPECT_EQ(q.blocked_pushes(), 0u);
 
     std::jthread producer([&] { q.push(2); });  // blocks on the full queue
