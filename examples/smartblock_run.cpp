@@ -9,6 +9,9 @@
 //   smartblock_run --dot <workflow-script>         print the dataflow graph
 //   smartblock_run --trace t.json <script>         write a Chrome trace
 //   smartblock_run --metrics m.json <script>       write metrics + summary
+//   smartblock_run --report <script>               print critical-path attribution
+//   smartblock_run --watch <script>                live progress line while running
+//   smartblock_run --metrics-interval=250 <script> periodic numbered metrics dumps
 //   smartblock_run --fault <spec> <script>         arm fault injection (SB_FAULT syntax)
 //   smartblock_run --restart-policy on_failure:3 <script>   supervise + restart
 //   smartblock_run --liveness-ms 5000 <script>     hung-peer detection timeout
@@ -19,15 +22,19 @@
 //   aprun -n 2 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
 //   aprun -n 4 lammps rows=32 cols=32 steps=4 &
 //   wait
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "core/graph.hpp"
 #include "core/launch_script.hpp"
 #include "fault/fault.hpp"
 #include "flexpath/stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/source_component.hpp"
 
 namespace {
@@ -35,7 +42,8 @@ namespace {
 void print_usage() {
     std::fprintf(stderr,
                  "usage: smartblock_run [--validate|--dot] [--trace <out.json>] "
-                 "[--metrics <out.json>] [--read-ahead <depth>] "
+                 "[--metrics <out.json>] [--report] [--watch] "
+                 "[--metrics-interval=<ms>] [--read-ahead <depth>] "
                  "[--fault <spec>] [--restart-policy never|on_failure[:max]] "
                  "[--liveness-ms <ms>] <workflow-script> "
                  "[queue-capacity]\n\nregistered components:\n");
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
     sb::sim::register_simulations();
 
     bool validate_only = false, dot_only = false;
+    bool report = false, watch = false;
+    double metrics_interval_ms = 0.0;  // 0 = no periodic dumps
     const char* trace_path = nullptr;
     const char* metrics_path = nullptr;
     const char* fault_spec = nullptr;
@@ -78,6 +88,19 @@ int main(int argc, char** argv) {
             argi += 2;
         } else if (std::strcmp(argv[argi], "--liveness-ms") == 0 && argi + 1 < argc) {
             liveness_ms = std::stod(argv[argi + 1]);
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--report") == 0) {
+            report = true;
+            ++argi;
+        } else if (std::strcmp(argv[argi], "--watch") == 0) {
+            watch = true;
+            ++argi;
+        } else if (std::strncmp(argv[argi], "--metrics-interval=", 19) == 0) {
+            metrics_interval_ms = std::stod(argv[argi] + 19);
+            ++argi;
+        } else if (std::strcmp(argv[argi], "--metrics-interval") == 0 &&
+                   argi + 1 < argc) {
+            metrics_interval_ms = std::stod(argv[argi + 1]);
             argi += 2;
         } else if (std::strcmp(argv[argi], "--validate") == 0) {
             validate_only = true;
@@ -163,7 +186,56 @@ int main(int argc, char** argv) {
         }
         std::printf("smartblock_run: %zu components, %d processes\n", wf.size(),
                     wf.total_procs());
+
+        // Health sampler: one background thread snapshots counters/gauges
+        // into time-series rings.  --watch prints a live line per tick,
+        // --metrics-interval dumps a numbered metrics JSON per tick, and an
+        // attached sampler makes write_metrics embed the "timeseries" block.
+        std::optional<sb::obs::Sampler> sampler;
+        if (watch || metrics_interval_ms > 0.0) {
+            sb::obs::SamplerOptions sopts;
+            if (metrics_interval_ms > 0.0) sopts.interval_ms = metrics_interval_ms;
+            sampler.emplace(sb::obs::Registry::global(), sopts);
+            const std::string dump_base =
+                metrics_path ? metrics_path : "metrics.json";
+            sampler->set_on_tick([&](std::uint64_t tick) {
+                if (watch) {
+                    double steps_per_s = 0.0, max_depth = 0.0;
+                    const auto series = sampler->snapshot();
+                    for (const auto& s : series) {
+                        if (s.name == "adios.steps_written") steps_per_s += s.rate;
+                        if (s.name == "flexpath.queue_depth") {
+                            max_depth = std::max(max_depth, s.last);
+                        }
+                    }
+                    std::fprintf(stderr,
+                                 "[watch %7.2f s] %3zu series, steps %.1f/s, "
+                                 "max queue depth %.0f\n",
+                                 sampler->elapsed_seconds(), series.size(),
+                                 steps_per_s, max_depth);
+                }
+                if (metrics_interval_ms > 0.0) {
+                    // Numbered snapshot: <base>.<tick> (critical-path
+                    // attribution is only in the final --metrics file —
+                    // mid-run dumps are plain counters + time series).
+                    std::ofstream out(dump_base + "." + std::to_string(tick),
+                                      std::ios::trunc);
+                    if (out) {
+                        const std::string extra =
+                            "\"timeseries\": " +
+                            sb::obs::timeseries_to_json(sampler->snapshot(),
+                                                        sampler->interval_ms());
+                        sb::obs::write_metrics_json(
+                            out, sb::obs::Registry::global().snapshot(), extra);
+                    }
+                }
+            });
+            sampler->start();
+            wf.attach_sampler(&*sampler);
+        }
+
         wf.run();
+        if (sampler) sampler->stop();
         std::printf("smartblock_run: workflow completed in %.3f s\n",
                     wf.elapsed_seconds());
         for (std::size_t i = 0; i < wf.size(); ++i) {
@@ -180,6 +252,10 @@ int main(int argc, char** argv) {
             wf.write_metrics(metrics_path);
             std::printf("smartblock_run: metrics written to %s\n", metrics_path);
             std::fputs(wf.metrics_summary().c_str(), stdout);
+        }
+        if (report) {
+            std::printf("smartblock_run: critical path\n%s",
+                        wf.report().c_str());
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "smartblock_run: %s\n", e.what());

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Check that SB_METRICS=off fig9 throughput stays within the noise
+envelope of the instrumented run.
+
+The observability layer's promise is that a disabled instrument costs one
+relaxed atomic load — so running the fig9 ladder with SB_METRICS=off must
+land within (generous, CI-noise-sized) bounds of the default run.  A
+violation means an instrument got onto a per-element path or span/trace
+recording stopped honoring the enable gate.
+
+Usage:
+    check_fig9_envelope.py BENCH_on.json BENCH_off.json [--floor 0.125]
+
+Both files are fig9_component_throughput JsonReport outputs.  For every
+throughput metric the off/on median ratio must lie in [floor, 1/floor].
+Exit status 1 on any violation.  stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("results", []):
+        if row["metric"].endswith("_kb_per_proc_per_sec"):
+            out[(row["config"], row["metric"])] = row["median"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("on_json", help="fig9 report with metrics enabled")
+    ap.add_argument("off_json", help="fig9 report run under SB_METRICS=off")
+    ap.add_argument(
+        "--floor",
+        type=float,
+        default=0.125,
+        help="minimum allowed off/on median ratio; ceiling is its inverse "
+        "(default 0.125 — single-run benches on shared CI runners are noisy, "
+        "this only catches order-of-magnitude regressions)",
+    )
+    args = ap.parse_args()
+
+    on = load_medians(args.on_json)
+    off = load_medians(args.off_json)
+    if not on or not off:
+        print("error: no *_kb_per_proc_per_sec metrics found", file=sys.stderr)
+        return 1
+    missing = sorted(set(on) ^ set(off))
+    if missing:
+        print(f"error: reports disagree on configs/metrics: {missing}",
+              file=sys.stderr)
+        return 1
+
+    ceiling = 1.0 / args.floor
+    failures = 0
+    print(f"{'config':8s} {'metric':32s} {'on':>12s} {'off':>12s} {'off/on':>8s}")
+    for key in sorted(on):
+        config, metric = key
+        ratio = off[key] / on[key] if on[key] > 0 else float("inf")
+        ok = args.floor <= ratio <= ceiling
+        flag = "" if ok else "  <-- outside envelope"
+        print(f"{config:8s} {metric:32s} {on[key]:12.0f} {off[key]:12.0f} "
+              f"{ratio:8.2f}{flag}")
+        if not ok:
+            failures += 1
+    if failures:
+        print(f"\n{failures} metric(s) outside the [{args.floor:g}, "
+              f"{ceiling:g}] envelope", file=sys.stderr)
+        return 1
+    print(f"\nall {len(on)} metrics within the [{args.floor:g}, {ceiling:g}] "
+          "envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

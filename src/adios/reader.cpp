@@ -1,6 +1,7 @@
 #include "adios/reader.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace sb::adios {
 
@@ -13,7 +14,10 @@ Reader::Reader(flexpath::Fabric& fabric, const std::string& stream_name, int ran
 
 bool Reader::begin_step() {
     const bool ok = port_.begin_step();
-    if (ok) steps_read_->inc();
+    if (ok) {
+        steps_read_->inc();
+        step_t0_ = obs::enabled() ? obs::steady_seconds() : 0.0;
+    }
     return ok;
 }
 
@@ -56,6 +60,16 @@ const std::map<std::string, double>& Reader::double_attributes() const {
     return port_.meta().double_attrs;
 }
 
-void Reader::end_step() { port_.end_step(); }
+void Reader::end_step() {
+    if (step_t0_ > 0.0 && obs::enabled()) {
+        // Step span: this rank's consume session — reads and processing
+        // between acquire and release (acquire's wait is WaitIn).
+        obs::SpanStore::global().record(port_.stream_name(), port_.current_step(),
+                                        obs::SegmentKind::Consume, step_t0_,
+                                        obs::steady_seconds(), port_.rank());
+        step_t0_ = 0.0;
+    }
+    port_.end_step();
+}
 
 }  // namespace sb::adios

@@ -103,6 +103,7 @@ public:
 private:
     flexpath::ReaderPort port_;
     obs::Counter* steps_read_ = nullptr;  // adios.steps_read{stream=}
+    double step_t0_ = 0.0;  // acquire-end time (span: SegmentKind::Consume)
 };
 
 }  // namespace sb::adios

@@ -5,6 +5,7 @@
 
 #include "check/check.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace sb::adios {
 
@@ -32,6 +33,7 @@ void Writer::begin_step() {
         throw std::logic_error("adios::Writer: begin_step twice");
     }
     in_step_ = true;
+    step_t0_ = obs::enabled() ? obs::steady_seconds() : 0.0;
     dims_.clear();
     // Static group attributes ride on every step (rank 0 is enough, but all
     // ranks agreeing is also fine — the stream verifies consistency).
@@ -126,6 +128,14 @@ void Writer::end_step() {
         throw std::logic_error("adios::Writer: end_step without begin_step");
     }
     in_step_ = false;
+    if (step_t0_ > 0.0 && obs::enabled()) {
+        // Step span: this rank's publish session, closed *before* the
+        // submit so queue backpressure lands in BackpressureOut (recorded
+        // by the stream), not double-counted here.
+        obs::SpanStore::global().record(port_.stream_name(), port_.steps_written(),
+                                        obs::SegmentKind::Produce, step_t0_,
+                                        obs::steady_seconds(), rank_);
+    }
     port_.end_step();
     steps_written_->inc();
 }

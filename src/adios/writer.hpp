@@ -70,6 +70,7 @@ private:
     int rank_;
     std::map<std::string, std::uint64_t> dims_;
     bool in_step_ = false;
+    double step_t0_ = 0.0;  // begin_step time (span: SegmentKind::Produce)
     obs::Counter* steps_written_ = nullptr;  // adios.steps_written{stream=}
     obs::Counter* vars_written_ = nullptr;   // adios.vars_written{stream=}
 };

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace sb::core {
 
@@ -138,6 +140,14 @@ void record_step(const RunContext& ctx, std::uint64_t step, double seconds,
     // natural per-step fault point (crash/delay component N at step k).
     fault::hit("component.step", ctx.component);
     if (ctx.stats) ctx.stats->record(step, ctx.comm.rank(), seconds, bytes_in, bytes_out);
+    if (!ctx.instance.empty() && obs::enabled()) {
+        // Step span: this rank's compute for the step, scoped to the
+        // instance label (streams scope the transport segments).
+        const double t1 = obs::steady_seconds();
+        obs::SpanStore::global().record(ctx.instance, step,
+                                        obs::SegmentKind::Compute, t1 - seconds,
+                                        t1, ctx.comm.rank());
+    }
 }
 
 std::size_t pick_partition_dim(const util::NdShape& shape,

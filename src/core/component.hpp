@@ -103,6 +103,10 @@ struct RunContext {
     /// The workflow-level component name this rank belongs to ("" outside a
     /// workflow); scopes the "component.step" / "component.run" fault points.
     std::string component;
+    /// The instance label this rank belongs to ("magnitude#1", "" outside a
+    /// workflow); scopes the per-step Compute spans (obs::SpanStore) that the
+    /// critical-path analyzer attributes to this instance.
+    std::string instance;
     /// 0 on the first run, k on the k-th restart.  Components with external
     /// side effects (file endpoints) use this to resume instead of truncate.
     int attempt = 0;

@@ -12,6 +12,8 @@
 #include "flexpath/stream.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -44,6 +46,19 @@ std::string Workflow::describe(std::size_t i) const {
     return inst.component + " x" + std::to_string(inst.nprocs);
 }
 
+std::string Workflow::instance_label(std::size_t i) const {
+    return instances_.at(i).component + "#" + std::to_string(i);
+}
+
+Ports Workflow::ports_of(std::size_t i) const {
+    const Instance& inst = instances_.at(i);
+    try {
+        return make_component(inst.component)->ports(inst.args);
+    } catch (...) {
+        return Ports{{}, {}, false};
+    }
+}
+
 void Workflow::write_trace(const std::string& path) const {
     if (!ran_) throw std::logic_error("Workflow::write_trace: run() first");
     std::ofstream out(path, std::ios::trunc);
@@ -70,6 +85,90 @@ void Workflow::write_trace(const std::string& path) const {
         }
     }
 
+    // Flow events: one arrow per (stream, step) from the producing
+    // instance's step slice to the consuming instance's, so a viewer can
+    // follow one step through the pipeline.  Chrome binds "s"/"f" flow
+    // endpoints to the slice enclosing (pid, tid, ts), so the timestamps
+    // are nudged just inside the slices (end of producer, start of
+    // consumer).
+    {
+        std::map<std::string, std::size_t> producer_of;
+        std::map<std::string, std::size_t> consumer_of;
+        for (std::size_t i = 0; i < instances_.size(); ++i) {
+            const Ports ports = ports_of(i);
+            if (!ports.known) continue;
+            for (const std::string& s : ports.outputs) producer_of.emplace(s, i);
+            for (const std::string& s : ports.inputs) consumer_of.emplace(s, i);
+        }
+        // One representative slice per (instance, step): the lowest rank.
+        std::vector<std::map<std::uint64_t, StepStats::Sample>> rep(
+            instances_.size());
+        for (std::size_t i = 0; i < instances_.size(); ++i) {
+            for (const StepStats::Sample& s : instances_[i].stats->samples()) {
+                const auto it = rep[i].find(s.step);
+                if (it == rep[i].end() || s.rank < it->second.rank) {
+                    rep[i][s.step] = s;
+                }
+            }
+        }
+        std::uint64_t flow_id = 0;
+        for (const auto& [stream, pi] : producer_of) {
+            const auto ci = consumer_of.find(stream);
+            if (ci == consumer_of.end()) continue;
+            // Anchor the arrow tail at the publish instant — the Produce
+            // span's end, recorded just before the writer submits — when
+            // this run recorded spans.  The consumer's acquire is causally
+            // after the submit, so the arrow always points forward in time;
+            // the producer's *slice* keeps running past the push (ack
+            // bookkeeping), so the slice end may postdate the consumer's
+            // slice start under pipelining.
+            std::map<std::uint64_t, std::map<int, double>> publish_t;
+            for (const obs::StepTimeline& tl :
+                 obs::SpanStore::global().timelines(stream, epoch_)) {
+                for (const obs::StepSegment& seg : tl.segments) {
+                    if (seg.kind != obs::SegmentKind::Produce) continue;
+                    double& slot = publish_t[tl.step][seg.rank];
+                    slot = std::max(slot, seg.t1);
+                }
+            }
+            for (const auto& [step, ps] : rep[pi]) {
+                const auto cs = rep[ci->second].find(step);
+                if (cs == rep[ci->second].end()) continue;
+                // No recorded publish instant (SB_METRICS=off, or the step
+                // aged out of the span window): skip the arrow rather than
+                // guess from slice ends, which can point backwards under
+                // pipelining.
+                const auto pstep = publish_t.find(step);
+                if (pstep == publish_t.end()) continue;
+                const auto prank = pstep->second.find(ps.rank);
+                if (prank == pstep->second.end()) continue;
+                const std::string fname =
+                    obs::json_escape(stream + " step " + std::to_string(step));
+                const std::string id = std::to_string(flow_id++);
+                const double p_end_us = (ps.t_end - epoch_) * 1e6;
+                const double p_nudge = std::min(ps.seconds * 1e6, 1.0) / 2;
+                // Clamped inside the slice so the viewer still binds the
+                // endpoint to the producer's step box.
+                const double start_us = (ps.t_end - ps.seconds - epoch_) * 1e6;
+                const double p_ts =
+                    std::clamp((prank->second - epoch_) * 1e6,
+                               start_us + p_nudge, p_end_us - p_nudge);
+                const double c_start_us =
+                    (cs->second.t_end - cs->second.seconds - epoch_) * 1e6;
+                const double c_ts =
+                    c_start_us + std::min(cs->second.seconds * 1e6, 1.0) / 2;
+                emit(R"({"ph":"s","cat":"step-flow","name":")" + fname +
+                     R"(","pid":)" + std::to_string(pi) + R"(,"tid":)" +
+                     std::to_string(ps.rank) + R"(,"ts":)" +
+                     obs::json_number(p_ts) + R"(,"id":)" + id + "}");
+                emit(R"({"ph":"f","bp":"e","cat":"step-flow","name":")" + fname +
+                     R"(","pid":)" + std::to_string(ci->second) + R"(,"tid":)" +
+                     std::to_string(cs->second.rank) + R"(,"ts":)" +
+                     obs::json_number(c_ts) + R"(,"id":)" + id + "}");
+            }
+        }
+    }
+
     // Transport track: queue-depth counter tracks and stall slices recorded
     // by the FlexPath layer during this run (filtered by the run epoch so a
     // previous run in the same process doesn't leak in).
@@ -92,7 +191,10 @@ void Workflow::write_trace(const std::string& path) const {
                     R"(,"cat":")" + obs::json_escape(ev.category) +
                     R"(","name":")" + name + R"(","pid":)" + std::to_string(pid) +
                     R"(,"tid":0,"id":)" + std::to_string(async_id++);
-                emit(R"({"ph":"b")" + common + R"(,"ts":)" + ts + "}");
+                emit(R"({"ph":"b")" + common + R"(,"ts":)" + ts +
+                     (ev.id ? R"(,"args":{"step":)" + std::to_string(ev.id) + "}"
+                            : std::string{}) +
+                     "}");
                 emit(R"({"ph":"e")" + common + R"(,"ts":)" +
                      obs::json_number((ev.t1 - epoch_) * 1e6) + "}");
             }
@@ -105,11 +207,107 @@ void Workflow::write_metrics(const std::string& path) const {
     if (!ran_) throw std::logic_error("Workflow::write_metrics: run() first");
     std::ofstream out(path, std::ios::trunc);
     if (!out) throw std::runtime_error("write_metrics: cannot write '" + path + "'");
-    obs::write_metrics_json(out, obs::Registry::global().snapshot());
+    std::string extra =
+        "\"critical_path\": " + obs::critical_path_to_json(critical_path());
+    if (sampler_) {
+        extra += ",\n  \"timeseries\": " +
+                 obs::timeseries_to_json(sampler_->snapshot(), sampler_->interval_ms());
+    }
+    obs::write_metrics_json(out, obs::Registry::global().snapshot(), extra);
 }
 
 std::string Workflow::metrics_summary() const {
-    return obs::format_metrics_table(obs::Registry::global().snapshot());
+    auto& reg = obs::Registry::global();
+    std::string out = obs::format_metrics_table(reg.snapshot(), reg.uptime_seconds());
+    if (ran_) {
+        const obs::CriticalPathSummary cp = critical_path();
+        if (cp.steps > 0) {
+            out += "\nworkflow.critical_path\n";
+            out += obs::format_critical_path(cp);
+        }
+    }
+    return out;
+}
+
+obs::CriticalPathSummary Workflow::critical_path() const {
+    if (!ran_) throw std::logic_error("Workflow::critical_path: run() first");
+    if (cpath_) return *cpath_;
+    auto& store = obs::SpanStore::global();
+    // No step spans for this run (SB_METRICS=off): report "nothing
+    // recorded" rather than attributing from the bare StepStats compute
+    // times, which without the transport waits would misname whichever
+    // instance happens to be slowest as the limiter.
+    bool any_spans = false;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        if (!store.timelines(instance_label(i), epoch_).empty()) {
+            any_spans = true;
+            break;
+        }
+    }
+    if (!any_spans) {
+        cpath_ = obs::CriticalPathSummary{};
+        return *cpath_;
+    }
+    std::vector<obs::InstanceSteps> data;
+    data.reserve(instances_.size());
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        obs::InstanceSteps is;
+        is.instance = instance_label(i);
+        const Ports ports = ports_of(i);
+        if (ports.known) {
+            is.inputs = ports.inputs;
+            is.outputs = ports.outputs;
+        }
+        // Kernel time per step: communicator completion time (max over
+        // ranks) from the instance's stats sink.
+        std::map<std::uint64_t, obs::InstanceSteps::Step> steps;
+        for (const StepStats::StepRow& row : instances_[i].stats->per_step()) {
+            obs::InstanceSteps::Step& st = steps[row.step];
+            st.step = row.step;
+            st.compute = row.max_seconds;
+        }
+        // Transport waits per step from this run's span timelines (max
+        // over the segments — i.e. over the recording ranks — of a step).
+        const auto merge = [&](const std::vector<std::string>& streams,
+                               obs::SegmentKind kind, bool into_wait_in) {
+            for (const std::string& name : streams) {
+                for (const obs::StepTimeline& tl : store.timelines(name, epoch_)) {
+                    double worst = 0.0;
+                    for (const obs::StepSegment& seg : tl.segments) {
+                        if (seg.kind == kind) {
+                            worst = std::max(worst, seg.seconds());
+                        }
+                    }
+                    if (worst <= 0.0) continue;
+                    obs::InstanceSteps::Step& st = steps[tl.step];
+                    st.step = tl.step;
+                    double& slot =
+                        into_wait_in ? st.wait_in[name] : st.bp_out[name];
+                    slot = std::max(slot, worst);
+                }
+            }
+        };
+        merge(is.inputs, obs::SegmentKind::WaitIn, true);
+        merge(is.outputs, obs::SegmentKind::BackpressureOut, false);
+        // Components time a step from after acquire to after submit, so the
+        // measured kernel time *includes* any push wait on the outputs;
+        // subtract it, or a downstream-blocked instance would always read
+        // as compute-bound and the walk could never move downstream.
+        for (auto& [step, st] : steps) {
+            double pushed = 0.0;
+            for (const auto& [stream, w] : st.bp_out) pushed += w;
+            st.compute = std::max(0.0, st.compute - pushed);
+        }
+        is.steps.reserve(steps.size());
+        for (auto& [step, st] : steps) is.steps.push_back(std::move(st));
+        data.push_back(std::move(is));
+    }
+    cpath_ = obs::analyze_critical_path(data);
+    return *cpath_;
+}
+
+std::string Workflow::report() const {
+    return obs::format_critical_path(critical_path());
 }
 
 namespace {
@@ -147,12 +345,7 @@ bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& poli
     } catch (...) {
     }
     // Recovery needs the instance's stream endpoints.
-    Ports ports;
-    try {
-        ports = make_component(inst.component)->ports(inst.args);
-    } catch (...) {
-        ports.known = false;
-    }
+    const Ports ports = ports_of(i);
     if (!ports.known) {
         SB_LOG(Error) << "workflow: instance '" << inst.component
                       << "' has unknown ports; cannot recover its streams";
@@ -160,12 +353,12 @@ bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& poli
     }
 
     const double t_fail = obs::steady_seconds();
+    std::uint64_t resume = 0;
     try {
         // Output streams roll back to their last fully assembled step; the
         // relaunched incarnation resumes submitting exactly there.  A source
         // (no inputs) deterministically regenerates from step 0, so its
         // first `resume` submissions are suppressed stream-side instead.
-        std::uint64_t resume = 0;
         for (const std::string& out : ports.outputs) {
             auto s = fabric_.get(out);
             s->detach_writer(/*source_replays_from_zero=*/ports.inputs.empty());
@@ -210,8 +403,10 @@ bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& poli
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(delay_ms * jitter));
     if (obs::enabled()) {
+        // Tagged with the resume step, so the trace links the restart slice
+        // to the step timelines the replacement incarnation continues from.
         obs::TraceLog::global().slice("restart", inst.component, "restart",
-                                      t_fail, obs::steady_seconds());
+                                      t_fail, obs::steady_seconds(), resume);
     }
     return true;
 }
@@ -245,7 +440,11 @@ void Workflow::run() {
                                 RunContext ctx{fabric_, comm, inst.stats.get(),
                                                options_};
                                 ctx.component = inst.component;
+                                ctx.instance = instance_label(i);
                                 ctx.attempt = attempt;
+                                // Transport spans recorded on this rank's
+                                // thread carry the instance as their actor.
+                                const obs::ScopedActor actor(ctx.instance);
                                 fault::hit("component.run", inst.component);
                                 component->run(ctx, inst.args);
                             },

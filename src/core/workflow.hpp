@@ -29,6 +29,11 @@
 
 #include "core/component.hpp"
 #include "core/registry.hpp"
+#include "obs/report.hpp"
+
+namespace sb::obs {
+class Sampler;
+}  // namespace sb::obs
 
 namespace sb::core {
 
@@ -135,8 +140,29 @@ public:
     /// obs::Registry::global().reset() is called between them.
     void write_metrics(const std::string& path) const;
 
-    /// The same snapshot as a human-readable aligned table.
+    /// The same snapshot as a human-readable aligned table, with process
+    /// uptime and per-counter rates, followed by the critical-path
+    /// summary when step spans were recorded.
     std::string metrics_summary() const;
+
+    /// Walks the last run's step timelines (obs::SpanStore) across the
+    /// workflow graph and names the limiting instance per step — see
+    /// obs/report.hpp.  Call after run(); cached.
+    obs::CriticalPathSummary critical_path() const;
+
+    /// Human-readable critical-path report of the last run ("magnitude#0
+    /// limits 10/12 steps (83%), median 12.4 ms compute" + per-step
+    /// table).  Backs `smartblock_run --report`.
+    std::string report() const;
+
+    /// Attaches a metrics sampler whose time series are embedded as the
+    /// "timeseries" block of write_metrics().  Not owned; must outlive
+    /// write_metrics() calls.  Pass nullptr to detach.
+    void attach_sampler(obs::Sampler* sampler) noexcept { sampler_ = sampler; }
+
+    /// The instance label used for Compute spans and trace tracks
+    /// ("magnitude#1": component name + '#' + add() index).
+    std::string instance_label(std::size_t i) const;
 
 private:
     struct Instance {
@@ -153,10 +179,15 @@ private:
     bool try_recover(std::size_t i, int attempt, const RestartPolicy& policy,
                      const std::exception_ptr& err, bool another_failed);
 
+    /// Ports of instance `i` ({.known=false} when undeclared or throwing).
+    Ports ports_of(std::size_t i) const;
+
     flexpath::Fabric& fabric_;
     flexpath::StreamOptions options_;
     RestartPolicy policy_;
     std::vector<Instance> instances_;
+    obs::Sampler* sampler_ = nullptr;
+    mutable std::optional<obs::CriticalPathSummary> cpath_;  // critical_path() cache
     double elapsed_ = 0.0;
     double epoch_ = 0.0;  // steady-clock start of the last run
     bool ran_ = false;

@@ -5,6 +5,7 @@
 
 #include "check/lifetime.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace sb::flexpath {
 
@@ -58,8 +59,18 @@ bool ReaderPort::begin_step() {
         }
         throw std::logic_error("begin_step: step already in progress");
     }
+    const bool instr = obs::enabled();
+    const double t0 = instr ? obs::steady_seconds() : 0.0;
     current_ = stream_->acquire(cursor_);
     if (!current_) return false;
+    if (instr) {
+        // Step span: how long this consumer rank waited for the step to be
+        // deliverable (prefetch + upstream supply, everything behind
+        // acquire).  The actor is the consuming component instance.
+        obs::SpanStore::global().record(stream_->name(), current_->step,
+                                        obs::SegmentKind::WaitIn, t0,
+                                        obs::steady_seconds(), rank_);
+    }
     meta_ = &current_->decoded_meta();
     return true;
 }

@@ -11,6 +11,7 @@
 #include "check/waits.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -330,6 +331,7 @@ void Stream::abort() {
 void Stream::submit(int rank, Contribution c) {
     fault::hit("flexpath.publish", name_);
     std::optional<StepData> completed;
+    double assemble_t0 = 0.0;
     {
         std::lock_guard lock(mu_);
         if (aborted_) throw StreamAborted(name_);
@@ -352,6 +354,9 @@ void Stream::submit(int rank, Contribution c) {
         // This rank's n-th submit always belongs to step n, regardless of
         // how far ahead of its peers the rank is running.
         const std::uint64_t step = rank_submits_[static_cast<std::size_t>(rank)]++;
+        if (obs::enabled() && !pending_counts_.count(step)) {
+            pending_t0_[step] = obs::steady_seconds();  // assembly window opens
+        }
         merge_locked(pending_[step], std::move(c));
         if (++pending_counts_[step] == writer_size_) {
             // Every rank submits steps in order, so steps complete in
@@ -363,11 +368,25 @@ void Stream::submit(int rank, Contribution c) {
             }
             ++next_step_;
             completed = assemble_locked(step);
+            const auto pt = pending_t0_.find(step);
+            if (pt != pending_t0_.end()) {
+                assemble_t0 = pt->second;
+                pending_t0_.erase(pt);
+            }
         }
     }
     if (completed) {
         const bool instr = obs::enabled();
         ins_.steps_assembled->inc();
+        if (instr && assemble_t0 > 0.0) {
+            // Step span: first contribution -> fully assembled.  The actor
+            // is the producing component instance (the submitting thread's
+            // ScopedActor label, set by the workflow).
+            obs::SpanStore::global().record(name_, completed->step,
+                                            obs::SegmentKind::Assemble,
+                                            assemble_t0, obs::steady_seconds(),
+                                            rank);
+        }
         // Spooling: park the step's data on disk so deep buffers stay
         // memory-bounded; readers load it back on acquire.
         if (!opts_.spool_dir.empty()) {
@@ -393,7 +412,12 @@ void Stream::submit(int rank, Contribution c) {
         // this (last-arriving) rank blocks on a full queue — backpressure
         // lands exactly where FlexPath's bounded writer-side buffer puts it.
         SB_LOG(Debug) << "stream " << name_ << ": step " << completed->step << " queued";
+        const std::uint64_t step_id = completed->step;
         const double push_t0 = instr ? obs::steady_seconds() : 0.0;
+        // The queue-residency span opens at push start, so it includes any
+        // backpressure wait (documented in StepData::t_enqueued; the
+        // critical-path analyzer never uses Queue, so no double count).
+        completed->t_enqueued = push_t0;
         try {
             if (liveness_s_ > 0.0) {
                 if (!queue_->try_push_for(*completed, liveness_s_)) {
@@ -423,8 +447,12 @@ void Stream::submit(int rank, Contribution c) {
             auto& tl = obs::TraceLog::global();
             tl.counter("queue depth", name_, static_cast<double>(queue_->size()));
             if (waited >= kStallSliceSeconds) {
-                tl.slice("backpressure", name_, "backpressure", push_t0, push_t1);
+                tl.slice("backpressure", name_, "backpressure", push_t0, push_t1,
+                         step_id);
             }
+            obs::SpanStore::global().record(name_, step_id,
+                                            obs::SegmentKind::BackpressureOut,
+                                            push_t0, push_t1, rank);
         }
     }
 }
@@ -458,6 +486,7 @@ void Stream::detach_writer(bool source_replays_from_zero) {
     // assembled step is regenerated by the relaunched incarnation.
     pending_.clear();
     pending_counts_.clear();
+    pending_t0_.clear();
     for (auto& s : rank_submits_) s = next_step_;
     writers_closed_ = 0;
     if (source_replays_from_zero) {
@@ -489,7 +518,8 @@ std::uint64_t Stream::attach_reader(int nranks) {
                          << window_base_;
             if (obs::enabled()) {
                 obs::TraceLog::global().slice("replay", name_, "restart",
-                                              detach_t0_, obs::steady_seconds());
+                                              detach_t0_, obs::steady_seconds(),
+                                              window_base_);
             }
         }
         demand_ = window_base_;
@@ -719,7 +749,13 @@ void Stream::prefetch_loop() {
             auto& tl = obs::TraceLog::global();
             tl.counter("queue depth", name_, static_cast<double>(queue->size()));
             if (waited >= kStallSliceSeconds) {
-                tl.slice("prefetch wait", name_, "prefetch", pop_t0, pop_t1);
+                tl.slice("prefetch wait", name_, "prefetch", pop_t0, pop_t1,
+                         item ? item->step : 0);
+            }
+            if (item && item->t_enqueued > 0.0) {
+                obs::SpanStore::global().record(name_, item->step,
+                                                obs::SegmentKind::Queue,
+                                                item->t_enqueued, pop_t1);
             }
         }
         bool loaded = true;

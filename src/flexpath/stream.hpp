@@ -107,6 +107,11 @@ struct StepData {
     /// returns zeros (ReaderPort::step_lossy / adios::Reader::step_data_lost
     /// let components tell).
     bool lossy = false;
+    /// Steady-clock instant the assembling rank began queueing the step
+    /// (0 when metrics were off): the prefetcher closes the step's Queue
+    /// span segment against this (docs/OBSERVABILITY.md, "Step provenance
+    /// spans").  Includes any backpressure wait of the push itself.
+    double t_enqueued = 0.0;
 
     /// The decoded metadata packet, decoded lazily on first access and
     /// shared by every reader rank of the step (one decode per step, not
@@ -338,6 +343,9 @@ private:
     std::vector<std::uint64_t> rank_submits_;  // per-rank count of submitted steps
     std::map<std::uint64_t, Contribution> pending_;  // step -> merged contribution
     std::map<std::uint64_t, int> pending_counts_;    // step -> ranks arrived
+    // First-contribution instant per assembling step (metrics on only):
+    // closes the step's Assemble span segment when the last rank arrives.
+    std::map<std::uint64_t, double> pending_t0_;
     int writers_closed_ = 0;
     std::uint64_t next_step_ = 0;  // next step to assemble and queue
     std::unique_ptr<util::BoundedQueue<StepData>> queue_;

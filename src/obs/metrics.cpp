@@ -60,6 +60,20 @@ double Histogram::bucket_upper_bound(int i) noexcept {
     return std::ldexp(1.0, kMinExp + i);
 }
 
+namespace {
+
+/// splitmix64 finalizer (same constants as the supervisor's deterministic
+/// restart jitter): a stateless hash of the observation index stands in
+/// for an RNG, so reservoir contents are reproducible run to run.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
 void Histogram::observe(double v) noexcept {
     if (!enabled()) return;
     buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
@@ -68,9 +82,20 @@ void Histogram::observe(double v) noexcept {
     sum_.fetch_add(v, std::memory_order_relaxed);
     Gauge::update_max(neg_min_, -v);
     Gauge::update_max(max_, v);
-    const std::size_t slot = res_n_.fetch_add(1, std::memory_order_relaxed);
-    if (slot < kReservoir) {
-        res_[slot].store(v, std::memory_order_relaxed);
+    // Uniform reservoir sampling (Vitter's Algorithm R): observation n
+    // replaces a random slot with probability kReservoir/(n+1), so at any
+    // point the reservoir is a uniform sample of all n observations — the
+    // first-K-only scheme it replaces kept only the warm-up, biasing
+    // p50/p95 on long runs.
+    const std::size_t n = res_n_.fetch_add(1, std::memory_order_relaxed);
+    if (n < kReservoir) {
+        res_[n].store(v, std::memory_order_relaxed);
+    } else {
+        const std::uint64_t r = splitmix64(static_cast<std::uint64_t>(n)) %
+                                (static_cast<std::uint64_t>(n) + 1);
+        if (r < kReservoir) {
+            res_[static_cast<std::size_t>(r)].store(v, std::memory_order_relaxed);
+        }
     }
 }
 
@@ -235,11 +260,18 @@ void Registry::reset() {
     for (auto& [key, e] : counters_) e.metric->reset();
     for (auto& [key, e] : gauges_) e.metric->reset();
     for (auto& [key, e] : histograms_) e.metric->reset();
+    created_ = steady_seconds();
+}
+
+double Registry::uptime_seconds() const {
+    const std::lock_guard lock(mu_);
+    return steady_seconds() - created_;
 }
 
 // ---- export ----------------------------------------------------------------
 
-void write_metrics_json(std::ostream& out, const std::vector<MetricSnapshot>& metrics) {
+void write_metrics_json(std::ostream& out, const std::vector<MetricSnapshot>& metrics,
+                        const std::string& extra) {
     out << "{\n  \"version\": 1,\n  \"metrics\": [";
     bool first = true;
     for (const MetricSnapshot& m : metrics) {
@@ -282,22 +314,38 @@ void write_metrics_json(std::ostream& out, const std::vector<MetricSnapshot>& me
         }
         out << '}';
     }
-    out << "\n  ]\n}\n";
+    out << "\n  ]";
+    if (!extra.empty()) out << ",\n  " << extra;
+    out << "\n}\n";
 }
 
-std::string format_metrics_table(const std::vector<MetricSnapshot>& metrics) {
+std::string format_metrics_table(const std::vector<MetricSnapshot>& metrics,
+                                 double uptime_seconds) {
     std::ostringstream os;
-    char line[256];
+    char line[288];
+    const bool rates = uptime_seconds > 0.0;
+    if (rates) {
+        std::snprintf(line, sizeof line, "uptime: %.3f s\n", uptime_seconds);
+        os << line;
+    }
     std::snprintf(line, sizeof line, "%-44s %-28s %12s %12s %12s %12s %12s\n",
-                  "metric", "labels", "count/value", "sum", "mean", "p50", "p95");
+                  "metric", "labels", "count/value", rates ? "rate/s" : "sum",
+                  rates ? "sum/mean" : "mean", "p50", "p95");
     os << line;
     for (const MetricSnapshot& m : metrics) {
         const std::string labels = labels_to_string(m.labels);
         switch (m.type) {
             case MetricSnapshot::Type::Counter:
-                std::snprintf(line, sizeof line, "%-44s %-28s %12llu\n",
-                              m.name.c_str(), labels.c_str(),
-                              static_cast<unsigned long long>(m.count));
+                if (rates) {
+                    std::snprintf(line, sizeof line, "%-44s %-28s %12llu %12.6g\n",
+                                  m.name.c_str(), labels.c_str(),
+                                  static_cast<unsigned long long>(m.count),
+                                  static_cast<double>(m.count) / uptime_seconds);
+                } else {
+                    std::snprintf(line, sizeof line, "%-44s %-28s %12llu\n",
+                                  m.name.c_str(), labels.c_str(),
+                                  static_cast<unsigned long long>(m.count));
+                }
                 break;
             case MetricSnapshot::Type::Gauge:
                 std::snprintf(line, sizeof line,
@@ -305,13 +353,15 @@ std::string format_metrics_table(const std::vector<MetricSnapshot>& metrics) {
                               labels.c_str(), m.value, "", m.high_water);
                 break;
             case MetricSnapshot::Type::Histogram: {
+                // Histograms print sum then mean in the middle columns
+                // either way (the rate-mode header reads "rate/s sum/mean").
                 const double mean =
                     m.count ? m.sum / static_cast<double>(m.count) : 0.0;
                 std::snprintf(line, sizeof line,
                               "%-44s %-28s %12llu %12.6g %12.6g %12.6g %12.6g\n",
                               m.name.c_str(), labels.c_str(),
-                              static_cast<unsigned long long>(m.count), m.sum, mean,
-                              m.p50, m.p95);
+                              static_cast<unsigned long long>(m.count), m.sum,
+                              mean, m.p50, m.p95);
                 break;
             }
         }

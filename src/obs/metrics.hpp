@@ -94,9 +94,11 @@ private:
 /// Log-bucketed histogram for durations (seconds) and sizes (bytes):
 /// bucket boundaries are powers of two from 2^-40 (~1 ns) to 2^24 (~16 M),
 /// plus an underflow bucket for v <= 0 and an overflow bucket on top.
-/// Tracks count/sum/min/max exactly; additionally keeps the first
-/// kReservoir raw samples so percentiles can be computed with
-/// util::percentile (exact early in a run, bucket-bounded accuracy after).
+/// Tracks count/sum/min/max exactly; additionally keeps a uniform random
+/// reservoir of kReservoir raw samples (Algorithm R with a deterministic
+/// splitmix hash of the observation index — reproducible runs, matching
+/// sb::fault's jitter style) so percentiles computed with util::percentile
+/// reflect the whole run, not its warm-up.
 class Histogram {
 public:
     static constexpr int kMinExp = -40;   // lowest bucket: v < 2^-40
@@ -122,7 +124,8 @@ public:
         return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
     }
 
-    /// The retained raw samples (at most kReservoir, earliest first).
+    /// The retained raw samples (at most kReservoir; a uniform random
+    /// subset of all observations, in slot order).
     std::vector<double> reservoir() const;
 
     void reset() noexcept;
@@ -189,8 +192,13 @@ public:
     double total(const std::string& name) const;
 
     /// Zeroes every instrument.  Identities survive: pointers previously
-    /// returned remain valid and start accumulating from zero again.
+    /// returned remain valid and start accumulating from zero again.  Also
+    /// restarts the uptime clock.
     void reset();
+
+    /// Seconds since this registry was created or last reset() — the
+    /// elapsed time counters accumulated over (rate = count / uptime).
+    double uptime_seconds() const;
 
 private:
     template <typename T>
@@ -207,14 +215,22 @@ private:
     std::map<std::string, Entry<Counter>> counters_;
     std::map<std::string, Entry<Gauge>> gauges_;
     std::map<std::string, Entry<Histogram>> histograms_;
+    double created_ = steady_seconds();  // uptime base; refreshed by reset()
 };
 
 /// Writes the snapshot as a JSON document: {"version":1,"metrics":[...]}.
-void write_metrics_json(std::ostream& out, const std::vector<MetricSnapshot>& metrics);
+/// `extra`, when non-empty, is spliced verbatim as additional top-level
+/// members (e.g. "\"critical_path\": {...}") — callers are responsible for
+/// it being valid JSON member syntax.
+void write_metrics_json(std::ostream& out, const std::vector<MetricSnapshot>& metrics,
+                        const std::string& extra = {});
 
 /// Renders the snapshot as an aligned human-readable table (counters,
 /// gauges with high-water marks, histograms with count/sum/mean/p50/p95/max
-/// via util::stats percentiles over the retained samples).
-std::string format_metrics_table(const std::vector<MetricSnapshot>& metrics);
+/// via util::stats percentiles over the retained samples).  With a positive
+/// `uptime_seconds` (e.g. Registry::uptime_seconds) the header carries an
+/// uptime line and counters gain a rate column (total / elapsed).
+std::string format_metrics_table(const std::vector<MetricSnapshot>& metrics,
+                                 double uptime_seconds = 0.0);
 
 }  // namespace sb::obs

@@ -1,0 +1,244 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace sb::obs {
+
+namespace {
+
+/// Largest entry of a stream->seconds map; ("", 0) when empty.
+std::pair<std::string, double> argmax(const std::map<std::string, double>& m) {
+    std::pair<std::string, double> best{"", 0.0};
+    for (const auto& [stream, s] : m) {
+        if (best.first.empty() || s > best.second) best = {stream, s};
+    }
+    return best;
+}
+
+double median_of(std::vector<double> xs) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+CriticalPathSummary analyze_critical_path(
+    const std::vector<InstanceSteps>& instances) {
+    CriticalPathSummary out;
+    if (instances.empty()) return out;
+
+    // Graph edges.  The workflow validator enforces single writer/reader
+    // groups per stream, so these maps are unambiguous for valid graphs.
+    std::map<std::string, std::size_t> producer_of;  // stream -> instance idx
+    std::map<std::string, std::size_t> consumer_of;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        for (const std::string& s : instances[i].outputs) producer_of[s] = i;
+        for (const std::string& s : instances[i].inputs) consumer_of[s] = i;
+    }
+
+    // Per instance: step -> observation row.
+    std::vector<std::map<std::uint64_t, const InstanceSteps::Step*>> rows(
+        instances.size());
+    std::set<std::uint64_t> steps;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        for (const InstanceSteps::Step& st : instances[i].steps) {
+            rows[i][st.step] = &st;
+            steps.insert(st.step);
+        }
+    }
+
+    // Sinks: no output consumed inside the workflow (the pipeline's end).
+    std::vector<std::size_t> sinks;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        bool consumed = false;
+        for (const std::string& s : instances[i].outputs) {
+            if (consumer_of.count(s)) consumed = true;
+        }
+        if (!consumed) sinks.push_back(i);
+    }
+
+    for (const std::uint64_t k : steps) {
+        // Start the walk at the sink that finished this step last — proxied
+        // by the largest compute + wait-in total (its completion closes the
+        // step's end-to-end latency).
+        const auto total_time = [&](std::size_t i) {
+            const auto it = rows[i].find(k);
+            if (it == rows[i].end()) return -1.0;
+            double t = it->second->compute;
+            for (const auto& [stream, w] : it->second->wait_in) t += w;
+            return t;
+        };
+        std::ptrdiff_t cur = -1;
+        double best = -1.0;
+        for (const std::size_t i : sinks) {
+            const double t = total_time(i);
+            if (t > best) {
+                best = t;
+                cur = static_cast<std::ptrdiff_t>(i);
+            }
+        }
+        if (cur < 0) {  // no sink has data for this step: fall back to any
+            for (std::size_t i = 0; i < instances.size(); ++i) {
+                const double t = total_time(i);
+                if (t > best) {
+                    best = t;
+                    cur = static_cast<std::ptrdiff_t>(i);
+                }
+            }
+        }
+        if (cur < 0) continue;
+
+        std::set<std::size_t> visited;
+        CriticalPathEntry entry;
+        entry.step = k;
+        for (;;) {
+            const std::size_t c = static_cast<std::size_t>(cur);
+            visited.insert(c);
+            const InstanceSteps::Step& d = *rows[c].at(k);
+            const auto [wstream, w] = argmax(d.wait_in);
+            const auto [bstream, b] = argmax(d.bp_out);
+            const double comp = d.compute;
+            if (comp >= w && comp >= b) {
+                entry.limiter = instances[c].instance;
+                entry.segment = SegmentKind::Compute;
+                entry.seconds = comp;
+                break;
+            }
+            if (w >= b) {
+                // Bottleneck upstream: follow the most waited-on input to
+                // its producer (if we can and haven't been there).
+                const auto pit = producer_of.find(wstream);
+                if (pit != producer_of.end() && !visited.count(pit->second) &&
+                    rows[pit->second].count(k)) {
+                    cur = static_cast<std::ptrdiff_t>(pit->second);
+                    continue;
+                }
+                entry.limiter = instances[c].instance;
+                entry.segment = SegmentKind::WaitIn;
+                entry.seconds = w;
+                break;
+            }
+            // Bottleneck downstream: a full queue means the consumer is not
+            // draining — follow the most backpressured output.
+            const auto cit = consumer_of.find(bstream);
+            if (cit != consumer_of.end() && !visited.count(cit->second) &&
+                rows[cit->second].count(k)) {
+                cur = static_cast<std::ptrdiff_t>(cit->second);
+                continue;
+            }
+            entry.limiter = instances[c].instance;
+            entry.segment = SegmentKind::BackpressureOut;
+            entry.seconds = b;
+            break;
+        }
+        out.per_step.push_back(entry);
+    }
+    out.steps = out.per_step.size();
+
+    // Aggregate by limiter.
+    struct Agg {
+        std::uint64_t count = 0;
+        std::vector<double> seconds;
+        std::map<SegmentKind, std::uint64_t> segments;
+    };
+    std::map<std::string, Agg> by;
+    for (const CriticalPathEntry& e : out.per_step) {
+        Agg& a = by[e.limiter];
+        ++a.count;
+        a.seconds.push_back(e.seconds);
+        ++a.segments[e.segment];
+    }
+    for (auto& [name, a] : by) {
+        CriticalPathSummary::PerInstance pi;
+        pi.instance = name;
+        pi.steps_limiting = a.count;
+        pi.median_seconds = median_of(std::move(a.seconds));
+        std::uint64_t best_n = 0;
+        for (const auto& [seg, n] : a.segments) {
+            if (n > best_n) {
+                best_n = n;
+                pi.segment = seg;
+            }
+        }
+        out.by_instance.push_back(std::move(pi));
+    }
+    std::sort(out.by_instance.begin(), out.by_instance.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.steps_limiting != b.steps_limiting) {
+                      return a.steps_limiting > b.steps_limiting;
+                  }
+                  return a.instance < b.instance;
+              });
+    return out;
+}
+
+std::string format_critical_path(const CriticalPathSummary& summary) {
+    std::ostringstream os;
+    if (summary.steps == 0) {
+        os << "critical path: no step timelines recorded (SB_METRICS off, or "
+              "no steps ran)\n";
+        return os.str();
+    }
+    os << "critical path over " << summary.steps << " step(s):\n";
+    char line[256];
+    for (const auto& pi : summary.by_instance) {
+        const double pct = 100.0 * static_cast<double>(pi.steps_limiting) /
+                           static_cast<double>(summary.steps);
+        std::snprintf(line, sizeof line,
+                      "  %-24s limits %3llu/%llu steps (%3.0f%%), median %.3f ms %s\n",
+                      pi.instance.c_str(),
+                      static_cast<unsigned long long>(pi.steps_limiting),
+                      static_cast<unsigned long long>(summary.steps), pct,
+                      pi.median_seconds * 1e3, segment_kind_name(pi.segment));
+        os << line;
+    }
+    constexpr std::size_t kMaxPerStepLines = 32;
+    if (summary.per_step.size() <= kMaxPerStepLines) {
+        for (const CriticalPathEntry& e : summary.per_step) {
+            std::snprintf(line, sizeof line, "    step %4llu  %-24s %-16s %10.3f ms\n",
+                          static_cast<unsigned long long>(e.step),
+                          e.limiter.c_str(), segment_kind_name(e.segment),
+                          e.seconds * 1e3);
+            os << line;
+        }
+    }
+    return os.str();
+}
+
+std::string critical_path_to_json(const CriticalPathSummary& summary) {
+    std::ostringstream os;
+    os << "{\"steps\":" << summary.steps << ",\"by_instance\":[";
+    bool first = true;
+    for (const auto& pi : summary.by_instance) {
+        const double frac = summary.steps
+                                ? static_cast<double>(pi.steps_limiting) /
+                                      static_cast<double>(summary.steps)
+                                : 0.0;
+        os << (first ? "" : ",") << "{\"instance\":\"" << json_escape(pi.instance)
+           << "\",\"steps_limiting\":" << pi.steps_limiting
+           << ",\"fraction\":" << json_number(frac)
+           << ",\"median_seconds\":" << json_number(pi.median_seconds)
+           << ",\"segment\":\"" << segment_kind_name(pi.segment) << "\"}";
+        first = false;
+    }
+    os << "],\"per_step\":[";
+    first = true;
+    for (const CriticalPathEntry& e : summary.per_step) {
+        os << (first ? "" : ",") << "{\"step\":" << e.step << ",\"limiter\":\""
+           << json_escape(e.limiter) << "\",\"segment\":\""
+           << segment_kind_name(e.segment)
+           << "\",\"seconds\":" << json_number(e.seconds) << "}";
+        first = false;
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace sb::obs

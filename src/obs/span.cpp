@@ -1,0 +1,107 @@
+#include "obs/span.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace sb::obs {
+
+const char* segment_kind_name(SegmentKind k) {
+    switch (k) {
+        case SegmentKind::Produce: return "produce";
+        case SegmentKind::Assemble: return "assemble";
+        case SegmentKind::BackpressureOut: return "backpressure-out";
+        case SegmentKind::Queue: return "queue";
+        case SegmentKind::WaitIn: return "wait-in";
+        case SegmentKind::Consume: return "consume";
+        case SegmentKind::Compute: return "compute";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string& actor_tls() {
+    thread_local std::string actor;
+    return actor;
+}
+
+}  // namespace
+
+ScopedActor::ScopedActor(std::string actor) : saved_(std::move(actor_tls())) {
+    actor_tls() = std::move(actor);
+}
+
+ScopedActor::~ScopedActor() { actor_tls() = std::move(saved_); }
+
+const std::string& ScopedActor::current() noexcept { return actor_tls(); }
+
+SpanStore& SpanStore::global() {
+    static SpanStore store;
+    return store;
+}
+
+void SpanStore::record(const std::string& scope, std::uint64_t step,
+                       SegmentKind kind, double t0, double t1, int rank) {
+    if (!enabled()) return;
+    StepSegment seg;
+    seg.kind = kind;
+    seg.t0 = t0;
+    seg.t1 = t1;
+    seg.rank = rank;
+    seg.actor = ScopedActor::current();
+
+    const std::lock_guard lock(mu_);
+    auto& steps = scopes_[scope];
+    auto it = steps.find(step);
+    if (it == steps.end()) {
+        // Sliding window of recent steps: evict the oldest, never refuse
+        // the newest (a long run's tail is what reports care about).
+        while (steps.size() >= kMaxStepsPerScope) steps.erase(steps.begin());
+        it = steps.emplace(step, std::vector<StepSegment>{}).first;
+    }
+    if (it->second.size() >= kMaxSegmentsPerStep) {
+        ++dropped_;
+        return;
+    }
+    it->second.push_back(std::move(seg));
+}
+
+std::vector<StepTimeline> SpanStore::timelines(const std::string& scope,
+                                               double after) const {
+    const std::lock_guard lock(mu_);
+    std::vector<StepTimeline> out;
+    const auto sit = scopes_.find(scope);
+    if (sit == scopes_.end()) return out;
+    for (const auto& [step, segments] : sit->second) {
+        StepTimeline tl;
+        tl.scope = scope;
+        tl.step = step;
+        for (const StepSegment& seg : segments) {
+            if (seg.t0 >= after) tl.segments.push_back(seg);
+        }
+        if (!tl.segments.empty()) out.push_back(std::move(tl));
+    }
+    return out;
+}
+
+std::vector<std::string> SpanStore::scopes() const {
+    const std::lock_guard lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(scopes_.size());
+    for (const auto& [scope, steps] : scopes_) {
+        if (!steps.empty()) out.push_back(scope);
+    }
+    return out;
+}
+
+std::uint64_t SpanStore::dropped() const {
+    const std::lock_guard lock(mu_);
+    return dropped_;
+}
+
+void SpanStore::clear() {
+    const std::lock_guard lock(mu_);
+    scopes_.clear();
+    dropped_ = 0;
+}
+
+}  // namespace sb::obs

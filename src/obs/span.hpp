@@ -1,0 +1,127 @@
+// Step provenance spans: the causal timeline of one workflow step.
+//
+// Aggregate metrics (obs::Registry) say how much time a stream spent
+// blocked; the trace log (obs::TraceLog) says when.  Neither says *which
+// step* — and attributing end-to-end step latency to a component needs
+// exactly that: for step k, when was it assembled by the writer group, how
+// long did it sit in the bounded queue, how long did each reader rank wait
+// for it, and how long did each component compute on it.
+//
+// The SpanStore records bounded per-(scope, step) timelines of such
+// segments.  A scope is either a stream name (transport segments: Produce /
+// Assemble / BackpressureOut / Queue / WaitIn / Consume) or a component
+// instance label like "magnitude#1" (Compute segments).  The workflow layer
+// joins the two through its dataflow graph: Workflow::critical_path walks a
+// step's segments across components to name the limiter, and
+// Workflow::write_trace exports producer->consumer flow events from them
+// (docs/OBSERVABILITY.md, "Step provenance spans").
+//
+// Recording is gated on obs::enabled() — with SB_METRICS=off every record
+// call is a single relaxed load — and, like TraceLog, the store is bounded:
+// per scope only the most recent kMaxStepsPerScope steps are retained, and
+// a step keeps at most kMaxSegmentsPerStep segments (drops are counted).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sb::obs {
+
+/// What a span segment measures.  Transport kinds are recorded against the
+/// stream's scope; Compute against the component instance's scope.
+enum class SegmentKind {
+    Produce,          // writer rank's begin_step..end_step session
+    Assemble,         // first contribution -> step fully assembled
+    BackpressureOut,  // last-arriving rank blocked pushing into a full queue
+    Queue,            // assembled step waiting in the writer-side queue
+    WaitIn,           // reader rank blocked in acquire for this step
+    Consume,          // reader rank's begin_step..end_step session
+    Compute,          // component kernel time for this step (one rank)
+};
+
+/// Stable lowercase name ("wait-in", "compute", ...) used in reports,
+/// metric labels, and the JSON export.
+const char* segment_kind_name(SegmentKind k);
+
+/// One recorded interval of a step's timeline.
+struct StepSegment {
+    SegmentKind kind = SegmentKind::Compute;
+    double t0 = 0.0;  // obs::steady_seconds
+    double t1 = 0.0;
+    int rank = -1;      // recording rank, -1 when not rank-scoped
+    std::string actor;  // component instance on the recording thread ("" unknown)
+
+    double seconds() const noexcept { return t1 - t0; }
+};
+
+/// All segments recorded for one (scope, step), in record order.
+struct StepTimeline {
+    std::string scope;
+    std::uint64_t step = 0;
+    std::vector<StepSegment> segments;
+};
+
+/// Labels the calling thread with the component instance it runs
+/// ("magnitude#1"), so transport-layer segments recorded on this thread
+/// carry the actor without every stream call site knowing about
+/// components.  RAII; nests (the previous label is restored).
+class ScopedActor {
+public:
+    explicit ScopedActor(std::string actor);
+    ~ScopedActor();
+    ScopedActor(const ScopedActor&) = delete;
+    ScopedActor& operator=(const ScopedActor&) = delete;
+
+    /// The calling thread's current actor label ("" when unset).
+    static const std::string& current() noexcept;
+
+private:
+    std::string saved_;
+};
+
+/// Process-wide bounded store of step timelines.  Thread-safe; recording
+/// is mutex-protected but low-rate (a handful of segments per step, never
+/// per element).
+class SpanStore {
+public:
+    static SpanStore& global();
+
+    SpanStore() = default;
+    SpanStore(const SpanStore&) = delete;
+    SpanStore& operator=(const SpanStore&) = delete;
+
+    static constexpr std::size_t kMaxStepsPerScope = 512;
+    static constexpr std::size_t kMaxSegmentsPerStep = 256;
+
+    /// Records one segment.  No-op when obs::enabled() is false.  The
+    /// calling thread's ScopedActor label is captured as the actor.
+    void record(const std::string& scope, std::uint64_t step, SegmentKind kind,
+                double t0, double t1, int rank = -1);
+
+    /// Timelines of `scope` ordered by step, keeping only segments with
+    /// t0 >= after (a workflow filters by its run epoch, like
+    /// TraceLog::events_after); steps left empty by the filter are omitted.
+    std::vector<StepTimeline> timelines(const std::string& scope,
+                                        double after = 0.0) const;
+
+    /// Every scope with at least one retained step.
+    std::vector<std::string> scopes() const;
+
+    /// Segments dropped to the per-step bound (per-scope step eviction is
+    /// not counted — retaining the newest steps is the intended behaviour).
+    std::uint64_t dropped() const;
+
+    void clear();
+
+private:
+    mutable std::mutex mu_;
+    // scope -> step -> segments; the inner map is pruned oldest-first past
+    // kMaxStepsPerScope (long runs keep a sliding window of recent steps).
+    std::map<std::string, std::map<std::uint64_t, std::vector<StepSegment>>> scopes_;
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sb::obs

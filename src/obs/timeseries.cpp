@@ -1,0 +1,199 @@
+#include "obs/timeseries.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace sb::obs {
+
+// ---- TimeSeries ------------------------------------------------------------
+
+TimeSeries::TimeSeries(std::size_t capacity) : ring_(capacity ? capacity : 1) {}
+
+void TimeSeries::push(double t, double v) {
+    ring_[head_] = Sample{t, v};
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+}
+
+std::vector<TimeSeries::Sample> TimeSeries::samples() const {
+    std::vector<Sample> out;
+    out.reserve(size_);
+    // Oldest first: when full, head_ points at the oldest sample.
+    const std::size_t start = size_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < size_; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+double TimeSeries::rate() const {
+    if (size_ < 2) return 0.0;
+    const std::size_t start = size_ < ring_.size() ? 0 : head_;
+    const Sample& first = ring_[start];
+    const Sample& last = ring_[(start + size_ - 1) % ring_.size()];
+    const double dt = last.t - first.t;
+    if (!(dt > 0.0)) return 0.0;
+    return (last.v - first.v) / dt;
+}
+
+double TimeSeries::last() const {
+    if (size_ == 0) return 0.0;
+    return ring_[(head_ + ring_.size() - 1) % ring_.size()].v;
+}
+
+// ---- Sampler ---------------------------------------------------------------
+
+Sampler::Sampler(Registry& registry, SamplerOptions opts)
+    : registry_(registry), opts_(std::move(opts)) {}
+
+Sampler::~Sampler() { stop(); }
+
+bool Sampler::selected(const std::string& name) const {
+    if (opts_.include.empty()) return true;
+    for (const std::string& prefix : opts_.include) {
+        if (name.compare(0, prefix.size(), prefix) == 0) return true;
+    }
+    return false;
+}
+
+void Sampler::sample_now() {
+    const std::vector<MetricSnapshot> metrics = registry_.snapshot();
+    const double t = steady_seconds();
+    const std::lock_guard lock(mu_);
+    if (start_t_ == 0.0) start_t_ = t;
+    for (const MetricSnapshot& m : metrics) {
+        if (m.type == MetricSnapshot::Type::Histogram) continue;
+        if (!selected(m.name)) continue;
+        std::string key = m.name;
+        key += '{';
+        for (const auto& [k, v] : m.labels) {
+            key += k;
+            key += '=';
+            key += v;
+            key += ',';
+        }
+        key += '}';
+        auto it = series_.find(key);
+        if (it == series_.end()) {
+            Series s;
+            s.name = m.name;
+            s.labels = m.labels;
+            s.is_gauge = m.type == MetricSnapshot::Type::Gauge;
+            s.series = TimeSeries(opts_.capacity);
+            it = series_.emplace(std::move(key), std::move(s)).first;
+        }
+        const double v = it->second.is_gauge ? m.value
+                                             : static_cast<double>(m.count);
+        it->second.series.push(t - start_t_, v);
+    }
+}
+
+void Sampler::loop() {
+    std::unique_lock lock(mu_);
+    std::uint64_t tick = 0;
+    while (!stop_) {
+        lock.unlock();
+        sample_now();
+        if (on_tick_) on_tick_(tick);
+        ++tick;
+        lock.lock();
+        cv_.wait_for(lock,
+                     std::chrono::duration<double, std::milli>(opts_.interval_ms),
+                     [&] { return stop_; });
+    }
+}
+
+void Sampler::start() {
+    {
+        const std::lock_guard lock(mu_);
+        if (running_) return;
+        running_ = true;
+        stop_ = false;
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+    {
+        const std::lock_guard lock(mu_);
+        if (!running_) return;
+        stop_ = true;
+        cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+    // Final flush: a run shorter than the interval still ends with one
+    // complete sample of every selected series.
+    sample_now();
+    const std::lock_guard lock(mu_);
+    running_ = false;
+}
+
+bool Sampler::running() const {
+    const std::lock_guard lock(mu_);
+    return running_;
+}
+
+double Sampler::elapsed_seconds() const {
+    const std::lock_guard lock(mu_);
+    if (start_t_ == 0.0) return 0.0;
+    return steady_seconds() - start_t_;
+}
+
+void Sampler::set_on_tick(std::function<void(std::uint64_t)> fn) {
+    const std::lock_guard lock(mu_);
+    on_tick_ = std::move(fn);
+}
+
+std::vector<Sampler::SeriesSnapshot> Sampler::snapshot() const {
+    const std::lock_guard lock(mu_);
+    std::vector<SeriesSnapshot> out;
+    out.reserve(series_.size());
+    for (const auto& [key, s] : series_) {
+        SeriesSnapshot snap;
+        snap.name = s.name;
+        snap.labels = s.labels;
+        snap.is_gauge = s.is_gauge;
+        snap.samples = s.series.samples();
+        snap.rate = s.series.rate();
+        snap.last = s.series.last();
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+// ---- export ----------------------------------------------------------------
+
+std::string timeseries_to_json(const std::vector<Sampler::SeriesSnapshot>& series,
+                               double interval_ms) {
+    std::ostringstream os;
+    os << "{\"interval_ms\":" << json_number(interval_ms) << ",\"series\":[";
+    bool first = true;
+    for (const Sampler::SeriesSnapshot& s : series) {
+        os << (first ? "" : ",") << "{\"name\":\"" << json_escape(s.name)
+           << "\",\"labels\":{";
+        first = false;
+        bool lfirst = true;
+        for (const auto& [k, v] : s.labels) {
+            os << (lfirst ? "" : ",") << '"' << json_escape(k) << "\":\""
+               << json_escape(v) << '"';
+            lfirst = false;
+        }
+        os << "},\"type\":\"" << (s.is_gauge ? "gauge" : "counter")
+           << "\",\"rate_per_s\":" << json_number(s.rate)
+           << ",\"last\":" << json_number(s.last) << ",\"samples\":[";
+        bool sfirst = true;
+        for (const TimeSeries::Sample& p : s.samples) {
+            os << (sfirst ? "" : ",") << "{\"t\":" << json_number(p.t)
+               << ",\"v\":" << json_number(p.v) << '}';
+            sfirst = false;
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace sb::obs

@@ -1,0 +1,139 @@
+// Time-series sampling of registry metrics.
+//
+// Counters and gauges are cumulative or instantaneous; what admission
+// control and autoscaling (ROADMAP items 2 and 4) need is *rates over
+// time*: steps/s, bytes/s, queue depth as a function of time.  The Sampler
+// is an opt-in background thread that snapshots selected counters/gauges
+// from a Registry on a fixed interval into fixed-size ring buffers
+// (TimeSeries), from which rates are derived.  Nothing here runs unless a
+// Sampler is constructed and started — the default observability cost
+// stays one relaxed atomic per instrument update.
+//
+// Consumers: Workflow::write_metrics embeds a "timeseries" JSON block when
+// a sampler is attached; smartblock_run --watch refreshes a live view from
+// on_tick; --metrics-interval dumps numbered snapshots from the same
+// thread (docs/OBSERVABILITY.md, "Time series").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sb::obs {
+
+/// Fixed-capacity ring of (t, value) samples for one metric.  Once full,
+/// the oldest sample is overwritten — rates always reflect the most recent
+/// capacity() samples.
+class TimeSeries {
+public:
+    explicit TimeSeries(std::size_t capacity = 256);
+
+    struct Sample {
+        double t = 0.0;  // obs::steady_seconds
+        double v = 0.0;
+    };
+
+    void push(double t, double v);
+
+    /// Retained samples, oldest first.
+    std::vector<Sample> samples() const;
+
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return ring_.size(); }
+
+    /// (v_last - v_first) / (t_last - t_first) over the retained window —
+    /// the average rate for a counter, the average slope for a gauge.
+    /// 0 with fewer than two samples or a degenerate time span.
+    double rate() const;
+
+    /// Most recent value (0 when empty).
+    double last() const;
+
+private:
+    std::vector<Sample> ring_;
+    std::size_t head_ = 0;  // next write position
+    std::size_t size_ = 0;
+};
+
+struct SamplerOptions {
+    double interval_ms = 250.0;
+    /// Ring capacity per tracked series.
+    std::size_t capacity = 256;
+    /// Metric-name prefixes to sample; empty samples every counter and
+    /// gauge (histograms are summarized by count/sum elsewhere and are
+    /// not time-series sampled).
+    std::vector<std::string> include;
+};
+
+class Sampler {
+public:
+    explicit Sampler(Registry& registry, SamplerOptions opts = {});
+    ~Sampler();  // stops the thread
+
+    Sampler(const Sampler&) = delete;
+    Sampler& operator=(const Sampler&) = delete;
+
+    void start();
+    void stop();
+    bool running() const;
+
+    /// One synchronous snapshot pass (the background thread calls this
+    /// every interval; tests and flush paths may call it directly).
+    void sample_now();
+
+    /// Invoked on the sampler thread after every background tick with the
+    /// tick index (0-based).  Set before start().
+    void set_on_tick(std::function<void(std::uint64_t)> fn);
+
+    double interval_ms() const noexcept { return opts_.interval_ms; }
+    /// Seconds since the first sample was taken (0 before any).
+    double elapsed_seconds() const;
+
+    /// Materialized view of every tracked series.
+    struct SeriesSnapshot {
+        std::string name;
+        Labels labels;
+        bool is_gauge = false;
+        std::vector<TimeSeries::Sample> samples;  // t relative to sampler start
+        double rate = 0.0;  // per second, over the retained window
+        double last = 0.0;
+    };
+    std::vector<SeriesSnapshot> snapshot() const;
+
+private:
+    void loop();
+    bool selected(const std::string& name) const;
+
+    Registry& registry_;
+    const SamplerOptions opts_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    bool running_ = false;
+    double start_t_ = 0.0;  // steady_seconds of the first sample
+    struct Series {
+        std::string name;
+        Labels labels;
+        bool is_gauge = false;
+        TimeSeries series;
+    };
+    std::map<std::string, Series> series_;  // keyed by name{labels}
+    std::function<void(std::uint64_t)> on_tick_;
+    std::thread thread_;
+};
+
+/// Renders the snapshot as a JSON value (an object, no trailing newline):
+/// {"interval_ms":250,"series":[{"name":...,"labels":{...},"rate_per_s":...,
+/// "samples":[{"t":...,"v":...},...]},...]}.  Embedded by
+/// Workflow::write_metrics as the "timeseries" block.
+std::string timeseries_to_json(const std::vector<Sampler::SeriesSnapshot>& series,
+                               double interval_ms);
+
+}  // namespace sb::obs

@@ -31,7 +31,8 @@ void TraceLog::counter(const std::string& name, const std::string& stream,
 }
 
 void TraceLog::slice(const std::string& name, const std::string& stream,
-                     const std::string& category, double t0, double t1) {
+                     const std::string& category, double t0, double t1,
+                     std::uint64_t id) {
     if (!enabled()) return;
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::Slice;
@@ -40,6 +41,7 @@ void TraceLog::slice(const std::string& name, const std::string& stream,
     ev.category = category;
     ev.t0 = t0;
     ev.t1 = t1;
+    ev.id = id;
     record(std::move(ev));
 }
 

@@ -29,6 +29,10 @@ struct TraceEvent {
     double t0 = 0.0;       // steady-clock seconds (obs::steady_seconds)
     double t1 = 0.0;       // slice end; unused for counter samples
     double value = 0.0;    // counter sample value
+    /// Step/span id the slice refers to (restart and replay slices carry
+    /// the resume step so a viewer can cross-reference the step timelines
+    /// in the SpanStore); 0 = none.
+    std::uint64_t id = 0;
 };
 
 class TraceLog {
@@ -43,9 +47,11 @@ public:
     /// (timestamped now).
     void counter(const std::string& name, const std::string& stream, double value);
 
-    /// Records a completed stall interval [t0, t1].
+    /// Records a completed stall interval [t0, t1].  A non-zero `id` tags
+    /// the slice with the step/span it refers to (TraceEvent::id).
     void slice(const std::string& name, const std::string& stream,
-               const std::string& category, double t0, double t1);
+               const std::string& category, double t0, double t1,
+               std::uint64_t id = 0);
 
     /// Events with t0 >= t, in record order (a workflow filters by its own
     /// run epoch so earlier runs in the same process don't leak in).

@@ -1,0 +1,208 @@
+// Minimal recursive-descent JSON parser shared by the observability tests:
+// the exporters (Workflow::write_trace / write_metrics, timeseries_to_json,
+// critical_path_to_json) must produce well-formed documents, not just
+// grep-able text, and the tests validate that by actually parsing them.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsonutil {
+
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    const JsonValue* find(const std::string& key) const {
+        const auto it = obj.find(key);
+        return it == obj.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : s_(text) {}
+
+    JsonValue parse() {
+        JsonValue v = value();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing content");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) {
+        throw std::runtime_error("JSON parse error at byte " + std::to_string(pos_) +
+                                 ": " + why);
+    }
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                    s_[pos_] == '\n' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end");
+        return s_[pos_];
+    }
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+    bool consume(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool consume_word(std::string_view w) {
+        if (s_.substr(pos_, w.size()) == w) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue value() {
+        skip_ws();
+        JsonValue v;
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"':
+                v.kind = JsonValue::Kind::String;
+                v.str = string();
+                return v;
+            case 't':
+                if (!consume_word("true")) fail("bad literal");
+                v.kind = JsonValue::Kind::Bool;
+                v.boolean = true;
+                return v;
+            case 'f':
+                if (!consume_word("false")) fail("bad literal");
+                v.kind = JsonValue::Kind::Bool;
+                return v;
+            case 'n':
+                if (!consume_word("null")) fail("bad literal");
+                return v;
+            default: return number();
+        }
+    }
+
+    JsonValue object() {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skip_ws();
+        if (consume('}')) return v;
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            v.obj.emplace(std::move(key), value());
+            skip_ws();
+            if (consume('}')) return v;
+            expect(',');
+        }
+    }
+
+    JsonValue array() {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skip_ws();
+        if (consume(']')) return v;
+        while (true) {
+            v.arr.push_back(value());
+            skip_ws();
+            if (consume(']')) return v;
+            expect(',');
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size()) fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("short \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // The exporters only emit \u00xx; that's all we decode.
+                    out.push_back(static_cast<char>(code & 0xff));
+                    break;
+                }
+                default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue number() {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
+        return v;
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+};
+
+inline JsonValue parse_json_file(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return JsonParser(ss.str()).parse();
+}
+
+}  // namespace jsonutil

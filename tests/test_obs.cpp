@@ -1,215 +1,31 @@
 // Tests for sb::obs: the instrument primitives, the registry, the trace
 // log, and — through a real 2-writer/3-reader workflow — the end-to-end
-// exporters (Workflow::write_trace / write_metrics).  A minimal
-// recursive-descent JSON parser validates that the exported files are
+// exporters (Workflow::write_trace / write_metrics).  The shared JSON
+// parser (json_test_util.hpp) validates that the exported files are
 // well-formed documents, not just grep-able text.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "core/workflow.hpp"
 #include "flexpath/stream.hpp"
+#include "json_test_util.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/source_component.hpp"
 
 namespace obs = sb::obs;
+using jsonutil::JsonParser;
+using jsonutil::JsonValue;
+using jsonutil::parse_json_file;
 
 namespace {
-
-// ---- minimal JSON parser ---------------------------------------------------
-
-struct JsonValue {
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<JsonValue> arr;
-    std::map<std::string, JsonValue> obj;
-
-    const JsonValue* find(const std::string& key) const {
-        const auto it = obj.find(key);
-        return it == obj.end() ? nullptr : &it->second;
-    }
-};
-
-class JsonParser {
-public:
-    explicit JsonParser(std::string_view text) : s_(text) {}
-
-    JsonValue parse() {
-        JsonValue v = value();
-        skip_ws();
-        if (pos_ != s_.size()) fail("trailing content");
-        return v;
-    }
-
-private:
-    [[noreturn]] void fail(const std::string& why) {
-        throw std::runtime_error("JSON parse error at byte " + std::to_string(pos_) +
-                                 ": " + why);
-    }
-    void skip_ws() {
-        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                    s_[pos_] == '\n' || s_[pos_] == '\r')) {
-            ++pos_;
-        }
-    }
-    char peek() {
-        if (pos_ >= s_.size()) fail("unexpected end");
-        return s_[pos_];
-    }
-    void expect(char c) {
-        if (peek() != c) fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-    bool consume(char c) {
-        if (pos_ < s_.size() && s_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-    bool consume_word(std::string_view w) {
-        if (s_.substr(pos_, w.size()) == w) {
-            pos_ += w.size();
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue value() {
-        skip_ws();
-        JsonValue v;
-        switch (peek()) {
-            case '{': return object();
-            case '[': return array();
-            case '"':
-                v.kind = JsonValue::Kind::String;
-                v.str = string();
-                return v;
-            case 't':
-                if (!consume_word("true")) fail("bad literal");
-                v.kind = JsonValue::Kind::Bool;
-                v.boolean = true;
-                return v;
-            case 'f':
-                if (!consume_word("false")) fail("bad literal");
-                v.kind = JsonValue::Kind::Bool;
-                return v;
-            case 'n':
-                if (!consume_word("null")) fail("bad literal");
-                return v;
-            default: return number();
-        }
-    }
-
-    JsonValue object() {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        skip_ws();
-        if (consume('}')) return v;
-        while (true) {
-            skip_ws();
-            std::string key = string();
-            skip_ws();
-            expect(':');
-            v.obj.emplace(std::move(key), value());
-            skip_ws();
-            if (consume('}')) return v;
-            expect(',');
-        }
-    }
-
-    JsonValue array() {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        skip_ws();
-        if (consume(']')) return v;
-        while (true) {
-            v.arr.push_back(value());
-            skip_ws();
-            if (consume(']')) return v;
-            expect(',');
-        }
-    }
-
-    std::string string() {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos_ >= s_.size()) fail("unterminated string");
-            const char c = s_[pos_++];
-            if (c == '"') return out;
-            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            if (pos_ >= s_.size()) fail("unterminated escape");
-            const char e = s_[pos_++];
-            switch (e) {
-                case '"': out.push_back('"'); break;
-                case '\\': out.push_back('\\'); break;
-                case '/': out.push_back('/'); break;
-                case 'b': out.push_back('\b'); break;
-                case 'f': out.push_back('\f'); break;
-                case 'n': out.push_back('\n'); break;
-                case 'r': out.push_back('\r'); break;
-                case 't': out.push_back('\t'); break;
-                case 'u': {
-                    if (pos_ + 4 > s_.size()) fail("short \\u escape");
-                    unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char h = s_[pos_++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-                        else fail("bad \\u escape");
-                    }
-                    // The exporters only emit \u00xx; that's all we decode.
-                    out.push_back(static_cast<char>(code & 0xff));
-                    break;
-                }
-                default: fail("bad escape");
-            }
-        }
-    }
-
-    JsonValue number() {
-        const std::size_t start = pos_;
-        if (consume('-')) {}
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
-                s_[pos_] == '-')) {
-            ++pos_;
-        }
-        if (pos_ == start) fail("bad number");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
-        return v;
-    }
-
-    std::string_view s_;
-    std::size_t pos_ = 0;
-};
-
-JsonValue parse_json_file(const std::string& path) {
-    std::ifstream in(path);
-    EXPECT_TRUE(in.good()) << "cannot open " << path;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return JsonParser(ss.str()).parse();
-}
 
 // Re-enables metrics when a test that disables them exits (other tests in
 // this binary rely on the instruments being live).
@@ -289,6 +105,25 @@ TEST(ObsHistogram, ReservoirKeepsEarlySamples) {
     EXPECT_EQ(samples.back(), 10.0);
 }
 
+// Percentile correctness regression: the reservoir is a *uniform* sample of
+// the whole observation sequence.  A keep-the-first-K reservoir fed a
+// monotonically increasing series would report a median near kReservoir/2
+// instead of N/2.
+TEST(ObsHistogram, ReservoirIsUniformOverAscendingSeries) {
+    obs::Histogram h;
+    constexpr int kN = 20000;
+    for (int i = 1; i <= kN; ++i) h.observe(static_cast<double>(i));
+    std::vector<double> samples = h.reservoir();
+    ASSERT_EQ(samples.size(), obs::Histogram::kReservoir);
+    std::sort(samples.begin(), samples.end());
+    const double median = samples[samples.size() / 2];
+    EXPECT_GT(median, kN * 0.40) << "reservoir is biased toward early samples";
+    EXPECT_LT(median, kN * 0.60) << "reservoir is biased toward late samples";
+    // Both tails of the run are represented.
+    EXPECT_LT(samples.front(), kN * 0.20);
+    EXPECT_GT(samples.back(), kN * 0.80);
+}
+
 // ---- registry --------------------------------------------------------------
 
 TEST(ObsRegistry, LabelsAddressDistinctInstruments) {
@@ -345,6 +180,63 @@ TEST(ObsRegistry, SnapshotCarriesHistogramStats) {
     EXPECT_TRUE(found);
 }
 
+// All three observability sinks — registry instruments, the trace log, and
+// the span store — are written from every component rank concurrently.
+// Hammer them from N threads (TSan turns any missed synchronization in the
+// hot paths into a hard failure) and check the totals are exact.
+TEST(ObsRegistry, ConcurrentHammerAcrossSinks) {
+    auto& reg = obs::Registry::global();
+    auto& tl = obs::TraceLog::global();
+    auto& spans = obs::SpanStore::global();
+    obs::set_enabled(true);
+    tl.clear();
+    spans.clear();
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2000;
+    obs::Counter& shared = reg.counter("test.hammer.shared");
+    shared.reset();
+    reg.histogram("test.hammer.h").reset();
+    const double epoch = obs::steady_seconds();
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const obs::ScopedActor actor("hammer#" + std::to_string(t));
+            obs::Counter& mine =
+                reg.counter("test.hammer.per", {{"t", std::to_string(t)}});
+            obs::Histogram& h = reg.histogram("test.hammer.h");
+            for (int i = 0; i < kIters; ++i) {
+                shared.inc();
+                mine.inc();
+                h.observe(static_cast<double>(i));
+                if (i % 256 == 0) {
+                    const double now = obs::steady_seconds();
+                    tl.counter("hammer depth", "hammer.fp", static_cast<double>(i));
+                    spans.record("hammer.fp", static_cast<std::uint64_t>(i),
+                                 obs::SegmentKind::Compute, now, now, t);
+                }
+                if (i % 512 == 0) (void)reg.snapshot();  // concurrent readers
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(shared.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_DOUBLE_EQ(reg.total("test.hammer.per"),
+                     static_cast<double>(kThreads) * kIters);
+    EXPECT_EQ(reg.histogram("test.hammer.h").count(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_GE(tl.events_after(epoch).size(), static_cast<std::size_t>(kThreads));
+    // Every thread recorded step 0; the per-step segment list holds all 8.
+    const auto timelines = spans.timelines("hammer.fp", epoch);
+    ASSERT_FALSE(timelines.empty());
+    EXPECT_EQ(timelines.front().step, 0u);
+    EXPECT_EQ(timelines.front().segments.size(), static_cast<std::size_t>(kThreads));
+    spans.clear();
+}
+
 // ---- json helpers ----------------------------------------------------------
 
 TEST(ObsJson, EscapesControlAndQuoteCharacters) {
@@ -365,6 +257,40 @@ TEST(ObsJson, NumbersAreAlwaysValidJson) {
     EXPECT_EQ(obs::json_number(std::nan("")), "0");
     const double v = 0.1234567890123;
     EXPECT_DOUBLE_EQ(std::stod(obs::json_number(v)), v);
+}
+
+// The exporter must stay valid JSON no matter what ends up in metric names
+// and label values — stream names come from user launch scripts and can
+// carry quotes, backslashes, newlines, and control bytes.
+TEST(ObsJson, PathologicalMetricNamesRoundTripThroughExporter) {
+    auto& reg = obs::Registry::global();
+    const std::string name = "test.patho.\"quoted\"\\back\nslash";
+    const std::string label_val = "a\"b\\c\nd\te\x01f";
+    reg.counter(name, {{"stream", label_val}}).add(7);
+    reg.gauge("test.patho.gauge", {{"k\"ey", "v\\al"}}).set(1.5);
+
+    std::ostringstream os;
+    obs::write_metrics_json(os, reg.snapshot());
+    const JsonValue doc = JsonParser(os.str()).parse();  // throws if malformed
+    const JsonValue* metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    bool found = false;
+    for (const JsonValue& m : metrics->arr) {
+        const JsonValue* n = m.find("name");
+        ASSERT_NE(n, nullptr);
+        if (n->str != name) continue;
+        found = true;
+        const JsonValue* labels = m.find("labels");
+        ASSERT_NE(labels, nullptr);
+        ASSERT_NE(labels->find("stream"), nullptr);
+        EXPECT_EQ(labels->find("stream")->str, label_val);
+        EXPECT_EQ(m.find("value")->number, 7.0);
+    }
+    EXPECT_TRUE(found) << "pathological name lost in export";
+
+    // The aligned table must not crash on them either.
+    const std::string table = obs::format_metrics_table(reg.snapshot());
+    EXPECT_NE(table.find("test.patho."), std::string::npos);
 }
 
 // ---- trace log -------------------------------------------------------------
