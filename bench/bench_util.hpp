@@ -38,6 +38,11 @@ struct GtcpRunConfig {
     int dimred1_procs = 1;
     int dimred2_procs = 1;
     int histo_procs = 1;
+    /// Transport knobs for every stream the workflow opens (buffering depth,
+    /// spooling) and the fusion mode — Auto follows SB_FUSE, so fused-vs-
+    /// unfused A/Bs pin On/Off explicitly.
+    flexpath::StreamOptions stream_options{};
+    core::FusionMode fusion = core::FusionMode::Auto;
 
     std::uint64_t sim_bytes_per_step() const {
         return slices * gridpoints * 7 * 8;
@@ -129,7 +134,8 @@ inline std::vector<GtcpRunConfig> gtcp_weak_scaling_ladder() {
 inline GtcpRunResult run_gtcp_workflow(const GtcpRunConfig& c) {
     sim::register_simulations();
     flexpath::Fabric fabric;
-    core::Workflow wf(fabric);
+    core::Workflow wf(fabric, c.stream_options);
+    wf.set_fusion(c.fusion);
     wf.add("gtcp", c.gtcp_procs,
            {"slices=" + std::to_string(c.slices),
             "gridpoints=" + std::to_string(c.gridpoints),

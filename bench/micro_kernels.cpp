@@ -1,16 +1,20 @@
 // Micro-benchmarks of the analysis kernels (google-benchmark): Dim-Reduce's
 // layout transformation in its contiguous and strided regimes, the
-// Histogram binning kernel, the Magnitude arithmetic, and FFS record
-// encode/decode of bulk arrays.
+// Histogram binning kernel, the Magnitude arithmetic, FFS record
+// encode/decode of bulk arrays, and Scalar-vs-Simd A/Bs of the
+// schedule-separated kernels in core/kernels.hpp (the vectorization half of
+// the fusion + SIMD work; see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
 #include "core/dim_reduce.hpp"
 #include "core/histogram.hpp"
+#include "core/kernels.hpp"
 #include "ffs/encode.hpp"
 
 namespace core = sb::core;
+namespace kn = sb::core::kernels;
 namespace u = sb::util;
 
 namespace {
@@ -97,6 +101,64 @@ void bm_ffs_decode_array(benchmark::State& state) {
                             static_cast<std::int64_t>(n * 8));
 }
 
+// ---- Scalar vs Simd schedules of the core/kernels.hpp entry points ---------
+
+void bm_sched_magnitude(benchmark::State& state, kn::Schedule s) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> vecs(n * 3), mags(n);
+    for (std::size_t i = 0; i < vecs.size(); ++i) {
+        vecs[i] = std::sin(0.001 * static_cast<double>(i));
+    }
+    for (auto _ : state) {
+        kn::magnitude(vecs.data(), n, 3, mags.data(), s);
+        benchmark::DoNotOptimize(mags.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_sched_histogram(benchmark::State& state, kn::Schedule s) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t bins = static_cast<std::size_t>(state.range(1));
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = std::sin(0.001 * double(i));
+    std::vector<std::uint64_t> counts(bins);
+    for (auto _ : state) {
+        std::fill(counts.begin(), counts.end(), 0);
+        kn::histogram_accumulate(v, -1.0, 1.0, counts, s);
+        benchmark::DoNotOptimize(counts.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_sched_threshold(benchmark::State& state, kn::Schedule s) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> v(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = std::sin(0.001 * double(i));
+    for (auto _ : state) {
+        const std::size_t kept =
+            kn::threshold_compact(v, kn::ThresholdOp::Above, 0.25, 0.0,
+                                  out.data(), s);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::DoNotOptimize(kept);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_sched_moments(benchmark::State& state, kn::Schedule s) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = std::sin(0.001 * double(i));
+    for (auto _ : state) {
+        auto acc = kn::moments_accumulate(v, s);
+        benchmark::DoNotOptimize(&acc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
 }  // namespace
 
 BENCHMARK(bm_dim_reduce_contiguous)->Arg(1024)->Arg(65536)->Unit(benchmark::kMicrosecond);
@@ -105,5 +167,14 @@ BENCHMARK(bm_histogram_counts)->Args({65536, 16})->Args({65536, 1024})->Args({10
 BENCHMARK(bm_magnitude_kernel)->Arg(65536)->Arg(1048576);
 BENCHMARK(bm_ffs_encode_array)->Arg(1024)->Arg(1048576)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_ffs_decode_array)->Arg(1024)->Arg(1048576)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_CAPTURE(bm_sched_magnitude, scalar, kn::Schedule::Scalar)->Arg(1048576);
+BENCHMARK_CAPTURE(bm_sched_magnitude, simd, kn::Schedule::Simd)->Arg(1048576);
+BENCHMARK_CAPTURE(bm_sched_histogram, scalar, kn::Schedule::Scalar)->Args({1048576, 16});
+BENCHMARK_CAPTURE(bm_sched_histogram, simd, kn::Schedule::Simd)->Args({1048576, 16});
+BENCHMARK_CAPTURE(bm_sched_threshold, scalar, kn::Schedule::Scalar)->Arg(1048576);
+BENCHMARK_CAPTURE(bm_sched_threshold, simd, kn::Schedule::Simd)->Arg(1048576);
+BENCHMARK_CAPTURE(bm_sched_moments, scalar, kn::Schedule::Scalar)->Arg(1048576);
+BENCHMARK_CAPTURE(bm_sched_moments, simd, kn::Schedule::Simd)->Arg(1048576);
 
 BENCHMARK_MAIN();

@@ -13,6 +13,7 @@
 //   smartblock_run --watch <script>                live progress line while running
 //   smartblock_run --metrics-interval=250 <script> periodic numbered metrics dumps
 //   smartblock_run --fault <spec> <script>         arm fault injection (SB_FAULT syntax)
+//   smartblock_run --fuse=off <script>             pin operator fusion (on|off|auto)
 //   smartblock_run --restart-policy on_failure:3 <script>   supervise + restart
 //   smartblock_run --liveness-ms 5000 <script>     hung-peer detection timeout
 //
@@ -44,6 +45,7 @@ void print_usage() {
                  "usage: smartblock_run [--validate|--dot] [--trace <out.json>] "
                  "[--metrics <out.json>] [--report] [--watch] "
                  "[--metrics-interval=<ms>] [--read-ahead <depth>] "
+                 "[--fuse=on|off|auto] "
                  "[--fault <spec>] [--restart-policy never|on_failure[:max]] "
                  "[--liveness-ms <ms>] <workflow-script> "
                  "[queue-capacity]\n\nregistered components:\n");
@@ -73,6 +75,7 @@ int main(int argc, char** argv) {
     const char* metrics_path = nullptr;
     const char* fault_spec = nullptr;
     const char* restart_policy = nullptr;
+    const char* fuse = nullptr;  // null = resolve from SB_FUSE
     std::size_t read_ahead = 0;  // 0 = resolve from SB_READ_AHEAD / default
     double liveness_ms = -1.0;   // -1 = resolve from SB_LIVENESS_MS / disabled
     int argi = 1;
@@ -89,6 +92,9 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[argi], "--liveness-ms") == 0 && argi + 1 < argc) {
             liveness_ms = std::stod(argv[argi + 1]);
             argi += 2;
+        } else if (std::strncmp(argv[argi], "--fuse=", 7) == 0) {
+            fuse = argv[argi] + 7;
+            ++argi;
         } else if (std::strcmp(argv[argi], "--report") == 0) {
             report = true;
             ++argi;
@@ -165,6 +171,21 @@ int main(int argc, char** argv) {
         }
         sb::flexpath::Fabric fabric;
         sb::core::Workflow wf = sb::core::build_workflow(fabric, script, opts);
+        if (fuse) {
+            const std::string f(fuse);
+            if (f == "on") {
+                wf.set_fusion(sb::core::FusionMode::On);
+            } else if (f == "off") {
+                wf.set_fusion(sb::core::FusionMode::Off);
+            } else if (f == "auto") {
+                wf.set_fusion(sb::core::FusionMode::Auto);
+            } else {
+                std::fprintf(stderr,
+                             "smartblock_run: bad --fuse '%s' (on | off | auto)\n",
+                             fuse);
+                return 2;
+            }
+        }
         if (restart_policy) {
             const std::string p(restart_policy);
             if (p == "never") {

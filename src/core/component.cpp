@@ -102,36 +102,45 @@ std::optional<std::size_t> parse_header_dim(const std::string& key,
 
 }  // namespace
 
-void propagate_attributes(const adios::Reader& in, adios::Writer& out,
-                          const AttrRules& rules) {
+AttrSet apply_attr_rules(const AttrSet& in, const AttrRules& rules) {
+    AttrSet out;
     const std::string in_prefix = rules.in_array + ".";
-    for (const auto& [key, values] : in.string_attributes()) {
+    for (const auto& [key, values] : in.strings) {
         if (const auto d = parse_header_dim(key, rules.in_array)) {
             if (rules.drop_in_dims.count(*d)) continue;
             if (rules.dim_map.empty()) {
-                out.write_attribute(header_attr_key(rules.out_array, *d), values);
+                out.strings[header_attr_key(rules.out_array, *d)] = values;
             } else {
                 for (std::size_t j = 0; j < rules.dim_map.size(); ++j) {
                     if (rules.dim_map[j] == *d) {
-                        out.write_attribute(header_attr_key(rules.out_array, j), values);
+                        out.strings[header_attr_key(rules.out_array, j)] = values;
                     }
                 }
             }
         } else if (key.compare(0, in_prefix.size(), in_prefix) == 0) {
-            out.write_attribute(rules.out_array + "." + key.substr(in_prefix.size()),
-                                values);
+            out.strings[rules.out_array + "." + key.substr(in_prefix.size())] =
+                values;
         } else {
-            out.write_attribute(key, values);
+            out.strings[key] = values;
         }
     }
-    for (const auto& [key, value] : in.double_attributes()) {
+    for (const auto& [key, value] : in.doubles) {
         if (key.compare(0, in_prefix.size(), in_prefix) == 0) {
-            out.write_attribute(rules.out_array + "." + key.substr(in_prefix.size()),
-                                value);
+            out.doubles[rules.out_array + "." + key.substr(in_prefix.size())] =
+                value;
         } else {
-            out.write_attribute(key, value);
+            out.doubles[key] = value;
         }
     }
+    return out;
+}
+
+void propagate_attributes(const adios::Reader& in, adios::Writer& out,
+                          const AttrRules& rules) {
+    const AttrSet mapped = apply_attr_rules(
+        AttrSet{in.string_attributes(), in.double_attributes()}, rules);
+    for (const auto& [key, values] : mapped.strings) out.write_attribute(key, values);
+    for (const auto& [key, value] : mapped.doubles) out.write_attribute(key, value);
 }
 
 void record_step(const RunContext& ctx, std::uint64_t step, double seconds,

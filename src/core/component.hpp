@@ -164,9 +164,22 @@ struct AttrRules {
     std::set<std::size_t> drop_in_dims;
 };
 
-/// Copies the current step's attributes from `in` to `out`, renaming
-/// `<in_array>.*` keys to `<out_array>.*` and remapping header dimension
-/// indices per the rules.  Unrelated attributes pass through unchanged.
+/// One step's attributes as plain maps — the in-memory currency of the
+/// fused-chain executor (core/fusion.hpp), where intermediate streams never
+/// materialize but their attribute semantics must still compose.
+struct AttrSet {
+    std::map<std::string, std::vector<std::string>> strings;
+    std::map<std::string, double> doubles;
+};
+
+/// Applies `rules` to `in`, producing the attribute set the downstream step
+/// would observe: `<in_array>.*` keys rename to `<out_array>.*`, header
+/// dimension indices remap per dim_map, dropped dimensions' headers vanish,
+/// unrelated attributes pass through unchanged.
+AttrSet apply_attr_rules(const AttrSet& in, const AttrRules& rules);
+
+/// Copies the current step's attributes from `in` to `out` through
+/// apply_attr_rules — the standalone components' per-hop propagation.
 void propagate_attributes(const adios::Reader& in, adios::Writer& out,
                           const AttrRules& rules);
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 
+#include "core/kernels.hpp"
 #include "util/timer.hpp"
 
 namespace sb::core {
@@ -68,10 +69,10 @@ void dim_reduce_copy(std::span<const std::byte> src, const util::NdShape& in_sha
                         inner_n * elem);
             src_off += inner_n;
         } else {
-            for (std::uint64_t k = 0; k < inner_n; ++k) {
-                std::memcpy(dst.data() + (dst_off + k * eff[nd - 1]) * elem,
-                            src.data() + (src_off + k) * elem, elem);
-            }
+            kernels::scatter_strided(src.data() + src_off * elem,
+                                     dst.data() + dst_off * elem, inner_n,
+                                     eff[nd - 1], elem,
+                                     kernels::active_schedule());
             src_off += inner_n;
         }
         // Advance dims [0, nd-1).

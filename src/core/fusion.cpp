@@ -1,0 +1,974 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "adios/reader.hpp"
+#include "adios/writer.hpp"
+#include "core/dim_reduce.hpp"
+#include "core/histogram.hpp"
+#include "core/kernels.hpp"
+#include "core/moments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/timer.hpp"
+
+namespace sb::core {
+
+bool fusion_enabled_from_env() {
+    static const bool enabled = [] {
+        const char* v = std::getenv("SB_FUSE");
+        if (v == nullptr) return true;
+        const std::string s(v);
+        return !(s == "off" || s == "0" || s == "false");
+    }();
+    return enabled;
+}
+
+bool fusion_enabled(FusionMode mode) {
+    switch (mode) {
+        case FusionMode::On:
+            return true;
+        case FusionMode::Off:
+            return false;
+        case FusionMode::Auto:
+            break;
+    }
+    return fusion_enabled_from_env();
+}
+
+std::size_t FusionPlan::chain_of(std::size_t i) const {
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        for (const FusedStage& st : chains[c].stages) {
+            if (st.instance == i) return c;
+        }
+    }
+    return npos;
+}
+
+// ---- planner --------------------------------------------------------------
+
+namespace {
+
+using Kind = FusedStage::Kind;
+
+bool is_sink(Kind k) { return k == Kind::Histogram || k == Kind::Moments; }
+
+/// Parses one candidate's arguments into a FusedStage, exactly mirroring the
+/// standalone component's validation.  Anything that does not parse (unknown
+/// component, malformed arguments) simply stays unfused — the standalone run
+/// then raises the same error the seed would.
+std::optional<FusedStage> parse_stage(const FusionCandidate& c, std::size_t index) {
+    FusedStage st;
+    st.instance = index;
+    st.component = c.component;
+    const util::ArgList& a = c.args;
+    try {
+        if (c.component == "select") {
+            st.kind = Kind::Select;
+            a.require_at_least(6, "select");
+            st.in_stream = a.str(0, "input-stream-name");
+            st.in_array = a.str(1, "input-array-name");
+            st.dim = a.unsigned_integer(2, "dimension-index");
+            st.out_stream = a.str(3, "output-stream-name");
+            st.out_array = a.str(4, "output-array-name");
+            st.wanted = a.rest(5);
+        } else if (c.component == "magnitude") {
+            st.kind = Kind::Magnitude;
+            a.require_at_least(4, "magnitude");
+            st.in_stream = a.str(0, "input-stream-name");
+            st.in_array = a.str(1, "input-array-name");
+            st.out_stream = a.str(2, "output-stream-name");
+            st.out_array = a.str(3, "output-array-name");
+        } else if (c.component == "threshold") {
+            st.kind = Kind::Threshold;
+            a.require_at_least(6, "threshold");
+            st.in_stream = a.str(0, "input-stream-name");
+            st.in_array = a.str(1, "input-array-name");
+            st.tmode = parse_threshold_mode(a.str(2, "mode"));
+            st.lo = a.real(3, "lo");
+            std::size_t next = 4;
+            if (st.tmode == ThresholdMode::Band) {
+                a.require_at_least(7, "threshold");
+                st.hi = a.real(next++, "hi");
+                if (st.hi < st.lo) return std::nullopt;  // run() raises ArgError
+            }
+            st.out_stream = a.str(next++, "output-stream-name");
+            st.out_array = a.str(next++, "output-array-name");
+        } else if (c.component == "dim-reduce") {
+            st.kind = Kind::DimReduce;
+            a.require_at_least(6, "dim-reduce");
+            st.in_stream = a.str(0, "input-stream-name");
+            st.in_array = a.str(1, "input-array-name");
+            st.remove = a.unsigned_integer(2, "dim-to-remove");
+            st.grow = a.unsigned_integer(3, "dim-to-grow");
+            st.out_stream = a.str(4, "output-stream-name");
+            st.out_array = a.str(5, "output-array-name");
+        } else if (c.component == "downsample") {
+            st.kind = Kind::Downsample;
+            a.require_at_least(6, "downsample");
+            st.in_stream = a.str(0, "input-stream-name");
+            st.in_array = a.str(1, "input-array-name");
+            st.dim = a.unsigned_integer(2, "dimension-index");
+            st.stride = a.unsigned_integer(3, "stride");
+            st.out_stream = a.str(4, "output-stream-name");
+            st.out_array = a.str(5, "output-array-name");
+            if (st.stride == 0) return std::nullopt;
+        } else if (c.component == "histogram") {
+            st.kind = Kind::Histogram;
+            a.require_at_least(3, "histogram");
+            st.in_stream = a.str(0, "input-stream-name");
+            st.in_array = a.str(1, "input-array-name");
+            st.bins = a.unsigned_integer(2, "num-bins");
+            st.out_file = a.size() > 3 ? a.str(3, "output-file")
+                                       : "histogram_" + st.in_array + ".txt";
+            if (st.bins == 0) return std::nullopt;
+        } else if (c.component == "moments") {
+            st.kind = Kind::Moments;
+            a.require_at_least(2, "moments");
+            st.in_stream = a.str(0, "input-stream-name");
+            st.in_array = a.str(1, "input-array-name");
+            st.out_file = a.size() > 2 ? a.str(2, "output-file")
+                                       : "moments_" + st.in_array + ".txt";
+        } else {
+            return std::nullopt;
+        }
+    } catch (const util::ArgError&) {
+        return std::nullopt;
+    }
+    // Interior/tail stages read the elided stream as the upstream's output
+    // array; the chain link check below enforces the array-name match.
+    return st;
+}
+
+}  // namespace
+
+FusionPlan plan_fusion(const std::vector<FusionCandidate>& candidates) {
+    FusionPlan plan;
+    const std::size_t n = candidates.size();
+
+    // An opaque component could open any stream, so single-reader /
+    // single-writer cannot be proven for anything: no fusion at all.
+    for (const FusionCandidate& c : candidates) {
+        if (!c.ports.known) {
+            plan.notes.push_back("fusion disabled: component '" + c.component +
+                                 "' has undeclared ports");
+            return plan;
+        }
+    }
+
+    // Stream endpoint maps over *all* instances (including unfusible ones):
+    // a Fork or a second Histogram tapping a stream is a fusion boundary.
+    std::map<std::string, std::vector<std::size_t>> writers;
+    std::map<std::string, std::vector<std::size_t>> readers;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::string& s : candidates[i].ports.outputs) writers[s].push_back(i);
+        for (const std::string& s : candidates[i].ports.inputs) readers[s].push_back(i);
+    }
+
+    std::vector<std::optional<FusedStage>> stage(n);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = parse_stage(candidates[i], i);
+
+    // succ[i] = the unique fusible downstream stage of i, when legal.
+    std::vector<std::optional<std::size_t>> succ(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!stage[i] || is_sink(stage[i]->kind)) continue;
+        const std::string& s = stage[i]->out_stream;
+        const auto wit = writers.find(s);
+        if (wit == writers.end() || wit->second.size() != 1 || wit->second[0] != i) {
+            plan.notes.push_back("stream '" + s + "' has multiple writers: not fused");
+            continue;
+        }
+        const auto rit = readers.find(s);
+        if (rit == readers.end() || rit->second.empty()) continue;  // dangling
+        if (rit->second.size() != 1) {
+            plan.notes.push_back("stream '" + s + "' fans out to " +
+                                 std::to_string(rit->second.size()) +
+                                 " readers: not fused");
+            continue;
+        }
+        const std::size_t j = rit->second[0];
+        if (j == i || !stage[j]) continue;
+        if (stage[j]->in_stream != s) continue;
+        if (candidates[i].nprocs != candidates[j].nprocs) {
+            plan.notes.push_back("stream '" + s + "': " +
+                                 std::to_string(candidates[i].nprocs) + " -> " +
+                                 std::to_string(candidates[j].nprocs) +
+                                 " ranks re-distribute: not fused");
+            continue;
+        }
+        if (stage[j]->in_array != stage[i]->out_array) {
+            plan.notes.push_back("stream '" + s + "': reader wants array '" +
+                                 stage[j]->in_array + "', writer publishes '" +
+                                 stage[i]->out_array + "': not fused");
+            continue;
+        }
+        succ[i] = j;
+    }
+
+    std::vector<bool> has_pred(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (succ[i]) has_pred[*succ[i]] = true;
+    }
+
+    std::vector<bool> claimed(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!stage[i] || is_sink(stage[i]->kind) || has_pred[i] || !succ[i]) continue;
+        std::vector<std::size_t> members{i};
+        bool all_magnitude = stage[i]->kind == Kind::Magnitude;
+        std::size_t cur = i;
+        while (succ[cur]) {
+            const std::size_t j = *succ[cur];
+            if (claimed[j]) break;
+            const FusedStage& sj = *stage[j];
+            if (sj.kind == Kind::Moments && !all_magnitude) {
+                // Moments' floating-point sums are partition-order-sensitive;
+                // only an all-Magnitude prefix reproduces the unfused
+                // partitioning bit for bit (fusion.hpp).
+                plan.notes.push_back("moments after non-magnitude stages: not fused");
+                break;
+            }
+            members.push_back(j);
+            if (is_sink(sj.kind)) break;
+            all_magnitude = all_magnitude && sj.kind == Kind::Magnitude;
+            cur = j;
+        }
+        if (members.size() < 2) continue;
+        FusedChain chain;
+        for (const std::size_t m : members) {
+            chain.stages.push_back(*stage[m]);
+            claimed[m] = true;
+        }
+        plan.chains.push_back(std::move(chain));
+    }
+    return plan;
+}
+
+// ---- executor -------------------------------------------------------------
+
+namespace {
+
+/// A rank's share of one intermediate array.  `box` may be partial along at
+/// most the single dimension `partial` (full extent everywhere else); that
+/// invariant is rank-uniform by construction, so every gather/repartition
+/// decision is taken by all ranks together without a collective.  After
+/// Threshold the boxes are rank-ordered ragged intervals of dimension 0 —
+/// still "partial in 0".
+struct Slab {
+    util::NdShape shape;
+    util::Box box;
+    adios::DataKind kind = adios::DataKind::Float64;
+    std::vector<std::string> dim_labels;
+    std::size_t partial = 0;
+    std::vector<std::byte> owned;     // backing storage unless a transport view
+    std::span<const std::byte> data;  // always valid while the step is open
+
+    std::span<const double> doubles() const {
+        return {reinterpret_cast<const double*>(data.data()),
+                data.size() / sizeof(double)};
+    }
+};
+
+std::string label_or_empty(const std::vector<std::string>& labels, std::size_t d) {
+    return d < labels.size() ? labels[d] : std::string{};
+}
+
+/// One rank of one fused chain, head stream to tail endpoint.
+class ChainRun {
+public:
+    ChainRun(RunContext& ctx, const FusedChain& chain,
+             const std::vector<FusedStageHooks>& hooks)
+        : ctx_(ctx),
+          chain_(chain),
+          hooks_(hooks),
+          rank_(ctx.comm.rank()),
+          size_(ctx.comm.size()),
+          reader_(ctx.fabric, chain.head().in_stream, rank_, size_),
+          gathers_(obs::Registry::global().counter(
+              "fusion.gather_fallbacks", {{"chain", hooks.front().instance}})) {
+        stage_ctx_.reserve(chain.stages.size());
+        for (std::size_t k = 0; k < chain.stages.size(); ++k) {
+            RunContext sc(ctx.fabric, ctx.comm, hooks[k].stats, ctx.stream_options);
+            sc.component = chain.stages[k].component;
+            sc.instance = hooks[k].instance;
+            sc.attempt = ctx.attempt;
+            stage_ctx_.push_back(std::move(sc));
+        }
+    }
+
+    void run() {
+        const FusedStage& tail = chain_.tail();
+        if (!chain_.tail_writes_stream() && rank_ == 0) {
+            if (tail.kind == Kind::Histogram) {
+                // A restarted incarnation appends, exactly like the
+                // standalone component: steps written before the failure were
+                // force-acknowledged upstream and will not be replayed.
+                sink_out_.open(tail.out_file,
+                               ctx_.attempt > 0 ? std::ios::app : std::ios::trunc);
+                if (!sink_out_) {
+                    throw std::runtime_error("histogram: cannot write '" +
+                                             tail.out_file + "'");
+                }
+            } else {
+                sink_out_.open(tail.out_file, std::ios::trunc);
+                if (!sink_out_) {
+                    throw std::runtime_error("moments: cannot write '" +
+                                             tail.out_file + "'");
+                }
+                sink_out_ << "# step count mean variance skewness min max\n";
+            }
+        }
+
+        for (;;) {
+            bool more = false;
+            {
+                const obs::ScopedActor actor(hooks_.front().instance);
+                more = reader_.begin_step();
+            }
+            if (!more) break;
+            const std::uint64_t step = reader_.step();
+            attrs_ = AttrSet{reader_.string_attributes(), reader_.double_attributes()};
+            slab_ = Slab{};
+            for (std::size_t k = 0; k < chain_.stages.size(); ++k) {
+                util::WallTimer timer;
+                std::uint64_t bytes_in = 0;
+                std::uint64_t bytes_out = 0;
+                if (k == 0) {
+                    // Head reads are attributed to the head instance, so flow
+                    // arrows into the chain name the original component.
+                    const obs::ScopedActor actor(hooks_.front().instance);
+                    apply_stage(k, step, bytes_in, bytes_out);
+                } else {
+                    apply_stage(k, step, bytes_in, bytes_out);
+                }
+                record_step(stage_ctx_[k], step, timer.seconds(), bytes_in, bytes_out);
+            }
+            {
+                const obs::ScopedActor actor(hooks_.front().instance);
+                reader_.end_step();
+            }
+        }
+
+        if (chain_.tail_writes_stream()) {
+            const obs::ScopedActor actor(hooks_.back().instance);
+            if (!writer_) {
+                // Empty input stream: the group must still attach and close so
+                // end-of-stream propagates downstream (standalone parity).
+                writer_.emplace(ctx_.fabric, tail.out_stream,
+                                output_group(tail.component, tail.out_array, {}),
+                                rank_, size_, ctx_.stream_options);
+            }
+            writer_->close();
+        }
+    }
+
+private:
+    // ---- data movement ----------------------------------------------------
+
+    /// Assembles the full intermediate on every rank (the executor's escape
+    /// hatch when a stage needs data the current partitioning splits).
+    void gather_full(Slab& s) {
+        const std::size_t elem = ffs::kind_size(s.kind);
+        const std::size_t nd = s.shape.ndim();
+        // One message: [ndim][offset...][count...][payload].
+        mpi::Bytes msg((1 + 2 * nd) * sizeof(std::uint64_t) + s.data.size());
+        const auto put_u64 = [&msg](std::size_t slot, std::uint64_t v) {
+            std::memcpy(msg.data() + slot * sizeof(std::uint64_t), &v, sizeof(v));
+        };
+        put_u64(0, nd);
+        for (std::size_t d = 0; d < nd; ++d) {
+            put_u64(1 + d, s.box.offset[d]);
+            put_u64(1 + nd + d, s.box.count[d]);
+        }
+        if (!s.data.empty()) {
+            std::memcpy(msg.data() + (1 + 2 * nd) * sizeof(std::uint64_t),
+                        s.data.data(), s.data.size());
+        }
+
+        const std::vector<mpi::Bytes> all = ctx_.comm.allgather_bytes(std::move(msg));
+
+        std::vector<std::byte> full(s.shape.volume() * elem);
+        const util::Box whole = util::Box::whole(s.shape);
+        for (const mpi::Bytes& m : all) {
+            std::uint64_t peer_nd = 0;
+            std::memcpy(&peer_nd, m.data(), sizeof(peer_nd));
+            util::Box b;
+            b.offset.resize(peer_nd);
+            b.count.resize(peer_nd);
+            for (std::size_t d = 0; d < peer_nd; ++d) {
+                std::memcpy(&b.offset[d], m.data() + (1 + d) * sizeof(std::uint64_t),
+                            sizeof(std::uint64_t));
+                std::memcpy(&b.count[d],
+                            m.data() + (1 + peer_nd + d) * sizeof(std::uint64_t),
+                            sizeof(std::uint64_t));
+            }
+            if (b.volume() == 0) continue;
+            const std::span<const std::byte> payload(
+                m.data() + (1 + 2 * peer_nd) * sizeof(std::uint64_t),
+                m.size() - (1 + 2 * peer_nd) * sizeof(std::uint64_t));
+            util::copy_box(payload, b, full, whole, b, elem);
+        }
+        s.owned = std::move(full);
+        s.data = s.owned;
+        s.box = whole;
+        gathers_.inc();
+    }
+
+    /// Re-partitions the slab along `dim` (collective: every rank calls this
+    /// under the same rank-uniform condition).
+    void repartition(Slab& s, std::size_t dim) {
+        gather_full(s);
+        const std::size_t elem = ffs::kind_size(s.kind);
+        const util::Box box = util::partition_along(s.shape, dim, rank_, size_);
+        std::vector<std::byte> sub(box.volume() * elem);
+        if (box.volume() != 0) util::copy_box(s.data, s.box, sub, box, box, elem);
+        s.owned = std::move(sub);
+        s.data = s.owned;
+        s.box = box;
+        s.partial = dim;
+    }
+
+    /// Head ingest for the slab-reading stages: this rank's partition along
+    /// `pdim`, straight off the transport payload when the slab lines up
+    /// with one writer block.
+    void read_head(const FusedStage& st, std::size_t pdim, std::uint64_t& bytes_in) {
+        const adios::VarInfo info = reader_.inq_var(st.in_array);
+        Slab s;
+        s.shape = info.shape;
+        s.kind = info.kind;
+        s.dim_labels = info.dim_labels;
+        s.box = util::partition_along(info.shape, pdim, rank_, size_);
+        s.partial = pdim;
+        if (const auto view = reader_.try_read_view_bytes(st.in_array, s.box)) {
+            s.data = *view;
+        } else {
+            s.owned.resize(s.box.volume() * ffs::kind_size(info.kind));
+            reader_.read_bytes(st.in_array, s.box, s.owned);
+            s.data = s.owned;
+        }
+        bytes_in = s.data.size();
+        slab_ = std::move(s);
+    }
+
+    // ---- stages -----------------------------------------------------------
+
+    void apply_stage(std::size_t k, std::uint64_t step, std::uint64_t& bytes_in,
+                     std::uint64_t& bytes_out) {
+        const FusedStage& st = chain_.stages[k];
+        const bool head = k == 0;
+        switch (st.kind) {
+            case Kind::Select:
+                stage_select(st, head, bytes_in);
+                break;
+            case Kind::Magnitude:
+                stage_magnitude(st, head, bytes_in);
+                break;
+            case Kind::Threshold:
+                stage_threshold(st, head, bytes_in);
+                break;
+            case Kind::DimReduce:
+                stage_dim_reduce(st, head, bytes_in);
+                break;
+            case Kind::Downsample:
+                stage_downsample(st, head, bytes_in);
+                break;
+            case Kind::Histogram:
+                stage_histogram(st, step, bytes_in, bytes_out);
+                return;
+            case Kind::Moments:
+                stage_moments(st, step, bytes_in, bytes_out);
+                return;
+        }
+        bytes_out = slab_.data.size();
+        if (k + 1 == chain_.stages.size()) emit_tail(st);
+    }
+
+    std::vector<std::uint64_t> select_rows(const FusedStage& st,
+                                           const util::NdShape& shape) const {
+        const auto hit = attrs_.strings.find(header_attr_key(st.in_array, st.dim));
+        if (hit == attrs_.strings.end()) {
+            throw std::runtime_error(
+                "select: stream '" + st.in_stream + "' carries no header for dimension " +
+                std::to_string(st.dim) + " of '" + st.in_array + "' (attribute '" +
+                header_attr_key(st.in_array, st.dim) + "')");
+        }
+        const std::vector<std::string>& header = hit->second;
+        if (header.size() != shape[st.dim]) {
+            throw std::runtime_error("select: header length " +
+                                     std::to_string(header.size()) +
+                                     " != dimension extent " +
+                                     std::to_string(shape[st.dim]));
+        }
+        std::vector<std::uint64_t> rows;
+        rows.reserve(st.wanted.size());
+        for (const std::string& w : st.wanted) {
+            const auto it = std::find(header.begin(), header.end(), w);
+            if (it == header.end()) {
+                std::string avail;
+                for (const auto& h : header) avail += (avail.empty() ? "" : ", ") + h;
+                throw std::runtime_error("select: no row named '" + w +
+                                         "' in dimension " + std::to_string(st.dim) +
+                                         " (available: " + avail + ")");
+            }
+            rows.push_back(static_cast<std::uint64_t>(it - header.begin()));
+        }
+        return rows;
+    }
+
+    void stage_select(const FusedStage& st, bool head, std::uint64_t& bytes_in) {
+        const std::size_t dim = st.dim;
+        if (head) {
+            const adios::VarInfo info = reader_.inq_var(st.in_array);
+            const util::NdShape shape = info.shape;
+            if (dim >= shape.ndim()) {
+                throw std::runtime_error("select: dimension-index " +
+                                         std::to_string(dim) + " out of range for " +
+                                         shape.to_string());
+            }
+            const std::vector<std::uint64_t> rows = select_rows(st, shape);
+            util::NdShape out_shape = shape;
+            out_shape[dim] = rows.size();
+
+            // Mirror the standalone partitioning: along the largest other
+            // dimension, or across the selection itself on rank-1 input.
+            util::Box in_box;
+            std::uint64_t j_begin = 0;
+            std::uint64_t j_count = rows.size();
+            std::size_t partial = 0;
+            if (shape.ndim() > 1) {
+                partial = pick_partition_dim(shape, {dim});
+                in_box = util::partition_along(shape, partial, rank_, size_);
+            } else {
+                in_box = util::Box::whole(shape);
+                const auto [off, cnt] = util::partition_range(rows.size(), rank_, size_);
+                j_begin = off;
+                j_count = cnt;
+            }
+            util::Box out_box = in_box;
+            out_box.offset[dim] = j_begin;
+            out_box.count[dim] = j_count;
+
+            const std::size_t elem = ffs::kind_size(info.kind);
+            Slab out;
+            out.shape = out_shape;
+            out.kind = info.kind;
+            out.dim_labels = info.dim_labels;
+            out.box = out_box;
+            out.partial = partial;
+            out.owned.resize(out_box.volume() * elem);
+            std::vector<std::byte> tmp;
+            for (std::uint64_t j = j_begin; j < j_begin + j_count; ++j) {
+                util::Box row_in = in_box;
+                row_in.offset[dim] = rows[j];
+                row_in.count[dim] = 1;
+                std::span<const std::byte> row;
+                if (const auto view = reader_.try_read_view_bytes(st.in_array, row_in)) {
+                    row = *view;
+                } else {
+                    tmp.resize(row_in.volume() * elem);
+                    reader_.read_bytes(st.in_array, row_in, tmp);
+                    row = tmp;
+                }
+                bytes_in += row.size();
+                util::Box row_out = out_box;
+                row_out.offset[dim] = j;
+                row_out.count[dim] = 1;
+                util::copy_box(row, row_out, out.owned, out_box, row_out, elem);
+            }
+            out.data = out.owned;
+            slab_ = std::move(out);
+        } else {
+            bytes_in = slab_.data.size();
+            if (dim >= slab_.shape.ndim()) {
+                throw std::runtime_error("select: dimension-index " +
+                                         std::to_string(dim) + " out of range for " +
+                                         slab_.shape.to_string());
+            }
+            const std::vector<std::uint64_t> rows = select_rows(st, slab_.shape);
+            const std::size_t elem = ffs::kind_size(slab_.kind);
+            if (slab_.shape.ndim() > 1) {
+                // Selected rows must be whole: re-partition away from `dim`
+                // when the stream used to provide that re-distribution.
+                if (slab_.partial == dim) {
+                    repartition(slab_, pick_partition_dim(slab_.shape, {dim}));
+                }
+                util::NdShape out_shape = slab_.shape;
+                out_shape[dim] = rows.size();
+                util::Box out_box = slab_.box;
+                out_box.offset[dim] = 0;
+                out_box.count[dim] = rows.size();
+                Slab out;
+                out.shape = out_shape;
+                out.kind = slab_.kind;
+                out.dim_labels = slab_.dim_labels;
+                out.box = out_box;
+                out.partial = slab_.partial;
+                out.owned.resize(out_box.volume() * elem);
+                std::vector<std::byte> tmp;
+                for (std::size_t j = 0; j < rows.size(); ++j) {
+                    util::Box row_in = slab_.box;
+                    row_in.offset[dim] = rows[j];
+                    row_in.count[dim] = 1;
+                    tmp.resize(row_in.volume() * elem);
+                    util::copy_box(slab_.data, slab_.box, tmp, row_in, row_in, elem);
+                    util::Box row_out = out_box;
+                    row_out.offset[dim] = j;
+                    row_out.count[dim] = 1;
+                    // tmp has the row's dense layout; relabel it in output
+                    // coordinates (the standalone component does the same).
+                    util::copy_box(tmp, row_out, out.owned, out_box, row_out, elem);
+                }
+                out.data = out.owned;
+                slab_ = std::move(out);
+            } else {
+                // Rank-1: every rank needs the whole array to take its share
+                // of the selection, like the standalone bounding-box reads.
+                if (size_ > 1) gather_full(slab_);
+                const auto [j_begin, j_count] =
+                    util::partition_range(rows.size(), rank_, size_);
+                Slab out;
+                out.shape = util::NdShape({static_cast<std::uint64_t>(rows.size())});
+                out.kind = slab_.kind;
+                out.dim_labels = slab_.dim_labels;
+                out.box = util::Box({j_begin}, {j_count});
+                out.partial = 0;
+                out.owned.resize(j_count * elem);
+                const std::byte* src = slab_.data.data();
+                for (std::uint64_t j = 0; j < j_count; ++j) {
+                    std::memcpy(out.owned.data() + j * elem,
+                                src + rows[j_begin + j] * elem, elem);
+                }
+                out.data = out.owned;
+                slab_ = std::move(out);
+            }
+        }
+        attrs_ = apply_attr_rules(attrs_, AttrRules{st.in_array, st.out_array, {}, {dim}});
+        attrs_.strings[header_attr_key(st.out_array, dim)] = st.wanted;
+    }
+
+    void stage_magnitude(const FusedStage& st, bool head, std::uint64_t& bytes_in) {
+        if (head) {
+            read_head(st, 0, bytes_in);
+        } else {
+            bytes_in = slab_.data.size();
+        }
+        if (slab_.shape.ndim() != 2) {
+            throw std::runtime_error("magnitude: '" + st.in_array + "' must be 2-D, got " +
+                                     slab_.shape.to_string());
+        }
+        if (slab_.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("magnitude: '" + st.in_array +
+                                     "' must be double-precision");
+        }
+        // Every point's component vector must be whole.
+        if (slab_.partial != 0) repartition(slab_, 0);
+
+        const std::uint64_t local_n = slab_.box.count[0];
+        const std::uint64_t ncomp = slab_.shape[1];
+        Slab out;
+        out.shape = util::NdShape({slab_.shape[0]});
+        out.kind = adios::DataKind::Float64;
+        out.dim_labels = {label_or_empty(slab_.dim_labels, 0)};
+        out.box = util::Box({slab_.box.offset[0]}, {local_n});
+        out.partial = 0;
+        out.owned.resize(local_n * sizeof(double));
+        kernels::magnitude(slab_.doubles().data(), local_n, ncomp,
+                           reinterpret_cast<double*>(out.owned.data()),
+                           kernels::active_schedule());
+        out.data = out.owned;
+        attrs_ = apply_attr_rules(attrs_, AttrRules{st.in_array, st.out_array, {0}, {1}});
+        slab_ = std::move(out);
+    }
+
+    void stage_threshold(const FusedStage& st, bool head, std::uint64_t& bytes_in) {
+        if (head) {
+            read_head(st, 0, bytes_in);
+        } else {
+            bytes_in = slab_.data.size();
+        }
+        if (slab_.shape.ndim() != 1) {
+            throw std::runtime_error("threshold: '" + st.in_array + "' must be 1-D, got " +
+                                     slab_.shape.to_string());
+        }
+        if (slab_.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("threshold: '" + st.in_array +
+                                     "' must be double-precision");
+        }
+        const std::span<const double> local = slab_.doubles();
+        std::vector<double> kept(local.size());
+        kept.resize(kernels::threshold_compact(local, st.tmode, st.lo, st.hi,
+                                               kept.data(), kernels::active_schedule()));
+        // Global layout: ragged rank-ordered intervals, like the standalone
+        // exscan/allreduce.  Concatenation order equals global index order
+        // under any of the executor's partitionings, so the composed output
+        // is bit-identical to the unfused chain's.
+        const auto n = static_cast<std::uint64_t>(kept.size());
+        const std::uint64_t offset = ctx_.comm.exscan(n, mpi::ReduceOp::Sum);
+        const std::uint64_t total = ctx_.comm.allreduce(n, mpi::ReduceOp::Sum);
+
+        Slab out;
+        out.shape = util::NdShape({total});
+        out.kind = adios::DataKind::Float64;
+        out.dim_labels = {label_or_empty(slab_.dim_labels, 0)};
+        out.box = util::Box({offset}, {n});
+        out.partial = 0;
+        out.owned.resize(kept.size() * sizeof(double));
+        if (!kept.empty()) {
+            std::memcpy(out.owned.data(), kept.data(), out.owned.size());
+        }
+        out.data = out.owned;
+        attrs_ = apply_attr_rules(attrs_, AttrRules{st.in_array, st.out_array, {0}, {}});
+        attrs_.doubles[st.out_array + ".count"] = static_cast<double>(total);
+        slab_ = std::move(out);
+    }
+
+    void stage_dim_reduce(const FusedStage& st, bool head, std::uint64_t& bytes_in) {
+        if (head) {
+            const adios::VarInfo info = reader_.inq_var(st.in_array);
+            (void)dim_reduce_shape(info.shape, st.remove, st.grow);  // validate first
+            read_head(st, st.grow, bytes_in);
+        } else {
+            bytes_in = slab_.data.size();
+            (void)dim_reduce_shape(slab_.shape, st.remove, st.grow);
+            // The removed dimension must be whole on every rank.
+            if (slab_.partial == st.remove) repartition(slab_, st.grow);
+        }
+        const util::NdShape out_shape = dim_reduce_shape(slab_.shape, st.remove, st.grow);
+        const std::size_t elem = ffs::kind_size(slab_.kind);
+        const std::size_t grow_out = st.grow - (st.remove < st.grow ? 1 : 0);
+
+        Slab out;
+        out.shape = out_shape;
+        out.kind = slab_.kind;
+        out.box = util::Box::whole(out_shape);
+        {
+            std::size_t j = 0;
+            for (std::size_t d = 0; d < slab_.shape.ndim(); ++d) {
+                if (d == st.remove) continue;
+                if (d == st.grow) {
+                    out.box.offset[j] = slab_.box.offset[d] * slab_.shape[st.remove];
+                    out.box.count[j] = slab_.box.count[d] * slab_.shape[st.remove];
+                } else {
+                    out.box.offset[j] = slab_.box.offset[d];
+                    out.box.count[j] = slab_.box.count[d];
+                }
+                out.dim_labels.push_back(label_or_empty(slab_.dim_labels, d));
+                ++j;
+            }
+        }
+        out.partial = slab_.partial == st.grow
+                          ? grow_out
+                          : slab_.partial - (st.remove < slab_.partial ? 1 : 0);
+        out.owned.resize(slab_.data.size());
+        dim_reduce_copy(slab_.data, util::NdShape(slab_.box.count), st.remove, st.grow,
+                        out.owned, elem);
+        out.data = out.owned;
+
+        std::vector<std::size_t> dim_map;
+        for (std::size_t d = 0; d < slab_.shape.ndim(); ++d) {
+            if (d != st.remove) dim_map.push_back(d);
+        }
+        attrs_ = apply_attr_rules(
+            attrs_, AttrRules{st.in_array, st.out_array, dim_map, {st.remove, st.grow}});
+        slab_ = std::move(out);
+    }
+
+    void stage_downsample(const FusedStage& st, bool head, std::uint64_t& bytes_in) {
+        const std::size_t dim = st.dim;
+        if (head) {
+            const adios::VarInfo info = reader_.inq_var(st.in_array);
+            const util::NdShape shape = info.shape;
+            if (dim >= shape.ndim()) {
+                throw std::runtime_error("downsample: dimension-index " +
+                                         std::to_string(dim) + " out of range for " +
+                                         shape.to_string());
+            }
+            const std::uint64_t kept = (shape[dim] + st.stride - 1) / st.stride;
+            const auto [k_off, k_cnt] = util::partition_range(kept, rank_, size_);
+            const std::size_t elem = ffs::kind_size(info.kind);
+            util::NdShape out_shape = shape;
+            out_shape[dim] = kept;
+            util::Box out_box = util::Box::whole(out_shape);
+            out_box.offset[dim] = k_off;
+            out_box.count[dim] = k_cnt;
+            Slab out;
+            out.shape = out_shape;
+            out.kind = info.kind;
+            out.dim_labels = info.dim_labels;
+            out.box = out_box;
+            out.partial = dim;
+            out.owned.resize(out_box.volume() * elem);
+            for (std::uint64_t j = 0; j < k_cnt; ++j) {
+                util::Box row_in = util::Box::whole(shape);
+                row_in.offset[dim] = (k_off + j) * st.stride;
+                row_in.count[dim] = 1;
+                std::vector<std::byte> tmp(row_in.volume() * elem);
+                reader_.read_bytes(st.in_array, row_in, tmp);
+                bytes_in += tmp.size();
+                util::Box row_out = out_box;
+                row_out.offset[dim] = k_off + j;
+                row_out.count[dim] = 1;
+                util::copy_box(tmp, row_out, out.owned, out_box, row_out, elem);
+            }
+            out.data = out.owned;
+            slab_ = std::move(out);
+        } else {
+            bytes_in = slab_.data.size();
+            if (dim >= slab_.shape.ndim()) {
+                throw std::runtime_error("downsample: dimension-index " +
+                                         std::to_string(dim) + " out of range for " +
+                                         slab_.shape.to_string());
+            }
+            const std::uint64_t kept = (slab_.shape[dim] + st.stride - 1) / st.stride;
+            const std::size_t elem = ffs::kind_size(slab_.kind);
+            // Sampled indices k with off <= k*stride < off+cnt: exact for any
+            // tiling, so consecutive ranks' kept ranges tile [0, kept).
+            const std::uint64_t off = slab_.box.offset[dim];
+            const std::uint64_t cnt = slab_.box.count[dim];
+            const std::uint64_t k_lo = (off + st.stride - 1) / st.stride;
+            const std::uint64_t k_hi = cnt == 0 ? k_lo : (off + cnt - 1) / st.stride + 1;
+            util::NdShape out_shape = slab_.shape;
+            out_shape[dim] = kept;
+            util::Box out_box = slab_.box;
+            out_box.offset[dim] = k_lo;
+            out_box.count[dim] = k_hi - k_lo;
+            Slab out;
+            out.shape = out_shape;
+            out.kind = slab_.kind;
+            out.dim_labels = slab_.dim_labels;
+            out.box = out_box;
+            out.partial = slab_.partial;
+            out.owned.resize(out_box.volume() * elem);
+            std::vector<std::byte> tmp;
+            for (std::uint64_t k = k_lo; k < k_hi; ++k) {
+                util::Box row_in = slab_.box;
+                row_in.offset[dim] = k * st.stride;
+                row_in.count[dim] = 1;
+                tmp.resize(row_in.volume() * elem);
+                util::copy_box(slab_.data, slab_.box, tmp, row_in, row_in, elem);
+                util::Box row_out = out_box;
+                row_out.offset[dim] = k;
+                row_out.count[dim] = 1;
+                util::copy_box(tmp, row_out, out.owned, out_box, row_out, elem);
+            }
+            out.data = out.owned;
+            slab_ = std::move(out);
+        }
+        // The sampled dimension's header shrinks to the kept rows (computed
+        // from the input attributes before the rules consume them).
+        std::optional<std::vector<std::string>> filtered;
+        const auto hit = attrs_.strings.find(header_attr_key(st.in_array, dim));
+        if (hit != attrs_.strings.end()) {
+            filtered.emplace();
+            for (std::uint64_t i = 0; i < hit->second.size(); i += st.stride) {
+                filtered->push_back(hit->second[i]);
+            }
+        }
+        attrs_ = apply_attr_rules(attrs_, AttrRules{st.in_array, st.out_array, {}, {dim}});
+        if (filtered) {
+            attrs_.strings[header_attr_key(st.out_array, dim)] = *filtered;
+        }
+    }
+
+    void stage_histogram(const FusedStage& st, std::uint64_t step,
+                         std::uint64_t& bytes_in, std::uint64_t& bytes_out) {
+        bytes_in = slab_.data.size();
+        if (slab_.shape.ndim() != 1) {
+            throw std::runtime_error("histogram: '" + st.in_array + "' must be 1-D, got " +
+                                     slab_.shape.to_string());
+        }
+        if (slab_.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("histogram: '" + st.in_array +
+                                     "' must be double-precision");
+        }
+        const HistogramResult h =
+            distributed_histogram(ctx_.comm, slab_.doubles(), st.bins, step);
+        if (rank_ == 0) {
+            write_histogram(sink_out_, h);
+            sink_out_.flush();
+        }
+        bytes_out = rank_ == 0 ? h.counts.size() * sizeof(std::uint64_t) : 0;
+    }
+
+    void stage_moments(const FusedStage& st, std::uint64_t step,
+                       std::uint64_t& bytes_in, std::uint64_t& bytes_out) {
+        bytes_in = slab_.data.size();
+        if (slab_.shape.ndim() != 1) {
+            throw std::runtime_error("moments: '" + st.in_array + "' must be 1-D, got " +
+                                     slab_.shape.to_string());
+        }
+        if (slab_.kind != adios::DataKind::Float64) {
+            throw std::runtime_error("moments: '" + st.in_array +
+                                     "' must be double-precision");
+        }
+        const MomentsResult m = distributed_moments(ctx_.comm, slab_.doubles(), step);
+        if (rank_ == 0) {
+            write_moments(sink_out_, m);
+            sink_out_.flush();
+        }
+        bytes_out = rank_ == 0 ? sizeof(MomentsResult) : 0;
+    }
+
+    /// Publishes the tail stage's slab on its output stream, with the exact
+    /// group definition, dimensions, and attributes the standalone component
+    /// would have written.
+    void emit_tail(const FusedStage& st) {
+        const obs::ScopedActor actor(hooks_.back().instance);
+        if (!writer_) {
+            writer_.emplace(ctx_.fabric, st.out_stream,
+                            output_group(st.component, st.out_array, slab_.dim_labels,
+                                         slab_.kind),
+                            rank_, size_, ctx_.stream_options);
+        }
+        writer_->begin_step();
+        const auto& dim_names = writer_->group().find(st.out_array)->dimensions;
+        for (std::size_t d = 0; d < slab_.shape.ndim(); ++d) {
+            writer_->set_dimension(dim_names[d], slab_.shape[d]);
+        }
+        for (const auto& [key, values] : attrs_.strings) {
+            writer_->write_attribute(key, values);
+        }
+        for (const auto& [key, value] : attrs_.doubles) {
+            writer_->write_attribute(key, value);
+        }
+        auto buf = std::make_shared<std::vector<std::byte>>();
+        if (!slab_.owned.empty() && slab_.owned.data() == slab_.data.data() &&
+            slab_.owned.size() == slab_.data.size()) {
+            *buf = std::move(slab_.owned);
+            slab_.data = {};
+        } else {
+            buf->assign(slab_.data.begin(), slab_.data.end());
+        }
+        writer_->write_raw(st.out_array, slab_.box, std::move(buf));
+        writer_->end_step();
+    }
+
+    RunContext& ctx_;
+    const FusedChain& chain_;
+    const std::vector<FusedStageHooks>& hooks_;
+    int rank_;
+    int size_;
+    adios::Reader reader_;
+    std::optional<adios::Writer> writer_;
+    std::ofstream sink_out_;
+    std::vector<RunContext> stage_ctx_;
+    obs::Counter& gathers_;
+    AttrSet attrs_;
+    Slab slab_;
+};
+
+}  // namespace
+
+void run_fused_chain(RunContext& ctx, const FusedChain& chain,
+                     const std::vector<FusedStageHooks>& hooks) {
+    ChainRun(ctx, chain, hooks).run();
+}
+
+}  // namespace sb::core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/kernels.hpp"
 #include "util/timer.hpp"
 
 namespace sb::core {
@@ -24,23 +25,11 @@ std::vector<std::uint64_t> histogram_counts(std::span<const double> values,
                                             std::size_t bins) {
     if (bins == 0) throw std::invalid_argument("histogram: num-bins must be positive");
     std::vector<std::uint64_t> counts(bins, 0);
-    const double width = (max - min) / static_cast<double>(bins);
-    for (const double v : values) {
-        if (std::isnan(v)) continue;
-        std::size_t b = 0;
-        if (width > 0.0) {
-            const double x = (v - min) / width;
-            if (x <= 0.0) {
-                b = 0;
-            } else if (x >= static_cast<double>(bins)) {
-                b = bins - 1;  // v == max (or a caller-supplied tighter range)
-            } else {
-                b = static_cast<std::size_t>(x);
-                if (b >= bins) b = bins - 1;
-            }
-        }
-        ++counts[b];
-    }
+    // Edge semantics (NaN dropped, out-of-range clamped into the edge bins,
+    // degenerate range -> bin 0) are defined once in the kernel layer; both
+    // schedules produce identical counts on these inputs (kernels.hpp).
+    kernels::histogram_accumulate(values, min, max, counts,
+                                  kernels::active_schedule());
     return counts;
 }
 

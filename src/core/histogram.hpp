@@ -39,9 +39,17 @@ struct HistogramResult {
     bool operator==(const HistogramResult&) const = default;
 };
 
-/// Sequential binning kernel: counts of `values` in `bins` equal-width bins
-/// over [min, max].  NaNs are skipped; values outside the range are clamped
-/// into the edge bins (they can only arise from caller-supplied extremes).
+/// Binning kernel: counts of `values` in `bins` equal-width bins over
+/// [min, max], dispatched through core/kernels.hpp (scalar or per-lane
+/// vectorized per SB_SIMD; identical counts either way).  Edge semantics:
+///   - NaN values are dropped, not counted in any bin;
+///   - out-of-range values are clamped into the edge bins: v <= min
+///     (including -inf) counts in bin 0, v >= max (including +inf) in the
+///     last bin — they can only arise from caller-supplied extremes, so
+///     clamping keeps total() == non-NaN input size;
+///   - a degenerate range (min == max, or inverted max < min) puts every
+///     non-NaN value in bin 0.
+/// Throws std::invalid_argument when bins == 0.
 std::vector<std::uint64_t> histogram_counts(std::span<const double> values,
                                             double min, double max, std::size_t bins);
 

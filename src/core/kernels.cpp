@@ -1,0 +1,336 @@
+#include "core/kernels.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+// `#pragma omp simd` is a hint, not a semantics change: the loops below are
+// written so that vectorizing them cannot reorder any observable result.
+// CMake adds -fopenmp-simd where the compiler supports it; elsewhere the
+// pragma is inert and Simd degrades to plain (still unrolled) loops.
+#define SB_SIMD_LOOP _Pragma("omp simd")
+
+namespace sb::core::kernels {
+
+namespace {
+
+// -1 = no override, else static_cast<int>(Schedule).
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+bool simd_enabled_from_env() {
+    static const bool enabled = [] {
+        const char* v = std::getenv("SB_SIMD");
+        if (!v) return true;
+        const std::string s(v);
+        return !(s == "off" || s == "0" || s == "false");
+    }();
+    return enabled;
+}
+
+Schedule active_schedule() {
+    const int o = g_override.load(std::memory_order_relaxed);
+    if (o >= 0) return static_cast<Schedule>(o);
+    return simd_enabled_from_env() ? Schedule::Simd : Schedule::Scalar;
+}
+
+void set_schedule(std::optional<Schedule> s) {
+    g_override.store(s ? static_cast<int>(*s) : -1, std::memory_order_relaxed);
+}
+
+// ---- magnitude ------------------------------------------------------------
+
+namespace {
+
+void magnitude_scalar(const double* vecs, std::size_t n, std::size_t ncomp,
+                      double* out) {
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < ncomp; ++c) {
+            const double v = vecs[i * ncomp + c];
+            s += v * v;
+        }
+        out[i] = std::sqrt(s);
+    }
+}
+
+void magnitude_simd(const double* vecs, std::size_t n, std::size_t ncomp,
+                    double* out) {
+    if (ncomp == 3) {
+        // The dominant case (3-vectors), unrolled to a straight-line
+        // vectorizable body.  (x*x + y*y) + z*z associates exactly like the
+        // scalar accumulation order, so the results stay bit-identical.
+        SB_SIMD_LOOP
+        for (std::size_t i = 0; i < n; ++i) {
+            const double x = vecs[i * 3];
+            const double y = vecs[i * 3 + 1];
+            const double z = vecs[i * 3 + 2];
+            out[i] = std::sqrt(x * x + y * y + z * z);
+        }
+        return;
+    }
+    SB_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < ncomp; ++c) {
+            const double v = vecs[i * ncomp + c];
+            s += v * v;
+        }
+        out[i] = std::sqrt(s);
+    }
+}
+
+}  // namespace
+
+void magnitude(const double* vecs, std::size_t n, std::size_t ncomp, double* out,
+               Schedule s) {
+    if (s == Schedule::Simd) {
+        magnitude_simd(vecs, n, ncomp, out);
+    } else {
+        magnitude_scalar(vecs, n, ncomp, out);
+    }
+}
+
+void magnitude(const double* vecs, std::size_t n, std::size_t ncomp, double* out) {
+    magnitude(vecs, n, ncomp, out, active_schedule());
+}
+
+// ---- histogram ------------------------------------------------------------
+
+namespace {
+
+std::size_t bin_of(double v, double min, double width, std::size_t bins) {
+    // Keep this the single definition of the edge semantics: both schedules
+    // and the doc comment in kernels.hpp describe exactly this function.
+    std::size_t b = 0;
+    if (width > 0.0) {
+        const double x = (v - min) / width;
+        if (x <= 0.0) {
+            b = 0;
+        } else if (x >= static_cast<double>(bins)) {
+            b = bins - 1;  // v == max, or out of a caller-supplied range
+        } else {
+            b = static_cast<std::size_t>(x);
+            if (b >= bins) b = bins - 1;
+        }
+    }
+    return b;
+}
+
+void histogram_scalar(std::span<const double> values, double min, double width,
+                      std::span<std::uint64_t> counts) {
+    const std::size_t bins = counts.size();
+    for (const double v : values) {
+        if (std::isnan(v)) continue;
+        ++counts[bin_of(v, min, width, bins)];
+    }
+}
+
+void histogram_simd(std::span<const double> values, double min, double width,
+                    std::span<std::uint64_t> counts) {
+    const std::size_t bins = counts.size();
+    constexpr std::size_t kLanes = 4;
+    constexpr std::size_t kBlock = 1024;
+    // Per-lane sub-histograms (the Halide scheduled-histogram pattern):
+    // the serial dependence of repeated increments on one counts[] array is
+    // broken by giving each lane its own copy, merged once at the end.
+    std::vector<std::uint64_t> sub(kLanes * bins, 0);
+    std::int32_t bin[kBlock];
+    const double* p = values.data();
+    std::size_t remaining = values.size();
+    while (remaining > 0) {
+        const std::size_t m = remaining < kBlock ? remaining : kBlock;
+        // Pass 1, vectorizable: branch-free bin index per value (-1 = NaN).
+        SB_SIMD_LOOP
+        for (std::size_t k = 0; k < m; ++k) {
+            const double v = p[k];
+            const bool nan = std::isnan(v);
+            // NaN is replaced by `min` before binning (a size_t cast of NaN
+            // is undefined), then masked out below.
+            const std::int32_t b =
+                static_cast<std::int32_t>(bin_of(nan ? min : v, min, width, bins));
+            bin[k] = nan ? -1 : b;
+        }
+        // Pass 2: scatter into the lane sub-histograms (k % kLanes picks the
+        // lane, so consecutive increments never touch the same array).
+        for (std::size_t k = 0; k < m; ++k) {
+            if (bin[k] >= 0) {
+                ++sub[(k % kLanes) * bins + static_cast<std::size_t>(bin[k])];
+            }
+        }
+        p += m;
+        remaining -= m;
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        for (std::size_t b = 0; b < bins; ++b) counts[b] += sub[lane * bins + b];
+    }
+}
+
+}  // namespace
+
+void histogram_accumulate(std::span<const double> values, double min, double max,
+                          std::span<std::uint64_t> counts, Schedule s) {
+    if (counts.empty()) return;
+    const double width = (max - min) / static_cast<double>(counts.size());
+    if (s == Schedule::Simd && counts.size() <= 65536) {
+        histogram_simd(values, min, width, counts);
+    } else {
+        histogram_scalar(values, min, width, counts);
+    }
+}
+
+// ---- threshold ------------------------------------------------------------
+
+namespace {
+
+bool passes(double v, ThresholdOp op, double lo, double hi) {
+    switch (op) {
+        case ThresholdOp::Above: return v > lo;
+        case ThresholdOp::Below: return v < lo;
+        case ThresholdOp::Band: return v >= lo && v <= hi;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::size_t threshold_compact(std::span<const double> in, ThresholdOp op,
+                              double lo, double hi, double* out, Schedule s) {
+    std::size_t n = 0;
+    if (s == Schedule::Simd) {
+        constexpr std::size_t kBlock = 1024;
+        std::uint8_t mask[kBlock];
+        const double* p = in.data();
+        std::size_t remaining = in.size();
+        while (remaining > 0) {
+            const std::size_t m = remaining < kBlock ? remaining : kBlock;
+            switch (op) {
+                case ThresholdOp::Above:
+                    SB_SIMD_LOOP
+                    for (std::size_t k = 0; k < m; ++k) mask[k] = p[k] > lo;
+                    break;
+                case ThresholdOp::Below:
+                    SB_SIMD_LOOP
+                    for (std::size_t k = 0; k < m; ++k) mask[k] = p[k] < lo;
+                    break;
+                case ThresholdOp::Band:
+                    SB_SIMD_LOOP
+                    for (std::size_t k = 0; k < m; ++k) {
+                        mask[k] = p[k] >= lo && p[k] <= hi;
+                    }
+                    break;
+            }
+            // Compaction stays sequential: output order must equal input
+            // order for bit-identity with the scalar path.
+            for (std::size_t k = 0; k < m; ++k) {
+                if (mask[k]) out[n++] = p[k];
+            }
+            p += m;
+            remaining -= m;
+        }
+        return n;
+    }
+    for (const double v : in) {
+        if (passes(v, op, lo, hi)) out[n++] = v;
+    }
+    return n;
+}
+
+// ---- moments --------------------------------------------------------------
+
+MomentsAccum::MomentsAccum()
+    : lo(std::numeric_limits<double>::infinity()),
+      hi(-std::numeric_limits<double>::infinity()) {}
+
+MomentsAccum moments_accumulate(std::span<const double> values, Schedule s) {
+    MomentsAccum a;
+    if (s == Schedule::Simd) {
+        constexpr std::size_t kLanes = 4;
+        double n[kLanes] = {};
+        double s1[kLanes] = {};
+        double s2[kLanes] = {};
+        double s3[kLanes] = {};
+        double lo[kLanes];
+        double hi[kLanes];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            lo[l] = std::numeric_limits<double>::infinity();
+            hi[l] = -std::numeric_limits<double>::infinity();
+        }
+        const std::size_t tail = values.size() % kLanes;
+        const std::size_t main = values.size() - tail;
+        for (std::size_t i = 0; i < main; i += kLanes) {
+            SB_SIMD_LOOP
+            for (std::size_t l = 0; l < kLanes; ++l) {
+                const double v = values[i + l];
+                const bool ok = !std::isnan(v);
+                const double x = ok ? v : 0.0;
+                n[l] += ok ? 1.0 : 0.0;
+                s1[l] += x;
+                s2[l] += x * x;
+                s3[l] += x * x * x;
+                lo[l] = std::min(lo[l], ok ? v : lo[l]);
+                hi[l] = std::max(hi[l], ok ? v : hi[l]);
+            }
+        }
+        // Merge lanes in lane order (deterministic), then the tail in index
+        // order — reassociated relative to Scalar, but reproducibly so.
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            a.n += n[l];
+            a.s1 += s1[l];
+            a.s2 += s2[l];
+            a.s3 += s3[l];
+            a.lo = std::min(a.lo, lo[l]);
+            a.hi = std::max(a.hi, hi[l]);
+        }
+        for (std::size_t i = main; i < values.size(); ++i) {
+            const double v = values[i];
+            if (std::isnan(v)) continue;
+            a.n += 1.0;
+            a.s1 += v;
+            a.s2 += v * v;
+            a.s3 += v * v * v;
+            a.lo = std::min(a.lo, v);
+            a.hi = std::max(a.hi, v);
+        }
+        return a;
+    }
+    for (const double v : values) {
+        if (std::isnan(v)) continue;
+        a.n += 1.0;
+        a.s1 += v;
+        a.s2 += v * v;
+        a.s3 += v * v * v;
+        a.lo = std::min(a.lo, v);
+        a.hi = std::max(a.hi, v);
+    }
+    return a;
+}
+
+// ---- strided copies -------------------------------------------------------
+
+void scatter_strided(const std::byte* src, std::byte* dst, std::size_t n,
+                     std::size_t dst_stride, std::size_t elem, Schedule s) {
+    if (s == Schedule::Simd && elem == sizeof(std::uint64_t)) {
+        // Word-wise strided store: memcpy through aligned temporaries would
+        // defeat vectorization, so reinterpret via per-element memcpy into
+        // locals the compiler folds into plain loads/stores.
+        SB_SIMD_LOOP
+        for (std::size_t k = 0; k < n; ++k) {
+            std::uint64_t w;
+            std::memcpy(&w, src + k * sizeof(std::uint64_t), sizeof(w));
+            std::memcpy(dst + k * dst_stride * sizeof(std::uint64_t), &w,
+                        sizeof(w));
+        }
+        return;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        std::memcpy(dst + k * dst_stride * elem, src + k * elem, elem);
+    }
+}
+
+}  // namespace sb::core::kernels

@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 
+#include "core/kernels.hpp"
 #include "util/timer.hpp"
 
 namespace sb::core {
@@ -51,14 +52,7 @@ void Magnitude::run(RunContext& ctx, const util::ArgList& args) {
 
         const std::uint64_t local_n = in_box.count[0];
         std::vector<double> mags(local_n);
-        for (std::uint64_t i = 0; i < local_n; ++i) {
-            double s = 0.0;
-            for (std::uint64_t c = 0; c < ncomp; ++c) {
-                const double v = vecs[i * ncomp + c];
-                s += v * v;
-            }
-            mags[i] = std::sqrt(s);
-        }
+        kernels::magnitude(vecs.data(), local_n, ncomp, mags.data());
 
         if (!writer) {
             // The output keeps the data-point dimension's label.

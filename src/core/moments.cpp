@@ -5,27 +5,22 @@
 #include <limits>
 #include <sstream>
 
+#include "core/kernels.hpp"
 #include "util/timer.hpp"
 
 namespace sb::core {
 
 MomentsResult distributed_moments(const mpi::Communicator& comm,
                                   std::span<const double> local, std::uint64_t step) {
-    // Local accumulators: n, sum, sum of squares, sum of cubes, min, max.
-    double n = 0, s1 = 0, s2 = 0, s3 = 0;
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -std::numeric_limits<double>::infinity();
-    for (const double v : local) {
-        if (std::isnan(v)) continue;
-        n += 1.0;
-        s1 += v;
-        s2 += v * v;
-        s3 += v * v * v;
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-    }
+    // Local accumulators (n, sum, sum of squares, sum of cubes, min, max):
+    // single-pass in the kernel layer; the Simd schedule lane-splits the
+    // sums, which shifts the result by at most rounding order (kernels.hpp).
+    const kernels::MomentsAccum acc =
+        kernels::moments_accumulate(local, kernels::active_schedule());
+    double lo = acc.lo;
+    double hi = acc.hi;
 
-    const double sums_in[4] = {n, s1, s2, s3};
+    const double sums_in[4] = {acc.n, acc.s1, acc.s2, acc.s3};
     const auto sums = comm.allreduce_vec<double>(sums_in, mpi::ReduceOp::Sum);
     lo = comm.allreduce(lo, mpi::ReduceOp::Min);
     hi = comm.allreduce(hi, mpi::ReduceOp::Max);

@@ -34,15 +34,6 @@ void Threshold::run(RunContext& ctx, const util::ArgList& args) {
     adios::Reader reader(ctx.fabric, in_stream, rank, size);
     std::optional<adios::Writer> writer;
 
-    const auto passes = [&](double v) {
-        switch (mode) {
-            case ThresholdMode::Above: return v > lo;
-            case ThresholdMode::Below: return v < lo;
-            case ThresholdMode::Band: return v >= lo && v <= hi;
-        }
-        return false;
-    };
-
     while (reader.begin_step()) {
         util::WallTimer timer;
 
@@ -58,11 +49,9 @@ void Threshold::run(RunContext& ctx, const util::ArgList& args) {
 
         const util::Box box = util::partition_along(info.shape, 0, rank, size);
         const std::vector<double> local = reader.read<double>(in_array, box);
-        std::vector<double> kept;
-        kept.reserve(local.size());
-        for (const double v : local) {
-            if (passes(v)) kept.push_back(v);
-        }
+        std::vector<double> kept(local.size());
+        kept.resize(kernels::threshold_compact(local, mode, lo, hi, kept.data(),
+                                               kernels::active_schedule()));
 
         // Settle the global output layout: each rank's offset is the
         // exclusive prefix sum of pass counts, the extent their total.

@@ -13,10 +13,13 @@
 #pragma once
 
 #include "core/component.hpp"
+#include "core/kernels.hpp"
 
 namespace sb::core {
 
-enum class ThresholdMode { Above, Below, Band };
+/// The predicate lives in the kernel layer (scalar and vectorized compaction
+/// share it); ThresholdMode keeps the historical component-level name.
+using ThresholdMode = kernels::ThresholdOp;
 
 ThresholdMode parse_threshold_mode(const std::string& s);
 

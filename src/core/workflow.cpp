@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <set>
 #include <thread>
 
 #include "check/check.hpp"
@@ -57,6 +58,18 @@ Ports Workflow::ports_of(std::size_t i) const {
     } catch (...) {
         return Ports{{}, {}, false};
     }
+}
+
+FusionPlan Workflow::fusion_plan() const {
+    if (!fusion_enabled(fusion_)) return {};
+    std::vector<FusionCandidate> candidates;
+    candidates.reserve(instances_.size());
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        candidates.push_back(FusionCandidate{instances_[i].component,
+                                             instances_[i].nprocs, instances_[i].args,
+                                             ports_of(i)});
+    }
+    return plan_fusion(candidates);
 }
 
 void Workflow::write_trace(const std::string& path) const {
@@ -324,12 +337,16 @@ std::string what_of(const std::exception_ptr& e) {
 
 }  // namespace
 
-bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& policy,
-                           const std::exception_ptr& err, bool another_failed) {
-    Instance& inst = instances_[i];
+bool Workflow::try_recover(const std::vector<std::size_t>& members, int attempt,
+                           const RestartPolicy& policy, const std::exception_ptr& err,
+                           bool another_failed) {
+    std::string name = instances_[members.front()].component;
+    for (std::size_t k = 1; k < members.size(); ++k) {
+        name += "+" + instances_[members[k]].component;
+    }
     if (policy.mode != RestartPolicy::Mode::OnFailure) return false;
     if (attempt >= policy.max_attempts) {
-        SB_LOG(Error) << "workflow: instance '" << inst.component
+        SB_LOG(Error) << "workflow: instance '" << name
                       << "' exhausted " << policy.max_attempts << " restart(s)";
         return false;
     }
@@ -344,12 +361,28 @@ bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& poli
         return false;  // deterministic config bug; a relaunch repeats it
     } catch (...) {
     }
-    // Recovery needs the instance's stream endpoints.
-    const Ports ports = ports_of(i);
-    if (!ports.known) {
-        SB_LOG(Error) << "workflow: instance '" << inst.component
-                      << "' has unknown ports; cannot recover its streams";
-        return false;
+    // Recovery needs the unit's external stream endpoints: the union of the
+    // members' ports minus the streams internal to a fused chain (named by
+    // both a member input and a member output — they never materialize).
+    std::set<std::string> in_set;
+    std::set<std::string> out_set;
+    for (const std::size_t m : members) {
+        const Ports ports = ports_of(m);
+        if (!ports.known) {
+            SB_LOG(Error) << "workflow: instance '" << name
+                          << "' has unknown ports; cannot recover its streams";
+            return false;
+        }
+        in_set.insert(ports.inputs.begin(), ports.inputs.end());
+        out_set.insert(ports.outputs.begin(), ports.outputs.end());
+    }
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    for (const std::string& s : in_set) {
+        if (!out_set.count(s)) inputs.push_back(s);
+    }
+    for (const std::string& s : out_set) {
+        if (!in_set.count(s)) outputs.push_back(s);
     }
 
     const double t_fail = obs::steady_seconds();
@@ -359,33 +392,37 @@ bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& poli
         // relaunched incarnation resumes submitting exactly there.  A source
         // (no inputs) deterministically regenerates from step 0, so its
         // first `resume` submissions are suppressed stream-side instead.
-        for (const std::string& out : ports.outputs) {
+        for (const std::string& out : outputs) {
             auto s = fabric_.get(out);
-            s->detach_writer(/*source_replays_from_zero=*/ports.inputs.empty());
+            s->detach_writer(/*source_replays_from_zero=*/inputs.empty());
             resume = std::max(resume, s->writer_resume_step());
         }
         // Input streams detach (voiding partial acknowledgements) and start
         // retaining steps for replay.  A middle component consumed one input
-        // step per output step (SmartBlock components are step-aligned), so
-        // inputs that fed the `resume` already-assembled output steps are
-        // force-acknowledged rather than replayed — replaying them would
-        // duplicate downstream data.
-        for (const std::string& in : ports.inputs) {
+        // step per output step (SmartBlock components are step-aligned, and a
+        // fused chain steps all stages per input block), so inputs that fed
+        // the `resume` already-assembled output steps are force-acknowledged
+        // rather than replayed — replaying them would duplicate downstream
+        // data.
+        for (const std::string& in : inputs) {
             auto s = fabric_.get(in);
             s->detach_reader();
-            if (!ports.outputs.empty()) s->skip_reader_to(resume);
+            if (!outputs.empty()) s->skip_reader_to(resume);
         }
     } catch (const std::exception& e) {
-        SB_LOG(Error) << "workflow: recovery of '" << inst.component
+        SB_LOG(Error) << "workflow: recovery of '" << name
                       << "' failed: " << e.what();
         return false;
     }
 
-    ++inst.restarts;
-    obs::Registry::global()
-        .counter("workflow.component_restarts", {{"component", inst.component}})
-        .inc();
-    SB_LOG(Warn) << "workflow: restarting '" << inst.component << "' (attempt "
+    for (const std::size_t m : members) {
+        ++instances_[m].restarts;
+        obs::Registry::global()
+            .counter("workflow.component_restarts",
+                     {{"component", instances_[m].component}})
+            .inc();
+    }
+    SB_LOG(Warn) << "workflow: restarting '" << name << "' (attempt "
                  << (attempt + 1) << "/" << policy.max_attempts
                  << "): " << what_of(err);
 
@@ -394,7 +431,7 @@ bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& poli
     double delay_ms = policy.backoff_base_ms *
                       std::pow(policy.backoff_factor, static_cast<double>(attempt));
     delay_ms = std::min(delay_ms, policy.backoff_max_ms);
-    std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ull ^
+    std::uint64_t h = (members.front() + 1) * 0x9e3779b97f4a7c15ull ^
                       (static_cast<std::uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ull;
     h ^= h >> 31;
     h *= 0x94d049bb133111ebull;
@@ -405,7 +442,7 @@ bool Workflow::try_recover(std::size_t i, int attempt, const RestartPolicy& poli
     if (obs::enabled()) {
         // Tagged with the resume step, so the trace links the restart slice
         // to the step timelines the replacement incarnation continues from.
-        obs::TraceLog::global().slice("restart", inst.component, "restart",
+        obs::TraceLog::global().slice("restart", name, "restart",
                                       t_fail, obs::steady_seconds(), resume);
     }
     return true;
@@ -421,42 +458,108 @@ void Workflow::run() {
     std::vector<std::exception_ptr> errors(instances_.size());
     std::atomic<bool> failed{false};
 
+    // Execution units: one per fused chain, one per remaining instance.  An
+    // empty plan (SB_FUSE=off / nothing fusible) reproduces the seed's
+    // one-unit-per-instance execution exactly.
+    const FusionPlan fplan = fusion_plan();
+    struct UnitSpec {
+        std::vector<std::size_t> members;       // instance indices, chain order
+        const FusedChain* chain = nullptr;      // null: standalone instance
+    };
+    std::vector<UnitSpec> units;
+    units.reserve(instances_.size());
+    for (const FusedChain& chain : fplan.chains) {
+        UnitSpec u;
+        u.chain = &chain;
+        for (const FusedStage& st : chain.stages) u.members.push_back(st.instance);
+        units.push_back(std::move(u));
+    }
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        if (!fplan.fused(i)) units.push_back(UnitSpec{{i}, nullptr});
+    }
+    for (const UnitSpec& u : units) {
+        if (!u.chain) continue;
+        std::string label = instance_label(u.members.front());
+        for (std::size_t k = 1; k < u.members.size(); ++k) {
+            label += "+" + instance_label(u.members[k]);
+        }
+        SB_LOG(Info) << "workflow: fused " << label;
+    }
+
     {
         std::vector<std::jthread> drivers;
-        drivers.reserve(instances_.size());
-        for (std::size_t i = 0; i < instances_.size(); ++i) {
-            drivers.emplace_back([this, i, &errors, &failed] {
-                const Instance& inst = instances_[i];
-                const RestartPolicy policy = inst.policy ? *inst.policy : policy_;
+        drivers.reserve(units.size());
+        for (const UnitSpec& unit : units) {
+            drivers.emplace_back([this, &unit, &errors, &failed] {
+                const std::vector<std::size_t>& members = unit.members;
+                const std::size_t lead = members.front();
+                const Instance& inst = instances_[lead];
+                // Unit policy: the most conservative of the members' — one
+                // Never member pins the whole unit, and the attempt budget is
+                // the tightest member's.
+                RestartPolicy policy = inst.policy ? *inst.policy : policy_;
+                for (std::size_t k = 1; k < members.size(); ++k) {
+                    const Instance& mi = instances_[members[k]];
+                    const RestartPolicy p = mi.policy ? *mi.policy : policy_;
+                    if (p.mode == RestartPolicy::Mode::Never) {
+                        policy.mode = RestartPolicy::Mode::Never;
+                    }
+                    policy.max_attempts = std::min(policy.max_attempts, p.max_attempts);
+                }
+                // Label the communicator with the instance index: describe()
+                // can collide when a component appears twice.
+                std::string label = inst.component + "#" + std::to_string(lead);
+                for (std::size_t k = 1; k < members.size(); ++k) {
+                    label += "+" + instance_label(members[k]);
+                }
                 for (int attempt = 0;; ++attempt) {
                     try {
-                        // Label the communicator with the instance index:
-                        // describe() can collide when a component appears
-                        // twice.
                         mpi::run_ranks(
                             inst.nprocs,
                             [&](mpi::Communicator& comm) {
-                                auto component = make_component(inst.component);
-                                RunContext ctx{fabric_, comm, inst.stats.get(),
-                                               options_};
-                                ctx.component = inst.component;
-                                ctx.instance = instance_label(i);
-                                ctx.attempt = attempt;
-                                // Transport spans recorded on this rank's
-                                // thread carry the instance as their actor.
-                                const obs::ScopedActor actor(ctx.instance);
-                                fault::hit("component.run", inst.component);
-                                component->run(ctx, inst.args);
+                                if (unit.chain) {
+                                    std::vector<FusedStageHooks> hooks;
+                                    hooks.reserve(members.size());
+                                    for (const std::size_t m : members) {
+                                        hooks.push_back(FusedStageHooks{
+                                            instance_label(m),
+                                            instances_[m].stats.get()});
+                                    }
+                                    RunContext ctx{fabric_, comm, nullptr, options_};
+                                    ctx.component = inst.component;
+                                    ctx.instance = instance_label(lead);
+                                    ctx.attempt = attempt;
+                                    const obs::ScopedActor actor(ctx.instance);
+                                    // Every member is (re)launched with the
+                                    // unit, so each keeps its own run-level
+                                    // fault point.
+                                    for (const std::size_t m : members) {
+                                        fault::hit("component.run",
+                                                   instances_[m].component);
+                                    }
+                                    run_fused_chain(ctx, *unit.chain, hooks);
+                                } else {
+                                    auto component = make_component(inst.component);
+                                    RunContext ctx{fabric_, comm, inst.stats.get(),
+                                                   options_};
+                                    ctx.component = inst.component;
+                                    ctx.instance = instance_label(lead);
+                                    ctx.attempt = attempt;
+                                    // Transport spans recorded on this rank's
+                                    // thread carry the instance as their actor.
+                                    const obs::ScopedActor actor(ctx.instance);
+                                    fault::hit("component.run", inst.component);
+                                    component->run(ctx, inst.args);
+                                }
                             },
-                            inst.component + "#" + std::to_string(i) +
-                                (attempt ? ".r" + std::to_string(attempt) : ""));
-                        return;  // this instance drained
+                            label + (attempt ? ".r" + std::to_string(attempt) : ""));
+                        return;  // this unit drained
                     } catch (...) {
                         const std::exception_ptr err = std::current_exception();
-                        if (try_recover(i, attempt, policy, err, failed.load())) {
-                            continue;  // relaunch the instance
+                        if (try_recover(members, attempt, policy, err, failed.load())) {
+                            continue;  // relaunch the unit
                         }
-                        errors[i] = err;
+                        errors[lead] = err;
                         failed.store(true);
                         // Unblock the rest of the graph: every stream wakes
                         // its waiters with StreamAborted.

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/component.hpp"
+#include "core/fusion.hpp"
 #include "core/registry.hpp"
 #include "obs/report.hpp"
 
@@ -107,6 +108,16 @@ public:
     /// Times instance `i` was relaunched during the last run().
     int restarts(std::size_t i) const { return instances_.at(i).restarts; }
 
+    /// Operator-fusion knob (core/fusion.hpp): Auto follows the SB_FUSE
+    /// environment gate, On/Off pin it for this workflow.  Call before run().
+    void set_fusion(FusionMode mode) { fusion_ = mode; }
+    FusionMode fusion() const noexcept { return fusion_; }
+
+    /// The fusion plan run() would execute right now: empty when fusion is
+    /// disabled (seed per-component execution), otherwise the maximal fusible
+    /// chains over the current instances.  Pure — streams are not touched.
+    FusionPlan fusion_plan() const;
+
     /// Total processes across all instances (the paper's resource count).
     int total_procs() const noexcept;
 
@@ -175,9 +186,12 @@ private:
     };
 
     /// Whether the error behind `err` may be recovered by relaunching the
-    /// instance, and if so, rolls its streams back (detach + replay/skip).
-    bool try_recover(std::size_t i, int attempt, const RestartPolicy& policy,
-                     const std::exception_ptr& err, bool another_failed);
+    /// unit (a fused chain's members, or a single instance), and if so, rolls
+    /// its external streams back (detach + replay/skip).  Streams internal to
+    /// a fused unit never materialize and need no rollback.
+    bool try_recover(const std::vector<std::size_t>& members, int attempt,
+                     const RestartPolicy& policy, const std::exception_ptr& err,
+                     bool another_failed);
 
     /// Ports of instance `i` ({.known=false} when undeclared or throwing).
     Ports ports_of(std::size_t i) const;
@@ -185,6 +199,7 @@ private:
     flexpath::Fabric& fabric_;
     flexpath::StreamOptions options_;
     RestartPolicy policy_;
+    FusionMode fusion_ = FusionMode::Auto;
     std::vector<Instance> instances_;
     obs::Sampler* sampler_ = nullptr;
     mutable std::optional<obs::CriticalPathSummary> cpath_;  // critical_path() cache

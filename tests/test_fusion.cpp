@@ -1,0 +1,546 @@
+// Tests for graph-level operator fusion (core/fusion.hpp) and the
+// schedule-separated kernels behind it (core/kernels.hpp): planner legality,
+// fused-vs-unfused bit-identity on the paper's chains, restart-under-fault
+// bit-identity, per-stage observability attribution, and the kernel
+// bit-identity contract across Scalar/Simd schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/histogram.hpp"
+#include "core/kernels.hpp"
+#include "core/launch_script.hpp"
+#include "core/workflow.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "sim/source_component.hpp"
+
+namespace core = sb::core;
+namespace kn = sb::core::kernels;
+namespace sim = sb::sim;
+namespace fp = sb::flexpath;
+namespace u = sb::util;
+namespace ft = sb::fault;
+
+namespace {
+
+std::string tmp(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+double counter_total(const std::string& name) {
+    return sb::obs::Registry::global().total(name);
+}
+
+/// Builds one planner candidate with explicitly spelled ports, so legality
+/// negatives (fan-out, mismatched arrays, opaque components) can be
+/// constructed without registering bespoke components.
+core::FusionCandidate cand(const std::string& component, int nprocs,
+                           const std::string& argline,
+                           std::vector<std::string> inputs,
+                           std::vector<std::string> outputs, bool known = true) {
+    core::FusionCandidate c;
+    c.component = component;
+    c.nprocs = nprocs;
+    c.args = u::ArgList::split(argline);
+    c.ports = core::Ports{std::move(inputs), std::move(outputs), known};
+    return c;
+}
+
+/// The Fig. 6 analysis pipeline with uniform rank counts, so every link is
+/// fusible: select -> dim-reduce -> dim-reduce -> histogram.
+std::vector<core::FusionCandidate> gtcp_chain_candidates() {
+    return {
+        cand("gtcp", 4, "slices=4 gridpoints=18 steps=2", {}, {"gtcp.fp"}),
+        cand("select", 2, "gtcp.fp field3d 2 psel.fp pp perpendicular_pressure",
+             {"gtcp.fp"}, {"psel.fp"}),
+        cand("dim-reduce", 2, "psel.fp pp 2 1 pflat1.fp pp1", {"psel.fp"},
+             {"pflat1.fp"}),
+        cand("dim-reduce", 2, "pflat1.fp pp1 0 1 pflat2.fp pp2", {"pflat1.fp"},
+             {"pflat2.fp"}),
+        cand("histogram", 2, "pflat2.fp pp2 12 out.txt", {"pflat2.fp"}, {}),
+    };
+}
+
+/// Per-test hygiene: injected fault schedules and schedule overrides are
+/// process-wide, so never let one leak into the next case.
+class FusionTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        ft::Registry::global().disarm_all();
+        kn::set_schedule(std::nullopt);
+    }
+};
+
+}  // namespace
+
+// ---- planner legality ------------------------------------------------------
+
+TEST_F(FusionTest, PlannerFusesTheMaximalChain) {
+    const auto plan = core::plan_fusion(gtcp_chain_candidates());
+    ASSERT_EQ(plan.chains.size(), 1u);
+    const core::FusedChain& chain = plan.chains[0];
+    ASSERT_EQ(chain.stages.size(), 4u);
+    using K = core::FusedStage::Kind;
+    EXPECT_EQ(chain.stages[0].kind, K::Select);
+    EXPECT_EQ(chain.stages[1].kind, K::DimReduce);
+    EXPECT_EQ(chain.stages[2].kind, K::DimReduce);
+    EXPECT_EQ(chain.stages[3].kind, K::Histogram);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(chain.stages[i].instance, i + 1);
+    EXPECT_FALSE(plan.fused(0));  // the simulation never fuses
+    EXPECT_EQ(plan.chain_of(2), 0u);
+    EXPECT_FALSE(chain.tail_writes_stream());
+}
+
+TEST_F(FusionTest, PlannerSplitsOnRankCountMismatch) {
+    auto cands = gtcp_chain_candidates();
+    cands[2].nprocs = 3;  // first dim-reduce runs 3 ranks, neighbours run 2
+    const auto plan = core::plan_fusion(cands);
+    // select | dim-reduce (3) | dim-reduce -> histogram: only the tail pair
+    // is left fusible.
+    ASSERT_EQ(plan.chains.size(), 1u);
+    EXPECT_EQ(plan.chains[0].stages.size(), 2u);
+    EXPECT_EQ(plan.chains[0].head().instance, 3u);
+    EXPECT_FALSE(plan.fused(1));
+    EXPECT_FALSE(plan.fused(2));
+    bool noted = false;
+    for (const auto& n : plan.notes) {
+        noted = noted || n.find("ranks re-distribute") != std::string::npos;
+    }
+    EXPECT_TRUE(noted) << "expected a rank-count-mismatch note";
+}
+
+TEST_F(FusionTest, PlannerTreatsFanOutAsABoundary) {
+    // magnitude's stream has two readers: fusing it into either would
+    // starve the other.
+    const auto plan = core::plan_fusion({
+        cand("magnitude", 2, "in.fp v m.fp mag", {"in.fp"}, {"m.fp"}),
+        cand("histogram", 2, "m.fp mag 8 h.txt", {"m.fp"}, {}),
+        cand("moments", 2, "m.fp mag mom.txt", {"m.fp"}, {}),
+    });
+    EXPECT_TRUE(plan.chains.empty());
+}
+
+TEST_F(FusionTest, PlannerRequiresTheArraysToLineUp) {
+    // Same stream, but the reader wants an array the writer never produces:
+    // the hop still re-materializes through the stream.
+    const auto plan = core::plan_fusion({
+        cand("magnitude", 2, "in.fp v m.fp mag", {"in.fp"}, {"m.fp"}),
+        cand("histogram", 2, "m.fp other 8 h.txt", {"m.fp"}, {}),
+    });
+    EXPECT_TRUE(plan.chains.empty());
+}
+
+TEST_F(FusionTest, PlannerWithOpaquePortsDisablesFusionOutright) {
+    // A component that cannot statically name its streams could read any of
+    // them, so single-reader can never be proven for any link.
+    const auto plan = core::plan_fusion({
+        cand("magnitude", 2, "in.fp v m.fp mag", {"in.fp"}, {"m.fp"}),
+        cand("histogram", 2, "m.fp mag 8 h.txt", {"m.fp"}, {}),
+        cand("mystery", 1, "", {}, {}, /*known=*/false),
+    });
+    EXPECT_TRUE(plan.chains.empty());
+    EXPECT_FALSE(plan.notes.empty());
+}
+
+TEST_F(FusionTest, PlannerOnlyTailsMomentsAfterAllMagnitudeStages) {
+    // Moments' floating-point sums are partition-order-sensitive; only an
+    // all-Magnitude prefix preserves the partitioning it would have seen.
+    const auto after_select = core::plan_fusion({
+        cand("select", 2, "in.fp a 1 s.fp b x", {"in.fp"}, {"s.fp"}),
+        cand("moments", 2, "s.fp b mom.txt", {"s.fp"}, {}),
+    });
+    EXPECT_TRUE(after_select.chains.empty());
+
+    const auto after_magnitude = core::plan_fusion({
+        cand("magnitude", 2, "in.fp v m.fp mag", {"in.fp"}, {"m.fp"}),
+        cand("moments", 2, "m.fp mag mom.txt", {"m.fp"}, {}),
+    });
+    ASSERT_EQ(after_magnitude.chains.size(), 1u);
+    EXPECT_EQ(after_magnitude.chains[0].tail().kind,
+              core::FusedStage::Kind::Moments);
+}
+
+TEST_F(FusionTest, PlannerFusesThresholdAndDownsampleMidChain) {
+    const auto plan = core::plan_fusion({
+        cand("threshold", 2, "in.fp v above 0.5 t.fp tv", {"in.fp"}, {"t.fp"}),
+        cand("downsample", 2, "t.fp tv 0 3 d.fp dv", {"t.fp"}, {"d.fp"}),
+        cand("histogram", 2, "d.fp dv 8 h.txt", {"d.fp"}, {}),
+    });
+    ASSERT_EQ(plan.chains.size(), 1u);
+    EXPECT_EQ(plan.chains[0].stages.size(), 3u);
+    EXPECT_TRUE(plan.chains[0].tail_writes_stream() == false);
+}
+
+TEST_F(FusionTest, PlannerLeavesMalformedStagesToFailStandalone) {
+    // stride == 0 is a runtime ArgError; the planner must not fuse the stage
+    // (the standalone run then raises the seed's error text).
+    const auto plan = core::plan_fusion({
+        cand("threshold", 2, "in.fp v above 0.5 t.fp tv", {"in.fp"}, {"t.fp"}),
+        cand("downsample", 2, "t.fp tv 0 0 d.fp dv", {"t.fp"}, {"d.fp"}),
+        cand("histogram", 2, "d.fp dv 8 h.txt", {"d.fp"}, {}),
+    });
+    EXPECT_TRUE(plan.chains.empty());
+}
+
+TEST_F(FusionTest, ModeGatesResolveIndependentlyOfTheEnvironment) {
+    EXPECT_TRUE(core::fusion_enabled(core::FusionMode::On));
+    EXPECT_FALSE(core::fusion_enabled(core::FusionMode::Off));
+}
+
+TEST_F(FusionTest, WorkflowFusionPlanHonoursTheModeKnob) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=8", "steps=1"});
+    wf.add("magnitude", 2, {"gmx.fp", "coords", "radii.fp", "radii"});
+    wf.add("histogram", 2, {"radii.fp", "radii", "8", tmp("plan_knob.txt")});
+
+    wf.set_fusion(core::FusionMode::On);
+    const auto on = wf.fusion_plan();
+    ASSERT_EQ(on.chains.size(), 1u);
+    EXPECT_EQ(on.chains[0].stages.size(), 2u);
+    EXPECT_TRUE(on.fused(1));
+    EXPECT_TRUE(on.fused(2));
+
+    wf.set_fusion(core::FusionMode::Off);
+    EXPECT_TRUE(wf.fusion_plan().chains.empty());
+}
+
+// ---- fused vs. unfused bit-identity ----------------------------------------
+
+namespace {
+
+/// Runs the Fig. 6 pipeline (uniform analysis ranks so the whole chain
+/// fuses) and returns the histogram file's raw bytes.
+std::string run_gtcp_chain(core::FusionMode mode, const std::string& sim_args,
+                           const std::string& hist_file) {
+    sim::register_simulations();
+    fp::Fabric fabric;
+    core::Workflow wf = core::build_workflow(
+        fabric,
+        "aprun -n 2 gtcp " + sim_args + " &\n"
+        "aprun -n 2 select gtcp.fp field3d 2 psel.fp pp perpendicular_pressure &\n"
+        "aprun -n 2 dim-reduce psel.fp pp 2 1 pflat1.fp pp1 &\n"
+        "aprun -n 2 dim-reduce pflat1.fp pp1 0 1 pflat2.fp pp2 &\n"
+        "aprun -n 2 histogram pflat2.fp pp2 12 " + hist_file + " &\n"
+        "wait\n");
+    wf.set_fusion(mode);
+    wf.run();
+    return slurp(hist_file);
+}
+
+}  // namespace
+
+TEST_F(FusionTest, GtcpChainFusedOutputIsBitIdentical) {
+    const std::string sim_args = "slices=4 gridpoints=18 steps=2";
+    const std::string off = run_gtcp_chain(core::FusionMode::Off, sim_args,
+                                           tmp("fuse_gtcp_off.txt"));
+    const std::string on = run_gtcp_chain(core::FusionMode::On, sim_args,
+                                          tmp("fuse_gtcp_on.txt"));
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+    // Sanity: the fused file still parses as per-step histograms.
+    EXPECT_EQ(core::read_histogram_file(tmp("fuse_gtcp_on.txt")).size(), 2u);
+}
+
+// field3d is [slices, gridpoints, 7]; with slices > gridpoints the fused
+// select partitions dimension 0, so the second dim-reduce (removing
+// dimension 0) must take the allgather fallback the stream used to provide.
+TEST_F(FusionTest, GtcpChainGatherFallbackStaysBitIdentical) {
+    const std::string sim_args = "slices=12 gridpoints=5 steps=2";
+    const std::string off = run_gtcp_chain(core::FusionMode::Off, sim_args,
+                                           tmp("fuse_gather_off.txt"));
+    const double gathers0 = counter_total("fusion.gather_fallbacks");
+    const std::string on = run_gtcp_chain(core::FusionMode::On, sim_args,
+                                          tmp("fuse_gather_on.txt"));
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+    EXPECT_GT(counter_total("fusion.gather_fallbacks") - gathers0, 0.0);
+}
+
+TEST_F(FusionTest, GromacsMagnitudeHistogramFusedOutputIsBitIdentical) {
+    sim::register_simulations();
+    const std::string sim_args = "atoms=64 steps=3 substeps=3";
+    auto run = [&](core::FusionMode mode, const std::string& file) {
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 gromacs " + sim_args + " &\n"
+            "aprun -n 3 magnitude gmx.fp coords radii.fp radii &\n"
+            "aprun -n 3 histogram radii.fp radii 10 " + file + " &\n"
+            "wait\n");
+        wf.set_fusion(mode);
+        wf.run();
+        return slurp(file);
+    };
+    const std::string off = run(core::FusionMode::Off, tmp("fuse_gmx_off.txt"));
+    const std::string on = run(core::FusionMode::On, tmp("fuse_gmx_on.txt"));
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+}
+
+TEST_F(FusionTest, ThresholdChainFusedOutputIsBitIdentical) {
+    sim::register_simulations();
+    auto run = [&](core::FusionMode mode, const std::string& file) {
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 gromacs atoms=48 steps=3 substeps=2 &\n"
+            "aprun -n 3 magnitude gmx.fp coords radii.fp radii &\n"
+            "aprun -n 3 threshold radii.fp radii above 0.4 big.fp big &\n"
+            "aprun -n 3 histogram big.fp big 9 " + file + " &\n"
+            "wait\n");
+        wf.set_fusion(mode);
+        wf.run();
+        return slurp(file);
+    };
+    const std::string off = run(core::FusionMode::Off, tmp("fuse_thr_off.txt"));
+    const std::string on = run(core::FusionMode::On, tmp("fuse_thr_on.txt"));
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+}
+
+TEST_F(FusionTest, DownsampleChainFusedOutputIsBitIdentical) {
+    sim::register_simulations();
+    auto run = [&](core::FusionMode mode, const std::string& file) {
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 gromacs atoms=60 steps=2 substeps=2 &\n"
+            "aprun -n 2 magnitude gmx.fp coords radii.fp radii &\n"
+            "aprun -n 2 downsample radii.fp radii 0 3 ds.fp dsr &\n"
+            "aprun -n 2 histogram ds.fp dsr 7 " + file + " &\n"
+            "wait\n");
+        wf.set_fusion(mode);
+        wf.run();
+        return slurp(file);
+    };
+    const std::string off = run(core::FusionMode::Off, tmp("fuse_ds_off.txt"));
+    const std::string on = run(core::FusionMode::On, tmp("fuse_ds_on.txt"));
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+}
+
+TEST_F(FusionTest, MomentsChainFusedOutputIsBitIdentical) {
+    sim::register_simulations();
+    auto run = [&](core::FusionMode mode, const std::string& file) {
+        fp::Fabric fabric;
+        core::Workflow wf = core::build_workflow(
+            fabric,
+            "aprun -n 2 gromacs atoms=32 steps=3 substeps=2 &\n"
+            "aprun -n 2 magnitude gmx.fp coords radii.fp radii &\n"
+            "aprun -n 2 moments radii.fp radii " + file + " &\n"
+            "wait\n");
+        wf.set_fusion(mode);
+        wf.run();
+        return slurp(file);
+    };
+    const std::string off = run(core::FusionMode::Off, tmp("fuse_mom_off.txt"));
+    const std::string on = run(core::FusionMode::On, tmp("fuse_mom_on.txt"));
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+}
+
+// ---- restart under fault ----------------------------------------------------
+
+// A stage inside a fused chain crashes mid-run; the supervisor restarts the
+// whole fused unit, the head stream replays the un-acknowledged steps, and
+// the tail file is bit-identical to a fault-free (unfused) run.
+TEST_F(FusionTest, FusedChainRestartProducesBitIdenticalOutput) {
+    sim::register_simulations();
+    const std::string sim_args = "atoms=40 steps=4 substeps=2";
+
+    const std::string ref_file = tmp("fuse_restart_ref.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("gromacs", 1, u::ArgList::split(sim_args).raw());
+        wf.add("magnitude", 2, {"gmx.fp", "coords", "radiir.fp", "radii"});
+        wf.add("histogram", 2, {"radiir.fp", "radii", "8", ref_file});
+        wf.set_fusion(core::FusionMode::Off);
+        wf.run();
+    }
+
+    // The magnitude stage's step-2 bookkeeping throws — inside the fused
+    // unit, after two full steps reached the histogram file.
+    ft::Registry::global().arm_from_env(
+        "seed=7; component.step:magnitude=throw@2");
+    const std::string out_file = tmp("fuse_restart_out.txt");
+    const double restarts0 = counter_total("workflow.component_restarts");
+
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, u::ArgList::split(sim_args).raw());
+    wf.add("magnitude", 2, {"gmx.fp", "coords", "radiir.fp", "radii"});
+    wf.add("histogram", 2, {"radiir.fp", "radii", "8", out_file});
+    wf.set_fusion(core::FusionMode::On);
+    wf.set_restart_policy(core::RestartPolicy::on_failure(2));
+    ASSERT_EQ(wf.fusion_plan().chains.size(), 1u);
+    wf.run();  // must complete despite the injected crash
+
+    // Both members of the fused unit restarted together.
+    EXPECT_EQ(wf.restarts(1), 1);
+    EXPECT_EQ(wf.restarts(2), 1);
+    EXPECT_EQ(counter_total("workflow.component_restarts") - restarts0, 2.0);
+    EXPECT_EQ(slurp(out_file), slurp(ref_file));
+}
+
+// ---- observability attribution ---------------------------------------------
+
+// Fused stages keep their original instance labels: StepStats fill per
+// member, and critical-path attribution never names a synthetic fused unit.
+TEST_F(FusionTest, FusedStagesKeepPerInstanceAttribution) {
+    sim::register_simulations();
+    sb::obs::set_enabled(true);
+
+    fp::Fabric fabric;
+    core::Workflow wf(fabric);
+    wf.add("gromacs", 1, {"atoms=32", "steps=3", "substeps=2"});
+    wf.add("magnitude", 2, {"gmx.fp", "coords", "radioo.fp", "radii"});
+    wf.add("histogram", 2, {"radioo.fp", "radii", "8", tmp("fuse_obs.txt")});
+    wf.set_fusion(core::FusionMode::On);
+    wf.run();
+
+    EXPECT_EQ(wf.stats(0).steps(), 3u);
+    EXPECT_EQ(wf.stats(1).steps(), 3u);  // fused, still per-stage
+    EXPECT_EQ(wf.stats(2).steps(), 3u);
+
+    const auto summary = wf.critical_path();
+    ASSERT_GT(summary.steps, 0u);
+    for (const auto& inst : summary.by_instance) {
+        EXPECT_TRUE(inst.instance == "gromacs#0" || inst.instance == "magnitude#1" ||
+                    inst.instance == "histogram#2")
+            << "unexpected critical-path actor: " << inst.instance;
+    }
+}
+
+// ---- kernel schedules -------------------------------------------------------
+
+namespace {
+
+/// Deterministic pseudo-random doubles in [-1, 2), with a NaN sprinkled in
+/// every 97th slot (histogram edge coverage).
+std::vector<double> synth_values(std::size_t n) {
+    std::vector<double> v(n);
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        v[i] = static_cast<double>(state >> 11) /
+                   static_cast<double>(1ull << 53) * 3.0 -
+               1.0;
+        if (i % 97 == 42) v[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+    return v;
+}
+
+}  // namespace
+
+TEST_F(FusionTest, HistogramEdgeSemanticsAreIdenticalAcrossSchedules) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<double> values = {nan, -inf, inf, 0.0, 1.0, 0.5, -3.0, 7.0};
+
+    for (auto s : {kn::Schedule::Scalar, kn::Schedule::Simd}) {
+        std::vector<std::uint64_t> counts(4, 0);
+        kn::histogram_accumulate(values, 0.0, 1.0, counts, s);
+        // NaN dropped; -inf, 0.0 and -3.0 clamp to bin 0; 0.5 in bin 2;
+        // inf, 1.0 and 7.0 clamp to the last bin.
+        EXPECT_EQ(counts, (std::vector<std::uint64_t>{3, 0, 1, 3}));
+
+        std::vector<std::uint64_t> degenerate(4, 0);
+        kn::histogram_accumulate(values, 2.0, 2.0, degenerate, s);
+        EXPECT_EQ(degenerate, (std::vector<std::uint64_t>{7, 0, 0, 0}));
+
+        std::vector<std::uint64_t> inverted(4, 0);
+        kn::histogram_accumulate(values, 1.0, 0.0, inverted, s);
+        EXPECT_EQ(inverted, (std::vector<std::uint64_t>{7, 0, 0, 0}));
+    }
+
+    EXPECT_THROW((void)core::histogram_counts(values, 0.0, 1.0, 0),
+                 std::invalid_argument);
+}
+
+TEST_F(FusionTest, HistogramSchedulesMatchOnBulkData) {
+    const auto values = synth_values(10240 + 7);  // off block-size multiples
+    std::vector<std::uint64_t> scalar(17, 0), simd(17, 0);
+    kn::histogram_accumulate(values, -0.5, 1.5, scalar, kn::Schedule::Scalar);
+    kn::histogram_accumulate(values, -0.5, 1.5, simd, kn::Schedule::Simd);
+    EXPECT_EQ(scalar, simd);
+    std::uint64_t total = 0;
+    for (auto c : simd) total += c;
+    std::uint64_t non_nan = 0;
+    for (double v : values) non_nan += std::isnan(v) ? 0 : 1;
+    EXPECT_EQ(total, non_nan);  // NaNs dropped, everything else binned
+}
+
+TEST_F(FusionTest, MagnitudeSchedulesAreBitIdentical) {
+    const std::size_t n = 1001, ncomp = 3;
+    std::vector<double> vecs(n * ncomp);
+    for (std::size_t i = 0; i < vecs.size(); ++i) {
+        vecs[i] = std::sin(static_cast<double>(i) * 0.37) * 5.0;
+    }
+    std::vector<double> scalar(n), simd(n);
+    kn::magnitude(vecs.data(), n, ncomp, scalar.data(), kn::Schedule::Scalar);
+    kn::magnitude(vecs.data(), n, ncomp, simd.data(), kn::Schedule::Simd);
+    EXPECT_EQ(0, std::memcmp(scalar.data(), simd.data(), n * sizeof(double)));
+}
+
+TEST_F(FusionTest, ThresholdCompactSchedulesAreBitIdentical) {
+    const auto values = synth_values(4099);
+    for (auto op : {kn::ThresholdOp::Above, kn::ThresholdOp::Below,
+                    kn::ThresholdOp::Band}) {
+        std::vector<double> scalar(values.size()), simd(values.size());
+        const std::size_t ns = kn::threshold_compact(values, op, 0.25, 0.75,
+                                                     scalar.data(),
+                                                     kn::Schedule::Scalar);
+        const std::size_t nv = kn::threshold_compact(values, op, 0.25, 0.75,
+                                                     simd.data(),
+                                                     kn::Schedule::Simd);
+        ASSERT_EQ(ns, nv);
+        EXPECT_EQ(0, std::memcmp(scalar.data(), simd.data(), ns * sizeof(double)));
+        for (std::size_t i = 0; i < ns; ++i) EXPECT_FALSE(std::isnan(scalar[i]));
+    }
+}
+
+TEST_F(FusionTest, MomentsSchedulesAgreeDeterministically) {
+    const auto values = synth_values(8193);
+    const auto scalar = kn::moments_accumulate(values, kn::Schedule::Scalar);
+    const auto simd = kn::moments_accumulate(values, kn::Schedule::Simd);
+    EXPECT_EQ(scalar.n, simd.n);    // integer-valued count: exact
+    EXPECT_EQ(scalar.lo, simd.lo);  // min/max: exact
+    EXPECT_EQ(scalar.hi, simd.hi);
+    // Sums are reassociated under Simd: deterministic, ulp-level agreement.
+    EXPECT_NEAR(scalar.s1, simd.s1, 1e-9 * std::abs(scalar.s1) + 1e-12);
+    EXPECT_NEAR(scalar.s2, simd.s2, 1e-9 * std::abs(scalar.s2) + 1e-12);
+    EXPECT_NEAR(scalar.s3, simd.s3, 1e-9 * std::abs(scalar.s3) + 1e-12);
+    const auto again = kn::moments_accumulate(values, kn::Schedule::Simd);
+    EXPECT_EQ(simd.s1, again.s1);  // deterministic across runs
+}
+
+TEST_F(FusionTest, ScatterStridedSchedulesAreBitIdentical) {
+    const std::size_t n = 513, stride = 3;
+    std::vector<double> src(n);
+    for (std::size_t i = 0; i < n; ++i) src[i] = static_cast<double>(i) * 1.5;
+    std::vector<double> a(n * stride, -1.0), b(n * stride, -1.0);
+    kn::scatter_strided(reinterpret_cast<const std::byte*>(src.data()),
+                        reinterpret_cast<std::byte*>(a.data()), n, stride,
+                        sizeof(double), kn::Schedule::Scalar);
+    kn::scatter_strided(reinterpret_cast<const std::byte*>(src.data()),
+                        reinterpret_cast<std::byte*>(b.data()), n, stride,
+                        sizeof(double), kn::Schedule::Simd);
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+}

@@ -375,6 +375,10 @@ protected:
         fp::StreamOptions opts;
         opts.queue_capacity = 64;
         wf_.emplace(fabric_, opts);
+        // These tests assert the *unfused* transport topology (a span
+        // timeline per stream, a flow arrow per hop); pin fusion off so
+        // magnitude -> histogram keeps materializing m.fp.
+        wf_->set_fusion(core::FusionMode::Off);
         wf_->add("gromacs", 1, {"atoms=16384", "steps=4", "substeps=24"});
         wf_->add("magnitude", 1, {"gmx.fp", "coords", "m.fp", "r"});
         wf_->add("histogram", 1, {"m.fp", "r", "8", tmp("span_hist.txt")});
