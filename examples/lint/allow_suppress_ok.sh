@@ -1,0 +1,7 @@
+# Demonstrates per-rule suppression: the unconsumed radii.fp would warn,
+# but the committed allow directive waives exactly that rule
+# (equivalently: smartblock_lint --allow=graph-unconsumed-output).
+# lint-config: allow=graph-unconsumed-output
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 gromacs atoms=256 steps=2 &
+wait

@@ -1,0 +1,9 @@
+# Trigger: attr-header-dropped (error) — dim-reduce absorbs dimension 2
+# into 1 and drops both headers; the downstream select then asks for a
+# header that provably no longer exists.
+aprun -n 2 gtcp slices=4 gridpoints=64 steps=2 &
+aprun -n 1 select gtcp.fp field3d 2 psel.fp pp perpendicular_pressure &
+aprun -n 1 dim-reduce psel.fp pp 2 1 pflat.fp pp1 &
+aprun -n 1 select pflat.fp pp1 1 psel2.fp pp2 perpendicular_pressure &
+aprun -n 1 file-writer psel2.fp pp2 psel2_out &
+wait

@@ -1,0 +1,7 @@
+# Trigger: attr-header-missing (error) — gtcp only attaches a header to
+# dimension 2 (the quantity axis); select on dimension 0 has no names to
+# select by.
+aprun -n 2 gtcp slices=4 gridpoints=64 steps=2 &
+aprun -n 1 select gtcp.fp field3d 0 psel.fp pp density &
+aprun -n 1 file-writer psel.fp pp psel_out &
+wait

@@ -1,0 +1,6 @@
+# Trigger: attr-header-name (error) — 'vorticity' is not one of the
+# quantities gtcp publishes in the dimension-2 header.
+aprun -n 2 gtcp slices=4 gridpoints=64 steps=2 &
+aprun -n 1 select gtcp.fp field3d 2 psel.fp pp vorticity &
+aprun -n 1 file-writer psel.fp pp psel_out &
+wait

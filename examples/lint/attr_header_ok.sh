@@ -1,0 +1,8 @@
+# Positive counterpart for the attr-header-* rules: select runs on the
+# quantity axis (dimension 2) with a published quantity name, before any
+# header-dropping transform.
+aprun -n 2 gtcp slices=4 gridpoints=64 steps=2 &
+aprun -n 1 select gtcp.fp field3d 2 psel.fp pp perpendicular_pressure &
+aprun -n 1 dim-reduce psel.fp pp 2 1 pflat.fp pp1 &
+aprun -n 1 file-writer pflat.fp pp1 pflat_out &
+wait

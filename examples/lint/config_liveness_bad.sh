@@ -1,0 +1,8 @@
+# Trigger: config-liveness-fault-delay (warning) — the injected 500 ms
+# delay exceeds the 100 ms liveness timeout, so the delayed peer is
+# declared dead rather than slow.
+# lint-config: liveness-ms=100 fault=flexpath.acquire=delay:500
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 spread.txt &
+aprun -n 2 gromacs atoms=256 steps=2 &
+wait

@@ -1,0 +1,8 @@
+# Positive counterpart for the config-* rules: retention, data-loss policy,
+# liveness, and fault schedule are mutually consistent.
+# lint-config: restart-policy=on-failure retain-steps=8 on-data-loss=fail
+# lint-config: liveness-ms=5000 fault=flexpath.acquire=delay:50
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 spread.txt &
+aprun -n 2 gromacs atoms=256 steps=2 &
+wait

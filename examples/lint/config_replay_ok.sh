@@ -1,0 +1,7 @@
+# Fixed counterpart of config_replay_bad.sh: retained steps give restarts
+# their replay material back.
+# lint-config: restart-policy=on-failure retain-steps=8 on-data-loss=skip
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 spread.txt &
+aprun -n 2 gromacs atoms=256 steps=2 &
+wait

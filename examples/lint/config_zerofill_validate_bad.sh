@@ -1,0 +1,9 @@
+# Trigger: config-zerofill-validate (warning) — a zero-filled step flowing
+# into validate compares as a (false) mismatch instead of being skipped.
+# lint-config: on-data-loss=zero-fill
+aprun -n 2 gromacs atoms=128 steps=2 &
+aprun -n 1 fork gmx.fp coords c1.fp c1 c2.fp c2 &
+aprun -n 1 magnitude c1.fp c1 r1.fp r1 &
+aprun -n 1 magnitude c2.fp c2 r2.fp r2 &
+aprun -n 1 validate r1.fp r1 r2.fp r2 &
+wait

@@ -1,0 +1,7 @@
+# Trigger: graph-dangling-input (error) — 'velso.fp' is a typo for the
+# 'velos.fp' stream magnitude writes; the histogram would block forever.
+aprun -n 2 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+aprun -n 2 magnitude lmpselect.fp lmpsel velos.fp velocities &
+aprun -n 2 histogram velso.fp velocities 16 speeds.txt &
+aprun -n 4 lammps rows=16 cols=16 steps=2 &
+wait

@@ -1,0 +1,7 @@
+# Fixed counterpart of dangling_input_bad.sh: every stream has exactly one
+# writer and one reader; smartblock_lint exits 0.
+aprun -n 2 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+aprun -n 2 magnitude lmpselect.fp lmpsel velos.fp velocities &
+aprun -n 2 histogram velos.fp velocities 16 speeds.txt &
+aprun -n 4 lammps rows=16 cols=16 steps=2 &
+wait

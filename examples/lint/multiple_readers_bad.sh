@@ -1,0 +1,7 @@
+# Trigger: graph-multiple-readers (error) — two histograms read 'radii.fp';
+# duplicate the stream with `fork` to fan out instead.
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 coarse.txt &
+aprun -n 2 histogram radii.fp radii 16 fine.txt &
+wait

@@ -1,0 +1,8 @@
+# Fixed counterpart of multiple_readers_bad.sh: a fork duplicates the
+# radii stream so each histogram has its own copy.
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 1 fork radii.fp radii rcoarse.fp radii rfine.fp radii &
+aprun -n 2 histogram rcoarse.fp radii 8 coarse.txt &
+aprun -n 2 histogram rfine.fp radii 16 fine.txt &
+wait

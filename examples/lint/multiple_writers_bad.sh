@@ -1,0 +1,7 @@
+# Trigger: graph-multiple-writers (error) — two simulation instances both
+# publish 'gmx.fp'; streams support exactly one writer group.
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 gromacs atoms=128 steps=2 &
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 spread.txt &
+wait

@@ -1,0 +1,5 @@
+# Fixed counterpart of multiple_writers_bad.sh: one writer per stream.
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 spread.txt &
+wait

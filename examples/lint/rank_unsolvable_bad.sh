@@ -1,0 +1,9 @@
+# Trigger: shape-rank-unsolvable (error) — the file-reader's replayed rank
+# is unknown statically; one fork branch needs it to be 1-D (histogram) and
+# the other 2-D (magnitude).  No rank satisfies both.
+aprun -n 1 file-reader replay gtcp.fp field3d &
+aprun -n 1 fork gtcp.fp field3d a.fp da b.fp db &
+aprun -n 1 histogram a.fp da 8 h.txt &
+aprun -n 1 magnitude b.fp db m.fp mag &
+aprun -n 1 file-writer m.fp mag m_out &
+wait

@@ -1,0 +1,7 @@
+# Fixed counterpart of rank_unsolvable_bad.sh: both branches demand the
+# same rank (1-D), which the replayed stream can satisfy.
+aprun -n 1 file-reader replay gtcp.fp field3d &
+aprun -n 1 fork gtcp.fp field3d a.fp da b.fp db &
+aprun -n 1 histogram a.fp da 8 coarse.txt &
+aprun -n 1 histogram b.fp db 16 fine.txt &
+wait

@@ -1,0 +1,6 @@
+# Trigger: shape-array-mismatch (error) — the magnitude asks stream gmx.fp
+# for array 'coordz', but gromacs writes 'coords'.
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 magnitude gmx.fp coordz radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 spread.txt &
+wait

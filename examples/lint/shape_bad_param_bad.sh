@@ -1,0 +1,6 @@
+# Trigger: shape-bad-param (error) — zero bins makes the histogram throw on
+# its first step; the analyzer reports it before launch.
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 0 spread.txt &
+wait

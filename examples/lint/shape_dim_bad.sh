@@ -1,0 +1,6 @@
+# Trigger: shape-dim-out-of-range (error) — 'field3d' is 3-D, so dimension
+# index 3 is out of range for select.
+aprun -n 2 gtcp slices=4 gridpoints=64 steps=2 &
+aprun -n 1 select gtcp.fp field3d 3 psel.fp pp density &
+aprun -n 1 file-writer psel.fp pp psel_out &
+wait

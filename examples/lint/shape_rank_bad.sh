@@ -1,0 +1,6 @@
+# Trigger: shape-rank-mismatch (error) — histogram needs a 1-D array, but
+# gromacs publishes 'coords' as [atoms, 3]; unlinted, this fails at runtime
+# on the first step (and with it the whole workflow).
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 histogram gmx.fp coords 16 spread.txt &
+wait

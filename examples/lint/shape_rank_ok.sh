@@ -1,0 +1,6 @@
+# Fixed counterpart of shape_rank_bad.sh: magnitude collapses [atoms, 3]
+# to the 1-D radii the histogram needs.
+aprun -n 2 gromacs atoms=256 steps=2 &
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 16 spread.txt &
+wait

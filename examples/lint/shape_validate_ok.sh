@@ -1,0 +1,8 @@
+# Fixed counterpart of shape_validate_bad.sh: both branches apply the same
+# selection, so the compared shapes agree.
+aprun -n 2 gtcp slices=4 gridpoints=64 steps=2 &
+aprun -n 1 fork gtcp.fp field3d f1.fp a1 f2.fp a2 &
+aprun -n 1 select f1.fp a1 2 s1.fp b1 density &
+aprun -n 1 select f2.fp a2 2 s2.fp b2 density &
+aprun -n 1 validate s1.fp b1 s2.fp b2 &
+wait

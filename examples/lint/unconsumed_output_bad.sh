@@ -1,0 +1,5 @@
+# Trigger: graph-unconsumed-output (warning) — nothing reads radii.fp, so
+# the magnitude stalls once the stream's buffer fills.
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 gromacs atoms=256 steps=2 &
+wait

@@ -1,0 +1,6 @@
+# Fixed counterpart of unconsumed_output_bad.sh: a histogram consumes the
+# radii stream; smartblock_lint exits 0.
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 12 gromacs_spread.txt &
+aprun -n 2 gromacs atoms=256 steps=2 &
+wait

@@ -6,6 +6,8 @@
 //
 //   smartblock_run [options] <workflow-script> [queue-capacity]
 //   smartblock_run --validate <workflow-script>    check wiring, don't run
+//   smartblock_run --lint[=strict] <workflow-script>   full static analysis
+//                                                  (docs/LINT.md), don't run
 //   smartblock_run --dot <workflow-script>         print the dataflow graph
 //   smartblock_run --trace t.json <script>         write a Chrome trace
 //   smartblock_run --metrics m.json <script>       write metrics + summary
@@ -33,6 +35,7 @@
 #include "core/graph.hpp"
 #include "core/launch_script.hpp"
 #include "fault/fault.hpp"
+#include "lint/lint.hpp"
 #include "flexpath/stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
@@ -42,7 +45,8 @@ namespace {
 
 void print_usage() {
     std::fprintf(stderr,
-                 "usage: smartblock_run [--validate|--dot] [--trace <out.json>] "
+                 "usage: smartblock_run [--validate|--lint[=strict]|--dot] "
+                 "[--allow=<rule-id>] [--trace <out.json>] "
                  "[--metrics <out.json>] [--report] [--watch] "
                  "[--metrics-interval=<ms>] [--read-ahead <depth>] "
                  "[--fuse=on|off|auto] "
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
     sb::sim::register_simulations();
 
     bool validate_only = false, dot_only = false;
+    bool lint_only = false, lint_strict = false;
+    sb::lint::Options lint_opts;
     bool report = false, watch = false;
     double metrics_interval_ms = 0.0;  // 0 = no periodic dumps
     const char* trace_path = nullptr;
@@ -111,6 +117,15 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[argi], "--validate") == 0) {
             validate_only = true;
             ++argi;
+        } else if (std::strcmp(argv[argi], "--lint") == 0) {
+            lint_only = true;
+            ++argi;
+        } else if (std::strcmp(argv[argi], "--lint=strict") == 0) {
+            lint_only = lint_strict = true;
+            ++argi;
+        } else if (std::strncmp(argv[argi], "--allow=", 8) == 0) {
+            lint_opts.allow.insert(argv[argi] + 8);
+            ++argi;
         } else if (std::strcmp(argv[argi], "--dot") == 0) {
             dot_only = true;
             ++argi;
@@ -134,26 +149,58 @@ int main(int argc, char** argv) {
         const std::string script = read_file(argv[argi]);
         const auto entries = sb::core::parse_launch_script(script);
 
+        if (fault_spec) {
+            lint_opts.faults = sb::lint::parse_fault_specs(fault_spec);
+        }
+        if (restart_policy &&
+            std::string(restart_policy).rfind("on_failure", 0) == 0) {
+            lint_opts.restart = sb::core::RestartPolicy::on_failure();
+        }
+
         if (dot_only) {
-            std::fputs(sb::core::graph_to_dot(entries).c_str(), stdout);
+            // Findings from the full analysis color the rendered graph
+            // (errors red, warnings gold).
+            const auto result = sb::lint::lint_entries(entries, lint_opts);
+            std::fputs(sb::core::graph_to_dot(
+                           entries, sb::lint::dot_annotations(entries, result))
+                           .c_str(),
+                       stdout);
             return 0;
+        }
+        if (lint_only) {
+            // Full static analysis (docs/LINT.md) without running, honoring
+            // the `# lint-config:` directives committed in the script.
+            const auto result = sb::lint::lint_script(script, lint_opts);
+            std::fputs(sb::lint::render_text(result, argv[argi]).c_str(), stdout);
+            return sb::lint::exit_code(result, lint_strict);
         }
 
         // Validate the wiring before any thread launches: a typo'd stream
-        // name should be an error message, not a deadlock.
-        const auto issues = sb::core::validate_graph(entries);
-        for (const auto& issue : issues) {
-            std::fprintf(stderr, "%s [%s] %s\n", issue.fatal ? "error:" : "warning:",
-                         sb::core::graph_issue_kind_name(issue.kind),
-                         issue.message.c_str());
+        // name should be an error message, not a deadlock.  Only the graph
+        // rules gate a run — contract and config findings are advisory here
+        // and reported by `--lint` — so anything the seed could execute
+        // still executes.
+        const sb::lint::Result all = sb::lint::lint_entries(entries, lint_opts);
+        sb::lint::Result graph;
+        for (const auto& d : all.diagnostics) {
+            if (d.rule.rfind("graph-", 0) != 0 || d.rule == "graph-opaque-ports") {
+                continue;
+            }
+            graph.diagnostics.push_back(d);
+            if (d.severity == sb::lint::Severity::Error) ++graph.errors;
+            if (d.severity == sb::lint::Severity::Warning) ++graph.warnings;
         }
-        if (!sb::core::graph_is_runnable(issues)) {
+        if (!graph.diagnostics.empty()) {
+            std::fputs(sb::lint::render_text(graph, argv[argi]).c_str(), stderr);
+        }
+        if (graph.errors > 0) {
             std::fprintf(stderr, "smartblock_run: workflow graph is not runnable\n");
             return 1;
         }
         if (validate_only) {
             std::printf("smartblock_run: %zu components, wiring OK%s\n",
-                        entries.size(), issues.empty() ? "" : " (with warnings)");
+                        entries.size(),
+                        graph.diagnostics.empty() ? "" : " (with warnings)");
             return 0;
         }
 

@@ -30,6 +30,7 @@
 
 #include "adios/reader.hpp"
 #include "adios/writer.hpp"
+#include "core/contract.hpp"
 #include "mpi/runtime.hpp"
 #include "util/argparse.hpp"
 
@@ -143,6 +144,16 @@ public:
     virtual Ports ports(const util::ArgList& args) const {
         (void)args;
         return Ports{{}, {}, false};
+    }
+
+    /// The component's static contract for these arguments (core/contract.hpp):
+    /// per-port arrays, rank/kind requirements, shape transforms, and header
+    /// flow.  Must be consistent with ports() and run().  Throws
+    /// util::ArgError exactly where ports() would.  The default declares the
+    /// component opaque to the static analyzer.
+    virtual Contract contract(const util::ArgList& args) const {
+        (void)args;
+        return Contract{};
     }
 };
 

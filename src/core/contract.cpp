@@ -1,0 +1,27 @@
+#include "core/contract.hpp"
+
+namespace sb::core {
+
+std::string SymDim::to_string() const {
+    if (is_const()) return std::to_string(value);
+    return "<" + tag + ">";
+}
+
+const char* shape_rule_name(OutputContract::Shape rule) {
+    switch (rule) {
+        case OutputContract::Shape::Source: return "source";
+        case OutputContract::Shape::Identity: return "identity";
+        case OutputContract::Shape::SetDim: return "set-dim";
+        case OutputContract::Shape::DivideDim: return "divide-dim";
+        case OutputContract::Shape::AbsorbDim: return "absorb-dim";
+        case OutputContract::Shape::DropDim: return "drop-dim";
+        case OutputContract::Shape::Permute: return "permute";
+        case OutputContract::Shape::Collapse2Dto1D: return "collapse-2d-to-1d";
+        case OutputContract::Shape::Square1D: return "square-1d";
+        case OutputContract::Shape::Filter1D: return "filter-1d";
+        case OutputContract::Shape::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+}  // namespace sb::core

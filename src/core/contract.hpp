@@ -1,0 +1,126 @@
+// Static component contracts (paper §III.A taken literally).
+//
+// The paper's central claim is that standardized metadata makes components
+// composable *without running them*: every component knows, from its
+// positional arguments alone, which arrays it consumes and produces, what
+// rank and element kind it demands, and how it transforms shapes and the
+// "header" attributes of §III.C.  A Contract is that knowledge in
+// declarative form — the input to the static analyzer (src/lint), which
+// abstract-interprets contracts over the dataflow DAG before any thread
+// launches.
+//
+// Contracts are deliberately symbolic: a source reports exact extents
+// computed from its deck ("[slices, gridpoints, 7]"), a transform reports a
+// shape *rule* ("absorb dimension 2 into 1"), and anything data-dependent
+// (Threshold's pass count, a file-reader's replayed shape) stays opaque.
+// The analyzer carries that partial knowledge forward instead of giving up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sb::core {
+
+/// One symbolic array extent: a compile-time constant, or an opaque value
+/// identified by a provenance tag (two opaque extents with the same tag are
+/// provably equal; with different tags they are merely unknown).
+struct SymDim {
+    enum class Kind { Const, Opaque };
+    Kind kind = Kind::Const;
+    std::uint64_t value = 0;  // Const
+    std::string tag;          // Opaque: where the value comes from
+
+    static SymDim constant(std::uint64_t v) { return SymDim{Kind::Const, v, {}}; }
+    static SymDim opaque(std::string origin) {
+        return SymDim{Kind::Opaque, 0, std::move(origin)};
+    }
+
+    bool is_const() const noexcept { return kind == Kind::Const; }
+    /// Provably equal extents.
+    bool same(const SymDim& o) const {
+        if (kind != o.kind) return false;
+        return is_const() ? value == o.value : tag == o.tag;
+    }
+    /// Provably different extents (only two distinct constants qualify).
+    bool distinct(const SymDim& o) const {
+        return is_const() && o.is_const() && value != o.value;
+    }
+    /// "128" or "<tag>".
+    std::string to_string() const;
+};
+
+/// What a component statically requires of one input stream.
+struct InputContract {
+    std::string stream;
+    std::string array;
+    /// The exact rank run() insists on (Magnitude: 2, Histogram: 1, ...).
+    std::optional<std::size_t> exact_rank;
+    /// Minimum rank independent of any dimension parameter (Reduce: 2).
+    std::size_t min_rank = 1;
+    bool needs_float64 = false;
+    /// Dimension-index parameters by usage-line name ("dimension-index" ->
+    /// 2): each implies rank > index, and names the parameter in
+    /// diagnostics when the index is out of range.
+    std::map<std::string, std::size_t> dim_params;
+    /// dim -> names that must appear in that dimension's header attribute
+    /// ("<array>.header.<dim>", §III.C).  An empty name list requires only
+    /// that the header exist.
+    std::map<std::size_t, std::vector<std::string>> need_headers;
+};
+
+/// How a component derives one output stream from its (first) input.
+struct OutputContract {
+    std::string stream;
+    std::string array;
+
+    enum class Shape {
+        Source,         // `shape` below; no input (simulation drivers)
+        Identity,       // same shape as the input (Fork branches)
+        SetDim,         // shape[dim] = count           (Select)
+        DivideDim,      // shape[dim] = ceil(/count)    (Downsample, count=stride)
+        AbsorbDim,      // remove dim, multiply into dim2 (Dim-Reduce)
+        DropDim,        // remove dim                   (Reduce)
+        Permute,        // permute by `perm`            (Transpose)
+        Collapse2Dto1D, // (n, m) -> (n)                (Magnitude)
+        Square1D,       // (n) -> (n, n)                (All-Pairs)
+        Filter1D,       // (n) -> (k), k data-dependent (Threshold)
+        Unknown,        // statically unknowable (FileReader, xml overrides)
+    };
+    Shape rule = Shape::Identity;
+    std::size_t dim = 0;        // SetDim / DivideDim / AbsorbDim(remove) / DropDim
+    std::size_t dim2 = 0;       // AbsorbDim(grow)
+    std::uint64_t count = 0;    // SetDim extent; DivideDim stride
+    std::vector<std::size_t> perm;  // Permute
+    std::vector<SymDim> shape;      // Source
+
+    enum class Kind { Preserve, Float64, Unknown };
+    Kind kind = Kind::Preserve;
+
+    /// Headers this component attaches with statically known names
+    /// (a source's quantity names, Select's filtered selection).  Headers
+    /// not set here flow through the shape rule exactly as the component's
+    /// AttrRules re-key them at runtime.
+    std::map<std::size_t, std::vector<std::string>> set_headers;
+};
+
+/// A component's full static contract for one argument vector.
+struct Contract {
+    /// False: the component cannot describe itself statically; the analyzer
+    /// treats its streams as opaque (rank variables, unknown headers).
+    bool known = false;
+    std::vector<InputContract> inputs;
+    std::vector<OutputContract> outputs;
+    /// Both inputs must agree in shape and kind (Validate).
+    bool inputs_equal = false;
+    /// Parameter errors run() would only raise once data flows (zero bins,
+    /// zero stride, inverted band, ...) — statically certain failures.
+    std::vector<std::string> param_errors;
+};
+
+/// Human-readable shape-rule name for diagnostics ("absorb-dim", ...).
+const char* shape_rule_name(OutputContract::Shape rule);
+
+}  // namespace sb::core

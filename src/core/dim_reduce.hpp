@@ -17,6 +17,8 @@
 // Dim-Reduce passes to become the 1-D array Histogram expects.
 #pragma once
 
+#include <algorithm>
+
 #include "core/component.hpp"
 
 namespace sb::core {
@@ -32,6 +34,33 @@ public:
         args.require_at_least(6, usage());
         return Ports{{args.str(0, "input-stream-name")},
                      {args.str(4, "output-stream-name")}};
+    }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        const std::size_t remove = args.unsigned_integer(2, "dim-to-remove");
+        const std::size_t grow = args.unsigned_integer(3, "dim-to-grow");
+        Contract c;
+        c.known = true;
+        if (remove == grow) {
+            c.param_errors.push_back(
+                "dim-reduce: dim-to-remove and dim-to-grow are both " +
+                std::to_string(remove) + " (they must differ)");
+        }
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        in.dim_params["dim-to-remove"] = remove;
+        in.dim_params["dim-to-grow"] = grow;
+        in.min_rank = std::max(remove, grow) + 1;
+        c.inputs.push_back(std::move(in));
+        OutputContract out;
+        out.stream = args.str(4, "output-stream-name");
+        out.array = args.str(5, "output-array-name");
+        out.rule = OutputContract::Shape::AbsorbDim;
+        out.dim = remove;
+        out.dim2 = grow;
+        c.outputs.push_back(std::move(out));
+        return c;
     }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };

@@ -28,6 +28,16 @@ public:
         args.require_at_least(3, usage());
         return Ports{{args.str(0, "input-stream-name")}, {}};
     }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(3, usage());
+        Contract c;
+        c.known = true;
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        c.inputs.push_back(std::move(in));
+        return c;
+    }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };
 
@@ -40,6 +50,20 @@ public:
     Ports ports(const util::ArgList& args) const override {
         args.require_at_least(3, usage());
         return Ports{{}, {args.str(1, "output-stream-name")}};
+    }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(3, usage());
+        Contract c;
+        c.known = true;
+        OutputContract out;
+        out.stream = args.str(1, "output-stream-name");
+        out.array = args.str(2, "output-array-name");
+        // The replayed packets carry whatever shape/kind/attributes the
+        // original stream had — unknowable until the files exist.
+        out.rule = OutputContract::Shape::Unknown;
+        out.kind = OutputContract::Kind::Unknown;
+        c.outputs.push_back(std::move(out));
+        return c;
     }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };

@@ -29,6 +29,27 @@ public:
         }
         return p;
     }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(4, usage());
+        Contract c;
+        c.known = true;
+        if ((args.size() - 2) % 2 != 0) {
+            c.param_errors.push_back(
+                "fork: outputs must come in stream/array pairs");
+        }
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        c.inputs.push_back(std::move(in));
+        for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+            OutputContract out;
+            out.stream = args.str(i, "output-stream");
+            out.array = args.str(i + 1, "output-array");
+            out.rule = OutputContract::Shape::Identity;
+            c.outputs.push_back(std::move(out));
+        }
+        return c;
+    }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };
 

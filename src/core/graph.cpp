@@ -157,13 +157,50 @@ bool graph_is_runnable(const std::vector<GraphIssue>& issues) {
     return true;
 }
 
+std::string dot_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
 std::string graph_to_dot(const std::vector<LaunchEntry>& entries) {
+    return graph_to_dot(entries, {});
+}
+
+std::string graph_to_dot(const std::vector<LaunchEntry>& entries,
+                         const std::vector<DotAnnotation>& annotations) {
     const std::vector<GraphNode> nodes = resolve_graph(entries);
     std::ostringstream os;
     os << "digraph smartblock {\n  rankdir=LR;\n  node [shape=box];\n";
     for (std::size_t i = 0; i < nodes.size(); ++i) {
-        os << "  n" << i << " [label=\"" << nodes[i].entry.component << " x"
-           << nodes[i].entry.nprocs << "\"];\n";
+        std::string label =
+            nodes[i].entry.component + " x" + std::to_string(nodes[i].entry.nprocs);
+        std::string color;
+        for (const DotAnnotation& a : annotations) {
+            if (a.index != i) continue;
+            if (!a.note.empty()) label += "\n" + a.note;
+            // Error beats warning when both land on one node: red is the
+            // lexicographically earlier of the colors we emit, but rely on
+            // explicit precedence, not luck — first annotation wins only
+            // within the same color rank.
+            if (color.empty() || (color != "red" && a.color == "red")) {
+                color = a.color;
+            }
+        }
+        os << "  n" << i << " [label=\"" << dot_escape(label) << "\"";
+        if (!color.empty()) {
+            os << ", style=filled, fillcolor=\"" << dot_escape(color) << "\"";
+        }
+        os << "];\n";
     }
     // Edges via stream names.
     std::map<std::string, std::vector<std::size_t>> writers;
@@ -174,13 +211,14 @@ std::string graph_to_dot(const std::vector<LaunchEntry>& entries) {
         for (const auto& s : nodes[i].ports.inputs) {
             const auto wit = writers.find(s);
             if (wit == writers.end()) {
-                os << "  s" << i << "_missing [label=\"" << s
+                os << "  s" << i << "_missing [label=\"" << dot_escape(s)
                    << "?\", shape=ellipse, style=dashed];\n";
                 os << "  s" << i << "_missing -> n" << i << ";\n";
                 continue;
             }
             for (const auto w : wit->second) {
-                os << "  n" << w << " -> n" << i << " [label=\"" << s << "\"];\n";
+                os << "  n" << w << " -> n" << i << " [label=\"" << dot_escape(s)
+                   << "\"];\n";
             }
         }
     }

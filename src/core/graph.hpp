@@ -60,7 +60,24 @@ std::vector<GraphIssue> validate_graph(const std::vector<LaunchEntry>& entries);
 /// True if validate_graph found no fatal issue.
 bool graph_is_runnable(const std::vector<GraphIssue>& issues);
 
+/// Escapes a string for use inside a double-quoted Graphviz label: quotes,
+/// backslashes, and newlines — arbitrary stream/component names stay valid.
+std::string dot_escape(const std::string& s);
+
+/// A finding overlay for graph_to_dot: colors node `index` and appends
+/// `note` to its label (the lint analyzer renders errors red, warnings
+/// yellow — see src/lint).
+struct DotAnnotation {
+    std::size_t index = 0;     // entry index
+    std::string color;         // Graphviz color name ("red", "gold", ...)
+    std::string note;          // extra label line, already human-readable
+};
+
 /// Graphviz (dot) rendering: components as boxes, streams as labelled edges.
 std::string graph_to_dot(const std::vector<LaunchEntry>& entries);
+
+/// Same, with per-node finding annotations overlaid.
+std::string graph_to_dot(const std::vector<LaunchEntry>& entries,
+                         const std::vector<DotAnnotation>& annotations);
 
 }  // namespace sb::core

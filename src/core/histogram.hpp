@@ -76,6 +76,21 @@ public:
         args.require_at_least(3, usage());
         return Ports{{args.str(0, "input-stream-name")}, {}};
     }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(3, usage());
+        Contract c;
+        c.known = true;
+        if (args.unsigned_integer(2, "num-bins") == 0) {
+            c.param_errors.push_back("histogram: num-bins must be positive");
+        }
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        in.exact_rank = 1;
+        in.needs_float64 = true;
+        c.inputs.push_back(std::move(in));
+        return c;
+    }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };
 

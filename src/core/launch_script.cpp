@@ -39,6 +39,7 @@ std::vector<LaunchEntry> parse_launch_script(const std::string& text) {
         std::size_t i = 0;
         LaunchEntry e;
         e.nprocs = 1;
+        e.line = lineno;
         if (is_launcher(toks.str(i, "launcher"))) {
             ++i;
             if (i >= toks.size() || !is_proc_flag(toks.str(i, "flag"))) {
@@ -72,7 +73,7 @@ Workflow build_workflow(flexpath::Fabric& fabric, const std::string& script,
                         flexpath::StreamOptions options) {
     Workflow wf(fabric, options);
     for (LaunchEntry& e : parse_launch_script(script)) {
-        wf.add(e.component, e.nprocs, std::move(e.args));
+        wf.add(e.component, e.nprocs, std::move(e.args), e.line);
     }
     return wf;
 }

@@ -24,8 +24,14 @@ struct LaunchEntry {
     int nprocs = 0;
     std::string component;
     std::vector<std::string> args;
+    /// 1-based script line this entry came from (0 when hand-built) — the
+    /// anchor for lint diagnostics.  Not part of equality: two entries that
+    /// launch the same thing are the same entry.
+    std::size_t line = 0;
 
-    bool operator==(const LaunchEntry&) const = default;
+    bool operator==(const LaunchEntry& o) const {
+        return nprocs == o.nprocs && component == o.component && args == o.args;
+    }
 };
 
 /// Parses a whole script; throws util::ArgError with the offending line.

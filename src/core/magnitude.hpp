@@ -27,6 +27,24 @@ public:
         return Ports{{args.str(0, "input-stream-name")},
                      {args.str(2, "output-stream-name")}};
     }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(4, usage());
+        Contract c;
+        c.known = true;
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        in.exact_rank = 2;  // points x vector components, always
+        in.needs_float64 = true;
+        c.inputs.push_back(std::move(in));
+        OutputContract out;
+        out.stream = args.str(2, "output-stream-name");
+        out.array = args.str(3, "output-array-name");
+        out.rule = OutputContract::Shape::Collapse2Dto1D;
+        out.kind = OutputContract::Kind::Float64;
+        c.outputs.push_back(std::move(out));
+        return c;
+    }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };
 

@@ -46,6 +46,18 @@ public:
         args.require_at_least(2, usage());
         return Ports{{args.str(0, "input-stream-name")}, {}};
     }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(2, usage());
+        Contract c;
+        c.known = true;
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        in.exact_rank = 1;
+        in.needs_float64 = true;
+        c.inputs.push_back(std::move(in));
+        return c;
+    }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };
 

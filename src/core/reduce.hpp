@@ -13,6 +13,8 @@
 // mean pressures.
 #pragma once
 
+#include <algorithm>
+
 #include "core/component.hpp"
 
 namespace sb::core {
@@ -39,6 +41,32 @@ public:
         args.require_at_least(6, usage());
         return Ports{{args.str(0, "input-stream-name")},
                      {args.str(4, "output-stream-name")}};
+    }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        const std::size_t dim = args.unsigned_integer(2, "dimension-index");
+        const std::string& op = args.str(3, "op");
+        Contract c;
+        c.known = true;
+        if (op != "sum" && op != "mean" && op != "min" && op != "max") {
+            c.param_errors.push_back("reduce: op must be sum|mean|min|max, got '" +
+                                     op + "'");
+        }
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        in.min_rank = std::max<std::size_t>(2, dim + 1);  // rank-1 output must be >= 1-D
+        in.needs_float64 = true;
+        in.dim_params["dimension-index"] = dim;
+        c.inputs.push_back(std::move(in));
+        OutputContract out;
+        out.stream = args.str(4, "output-stream-name");
+        out.array = args.str(5, "output-array-name");
+        out.rule = OutputContract::Shape::DropDim;
+        out.dim = dim;
+        out.kind = OutputContract::Kind::Float64;
+        c.outputs.push_back(std::move(out));
+        return c;
     }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };

@@ -43,6 +43,30 @@ public:
         return Ports{{args.str(0, "input-stream-name")},
                      {args.str(3, "output-stream-name")}};
     }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(5, usage());
+        Contract c;
+        c.known = true;
+        InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        OutputContract out;
+        out.stream = args.str(3, "output-stream-name");
+        out.array = args.str(4, "output-array-name");
+        try {
+            out.perm = parse_permutation(args.str(2, "perm"));
+            in.exact_rank = out.perm.size();
+            out.rule = OutputContract::Shape::Permute;
+        } catch (const util::ArgError& e) {
+            // A malformed permutation is a deterministic first-step failure,
+            // not a reason to hide the component from the analyzer.
+            c.param_errors.push_back(e.what());
+            out.rule = OutputContract::Shape::Unknown;
+        }
+        c.inputs.push_back(std::move(in));
+        c.outputs.push_back(std::move(out));
+        return c;
+    }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };
 

@@ -28,6 +28,24 @@ public:
         args.require_at_least(4, usage());
         return Ports{{args.str(0, "stream-a"), args.str(2, "stream-b")}, {}};
     }
+    Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(4, usage());
+        Contract c;
+        c.known = true;
+        c.inputs_equal = true;
+        if (args.size() > 4 && args.real(4, "tolerance") < 0) {
+            c.param_errors.push_back("validate: tolerance must be >= 0");
+        }
+        InputContract a;
+        a.stream = args.str(0, "stream-a");
+        a.array = args.str(1, "array-a");
+        c.inputs.push_back(std::move(a));
+        InputContract b;
+        b.stream = args.str(2, "stream-b");
+        b.array = args.str(3, "array-b");
+        c.inputs.push_back(std::move(b));
+        return c;
+    }
     void run(RunContext& ctx, const util::ArgList& args) override;
 };
 

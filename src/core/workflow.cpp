@@ -9,8 +9,10 @@
 #include <thread>
 
 #include "check/check.hpp"
+#include "core/launch_script.hpp"
 #include "fault/fault.hpp"
 #include "flexpath/stream.hpp"
+#include "lint/lint.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -25,14 +27,15 @@ Workflow::Workflow(flexpath::Fabric& fabric, flexpath::StreamOptions default_opt
     : fabric_(fabric), options_(default_options) {}
 
 std::shared_ptr<StepStats> Workflow::add(const std::string& component, int nprocs,
-                                         std::vector<std::string> args) {
+                                         std::vector<std::string> args,
+                                         std::size_t line) {
     if (nprocs <= 0) throw std::invalid_argument("Workflow::add: nprocs must be positive");
     if (!component_registered(component)) {
         (void)make_component(component);  // throws with the registered list
     }
     auto stats = std::make_shared<StepStats>();
     instances_.push_back(
-        Instance{component, nprocs, util::ArgList(std::move(args)), stats, {}, 0});
+        Instance{component, nprocs, util::ArgList(std::move(args)), stats, {}, 0, line});
     return stats;
 }
 
@@ -451,6 +454,29 @@ bool Workflow::try_recover(const std::vector<std::size_t>& members, int attempt,
 void Workflow::run() {
     if (ran_) throw std::logic_error("Workflow::run: already ran (build a new workflow)");
     if (instances_.empty()) throw std::logic_error("Workflow::run: no instances added");
+
+    // Fail-fast wiring check (SB_LINT / set_lint): a mis-wired graph becomes
+    // an exception with smartblock_lint's diagnostics instead of a deadlock.
+    // Only the certainly-fatal wiring rules gate here — shape/config findings
+    // stay advisory so run-time semantics match the seed exactly.
+    if (lint::lint_enabled(lint_)) {
+        std::vector<LaunchEntry> entries;
+        entries.reserve(instances_.size());
+        for (const Instance& inst : instances_) {
+            LaunchEntry e;
+            e.component = inst.component;
+            e.nprocs = inst.nprocs;
+            e.args = inst.args.raw();
+            e.line = inst.line;
+            entries.push_back(std::move(e));
+        }
+        lint::Result wiring = lint::lint_wiring(entries);
+        if (wiring.errors > 0) {
+            throw lint::LintError("Workflow::run: workflow graph is mis-wired\n" +
+                                      lint::render_text(wiring),
+                                  std::move(wiring));
+        }
+    }
     ran_ = true;
 
     util::WallTimer timer;

@@ -38,6 +38,13 @@ class Sampler;
 
 namespace sb::core {
 
+/// Workflow-level static-lint knob: Auto follows the SB_LINT environment
+/// gate (unset -> on; "off"/"0"/"false" -> off, the seed behaviour), On/Off
+/// pin it for this workflow.  When enabled, run() fail-fasts on fatal
+/// wiring defects (dangling inputs, double writers/readers, cycles) with
+/// the same diagnostics smartblock_lint prints, instead of deadlocking.
+enum class LintMode { Auto, On, Off };
+
 /// Whether (and how often) the workflow relaunches a failed component
 /// instance instead of aborting the whole graph.
 struct RestartPolicy {
@@ -88,9 +95,11 @@ public:
 
     /// Adds an instance of a registered component.  Returns the instance's
     /// stats sink (per-step timings, shared by its ranks), which remains
-    /// valid after run().
+    /// valid after run().  `line` is the launch-script line the instance
+    /// came from (0 = hand-built), used to anchor lint diagnostics.
     std::shared_ptr<StepStats> add(const std::string& component, int nprocs,
-                                   std::vector<std::string> args);
+                                   std::vector<std::string> args,
+                                   std::size_t line = 0);
 
     /// Number of instances added.
     std::size_t size() const noexcept { return instances_.size(); }
@@ -112,6 +121,11 @@ public:
     /// environment gate, On/Off pin it for this workflow.  Call before run().
     void set_fusion(FusionMode mode) { fusion_ = mode; }
     FusionMode fusion() const noexcept { return fusion_; }
+
+    /// Static-lint knob (see LintMode): Auto follows SB_LINT, On/Off pin the
+    /// fail-fast wiring check for this workflow.  Call before run().
+    void set_lint(LintMode mode) { lint_ = mode; }
+    LintMode lint() const noexcept { return lint_; }
 
     /// The fusion plan run() would execute right now: empty when fusion is
     /// disabled (seed per-component execution), otherwise the maximal fusible
@@ -183,6 +197,7 @@ private:
         std::shared_ptr<StepStats> stats;
         std::optional<RestartPolicy> policy;  // overrides the workflow policy
         int restarts = 0;                     // relaunches during the last run
+        std::size_t line = 0;                 // launch-script line (0 = none)
     };
 
     /// Whether the error behind `err` may be recovered by relaunching the
@@ -200,6 +215,7 @@ private:
     flexpath::StreamOptions options_;
     RestartPolicy policy_;
     FusionMode fusion_ = FusionMode::Auto;
+    LintMode lint_ = LintMode::Auto;
     std::vector<Instance> instances_;
     obs::Sampler* sampler_ = nullptr;
     mutable std::optional<obs::CriticalPathSummary> cpath_;  // critical_path() cache

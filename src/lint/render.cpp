@@ -1,0 +1,76 @@
+// Diagnostic rendering for sb::lint: the human-readable form shared by
+// smartblock_lint, smartblock_run's pre-run check, and Workflow::run's
+// fail-fast error; the JSON form behind `smartblock_lint --json`; and the
+// Graphviz overlay for `--dot`.
+#include <sstream>
+#include <string>
+
+#include "lint/lint.hpp"
+#include "obs/json.hpp"
+
+namespace sb::lint {
+
+std::string render_text(const Result& result, const std::string& source_name) {
+    std::ostringstream os;
+    for (const Diagnostic& d : result.diagnostics) {
+        if (!source_name.empty() && d.line > 0) {
+            os << source_name << ":" << d.line << ": ";
+        } else if (d.line > 0) {
+            os << "line " << d.line << ": ";
+        }
+        os << severity_name(d.severity) << ": [" << d.rule << "]";
+        if (!d.instance.empty()) os << " " << d.instance << ":";
+        os << " " << d.message << "\n";
+        if (!d.hint.empty()) os << "    hint: " << d.hint << "\n";
+    }
+    os << result.errors << " error" << (result.errors == 1 ? "" : "s") << ", "
+       << result.warnings << " warning" << (result.warnings == 1 ? "" : "s")
+       << ", " << result.notes << " note" << (result.notes == 1 ? "" : "s")
+       << "\n";
+    return os.str();
+}
+
+std::string render_json(const Result& result, bool strict) {
+    std::ostringstream os;
+    os << "{\n  \"diagnostics\": [";
+    for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+        const Diagnostic& d = result.diagnostics[i];
+        os << (i ? "," : "") << "\n    {\"rule\": \"" << obs::json_escape(d.rule)
+           << "\", \"severity\": \"" << severity_name(d.severity)
+           << "\", \"line\": " << d.line << ", \"instance\": \""
+           << obs::json_escape(d.instance) << "\", \"message\": \""
+           << obs::json_escape(d.message) << "\", \"hint\": \""
+           << obs::json_escape(d.hint) << "\"}";
+    }
+    os << (result.diagnostics.empty() ? "" : "\n  ") << "],\n"
+       << "  \"errors\": " << result.errors << ",\n"
+       << "  \"warnings\": " << result.warnings << ",\n"
+       << "  \"notes\": " << result.notes << ",\n"
+       << "  \"exit_code\": " << exit_code(result, strict) << "\n}\n";
+    return os.str();
+}
+
+std::vector<core::DotAnnotation> dot_annotations(
+    const std::vector<core::LaunchEntry>& entries, const Result& result) {
+    std::vector<core::DotAnnotation> out;
+    for (const Diagnostic& d : result.diagnostics) {
+        if (d.severity == Severity::Note) continue;
+        // Map the diagnostic's instance ("#3 histogram") back to its entry.
+        if (d.instance.empty() || d.instance[0] != '#') continue;
+        std::size_t index = 0;
+        try {
+            index = std::stoull(d.instance.substr(1)) - 1;
+        } catch (const std::exception&) {
+            continue;
+        }
+        if (index >= entries.size()) continue;
+        core::DotAnnotation a;
+        a.index = index;
+        a.color = d.severity == Severity::Error ? "red" : "gold";
+        a.note = "[" + d.rule + "]";
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+}  // namespace sb::lint

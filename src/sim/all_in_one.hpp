@@ -30,6 +30,28 @@ public:
         args.require_at_least(6, usage());
         return core::Ports{{args.str(0, "input-stream-name")}, {}};
     }
+    core::Contract contract(const util::ArgList& args) const override {
+        args.require_at_least(6, usage());
+        const std::size_t dim = args.unsigned_integer(2, "dimension-index");
+        core::Contract c;
+        c.known = true;
+        if (dim != 1) {
+            c.param_errors.push_back(
+                "aio: only dimension-index 1 is supported (2-D rows x quantities)");
+        }
+        if (args.unsigned_integer(3, "num-bins") == 0) {
+            c.param_errors.push_back("aio: num-bins must be positive");
+        }
+        core::InputContract in;
+        in.stream = args.str(0, "input-stream-name");
+        in.array = args.str(1, "input-array-name");
+        in.exact_rank = 2;
+        in.needs_float64 = true;
+        in.dim_params["dimension-index"] = dim;
+        in.need_headers[dim] = args.rest(5);
+        c.inputs.push_back(std::move(in));
+        return c;
+    }
     void run(core::RunContext& ctx, const util::ArgList& args) override;
 };
 

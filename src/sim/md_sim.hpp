@@ -71,6 +71,28 @@ public:
         if (!p.output) return core::Ports{};
         return core::Ports{{}, {p.stream}};
     }
+    core::Contract contract(const util::ArgList& args) const override {
+        const Deck deck = Deck::from_args(args);
+        const auto p = MdSimParams::from_deck(deck);
+        core::Contract c;
+        c.known = true;
+        if (!p.output) return c;
+        core::OutputContract out;
+        out.stream = p.stream;
+        out.array = p.array;
+        if (deck.has("xml")) {
+            out.rule = core::OutputContract::Shape::Unknown;
+            out.kind = core::OutputContract::Kind::Unknown;
+        } else {
+            out.rule = core::OutputContract::Shape::Source;
+            out.kind = core::OutputContract::Kind::Float64;
+            out.shape = {core::SymDim::constant(p.atoms),
+                         core::SymDim::constant(3)};
+            out.set_headers[1] = {"x", "y", "z"};
+        }
+        c.outputs.push_back(std::move(out));
+        return c;
+    }
     void run(core::RunContext& ctx, const util::ArgList& args) override;
 };
 
