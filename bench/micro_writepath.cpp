@@ -1,0 +1,149 @@
+// Micro-benchmark of the zero-copy publish path (flexpath::WriterPort):
+// steady-state step publishing through one stream, writer filling and a
+// reader releasing every step, under three write paths —
+//
+//   view_pooled    put_view() backed by the recycling BufferPool: after the
+//                  pool warms up, every step reuses a retired buffer (no
+//                  allocation, no zero-fill, no staging copy).
+//   view_unpooled  put_view() with SB_POOL off: same API, but every step
+//                  pays a fresh zero-initialised allocation.
+//   copy_path      the pre-pool idiom: fill a staging vector, then put<T>()
+//                  packs it into a fresh shared buffer (allocation + copy).
+//
+// The payload is sized above the allocator's mmap threshold so the unpooled
+// paths pay real page faults each step, as a large simulation output would.
+//
+// Usage: micro_writepath [--smoke]
+// Writes BENCH_micro_writepath.json (see bench_util.hpp JsonReport).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "flexpath/reader.hpp"
+#include "flexpath/writer.hpp"
+#include "util/pool.hpp"
+#include "util/timer.hpp"
+
+namespace fp = sb::flexpath;
+namespace u = sb::util;
+
+namespace {
+
+enum class Path { ViewPooled, ViewUnpooled, CopyPath };
+
+struct WritepathCase {
+    std::uint64_t warmup = 0;  // untimed steps (pool shelf fill, queue prime)
+    std::uint64_t steps = 0;   // timed steps
+    std::uint64_t elems = 0;   // doubles per step
+};
+
+/// Seconds for `wc.steps` steady-state publishes under one write path.
+/// The reader releases each step without copying, so the measured loop is
+/// the publish path itself: buffer acquisition, fill, submit, retire.
+double run_path(const WritepathCase& wc, Path path) {
+    const bool prior = u::pool_enabled();
+    u::set_pool_enabled(path == Path::ViewPooled);
+    fp::Fabric fabric;
+    const u::NdShape shape{wc.elems};
+    const u::Box whole = u::Box::whole(shape);
+    const std::uint64_t total = wc.warmup + wc.steps;
+
+    std::jthread reader([&fabric, total] {
+        fp::ReaderPort port(fabric, "wp.fp", 0, 1);
+        while (port.begin_step()) port.end_step();
+    });
+
+    fp::WriterPort port(fabric, "wp.fp", 0, 1, fp::StreamOptions(4));
+    std::vector<double> staging(path == Path::CopyPath ? wc.elems : 0);
+    double elapsed = 0.0;
+    for (std::uint64_t t = 0; t < total; ++t) {
+        u::WallTimer timer;
+        port.declare(fp::VarDecl{"v", fp::DataKind::Float64, shape, {}});
+        if (path == Path::CopyPath) {
+            std::memset(staging.data(), 0x5A, staging.size() * sizeof(double));
+            port.put<double>("v", whole, staging);
+        } else {
+            const std::span<std::byte> view = port.put_view("v", whole);
+            std::memset(view.data(), 0x5A, view.size());
+        }
+        port.end_step();
+        if (t >= wc.warmup) elapsed += timer.seconds();
+    }
+    port.close();
+    u::set_pool_enabled(prior);
+    return elapsed;
+}
+
+const char* path_name(Path p) {
+    switch (p) {
+        case Path::ViewPooled:
+            return "view_pooled";
+        case Path::ViewUnpooled:
+            return "view_unpooled";
+        case Path::CopyPath:
+            break;
+    }
+    return "copy_path";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+    // 32 MiB steps sit above glibc's maximum dynamic mmap threshold, so the
+    // unpooled paths mmap + page-fault every step, as a large simulation
+    // output would; the recycled buffer keeps its pages mapped.  The smoke
+    // case (512 KiB) is small enough for CI but still mmap-backed cold.
+    const WritepathCase wc = smoke ? WritepathCase{4, 24, 64 * 1024}
+                                   : WritepathCase{4, 20, 4 * 1024 * 1024};
+    const int reps = smoke ? 1 : 2;
+
+    sb::bench::print_header(
+        "micro: zero-copy publish path with pooled step-buffer recycling",
+        "transport overhead per component hop, paper Fig. 9");
+    sb::bench::JsonReport report("micro_writepath");
+
+    const double mb = static_cast<double>(wc.steps) *
+                      static_cast<double>(wc.elems) * sizeof(double) / 1e6;
+    std::printf("1 writer rank -> 1 reader rank, %llu timed steps of [%llu] "
+                "doubles (%.1f MB/run)\n\n",
+                static_cast<unsigned long long>(wc.steps),
+                static_cast<unsigned long long>(wc.elems), mb);
+
+    sb::obs::Registry& reg = sb::obs::Registry::global();
+    double pooled_best = 0.0, unpooled_best = 0.0;
+    for (const Path path :
+         {Path::ViewPooled, Path::ViewUnpooled, Path::CopyPath}) {
+        const std::uint64_t before = reg.counter("pool.bytes_allocated", {}).value();
+        const std::uint64_t hits_before = reg.counter("pool.hits", {}).value();
+        double best = run_path(wc, path);
+        for (int i = 1; i < reps; ++i) best = std::min(best, run_path(wc, path));
+        // Fresh-allocation volume over all reps: the pool only counts its own
+        // misses, so the unpooled paths allocate every published byte afresh.
+        const double fresh_mb =
+            path == Path::ViewPooled
+                ? static_cast<double>(reg.counter("pool.bytes_allocated", {}).value() -
+                                      before) / 1e6
+                : mb * reps;
+        const std::uint64_t hits = reg.counter("pool.hits", {}).value() - hits_before;
+        report.add(path_name(path), "pool_hits", static_cast<double>(hits));
+        report.add(path_name(path), "elapsed_seconds", best);
+        report.add(path_name(path), "mb_per_second", mb / best);
+        report.add(path_name(path), "fresh_mb_allocated", fresh_mb);
+        std::printf("%-14s %8.2f ms  (%8.1f MB/s publish, %.1f MB freshly "
+                    "allocated across %d rep(s))\n",
+                    path_name(path), best * 1e3, mb / best, fresh_mb, reps);
+        if (path == Path::ViewPooled) pooled_best = best;
+        if (path == Path::ViewUnpooled) unpooled_best = best;
+    }
+    report.add("view_pooled", "speedup_vs_unpooled", unpooled_best / pooled_best);
+    std::printf("\npooled put_view speedup vs unpooled: %.2fx\n",
+                unpooled_best / pooled_best);
+
+    sb::util::BufferPool::global().trim();
+    report.write();
+    return 0;
+}

@@ -16,6 +16,7 @@
 //   smartblock_run --metrics-interval=250 <script> periodic numbered metrics dumps
 //   smartblock_run --fault <spec> <script>         arm fault injection (SB_FAULT syntax)
 //   smartblock_run --fuse=off <script>             pin operator fusion (on|off|auto)
+//   smartblock_run --pool=off <script>             pin step-buffer pooling (on|off)
 //   smartblock_run --restart-policy on_failure:3 <script>   supervise + restart
 //   smartblock_run --liveness-ms 5000 <script>     hung-peer detection timeout
 //
@@ -39,6 +40,7 @@
 #include "flexpath/stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
+#include "util/pool.hpp"
 #include "sim/source_component.hpp"
 
 namespace {
@@ -49,7 +51,7 @@ void print_usage() {
                  "[--allow=<rule-id>] [--trace <out.json>] "
                  "[--metrics <out.json>] [--report] [--watch] "
                  "[--metrics-interval=<ms>] [--read-ahead <depth>] "
-                 "[--fuse=on|off|auto] "
+                 "[--fuse=on|off|auto] [--pool=on|off] "
                  "[--fault <spec>] [--restart-policy never|on_failure[:max]] "
                  "[--liveness-ms <ms>] <workflow-script> "
                  "[queue-capacity]\n\nregistered components:\n");
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
     const char* fault_spec = nullptr;
     const char* restart_policy = nullptr;
     const char* fuse = nullptr;  // null = resolve from SB_FUSE
+    const char* pool = nullptr;  // null = resolve from SB_POOL
     std::size_t read_ahead = 0;  // 0 = resolve from SB_READ_AHEAD / default
     double liveness_ms = -1.0;   // -1 = resolve from SB_LIVENESS_MS / disabled
     int argi = 1;
@@ -100,6 +103,9 @@ int main(int argc, char** argv) {
             argi += 2;
         } else if (std::strncmp(argv[argi], "--fuse=", 7) == 0) {
             fuse = argv[argi] + 7;
+            ++argi;
+        } else if (std::strncmp(argv[argi], "--pool=", 7) == 0) {
+            pool = argv[argi] + 7;
             ++argi;
         } else if (std::strcmp(argv[argi], "--report") == 0) {
             report = true;
@@ -208,6 +214,19 @@ int main(int argc, char** argv) {
             const std::size_t n =
                 sb::fault::Registry::global().arm_from_env(fault_spec);
             std::printf("smartblock_run: %zu fault spec(s) armed\n", n);
+        }
+
+        if (pool) {
+            const std::string p(pool);
+            if (p == "on") {
+                sb::util::set_pool_enabled(true);
+            } else if (p == "off") {
+                sb::util::set_pool_enabled(false);
+            } else {
+                std::fprintf(stderr, "smartblock_run: bad --pool '%s' (on | off)\n",
+                             pool);
+                return 2;
+            }
         }
 
         sb::flexpath::StreamOptions opts;

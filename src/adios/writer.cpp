@@ -106,6 +106,27 @@ void Writer::write_raw(const std::string& var, const util::Box& box,
     vars_written_->inc();
 }
 
+std::span<std::byte> Writer::put_view(const std::string& var, const util::Box& box) {
+    if (!in_step_) {
+        usage("put_view of '" + var + "' outside begin_step/end_step");
+        throw std::logic_error("adios::Writer: put_view outside a step");
+    }
+    const VarSpec* spec = group_.find(var);
+    if (!spec) {
+        throw std::logic_error("adios::Writer: variable '" + var +
+                               "' not declared in group '" + group_.name + "'");
+    }
+    flexpath::VarDecl decl;
+    decl.name = var;
+    decl.kind = spec->kind;
+    decl.global_shape = resolve_shape(*spec);
+    decl.dim_labels = spec->dimensions;
+    port_.declare(decl);
+    const std::span<std::byte> view = port_.put_view(var, box);
+    vars_written_->inc();
+    return view;
+}
+
 void Writer::write_attribute(const std::string& name, std::vector<std::string> values) {
     if (!in_step_) {
         usage("attribute '" + name + "' outside begin_step/end_step");

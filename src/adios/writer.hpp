@@ -49,6 +49,21 @@ public:
     void write_raw(const std::string& var, const util::Box& box,
                    std::shared_ptr<const std::vector<std::byte>> data);
 
+    /// Borrowed-ownership write: declares `var` like write_raw and returns a
+    /// mutable span over transport-owned (pooled) storage for this rank's
+    /// block.  The caller fills every byte before end_step(); no staging
+    /// buffer, no copy — the stream retires the storage to the pool when all
+    /// readers release the step.
+    std::span<std::byte> put_view(const std::string& var, const util::Box& box);
+
+    /// Typed put_view: the span is the component's output array.
+    template <typename T>
+    std::span<T> put_span(const std::string& var, const util::Box& box) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::span<std::byte> raw = put_view(var, box);
+        return {reinterpret_cast<T*>(raw.data()), raw.size() / sizeof(T)};
+    }
+
     /// Per-step string-list attribute (overrides a static group attribute
     /// of the same name).
     void write_attribute(const std::string& name, std::vector<std::string> values);

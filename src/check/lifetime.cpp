@@ -20,6 +20,9 @@ struct ViewRec {
     // its own end_step are bugs (a peer rank may legitimately still be
     // reading the same shared block payload inside its own step).
     std::thread::id tid;
+    // Pool-retired ranges are different: nobody owns a recycled buffer, so
+    // a read from any thread is a use-after-retire.
+    bool any_thread = false;
 };
 
 /// Quarantined (expired) views are bounded: old entries age out, releasing
@@ -58,24 +61,50 @@ void register_view_slow(const void* owner, const void* data, std::size_t size,
 }
 
 void expire_views_slow(const void* owner) {
+    // Records die outside the lock: destroying a keep_alive payload pin can
+    // retire a pooled buffer, and the pool re-enters this table through
+    // note_retired — destruction under t.mu would self-deadlock.
+    std::vector<ViewRec> graveyard;
     auto& t = views();
-    const std::lock_guard lock(t.mu);
-    for (auto it = t.live.begin(); it != t.live.end();) {
-        if (it->owner == owner) {
-            t.expired.push_back(std::move(*it));
-            it = t.live.erase(it);
-        } else {
-            ++it;
+    {
+        const std::lock_guard lock(t.mu);
+        for (auto it = t.live.begin(); it != t.live.end();) {
+            if (it->owner == owner) {
+                t.expired.push_back(std::move(*it));
+                it = t.live.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        while (t.expired.size() > kMaxExpired) {
+            graveyard.push_back(std::move(t.expired.front()));
+            t.expired.pop_front();
         }
     }
-    while (t.expired.size() > kMaxExpired) t.expired.pop_front();
 }
 
 void forget_views_slow(const void* owner) {
+    std::vector<ViewRec> graveyard;
     auto& t = views();
-    const std::lock_guard lock(t.mu);
-    std::erase_if(t.live, [&](const ViewRec& v) { return v.owner == owner; });
-    std::erase_if(t.expired, [&](const ViewRec& v) { return v.owner == owner; });
+    {
+        const std::lock_guard lock(t.mu);
+        for (auto it = t.live.begin(); it != t.live.end();) {
+            if (it->owner == owner) {
+                graveyard.push_back(std::move(*it));
+                it = t.live.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = t.expired.begin(); it != t.expired.end();) {
+            if (it->owner == owner) {
+                graveyard.push_back(std::move(*it));
+                it = t.expired.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
 }
 
 void note_read_slow(const void* data, std::size_t size) {
@@ -88,7 +117,7 @@ void note_read_slow(const void* data, std::size_t size) {
         auto& t = views();
         const std::lock_guard lock(t.mu);
         for (const ViewRec& v : t.expired) {
-            if (v.tid == me && overlaps(v, begin, end)) {
+            if ((v.any_thread || v.tid == me) && overlaps(v, begin, end)) {
                 hit = v.desc;
                 break;
             }
@@ -100,6 +129,45 @@ void note_read_slow(const void* data, std::size_t size) {
             " bytes overlaps expired zero-copy view of " + hit;
         report(Kind::Lifetime, msg);
         throw LifetimeError(msg);
+    }
+}
+
+void note_retired_slow(const void* data, std::size_t size, std::string desc) {
+    if (!data || size == 0) return;
+    const auto begin = reinterpret_cast<std::uintptr_t>(data);
+    std::vector<ViewRec> graveyard;
+    auto& t = views();
+    {
+        const std::lock_guard lock(t.mu);
+        ViewRec rec;
+        rec.begin = begin;
+        rec.end = begin + size;
+        rec.desc = std::move(desc);
+        rec.tid = std::this_thread::get_id();
+        rec.any_thread = true;
+        t.expired.push_back(std::move(rec));
+        while (t.expired.size() > kMaxExpired) {
+            graveyard.push_back(std::move(t.expired.front()));
+            t.expired.pop_front();
+        }
+    }
+}
+
+void note_reacquired_slow(const void* data) {
+    if (!data) return;
+    const auto begin = reinterpret_cast<std::uintptr_t>(data);
+    std::vector<ViewRec> graveyard;
+    auto& t = views();
+    {
+        const std::lock_guard lock(t.mu);
+        for (auto it = t.expired.begin(); it != t.expired.end();) {
+            if (it->any_thread && it->begin == begin) {
+                graveyard.push_back(std::move(*it));
+                it = t.expired.erase(it);
+            } else {
+                ++it;
+            }
+        }
     }
 }
 
@@ -118,10 +186,16 @@ std::size_t expired_view_count() {
 }
 
 void reset_views() {
+    std::vector<ViewRec> graveyard;
+    std::deque<ViewRec> graveyard_expired;
     auto& t = views();
-    const std::lock_guard lock(t.mu);
-    t.live.clear();
-    t.expired.clear();
+    {
+        const std::lock_guard lock(t.mu);
+        graveyard = std::move(t.live);
+        graveyard_expired = std::move(t.expired);
+        t.live.clear();
+        t.expired.clear();
+    }
 }
 
 }  // namespace sb::check

@@ -30,6 +30,8 @@ void register_view_slow(const void* owner, const void* data, std::size_t size,
 void expire_views_slow(const void* owner);
 void forget_views_slow(const void* owner);
 void note_read_slow(const void* data, std::size_t size);
+void note_retired_slow(const void* data, std::size_t size, std::string desc);
+void note_reacquired_slow(const void* data);
 }  // namespace detail
 
 /// Registers a handed-out zero-copy view.  `owner` groups views expired
@@ -62,6 +64,24 @@ inline void forget_views(const void* owner) {
 inline void note_read(const void* data, std::size_t size) {
     if (!enabled()) return;
     detail::note_read_slow(data, size);
+}
+
+/// Quarantines a buffer range the pool just recycled (util::BufferPool).
+/// Unlike view expiry this matches reads from *any* thread — once a step
+/// buffer is retired, no thread may legitimately read it until the pool
+/// hands it out again.  The pool keeps the storage parked, so the address
+/// stays valid without a keep_alive pin.
+inline void note_retired(const void* data, std::size_t size, std::string desc) {
+    if (!enabled()) return;
+    detail::note_retired_slow(data, size, std::move(desc));
+}
+
+/// Lifts the quarantine on a retired range: the pool is handing the buffer
+/// (or freeing it, making the address reusable) — either way reads there
+/// are no longer suspect.
+inline void note_reacquired(const void* data) {
+    if (!enabled()) return;
+    detail::note_reacquired_slow(data);
 }
 
 /// Introspection (tests).

@@ -124,8 +124,6 @@ void DimReduce::run(RunContext& ctx, const util::ArgList& args) {
         }
 
         const util::NdShape local_shape(in_box.count);
-        auto out_buf = std::make_shared<std::vector<std::byte>>(local.size());
-        dim_reduce_copy(local, local_shape, remove, grow, *out_buf, elem);
 
         // The grown output dimension's index within the output array.
         const std::size_t grow_out = grow - (remove < grow ? 1 : 0);
@@ -158,10 +156,13 @@ void DimReduce::run(RunContext& ctx, const util::ArgList& args) {
         // invalidated by the re-arrangement; the rest propagate re-indexed.
         propagate_attributes(reader, *writer,
                              AttrRules{in_array, out_array, dim_map, {remove, grow}});
-        writer->write_raw(out_array, out_box, out_buf);
+        // The permutation writes straight into the pooled step buffer
+        // (dim_reduce_copy touches every output element exactly once).
+        const std::span<std::byte> out_view = writer->put_view(out_array, out_box);
+        dim_reduce_copy(local, local_shape, remove, grow, out_view, elem);
         writer->end_step();
 
-        record_step(ctx, reader.step(), timer.seconds(), local.size(), out_buf->size());
+        record_step(ctx, reader.step(), timer.seconds(), local.size(), out_view.size());
         reader.end_step();
     }
     if (!writer) {

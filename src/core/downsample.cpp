@@ -43,22 +43,6 @@ void Downsample::run(RunContext& ctx, const util::ArgList& args) {
         util::Box out_box = util::Box::whole(out_shape);
         out_box.offset[dim] = k_off;
         out_box.count[dim] = k_cnt;
-        auto out_buf = std::make_shared<std::vector<std::byte>>(out_box.volume() * elem);
-
-        std::uint64_t bytes_in = 0;
-        for (std::uint64_t j = 0; j < k_cnt; ++j) {
-            util::Box row_in = util::Box::whole(shape);
-            row_in.offset[dim] = (k_off + j) * stride;
-            row_in.count[dim] = 1;
-            std::vector<std::byte> tmp(row_in.volume() * elem);
-            reader.read_bytes(in_array, row_in, tmp);
-            bytes_in += tmp.size();
-
-            util::Box row_out = out_box;
-            row_out.offset[dim] = k_off + j;
-            row_out.count[dim] = 1;
-            util::copy_box(tmp, row_out, *out_buf, out_box, row_out, elem);
-        }
 
         if (!writer) {
             writer.emplace(ctx.fabric, out_stream,
@@ -81,10 +65,28 @@ void Downsample::run(RunContext& ctx, const util::ArgList& args) {
             }
             writer->write_attribute(header_attr_key(out_array, dim), filtered);
         }
-        writer->write_raw(out_array, out_box, out_buf);
+
+        // Kept rows are copied straight into the pooled step buffer; they
+        // tile out_box, so every byte is written.
+        const std::span<std::byte> out_view = writer->put_view(out_array, out_box);
+        std::uint64_t bytes_in = 0;
+        std::vector<std::byte> tmp;
+        for (std::uint64_t j = 0; j < k_cnt; ++j) {
+            util::Box row_in = util::Box::whole(shape);
+            row_in.offset[dim] = (k_off + j) * stride;
+            row_in.count[dim] = 1;
+            tmp.resize(row_in.volume() * elem);
+            reader.read_bytes(in_array, row_in, tmp);
+            bytes_in += tmp.size();
+
+            util::Box row_out = out_box;
+            row_out.offset[dim] = k_off + j;
+            row_out.count[dim] = 1;
+            util::copy_box(tmp, row_out, out_view, out_box, row_out, elem);
+        }
         writer->end_step();
 
-        record_step(ctx, reader.step(), timer.seconds(), bytes_in, out_buf->size());
+        record_step(ctx, reader.step(), timer.seconds(), bytes_in, out_view.size());
         reader.end_step();
     }
     if (!writer) {

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "util/pool.hpp"
 #include "util/timer.hpp"
 
 namespace sb::core {
@@ -36,7 +37,10 @@ void Fork::run(RunContext& ctx, const util::ArgList& args) {
         const std::size_t pdim = pick_partition_dim(info.shape, {});
         const util::Box box = util::partition_along(info.shape, pdim, rank, size);
         const std::size_t elem = ffs::kind_size(info.kind);
-        auto buf = std::make_shared<std::vector<std::byte>>(box.volume() * elem);
+        // One pooled buffer, shared by every output's step (refcounted
+        // fan-out): it returns to the pool only after *all* downstream
+        // streams retire their step.
+        util::PooledBytes buf = util::acquire_bytes(box.volume() * elem);
         reader.read_bytes(in_array, box, *buf);
 
         for (Output& o : outputs) {

@@ -18,6 +18,7 @@
 #include "core/moments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/pool.hpp"
 #include "util/timer.hpp"
 
 namespace sb::core {
@@ -267,7 +268,7 @@ struct Slab {
     adios::DataKind kind = adios::DataKind::Float64;
     std::vector<std::string> dim_labels;
     std::size_t partial = 0;
-    std::vector<std::byte> owned;     // backing storage unless a transport view
+    util::PooledBytes owned;          // pooled backing unless a transport view
     std::span<const std::byte> data;  // always valid while the step is open
 
     std::span<const double> doubles() const {
@@ -394,7 +395,11 @@ private:
 
         const std::vector<mpi::Bytes> all = ctx_.comm.allgather_bytes(std::move(msg));
 
-        std::vector<std::byte> full(s.shape.volume() * elem);
+        // Peer boxes may not tile the whole shape (ragged Threshold output),
+        // so the recycled buffer must be zeroed for bit-identity with a
+        // fresh allocation.
+        util::PooledBytes full = util::acquire_bytes(s.shape.volume() * elem);
+        std::fill(full->begin(), full->end(), std::byte{0});
         const util::Box whole = util::Box::whole(s.shape);
         for (const mpi::Bytes& m : all) {
             std::uint64_t peer_nd = 0;
@@ -413,10 +418,10 @@ private:
             const std::span<const std::byte> payload(
                 m.data() + (1 + 2 * peer_nd) * sizeof(std::uint64_t),
                 m.size() - (1 + 2 * peer_nd) * sizeof(std::uint64_t));
-            util::copy_box(payload, b, full, whole, b, elem);
+            util::copy_box(payload, b, *full, whole, b, elem);
         }
         s.owned = std::move(full);
-        s.data = s.owned;
+        s.data = *s.owned;
         s.box = whole;
         gathers_.inc();
     }
@@ -427,10 +432,10 @@ private:
         gather_full(s);
         const std::size_t elem = ffs::kind_size(s.kind);
         const util::Box box = util::partition_along(s.shape, dim, rank_, size_);
-        std::vector<std::byte> sub(box.volume() * elem);
-        if (box.volume() != 0) util::copy_box(s.data, s.box, sub, box, box, elem);
+        util::PooledBytes sub = util::acquire_bytes(box.volume() * elem);
+        if (box.volume() != 0) util::copy_box(s.data, s.box, *sub, box, box, elem);
         s.owned = std::move(sub);
-        s.data = s.owned;
+        s.data = *s.owned;
         s.box = box;
         s.partial = dim;
     }
@@ -449,9 +454,9 @@ private:
         if (const auto view = reader_.try_read_view_bytes(st.in_array, s.box)) {
             s.data = *view;
         } else {
-            s.owned.resize(s.box.volume() * ffs::kind_size(info.kind));
-            reader_.read_bytes(st.in_array, s.box, s.owned);
-            s.data = s.owned;
+            s.owned = util::acquire_bytes(s.box.volume() * ffs::kind_size(info.kind));
+            reader_.read_bytes(st.in_array, s.box, *s.owned);
+            s.data = *s.owned;
         }
         bytes_in = s.data.size();
         slab_ = std::move(s);
@@ -562,7 +567,7 @@ private:
             out.dim_labels = info.dim_labels;
             out.box = out_box;
             out.partial = partial;
-            out.owned.resize(out_box.volume() * elem);
+            out.owned = util::acquire_bytes(out_box.volume() * elem);
             std::vector<std::byte> tmp;
             for (std::uint64_t j = j_begin; j < j_begin + j_count; ++j) {
                 util::Box row_in = in_box;
@@ -580,9 +585,9 @@ private:
                 util::Box row_out = out_box;
                 row_out.offset[dim] = j;
                 row_out.count[dim] = 1;
-                util::copy_box(row, row_out, out.owned, out_box, row_out, elem);
+                util::copy_box(row, row_out, *out.owned, out_box, row_out, elem);
             }
-            out.data = out.owned;
+            out.data = *out.owned;
             slab_ = std::move(out);
         } else {
             bytes_in = slab_.data.size();
@@ -610,7 +615,7 @@ private:
                 out.dim_labels = slab_.dim_labels;
                 out.box = out_box;
                 out.partial = slab_.partial;
-                out.owned.resize(out_box.volume() * elem);
+                out.owned = util::acquire_bytes(out_box.volume() * elem);
                 std::vector<std::byte> tmp;
                 for (std::size_t j = 0; j < rows.size(); ++j) {
                     util::Box row_in = slab_.box;
@@ -623,9 +628,9 @@ private:
                     row_out.count[dim] = 1;
                     // tmp has the row's dense layout; relabel it in output
                     // coordinates (the standalone component does the same).
-                    util::copy_box(tmp, row_out, out.owned, out_box, row_out, elem);
+                    util::copy_box(tmp, row_out, *out.owned, out_box, row_out, elem);
                 }
-                out.data = out.owned;
+                out.data = *out.owned;
                 slab_ = std::move(out);
             } else {
                 // Rank-1: every rank needs the whole array to take its share
@@ -639,13 +644,13 @@ private:
                 out.dim_labels = slab_.dim_labels;
                 out.box = util::Box({j_begin}, {j_count});
                 out.partial = 0;
-                out.owned.resize(j_count * elem);
+                out.owned = util::acquire_bytes(j_count * elem);
                 const std::byte* src = slab_.data.data();
                 for (std::uint64_t j = 0; j < j_count; ++j) {
-                    std::memcpy(out.owned.data() + j * elem,
+                    std::memcpy(out.owned->data() + j * elem,
                                 src + rows[j_begin + j] * elem, elem);
                 }
-                out.data = out.owned;
+                out.data = *out.owned;
                 slab_ = std::move(out);
             }
         }
@@ -678,11 +683,11 @@ private:
         out.dim_labels = {label_or_empty(slab_.dim_labels, 0)};
         out.box = util::Box({slab_.box.offset[0]}, {local_n});
         out.partial = 0;
-        out.owned.resize(local_n * sizeof(double));
+        out.owned = util::acquire_bytes(local_n * sizeof(double));
         kernels::magnitude(slab_.doubles().data(), local_n, ncomp,
-                           reinterpret_cast<double*>(out.owned.data()),
+                           reinterpret_cast<double*>(out.owned->data()),
                            kernels::active_schedule());
-        out.data = out.owned;
+        out.data = *out.owned;
         attrs_ = apply_attr_rules(attrs_, AttrRules{st.in_array, st.out_array, {0}, {1}});
         slab_ = std::move(out);
     }
@@ -719,11 +724,11 @@ private:
         out.dim_labels = {label_or_empty(slab_.dim_labels, 0)};
         out.box = util::Box({offset}, {n});
         out.partial = 0;
-        out.owned.resize(kept.size() * sizeof(double));
+        out.owned = util::acquire_bytes(kept.size() * sizeof(double));
         if (!kept.empty()) {
-            std::memcpy(out.owned.data(), kept.data(), out.owned.size());
+            std::memcpy(out.owned->data(), kept.data(), out.owned->size());
         }
-        out.data = out.owned;
+        out.data = *out.owned;
         attrs_ = apply_attr_rules(attrs_, AttrRules{st.in_array, st.out_array, {0}, {}});
         attrs_.doubles[st.out_array + ".count"] = static_cast<double>(total);
         slab_ = std::move(out);
@@ -766,10 +771,10 @@ private:
         out.partial = slab_.partial == st.grow
                           ? grow_out
                           : slab_.partial - (st.remove < slab_.partial ? 1 : 0);
-        out.owned.resize(slab_.data.size());
+        out.owned = util::acquire_bytes(slab_.data.size());
         dim_reduce_copy(slab_.data, util::NdShape(slab_.box.count), st.remove, st.grow,
-                        out.owned, elem);
-        out.data = out.owned;
+                        *out.owned, elem);
+        out.data = *out.owned;
 
         std::vector<std::size_t> dim_map;
         for (std::size_t d = 0; d < slab_.shape.ndim(); ++d) {
@@ -804,7 +809,7 @@ private:
             out.dim_labels = info.dim_labels;
             out.box = out_box;
             out.partial = dim;
-            out.owned.resize(out_box.volume() * elem);
+            out.owned = util::acquire_bytes(out_box.volume() * elem);
             for (std::uint64_t j = 0; j < k_cnt; ++j) {
                 util::Box row_in = util::Box::whole(shape);
                 row_in.offset[dim] = (k_off + j) * st.stride;
@@ -815,9 +820,9 @@ private:
                 util::Box row_out = out_box;
                 row_out.offset[dim] = k_off + j;
                 row_out.count[dim] = 1;
-                util::copy_box(tmp, row_out, out.owned, out_box, row_out, elem);
+                util::copy_box(tmp, row_out, *out.owned, out_box, row_out, elem);
             }
-            out.data = out.owned;
+            out.data = *out.owned;
             slab_ = std::move(out);
         } else {
             bytes_in = slab_.data.size();
@@ -845,7 +850,7 @@ private:
             out.dim_labels = slab_.dim_labels;
             out.box = out_box;
             out.partial = slab_.partial;
-            out.owned.resize(out_box.volume() * elem);
+            out.owned = util::acquire_bytes(out_box.volume() * elem);
             std::vector<std::byte> tmp;
             for (std::uint64_t k = k_lo; k < k_hi; ++k) {
                 util::Box row_in = slab_.box;
@@ -856,9 +861,9 @@ private:
                 util::Box row_out = out_box;
                 row_out.offset[dim] = k;
                 row_out.count[dim] = 1;
-                util::copy_box(tmp, row_out, out.owned, out_box, row_out, elem);
+                util::copy_box(tmp, row_out, *out.owned, out_box, row_out, elem);
             }
-            out.data = out.owned;
+            out.data = *out.owned;
             slab_ = std::move(out);
         }
         // The sampled dimension's header shrinks to the kept rows (computed
@@ -938,15 +943,20 @@ private:
         for (const auto& [key, value] : attrs_.doubles) {
             writer_->write_attribute(key, value);
         }
-        auto buf = std::make_shared<std::vector<std::byte>>();
-        if (!slab_.owned.empty() && slab_.owned.data() == slab_.data.data() &&
-            slab_.owned.size() == slab_.data.size()) {
-            *buf = std::move(slab_.owned);
+        if (slab_.owned && slab_.owned->data() == slab_.data.data() &&
+            slab_.owned->size() == slab_.data.size()) {
+            // The slab's pooled storage itself becomes the published step
+            // buffer: the stream retires it to the pool once every reader
+            // releases the step.  Zero copy on the tail publish.
+            writer_->write_raw(st.out_array, slab_.box, std::move(slab_.owned));
             slab_.data = {};
         } else {
-            buf->assign(slab_.data.begin(), slab_.data.end());
+            util::PooledBytes buf = util::acquire_bytes(slab_.data.size());
+            if (!slab_.data.empty()) {
+                std::memcpy(buf->data(), slab_.data.data(), slab_.data.size());
+            }
+            writer_->write_raw(st.out_array, slab_.box, std::move(buf));
         }
-        writer_->write_raw(st.out_array, slab_.box, std::move(buf));
         writer_->end_step();
     }
 

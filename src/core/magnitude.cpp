@@ -51,8 +51,6 @@ void Magnitude::run(RunContext& ctx, const util::ArgList& args) {
         }
 
         const std::uint64_t local_n = in_box.count[0];
-        std::vector<double> mags(local_n);
-        kernels::magnitude(vecs.data(), local_n, ncomp, mags.data());
 
         if (!writer) {
             // The output keeps the data-point dimension's label.
@@ -71,7 +69,10 @@ void Magnitude::run(RunContext& ctx, const util::ArgList& args) {
         propagate_attributes(reader, *writer,
                              AttrRules{in_array, out_array, {0}, {1}});
         const util::Box out_box({in_box.offset[0]}, {local_n});
-        writer->write<double>(out_array, mags, out_box);
+        // The kernel's output array *is* the transport's pooled step buffer:
+        // no staging vector, no copy on publish.
+        const std::span<double> mags = writer->put_span<double>(out_array, out_box);
+        kernels::magnitude(vecs.data(), local_n, ncomp, mags.data());
         writer->end_step();
 
         record_step(ctx, reader.step(), timer.seconds(), vecs.size() * sizeof(double),

@@ -86,11 +86,27 @@ void Select::run(RunContext& ctx, const util::ArgList& args) {
         out_box.count[dim] = j_count;
 
         const std::size_t elem = ffs::kind_size(info.kind);
-        auto out_buf =
-            std::make_shared<std::vector<std::byte>>(out_box.volume() * elem);
+
+        // Writer first: the output buffer is the transport's pooled step
+        // buffer (put_view), filled in place — no staging copy.
+        if (!writer) {
+            writer.emplace(ctx.fabric, out_stream,
+                           output_group("select", out_array, info.dim_labels, info.kind),
+                           rank, size, ctx.stream_options);
+        }
+        writer->begin_step();
+        const auto& dim_names = writer->group().find(out_array)->dimensions;
+        for (std::size_t d = 0; d < out_shape.ndim(); ++d) {
+            writer->set_dimension(dim_names[d], out_shape[d]);
+        }
+        propagate_attributes(reader, *writer,
+                             AttrRules{in_array, out_array, {}, {dim}});
+        writer->write_attribute(header_attr_key(out_array, dim), wanted);
+        const std::span<std::byte> out_view = writer->put_view(out_array, out_box);
 
         // Gather each selected row with a bounding-box read, then place it
-        // at its output position along `dim`.
+        // at its output position along `dim`.  The rows tile out_box, so
+        // every byte of the pooled buffer is written.
         std::uint64_t bytes_in = 0;
         std::vector<std::byte> tmp;
         for (std::uint64_t j = j_begin; j < j_begin + j_count; ++j) {
@@ -112,27 +128,12 @@ void Select::run(RunContext& ctx, const util::ArgList& args) {
             util::Box row_out = out_box;
             row_out.offset[dim] = j;
             row_out.count[dim] = 1;
-            util::copy_box(row, row_out, *out_buf, out_box, row_out, elem);
+            util::copy_box(row, row_out, out_view, out_box, row_out, elem);
         }
-
-        if (!writer) {
-            writer.emplace(ctx.fabric, out_stream,
-                           output_group("select", out_array, info.dim_labels, info.kind),
-                           rank, size, ctx.stream_options);
-        }
-        writer->begin_step();
-        const auto& dim_names = writer->group().find(out_array)->dimensions;
-        for (std::size_t d = 0; d < out_shape.ndim(); ++d) {
-            writer->set_dimension(dim_names[d], out_shape[d]);
-        }
-        propagate_attributes(reader, *writer,
-                             AttrRules{in_array, out_array, {}, {dim}});
-        writer->write_attribute(header_attr_key(out_array, dim), wanted);
-        writer->write_raw(out_array, out_box, out_buf);
         writer->end_step();
 
         record_step(ctx, reader.step(), timer.seconds(), bytes_in,
-                    out_buf->size());
+                    out_view.size());
         reader.end_step();
     }
     // Even on an empty input stream the writer group must attach and close,

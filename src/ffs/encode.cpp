@@ -11,17 +11,19 @@ namespace {
 constexpr std::uint32_t kMagic = 0x31534646;  // "FFS1" little-endian
 }
 
-void ByteWriter::u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+void ByteWriter::u8(std::uint8_t v) noexcept {
+    buf_.push_back(static_cast<std::byte>(v));
+}
 
-void ByteWriter::u32(std::uint32_t v) {
+void ByteWriter::u32(std::uint32_t v) noexcept {
     for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-void ByteWriter::u64(std::uint64_t v) {
+void ByteWriter::u64(std::uint64_t v) noexcept {
     for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-void ByteWriter::str(const std::string& s) {
+void ByteWriter::str(std::string_view s) {
     u32(static_cast<std::uint32_t>(s.size()));
     const auto* p = reinterpret_cast<const std::byte*>(s.data());
     buf_.insert(buf_.end(), p, p + s.size());
@@ -72,10 +74,7 @@ std::span<const std::byte> ByteReader::view(std::size_t n) {
     return v;
 }
 
-namespace {
-
-/// Exact wire size of a record: lets encode reserve the packet in one
-/// allocation.  Must mirror the format written by encode below.
+/// Must mirror the format written by write_record below.
 std::size_t encoded_size(const Record& rec) {
     std::size_t n = 4;  // magic
     n += 4 + rec.descriptor().name.size();
@@ -92,26 +91,84 @@ std::size_t encoded_size(const Record& rec) {
     return n;
 }
 
-}  // namespace
+namespace {
 
-Bytes encode(const Record& rec) {
-    ByteWriter w;
-    w.reserve(encoded_size(rec));
+/// Writes everything up to (but not including) a field's payload.
+void write_field_header(ByteWriter& w, const FieldDesc& fd) {
+    w.str(fd.name);
+    w.u8(static_cast<std::uint8_t>(fd.kind));
+    w.u8(static_cast<std::uint8_t>(fd.shape.size()));
+    for (auto d : fd.shape) w.u64(d);
+}
+
+void write_record(ByteWriter& w, const Record& rec) {
     w.u32(kMagic);
     w.str(rec.descriptor().name);
     w.u32(static_cast<std::uint32_t>(rec.descriptor().fields.size()));
     for (const FieldDesc& fd : rec.descriptor().fields) {
-        w.str(fd.name);
-        w.u8(static_cast<std::uint8_t>(fd.kind));
-        w.u8(static_cast<std::uint8_t>(fd.shape.size()));
-        for (auto d : fd.shape) w.u64(d);
+        write_field_header(w, fd);
         if (fd.kind == Kind::String) {
             for (const std::string& s : rec.get_strings(fd.name)) w.str(s);
         } else {
             w.bytes(rec.raw_bytes(fd.name));
         }
     }
-    return w.take();
+}
+
+}  // namespace
+
+Bytes encode(const Record& rec) {
+    Bytes out;
+    encode_into(rec, out);
+    return out;
+}
+
+void encode_into(const Record& rec, Bytes& out) {
+    ByteWriter w(std::move(out));
+    w.reserve(encoded_size(rec));
+    write_record(w, rec);
+    out = w.take();
+}
+
+EncodedSegments encode_segments(const Record& rec) {
+    // Payloads below the threshold are cheaper to memcpy into the header
+    // than to carry as separate segments through a delivery loop.
+    constexpr std::size_t kSpliceThreshold = 64;
+
+    ByteWriter w;
+    // Offsets into the (still growing) header where a spliced payload
+    // belongs; spans are resolved against the final buffer after take().
+    std::vector<std::pair<std::size_t, std::span<const std::byte>>> cuts;
+    w.u32(kMagic);
+    w.str(rec.descriptor().name);
+    w.u32(static_cast<std::uint32_t>(rec.descriptor().fields.size()));
+    for (const FieldDesc& fd : rec.descriptor().fields) {
+        write_field_header(w, fd);
+        if (fd.kind == Kind::String) {
+            for (const std::string& s : rec.get_strings(fd.name)) w.str(s);
+        } else {
+            const auto payload = rec.raw_bytes(fd.name);
+            if (payload.size() >= kSpliceThreshold) {
+                cuts.emplace_back(w.size(), payload);
+            } else {
+                w.bytes(payload);
+            }
+        }
+    }
+
+    EncodedSegments out;
+    out.header = w.take();
+    out.segments.reserve(2 * cuts.size() + 1);
+    const std::span<const std::byte> header{out.header};
+    std::size_t pos = 0;
+    for (const auto& [off, payload] : cuts) {
+        if (off > pos) out.segments.push_back(header.subspan(pos, off - pos));
+        out.segments.push_back(payload);
+        pos = off;
+    }
+    if (pos < header.size()) out.segments.push_back(header.subspan(pos));
+    for (const auto& seg : out.segments) out.total += seg.size();
+    return out;
 }
 
 Record decode(std::span<const std::byte> wire) {

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "ffs/type.hpp"
@@ -23,8 +24,31 @@ namespace sb::ffs {
 
 using Bytes = std::vector<std::byte>;
 
+/// Exact wire size of a record — what encode() produces.  Callers that
+/// stage packets in pooled buffers size them with this.
+std::size_t encoded_size(const Record& rec);
+
 /// Serializes a record with its embedded schema.
 Bytes encode(const Record& rec);
+
+/// encode() into a caller-provided buffer: `out` is cleared and refilled,
+/// reusing its capacity.  The packet-recycling form of encode for hot loops
+/// (spool, future TCP backend).
+void encode_into(const Record& rec, Bytes& out);
+
+/// Scatter-gather encoding: a small header buffer plus an iovec-style
+/// segment list.  Large numeric payloads are *not* copied — their segments
+/// alias the record's payload storage (which must outlive the result), and
+/// header segments alias `header`.  Concatenating `segments` in order
+/// yields exactly encode(rec); `total` is that concatenated size.  This is
+/// how the publish path serializes a step without ever memcpy'ing the bulk
+/// data.
+struct EncodedSegments {
+    Bytes header;
+    std::vector<std::span<const std::byte>> segments;
+    std::size_t total = 0;
+};
+EncodedSegments encode_segments(const Record& rec);
 
 /// Reconstructs a record (schema and values) from the wire.
 /// Throws std::runtime_error on truncated or corrupt input.
@@ -34,15 +58,23 @@ Record decode(std::span<const std::byte> wire);
 
 class ByteWriter {
 public:
+    ByteWriter() = default;
+    /// Adopts `storage` as the output buffer: cleared, capacity kept.  With
+    /// a recycled packet buffer, a steady-state encode allocates nothing.
+    explicit ByteWriter(Bytes storage) : buf_(std::move(storage)) { buf_.clear(); }
+
     /// Capacity hint: grows the buffer's capacity to `total` bytes so a
     /// caller that knows the final packet size (encode does) pays one
     /// allocation instead of a doubling cascade.
     void reserve(std::size_t total) { buf_.reserve(total); }
 
-    void u8(std::uint8_t v);
-    void u32(std::uint32_t v);
-    void u64(std::uint64_t v);
-    void str(const std::string& s);
+    // The scalar emitters are noexcept by contract: encode paths reserve
+    // the exact packet size first, so these appends never reallocate (and
+    // allocation failure is terminal anyway).
+    void u8(std::uint8_t v) noexcept;
+    void u32(std::uint32_t v) noexcept;
+    void u64(std::uint64_t v) noexcept;
+    void str(std::string_view s);
     void bytes(std::span<const std::byte> b);
 
     Bytes take() { return std::move(buf_); }

@@ -51,6 +51,16 @@ void Record::add_raw(const std::string& name, Kind kind,
     add_field(std::move(fd), std::move(bytes));
 }
 
+void Record::add_borrowed(const std::string& name, Kind kind,
+                          std::vector<std::uint64_t> shape,
+                          std::span<const std::byte> bytes) {
+    FieldDesc fd{name, kind, std::move(shape)};
+    if (fd.element_count() * kind_size(kind) != bytes.size()) {
+        throw std::invalid_argument("add_borrowed '" + name + "': shape/bytes size mismatch");
+    }
+    add_field(std::move(fd), bytes);
+}
+
 void Record::add_strings(const std::string& name, std::vector<std::string> values) {
     FieldDesc fd{name, Kind::String, {static_cast<std::uint64_t>(values.size())}};
     add_field(std::move(fd), std::move(values));
@@ -77,6 +87,9 @@ std::span<const std::byte> Record::raw_bytes(const std::string& name) const {
     if (desc_.fields[i].kind == Kind::String) {
         throw std::runtime_error("raw_bytes '" + name + "': string field has no raw bytes");
     }
+    if (const auto* borrowed = std::get_if<std::span<const std::byte>>(&payloads_[i])) {
+        return *borrowed;
+    }
     return std::get<std::vector<std::byte>>(payloads_[i]);
 }
 
@@ -84,6 +97,9 @@ std::vector<std::byte> Record::take_bytes(const std::string& name) {
     const std::size_t i = index_of(name);
     if (desc_.fields[i].kind == Kind::String) {
         throw std::runtime_error("take_bytes '" + name + "': string field has no raw bytes");
+    }
+    if (const auto* borrowed = std::get_if<std::span<const std::byte>>(&payloads_[i])) {
+        return {borrowed->begin(), borrowed->end()};
     }
     return std::move(std::get<std::vector<std::byte>>(payloads_[i]));
 }
@@ -105,13 +121,16 @@ std::size_t Record::index_of(const std::string& name) const {
     return it->second;
 }
 
-std::pair<const FieldDesc&, const std::vector<std::byte>&>
+std::pair<const FieldDesc&, std::span<const std::byte>>
 Record::numeric_field(const std::string& name, Kind expected) const {
     const std::size_t i = index_of(name);
     const FieldDesc& fd = desc_.fields[i];
     if (fd.kind != expected) {
         throw std::runtime_error("field '" + name + "' is " + kind_name(fd.kind) +
                                  ", not " + kind_name(expected));
+    }
+    if (const auto* borrowed = std::get_if<std::span<const std::byte>>(&payloads_[i])) {
+        return {fd, *borrowed};
     }
     return {fd, std::get<std::vector<std::byte>>(payloads_[i])};
 }

@@ -115,6 +115,14 @@ public:
     void add_raw(const std::string& name, Kind kind, std::vector<std::uint64_t> shape,
                  std::vector<std::byte> bytes);
 
+    /// Adds a numeric field that *borrows* its payload: the record stores
+    /// only the span, so the caller's buffer must outlive every use of the
+    /// record (encode/encode_segments on the publish hot path).  Same size
+    /// contract as add_raw; encodes bit-identically to the owning form.
+    void add_borrowed(const std::string& name, Kind kind,
+                      std::vector<std::uint64_t> shape,
+                      std::span<const std::byte> bytes);
+
     // ---- field access ----------------------------------------------------
     bool has(const std::string& name) const noexcept;
 
@@ -147,17 +155,19 @@ public:
 
     /// Moves a numeric field's payload out of the record (the field stays
     /// declared but its payload is left empty).  Lets a consumer adopt a
-    /// decoded payload without a second copy.
+    /// decoded payload without a second copy.  A borrowed field is copied
+    /// (there is nothing to move).
     std::vector<std::byte> take_bytes(const std::string& name);
 
 private:
     friend Record decode(std::span<const std::byte>);
 
-    using Payload = std::variant<std::vector<std::byte>, std::vector<std::string>>;
+    using Payload = std::variant<std::vector<std::byte>, std::vector<std::string>,
+                                 std::span<const std::byte>>;
 
     void add_field(FieldDesc fd, Payload payload);
     std::size_t index_of(const std::string& name) const;
-    std::pair<const FieldDesc&, const std::vector<std::byte>&>
+    std::pair<const FieldDesc&, std::span<const std::byte>>
     numeric_field(const std::string& name, Kind expected) const;
 
     TypeDescriptor desc_;

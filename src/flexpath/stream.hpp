@@ -42,6 +42,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "check/mutex.hpp"
@@ -355,11 +356,27 @@ private:
     // stream already assembled) to drop without assigning them a step.
     std::vector<std::uint64_t> replay_drop_;
 
-    // Writer-layout tracking for StepData::layout_gen: the previous step's
-    // per-variable (shape, sorted block boxes) signature.
+    // Writer-layout tracking for StepData::layout_gen, doubling as the
+    // assemble-side sorted-order cache: in steady state (same partitioning
+    // every step) assemble_locked places each block by an O(log n) index
+    // lookup instead of re-sorting, and the generation provably cannot have
+    // changed.  `index` maps a block's box to its position in the sorted
+    // order; duplicate boxes would collapse it, so such a var marks the
+    // cache unusable and always takes the sort path.
+    struct BoxLess {
+        bool operator()(const util::Box& a, const util::Box& b) const {
+            return std::tie(a.offset, a.count) < std::tie(b.offset, b.count);
+        }
+    };
+    struct VarLayoutCache {
+        util::NdShape shape;
+        std::vector<util::Box> sorted_boxes;
+        std::map<util::Box, std::size_t, BoxLess> index;
+        bool usable = true;
+    };
     std::uint64_t layout_gen_ = 0;
-    std::map<std::string, std::pair<util::NdShape, std::vector<util::Box>>>
-        last_layout_;
+    std::map<std::string, VarLayoutCache> layout_cache_;
+    std::vector<Block> scratch_blocks_;  // reused per-var reorder buffer
 
     // Reader group: a bounded window of in-flight steps instead of a
     // single-step rendezvous.  window_ holds consecutive steps (front =

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "obs/metrics.hpp"
+#include "util/pool.hpp"
 
 namespace sb::flexpath {
 
@@ -53,6 +54,20 @@ void WriterPort::put(const std::string& var, util::Box box,
     bytes_written_->add(data->size());
     puts_->inc();
     pending_.blocks[var].push_back(Block{std::move(box), std::move(data)});
+}
+
+std::span<std::byte> WriterPort::put_view(const std::string& var, util::Box box) {
+    const auto it = pending_.var_decls.find(var);
+    if (it == pending_.var_decls.end()) {
+        throw std::logic_error("put_view '" + var + "': variable not declared this step");
+    }
+    const std::size_t size = box.volume() * ffs::kind_size(it->second.kind);
+    util::PooledBytes buf = util::acquire_bytes(size);
+    const std::span<std::byte> view{buf->data(), size};
+    bytes_written_->add(size);
+    puts_->inc();
+    pending_.blocks[var].push_back(Block{std::move(box), std::move(buf)});
+    return view;
 }
 
 void WriterPort::put_attr(const std::string& name, std::vector<std::string> values) {

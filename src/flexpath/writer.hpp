@@ -49,6 +49,15 @@ public:
         put(var, box, std::move(buf));
     }
 
+    /// Zero-copy put: contributes a block for `var` and returns a mutable
+    /// span over its (pooled) storage, sized box.volume() * kind_size.  The
+    /// caller must fill *every* byte before end_step(); the buffer then
+    /// belongs to the stream, which retires it back to util::BufferPool when
+    /// all readers release the step.  This is the write-path analogue of
+    /// try_read_view: the component's output buffer *is* the transport
+    /// buffer.
+    std::span<std::byte> put_view(const std::string& var, util::Box box);
+
     void put_attr(const std::string& name, std::vector<std::string> values);
     void put_attr(const std::string& name, double value);
 

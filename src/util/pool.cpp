@@ -1,0 +1,194 @@
+#include "util/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/lifetime.hpp"
+#include "obs/metrics.hpp"
+
+namespace sb::util {
+namespace {
+
+// Buffers below the smallest class still recycle; they just share shelf 0.
+constexpr std::size_t kMinClassBytes = 256;
+// Per-class cap on parked buffers; beyond it, retires free immediately.
+constexpr std::size_t kShelfCapacity = 8;
+// 0xEF poison marks recycled storage under SB_CHECK so stale reads are
+// visibly garbage even when the quarantine misses them.
+constexpr std::byte kPoison{0xEF};
+
+std::size_t class_index(std::size_t n) noexcept {
+    std::size_t cls = kMinClassBytes;
+    std::size_t idx = 0;
+    while (cls < n) {
+        cls <<= 1;
+        ++idx;
+    }
+    return idx;
+}
+
+std::size_t class_bytes(std::size_t idx) noexcept {
+    return kMinClassBytes << idx;
+}
+
+bool pool_enabled_from_env() {
+    const char* v = std::getenv("SB_POOL");
+    if (v == nullptr) return true;
+    const std::string s(v);
+    return !(s == "off" || s == "0" || s == "false");
+}
+
+std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{pool_enabled_from_env()};
+    return flag;
+}
+
+}  // namespace
+
+bool pool_enabled() noexcept { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_pool_enabled(bool on) noexcept {
+    enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+BufferPool& BufferPool::global() {
+    // Leaked on purpose: buffers handed to streams can retire during static
+    // destruction (thread teardown, retained steps), after a function-local
+    // static pool would already be gone.
+    static BufferPool* pool = new BufferPool();
+    return *pool;
+}
+
+BufferPool::BufferPool() {
+    auto& reg = obs::Registry::global();
+    hits_ = &reg.counter("pool.hits", {});
+    misses_ = &reg.counter("pool.misses", {});
+    retires_ = &reg.counter("pool.retires", {});
+    bytes_recycled_ = &reg.counter("pool.bytes_recycled", {});
+    bytes_allocated_ = &reg.counter("pool.bytes_allocated", {});
+    free_bytes_gauge_ = &reg.gauge("pool.free_bytes", {});
+    outstanding_gauge_ = &reg.gauge("pool.outstanding_bytes", {});
+}
+
+void BufferPool::Retire::operator()(std::vector<std::byte>* v) const noexcept {
+    if (v == nullptr) return;
+    if (pool != nullptr) pool->retire(std::move(*v), gen);
+    delete v;
+}
+
+PooledBytes BufferPool::acquire(std::size_t n) {
+    if (!pool_enabled() || n == 0) {
+        return std::make_shared<std::vector<std::byte>>(n);
+    }
+    const std::size_t idx = class_index(n);
+    std::vector<std::byte> storage;
+    bool hit = false;
+    std::uint64_t gen = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        gen = generation_;
+        if (idx < shelves_.size() && !shelves_[idx].buffers.empty()) {
+            storage = std::move(shelves_[idx].buffers.back());
+            shelves_[idx].buffers.pop_back();
+            free_bytes_ -= storage.size();
+            hit = true;
+        }
+        outstanding_bytes_ += class_bytes(idx);
+        outstanding_gauge_->set(static_cast<double>(outstanding_bytes_));
+    }
+    if (hit) {
+        // Leaving quarantine: the range is live again, stale-view tracking for
+        // it must not fire on the new owner's reads.
+        if (check::enabled()) check::note_reacquired(storage.data());
+        storage.resize(n);  // shrink-only: stored size == class capacity
+        hits_->inc();
+        bytes_recycled_->add(n);
+    } else {
+        storage.reserve(class_bytes(idx));
+        storage.resize(n);
+        misses_->inc();
+        bytes_allocated_->add(n);
+    }
+    auto* raw = new std::vector<std::byte>(std::move(storage));
+    return PooledBytes(raw, Retire{this, gen});
+}
+
+void BufferPool::retire(std::vector<std::byte>&& storage, std::uint64_t gen) noexcept {
+    const std::size_t cap = storage.capacity();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::size_t idx = class_index(cap == 0 ? 1 : cap);
+        if (class_bytes(idx) <= outstanding_bytes_) {
+            outstanding_bytes_ -= class_bytes(idx);
+        } else {
+            outstanding_bytes_ = 0;
+        }
+        outstanding_gauge_->set(static_cast<double>(outstanding_bytes_));
+        if (gen == generation_ && pool_enabled() && cap >= kMinClassBytes &&
+            cap == class_bytes(idx)) {
+            if (shelves_.size() <= idx) shelves_.resize(idx + 1);
+            if (shelves_[idx].buffers.size() < kShelfCapacity) {
+                storage.resize(cap);  // park at full class size
+                if (check::enabled()) {
+                    std::fill(storage.begin(), storage.end(), kPoison);
+                    check::note_retired(storage.data(), storage.size(), "pooled step buffer");
+                }
+                free_bytes_ += cap;
+                free_bytes_gauge_->set(static_cast<double>(free_bytes_));
+                retires_->inc();
+                shelves_[idx].buffers.push_back(std::move(storage));
+                return;
+            }
+        }
+    }
+    retires_->inc();
+    // storage frees here, outside the lock.
+}
+
+void BufferPool::drop_free_locked() {
+    for (auto& shelf : shelves_) {
+        for (auto& buf : shelf.buffers) {
+            // The address is about to become invalid; the quarantine entry
+            // must go with it or a future unrelated allocation at the same
+            // address would trip a false use-after-retire.
+            if (check::enabled()) check::note_reacquired(buf.data());
+        }
+        shelf.buffers.clear();
+    }
+    free_bytes_ = 0;
+    free_bytes_gauge_->set(0.0);
+}
+
+void BufferPool::bump_generation() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+    drop_free_locked();
+}
+
+void BufferPool::trim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    drop_free_locked();
+}
+
+std::size_t BufferPool::free_buffers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& shelf : shelves_) n += shelf.buffers.size();
+    return n;
+}
+
+std::size_t BufferPool::free_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_bytes_;
+}
+
+std::uint64_t BufferPool::generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+}
+
+}  // namespace sb::util

@@ -18,6 +18,7 @@
 #include "flexpath/stream.hpp"
 #include "flexpath/writer.hpp"
 #include "obs/metrics.hpp"
+#include "util/pool.hpp"
 
 namespace core = sb::core;
 namespace fp = sb::flexpath;
@@ -140,9 +141,47 @@ public:
     }
 };
 
+/// ChaosSource's zero-copy twin: fills the transport's pooled step buffer
+/// in place (put_view) instead of staging + put.  Same deterministic values.
+class ChaosViewSource final : public core::Component {
+public:
+    std::string name() const override { return "chaos_view_source"; }
+    std::string usage() const override {
+        return "chaos_view_source out-stream-name num-steps [len]";
+    }
+    core::Ports ports(const u::ArgList& args) const override {
+        args.require_at_least(2, usage());
+        return core::Ports{{}, {args.str(0, "out-stream-name")}};
+    }
+    void run(core::RunContext& ctx, const u::ArgList& args) override {
+        args.require_at_least(2, usage());
+        const std::string out = args.str(0, "out-stream-name");
+        const std::uint64_t steps = args.unsigned_integer(1, "num-steps");
+        const std::uint64_t len =
+            args.size() > 2 ? args.unsigned_integer(2, "len") : 16;
+        fp::WriterPort port(ctx.fabric, out, ctx.comm.rank(), ctx.comm.size(),
+                            ctx.stream_options);
+        for (std::uint64_t t = 0; t < steps; ++t) {
+            port.declare(
+                fp::VarDecl{"v", fp::DataKind::Float64, u::NdShape{len}, {}});
+            const std::span<std::byte> raw =
+                port.put_view("v", u::Box({0}, {len}));
+            auto* v = reinterpret_cast<double*>(raw.data());
+            for (std::uint64_t i = 0; i < len; ++i) {
+                v[i] = static_cast<double>(t * 100 + i) * 0.25;
+            }
+            port.end_step();
+            core::record_step(ctx, t, 0.0, 0, len * sizeof(double));
+        }
+        port.close();
+    }
+};
+
 void register_chaos_components() {
     core::register_component("chaos_source",
                              [] { return std::make_unique<ChaosSource>(); });
+    core::register_component("chaos_view_source",
+                             [] { return std::make_unique<ChaosViewSource>(); });
     core::register_component("chaos_double",
                              [] { return std::make_unique<ChaosDouble>(); });
     core::register_component("chaos_failer",
@@ -504,4 +543,55 @@ TEST_F(FaultTest, DecodeFaultIsRecoverable) {
 
     EXPECT_EQ(wf.restarts(1), 1);
     EXPECT_EQ(slurp(out_file), slurp(ref_file));
+}
+
+// Pool x chaos: the zero-copy source recycles its step buffers while the
+// sink crashes mid-stream and the stream replays retained steps into the
+// restarted incarnation.  If a retired buffer could alias a retained step,
+// the replayed histogram would differ; it must be bit-identical to a
+// fault-free run, and the SB_POOL=off leg must match both.
+TEST_F(FaultTest, PooledWritePathCrashReplayBitIdentical) {
+    register_chaos_components();
+    const bool pool_was = u::pool_enabled();
+    u::set_pool_enabled(true);
+    u::BufferPool::global().bump_generation();
+
+    const std::string ref_file = tmp("chaos_pool_ref_hist.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("chaos_view_source", 1, {"chaos.pref.fp", "8"});
+        wf.add("histogram", 1, {"chaos.pref.fp", "v", "8", ref_file});
+        wf.run();
+    }
+
+    ft::Registry::global().arm_from_env(
+        "seed=7; flexpath.acquire:chaos.pdata.fp=throw@3");
+    const std::string out_file = tmp("chaos_pool_hist.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("chaos_view_source", 1, {"chaos.pdata.fp", "8"});
+        wf.add("histogram", 1, {"chaos.pdata.fp", "v", "8", out_file});
+        wf.set_restart_policy(core::RestartPolicy::on_failure(2));
+        wf.run();
+        EXPECT_EQ(wf.restarts(1), 1);
+    }
+    EXPECT_EQ(slurp(out_file), slurp(ref_file));
+
+    // SB_POOL=off leg: same workflow, plain allocations, same bytes.
+    ft::Registry::global().disarm_all();
+    u::set_pool_enabled(false);
+    const std::string off_file = tmp("chaos_pool_off_hist.txt");
+    {
+        fp::Fabric fabric;
+        core::Workflow wf(fabric);
+        wf.add("chaos_view_source", 1, {"chaos.poff.fp", "8"});
+        wf.add("histogram", 1, {"chaos.poff.fp", "v", "8", off_file});
+        wf.run();
+    }
+    EXPECT_EQ(slurp(off_file), slurp(ref_file));
+
+    u::BufferPool::global().bump_generation();
+    u::set_pool_enabled(pool_was);
 }

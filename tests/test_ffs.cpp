@@ -275,3 +275,133 @@ TEST(FfsWire, EncodeReservesExactSize) {
     EXPECT_EQ(back.get_scalar<std::int32_t>("n"), 42);
     EXPECT_EQ(f::encode(back), wire);
 }
+
+// ---- scatter-gather encoding and borrowed payloads ------------------------
+
+namespace {
+
+f::Bytes concat_segments(const f::EncodedSegments& segs) {
+    f::Bytes out;
+    for (const auto& s : segs.segments) out.insert(out.end(), s.begin(), s.end());
+    return out;
+}
+
+}  // namespace
+
+// Concatenating the segment list reproduces encode() byte for byte: the
+// wire format is unchanged, only the memcpy of bulk payloads is elided.
+TEST(FfsSegments, ConcatenationEqualsEncode) {
+    f::Record rec(f::TypeDescriptor{"seg", {}});
+    const std::vector<double> big(96, 3.25);  // 768 B: spliced out
+    rec.add_array<double>("big", big, {96});
+    rec.add_scalar<std::int32_t>("n", 9);  // 4 B: inlined into the header
+    rec.add_strings("names", {"alpha", "beta"});
+    const std::vector<float> mid(64, 1.0f);  // 256 B: spliced out
+    rec.add_array<float>("mid", mid, {64});
+
+    const f::Bytes wire = f::encode(rec);
+    const f::EncodedSegments segs = f::encode_segments(rec);
+    EXPECT_EQ(segs.total, wire.size());
+    EXPECT_EQ(concat_segments(segs), wire);
+    // The bulk payloads alias the record's storage, not the header buffer.
+    ASSERT_GE(segs.segments.size(), 3u);
+    bool found_alias = false;
+    for (const auto& s : segs.segments) {
+        if (s.data() == rec.raw_bytes("big").data()) found_alias = true;
+    }
+    EXPECT_TRUE(found_alias);
+    // And the reassembled wire still decodes.
+    const f::Record back = f::decode(wire);
+    EXPECT_EQ(back.get_array<double>("big"), big);
+}
+
+// Records with only small payloads degenerate to one header segment whose
+// bytes are exactly encode()'s output.
+TEST(FfsSegments, SmallPayloadsInlineIntoHeader) {
+    f::Record rec(f::TypeDescriptor{"small", {}});
+    rec.add_scalar<double>("x", 1.0);
+    const std::vector<std::int32_t> v = {1, 2, 3};  // 12 B < splice threshold
+    rec.add_array<std::int32_t>("v", v, {3});
+    const f::EncodedSegments segs = f::encode_segments(rec);
+    ASSERT_EQ(segs.segments.size(), 1u);
+    EXPECT_EQ(segs.segments[0].data(), segs.header.data());
+    EXPECT_EQ(concat_segments(segs), f::encode(rec));
+}
+
+// A field added as a borrowed span encodes identically to an owned copy and
+// reads back through the same accessors.
+TEST(FfsBorrowed, BorrowedFieldMatchesOwned) {
+    const std::vector<double> payload = {1.5, -2.5, 3.5, 4.5};
+    const std::span<const std::byte> raw = std::as_bytes(std::span(payload));
+
+    f::Record owned(f::TypeDescriptor{"t", {}});
+    owned.add_array<double>("xs", payload, {4});
+    f::Record borrowed(f::TypeDescriptor{"t", {}});
+    borrowed.add_borrowed("xs", f::Kind::Float64, {4}, raw);
+
+    // The borrowed record holds a view, not a copy.
+    EXPECT_EQ(borrowed.raw_bytes("xs").data(), raw.data());
+    EXPECT_EQ(f::encode(borrowed), f::encode(owned));
+    // take_bytes materializes an owned copy of the view.
+    f::Record borrowed2(f::TypeDescriptor{"t", {}});
+    borrowed2.add_borrowed("xs", f::Kind::Float64, {4}, raw);
+    const std::vector<std::byte> taken = borrowed2.take_bytes("xs");
+    EXPECT_EQ(taken.size(), raw.size());
+    EXPECT_NE(taken.data(), raw.data());
+}
+
+TEST(FfsBorrowed, SizeMismatchThrows) {
+    const std::vector<double> payload = {1.0, 2.0};
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    EXPECT_THROW(rec.add_borrowed("xs", f::Kind::Float64, {3},
+                                  std::as_bytes(std::span(payload))),
+                 std::invalid_argument);
+}
+
+// encode_into reuses the supplied buffer's capacity: same bytes as encode,
+// and a steady-state re-encode does not grow the buffer again.
+TEST(FfsWire, EncodeIntoReusesStorage) {
+    f::Record rec(f::TypeDescriptor{"t", {}});
+    const std::vector<double> xs(50, 2.0);
+    rec.add_array<double>("xs", xs, {50});
+
+    const f::Bytes wire = f::encode(rec);
+    f::Bytes out;
+    f::encode_into(rec, out);
+    EXPECT_EQ(out, wire);
+    const std::size_t cap = out.capacity();
+    f::encode_into(rec, out);
+    EXPECT_EQ(out, wire);
+    EXPECT_EQ(out.capacity(), cap);
+}
+
+// ByteWriter::str accepts any string-ish argument without constructing a
+// temporary std::string.
+TEST(FfsByteStream, StrTakesStringView) {
+    const std::string_view sv = "view";
+    f::ByteWriter w;
+    w.str(sv);
+    w.str(std::string("owned"));
+    w.str("literal");
+    const f::Bytes b = w.take();
+    f::ByteReader r(b);
+    EXPECT_EQ(r.str(), "view");
+    EXPECT_EQ(r.str(), "owned");
+    EXPECT_EQ(r.str(), "literal");
+    EXPECT_TRUE(r.done());
+}
+
+// A ByteWriter constructed from recycled storage starts empty but keeps the
+// old capacity.
+TEST(FfsByteStream, AdoptedStorageIsClearedAndReused) {
+    f::Bytes storage(128, std::byte{0x77});
+    const std::byte* base = storage.data();
+    f::ByteWriter w(std::move(storage));
+    EXPECT_EQ(w.size(), 0u);
+    w.u64(42);
+    const f::Bytes b = w.take();
+    ASSERT_EQ(b.size(), 8u);
+    EXPECT_EQ(b.data(), base);  // same allocation, no regrowth
+    f::ByteReader r(b);
+    EXPECT_EQ(r.u64(), 42u);
+}

@@ -18,6 +18,7 @@
 #include "mpi/runtime.hpp"
 #include "obs/metrics.hpp"
 #include "util/ndarray.hpp"
+#include "util/pool.hpp"
 
 namespace fp = sb::flexpath;
 namespace u = sb::util;
@@ -1235,4 +1236,182 @@ TEST(Resilience, DoubleAbortIsIdempotent) {
     stream->abort();
     EXPECT_EQ(counter_total("flexpath.aborts") - aborts0, 1.0);
     EXPECT_THROW(stream->submit(0, simple_contrib(0.0)), fp::StreamAborted);
+}
+
+// ---- zero-copy write path (put_view + BufferPool) --------------------------
+
+namespace {
+
+/// Pins the pool on (or off) for one scope and isolates it behind
+/// generation bumps on both sides.
+struct PoolGuard {
+    explicit PoolGuard(bool on) : was(sb::util::pool_enabled()) {
+        sb::util::set_pool_enabled(on);
+        sb::util::BufferPool::global().bump_generation();
+    }
+    ~PoolGuard() {
+        sb::util::BufferPool::global().bump_generation();
+        sb::util::set_pool_enabled(was);
+    }
+    bool was;
+};
+
+/// run_mxn's writer loop, but filling the transport's pooled buffer in
+/// place via put_view instead of staging + put<double>.
+void run_mxn_view(int writers, int readers, std::uint64_t n, std::uint64_t m,
+                  std::uint64_t steps) {
+    fp::Fabric fabric;
+    const u::NdShape shape{n, m};
+
+    std::jthread writer_group([&] {
+        sb::mpi::run_ranks(writers, [&](sb::mpi::Communicator& c) {
+            fp::WriterPort port(fabric, "sv", c.rank(), c.size(),
+                                fp::StreamOptions{2});
+            for (std::uint64_t t = 0; t < steps; ++t) {
+                port.declare(fp::VarDecl{"a", fp::DataKind::Float64, shape,
+                                         {"rows", "cols"}});
+                const u::Box box = u::partition_along(shape, 0, c.rank(), c.size());
+                const std::span<std::byte> raw = port.put_view("a", box);
+                ASSERT_EQ(raw.size(), box.volume() * sizeof(double));
+                const std::span<double> data{
+                    reinterpret_cast<double*>(raw.data()), box.volume()};
+                std::size_t k = 0;
+                for (std::uint64_t i = box.offset[0];
+                     i < box.offset[0] + box.count[0]; ++i) {
+                    for (std::uint64_t j = 0; j < m; ++j) {
+                        data[k++] = stamp(i, j) + static_cast<double>(t);
+                    }
+                }
+                port.end_step();
+            }
+            port.close();
+        });
+    });
+
+    sb::mpi::run_ranks(readers, [&](sb::mpi::Communicator& c) {
+        fp::ReaderPort port(fabric, "sv", c.rank(), c.size());
+        std::uint64_t t = 0;
+        while (port.begin_step()) {
+            const u::Box box = u::partition_along(shape, 1, c.rank(), c.size());
+            const std::vector<double> data = port.read<double>("a", box);
+            std::size_t k = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                for (std::uint64_t j = box.offset[1];
+                     j < box.offset[1] + box.count[1]; ++j) {
+                    ASSERT_EQ(data[k++], stamp(i, j) + static_cast<double>(t))
+                        << "at (" << i << "," << j << ") step " << t;
+                }
+            }
+            port.end_step();
+            ++t;
+        }
+        EXPECT_EQ(t, steps);
+    });
+}
+
+}  // namespace
+
+TEST(WritePath, PutViewRedistributesExactlyPooled) {
+    const PoolGuard pool(true);
+    run_mxn_view(2, 3, 12, 7, 6);
+}
+
+TEST(WritePath, PutViewRedistributesExactlyUnpooled) {
+    const PoolGuard pool(false);
+    run_mxn_view(2, 3, 12, 7, 6);
+}
+
+// Steady-state publishing recycles: after the first step's buffer retires,
+// subsequent put_views are pool hits, and close() leaves the storage parked
+// rather than leaked outstanding.
+TEST(WritePath, StepBuffersRecycleAcrossSteps) {
+    if (!sb::obs::enabled()) GTEST_SKIP() << "SB_METRICS=off";
+    const PoolGuard pool(true);
+    auto& reg = sb::obs::Registry::global();
+    const std::uint64_t hits0 = reg.counter("pool.hits", {}).value();
+
+    fp::Fabric fabric;
+    const u::NdShape shape{512};
+    {
+        fp::WriterPort port(fabric, "recycle", 0, 1, fp::StreamOptions{1});
+        fp::ReaderPort reader(fabric, "recycle", 0, 1);
+        for (std::uint64_t t = 0; t < 6; ++t) {
+            port.declare(fp::VarDecl{"x", fp::DataKind::Float64, shape, {}});
+            const std::span<std::byte> raw =
+                port.put_view("x", u::Box::whole(shape));
+            const std::span<double> xs{reinterpret_cast<double*>(raw.data()), 512};
+            for (std::size_t i = 0; i < xs.size(); ++i) {
+                xs[i] = static_cast<double>(t * 1000 + i);
+            }
+            port.end_step();
+            ASSERT_TRUE(reader.begin_step());
+            const auto v = reader.read<double>("x", u::Box::whole(shape));
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                ASSERT_EQ(v[i], static_cast<double>(t * 1000 + i));
+            }
+            reader.end_step();  // releases the step: its buffer retires
+        }
+        port.close();
+    }
+    // Lockstep cadence: every step after the first reuses the retired
+    // buffer of its predecessor.
+    EXPECT_GE(reg.counter("pool.hits", {}).value() - hits0, 5u);
+    EXPECT_GT(sb::util::BufferPool::global().free_buffers(), 0u);
+}
+
+// The alias-safety acceptance for SB_FAULT replay: steps retained for a
+// future reader incarnation pin their pooled payloads (ordinary shared_ptr
+// refcounting), so the writer recycling buffers step after step can never
+// scribble over a replayable step.  The replacement reader must see every
+// replayed value exactly as written.
+TEST(Resilience, RetiredBuffersNeverAliasRetainedSteps) {
+    const PoolGuard pool(true);
+    fp::Fabric fabric;
+    fp::StreamOptions opts(16);
+    opts.read_ahead = 2;
+    opts.retain_steps = 8;
+
+    const u::NdShape shape{64};
+    {
+        fp::WriterPort port(fabric, "replay-pool", 0, 1, opts);
+        for (std::uint64_t t = 0; t < 10; ++t) {
+            port.declare(fp::VarDecl{"x", fp::DataKind::Float64, shape, {}});
+            const std::span<std::byte> raw =
+                port.put_view("x", u::Box::whole(shape));
+            const std::span<double> xs{reinterpret_cast<double*>(raw.data()), 64};
+            for (std::size_t i = 0; i < xs.size(); ++i) {
+                xs[i] = static_cast<double>(t) + static_cast<double>(i) * 0.5;
+            }
+            port.end_step();
+        }
+        port.close();
+    }
+
+    auto stream = fabric.get("replay-pool");
+    {
+        fp::ReaderPort reader(fabric, "replay-pool", 0, 1);
+        for (std::uint64_t t = 0; t < 2; ++t) {
+            ASSERT_TRUE(reader.begin_step());
+            reader.end_step();
+        }
+    }  // incarnation dies; steps 2..9 stay retained, pinning their payloads
+    stream->detach_reader();
+    ASSERT_TRUE(wait_until([&] { return stream->in_flight_steps() == 8; },
+                           std::chrono::seconds(10)));
+
+    fp::ReaderPort reader(fabric, "replay-pool", 0, 1);
+    std::uint64_t t = 2;
+    while (reader.begin_step()) {
+        const auto v = reader.read<double>("x", u::Box::whole(shape));
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            ASSERT_EQ(v[i],
+                      static_cast<double>(t) + static_cast<double>(i) * 0.5)
+                << "replayed step " << t << " index " << i
+                << " was corrupted by buffer recycling";
+        }
+        reader.end_step();
+        ++t;
+    }
+    EXPECT_EQ(t, 10u);
+    EXPECT_EQ(stream->steps_lost(), 0u);
 }

@@ -1,0 +1,141 @@
+// Tests for the recycling step-buffer pool (util/pool.hpp): size classes,
+// generation invalidation, the SB_POOL gate, metrics, and the sb::check
+// poison-on-retire quarantine.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/lifetime.hpp"
+#include "obs/metrics.hpp"
+#include "util/pool.hpp"
+
+namespace u = sb::util;
+namespace chk = sb::check;
+
+namespace {
+
+/// Pins the pool on and isolates each test behind a generation bump, so
+/// buffers parked (or still outstanding) elsewhere never leak in or out.
+class PoolTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        was_enabled_ = u::pool_enabled();
+        u::set_pool_enabled(true);
+        u::BufferPool::global().bump_generation();
+    }
+
+    void TearDown() override {
+        u::BufferPool::global().bump_generation();
+        u::set_pool_enabled(was_enabled_);
+    }
+
+    bool was_enabled_ = true;
+};
+
+}  // namespace
+
+TEST_F(PoolTest, AcquireRecyclesStorage) {
+    auto& pool = u::BufferPool::global();
+    u::PooledBytes buf = pool.acquire(4096);
+    ASSERT_NE(buf, nullptr);
+    EXPECT_EQ(buf->size(), 4096u);
+    const std::byte* addr = buf->data();
+    buf.reset();  // retires: parks on the 4 KiB shelf
+    EXPECT_EQ(pool.free_buffers(), 1u);
+
+    u::PooledBytes again = pool.acquire(4096);
+    EXPECT_EQ(again->data(), addr);  // same storage, no allocation
+    EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST_F(PoolTest, SizeClassesShareStorageAcrossSizes) {
+    auto& pool = u::BufferPool::global();
+    u::PooledBytes buf = pool.acquire(300);  // class 512
+    EXPECT_EQ(buf->size(), 300u);
+    EXPECT_GE(buf->capacity(), 512u);
+    const std::byte* addr = buf->data();
+    buf.reset();
+    // Any size in (256, 512] reuses the parked buffer.
+    u::PooledBytes other = pool.acquire(500);
+    EXPECT_EQ(other->size(), 500u);
+    EXPECT_EQ(other->data(), addr);
+}
+
+TEST_F(PoolTest, DisabledActsLikePlainAllocation) {
+    auto& pool = u::BufferPool::global();
+    u::set_pool_enabled(false);
+    u::PooledBytes buf = pool.acquire(2048);
+    ASSERT_NE(buf, nullptr);
+    EXPECT_EQ(buf->size(), 2048u);
+    // Disabled buffers are zero-initialized, exactly like the seed's fresh
+    // vectors (the bit-identity baseline for the SB_POOL=off A/B leg).
+    for (const std::byte b : *buf) EXPECT_EQ(b, std::byte{0});
+    buf.reset();
+    EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST_F(PoolTest, GenerationBumpInvalidatesOutstandingBuffers) {
+    auto& pool = u::BufferPool::global();
+    u::PooledBytes buf = pool.acquire(1024);
+    pool.bump_generation();
+    buf.reset();  // stale generation: frees instead of parking
+    EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST_F(PoolTest, ShelfCapacityBoundsParkedBuffers) {
+    auto& pool = u::BufferPool::global();
+    std::vector<u::PooledBytes> bufs;
+    for (int i = 0; i < 12; ++i) bufs.push_back(pool.acquire(1024));
+    bufs.clear();
+    EXPECT_LE(pool.free_buffers(), 8u);  // kShelfCapacity
+    EXPECT_GT(pool.free_buffers(), 0u);
+    pool.trim();
+    EXPECT_EQ(pool.free_buffers(), 0u);
+    EXPECT_EQ(pool.free_bytes(), 0u);
+}
+
+TEST_F(PoolTest, ZeroSizedAcquireNeverNull) {
+    u::PooledBytes buf = u::acquire_bytes(0);
+    ASSERT_NE(buf, nullptr);
+    EXPECT_TRUE(buf->empty());
+}
+
+TEST_F(PoolTest, HitAndMissMetricsCount) {
+    if (!sb::obs::enabled()) GTEST_SKIP() << "SB_METRICS=off";
+    auto& reg = sb::obs::Registry::global();
+    const std::uint64_t hits0 = reg.counter("pool.hits", {}).value();
+    const std::uint64_t misses0 = reg.counter("pool.misses", {}).value();
+    u::PooledBytes buf = u::acquire_bytes(8192);
+    buf.reset();
+    u::PooledBytes again = u::acquire_bytes(8192);
+    EXPECT_GE(reg.counter("pool.misses", {}).value(), misses0 + 1);
+    EXPECT_GE(reg.counter("pool.hits", {}).value(), hits0 + 1);
+}
+
+// Under sb::check, a retired buffer is poisoned and quarantined: reads
+// through a stale span trip the lifetime guard until the pool hands the
+// storage out again.
+TEST_F(PoolTest, RetirePoisonsAndQuarantinesUnderCheck) {
+    const bool check_was = chk::enabled();
+    chk::set_enabled(true);
+    chk::clear_diagnostics();
+    chk::reset_views();
+
+    u::PooledBytes buf = u::acquire_bytes(1024);
+    const std::byte* addr = buf->data();
+    (*buf)[0] = std::byte{0x11};
+    buf.reset();  // parked: poisoned + quarantined, address stays valid
+    EXPECT_EQ(addr[0], std::byte{0xEF});
+    EXPECT_THROW(chk::note_read(addr, 16), chk::LifetimeError);
+
+    // Reacquiring the storage lifts the quarantine for the new owner.
+    u::PooledBytes again = u::acquire_bytes(1024);
+    ASSERT_EQ(again->data(), addr);
+    EXPECT_NO_THROW(chk::note_read(addr, 16));
+
+    chk::clear_diagnostics();
+    chk::reset_views();
+    chk::set_enabled(check_was);
+}
