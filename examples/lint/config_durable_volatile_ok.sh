@@ -1,0 +1,9 @@
+# Fixed counterpart of config_durable_volatile_bad.sh: the durable step log
+# gives a relaunched process its history back, so restart-on-failure can
+# resume instead of starting over.
+# lint-config: restart-policy=on-failure retain-steps=8 on-data-loss=fail
+# lint-config: durable-dir=logs fsync=interval:50
+aprun -n 2 magnitude gmx.fp coords radii.fp radii &
+aprun -n 2 histogram radii.fp radii 8 spread.txt &
+aprun -n 2 gromacs atoms=256 steps=2 &
+wait

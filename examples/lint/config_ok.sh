@@ -1,6 +1,7 @@
 # Positive counterpart for the config-* rules: retention, data-loss policy,
 # liveness, and fault schedule are mutually consistent.
 # lint-config: restart-policy=on-failure retain-steps=8 on-data-loss=fail
+# lint-config: durable-dir=logs fsync=commit
 # lint-config: liveness-ms=5000 fault=flexpath.acquire=delay:50
 aprun -n 2 magnitude gmx.fp coords radii.fp radii &
 aprun -n 2 histogram radii.fp radii 8 spread.txt &

@@ -19,6 +19,10 @@
 //   smartblock_run --pool=off <script>             pin step-buffer pooling (on|off)
 //   smartblock_run --restart-policy on_failure:3 <script>   supervise + restart
 //   smartblock_run --liveness-ms 5000 <script>     hung-peer detection timeout
+//   smartblock_run --durable=logdir <script>       crash-consistent step log
+//   smartblock_run --durable=logdir --fsync=commit <script>  fsync per frame
+//   smartblock_run --durable=logdir --recover      scan + print recovery
+//                                                  report, don't run
 //
 // Example workflow script:
 //   aprun -n 2 histogram velos.fp velocities 16 speeds.txt &
@@ -35,6 +39,7 @@
 
 #include "core/graph.hpp"
 #include "core/launch_script.hpp"
+#include "durable/log.hpp"
 #include "fault/fault.hpp"
 #include "lint/lint.hpp"
 #include "flexpath/stream.hpp"
@@ -53,8 +58,9 @@ void print_usage() {
                  "[--metrics-interval=<ms>] [--read-ahead <depth>] "
                  "[--fuse=on|off|auto] [--pool=on|off] "
                  "[--fault <spec>] [--restart-policy never|on_failure[:max]] "
-                 "[--liveness-ms <ms>] <workflow-script> "
-                 "[queue-capacity]\n\nregistered components:\n");
+                 "[--liveness-ms <ms>] [--durable=<dir>] "
+                 "[--fsync=never|commit|interval:<ms>] [--recover] "
+                 "<workflow-script> [queue-capacity]\n\nregistered components:\n");
     for (const auto& name : sb::core::component_names()) {
         std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
                      sb::core::make_component(name)->usage().c_str());
@@ -87,6 +93,9 @@ int main(int argc, char** argv) {
     const char* pool = nullptr;  // null = resolve from SB_POOL
     std::size_t read_ahead = 0;  // 0 = resolve from SB_READ_AHEAD / default
     double liveness_ms = -1.0;   // -1 = resolve from SB_LIVENESS_MS / disabled
+    const char* durable_dir = nullptr;  // null = durable log disabled
+    const char* fsync_policy = nullptr;
+    bool recover_only = false;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
         if (std::strcmp(argv[argi], "--read-ahead") == 0 && argi + 1 < argc) {
@@ -106,6 +115,15 @@ int main(int argc, char** argv) {
             ++argi;
         } else if (std::strncmp(argv[argi], "--pool=", 7) == 0) {
             pool = argv[argi] + 7;
+            ++argi;
+        } else if (std::strncmp(argv[argi], "--durable=", 10) == 0) {
+            durable_dir = argv[argi] + 10;
+            ++argi;
+        } else if (std::strncmp(argv[argi], "--fsync=", 8) == 0) {
+            fsync_policy = argv[argi] + 8;
+            ++argi;
+        } else if (std::strcmp(argv[argi], "--recover") == 0) {
+            recover_only = true;
             ++argi;
         } else if (std::strcmp(argv[argi], "--report") == 0) {
             report = true;
@@ -146,6 +164,29 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+    if (recover_only) {
+        // Offline recovery report: scan the step logs (non-destructively —
+        // torn tails are reported, not truncated) and print what a restart
+        // would recover.  No script needed, nothing runs.
+        if (!durable_dir || !*durable_dir) {
+            std::fprintf(stderr, "smartblock_run: --recover needs --durable=<dir>\n");
+            return 2;
+        }
+        try {
+            const auto reports = sb::durable::scan_dir(durable_dir);
+            if (reports.empty()) {
+                std::printf("smartblock_run: no step logs in '%s'\n", durable_dir);
+                return 0;
+            }
+            for (const auto& r : reports) {
+                std::printf("%s\n", r.to_string().c_str());
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "smartblock_run: %s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
     if (argi >= argc) {
         print_usage();
         return 2;
@@ -157,6 +198,15 @@ int main(int argc, char** argv) {
 
         if (fault_spec) {
             lint_opts.faults = sb::lint::parse_fault_specs(fault_spec);
+        }
+        if (durable_dir) lint_opts.stream.durable.dir = durable_dir;
+        if (fsync_policy &&
+            !sb::durable::parse_fsync_policy(fsync_policy, lint_opts.stream.durable)) {
+            std::fprintf(stderr,
+                         "smartblock_run: bad --fsync '%s' "
+                         "(never | commit | interval:<ms>)\n",
+                         fsync_policy);
+            return 2;
         }
         if (restart_policy &&
             std::string(restart_policy).rfind("on_failure", 0) == 0) {
@@ -232,6 +282,7 @@ int main(int argc, char** argv) {
         sb::flexpath::StreamOptions opts;
         opts.read_ahead = read_ahead;
         opts.liveness_ms = liveness_ms;
+        opts.durable = lint_opts.stream.durable;  // --durable / --fsync
         if (argi + 1 < argc) {
             opts.queue_capacity = static_cast<std::size_t>(std::stoul(argv[argi + 1]));
         }

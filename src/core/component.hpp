@@ -111,6 +111,10 @@ struct RunContext {
     /// 0 on the first run, k on the k-th restart.  Components with external
     /// side effects (file endpoints) use this to resume instead of truncate.
     int attempt = 0;
+    /// True when the workflow resumed mid-stream from a durable step log
+    /// (cold restart): file endpoints append rather than truncate even on
+    /// attempt 0, because earlier steps' output already exists on disk.
+    bool resume = false;
 };
 
 /// The streams a component instance would read and write, derived from its

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -151,7 +152,8 @@ std::optional<FusedStage> parse_stage(const FusionCandidate& c, std::size_t inde
 
 }  // namespace
 
-FusionPlan plan_fusion(const std::vector<FusionCandidate>& candidates) {
+FusionPlan plan_fusion(const std::vector<FusionCandidate>& candidates,
+                       const std::set<std::string>& barrier_streams) {
     FusionPlan plan;
     const std::size_t n = candidates.size();
 
@@ -198,6 +200,11 @@ FusionPlan plan_fusion(const std::vector<FusionCandidate>& candidates) {
         const std::size_t j = rit->second[0];
         if (j == i || !stage[j]) continue;
         if (stage[j]->in_stream != s) continue;
+        if (barrier_streams.count(s)) {
+            plan.notes.push_back("stream '" + s +
+                                 "' has durable history to replay: not fused");
+            continue;
+        }
         if (candidates[i].nprocs != candidates[j].nprocs) {
             plan.notes.push_back("stream '" + s + "': " +
                                  std::to_string(candidates[i].nprocs) + " -> " +
@@ -300,6 +307,7 @@ public:
             sc.component = chain.stages[k].component;
             sc.instance = hooks[k].instance;
             sc.attempt = ctx.attempt;
+            sc.resume = ctx.resume;
             stage_ctx_.push_back(std::move(sc));
         }
     }
@@ -307,23 +315,34 @@ public:
     void run() {
         const FusedStage& tail = chain_.tail();
         if (!chain_.tail_writes_stream() && rank_ == 0) {
+            // A restarted (warm or cold) incarnation appends, exactly like
+            // the standalone components, and skips steps whose rows the
+            // previous incarnation already wrote — an input ack lost in the
+            // crash makes the replay at-least-once, never duplicated output.
+            const bool append = ctx_.attempt > 0 || ctx_.resume;
             if (tail.kind == Kind::Histogram) {
-                // A restarted incarnation appends, exactly like the
-                // standalone component: steps written before the failure were
-                // force-acknowledged upstream and will not be replayed.
+                if (append) sink_written_ = last_histogram_step(tail.out_file);
                 sink_out_.open(tail.out_file,
-                               ctx_.attempt > 0 ? std::ios::app : std::ios::trunc);
+                               append ? std::ios::app : std::ios::trunc);
                 if (!sink_out_) {
                     throw std::runtime_error("histogram: cannot write '" +
                                              tail.out_file + "'");
                 }
             } else {
-                sink_out_.open(tail.out_file, std::ios::trunc);
+                if (append) sink_written_ = last_moments_step(tail.out_file);
+                std::error_code ec;
+                const bool has_prior =
+                    append &&
+                    std::filesystem::file_size(tail.out_file, ec) > 0 && !ec;
+                sink_out_.open(tail.out_file,
+                               append ? std::ios::app : std::ios::trunc);
                 if (!sink_out_) {
                     throw std::runtime_error("moments: cannot write '" +
                                              tail.out_file + "'");
                 }
-                sink_out_ << "# step count mean variance skewness min max\n";
+                if (!has_prior) {
+                    sink_out_ << "# step count mean variance skewness min max\n";
+                }
             }
         }
 
@@ -895,7 +914,7 @@ private:
         }
         const HistogramResult h =
             distributed_histogram(ctx_.comm, slab_.doubles(), st.bins, step);
-        if (rank_ == 0) {
+        if (rank_ == 0 && !(sink_written_ && step <= *sink_written_)) {
             write_histogram(sink_out_, h);
             sink_out_.flush();
         }
@@ -914,7 +933,7 @@ private:
                                      "' must be double-precision");
         }
         const MomentsResult m = distributed_moments(ctx_.comm, slab_.doubles(), step);
-        if (rank_ == 0) {
+        if (rank_ == 0 && !(sink_written_ && step <= *sink_written_)) {
             write_moments(sink_out_, m);
             sink_out_.flush();
         }
@@ -968,6 +987,7 @@ private:
     adios::Reader reader_;
     std::optional<adios::Writer> writer_;
     std::ofstream sink_out_;
+    std::optional<std::uint64_t> sink_written_;  // newest step already on disk
     std::vector<RunContext> stage_ctx_;
     obs::Counter& gathers_;
     AttrSet attrs_;

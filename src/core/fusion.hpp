@@ -44,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -126,7 +127,12 @@ struct FusionPlan {
 
 /// Statically plans fusion over the workflow's instances.  Pure: no streams
 /// are touched, and an empty plan is always a valid (seed-semantics) answer.
-FusionPlan plan_fusion(const std::vector<FusionCandidate>& candidates);
+/// `barrier_streams` names streams that must stay materialized — a link
+/// through one of them is never fused.  The workflow passes every stream
+/// with on-disk durable history here: eliding it would silently drop the
+/// replay a cold-restarted or late-joining reader resumes from.
+FusionPlan plan_fusion(const std::vector<FusionCandidate>& candidates,
+                       const std::set<std::string>& barrier_streams = {});
 
 /// Per-stage observability plumbing supplied by the workflow: the original
 /// instance label ("magnitude#1") and stats sink, so a fused run reports

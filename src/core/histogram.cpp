@@ -76,6 +76,21 @@ void write_histogram(std::ostream& os, const HistogramResult& h) {
     os.precision(old_precision);
 }
 
+std::optional<std::uint64_t> last_histogram_step(const std::string& path) {
+    std::ifstream in(path);
+    std::optional<std::uint64_t> last;
+    std::string line;
+    while (in && std::getline(in, line)) {
+        std::istringstream is(line);
+        std::string hash, kw;
+        std::uint64_t step = 0;
+        if (is >> hash >> kw >> step && hash == "#" && kw == "step") {
+            if (!last || step > *last) last = step;
+        }
+    }
+    return last;
+}
+
 std::vector<HistogramResult> read_histogram_file(const std::string& path) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("histogram: cannot open '" + path + "'");
@@ -126,10 +141,17 @@ void Histogram::run(RunContext& ctx, const util::ArgList& args) {
 
     adios::Reader reader(ctx.fabric, in_stream, rank, size);
     std::ofstream out;
+    std::optional<std::uint64_t> written;
     if (rank == 0) {
         // A restarted incarnation appends: steps written before the failure
         // were already force-acknowledged upstream and will not be replayed.
-        out.open(out_file, ctx.attempt > 0 ? std::ios::app : std::ios::trunc);
+        // Same for a cold restart (ctx.resume) — the acknowledged steps'
+        // rows are already in the file from the previous process.  An ack
+        // lost in the crash makes the replay at-least-once, so steps the
+        // file already holds are skipped instead of duplicated.
+        const bool append = ctx.attempt > 0 || ctx.resume;
+        if (append) written = last_histogram_step(out_file);
+        out.open(out_file, append ? std::ios::app : std::ios::trunc);
         if (!out) throw std::runtime_error("histogram: cannot write '" + out_file + "'");
     }
 
@@ -151,7 +173,7 @@ void Histogram::run(RunContext& ctx, const util::ArgList& args) {
         const HistogramResult h =
             distributed_histogram(ctx.comm, local, bins, reader.step());
 
-        if (rank == 0) {
+        if (rank == 0 && !(written && reader.step() <= *written)) {
             write_histogram(out, h);
             out.flush();
         }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 
 #include "core/component.hpp"
 
@@ -65,6 +66,13 @@ void write_histogram(std::ostream& os, const HistogramResult& h);
 
 /// Parses a file of appended histograms (used by tests and benches).
 std::vector<HistogramResult> read_histogram_file(const std::string& path);
+
+/// Newest `# step N` marker in an existing histogram file, or nullopt when
+/// the file is missing or holds no step yet.  Lenient (a torn tail never
+/// throws): a resuming sink uses it to skip replayed steps whose rows the
+/// previous incarnation already wrote, so an input acknowledgement lost in
+/// a crash cannot duplicate output.
+std::optional<std::uint64_t> last_histogram_step(const std::string& path);
 
 class Histogram : public Component {
 public:

@@ -1,6 +1,7 @@
 #include "core/moments.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -50,6 +51,21 @@ void write_moments(std::ostream& os, const MomentsResult& m) {
     os.precision(old_precision);
 }
 
+std::optional<std::uint64_t> last_moments_step(const std::string& path) {
+    std::ifstream in(path);
+    std::optional<std::uint64_t> last;
+    std::string line;
+    while (in && std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream is(line);
+        std::uint64_t step = 0;
+        if (is >> step) {
+            if (!last || step > *last) last = step;
+        }
+    }
+    return last;
+}
+
 std::vector<MomentsResult> read_moments_file(const std::string& path) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("moments: cannot open '" + path + "'");
@@ -80,10 +96,19 @@ void Moments::run(RunContext& ctx, const util::ArgList& args) {
     adios::Reader reader(ctx.fabric, in_stream, rank, size);
 
     std::ofstream out;
+    std::optional<std::uint64_t> written;
     if (rank == 0) {
-        out.open(out_file, std::ios::trunc);
+        // Restarted (warm or cold) incarnations append and skip steps whose
+        // rows the previous incarnation already wrote — an input ack lost in
+        // the crash makes the replay at-least-once, never duplicated output.
+        const bool append = ctx.attempt > 0 || ctx.resume;
+        if (append) written = last_moments_step(out_file);
+        std::error_code ec;
+        const bool has_prior =
+            append && std::filesystem::file_size(out_file, ec) > 0 && !ec;
+        out.open(out_file, append ? std::ios::app : std::ios::trunc);
         if (!out) throw std::runtime_error("moments: cannot write '" + out_file + "'");
-        out << "# step count mean variance skewness min max\n";
+        if (!has_prior) out << "# step count mean variance skewness min max\n";
     }
 
     while (reader.begin_step()) {
@@ -103,7 +128,7 @@ void Moments::run(RunContext& ctx, const util::ArgList& args) {
         const std::vector<double> local = reader.read<double>(in_array, box);
         const MomentsResult m = distributed_moments(ctx.comm, local, reader.step());
 
-        if (rank == 0) {
+        if (rank == 0 && !(written && reader.step() <= *written)) {
             write_moments(out, m);
             out.flush();
         }

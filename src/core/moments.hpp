@@ -12,6 +12,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 
 #include "core/component.hpp"
 
@@ -35,6 +36,12 @@ MomentsResult distributed_moments(const mpi::Communicator& comm,
 
 void write_moments(std::ostream& os, const MomentsResult& m);
 std::vector<MomentsResult> read_moments_file(const std::string& path);
+
+/// Newest step id in an existing moments file, or nullopt when the file is
+/// missing or holds no data row yet.  Lenient (a torn tail never throws):
+/// a resuming sink uses it to skip replayed steps whose rows the previous
+/// incarnation already wrote.
+std::optional<std::uint64_t> last_moments_step(const std::string& path);
 
 class Moments : public Component {
 public:

@@ -72,7 +72,22 @@ FusionPlan Workflow::fusion_plan() const {
                                              instances_[i].nprocs, instances_[i].args,
                                              ports_of(i)});
     }
-    return plan_fusion(candidates);
+    // A stream with on-disk durable history is a fusion barrier: eliding it
+    // would skip the replay a cold-restarted or late-joining reader resumes
+    // from (the fused unit would pick up at the *input* stream's acked
+    // cursor instead).  Fresh runs have no segments yet, so fusion — which
+    // never materializes the interior stream — is unaffected.
+    std::set<std::string> barriers;
+    if (durable::resolve_enabled(options_.durable)) {
+        for (const FusionCandidate& c : candidates) {
+            for (const std::string& s : c.ports.outputs) {
+                if (durable::history_exists(options_.durable.dir, s)) {
+                    barriers.insert(s);
+                }
+            }
+        }
+    }
+    return plan_fusion(candidates, barriers);
 }
 
 void Workflow::write_trace(const std::string& path) const {
@@ -512,11 +527,73 @@ void Workflow::run() {
         SB_LOG(Info) << "workflow: fused " << label;
     }
 
+    // ---- cold restart (durable step log) ---------------------------------
+    // With a durable log configured, open every external stream's log before
+    // launching anything: a relaunched *process* then resumes exactly where
+    // the warm-restart path (try_recover) would have resumed a relaunched
+    // thread group.  Sources suppress their deterministic regeneration of
+    // already-logged steps; a middle unit whose outputs already assembled
+    // `resume` steps fast-forwards its inputs past the steps that fed them.
+    bool cold_resume = false;
+    if (durable::resolve_enabled(options_.durable)) {
+        for (const UnitSpec& unit : units) {
+            std::set<std::string> in_set;
+            std::set<std::string> out_set;
+            bool known = true;
+            for (const std::size_t m : unit.members) {
+                const Ports ports = ports_of(m);
+                if (!ports.known) {
+                    known = false;
+                    break;
+                }
+                in_set.insert(ports.inputs.begin(), ports.inputs.end());
+                out_set.insert(ports.outputs.begin(), ports.outputs.end());
+            }
+            if (!known) continue;  // attach_writer opens lazily instead
+            std::vector<std::string> inputs;
+            std::vector<std::string> outputs;
+            for (const std::string& s : in_set) {
+                if (!out_set.count(s)) inputs.push_back(s);
+            }
+            for (const std::string& s : out_set) {
+                if (!in_set.count(s)) outputs.push_back(s);
+            }
+            std::uint64_t resume = 0;
+            for (const std::string& out : outputs) {
+                auto s = fabric_.get(out);
+                s->open_durable(options_);
+                if (const durable::Log* log = s->durable_log()) {
+                    if (log->next_step() > 0) cold_resume = true;
+                }
+                resume = std::max(resume, s->writer_resume_step());
+                if (inputs.empty()) s->set_cold_source_replay();
+            }
+            for (const std::string& in : inputs) {
+                auto s = fabric_.get(in);
+                s->open_durable(options_);
+                if (const durable::Log* log = s->durable_log()) {
+                    if (log->next_step() > 0) cold_resume = true;
+                }
+                // One input step fed each already-assembled output step
+                // (SmartBlock components are step-aligned); acknowledge
+                // those instead of replaying them into duplicates.
+                if (!outputs.empty()) {
+                    s->skip_reader_to(s->reader_cursor_for_step(resume));
+                }
+            }
+        }
+        if (cold_resume) {
+            SB_LOG(Warn) << "workflow: cold restart — resuming from durable "
+                            "step logs in '"
+                         << options_.durable.dir << "'";
+        }
+    }
+
     {
         std::vector<std::jthread> drivers;
         drivers.reserve(units.size());
         for (const UnitSpec& unit : units) {
-            drivers.emplace_back([this, &unit, &errors, &failed] {
+            drivers.emplace_back([this, &unit, &errors, &failed, cold_resume] {
                 const std::vector<std::size_t>& members = unit.members;
                 const std::size_t lead = members.front();
                 const Instance& inst = instances_[lead];
@@ -555,6 +632,7 @@ void Workflow::run() {
                                     ctx.component = inst.component;
                                     ctx.instance = instance_label(lead);
                                     ctx.attempt = attempt;
+                                    ctx.resume = cold_resume;
                                     const obs::ScopedActor actor(ctx.instance);
                                     // Every member is (re)launched with the
                                     // unit, so each keeps its own run-level
@@ -571,6 +649,7 @@ void Workflow::run() {
                                     ctx.component = inst.component;
                                     ctx.instance = instance_label(lead);
                                     ctx.attempt = attempt;
+                                    ctx.resume = cold_resume;
                                     // Transport spans recorded on this rank's
                                     // thread carry the instance as their actor.
                                     const obs::ScopedActor actor(ctx.instance);

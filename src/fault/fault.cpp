@@ -21,6 +21,7 @@ const char* action_name(Action a) {
         case Action::Throw: return "throw";
         case Action::Delay: return "delay";
         case Action::Crash: return "crash";
+        case Action::Torn: return "torn";
     }
     return "?";
 }
@@ -55,10 +56,17 @@ FaultSpec parse_spec(const std::string& entry) {
         spec.action = Action::Delay;
         spec.delay_ms = std::stod(word.substr(6));
         spec.max_fires = 0;  // delays default to every eligible hit
+    } else if (word.rfind("torn:", 0) == 0) {
+        spec.action = Action::Torn;
+        spec.torn_bytes = std::stoull(word.substr(5));
+        if (spec.torn_bytes == 0) {
+            throw std::invalid_argument("fault spec '" + entry +
+                                        "': torn:<bytes> needs bytes > 0");
+        }
     } else {
-        throw std::invalid_argument("fault spec '" + entry +
-                                    "': unknown action '" + word +
-                                    "' (throw | crash | delay:<ms>)");
+        throw std::invalid_argument(
+            "fault spec '" + entry + "': unknown action '" + word +
+            "' (throw | crash | delay:<ms> | torn:<bytes>)");
     }
 
     std::size_t i = mod;
@@ -184,6 +192,7 @@ void Registry::on_hit(std::string_view point, std::string_view scope) {
     // through arbitrary callers; Delay must not serialize unrelated hits).
     Action action = Action::Throw;
     double delay_ms = 0.0;
+    std::uint64_t torn_bytes = 0;
     std::string what;
     bool fire = false;
     {
@@ -225,6 +234,7 @@ void Registry::on_hit(std::string_view point, std::string_view scope) {
             fire = true;
             action = a.spec.action;
             delay_ms = a.spec.delay_ms;
+            torn_bytes = a.spec.torn_bytes;
             what = "injected " + std::string(action_name(action)) + " at " +
                    std::string(point) +
                    (scope.empty() ? "" : ":" + std::string(scope)) + " (hit " +
@@ -246,6 +256,8 @@ void Registry::on_hit(std::string_view point, std::string_view scope) {
             throw InjectedFault(what);
         case Action::Crash:
             throw InjectedCrash(what);
+        case Action::Torn:
+            throw TornWrite(what, torn_bytes);
     }
 }
 

@@ -18,7 +18,9 @@
 //
 // Grammar: entries separated by ';' or ','.  "seed=N" reseeds the
 // generators; every other entry is "<point>[:<scope>]=<action>" where
-// action is "throw", "crash", or "delay:<ms>", followed by optional
+// action is "throw", "crash", "delay:<ms>", or "torn:<bytes>" (a disk
+// fault: the instrumented write lands short by that many bytes, then the
+// rank crashes — only write-path points honor it), followed by optional
 // modifiers "@N" (fire on the Nth matching hit, 1-based), "%p" (fire with
 // probability p per hit), and "xM" (fire at most M times; default 1,
 // 0 = unlimited).  A point ending in '*' prefix-matches the full
@@ -44,6 +46,7 @@ enum class Action {
     Throw,  // throw InjectedFault out of the instrumented call
     Delay,  // sleep delay_ms, then continue normally
     Crash,  // throw InjectedCrash — models the rank dying mid-operation
+    Torn,   // throw TornWrite — the write lands torn_bytes short, then crashes
 };
 
 /// Thrown by Action::Throw: an injected, recoverable component failure.
@@ -61,6 +64,22 @@ public:
     using InjectedFault::InjectedFault;
 };
 
+/// Thrown by Action::Torn: models a power cut mid-write.  A write-path
+/// injection point that understands torn writes catches this, performs the
+/// write `bytes` short of complete, and rethrows as InjectedCrash (the torn
+/// data is on disk; the rank is gone).  Points that don't understand torn
+/// writes let it propagate — it is still an InjectedFault.
+class TornWrite : public InjectedFault {
+public:
+    TornWrite(const std::string& what, std::uint64_t bytes)
+        : InjectedFault(what), bytes_(bytes) {}
+    /// How many trailing bytes of the instrumented write to drop.
+    std::uint64_t bytes() const noexcept { return bytes_; }
+
+private:
+    std::uint64_t bytes_;
+};
+
 /// One armed injection, as parsed from SB_FAULT or built programmatically.
 struct FaultSpec {
     /// "point", "point:scope", or a trailing-'*' prefix of "point:scope".
@@ -73,6 +92,7 @@ struct FaultSpec {
     /// every eligible hit).  Ignored when at_hit is set.
     double probability = -1.0;
     double delay_ms = 0.0;  // Action::Delay sleep
+    std::uint64_t torn_bytes = 0;  // Action::Torn shortfall
     /// Stop firing after this many fires; 0 = unlimited.
     std::uint64_t max_fires = 1;
 };

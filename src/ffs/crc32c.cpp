@@ -1,0 +1,70 @@
+#include "ffs/crc32c.hpp"
+
+#include <array>
+
+namespace sb::ffs {
+
+namespace {
+
+// Reflected CRC32C polynomial (0x1EDC6F41 bit-reversed).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+    // t[0] is the classic byte-at-a-time table; t[1..7] extend it so eight
+    // input bytes fold in one round (slicing-by-8).
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+    constexpr Tables() {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+            }
+            t[0][i] = c;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = t[0][i];
+            for (std::size_t s = 1; s < 8; ++s) {
+                c = t[0][c & 0xFFu] ^ (c >> 8);
+                t[s][i] = c;
+            }
+        }
+    }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::byte> data) noexcept {
+    const auto& t = kTables.t;
+    const std::byte* p = data.data();
+    std::size_t n = data.size();
+    std::uint32_t c = state;
+    while (n >= 8) {
+        // Little-endian fold of (crc ^ first four bytes) + next four bytes.
+        const std::uint32_t lo =
+            c ^ (std::uint32_t(std::to_integer<std::uint8_t>(p[0])) |
+                 std::uint32_t(std::to_integer<std::uint8_t>(p[1])) << 8 |
+                 std::uint32_t(std::to_integer<std::uint8_t>(p[2])) << 16 |
+                 std::uint32_t(std::to_integer<std::uint8_t>(p[3])) << 24);
+        const std::uint32_t hi =
+            std::uint32_t(std::to_integer<std::uint8_t>(p[4])) |
+            std::uint32_t(std::to_integer<std::uint8_t>(p[5])) << 8 |
+            std::uint32_t(std::to_integer<std::uint8_t>(p[6])) << 16 |
+            std::uint32_t(std::to_integer<std::uint8_t>(p[7])) << 24;
+        c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+            t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+            t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+        p += 8;
+        n -= 8;
+    }
+    while (n--) {
+        c = t[0][(c ^ std::to_integer<std::uint8_t>(*p++)) & 0xFFu] ^ (c >> 8);
+    }
+    return c;
+}
+
+}  // namespace sb::ffs

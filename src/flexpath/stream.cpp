@@ -216,15 +216,127 @@ Stream::~Stream() {
     if (prefetcher_.joinable()) prefetcher_.join();
 }
 
+void Stream::open_durable(const StreamOptions& opts) {
+    std::lock_guard lock(mu_);
+    open_durable_locked(opts);
+}
+
+void Stream::open_durable_locked(const StreamOptions& opts) {
+    if (log_ || !durable::resolve_enabled(opts.durable)) return;
+    auto log = std::make_unique<durable::Log>(name_, opts.durable);
+    // Recovered state is only installed into a pristine stream (nothing
+    // assembled or fetched yet) — the cold-restart / late-join paths.  A
+    // stream already streaming keeps its live state and just starts
+    // appending.
+    const bool pristine = next_step_ == 0 && next_fetch_ == 0 &&
+                          window_.empty() && pending_.empty();
+    if (pristine && (log->next_step() > 0 || log->complete())) {
+        next_step_ = log->next_step();
+        layout_gen_ = log->max_layout_gen();
+        const std::uint64_t base =
+            opts.durable.replay_history ? 0 : log->acked();
+        window_base_ = base;
+        demand_ = base;
+        // A step whose frame was quarantined (or lost entirely) goes
+        // through the same data-loss policy as a warm-path shed.
+        const auto drop = [&](std::uint64_t step, std::uint64_t layout_gen,
+                              const ffs::Bytes* meta) {
+            if (opts.on_data_loss == OnDataLoss::ZeroFill && meta != nullptr) {
+                auto data = std::make_shared<StepData>();
+                data->step = step;
+                data->meta = *meta;
+                data->layout_gen = layout_gen;
+                data->lossy = true;
+                window_.push_back(InFlight{window_base_ + window_.size(),
+                                           std::move(data), 0, true});
+                ++lost_steps_;
+                ins_.steps_skipped->inc();
+                return;
+            }
+            if (opts.on_data_loss == OnDataLoss::Fail) {
+                // An unloaded entry whose reload throws the frame's
+                // SpoolError: the poisoned-prefetch machinery surfaces it
+                // from acquire(), exactly like a failed spool reload.
+                auto data = std::make_shared<StepData>();
+                data->step = step;
+                data->layout_gen = layout_gen;
+                data->in_log = true;
+                window_.push_back(InFlight{window_base_ + window_.size(),
+                                           std::move(data), 0, false});
+                return;
+            }
+            // Skip (or ZeroFill with no surviving metadata): the step
+            // vacates its reader cursor.
+            recovery_skipped_.push_back(step);
+            ++lost_steps_;
+            ins_.steps_skipped->inc();
+        };
+        std::uint64_t expect = base;
+        for (const durable::RecoveredStep& rs : log->recovered()) {
+            while (expect < rs.step) {  // frame lost entirely (resync gap)
+                drop(expect, layout_gen_, nullptr);
+                ++expect;
+            }
+            if (rs.state == durable::RecoveredStep::State::Ok) {
+                auto data = std::make_shared<StepData>();
+                data->step = rs.step;
+                data->layout_gen = rs.layout_gen;
+                data->in_log = true;
+                window_.push_back(InFlight{window_base_ + window_.size(),
+                                           std::move(data), 0, false});
+            } else {
+                drop(rs.step, rs.layout_gen, &rs.meta);
+            }
+            ++expect;
+        }
+        next_fetch_ = window_base_ + window_.size();
+        if (log->complete()) eos_ = true;
+        SB_LOG(Info) << "stream " << name_ << ": durable recovery installed "
+                     << window_.size() << " step(s) at cursor " << window_base_
+                     << " (next step " << next_step_ << ", "
+                     << recovery_skipped_.size() << " skipped"
+                     << (eos_ ? ", complete)" : ")");
+    }
+    log_ = std::move(log);
+}
+
+durable::Log* Stream::durable_log() const {
+    std::lock_guard lock(mu_);
+    return log_.get();
+}
+
+void Stream::set_cold_source_replay() {
+    std::lock_guard lock(mu_);
+    cold_source_replay_ = true;
+}
+
+std::uint64_t Stream::reader_cursor_for_step(std::uint64_t step) const {
+    std::lock_guard lock(mu_);
+    std::uint64_t skipped = 0;
+    for (const std::uint64_t s : recovery_skipped_) {
+        if (s < step) ++skipped;
+    }
+    return step - skipped;
+}
+
 void Stream::attach_writer(int nranks, const StreamOptions& opts) {
     if (nranks <= 0) throw std::invalid_argument("attach_writer: nranks must be positive");
     std::lock_guard lock(mu_);
     if (writer_size_ == 0) {
+        open_durable_locked(opts);  // no-op when Workflow already opened it
         writer_size_ = nranks;
         opts_ = opts;
         read_ahead_ = resolve_read_ahead(opts);
         liveness_s_ = resolve_liveness_seconds(opts);
-        rank_submits_.assign(static_cast<std::size_t>(nranks), 0);
+        // A relaunched process resumes submitting at the durable frontier
+        // (next_step_ is 0 on a fresh stream, reproducing the seed).
+        rank_submits_.assign(static_cast<std::size_t>(nranks), next_step_);
+        if (cold_source_replay_) {
+            // A restarted source regenerates from step 0; the log already
+            // holds the first next_step_ of them.
+            replay_drop_.assign(static_cast<std::size_t>(nranks), next_step_);
+            cold_source_replay_ = false;
+        }
         queue_ = std::make_unique<util::BoundedQueue<StepData>>(opts.queue_capacity,
                                                                 name_);
         // Readers blocked in acquire() are woken by the prefetcher once it
@@ -422,8 +534,10 @@ void Stream::submit(int rank, Contribution c) {
     fault::hit("flexpath.publish", name_);
     std::optional<StepData> completed;
     double assemble_t0 = 0.0;
+    durable::Log* log = nullptr;
     {
         std::lock_guard lock(mu_);
+        log = log_.get();
         if (aborted_) throw StreamAborted(name_);
         if (writer_size_ == 0) {
             throw std::logic_error("stream '" + name_ + "': submit before attach_writer");
@@ -477,17 +591,24 @@ void Stream::submit(int rank, Contribution c) {
                                             assemble_t0, obs::steady_seconds(),
                                             rank);
         }
-        // Spooling: park the step's data on disk so deep buffers stay
-        // memory-bounded; readers load it back on acquire.
-        if (!opts_.spool_dir.empty()) {
+        // Durable log (preferred) or volatile spool: park the step's data
+        // on disk so deep buffers stay memory-bounded; readers load it back
+        // on acquire.  Both take the same scatter-gather path: the record
+        // borrows the block payloads and encode_segments splices them into
+        // the stream of header bytes, so the bulk data goes record -> disk
+        // with no intermediate packet copy — byte-identical to the
+        // contiguous encode_step_blocks() packet.
+        if (log != nullptr) {
+            const ffs::Record spool_rec = make_spool_record(completed->blocks);
+            const ffs::EncodedSegments segs = ffs::encode_segments(spool_rec);
+            log->append_step(completed->step, completed->layout_gen,
+                             completed->meta, segs);
+            completed->blocks.clear();
+            completed->in_log = true;
+        } else if (!opts_.spool_dir.empty()) {
             const std::string path =
                 spool_file_path(opts_.spool_dir, name_, completed->step);
             const double t0 = instr ? obs::steady_seconds() : 0.0;
-            // Scatter-gather write: the spool record borrows the block
-            // payloads and encode_segments splices them into the stream of
-            // header bytes, so the bulk data goes record -> file with no
-            // intermediate packet copy.  Byte-identical to the contiguous
-            // encode_step_blocks() packet.
             const ffs::Record spool_rec = make_spool_record(completed->blocks);
             const ffs::EncodedSegments segs = ffs::encode_segments(spool_rec);
             std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -569,6 +690,9 @@ void Stream::close_writer(int rank) {
                                    " incomplete step(s)");
         }
         queue_->close();
+        // Durably mark the clean close, so a replayed reader of the
+        // recovered log terminates instead of waiting for a writer.
+        if (log_) log_->append_eos();
         SB_LOG(Debug) << "stream " << name_ << ": writer group closed";
     }
 }
@@ -645,37 +769,54 @@ void Stream::detach_reader() {
 }
 
 void Stream::skip_reader_to(std::uint64_t cursor) {
-    std::lock_guard lock(mu_);
-    if (cursor <= window_base_) return;
-    if (cursor > window_base_ + window_.size()) {
-        throw std::logic_error(
-            "stream '" + name_ + "': skip_reader_to(" + std::to_string(cursor) +
-            ") beyond fetched window [" + std::to_string(window_base_) + ", " +
-            std::to_string(window_base_ + window_.size()) + ")");
-    }
-    while (window_base_ < cursor) {
-        InFlight& front = window_.front();
-        if (front.loaded && front.data && !front.data->lossy &&
-            !front.data->blocks.empty()) {
-            --window_payloads_;
+    durable::Log* log = nullptr;
+    std::uint64_t ack_step = 0;
+    {
+        std::lock_guard lock(mu_);
+        if (cursor <= window_base_) return;
+        if (cursor > window_base_ + window_.size()) {
+            throw std::logic_error(
+                "stream '" + name_ + "': skip_reader_to(" + std::to_string(cursor) +
+                ") beyond fetched window [" + std::to_string(window_base_) + ", " +
+                std::to_string(window_base_ + window_.size()) + ")");
         }
-        if (front.data && !front.data->spool_path.empty()) {
-            std::error_code ec;
-            std::filesystem::remove(front.data->spool_path, ec);
+        while (window_base_ < cursor) {
+            InFlight& front = window_.front();
+            if (front.loaded && front.data && !front.data->lossy &&
+                !front.data->blocks.empty()) {
+                --window_payloads_;
+            }
+            if (front.data && !front.data->spool_path.empty()) {
+                std::error_code ec;
+                std::filesystem::remove(front.data->spool_path, ec);
+            }
+            if (front.data) {
+                log = log_.get();
+                ack_step = front.data->step + 1;
+            }
+            window_.pop_front();
+            ++window_base_;
+            ins_.steps_retired->inc();
         }
-        window_.pop_front();
-        ++window_base_;
-        ins_.steps_retired->inc();
+        demand_ = std::max(demand_, window_base_);
+        prefetch_cv_.notify_all();
     }
-    demand_ = std::max(demand_, window_base_);
-    prefetch_cv_.notify_all();
+    // Acknowledge off mu_ (the log serializes internally; recovery takes
+    // the max frontier, so interleaved acks are harmless).
+    if (log != nullptr) {
+        log->append_ack(ack_step);
+        log->collect(ack_step);
+    }
 }
 
 void Stream::start_prefetcher_locked() {
     // Needs both sides: the reader group size bounds retirement, the queue
     // exists once a writer attached.  Whichever attach completes the pair
-    // starts the thread.
-    if (prefetcher_started_ || reader_size_ == 0 || !queue_) return;
+    // starts the thread.  A recovered durable log substitutes for the
+    // writer side: its installed window entries still need reloading even
+    // if no writer ever attaches (a late-joining reader of a finished
+    // stream).
+    if (prefetcher_started_ || reader_size_ == 0 || (!queue_ && !log_)) return;
     if (aborted_ || shutdown_) return;
     prefetcher_started_ = true;
     prefetcher_ = std::thread([this] { prefetch_loop(); });
@@ -753,6 +894,7 @@ void Stream::prefetch_loop() {
         };
         const auto can_fetch = [&] {
             if (eos_) return false;
+            if (!queue_) return false;  // no writer yet (log-only replay)
             if (!reader_detached_) {
                 return window_.size() < read_ahead_ &&
                        next_fetch_ < demand_ + (read_ahead_ - 1);
@@ -857,7 +999,7 @@ void Stream::prefetch_loop() {
             }
         }
         bool loaded = true;
-        if (item && !item->spool_path.empty()) {
+        if (item && (item->in_log || !item->spool_path.empty())) {
             if (defer_reload) {
                 loaded = false;
             } else {
@@ -902,10 +1044,29 @@ void Stream::prefetch_loop() {
 void Stream::load_spooled(StepData& item, bool instr) {
     const double sp_t0 = instr ? obs::steady_seconds() : 0.0;
     fault::hit("flexpath.spool_reload", name_);
+    if (item.in_log) {
+        // The step's blocks live in the durable log: load the frame back by
+        // step index (both checksums re-verified; throws SpoolError with
+        // file/offset/step context for a quarantined or corrupted frame).
+        // The frame stays in the log for crash recovery until collected.
+        durable::LoadedStep loaded = log_->load_step(item.step);
+        if (item.meta.empty()) item.meta = std::move(loaded.meta);
+        item.layout_gen = loaded.layout_gen;
+        item.blocks = decode_step_blocks(loaded.payload);
+        if (instr) {
+            const double sp_t1 = obs::steady_seconds();
+            ins_.spool_read_seconds->observe(sp_t1 - sp_t0);
+            if (sp_t1 - sp_t0 >= kStallSliceSeconds) {
+                obs::TraceLog::global().slice("spool reload", name_, "prefetch",
+                                              sp_t0, sp_t1);
+            }
+        }
+        return;
+    }
     std::ifstream in(item.spool_path, std::ios::binary);
     if (!in) {
-        throw std::runtime_error("stream '" + name_ + "': missing spool file '" +
-                                 item.spool_path + "'");
+        throw SpoolError("stream '" + name_ + "': missing spool file",
+                         item.spool_path, 0, item.step);
     }
     const std::string packet((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
@@ -1012,33 +1173,48 @@ std::shared_ptr<const StepData> Stream::acquire(std::uint64_t cursor) {
 }
 
 void Stream::release(std::uint64_t cursor) {
-    std::lock_guard lock(mu_);
-    if (aborted_) return;
-    // A rank of a detached (dead) incarnation racing its own teardown must
-    // not acknowledge steps the replacement group still needs.
-    if (reader_detached_) return;
-    if (cursor < window_base_ || cursor >= window_base_ + window_.size()) {
-        throw std::logic_error("stream '" + name_ + "': release without matching acquire");
-    }
-    ++window_[static_cast<std::size_t>(cursor - window_base_)].released;
-    bool retired = false;
-    // Ranks release their cursors in order, so fully-released steps form a
-    // prefix of the window and retirement stays in cursor order.
-    while (!window_.empty() && window_.front().released >= reader_size_) {
-        InFlight& front = window_.front();
-        if (entry_has_payload(*this, front.data, front.loaded)) {
-            --window_payloads_;
+    durable::Log* log = nullptr;
+    std::uint64_t ack_step = 0;
+    {
+        std::lock_guard lock(mu_);
+        if (aborted_) return;
+        // A rank of a detached (dead) incarnation racing its own teardown must
+        // not acknowledge steps the replacement group still needs.
+        if (reader_detached_) return;
+        if (cursor < window_base_ || cursor >= window_base_ + window_.size()) {
+            throw std::logic_error("stream '" + name_ + "': release without matching acquire");
         }
-        window_.pop_front();
-        ++window_base_;
-        ins_.steps_retired->inc();
-        retired = true;
-    }
-    if (retired) {
-        if (obs::enabled()) {
-            ins_.read_ahead_depth->set(static_cast<double>(window_.size()));
+        ++window_[static_cast<std::size_t>(cursor - window_base_)].released;
+        bool retired = false;
+        // Ranks release their cursors in order, so fully-released steps form a
+        // prefix of the window and retirement stays in cursor order.
+        while (!window_.empty() && window_.front().released >= reader_size_) {
+            InFlight& front = window_.front();
+            if (entry_has_payload(*this, front.data, front.loaded)) {
+                --window_payloads_;
+            }
+            if (front.data) {
+                log = log_.get();
+                ack_step = front.data->step + 1;
+            }
+            window_.pop_front();
+            ++window_base_;
+            ins_.steps_retired->inc();
+            retired = true;
         }
-        prefetch_cv_.notify_one();  // window space freed; only the prefetcher cares
+        if (retired) {
+            if (obs::enabled()) {
+                ins_.read_ahead_depth->set(static_cast<double>(window_.size()));
+            }
+            prefetch_cv_.notify_one();  // window space freed; only the prefetcher cares
+        }
+    }
+    // The durable acknowledgement (and any retention GC) runs off mu_: the
+    // log serializes internally, and recovery takes the max frontier, so
+    // out-of-order appends from racing ranks are harmless.
+    if (log != nullptr) {
+        log->append_ack(ack_step);
+        log->collect(ack_step);
     }
 }
 

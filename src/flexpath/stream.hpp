@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "check/mutex.hpp"
+#include "durable/log.hpp"
 #include "ffs/encode.hpp"
 #include "ffs/type.hpp"
 #include "util/ndarray.hpp"
@@ -60,6 +61,10 @@ class Histogram;
 namespace sb::flexpath {
 
 using DataKind = ffs::Kind;
+
+/// Reload failures carry the exact file, byte offset, and step that could
+/// not be read back (see durable::SpoolError).
+using durable::SpoolError;
 
 /// One writer rank's block of one variable for one step.  The payload is
 /// shared (never copied) between writer buffering and reader access.
@@ -98,6 +103,11 @@ struct StepData {
     /// When the stream spools (StreamOptions::spool_dir), buffered steps
     /// park their blocks in this file instead of memory until acquired.
     std::string spool_path;
+    /// True when the step's blocks live in the stream's durable log
+    /// (StreamOptions::durable) instead of memory or a spool file; readers
+    /// load them back by step index, and the frame stays in the log for
+    /// crash recovery until garbage-collected.
+    bool in_log = false;
     /// Writer-layout generation: bumped by the stream whenever the block
     /// partitioning or any variable shape differs from the previous step.
     /// Reader-side copy plans compiled under one generation stay valid for
@@ -191,7 +201,17 @@ struct StreamOptions {
     std::size_t retain_steps = 8;
 
     /// Degradation policy when retention is exhausted (see OnDataLoss).
+    /// Also decides what a cold restart does with a quarantined (corrupt)
+    /// durable-log frame: Skip drops the step from the replayed sequence,
+    /// ZeroFill replays its metadata with zeroed data, Fail poisons the
+    /// stream with the frame's SpoolError.
     OnDataLoss on_data_loss = OnDataLoss::Fail;
+
+    /// Crash-consistent step log (docs/RESILIENCE.md, "Durable step log").
+    /// When enabled (durable.dir set and the mode resolves on), published
+    /// steps are appended to a checksummed, framed log instead of spool
+    /// files, and a relaunched process recovers the stream's state from it.
+    durable::Options durable;
 
     /// Writer/reader liveness timeout in milliseconds: a submit blocked on
     /// a full queue or an acquire blocked on a silent writer group longer
@@ -238,6 +258,34 @@ public:
     Stream& operator=(const Stream&) = delete;
 
     const std::string& name() const noexcept { return name_; }
+
+    // ---- durability ------------------------------------------------------
+    /// Opens (or recovers) the stream's durable log per `opts.durable` and
+    /// `opts.on_data_loss`.  On a pristine stream holding recovered
+    /// history, the reader window, step counters, and layout generation are
+    /// rebuilt from the log: a relaunched process resumes where the durable
+    /// frontier left off, and with durable.replay_history a late-joining
+    /// reader replays from step 0.  Idempotent; a no-op when the options
+    /// don't resolve to an enabled log.  Call before attaching either side
+    /// (Workflow does this for every external stream; attach_writer also
+    /// calls it with its own options).
+    void open_durable(const StreamOptions& opts);
+
+    /// The stream's open durable log (nullptr when disabled) — recovery
+    /// introspection for tests and the supervisor.
+    durable::Log* durable_log() const;
+
+    /// Marks the next writer-group attach as a restarted *source* replaying
+    /// its deterministic sequence from step 0 after a cold restart: the
+    /// first writer_resume_step() submissions of each rank are suppressed
+    /// (the log already holds those steps).  Used by Workflow; the warm
+    /// path uses detach_writer(true) instead.
+    void set_cold_source_replay();
+
+    /// Maps a step index to the reader-sequence cursor it occupies after
+    /// recovery (quarantined steps dropped under OnDataLoss::Skip vacate
+    /// their cursor).  Identity on a stream with no recovery skips.
+    std::uint64_t reader_cursor_for_step(std::uint64_t step) const;
 
     // ---- writer side -----------------------------------------------------
     /// Called once per writer rank; the first call fixes the group size and
@@ -350,6 +398,16 @@ private:
     int writers_closed_ = 0;
     std::uint64_t next_step_ = 0;  // next step to assemble and queue
     std::unique_ptr<util::BoundedQueue<StepData>> queue_;
+    // Durable step log (StreamOptions::durable).  Opened before either side
+    // attaches and never replaced, so the prefetcher and submit paths read
+    // the pointer without mu_ once streaming began.  The log serializes
+    // internally.
+    std::unique_ptr<durable::Log> log_;
+    // Steps of the recovered history dropped from the reader sequence
+    // (quarantined under Skip, or lost to frame resync), ascending; later
+    // steps occupy a cursor shifted down by the preceding skips.
+    std::vector<std::uint64_t> recovery_skipped_;
+    bool cold_source_replay_ = false;  // see set_cold_source_replay()
     double liveness_s_ = 0.0;  // resolved liveness timeout; 0 = disabled
     // Replay suppression for restarted sources: per writer rank, how many
     // leading re-submissions (the deterministic regeneration of steps the
@@ -417,6 +475,7 @@ private:
     void start_prefetcher_locked();
     void prefetch_loop();
 
+    void open_durable_locked(const StreamOptions& opts);
     void merge_locked(Contribution& dst, Contribution&& c);
     StepData assemble_locked(std::uint64_t step);
     /// Drops retained data (detached mode, retention bound hit) per the

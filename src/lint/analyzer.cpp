@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -882,7 +883,20 @@ void fusion_notes(const std::vector<Node>& nodes, const Options& opts,
             n.entry.component, n.entry.nprocs, util::ArgList(n.entry.args),
             n.ports});
     }
-    const core::FusionPlan plan = core::plan_fusion(candidates);
+    // Mirror the runner: a stream whose durable log already has segments on
+    // disk stays materialized so its history replays, and the fusion notes
+    // must not promise a chain the runner would refuse to fuse.
+    std::set<std::string> barriers;
+    if (durable::resolve_enabled(opts.stream.durable)) {
+        for (const core::FusionCandidate& c : candidates) {
+            for (const std::string& s : c.ports.outputs) {
+                if (durable::history_exists(opts.stream.durable.dir, s)) {
+                    barriers.insert(s);
+                }
+            }
+        }
+    }
+    const core::FusionPlan plan = core::plan_fusion(candidates, barriers);
     for (const core::FusedChain& chain : plan.chains) {
         std::string stages;
         for (const core::FusedStage& s : chain.stages) {
@@ -921,6 +935,21 @@ void config_rules(const std::vector<Node>& nodes, const Options& opts,
                 "restart",
             "set retain_steps > 0, configure a spool_dir, or keep "
             "on_data_loss=fail so the writer blocks instead of dropping"});
+    }
+
+    if (opts.restart.mode == core::RestartPolicy::Mode::OnFailure &&
+        (s.durable.dir.empty() || s.durable.mode == durable::Mode::Off) &&
+        s.spool_dir.empty() && s.on_data_loss == flexpath::OnDataLoss::Fail) {
+        out.push_back(Diagnostic{
+            "config-durable-volatile", Severity::Warning, 0, "",
+            "RestartPolicy::on_failure with no durable log (and no spool "
+            "dir): retained steps live only in process memory, so a restart "
+            "survives a component failure but a *process* crash loses every "
+            "buffered step — and on_data_loss=fail means the relaunched "
+            "workflow starts over instead of resuming",
+            "configure durable.dir (smartblock_run --durable=<dir>) so "
+            "published steps land in a crash-consistent log the relaunch "
+            "recovers from"});
     }
 
     if (s.on_data_loss == flexpath::OnDataLoss::ZeroFill) {
@@ -1016,6 +1045,23 @@ std::string apply_directive(const std::string& tok, Options& opts) {
             opts.stream.queue_capacity = std::stoull(val);
         } else if (key == "spool-dir") {
             opts.stream.spool_dir = val;
+        } else if (key == "durable-dir") {
+            opts.stream.durable.dir = val;
+        } else if (key == "durable") {
+            if (val == "auto") {
+                opts.stream.durable.mode = durable::Mode::Auto;
+            } else if (val == "on") {
+                opts.stream.durable.mode = durable::Mode::On;
+            } else if (val == "off") {
+                opts.stream.durable.mode = durable::Mode::Off;
+            } else {
+                return "durable: expected auto|on|off, got '" + val + "'";
+            }
+        } else if (key == "fsync") {
+            if (!durable::parse_fsync_policy(val, opts.stream.durable)) {
+                return "fsync: expected never|commit|interval:<ms>, got '" + val +
+                       "'";
+            }
         } else if (key == "liveness-ms") {
             opts.stream.liveness_ms = std::stod(val);
         } else if (key == "on-data-loss") {

@@ -123,6 +123,25 @@ TEST_F(FusionTest, PlannerSplitsOnRankCountMismatch) {
     EXPECT_TRUE(noted) << "expected a rank-count-mismatch note";
 }
 
+TEST_F(FusionTest, PlannerKeepsDurableHistoryStreamsMaterialized) {
+    // A barrier stream (one whose durable log already has on-disk history)
+    // splits the chain at exactly that link: the stream must exist at
+    // runtime so cold-restarted / late-joining readers can replay it.
+    const auto cands = gtcp_chain_candidates();
+    const auto plan = core::plan_fusion(cands, {"pflat1.fp"});
+    // select -> dim-reduce | pflat1.fp | dim-reduce -> histogram.
+    ASSERT_EQ(plan.chains.size(), 2u);
+    EXPECT_EQ(plan.chains[0].stages.size(), 2u);
+    EXPECT_EQ(plan.chains[1].stages.size(), 2u);
+    EXPECT_EQ(plan.chains[0].tail().out_stream, "pflat1.fp");
+    EXPECT_EQ(plan.chains[1].head().in_stream, "pflat1.fp");
+    bool noted = false;
+    for (const auto& n : plan.notes) {
+        noted = noted || n.find("durable history to replay") != std::string::npos;
+    }
+    EXPECT_TRUE(noted) << "expected a durable-history barrier note";
+}
+
 TEST_F(FusionTest, PlannerTreatsFanOutAsABoundary) {
     // magnitude's stream has two readers: fusing it into either would
     // starve the other.

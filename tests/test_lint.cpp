@@ -107,6 +107,8 @@ INSTANTIATE_TEST_SUITE_P(
                lint::Severity::Error, 7, 2},
         Golden{"config_replay_bad.sh", "config-replay-impossible",
                lint::Severity::Warning, 0, 1},
+        Golden{"config_durable_volatile_bad.sh", "config-durable-volatile",
+               lint::Severity::Warning, 0, 1},
         Golden{"config_zerofill_validate_bad.sh", "config-zerofill-validate",
                lint::Severity::Warning, 8, 1},
         Golden{"config_liveness_bad.sh", "config-liveness-fault-delay",
@@ -125,7 +127,8 @@ TEST(LintGoldenOk, PositiveCounterpartsAreClean) {
          {"dangling_input_ok.sh", "unconsumed_output_ok.sh",
           "multiple_writers_ok.sh", "multiple_readers_ok.sh", "shape_rank_ok.sh",
           "shape_validate_ok.sh", "rank_unsolvable_ok.sh", "attr_header_ok.sh",
-          "config_ok.sh", "config_replay_ok.sh", "allow_suppress_ok.sh"}) {
+          "config_ok.sh", "config_replay_ok.sh", "config_durable_volatile_ok.sh",
+          "allow_suppress_ok.sh"}) {
         const lint::Result r = lint_file(std::string("examples/lint/") + f);
         EXPECT_TRUE(r.clean()) << f << ":\n" << lint::render_text(r);
         EXPECT_EQ(lint::exit_code(r, /*strict=*/true), 0) << f;
